@@ -1,0 +1,141 @@
+//! Cannon's matrix-multiplication algorithm on a processor grid.
+//!
+//! This is the canonical consumer of the paper's 2-D regular communication
+//! skeletons: after `row_col_block` (grid) distribution and an initial skew
+//! (`rotate_row` by row index, `rotate_col` by column index), each of `q`
+//! steps multiplies the local blocks and rotates `A` one step left along
+//! rows and `B` one step up along columns.
+
+use scl_core::prelude::*;
+use scl_core::align;
+
+/// Block-wise `C += A · B` with flop counting.
+fn block_mac(c: &Matrix<f64>, a: &Matrix<f64>, b: &Matrix<f64>) -> (Matrix<f64>, Work) {
+    let (m, k) = a.dims();
+    let (k2, n) = b.dims();
+    assert_eq!(k, k2, "inner dimension mismatch");
+    assert_eq!(c.dims(), (m, n), "accumulator shape mismatch");
+    let mut out = c.clone();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = *out.get(i, j);
+            for l in 0..k {
+                acc += a.get(i, l) * b.get(l, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    (out, Work::flops(2 * (m * n * k) as u64))
+}
+
+/// Multiply `a · b` on a `q × q` processor grid with Cannon's algorithm.
+///
+/// # Panics
+/// Panics unless both matrices are `n × n` with `q` dividing `n`, and the
+/// machine has at least `q²` processors.
+pub fn cannon_matmul(scl: &mut Scl, a: &Matrix<f64>, b: &Matrix<f64>, q: usize) -> Matrix<f64> {
+    let n = a.rows();
+    assert_eq!(a.dims(), (n, n), "A must be square");
+    assert_eq!(b.dims(), (n, n), "B must be square");
+    assert!(q >= 1 && n % q == 0, "grid size {q} must divide matrix size {n}");
+    scl.check_fits(q * q);
+    scl.machine.barrier();
+
+    let grid = Pattern::Grid { pr: q, pc: q };
+    let da = scl.partition2(grid, a);
+    let db = scl.partition2(grid, b);
+
+    // Initial skew: row i of A rotates left by i; column j of B rotates up
+    // by j.
+    let mut da = scl.rotate_row(|i| i as isize, &da);
+    let mut db = scl.rotate_col(|j| j as isize, &db);
+
+    let blk = n / q;
+    let zero = ParArray::like(&da, vec![Matrix::filled(blk, blk, 0.0f64); q * q]);
+
+    let dc = scl.iter_for(q, |scl, _, dc| {
+        let cfg = align(align(da.clone(), db.clone()), dc);
+        let out = scl.map_costed(&cfg, |((ab, bb), cb)| block_mac(cb, ab, bb));
+        da = scl.rotate_row(|_| 1, &da);
+        db = scl.rotate_col(|_| 1, &db);
+        out
+    }, zero);
+
+    scl.gather2(grid, &dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_matrix;
+
+    fn check(n: usize, q: usize, seed: u64) {
+        let a = random_matrix(n, n, seed);
+        let b = random_matrix(n, n, seed + 1);
+        let expect = a.matmul(&b);
+        let mut scl = Scl::ap1000(q * q);
+        let got = cannon_matmul(&mut scl, &a, &b, q);
+        assert!(
+            got.max_abs_diff(&expect) < 1e-9,
+            "cannon mismatch n={n} q={q}: {}",
+            got.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn multiplies_correctly_across_grids() {
+        check(4, 1, 1);
+        check(4, 2, 2);
+        check(6, 2, 3);
+        check(6, 3, 4);
+        check(8, 4, 5);
+        check(12, 4, 6);
+    }
+
+    #[test]
+    fn identity_times_anything() {
+        let n = 6;
+        let a = Matrix::identity(n);
+        let b = random_matrix(n, n, 9);
+        let mut scl = Scl::ap1000(4);
+        let got = cannon_matmul(&mut scl, &a, &b, 2);
+        assert!(got.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn charges_rotations() {
+        let a = random_matrix(8, 8, 1);
+        let b = random_matrix(8, 8, 2);
+        let mut scl = Scl::ap1000(4);
+        let _ = cannon_matmul(&mut scl, &a, &b, 2);
+        // q=2: initial skew (row 1 moves, col 1 moves) + 2 steps * 2 rotations
+        assert!(scl.machine.metrics.messages > 0);
+        assert!(scl.machine.metrics.flops >= 2 * 8 * 8 * 8);
+    }
+
+    #[test]
+    fn grid_speedup_is_sublinear_but_real() {
+        let a = random_matrix(24, 24, 3);
+        let b = random_matrix(24, 24, 4);
+        let time = |q: usize| {
+            let mut scl = Scl::ap1000(q * q);
+            let _ = cannon_matmul(&mut scl, &a, &b, q);
+            scl.makespan().as_secs()
+        };
+        let t1 = time(1);
+        let t2 = time(2);
+        let t4 = time(4);
+        assert!(t2 < t1, "t1={t1} t2={t2}");
+        assert!(t4 < t2, "t2={t2} t4={t4}");
+        assert!(t1 / t4 < 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_indivisible_grid() {
+        let a = random_matrix(5, 5, 1);
+        let b = random_matrix(5, 5, 2);
+        let mut scl = Scl::ap1000(4);
+        let _ = cannon_matmul(&mut scl, &a, &b, 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Gauss–Jordan elimination with partial pivoting (paper §3).
+//!
+//! The paper's program:
+//!
+//! ```text
+//! gauss A p = iterFor p elimPivot DA
+//!   where DA = partition [column_block p] A
+//!         elimPivot i x = map (UPDATE i) (applybrdcast (PARTIALPIVOT i) i x)
+//! ```
+//!
+//! The augmented matrix `[A | b]` is distributed **column-block** over the
+//! processors; each of the `n` iterations selects the pivot row on the
+//! processor owning column `i` (`PARTIALPIVOT`), broadcasts it together with
+//! the pivot column, and every processor updates its local columns in
+//! parallel (`UPDATE`). After `n` iterations `A` has been reduced to the
+//! identity and the last column holds the solution.
+
+use crate::seqkit::{gauss_update, partial_pivot};
+use scl_core::prelude::*;
+
+/// Sequential Gauss–Jordan with partial pivoting (the baseline).
+///
+/// # Panics
+/// Panics on a singular system.
+pub fn gauss_jordan_seq(a: &Matrix<f64>, b: &[f64]) -> Vec<f64> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "square systems only");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // augmented matrix, column-major columns for locality with the
+    // distributed version's arithmetic order
+    let mut cols: Vec<Vec<f64>> = (0..n + 1)
+        .map(|c| {
+            if c < n {
+                (0..n).map(|r| *a.get(r, c)).collect()
+            } else {
+                b.to_vec()
+            }
+        })
+        .collect();
+    for i in 0..n {
+        let (prow, _) = partial_pivot(&cols[i], i);
+        for col in cols.iter_mut() {
+            col.swap(i, prow);
+        }
+        let pivot_col = cols[i].clone();
+        for col in cols.iter_mut() {
+            let _ = gauss_update(col, &pivot_col, i);
+        }
+    }
+    cols[n].clone()
+}
+
+/// A processor's block of the augmented matrix: the columns it owns (by
+/// global column index) stored as column vectors.
+type ColBlock = Vec<(usize, Vec<f64>)>;
+
+/// SCL Gauss–Jordan: solve `A x = b` on `p` processors of the context's
+/// machine. Returns `x`; read `scl.makespan()` for the predicted time.
+///
+/// # Panics
+/// Panics on non-square input, a singular system, or `p` exceeding the
+/// machine size.
+pub fn gauss_jordan_scl(scl: &mut Scl, a: &Matrix<f64>, b: &[f64], p: usize) -> Vec<f64> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "square systems only");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    scl.check_fits(p);
+    scl.machine.barrier();
+
+    // Distribute the n+1 augmented columns column-block over p processors.
+    // (partition of column indices; the data is shipped with it)
+    let col_ids: Vec<usize> = (0..n + 1).collect();
+    let id_blocks = scl.partition(Pattern::Block(p), &col_ids);
+    let da: ParArray<ColBlock> = id_blocks.map_into(|_, ids| {
+        ids.into_iter()
+            .map(|c| {
+                let col: Vec<f64> =
+                    if c < n { (0..n).map(|r| *a.get(r, c)).collect() } else { b.to_vec() };
+                (c, col)
+            })
+            .collect()
+    });
+    // charge the column payload scatter (the id partition above only
+    // charged the index vector)
+    let bytes_per_part = (n + 1).div_ceil(p) * n * 8;
+    scl.machine.scatter(da.procs(), bytes_per_part);
+
+    // iterFor n elimPivot
+    let owner_of = move |c: usize| scl_core::owner_1d(Pattern::Block(p), n + 1, c);
+    let solved = scl.iter_for(n, |scl, i, da: ParArray<ColBlock>| {
+        // applybrdcast (PARTIALPIVOT i) (owner i) DA:
+        // the owner of column i finds the pivot row and broadcasts
+        // (pivot_row, column i's values)
+        let cfg = scl.apply_brdcast_costed(
+            |block: &ColBlock| {
+                let (_, col) = block
+                    .iter()
+                    .find(|(c, _)| *c == i)
+                    .expect("owner block must contain column i");
+                let (prow, w) = partial_pivot(col, i);
+                ((prow, col.clone()), w)
+            },
+            owner_of(i),
+            &da,
+        );
+        // map (UPDATE i): swap rows i/prow locally, then annihilate
+        scl.map_costed(&cfg, |((prow, pivot_col), block)| {
+            let mut pivot_col = pivot_col.clone();
+            pivot_col.swap(i, *prow);
+            let mut out = block.clone();
+            let mut work = Work::moves(2 * out.len() as u64);
+            for (_, col) in out.iter_mut() {
+                col.swap(i, *prow);
+                work += gauss_update(col, &pivot_col, i);
+            }
+            (out, work)
+        })
+    }, da);
+
+    // The solution is the last augmented column; fetch it from its owner.
+    let last_owner = owner_of(n);
+    let x = solved.part(last_owner).iter().find(|(c, _)| *c == n).unwrap().1.clone();
+    scl.machine.send(last_owner, 0, n * 8);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{diag_dominant_system, residual};
+
+    #[test]
+    fn seq_solves_identity() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = gauss_jordan_seq(&a, &b);
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn seq_solves_known_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, -1.0]);
+        let x = gauss_jordan_seq(&a, &[5.0, 1.0]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seq_random_systems_have_tiny_residual() {
+        for n in [1, 2, 5, 12, 30] {
+            let (a, b) = diag_dominant_system(n, n as u64);
+            let x = gauss_jordan_seq(&a, &b);
+            assert!(residual(&a, &x, &b) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn seq_pivoting_handles_zero_leading_entry() {
+        // a11 = 0 forces a row swap
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = gauss_jordan_seq(&a, &[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scl_matches_sequential_bitwise() {
+        for (n, p) in [(6usize, 1usize), (6, 2), (6, 4), (13, 4), (20, 8)] {
+            let (a, b) = diag_dominant_system(n, 77);
+            let seq = gauss_jordan_seq(&a, &b);
+            let mut scl = Scl::ap1000(p.max(1));
+            let par = gauss_jordan_scl(&mut scl, &a, &b, p);
+            // identical arithmetic order per column => bitwise equal
+            assert_eq!(par, seq, "n={n} p={p}");
+            assert!(scl.makespan() > Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn scl_residual_small() {
+        let (a, b) = diag_dominant_system(24, 5);
+        let mut scl = Scl::ap1000(6);
+        let x = gauss_jordan_scl(&mut scl, &a, &b, 6);
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn scl_charges_broadcasts_per_iteration() {
+        let (a, b) = diag_dominant_system(10, 1);
+        let mut scl = Scl::ap1000(4);
+        let _ = gauss_jordan_scl(&mut scl, &a, &b, 4);
+        // one applybrdcast per iteration
+        assert_eq!(scl.machine.metrics.broadcasts, 10);
+        assert!(scl.machine.metrics.flops > 0);
+    }
+
+    #[test]
+    fn more_processors_do_not_slow_it_down() {
+        let (a, b) = diag_dominant_system(48, 9);
+        let time = |p: usize| {
+            let mut scl = Scl::ap1000(p);
+            let _ = gauss_jordan_scl(&mut scl, &a, &b, p);
+            scl.makespan().as_secs()
+        };
+        let t1 = time(1);
+        let t4 = time(4);
+        assert!(t4 < t1, "t1={t1} t4={t4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let a = Matrix::filled(2, 3, 1.0);
+        let _ = gauss_jordan_seq(&a, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Distributed histogram — the irregular many-to-one workload.
+//!
+//! Each processor counts its local values into `buckets` bins, then the
+//! partial counts travel to the processor that *owns* each bin range
+//! (block distribution of bins over processors) via a total exchange; the
+//! owners reduce their incoming partials and the result is gathered. This
+//! is the paper's motivating case for the irregular `send` family: the
+//! destination of a datum is a function of its *value*, not its index.
+
+use scl_core::prelude::*;
+use scl_core::block_ranges;
+
+/// Sequential baseline.
+pub fn histogram_seq(values: &[u64], buckets: usize) -> Vec<u64> {
+    let mut h = vec![0u64; buckets];
+    for &v in values {
+        h[(v as usize) % buckets] += 1;
+    }
+    h
+}
+
+/// SCL histogram on `p` processors. `values` are binned by `value %
+/// buckets`. Returns counts per bucket; read `scl.makespan()` for the
+/// predicted time.
+pub fn histogram_scl(scl: &mut Scl, values: &[u64], buckets: usize, p: usize) -> Vec<u64> {
+    assert!(buckets > 0, "need at least one bucket");
+    scl.check_fits(p);
+    scl.machine.barrier();
+    let ranges = block_ranges(buckets, p);
+
+    // local counting
+    let da = scl.partition(Pattern::Block(p), values);
+    let counts = scl.map_costed(&da, |part| {
+        let mut h = vec![0u64; buckets];
+        for &v in part {
+            h[(v as usize) % buckets] += 1;
+        }
+        (h, Work::cmps(part.len() as u64))
+    });
+
+    // slice each local histogram into per-owner fragments and exchange
+    let ranges_for_split = ranges.clone();
+    let fragments = scl.map_costed(&counts, move |h| {
+        let frags: Vec<Vec<u64>> =
+            ranges_for_split.iter().map(|r| h[r.clone()].to_vec()).collect();
+        (frags, Work::moves(h.len() as u64))
+    });
+    let exchanged = scl.total_exchange(&fragments);
+
+    // each owner sums the p incoming partials for its bin range
+    let reduced = scl.map_costed(&exchanged, |partials| {
+        let width = partials.first().map(Vec::len).unwrap_or(0);
+        let mut acc = vec![0u64; width];
+        for part in partials {
+            for (a, x) in acc.iter_mut().zip(part) {
+                *a += x;
+            }
+        }
+        let flops = (width * partials.len()) as u64;
+        (acc, Work::flops(flops))
+    });
+
+    scl.gather(&reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::uniform_keys;
+
+    fn values(n: usize, seed: u64) -> Vec<u64> {
+        uniform_keys(n, seed).into_iter().map(|x| x as u64).collect()
+    }
+
+    #[test]
+    fn matches_sequential() {
+        let v = values(5000, 3);
+        for (buckets, p) in [(16usize, 4usize), (10, 3), (64, 8), (5, 8), (1, 2)] {
+            let expect = histogram_seq(&v, buckets);
+            let mut scl = Scl::ap1000(p);
+            let got = histogram_scl(&mut scl, &v, buckets, p);
+            assert_eq!(got, expect, "buckets={buckets} p={p}");
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        let v = values(1234, 9);
+        let mut scl = Scl::ap1000(4);
+        let h = histogram_scl(&mut scl, &v, 32, 4);
+        assert_eq!(h.iter().sum::<u64>(), 1234);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut scl = Scl::ap1000(4);
+        let h = histogram_scl(&mut scl, &[], 8, 4);
+        assert_eq!(h, vec![0u64; 8]);
+    }
+
+    #[test]
+    fn more_buckets_than_needed() {
+        let mut scl = Scl::ap1000(2);
+        let h = histogram_scl(&mut scl, &[1, 1, 1], 100, 2);
+        assert_eq!(h[1], 3);
+        assert_eq!(h.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn charges_exchange_traffic() {
+        let v = values(1000, 4);
+        let mut scl = Scl::ap1000(4);
+        let _ = histogram_scl(&mut scl, &v, 16, 4);
+        assert_eq!(scl.machine.metrics.exchanges, 1);
+        assert!(scl.makespan() > Time::ZERO);
+    }
+}

@@ -1,0 +1,261 @@
+//! K-means clustering (Lloyd's algorithm) — `iterUntil` with broadcast
+//! centroids and a global reduction of partial sums.
+//!
+//! Structure per sweep: `brdcast` the centroids to every part, locally
+//! assign points and accumulate per-cluster sums (`map_costed`), reduce
+//! the partial sums with `fold`, recompute centroids, repeat until no
+//! assignment changes (or `max_iters`). This is the canonical
+//! "data-parallel iteration with small global state" shape that the
+//! paper's `iterUntil` skeleton exists for.
+
+use crate::workloads;
+use scl_core::prelude::*;
+
+/// Per-cluster partial statistics: sum of coordinates and count.
+type Partial = Vec<([f64; 2], u64)>;
+
+/// Result of a K-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Final centroids, `k` of them.
+    pub centroids: Vec<[f64; 2]>,
+    /// Cluster index per input point.
+    pub assignment: Vec<usize>,
+    /// Sweeps performed.
+    pub iterations: usize,
+}
+
+fn dist2(a: [f64; 2], b: [f64; 2]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    dx * dx + dy * dy
+}
+
+fn nearest(p: [f64; 2], centroids: &[[f64; 2]]) -> usize {
+    let mut best = 0;
+    let mut bd = f64::INFINITY;
+    for (c, &cen) in centroids.iter().enumerate() {
+        let d = dist2(p, cen);
+        if d < bd {
+            bd = d;
+            best = c;
+        }
+    }
+    best
+}
+
+fn merge_partials(a: &Partial, b: &Partial) -> Partial {
+    a.iter()
+        .zip(b)
+        .map(|((sa, ca), (sb, cb))| ([sa[0] + sb[0], sa[1] + sb[1]], ca + cb))
+        .collect()
+}
+
+/// Sequential Lloyd's algorithm baseline.
+pub fn kmeans_seq(
+    points: &[[f64; 2]],
+    init: &[[f64; 2]],
+    max_iters: usize,
+) -> KmeansResult {
+    let k = init.len();
+    let mut centroids = init.to_vec();
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    loop {
+        let mut changed = false;
+        let mut sums: Partial = vec![([0.0; 2], 0); k];
+        for (i, p) in points.iter().enumerate() {
+            let c = nearest(*p, &centroids);
+            if assignment[i] != c {
+                changed = true;
+            }
+            assignment[i] = c;
+            sums[c].0[0] += p[0];
+            sums[c].0[1] += p[1];
+            sums[c].1 += 1;
+        }
+        for c in 0..k {
+            if sums[c].1 > 0 {
+                centroids[c] = [sums[c].0[0] / sums[c].1 as f64, sums[c].0[1] / sums[c].1 as f64];
+            }
+        }
+        iterations += 1;
+        if !changed || iterations >= max_iters {
+            break;
+        }
+    }
+    KmeansResult { centroids, assignment, iterations }
+}
+
+/// SCL K-means on `p` processors.
+pub fn kmeans_scl(
+    scl: &mut Scl,
+    points: &[[f64; 2]],
+    init: &[[f64; 2]],
+    p: usize,
+    max_iters: usize,
+) -> KmeansResult {
+    let k = init.len();
+    assert!(k > 0, "need at least one centroid");
+    scl.check_fits(p);
+    scl.machine.barrier();
+
+    // [f64; 2] has no Bytes impl; ship coordinates as flat pairs
+    let flat: Vec<(f64, f64)> = points.iter().map(|q| (q[0], q[1])).collect();
+    let da = scl.partition(Pattern::Block(p), &flat);
+
+    type State = (Vec<[f64; 2]>, Vec<Vec<usize>>, bool, usize);
+    let (centroids, local_assign, _, iterations) = scl.iter_until(
+        |scl, (centroids, prev_assign, _, iters): State| {
+            // broadcast the k centroids (flattened for wire sizing)
+            let wire: Vec<(f64, f64)> = centroids.iter().map(|c| (c[0], c[1])).collect();
+            let cfg = scl.brdcast(&wire, &da);
+
+            // local assignment + partial sums
+            let swept = scl.imap_costed(&cfg, |part_idx, (wire, pts)| {
+                let cents: Vec<[f64; 2]> = wire.iter().map(|&(x, y)| [x, y]).collect();
+                let mut sums: Partial = vec![([0.0; 2], 0); k];
+                let mut assign = Vec::with_capacity(pts.len());
+                let mut changed = false;
+                for (i, &(x, y)) in pts.iter().enumerate() {
+                    let c = nearest([x, y], &cents);
+                    if prev_assign[part_idx].get(i) != Some(&c) {
+                        changed = true;
+                    }
+                    assign.push(c);
+                    sums[c].0[0] += x;
+                    sums[c].0[1] += y;
+                    sums[c].1 += 1;
+                }
+                let flops = (pts.len() * k * 4) as u64;
+                ((sums, assign, changed), Work::flops(flops))
+            });
+
+            // global reduction of the partials (fold over a wire-friendly
+            // flattened representation)
+            let partials = swept.map_parts(|(sums, _, _)| {
+                let flat: Vec<(f64, f64, u64)> =
+                    sums.iter().map(|(s, c)| (s[0], s[1], *c)).collect();
+                flat
+            });
+            let total = scl.fold(&partials, |a, b| {
+                let pa: Partial = a.iter().map(|&(x, y, c)| ([x, y], c)).collect();
+                let pb: Partial = b.iter().map(|&(x, y, c)| ([x, y], c)).collect();
+                merge_partials(&pa, &pb).iter().map(|(s, c)| (s[0], s[1], *c)).collect()
+            });
+
+            // new centroids; empty clusters keep their position
+            let mut next = centroids.clone();
+            for (c, &(sx, sy, cnt)) in total.iter().enumerate() {
+                if cnt > 0 {
+                    next[c] = [sx / cnt as f64, sy / cnt as f64];
+                }
+            }
+            let assigns: Vec<Vec<usize>> =
+                swept.parts().iter().map(|(_, a, _)| a.clone()).collect();
+            let changed = swept.parts().iter().any(|(_, _, ch)| *ch);
+            (next, assigns, changed, iters + 1)
+        },
+        |_, s| s,
+        |(_, _, changed, iters): &State| (!changed && *iters > 0) || *iters >= max_iters,
+        (init.to_vec(), vec![Vec::new(); p], true, 0usize),
+    );
+
+    KmeansResult {
+        centroids,
+        assignment: local_assign.into_iter().flatten().collect(),
+        iterations,
+    }
+}
+
+/// Inertia (sum of squared distances to the assigned centroid) — the
+/// quantity Lloyd's algorithm monotonically decreases.
+pub fn inertia(points: &[[f64; 2]], result: &KmeansResult) -> f64 {
+    points
+        .iter()
+        .zip(&result.assignment)
+        .map(|(p, &c)| dist2(*p, result.centroids[c]))
+        .sum()
+}
+
+/// Random points in the unit square.
+pub fn random_points(n: usize, seed: u64) -> Vec<[f64; 2]> {
+    let raw = workloads::uniform_keys(2 * n, seed);
+    (0..n)
+        .map(|i| {
+            [
+                (raw[2 * i] % 1_000_000) as f64 / 1e6,
+                (raw[2 * i + 1] % 1_000_000) as f64 / 1e6,
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init_centroids(k: usize) -> Vec<[f64; 2]> {
+        (0..k).map(|i| [i as f64 / k as f64 + 0.01, 0.5]).collect()
+    }
+
+    #[test]
+    fn seq_converges_and_partitions() {
+        let pts = random_points(300, 11);
+        let r = kmeans_seq(&pts, &init_centroids(4), 100);
+        assert_eq!(r.centroids.len(), 4);
+        assert_eq!(r.assignment.len(), 300);
+        assert!(r.iterations < 100, "should converge");
+        assert!(r.assignment.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn scl_matches_sequential_assignments() {
+        let pts = random_points(300, 11);
+        let seq = kmeans_seq(&pts, &init_centroids(4), 100);
+        for p in [1usize, 2, 4, 8] {
+            let mut scl = Scl::ap1000(p);
+            let par = kmeans_scl(&mut scl, &pts, &init_centroids(4), p, 100);
+            assert_eq!(par.assignment, seq.assignment, "p={p}");
+            assert_eq!(par.iterations, seq.iterations, "p={p}");
+            for (a, b) in par.centroids.iter().zip(&seq.centroids) {
+                assert!((a[0] - b[0]).abs() < 1e-9 && (a[1] - b[1]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_iterations() {
+        let pts = random_points(400, 9);
+        let one = kmeans_seq(&pts, &init_centroids(3), 1);
+        let many = kmeans_seq(&pts, &init_centroids(3), 50);
+        assert!(inertia(&pts, &many) <= inertia(&pts, &one) + 1e-12);
+    }
+
+    #[test]
+    fn respects_max_iters() {
+        let pts = random_points(200, 4);
+        let mut scl = Scl::ap1000(4);
+        let r = kmeans_scl(&mut scl, &pts, &init_centroids(5), 4, 2);
+        assert_eq!(r.iterations, 2);
+    }
+
+    #[test]
+    fn charges_broadcast_and_reduction_per_sweep() {
+        let pts = random_points(200, 4);
+        let mut scl = Scl::ap1000(4);
+        let r = kmeans_scl(&mut scl, &pts, &init_centroids(3), 4, 10);
+        assert_eq!(scl.machine.metrics.broadcasts as usize, r.iterations);
+        assert_eq!(scl.machine.metrics.reductions as usize, r.iterations);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_centroid() {
+        // a far-away centroid attracts nothing and must stay put
+        let pts = vec![[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]];
+        let init = vec![[0.05, 0.05], [99.0, 99.0]];
+        let r = kmeans_seq(&pts, &init, 10);
+        assert_eq!(r.centroids[1], [99.0, 99.0]);
+        assert!(r.assignment.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # scl-apps — applications written in SCL
+//!
+//! The paper demonstrates SCL by composing sequential procedures with
+//! skeletons; this crate holds those programs plus the workloads the
+//! benchmark harness sweeps:
+//!
+//! * [`gauss`] — Gauss–Jordan elimination with partial pivoting (§3's first
+//!   example: column-block distribution, `iterFor`, `applybrdcast`,
+//!   `map UPDATE`).
+//! * [`hyperquicksort`] — the §3 nested recursive form *and* the §5
+//!   flattened iterative form actually measured for Table 1 / Figure 3.
+//! * [`psrs`] — Parallel Sorting by Regular Sampling, the comparison sort
+//!   ("the best speedup available for this problem").
+//! * [`cannon`] — Cannon's matrix multiply (grid distribution +
+//!   `rotate_row`/`rotate_col`).
+//! * [`jacobi`] — 1-D Jacobi relaxation (`iterUntil`, shift-based halos,
+//!   global residual fold).
+//! * [`histogram`] — irregular many-to-one counting (total exchange).
+//! * [`nbody`] — systolic all-pairs N-body forces on a rotating ring.
+//! * [`fft`] — binary-exchange parallel FFT on the hypercube.
+//! * [`kmeans`] — Lloyd's clustering under `iterUntil` (broadcast
+//!   centroids, reduce partial sums).
+//! * [`seqkit`] — the instrumented sequential kernels (`SEQ_QUICKSORT`,
+//!   `MIDVALUE`, `SPLIT`, `MERGE`, `PARTIALPIVOT`, `UPDATE`) that report
+//!   their own operation counts for deterministic cost accounting.
+//! * [`workloads`] — seeded input generators.
+
+pub mod cannon;
+pub mod fft;
+pub mod gauss;
+pub mod histogram;
+pub mod hyperquicksort;
+pub mod jacobi;
+pub mod kmeans;
+pub mod nbody;
+pub mod psrs;
+pub mod seqkit;
+pub mod workloads;
+
+pub use cannon::cannon_matmul;
+pub use fft::{dft_naive, fft_scl, fft_seq};
+pub use gauss::{gauss_jordan_scl, gauss_jordan_seq};
+pub use histogram::{histogram_scl, histogram_seq};
+pub use hyperquicksort::{
+    globally_sorted, hyperquicksort_dc, hyperquicksort_flat, hyperquicksort_nested,
+    sequential_sort,
+};
+pub use jacobi::{jacobi_scl, jacobi_seq, JacobiResult};
+pub use kmeans::{kmeans_scl, kmeans_seq, KmeansResult};
+pub use nbody::{forces_scl, forces_seq, Body};
+pub use psrs::psrs_sort;

@@ -1,0 +1,281 @@
+//! Instrumented sequential kernels — the "base language" procedures.
+//!
+//! The paper's two-tier model leaves all sequential computation to ordinary
+//! procedures (`SEQ_QUICKSORT`, `MIDVALUE`, `SPLIT`, `MERGE`,
+//! `PARTIALPIVOT`, `UPDATE`, …). These are those procedures, in Rust, with
+//! one addition: each *counts the abstract operations it performs*
+//! (comparisons, element moves, flops) and reports them as
+//! [`Work`], so the simulated machine can charge deterministic,
+//! host-independent costs. The counts — not host timing — are what make the
+//! reproduced Table 1 / Figure 3 exactly reproducible.
+
+use scl_machine::Work;
+
+/// Quicksort (Hoare partition, median-of-three pivot), counting key
+/// comparisons. This is the paper's `SEQ_QUICKSORT`.
+pub fn seq_quicksort(v: &mut [i64]) -> Work {
+    let mut cmps = 0u64;
+    let mut moves = 0u64;
+    quicksort_rec(v, &mut cmps, &mut moves);
+    Work { cmps, moves, ..Work::NONE }
+}
+
+fn quicksort_rec(v: &mut [i64], cmps: &mut u64, moves: &mut u64) {
+    let n = v.len();
+    if n <= 16 {
+        // insertion sort for small runs
+        for i in 1..n {
+            let mut j = i;
+            while j > 0 {
+                *cmps += 1;
+                if v[j - 1] > v[j] {
+                    v.swap(j - 1, j);
+                    *moves += 1;
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        return;
+    }
+    // median-of-three pivot selection
+    let mid = n / 2;
+    *cmps += 3;
+    let (a, b, c) = (v[0], v[mid], v[n - 1]);
+    let pivot = if (a <= b) == (b <= c) {
+        b
+    } else if (b <= a) == (a <= c) {
+        a
+    } else {
+        c
+    };
+    // Hoare partition
+    let (mut i, mut j) = (0usize, n - 1);
+    loop {
+        loop {
+            *cmps += 1;
+            if v[i] >= pivot {
+                break;
+            }
+            i += 1;
+        }
+        loop {
+            *cmps += 1;
+            if v[j] <= pivot {
+                break;
+            }
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        v.swap(i, j);
+        *moves += 1;
+        i += 1;
+        j -= 1;
+    }
+    let split = j + 1;
+    let (lo, hi) = v.split_at_mut(split);
+    quicksort_rec(lo, cmps, moves);
+    quicksort_rec(hi, cmps, moves);
+}
+
+/// Median of a **sorted** slice — the paper's `MIDVALUE`. O(1).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn midvalue(sorted: &[i64]) -> (i64, Work) {
+    assert!(!sorted.is_empty(), "MIDVALUE of empty data");
+    (sorted[sorted.len() / 2], Work::cmps(1))
+}
+
+/// Split a **sorted** slice around a pivot — the paper's `SPLIT`: returns
+/// `(low, high)` with `low ≤ pivot < high`. Binary search, so O(log n)
+/// comparisons.
+pub fn split_sorted(sorted: &[i64], pivot: i64) -> (Vec<i64>, Vec<i64>, Work) {
+    let cut = sorted.partition_point(|&x| x <= pivot);
+    let cmps = (sorted.len().max(1) as f64).log2().ceil() as u64 + 1;
+    let moves = sorted.len() as u64;
+    (
+        sorted[..cut].to_vec(),
+        sorted[cut..].to_vec(),
+        Work { cmps, moves, ..Work::NONE },
+    )
+}
+
+/// Merge two **sorted** slices — the paper's `MERGE`. O(n + m).
+pub fn merge_sorted(a: &[i64], b: &[i64]) -> (Vec<i64>, Work) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    let mut cmps = 0u64;
+    while i < a.len() && j < b.len() {
+        cmps += 1;
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    let moves = out.len() as u64;
+    (out, Work { cmps, moves, ..Work::NONE })
+}
+
+/// Is the slice sorted ascending?
+pub fn is_sorted(v: &[i64]) -> bool {
+    v.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// `PARTIALPIVOT` for Gauss–Jordan: among rows `from..`, find the row with
+/// the largest `|column[row]|`. Returns `(row_index, work)`.
+pub fn partial_pivot(column: &[f64], from: usize) -> (usize, Work) {
+    assert!(from < column.len(), "pivot search past end of column");
+    let mut best = from;
+    let mut cmps = 0u64;
+    for r in from + 1..column.len() {
+        cmps += 1;
+        if column[r].abs() > column[best].abs() {
+            best = r;
+        }
+    }
+    (best, Work::cmps(cmps))
+}
+
+/// One `UPDATE` step of Gauss–Jordan elimination applied to a column
+/// fragment: given the pivot column values and the pivot row index,
+/// annihilate all non-pivot entries of `col` (scale pivot row entry,
+/// subtract multiples elsewhere). Returns flops performed.
+///
+/// `col` is this processor's fragment of some matrix column; `pivot_col`
+/// holds the *whole* pivot column (broadcast), `prow` the pivot row.
+pub fn gauss_update(col: &mut [f64], pivot_col: &[f64], prow: usize) -> Work {
+    assert_eq!(col.len(), pivot_col.len(), "column length mismatch");
+    let piv = pivot_col[prow];
+    assert!(piv != 0.0, "zero pivot — singular system");
+    let mut flops = 0u64;
+    let scaled = col[prow] / piv;
+    flops += 1;
+    for r in 0..col.len() {
+        if r != prow {
+            col[r] -= pivot_col[r] * scaled;
+            flops += 2;
+        }
+    }
+    col[prow] = scaled;
+    Work::flops(flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quicksort_sorts_and_counts() {
+        let mut v = vec![5, 3, 9, 1, 7, 2, 8, 0, 4, 6, 5, 5, -3, 100, 42, 17, 23, 11];
+        let w = seq_quicksort(&mut v);
+        assert!(is_sorted(&v));
+        assert!(w.cmps > 0);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn quicksort_handles_edges() {
+        let mut empty: Vec<i64> = vec![];
+        assert_eq!(seq_quicksort(&mut empty).cmps, 0);
+        let mut one = vec![7];
+        seq_quicksort(&mut one);
+        assert_eq!(one, vec![7]);
+        let mut dup = vec![2i64; 100];
+        seq_quicksort(&mut dup);
+        assert_eq!(dup, vec![2i64; 100]);
+        let mut rev: Vec<i64> = (0..200).rev().collect();
+        seq_quicksort(&mut rev);
+        assert!(is_sorted(&rev));
+    }
+
+    #[test]
+    fn quicksort_work_scales_near_nlogn() {
+        let mk = |n: usize| -> u64 {
+            let mut v: Vec<i64> = (0..n as i64).map(|i| (i * 2654435761) % 1000003).collect();
+            seq_quicksort(&mut v).cmps
+        };
+        let c1k = mk(1000) as f64;
+        let c8k = mk(8000) as f64;
+        let ratio = c8k / c1k;
+        // n log n predicts 8 * log(8000)/log(1000) ≈ 10.4; accept broad band
+        assert!(ratio > 6.0 && ratio < 16.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn midvalue_of_sorted() {
+        assert_eq!(midvalue(&[1, 3, 5]).0, 3);
+        assert_eq!(midvalue(&[1, 3, 5, 9]).0, 5);
+        assert_eq!(midvalue(&[42]).0, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn midvalue_empty_panics() {
+        let _ = midvalue(&[]);
+    }
+
+    #[test]
+    fn split_respects_pivot() {
+        let v = vec![1, 2, 4, 4, 6, 9];
+        let (lo, hi, _) = split_sorted(&v, 4);
+        assert_eq!(lo, vec![1, 2, 4, 4]);
+        assert_eq!(hi, vec![6, 9]);
+        let (lo, hi, _) = split_sorted(&v, 0);
+        assert!(lo.is_empty());
+        assert_eq!(hi.len(), 6);
+        let (lo, hi, _) = split_sorted(&v, 100);
+        assert_eq!(lo.len(), 6);
+        assert!(hi.is_empty());
+        let (lo, hi, _) = split_sorted(&[], 5);
+        assert!(lo.is_empty() && hi.is_empty());
+    }
+
+    #[test]
+    fn merge_is_correct_and_counts_moves() {
+        let (m, w) = merge_sorted(&[1, 4, 6], &[2, 3, 5, 7]);
+        assert_eq!(m, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(w.moves, 7);
+        assert!(w.cmps >= 5);
+        let (m, _) = merge_sorted(&[], &[1, 2]);
+        assert_eq!(m, vec![1, 2]);
+        let (m, _) = merge_sorted(&[1, 2], &[]);
+        assert_eq!(m, vec![1, 2]);
+    }
+
+    #[test]
+    fn partial_pivot_finds_largest_abs() {
+        let col = vec![1.0, -9.0, 3.0, 8.5];
+        assert_eq!(partial_pivot(&col, 0).0, 1);
+        assert_eq!(partial_pivot(&col, 2).0, 3);
+        assert_eq!(partial_pivot(&col, 3).0, 3);
+    }
+
+    #[test]
+    fn gauss_update_annihilates() {
+        // pivot column after elimination must be e_prow
+        let pivot_col = vec![2.0, 4.0, -2.0];
+        let mut col = pivot_col.clone();
+        let w = gauss_update(&mut col, &pivot_col, 0);
+        assert_eq!(col, vec![1.0, 0.0, 0.0]);
+        assert!(w.flops > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn gauss_update_zero_pivot_panics() {
+        let pivot_col = vec![0.0, 1.0];
+        let mut col = vec![1.0, 1.0];
+        let _ = gauss_update(&mut col, &pivot_col, 0);
+    }
+}

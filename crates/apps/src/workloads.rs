@@ -1,0 +1,104 @@
+//! Deterministic workload generators.
+//!
+//! The paper sorts "a vector of random numbers" and solves random linear
+//! systems; these helpers produce the equivalents, seeded so that every
+//! test, bench and table row is exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scl_core::Matrix;
+
+/// `n` uniform random `i64` keys in `[0, 10^9)`.
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..1_000_000_000i64)).collect()
+}
+
+/// Already-sorted keys (adversarial for naive quicksort pivots).
+pub fn sorted_keys(n: usize) -> Vec<i64> {
+    (0..n as i64).collect()
+}
+
+/// Reverse-sorted keys.
+pub fn reverse_keys(n: usize) -> Vec<i64> {
+    (0..n as i64).rev().collect()
+}
+
+/// Keys drawn from only `k` distinct values (duplicate-heavy).
+pub fn few_unique_keys(n: usize, k: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..k.max(1) as i64)).collect()
+}
+
+/// A random, strictly diagonally dominant `n × n` system `(A, b)` — always
+/// non-singular and well-conditioned, so Gauss–Jordan with partial pivoting
+/// solves it stably.
+pub fn diag_dominant_system(n: usize, seed: u64) -> (Matrix<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a: Matrix<f64> = Matrix::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+    for i in 0..n {
+        let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+        a.set(i, i, row_sum + rng.random_range(1.0..2.0));
+    }
+    let b: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+    (a, b)
+}
+
+/// A random dense matrix with entries in `[-1, 1]`.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0..1.0))
+}
+
+/// Residual `max_i |A x − b|_i` of a proposed solution.
+pub fn residual(a: &Matrix<f64>, x: &[f64], b: &[f64]) -> f64 {
+    a.matvec(x)
+        .iter()
+        .zip(b)
+        .map(|(ax, bb)| (ax - bb).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_keys(100, 7), uniform_keys(100, 7));
+        assert_ne!(uniform_keys(100, 7), uniform_keys(100, 8));
+        assert_eq!(few_unique_keys(50, 3, 1), few_unique_keys(50, 3, 1));
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let v = uniform_keys(1000, 42);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| (0..1_000_000_000).contains(&x)));
+        let f = few_unique_keys(1000, 4, 1);
+        let mut uniq = f.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() <= 4);
+        assert_eq!(sorted_keys(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(reverse_keys(3), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn diag_dominant_really_is() {
+        let (a, b) = diag_dominant_system(20, 3);
+        assert_eq!(b.len(), 20);
+        for i in 0..20 {
+            let off: f64 = (0..20).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+            assert!(a.get(i, i).abs() > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = Matrix::identity(3);
+        let b = vec![1.0, 2.0, 3.0];
+        assert_eq!(residual(&a, &b, &b), 0.0);
+        assert!(residual(&a, &[1.0, 2.0, 4.0], &b) > 0.9);
+    }
+}

@@ -1,0 +1,73 @@
+//! Benchmarks of the §4 transformation engine: fixpoint optimisation and
+//! cost-directed search throughput, and the virtual-cost gap between
+//! unoptimised and optimised programs (the ablation rows, measured as a
+//! bench so regressions show up).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scl_bench::ablation_rows;
+use scl_transform::prelude::*;
+use std::hint::black_box;
+
+fn chain_program(len: usize) -> Expr {
+    let names = ["inc", "double", "square", "neg"];
+    Expr::pipeline(
+        (0..len)
+            .map(|i| match i % 3 {
+                0 => Expr::Map(FnRef::named(names[i % names.len()])),
+                1 => Expr::Rotate((i as i64 % 5) - 2),
+                _ => Expr::Fetch(IdxRef::named("succ")),
+            })
+            .collect(),
+    )
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let reg = Registry::standard();
+    let mut g = c.benchmark_group("transform/fixpoint");
+    for len in [8usize, 32, 128] {
+        let e = chain_program(len);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &e, |b, e| {
+            b.iter(|| black_box(optimize(e.clone(), &reg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cost_directed(c: &mut Criterion) {
+    let reg = Registry::standard();
+    let params = CostParams::ap1000(64);
+    let mut g = c.benchmark_group("transform/cost-directed");
+    g.sample_size(10);
+    for len in [8usize, 24] {
+        let e = chain_program(len);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &e, |b, e| {
+            b.iter(|| black_box(optimize_costed(e.clone(), &reg, &params).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let reg = Registry::standard();
+    let e = chain_program(32);
+    let (opt, _) = optimize(e.clone(), &reg);
+    let data: Vec<i64> = (0..4096).collect();
+    let mut g = c.benchmark_group("transform/interp");
+    g.bench_function("unoptimized", |b| {
+        b.iter(|| black_box(eval(&e, &reg, Value::Arr(data.clone())).unwrap()))
+    });
+    g.bench_function("optimized", |b| {
+        b.iter(|| black_box(eval(&opt, &reg, Value::Arr(data.clone())).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_ablation_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform/ablations");
+    g.sample_size(10);
+    g.bench_function("full-suite", |b| b.iter(|| black_box(ablation_rows(1024))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fixpoint, bench_cost_directed, bench_interp, bench_ablation_suite);
+criterion_main!(benches);

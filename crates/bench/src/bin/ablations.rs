@@ -1,0 +1,47 @@
+//! §4 transformation ablations — no table in the paper, but DESIGN.md calls
+//! these out as the design-choice benches: what each rewrite law buys, on a
+//! representative program and machine, plus the communication share of the
+//! hyperquicksort prediction.
+//!
+//! ```text
+//! cargo run --release -p scl-bench --bin ablations [n]
+//! ```
+
+use scl_bench::{ablation_rows, comm_share};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+
+    println!("Transformation ablations (n = {n} elements, AP1000 cost model)");
+    println!();
+    println!("{:<22} {:>12} {:>12} {:>8} {:>6}", "rule", "cost_before", "cost_after", "saved%", "apps");
+    for row in ablation_rows(n) {
+        let saved = if row.cost_before > 0.0 {
+            100.0 * (row.cost_before - row.cost_after) / row.cost_before
+        } else {
+            0.0
+        };
+        println!(
+            "{:<22} {:>12.6} {:>12.6} {:>7.1}% {:>6}",
+            row.rule, row.cost_before, row.cost_after, saved, row.applications
+        );
+        println!("    before: {}", row.before);
+        println!("    after:  {}", row.after);
+    }
+
+    println!();
+    println!("Communication share of hyperquicksort (100k keys):");
+    for dim in [2u32, 3, 4, 5] {
+        let (full, zero) = comm_share(100_000, dim, 1995);
+        println!(
+            "  p={:>2}: full model {:>8.3}s, zero-comm {:>8.3}s  -> comm share {:>5.1}%",
+            1usize << dim,
+            full,
+            zero,
+            100.0 * (full - zero) / full
+        );
+    }
+}

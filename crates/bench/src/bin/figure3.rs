@@ -1,0 +1,52 @@
+//! Regenerates **Figure 3** of the paper: "Speedup of sorting on AP1000" —
+//! the hyperquicksort speedup curve against the linear-speedup reference,
+//! plus a PSRS series for the paper's "compares well with the best speedup
+//! available" claim.
+//!
+//! ```text
+//! cargo run --release -p scl-bench --bin figure3 [n] [seed]
+//! ```
+
+use scl_bench::{ascii_plot, psrs_rows, table1_rows};
+use scl_core::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1995);
+
+    println!("Figure 3: Speedup of sorting {n} integers (AP1000 cost model, seed {seed})");
+    println!();
+    let dims = [0u32, 1, 2, 3, 4, 5];
+    let hqs = table1_rows(n, seed, &dims, CostModel::ap1000());
+    let procs: Vec<usize> = dims.iter().map(|d| 1usize << d).collect();
+    let psrs = psrs_rows(n, seed, &procs, CostModel::ap1000());
+
+    println!("procs  hyperquicksort_speedup  psrs_speedup  linear");
+    for (h, s) in hqs.iter().zip(&psrs) {
+        println!(
+            "{:>5}  {:>22.2}  {:>12.2}  {:>6}",
+            h.procs, h.speedup, s.speedup, h.procs
+        );
+    }
+    println!();
+
+    let hqs_pts: Vec<(f64, f64)> =
+        hqs.iter().map(|r| (r.procs as f64, r.speedup)).collect();
+    let psrs_pts: Vec<(f64, f64)> =
+        psrs.iter().map(|r| (r.procs as f64, r.speedup)).collect();
+    let linear: Vec<(f64, f64)> =
+        (1..=32).map(|p| (p as f64, p as f64)).collect();
+    print!(
+        "{}",
+        ascii_plot(
+            &[
+                ("linear speedup", '.', linear),
+                ("hyperquicksort", '*', hqs_pts),
+                ("psrs", '+', psrs_pts),
+            ],
+            56,
+            18,
+        )
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Table 1** of the paper: "Performance of hyperquicksort" —
+//! total execution time in seconds as the number of processors increases,
+//! for the flattened SPMD hyperquicksort on an AP1000-like machine.
+//!
+//! ```text
+//! cargo run --release -p scl-bench --bin table1 [n] [seed]
+//! ```
+
+use scl_bench::{format_table1, table1_rows};
+use scl_core::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1995);
+
+    println!("Table 1: Performance of hyperquicksort");
+    println!("  (flattened SPMD form, {n} random 64-bit keys, AP1000 cost model,");
+    println!("   hypercube communication pattern, seed {seed})");
+    println!();
+    let rows = table1_rows(n, seed, &[0, 1, 2, 3, 4, 5], CostModel::ap1000());
+    print!("{}", format_table1(&rows));
+    println!();
+    println!("paper shape check:");
+    let falling = rows.windows(2).all(|w| w[1].seconds < w[0].seconds);
+    let last = rows.last().unwrap();
+    println!("  runtime monotonically falling over 1..32 procs: {falling}");
+    println!(
+        "  speedup at 32 procs: {:.2} (sublinear: {}) — the paper notes \"linear speedup is not possible with this problem\"",
+        last.speedup,
+        last.speedup < 32.0
+    );
+}

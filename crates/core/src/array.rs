@@ -1,0 +1,325 @@
+//! Distributed parallel arrays.
+//!
+//! [`ParArray<T>`] is SCL's `ParArray index α`: a collection of *parts*, one
+//! per virtual processor, each part owned by a machine processor recorded in
+//! the array's placement. Parts are usually sequential sub-arrays
+//! (`ParArray<Vec<T>>` after a `partition`), but any type works — including
+//! other `ParArray`s, which is how SCL expresses nested parallelism
+//! (processor groups).
+//!
+//! The grid shape distinguishes one-dimensional arrays from two-dimensional
+//! ones (needed by `rotate_row` / `rotate_col`); the placement ties parts to
+//! the simulated machine's clocks so skeletons charge the right processor.
+
+use crate::bytes::Bytes;
+use scl_machine::ProcId;
+use std::fmt;
+
+/// Logical arrangement of the parts of a [`ParArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridShape {
+    /// A flat sequence of `n` parts.
+    Dim1(usize),
+    /// An `r × c` grid of parts, row-major.
+    Dim2(usize, usize),
+}
+
+impl GridShape {
+    /// Total number of parts.
+    pub fn len(&self) -> usize {
+        match *self {
+            GridShape::Dim1(n) => n,
+            GridShape::Dim2(r, c) => r * c,
+        }
+    }
+
+    /// True when there are no parts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(rows, cols)` for 2-D shapes.
+    ///
+    /// # Panics
+    /// Panics on 1-D shapes.
+    pub fn dims2(&self) -> (usize, usize) {
+        match *self {
+            GridShape::Dim2(r, c) => (r, c),
+            GridShape::Dim1(_) => panic!("expected a 2-D ParArray grid"),
+        }
+    }
+}
+
+/// A distributed array: one part per virtual processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParArray<T> {
+    parts: Vec<T>,
+    procs: Vec<ProcId>,
+    shape: GridShape,
+}
+
+impl<T> ParArray<T> {
+    /// A 1-D distributed array placing part `i` on processor `i`.
+    pub fn from_parts(parts: Vec<T>) -> ParArray<T> {
+        let n = parts.len();
+        ParArray { parts, procs: (0..n).collect(), shape: GridShape::Dim1(n) }
+    }
+
+    /// A 1-D distributed array with an explicit placement.
+    ///
+    /// # Panics
+    /// Panics if `procs.len() != parts.len()`.
+    pub fn with_placement(parts: Vec<T>, procs: Vec<ProcId>) -> ParArray<T> {
+        assert_eq!(parts.len(), procs.len(), "placement length mismatch");
+        let n = parts.len();
+        ParArray { parts, procs, shape: GridShape::Dim1(n) }
+    }
+
+    /// An `r × c` grid of parts (row-major), part `(i,j)` on processor
+    /// `i*c + j`.
+    pub fn from_grid(rows: usize, cols: usize, parts: Vec<T>) -> ParArray<T> {
+        assert_eq!(parts.len(), rows * cols, "grid parts length mismatch");
+        let n = parts.len();
+        ParArray { parts, procs: (0..n).collect(), shape: GridShape::Dim2(rows, cols) }
+    }
+
+    /// Reinterpret a 1-D array of `r*c` parts as an `r × c` grid (placement
+    /// preserved).
+    pub fn reshape2(mut self, rows: usize, cols: usize) -> ParArray<T> {
+        assert_eq!(self.parts.len(), rows * cols, "reshape2 size mismatch");
+        self.shape = GridShape::Dim2(rows, cols);
+        self
+    }
+
+    /// Flatten the shape back to 1-D (placement preserved).
+    pub fn reshape1(mut self) -> ParArray<T> {
+        self.shape = GridShape::Dim1(self.parts.len());
+        self
+    }
+
+    /// Number of parts (= virtual processors spanned).
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when the array has no parts.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The logical grid shape.
+    pub fn shape(&self) -> GridShape {
+        self.shape
+    }
+
+    /// The owning processor of each part.
+    pub fn procs(&self) -> &[ProcId] {
+        &self.procs
+    }
+
+    /// Part `i`.
+    pub fn part(&self, i: usize) -> &T {
+        &self.parts[i]
+    }
+
+    /// Mutable part `i`.
+    pub fn part_mut(&mut self, i: usize) -> &mut T {
+        &mut self.parts[i]
+    }
+
+    /// Part at grid position `(r, c)` of a 2-D array.
+    pub fn part2(&self, r: usize, c: usize) -> &T {
+        let (_, cols) = self.shape.dims2();
+        &self.parts[r * cols + c]
+    }
+
+    /// All parts, in processor order.
+    pub fn parts(&self) -> &[T] {
+        &self.parts
+    }
+
+    /// Mutable access to all parts.
+    pub fn parts_mut(&mut self) -> &mut [T] {
+        &mut self.parts
+    }
+
+    /// Consume into the parts vector.
+    pub fn into_parts(self) -> Vec<T> {
+        self.parts
+    }
+
+    /// Consume into `(parts, procs, shape)`.
+    pub fn into_raw(self) -> (Vec<T>, Vec<ProcId>, GridShape) {
+        (self.parts, self.procs, self.shape)
+    }
+
+    /// Iterate `(&proc, &part)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&ProcId, &T)> {
+        self.procs.iter().zip(self.parts.iter())
+    }
+
+    /// Build an array with the same shape and placement as `template`, but
+    /// holding `parts` (the standard way skeletons rebuild their output).
+    ///
+    /// # Panics
+    /// Panics if `parts.len()` differs from the template's part count.
+    pub fn like<U>(template: &ParArray<U>, parts: Vec<T>) -> ParArray<T> {
+        assert_eq!(parts.len(), template.len(), "part count mismatch in ParArray::like");
+        ParArray { parts, procs: template.procs.clone(), shape: template.shape }
+    }
+
+    /// Rebuild with the same placement/shape but new parts produced by `f`
+    /// (pure data transformation; cost-free — skeletons in
+    /// [`crate::ctx::Scl`] are the costed path).
+    pub fn map_parts<U>(&self, f: impl FnMut(&T) -> U) -> ParArray<U> {
+        ParArray {
+            parts: self.parts.iter().map(f).collect(),
+            procs: self.procs.clone(),
+            shape: self.shape,
+        }
+    }
+
+    /// Like [`ParArray::map_parts`] but consuming, with the part index.
+    pub fn map_into<U>(self, mut f: impl FnMut(usize, T) -> U) -> ParArray<U> {
+        ParArray {
+            parts: self.parts.into_iter().enumerate().map(|(i, x)| f(i, x)).collect(),
+            procs: self.procs,
+            shape: self.shape,
+        }
+    }
+
+    /// True if the two arrays have identical shape and placement — the
+    /// precondition for `align`.
+    pub fn conforms<U>(&self, other: &ParArray<U>) -> bool {
+        self.shape == other.shape && self.procs == other.procs
+    }
+
+    /// Replace the placement (used by redistribution skeletons).
+    pub fn with_procs(mut self, procs: Vec<ProcId>) -> ParArray<T> {
+        assert_eq!(procs.len(), self.parts.len(), "placement length mismatch");
+        self.procs = procs;
+        self
+    }
+}
+
+impl<T: Clone> ParArray<T> {
+    /// Clone all parts into a plain vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.parts.clone()
+    }
+}
+
+impl<T: Bytes> Bytes for ParArray<T> {
+    fn bytes(&self) -> usize {
+        self.parts.iter().map(Bytes::bytes).sum()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for ParArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ParArray[{} parts]", self.parts.len())?;
+        for (p, x) in self.iter() {
+            writeln!(f, "  p{p}: {x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_places_identity() {
+        let a = ParArray::from_parts(vec![10, 20, 30]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.procs(), &[0, 1, 2]);
+        assert_eq!(a.shape(), GridShape::Dim1(3));
+        assert_eq!(*a.part(1), 20);
+    }
+
+    #[test]
+    fn with_placement_override() {
+        let a = ParArray::with_placement(vec![1, 2], vec![5, 9]);
+        assert_eq!(a.procs(), &[5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement length mismatch")]
+    fn placement_must_match() {
+        let _ = ParArray::with_placement(vec![1, 2], vec![0]);
+    }
+
+    #[test]
+    fn grid_and_part2() {
+        let g = ParArray::from_grid(2, 3, (0..6).collect());
+        assert_eq!(g.shape(), GridShape::Dim2(2, 3));
+        assert_eq!(*g.part2(1, 2), 5);
+        assert_eq!(g.shape().dims2(), (2, 3));
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let a = ParArray::from_parts((0..6).collect::<Vec<i32>>());
+        let g = a.clone().reshape2(2, 3);
+        assert_eq!(g.shape(), GridShape::Dim2(2, 3));
+        let b = g.reshape1();
+        assert_eq!(b.shape(), GridShape::Dim1(6));
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a 2-D")]
+    fn dims2_rejects_1d() {
+        let a = ParArray::from_parts(vec![1]);
+        let _ = a.shape().dims2();
+    }
+
+    #[test]
+    fn map_parts_preserves_placement() {
+        let a = ParArray::with_placement(vec![1, 2, 3], vec![4, 5, 6]);
+        let b = a.map_parts(|x| x * 10);
+        assert_eq!(b.to_vec(), vec![10, 20, 30]);
+        assert_eq!(b.procs(), &[4, 5, 6]);
+        assert!(a.conforms(&b));
+    }
+
+    #[test]
+    fn map_into_sees_indices() {
+        let a = ParArray::from_parts(vec![5, 5, 5]);
+        let b = a.map_into(|i, x| x + i as i32);
+        assert_eq!(b.to_vec(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn conformance_checks_shape_and_placement() {
+        let a = ParArray::from_parts(vec![1, 2, 3, 4, 5, 6]);
+        let b = ParArray::from_parts(vec![1, 2, 3, 4, 5, 6]).reshape2(2, 3);
+        assert!(!a.conforms(&b));
+        let c = ParArray::with_placement(vec![0; 6], vec![9, 1, 2, 3, 4, 5]);
+        assert!(!a.conforms(&c));
+    }
+
+    #[test]
+    fn bytes_sums_parts() {
+        let a = ParArray::from_parts(vec![vec![1i64, 2], vec![3i64]]);
+        assert_eq!(a.bytes(), 24);
+    }
+
+    #[test]
+    fn display_lists_parts() {
+        let a = ParArray::from_parts(vec![7, 8]);
+        let s = format!("{a}");
+        assert!(s.contains("p0: 7"));
+        assert!(s.contains("p1: 8"));
+    }
+
+    #[test]
+    fn into_raw_roundtrip() {
+        let a = ParArray::from_grid(1, 2, vec![1, 2]);
+        let (parts, procs, shape) = a.into_raw();
+        assert_eq!(parts, vec![1, 2]);
+        assert_eq!(procs, vec![0, 1]);
+        assert_eq!(shape, GridShape::Dim2(1, 2));
+    }
+}

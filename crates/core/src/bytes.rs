@@ -1,0 +1,151 @@
+//! Payload sizing for communication-cost accounting.
+//!
+//! Every communication skeleton needs to know how many bytes a value would
+//! occupy on the wire of the simulated machine. [`Bytes`] answers that for
+//! the types SCL programs move around: primitives, tuples, vectors, nested
+//! arrays. The estimate is the *payload* size (what MPI would ship), not the
+//! Rust in-memory representation.
+
+/// Wire size of a value, in bytes.
+pub trait Bytes {
+    /// Number of payload bytes this value occupies when sent.
+    fn bytes(&self) -> usize;
+}
+
+macro_rules! impl_bytes_prim {
+    ($($t:ty),*) => {
+        $(impl Bytes for $t {
+            #[inline]
+            fn bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_bytes_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+impl Bytes for () {
+    #[inline]
+    fn bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Bytes for String {
+    #[inline]
+    fn bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: Bytes> Bytes for Vec<T> {
+    fn bytes(&self) -> usize {
+        // Sum per element: exact for nested/variable-size payloads, and for
+        // primitive elements the compiler reduces this to len * size_of.
+        self.iter().map(Bytes::bytes).sum()
+    }
+}
+
+impl<T: Bytes> Bytes for [T] {
+    fn bytes(&self) -> usize {
+        self.iter().map(Bytes::bytes).sum()
+    }
+}
+
+impl<T: Bytes, const N: usize> Bytes for [T; N] {
+    fn bytes(&self) -> usize {
+        self.iter().map(Bytes::bytes).sum()
+    }
+}
+
+impl<T: Bytes> Bytes for Option<T> {
+    fn bytes(&self) -> usize {
+        self.as_ref().map_or(0, Bytes::bytes)
+    }
+}
+
+impl<T: Bytes + ?Sized> Bytes for &T {
+    fn bytes(&self) -> usize {
+        (**self).bytes()
+    }
+}
+
+impl<T: Bytes> Bytes for Box<T> {
+    fn bytes(&self) -> usize {
+        (**self).bytes()
+    }
+}
+
+impl<A: Bytes, B: Bytes> Bytes for (A, B) {
+    fn bytes(&self) -> usize {
+        self.0.bytes() + self.1.bytes()
+    }
+}
+
+impl<A: Bytes, B: Bytes, C: Bytes> Bytes for (A, B, C) {
+    fn bytes(&self) -> usize {
+        self.0.bytes() + self.1.bytes() + self.2.bytes()
+    }
+}
+
+impl<A: Bytes, B: Bytes, C: Bytes, D: Bytes> Bytes for (A, B, C, D) {
+    fn bytes(&self) -> usize {
+        self.0.bytes() + self.1.bytes() + self.2.bytes() + self.3.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(0u8.bytes(), 1);
+        assert_eq!(0u32.bytes(), 4);
+        assert_eq!(0i64.bytes(), 8);
+        assert_eq!(0f64.bytes(), 8);
+        assert_eq!(().bytes(), 0);
+        assert_eq!(true.bytes(), 1);
+    }
+
+    #[test]
+    fn vectors_sum_elements() {
+        let v: Vec<i64> = vec![1, 2, 3];
+        assert_eq!(v.bytes(), 24);
+        let vv: Vec<Vec<u8>> = vec![vec![0; 3], vec![0; 5]];
+        assert_eq!(vv.bytes(), 8);
+        let empty: Vec<f64> = vec![];
+        assert_eq!(empty.bytes(), 0);
+    }
+
+    #[test]
+    fn slices_and_refs() {
+        let v = [1i32, 2, 3];
+        assert_eq!(v[..].bytes(), 12);
+        let r: &[i32] = &v;
+        assert_eq!(r.bytes(), 12);
+    }
+
+    #[test]
+    fn fixed_arrays() {
+        assert_eq!([1.0f64, 2.0].bytes(), 16);
+        assert_eq!([[1u8; 4]; 2].bytes(), 8);
+        assert_eq!(([0u16; 0]).bytes(), 0);
+    }
+
+    #[test]
+    fn tuples_and_options() {
+        assert_eq!((1u8, 2u32).bytes(), 5);
+        assert_eq!((1u8, 2u32, 3u64).bytes(), 13);
+        assert_eq!((1u8, 2u8, 3u8, 4u8).bytes(), 4);
+        assert_eq!(Some(7i16).bytes(), 2);
+        assert_eq!(None::<i16>.bytes(), 0);
+    }
+
+    #[test]
+    fn strings_and_boxes() {
+        assert_eq!("hello".to_string().bytes(), 5);
+        assert_eq!(Box::new(1u64).bytes(), 8);
+    }
+}

@@ -1,0 +1,243 @@
+//! Configurations: aligned collections of distributed arrays.
+//!
+//! The paper's `align` "pairs corresponding subarrays in two distributed
+//! arrays together to form a new configuration which is a ParArray of
+//! tuples. Objects in a tuple of the configuration are regarded as being
+//! allocated to the same processor." In Rust, a configuration of two arrays
+//! is simply `ParArray<(A, B)>`, and the shorthand view "a tuple of
+//! distributed arrays" is recovered by [`unalign`].
+//!
+//! `split` and `combine` implement the paper's nested-parallelism pair:
+//! `split` divides a configuration into sub-configurations (processor
+//! groups — what hyperquicksort's recursion descends into), and `combine`
+//! flattens a nested `ParArray` back out.
+
+use crate::array::{GridShape, ParArray};
+use crate::error::{Result, SclError};
+use crate::partition::{block_ranges, Pattern};
+
+/// Zip two conforming distributed arrays into a configuration.
+///
+/// # Panics
+/// Panics unless the arrays conform (same shape, same placement); use
+/// [`try_align`] for a checked version.
+pub fn align<A, B>(a: ParArray<A>, b: ParArray<B>) -> ParArray<(A, B)> {
+    try_align(a, b).unwrap_or_else(|e| panic!("align: {e}"))
+}
+
+/// Checked [`align`].
+pub fn try_align<A, B>(a: ParArray<A>, b: ParArray<B>) -> Result<ParArray<(A, B)>> {
+    if a.shape() != b.shape() {
+        return Err(SclError::ShapeMismatch { left: a.shape(), right: b.shape() });
+    }
+    if a.procs() != b.procs() {
+        return Err(SclError::PlacementMismatch);
+    }
+    let shape = a.shape();
+    let (pa, procs, _) = a.into_raw();
+    let (pb, _, _) = b.into_raw();
+    let parts: Vec<(A, B)> = pa.into_iter().zip(pb).collect();
+    let out = ParArray::with_placement(parts, procs);
+    Ok(match shape {
+        GridShape::Dim1(_) => out,
+        GridShape::Dim2(r, c) => out.reshape2(r, c),
+    })
+}
+
+/// Zip three conforming distributed arrays.
+pub fn align3<A, B, C>(a: ParArray<A>, b: ParArray<B>, c: ParArray<C>) -> ParArray<(A, B, C)> {
+    let ab = align(a, b);
+    align(ab, c).map_into(|_, ((x, y), z)| (x, y, z))
+}
+
+/// Split a configuration back into its component distributed arrays.
+pub fn unalign<A, B>(cfg: ParArray<(A, B)>) -> (ParArray<A>, ParArray<B>) {
+    let shape = cfg.shape();
+    let (parts, procs, _) = cfg.into_raw();
+    let (pa, pb): (Vec<A>, Vec<B>) = parts.into_iter().unzip();
+    let a = ParArray::with_placement(pa, procs.clone());
+    let b = ParArray::with_placement(pb, procs);
+    match shape {
+        GridShape::Dim1(_) => (a, b),
+        GridShape::Dim2(r, c) => (a.reshape2(r, c), b.reshape2(r, c)),
+    }
+}
+
+/// Divide a distributed array into a nested array of sub-configurations
+/// (processor groups), following a 1-D pattern over *part* indices.
+///
+/// The outer array's placement records each group's leader (first member),
+/// so group-level operations know where groups live.
+///
+/// # Panics
+/// Panics if the pattern is not 1-D or produces empty groups.
+pub fn split<T>(pattern: Pattern, a: ParArray<T>) -> ParArray<ParArray<T>> {
+    assert!(pattern.is_1d(), "split needs a 1-D pattern, got {pattern:?}");
+    pattern.check();
+    let p = pattern.parts();
+    let n = a.len();
+    let (parts, procs, _) = a.into_raw();
+    match pattern {
+        Pattern::Block(_) => {
+            let ranges = block_ranges(n, p);
+            let mut parts_iter = parts.into_iter();
+            let mut groups = Vec::with_capacity(p);
+            let mut leaders = Vec::with_capacity(p);
+            for r in ranges {
+                assert!(!r.is_empty(), "split produced an empty group (n={n}, p={p})");
+                let g_parts: Vec<T> = parts_iter.by_ref().take(r.len()).collect();
+                let g_procs: Vec<usize> = procs[r.clone()].to_vec();
+                leaders.push(g_procs[0]);
+                groups.push(ParArray::with_placement(g_parts, g_procs));
+            }
+            ParArray::with_placement(groups, leaders)
+        }
+        Pattern::Cyclic(_) | Pattern::BlockCyclic { .. } => {
+            let mut buckets: Vec<(Vec<T>, Vec<usize>)> = (0..p).map(|_| (vec![], vec![])).collect();
+            for (j, (part, proc)) in parts.into_iter().zip(procs).enumerate() {
+                let o = crate::partition::owner_1d(pattern, n, j);
+                buckets[o].0.push(part);
+                buckets[o].1.push(proc);
+            }
+            let mut groups = Vec::with_capacity(p);
+            let mut leaders = Vec::with_capacity(p);
+            for (g_parts, g_procs) in buckets {
+                assert!(!g_parts.is_empty(), "split produced an empty group (n={n}, p={p})");
+                leaders.push(g_procs[0]);
+                groups.push(ParArray::with_placement(g_parts, g_procs));
+            }
+            ParArray::with_placement(groups, leaders)
+        }
+        _ => unreachable!("checked is_1d above"),
+    }
+}
+
+/// Flatten a nested distributed array — the inverse of [`split`] for block
+/// patterns (parts come back in group order, with their original
+/// placements).
+pub fn combine<T>(nested: ParArray<ParArray<T>>) -> ParArray<T> {
+    let (groups, _, _) = nested.into_raw();
+    let mut parts = Vec::new();
+    let mut procs = Vec::new();
+    for g in groups {
+        let (g_parts, g_procs, _) = g.into_raw();
+        parts.extend(g_parts);
+        procs.extend(g_procs);
+    }
+    ParArray::with_placement(parts, procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_zips_parts() {
+        let a = ParArray::from_parts(vec![1, 2, 3]);
+        let b = ParArray::from_parts(vec!["x", "y", "z"]);
+        let cfg = align(a, b);
+        assert_eq!(*cfg.part(1), (2, "y"));
+        assert_eq!(cfg.procs(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn align_requires_conformance() {
+        let a = ParArray::from_parts(vec![1, 2]);
+        let b = ParArray::from_parts(vec![1, 2, 3]);
+        assert!(matches!(try_align(a, b), Err(SclError::ShapeMismatch { .. })));
+
+        let a = ParArray::from_parts(vec![1, 2]);
+        let b = ParArray::with_placement(vec![1, 2], vec![1, 0]);
+        assert!(matches!(try_align(a, b), Err(SclError::PlacementMismatch)));
+    }
+
+    #[test]
+    #[should_panic(expected = "align:")]
+    fn align_panics_on_mismatch() {
+        let a = ParArray::from_parts(vec![1]);
+        let b = ParArray::from_parts(vec![1, 2]);
+        let _ = align(a, b);
+    }
+
+    #[test]
+    fn align_preserves_2d_shape() {
+        let a = ParArray::from_grid(2, 2, vec![1, 2, 3, 4]);
+        let b = ParArray::from_grid(2, 2, vec![5, 6, 7, 8]);
+        let cfg = align(a, b);
+        assert_eq!(cfg.shape().dims2(), (2, 2));
+        assert_eq!(*cfg.part2(1, 0), (3, 7));
+    }
+
+    #[test]
+    fn unalign_inverts_align() {
+        let a = ParArray::from_parts(vec![1, 2, 3]);
+        let b = ParArray::from_parts(vec![4, 5, 6]);
+        let (a2, b2) = unalign(align(a.clone(), b.clone()));
+        assert_eq!(a2, a);
+        assert_eq!(b2, b);
+    }
+
+    #[test]
+    fn align3_zips_three() {
+        let a = ParArray::from_parts(vec![1]);
+        let b = ParArray::from_parts(vec![2]);
+        let c = ParArray::from_parts(vec![3]);
+        assert_eq!(*align3(a, b, c).part(0), (1, 2, 3));
+    }
+
+    #[test]
+    fn split_block_groups_with_leaders() {
+        let a = ParArray::from_parts((0..8).collect::<Vec<i32>>());
+        let groups = split(Pattern::Block(2), a);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups.procs(), &[0, 4]); // leaders
+        assert_eq!(groups.part(0).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(groups.part(1).procs(), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn split_cyclic_groups() {
+        let a = ParArray::from_parts((0..6).collect::<Vec<i32>>());
+        let groups = split(Pattern::Cyclic(2), a);
+        assert_eq!(groups.part(0).to_vec(), vec![0, 2, 4]);
+        assert_eq!(groups.part(1).to_vec(), vec![1, 3, 5]);
+        assert_eq!(groups.part(1).procs(), &[1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn split_rejects_empty_groups() {
+        let a = ParArray::from_parts(vec![1, 2]);
+        let _ = split(Pattern::Block(3), a);
+    }
+
+    #[test]
+    fn combine_inverts_split() {
+        let a = ParArray::from_parts((0..8).collect::<Vec<i32>>());
+        for pat in [Pattern::Block(2), Pattern::Block(4), Pattern::Block(1)] {
+            let back = combine(split(pat, a.clone()));
+            assert_eq!(back, a, "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn combine_restores_placements_for_cyclic() {
+        let a = ParArray::from_parts((0..6).collect::<Vec<i32>>());
+        let back = combine(split(Pattern::Cyclic(3), a.clone()));
+        // parts are regrouped (group-major) but each keeps its processor
+        let mut pairs: Vec<(usize, i32)> =
+            back.iter().map(|(p, x)| (*p, *x)).collect();
+        pairs.sort();
+        let expect: Vec<(usize, i32)> = (0..6).map(|i| (i, i as i32)).collect();
+        assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn nested_split_twice() {
+        let a = ParArray::from_parts((0..8).collect::<Vec<i32>>());
+        let outer = split(Pattern::Block(2), a);
+        let inner = outer.map_into(|_, g| split(Pattern::Block(2), g));
+        assert_eq!(inner.part(1).part(0).to_vec(), vec![4, 5]);
+        assert_eq!(inner.part(1).part(0).procs(), &[4, 5]);
+    }
+}

@@ -1,0 +1,323 @@
+//! The SCL evaluation context.
+//!
+//! [`Scl`] bundles everything a skeleton needs to run: the simulated
+//! [`Machine`] (virtual clocks + cost model + counters) and the host
+//! [`ExecPolicy`] (sequential or threaded execution of the sequential
+//! base-language fragments). Every skeleton is a method on `Scl`, grouped
+//! by the paper's taxonomy:
+//!
+//! * configuration skeletons — this module ([`Scl::partition`],
+//!   [`Scl::gather`], [`Scl::distribution2`], …)
+//! * elementary skeletons — [`crate::skeletons::elementary`]
+//! * communication skeletons — [`crate::skeletons::comm`]
+//! * computational skeletons — [`crate::skeletons::compute`]
+
+use crate::array::ParArray;
+use crate::bytes::Bytes;
+use crate::config;
+use crate::partition::{self, Pattern};
+use crate::seq::Matrix;
+use scl_exec::ExecPolicy;
+use scl_machine::{CostModel, Machine, Time, Work};
+
+/// How local (base-language) computation is charged to the virtual clocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeasureMode {
+    /// Charge nothing for un-costed closures (communication is still
+    /// charged). Right for pure data-flow tests.
+    None,
+    /// Time each closure on the host and charge `host_seconds * scale`
+    /// to the owning processor. `scale` maps host speed to target speed
+    /// (e.g. a 1995 cell is several hundred times slower than one modern
+    /// core).
+    WallClock {
+        /// Host-seconds → target-seconds multiplier.
+        scale: f64,
+    },
+}
+
+/// The SCL coordination context.
+#[derive(Debug)]
+pub struct Scl {
+    /// The simulated machine being charged.
+    pub machine: Machine,
+    /// Host execution policy for partition-local work.
+    pub policy: ExecPolicy,
+    /// Charging mode for un-costed local closures.
+    pub measure: MeasureMode,
+}
+
+impl Scl {
+    /// A context over an explicit machine, sequential host execution, no
+    /// wall-clock charging.
+    pub fn new(machine: Machine) -> Scl {
+        Scl { machine, policy: ExecPolicy::Sequential, measure: MeasureMode::None }
+    }
+
+    /// An AP1000-like machine with `procs` cells.
+    pub fn ap1000(procs: usize) -> Scl {
+        Scl::new(Machine::ap1000(procs))
+    }
+
+    /// A hypercube machine of `procs` (a power of two) with the given cost
+    /// model.
+    pub fn hypercube(procs: usize, model: CostModel) -> Scl {
+        Scl::new(Machine::hypercube(procs, model))
+    }
+
+    /// Builder-style: set the host execution policy.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Scl {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style: set the local-work charging mode.
+    pub fn with_measure(mut self, measure: MeasureMode) -> Scl {
+        self.measure = measure;
+        self
+    }
+
+    /// Number of simulated processors.
+    pub fn nprocs(&self) -> usize {
+        self.machine.nprocs()
+    }
+
+    /// Predicted elapsed virtual time so far.
+    pub fn makespan(&self) -> Time {
+        self.machine.makespan()
+    }
+
+    /// Reset clocks/counters/trace for a fresh run.
+    pub fn reset(&mut self) {
+        self.machine.reset();
+    }
+
+    // ---- configuration skeletons -------------------------------------------
+
+    /// Partition a sequential array across the machine (the data starts on
+    /// processor 0 and is scattered — the paper's Fig. 2(a)→(b) step).
+    ///
+    /// # Panics
+    /// Panics if the pattern needs more parts than the machine has
+    /// processors.
+    pub fn partition<T: Clone + Bytes>(&mut self, pattern: Pattern, data: &[T]) -> ParArray<Vec<T>> {
+        let out = partition::partition(pattern, data);
+        self.check_fits(out.len());
+        let per_part = out.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
+        self.machine.scatter(out.procs(), per_part);
+        out
+    }
+
+    /// Partition a matrix across the machine.
+    pub fn partition2<T: Clone + Bytes>(
+        &mut self,
+        pattern: Pattern,
+        m: &Matrix<T>,
+    ) -> ParArray<Matrix<T>> {
+        let out = partition::partition2(pattern, m);
+        self.check_fits(out.len());
+        let per_part = out.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
+        self.machine.scatter(out.procs(), per_part);
+        out
+    }
+
+    /// Collect a distributed array back to processor 0 (the paper's
+    /// `gather` skeleton), concatenating parts in part order.
+    pub fn gather<T: Clone + Bytes>(&mut self, a: &ParArray<Vec<T>>) -> Vec<T> {
+        let per_part = a.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
+        self.machine.gather(a.procs(), per_part);
+        a.parts().iter().flat_map(|v| v.iter().cloned()).collect()
+    }
+
+    /// Pattern-aware gather: exact inverse of [`Scl::partition`].
+    pub fn gather_pattern<T: Clone + Bytes>(
+        &mut self,
+        pattern: Pattern,
+        a: &ParArray<Vec<T>>,
+    ) -> Vec<T> {
+        let per_part = a.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
+        self.machine.gather(a.procs(), per_part);
+        partition::gather(pattern, a)
+    }
+
+    /// Pattern-aware matrix gather: exact inverse of [`Scl::partition2`].
+    pub fn gather2<T: Clone + Bytes>(
+        &mut self,
+        pattern: Pattern,
+        a: &ParArray<Matrix<T>>,
+    ) -> Matrix<T> {
+        let per_part = a.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
+        self.machine.gather(a.procs(), per_part);
+        partition::gather2(pattern, a)
+    }
+
+    /// The paper's `distribution` skeleton for two arrays: partition each
+    /// with its own strategy and align the results into a configuration.
+    pub fn distribution2<A: Clone + Bytes, B: Clone + Bytes>(
+        &mut self,
+        pa: Pattern,
+        a: &[A],
+        pb: Pattern,
+        b: &[B],
+    ) -> ParArray<(Vec<A>, Vec<B>)> {
+        let da = self.partition(pa, a);
+        let db = self.partition(pb, b);
+        config::align(da, db)
+    }
+
+    /// The paper's `redistribution` skeleton: apply one bulk-movement
+    /// function per component of a configuration. The closures receive this
+    /// context so they can use communication skeletons (and be charged).
+    pub fn redistribution2<A, B>(
+        &mut self,
+        cfg: ParArray<(A, B)>,
+        fa: impl FnOnce(&mut Scl, ParArray<A>) -> ParArray<A>,
+        fb: impl FnOnce(&mut Scl, ParArray<B>) -> ParArray<B>,
+    ) -> ParArray<(A, B)> {
+        let (da, db) = config::unalign(cfg);
+        let da = fa(self, da);
+        let db = fb(self, db);
+        config::align(da, db)
+    }
+
+    /// Divide a configuration into sub-configurations (processor groups);
+    /// pure renaming of processors, so cost-free.
+    pub fn split<T>(&mut self, pattern: Pattern, a: ParArray<T>) -> ParArray<ParArray<T>> {
+        config::split(pattern, a)
+    }
+
+    /// Flatten a nested configuration; cost-free.
+    pub fn combine<T>(&mut self, nested: ParArray<ParArray<T>>) -> ParArray<T> {
+        config::combine(nested)
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    /// Assert that a configuration of `parts` parts fits on this machine.
+    pub fn check_fits(&self, parts: usize) {
+        assert!(
+            parts <= self.nprocs(),
+            "configuration needs {parts} processors, machine has {}",
+            self.nprocs()
+        );
+    }
+
+    /// Charge local work to the owner of part `i` of `a`.
+    pub(crate) fn charge_part<T>(&mut self, a: &ParArray<T>, i: usize, work: Work, label: &str) {
+        let p = a.procs()[i];
+        self.machine.compute(p, work, label);
+    }
+
+    /// Convert a measured host duration into charged work per the measure
+    /// mode.
+    pub(crate) fn measured_work(&self, host_seconds: f64) -> Work {
+        match self.measure {
+            MeasureMode::None => Work::NONE,
+            MeasureMode::WallClock { scale } => Work::seconds(host_seconds * scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scl_machine::Topology;
+
+    fn unit_ctx(n: usize) -> Scl {
+        Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit()))
+    }
+
+    #[test]
+    fn constructors() {
+        let s = Scl::ap1000(8);
+        assert_eq!(s.nprocs(), 8);
+        let s = Scl::hypercube(8, CostModel::unit());
+        assert_eq!(s.nprocs(), 8);
+        let s = unit_ctx(2).with_policy(ExecPolicy::Threads(2));
+        assert_eq!(s.policy, ExecPolicy::Threads(2));
+    }
+
+    #[test]
+    fn partition_charges_scatter() {
+        let mut s = unit_ctx(4);
+        let data: Vec<i64> = (0..16).collect();
+        let d = s.partition(Pattern::Block(4), &data);
+        assert_eq!(d.len(), 4);
+        assert!(s.makespan() > Time::ZERO);
+        assert_eq!(s.machine.metrics.gathers, 1); // scatter counted as gather-family
+    }
+
+    #[test]
+    fn gather_roundtrip_charges() {
+        let mut s = unit_ctx(4);
+        let data: Vec<i64> = (0..10).collect();
+        let d = s.partition(Pattern::Block(4), &data);
+        let t1 = s.makespan();
+        let back = s.gather_pattern(Pattern::Block(4), &d);
+        assert_eq!(back, data);
+        assert!(s.makespan() > t1);
+    }
+
+    #[test]
+    fn gather_concat_order() {
+        let mut s = unit_ctx(2);
+        let a = ParArray::from_parts(vec![vec![1, 2], vec![3]]);
+        assert_eq!(s.gather(&a), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine has 2")]
+    fn partition_too_wide_panics() {
+        let mut s = unit_ctx(2);
+        let _ = s.partition(Pattern::Block(4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matrix_partition_roundtrip() {
+        let mut s = unit_ctx(6);
+        let m = Matrix::from_fn(4, 6, |r, c| (r * 6 + c) as i64);
+        for pat in [Pattern::ColBlock(3), Pattern::RowBlock(2), Pattern::Grid { pr: 2, pc: 3 }] {
+            let d = s.partition2(pat, &m);
+            assert_eq!(s.gather2(pat, &d), m, "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn distribution2_aligns() {
+        let mut s = unit_ctx(3);
+        let cfg = s.distribution2(Pattern::Block(3), &[1, 2, 3], Pattern::Cyclic(3), &[4, 5, 6]);
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(*cfg.part(0), (vec![1], vec![4]));
+    }
+
+    #[test]
+    fn redistribution2_applies_components() {
+        let mut s = unit_ctx(2);
+        let cfg = config::align(
+            ParArray::from_parts(vec![1, 2]),
+            ParArray::from_parts(vec![10, 20]),
+        );
+        let out = s.redistribution2(
+            cfg,
+            |_, a| a.map_parts(|x| x + 1),
+            |_, b| b.map_parts(|x| x * 2),
+        );
+        assert_eq!(out.to_vec(), vec![(2, 20), (3, 40)]);
+    }
+
+    #[test]
+    fn measured_work_modes() {
+        let s = unit_ctx(1);
+        assert_eq!(s.measured_work(2.0), Work::NONE);
+        let s = s.with_measure(MeasureMode::WallClock { scale: 3.0 });
+        assert_eq!(s.measured_work(2.0), Work::seconds(6.0));
+    }
+
+    #[test]
+    fn reset_zeroes_clocks() {
+        let mut s = unit_ctx(2);
+        let _ = s.partition(Pattern::Block(2), &[1i64, 2]);
+        s.reset();
+        assert_eq!(s.makespan(), Time::ZERO);
+    }
+}

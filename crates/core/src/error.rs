@@ -1,0 +1,86 @@
+//! Error types for conformance-checked operations.
+
+use crate::array::GridShape;
+use std::fmt;
+
+/// Errors raised by SCL's fallible configuration operations.
+///
+/// Most skeleton entry points assert their preconditions (shape mismatches
+/// are programming errors, as with slice indexing); the `try_*` variants
+/// return these instead, for callers that build configurations dynamically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SclError {
+    /// Two arrays being aligned have different grid shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: GridShape,
+        /// Shape of the right operand.
+        right: GridShape,
+    },
+    /// Two arrays being aligned live on different processors.
+    PlacementMismatch,
+    /// A pattern's part count disagrees with an array's part count.
+    PartCountMismatch {
+        /// Parts the pattern requires.
+        expected: usize,
+        /// Parts the array has.
+        found: usize,
+    },
+    /// A pattern was used with the wrong dimensionality of data.
+    BadPattern(String),
+    /// The machine has fewer processors than the configuration needs.
+    MachineTooSmall {
+        /// Processors the configuration needs.
+        needed: usize,
+        /// Processors the machine has.
+        procs: usize,
+    },
+}
+
+impl fmt::Display for SclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SclError::ShapeMismatch { left, right } => {
+                write!(f, "cannot align arrays of shapes {left:?} and {right:?}")
+            }
+            SclError::PlacementMismatch => {
+                write!(f, "cannot align arrays with different processor placements")
+            }
+            SclError::PartCountMismatch { expected, found } => {
+                write!(f, "expected {expected} parts, found {found}")
+            }
+            SclError::BadPattern(msg) => write!(f, "bad partition pattern: {msg}"),
+            SclError::MachineTooSmall { needed, procs } => {
+                write!(f, "configuration needs {needed} processors, machine has {procs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SclError {}
+
+/// Shorthand result type.
+pub type Result<T> = std::result::Result<T, SclError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SclError::ShapeMismatch { left: GridShape::Dim1(2), right: GridShape::Dim1(3) };
+        assert!(e.to_string().contains("align"));
+        assert!(SclError::PlacementMismatch.to_string().contains("placements"));
+        assert!(SclError::PartCountMismatch { expected: 2, found: 3 }
+            .to_string()
+            .contains("expected 2"));
+        assert!(SclError::BadPattern("x".into()).to_string().contains("x"));
+        assert!(SclError::MachineTooSmall { needed: 8, procs: 4 }.to_string().contains("8"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SclError::PlacementMismatch);
+    }
+}

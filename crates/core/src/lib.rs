@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+//! # scl-core — Parallel Skeletons for Structured Composition
+//!
+//! A Rust reproduction of the coordination language **SCL** from
+//! Darlington, Guo, To & Yang, *"Parallel Skeletons for Structured
+//! Composition"* (PPoPP 1995).
+//!
+//! SCL structures a parallel program in two tiers: an upper *coordination*
+//! layer built by composing **skeletons** — predefined, higher-order
+//! parallel forms — and a lower layer of ordinary sequential code (Rust
+//! closures here, Fortran/C in the paper). The skeletons abstract *all*
+//! parallel behaviour: partitioning, placement, data movement, and control
+//! flow. In exchange, programs become portable (retarget the
+//! [`scl_machine::CostModel`]), composable, and optimisable by algebraic
+//! transformation (see the `scl-transform` crate).
+//!
+//! ## The three skeleton families
+//!
+//! | family | skeletons | module |
+//! |---|---|---|
+//! | configuration | `partition`, `gather`, `align`, `distribution`, `redistribution`, `split`, `combine` | [`ctx`], [`config`], [`partition`] |
+//! | elementary | `map`, `imap`, `fold`, `scan` + communication: `rotate`, `rotate_row`, `rotate_col`, `brdcast`, `apply_brdcast`, `send`, `fetch` | [`skeletons::elementary`], [`skeletons::comm`] |
+//! | computational | `farm`, `spmd`, `iter_until`, `iter_for`, `dc` | [`skeletons::compute`] |
+//!
+//! ## Example: distributed dot product
+//!
+//! ```
+//! use scl_core::prelude::*;
+//!
+//! let mut scl = Scl::ap1000(4);
+//! let x: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+//! let y: Vec<f64> = (0..1000).map(|i| 2.0 * i as f64).collect();
+//!
+//! // Configure: block-distribute both vectors and align them.
+//! let cfg = scl.distribution2(Pattern::Block(4), &x, Pattern::Block(4), &y);
+//!
+//! // Local dot products (costed: 2 flops per element), then a global fold.
+//! let partials = scl.map_costed(&cfg, |(xs, ys)| {
+//!     let dot: f64 = xs.iter().zip(ys).map(|(a, b)| a * b).sum();
+//!     (dot, Work::flops(2 * xs.len() as u64))
+//! });
+//! let dot = scl.fold(&partials, |a, b| a + b);
+//!
+//! let expect: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+//! assert_eq!(dot, expect);
+//! println!("predicted time on 4 AP1000 cells: {}", scl.makespan());
+//! ```
+
+pub mod array;
+pub mod bytes;
+pub mod config;
+pub mod ctx;
+pub mod error;
+pub mod partition;
+pub mod seq;
+pub mod skeletons;
+
+pub use array::{GridShape, ParArray};
+pub use bytes::Bytes;
+pub use config::{align, align3, combine, split, try_align, unalign};
+pub use ctx::{MeasureMode, Scl};
+pub use error::{Result, SclError};
+pub use partition::{block_ranges, gather, gather2, owner_1d, Pattern};
+pub use seq::Matrix;
+pub use skeletons::{GlobalOp, LocalOp, PipeStageFn, SpmdStage};
+
+/// Everything a skeleton program usually needs.
+pub mod prelude {
+    pub use crate::array::{GridShape, ParArray};
+    pub use crate::bytes::Bytes;
+    pub use crate::config::{align, align3, combine, split, unalign};
+    pub use crate::ctx::{MeasureMode, Scl};
+    pub use crate::partition::Pattern;
+    pub use crate::seq::Matrix;
+    pub use crate::skeletons::{PipeStageFn, SpmdStage};
+    pub use scl_exec::ExecPolicy;
+    pub use scl_machine::{CostModel, Machine, Time, Topology, Work};
+}

@@ -1,0 +1,363 @@
+//! Sequential base-language arrays.
+//!
+//! The paper's two-tier model keeps *sequential* data in ordinary
+//! base-language types: SCL's `SeqArray`. In Rust the one-dimensional
+//! `SeqArray` is simply `Vec<T>`; this module adds the two-dimensional
+//! [`Matrix`] (row-major) that the HPF-style partitioning strategies
+//! (`row_block`, `col_block`, …) operate on.
+
+use crate::bytes::Bytes;
+use std::fmt;
+
+/// A dense, row-major 2-D array — SCL's two-dimensional `SeqArray`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T> Matrix<T> {
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics unless `data.len() == rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Matrix<T> {
+        assert_eq!(data.len(), rows * cols, "matrix data length {} != {rows}x{cols}", data.len());
+        Matrix { rows, cols, data }
+    }
+
+    /// Build element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Matrix<T> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Overwrite one element.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        *self.get_mut(r, c) = v;
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Swap two whole rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows);
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// The flat row-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consume into the flat row-major storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterate rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Element-wise map.
+    pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Matrix<U> {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+    }
+}
+
+impl<T: Clone> Matrix<T> {
+    /// A `rows × cols` matrix with every element `v`.
+    pub fn filled(rows: usize, cols: usize, v: T) -> Matrix<T> {
+        Matrix { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Column `c` as an owned vector (columns are strided, so this copies).
+    pub fn col(&self, c: usize) -> Vec<T> {
+        assert!(c < self.cols, "col {c} out of {}", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c].clone()).collect()
+    }
+
+    /// A new matrix holding columns `c0 .. c1` (half-open).
+    pub fn col_range(&self, c0: usize, c1: usize) -> Matrix<T> {
+        assert!(c0 <= c1 && c1 <= self.cols, "bad col range {c0}..{c1} of {}", self.cols);
+        Matrix::from_fn(self.rows, c1 - c0, |r, c| self.data[r * self.cols + c0 + c].clone())
+    }
+
+    /// A new matrix holding rows `r0 .. r1` (half-open).
+    pub fn row_range(&self, r0: usize, r1: usize) -> Matrix<T> {
+        assert!(r0 <= r1 && r1 <= self.rows, "bad row range {r0}..{r1} of {}", self.rows);
+        Matrix::from_vec(r1 - r0, self.cols, self.data[r0 * self.cols..r1 * self.cols].to_vec())
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r).clone())
+    }
+
+    /// Glue matrices left-to-right (all must share a row count).
+    pub fn hcat(blocks: &[Matrix<T>]) -> Matrix<T> {
+        assert!(!blocks.is_empty(), "hcat of nothing");
+        let rows = blocks[0].rows;
+        assert!(blocks.iter().all(|b| b.rows == rows), "hcat: row mismatch");
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for b in blocks {
+                data.extend_from_slice(b.row(r));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Glue matrices top-to-bottom (all must share a column count).
+    pub fn vcat(blocks: &[Matrix<T>]) -> Matrix<T> {
+        assert!(!blocks.is_empty(), "vcat of nothing");
+        let cols = blocks[0].cols;
+        assert!(blocks.iter().all(|b| b.cols == cols), "vcat: col mismatch");
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            data.extend_from_slice(&b.data);
+        }
+        Matrix { rows, cols, data }
+    }
+}
+
+impl Matrix<f64> {
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Matrix<f64> {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Dense matrix-vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "matvec dimension mismatch");
+        self.iter_rows().map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+    }
+
+    /// Dense matrix-matrix product (naive; baselines only).
+    pub fn matmul(&self, other: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        Matrix::from_fn(self.rows, other.cols, |i, j| {
+            (0..self.cols).map(|k| self.get(i, k) * other.get(k, j)).sum()
+        })
+    }
+
+    /// Max absolute element difference against another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix<f64>) -> f64 {
+        assert_eq!(self.dims(), other.dims());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl<T: Bytes> Bytes for Matrix<T> {
+    fn bytes(&self) -> usize {
+        self.data.bytes()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>8}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<i32> {
+        // 0 1 2
+        // 3 4 5
+        Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as i32)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!(m.dims(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+        assert_eq!(*m.get(1, 2), 5);
+        assert_eq!(m.row(1), &[3, 4, 5]);
+        assert_eq!(m.col(1), vec![1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix data length")]
+    fn from_vec_checks_len() {
+        let _ = Matrix::from_vec(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn get_bounds_checked() {
+        let m = sample();
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn set_and_row_mut() {
+        let mut m = sample();
+        m.set(0, 0, 9);
+        m.row_mut(1)[2] = 7;
+        assert_eq!(*m.get(0, 0), 9);
+        assert_eq!(*m.get(1, 2), 7);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = sample();
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[3, 4, 5]);
+        assert_eq!(m.row(1), &[0, 1, 2]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn ranges_and_cat_roundtrip() {
+        let m = sample();
+        let left = m.col_range(0, 1);
+        let right = m.col_range(1, 3);
+        assert_eq!(Matrix::hcat(&[left, right]), m);
+        let top = m.row_range(0, 1);
+        let bottom = m.row_range(1, 2);
+        assert_eq!(Matrix::vcat(&[top, bottom]), m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(*m.transpose().get(2, 1), 5);
+    }
+
+    #[test]
+    fn map_and_filled() {
+        let m = sample().map(|x| x * 2);
+        assert_eq!(*m.get(1, 1), 8);
+        let f = Matrix::filled(2, 2, 1.0f64);
+        assert_eq!(f.as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn identity_and_matvec() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(a.matmul(&Matrix::identity(2)), a);
+    }
+
+    #[test]
+    fn max_abs_diff_detects() {
+        let a = Matrix::identity(2);
+        let mut b = Matrix::identity(2);
+        b.set(0, 1, 0.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    fn bytes_accounts_payload() {
+        use crate::bytes::Bytes;
+        let m = Matrix::filled(2, 3, 0f64);
+        assert_eq!(m.bytes(), 48);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = format!("{}", sample());
+        assert!(s.contains('0') && s.contains('5'));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn iter_rows_yields_all() {
+        let m = sample();
+        let rows: Vec<&[i32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], &[0, 1, 2]);
+    }
+}

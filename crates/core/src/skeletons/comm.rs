@@ -1,0 +1,626 @@
+//! Communication skeletons: bulk data movement between parts.
+//!
+//! The paper divides these into *regular* movements, where the routing is a
+//! fixed function of the index space (`rotate`, `rotate_row`, `rotate_col`,
+//! `brdcast`, `apply_brdcast`), and *irregular* movements, where the
+//! destination is computed per index (`send`, `fetch`). All of them are
+//! synchronous permutation phases on the simulated machine: the
+//! participating processors meet, the routes are delivered in bulk, and the
+//! group leaves together ([`scl_machine::Machine::permute`]).
+//!
+//! Many-to-one `send` accumulates a vector at each destination. The paper
+//! leaves the element order unspecified ("the underlying implementation is
+//! nondeterministic"); this implementation uses ascending source index,
+//! which callers must treat as unspecified — there is a property test that
+//! only checks multiset equality, and `scl-apps` code never relies on the
+//! order.
+
+use crate::array::ParArray;
+use crate::bytes::Bytes;
+use crate::ctx::Scl;
+use scl_machine::{ProcId, Work};
+use std::time::Instant;
+
+/// Normalise a possibly-negative rotation distance into `0..n`.
+fn norm(k: isize, n: usize) -> usize {
+    debug_assert!(n > 0);
+    k.rem_euclid(n as isize) as usize
+}
+
+impl Scl {
+    /// Regular rotation: the paper's
+    /// `rotate k A = ⟨i ↦ A[(i+k) mod n]⟩`.
+    ///
+    /// `rotate 0` is the identity and costs nothing (the communication
+    /// algebra's `rotate 0 → id` law holds by construction).
+    pub fn rotate<T: Clone + Bytes>(&mut self, k: isize, a: &ParArray<T>) -> ParArray<T> {
+        let n = a.len();
+        if n == 0 {
+            return a.clone();
+        }
+        let k = norm(k, n);
+        if k == 0 {
+            return a.clone();
+        }
+        let routes: Vec<(ProcId, ProcId, usize)> = (0..n)
+            .map(|i| {
+                let src = (i + k) % n;
+                (a.procs()[src], a.procs()[i], a.part(src).bytes())
+            })
+            .collect();
+        self.machine.permute(a.procs(), &routes);
+        let parts: Vec<T> = (0..n).map(|i| a.part((i + k) % n).clone()).collect();
+        ParArray::like(a, parts)
+    }
+
+    /// Rotate every row of a 2-D grid: the paper's
+    /// `rotate_row df A = ⟨(i,j) ↦ A[i, (j + df i) mod cols]⟩`.
+    pub fn rotate_row<T: Clone + Bytes>(
+        &mut self,
+        df: impl Fn(usize) -> isize,
+        a: &ParArray<T>,
+    ) -> ParArray<T> {
+        let (rows, cols) = a.shape().dims2();
+        let src_of = |i: usize, j: usize| -> usize {
+            let jj = norm(df(i), cols.max(1));
+            i * cols + (j + jj) % cols
+        };
+        self.rotate_grid(a, rows, cols, src_of)
+    }
+
+    /// Rotate every column of a 2-D grid: the paper's
+    /// `rotate_col df A = ⟨(i,j) ↦ A[(i + df j) mod rows, j]⟩`.
+    pub fn rotate_col<T: Clone + Bytes>(
+        &mut self,
+        df: impl Fn(usize) -> isize,
+        a: &ParArray<T>,
+    ) -> ParArray<T> {
+        let (rows, cols) = a.shape().dims2();
+        let src_of = |i: usize, j: usize| -> usize {
+            let ii = norm(df(j), rows.max(1));
+            ((i + ii) % rows) * cols + j
+        };
+        self.rotate_grid(a, rows, cols, src_of)
+    }
+
+    fn rotate_grid<T: Clone + Bytes>(
+        &mut self,
+        a: &ParArray<T>,
+        rows: usize,
+        cols: usize,
+        src_of: impl Fn(usize, usize) -> usize,
+    ) -> ParArray<T> {
+        let mut routes = Vec::with_capacity(rows * cols);
+        let mut parts = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let dst = i * cols + j;
+                let src = src_of(i, j);
+                if src != dst {
+                    routes.push((a.procs()[src], a.procs()[dst], a.part(src).bytes()));
+                }
+                parts.push(a.part(src).clone());
+            }
+        }
+        if !routes.is_empty() {
+            self.machine.permute(a.procs(), &routes);
+        }
+        ParArray::like(a, parts)
+    }
+
+    /// Shift without wraparound: part `i` receives part `i - k` (for
+    /// `k > 0`), with `fill` entering at the boundary. The stencil
+    /// workhorse (halo exchange).
+    pub fn shift<T: Clone + Bytes>(&mut self, k: isize, a: &ParArray<T>, fill: &T) -> ParArray<T> {
+        let n = a.len() as isize;
+        let mut routes = Vec::new();
+        let mut parts = Vec::with_capacity(a.len());
+        for i in 0..n {
+            let src = i - k;
+            if src >= 0 && src < n {
+                let (si, di) = (src as usize, i as usize);
+                if si != di {
+                    routes.push((a.procs()[si], a.procs()[di], a.part(si).bytes()));
+                }
+                parts.push(a.part(src as usize).clone());
+            } else {
+                parts.push(fill.clone());
+            }
+        }
+        if !routes.is_empty() {
+            self.machine.permute(a.procs(), &routes);
+        }
+        ParArray::like(a, parts)
+    }
+
+    /// Broadcast one value to all parts, pairing it with the local data:
+    /// the paper's `brdcast a A = map (align_pair a) A`.
+    pub fn brdcast<T, U>(&mut self, item: &T, a: &ParArray<U>) -> ParArray<(T, U)>
+    where
+        T: Clone + Bytes,
+        U: Clone,
+    {
+        self.machine.broadcast(a.procs(), item.bytes());
+        ParArray::like(a, a.parts().iter().map(|u| (item.clone(), u.clone())).collect())
+    }
+
+    /// The paper's `applybrdcast f i A = brdcast (f A[i]) A`: apply `f` to
+    /// the data on part `i` locally, broadcast the result to the group. The
+    /// local work is charged per the context's measure mode.
+    pub fn apply_brdcast<T, R>(
+        &mut self,
+        f: impl Fn(&T) -> R,
+        i: usize,
+        a: &ParArray<T>,
+    ) -> ParArray<(R, T)>
+    where
+        T: Clone,
+        R: Clone + Bytes,
+    {
+        let t0 = Instant::now();
+        let r = f(a.part(i));
+        let w = self.measured_work(t0.elapsed().as_secs_f64());
+        self.charge_part(a, i, w, "apply_brdcast");
+        self.machine.broadcast(a.procs(), r.bytes());
+        ParArray::like(a, a.parts().iter().map(|x| (r.clone(), x.clone())).collect())
+    }
+
+    /// [`Scl::apply_brdcast`] with self-reported local work.
+    pub fn apply_brdcast_costed<T, R>(
+        &mut self,
+        f: impl Fn(&T) -> (R, Work),
+        i: usize,
+        a: &ParArray<T>,
+    ) -> ParArray<(R, T)>
+    where
+        T: Clone,
+        R: Clone + Bytes,
+    {
+        let (r, w) = f(a.part(i));
+        self.charge_part(a, i, w, "apply_brdcast");
+        self.machine.broadcast(a.procs(), r.bytes());
+        ParArray::like(a, a.parts().iter().map(|x| (r.clone(), x.clone())).collect())
+    }
+
+    /// Irregular send: `f(k)` names the destination indices of part `k`
+    /// (one-to-many allowed). Destination `j` accumulates every part sent
+    /// to it — *in unspecified order* (see module docs).
+    pub fn send<T: Clone + Bytes>(
+        &mut self,
+        f: impl Fn(usize) -> Vec<usize>,
+        a: &ParArray<T>,
+    ) -> ParArray<Vec<T>> {
+        let n = a.len();
+        let mut routes = Vec::new();
+        let mut inboxes: Vec<Vec<T>> = vec![Vec::new(); n];
+        for k in 0..n {
+            for j in f(k) {
+                assert!(j < n, "send: destination {j} out of range ({n} parts)");
+                if j != k {
+                    routes.push((a.procs()[k], a.procs()[j], a.part(k).bytes()));
+                }
+                inboxes[j].push(a.part(k).clone());
+            }
+        }
+        self.machine.permute(a.procs(), &routes);
+        ParArray::like(a, inboxes)
+    }
+
+    /// Irregular fetch: part `i` pulls part `f(i)` (one-to-one or
+    /// one-to-many sources; the paper notes `fetch` cannot express
+    /// many-to-one).
+    pub fn fetch<T: Clone + Bytes>(
+        &mut self,
+        f: impl Fn(usize) -> usize,
+        a: &ParArray<T>,
+    ) -> ParArray<T> {
+        let n = a.len();
+        let mut routes = Vec::new();
+        let mut parts = Vec::with_capacity(n);
+        for i in 0..n {
+            let src = f(i);
+            assert!(src < n, "fetch: source {src} out of range ({n} parts)");
+            if src != i {
+                routes.push((a.procs()[src], a.procs()[i], a.part(src).bytes()));
+            }
+            parts.push(a.part(src).clone());
+        }
+        self.machine.permute(a.procs(), &routes);
+        ParArray::like(a, parts)
+    }
+
+    /// All-gather: every part receives the full sequence of parts (in part
+    /// order). The data-parallel `allgather` of MPI.
+    pub fn all_gather<T: Clone + Bytes>(&mut self, a: &ParArray<T>) -> ParArray<Vec<T>> {
+        let per = a.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
+        self.machine.all_gather(a.procs(), per);
+        let everything: Vec<T> = a.parts().to_vec();
+        ParArray::like(a, (0..a.len()).map(|_| everything.clone()).collect())
+    }
+
+    /// All-reduce: `fold` whose result lands on *every* part (MPI's
+    /// `allreduce`). `op` must be associative.
+    ///
+    /// # Panics
+    /// Panics on an empty array.
+    pub fn fold_all<T: Clone + Bytes>(
+        &mut self,
+        a: &ParArray<T>,
+        op: impl Fn(&T, &T) -> T,
+        combine: Work,
+    ) -> ParArray<T> {
+        assert!(!a.is_empty(), "fold_all of an empty ParArray is undefined");
+        let bytes = a.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
+        self.machine.all_reduce(a.procs(), bytes, combine);
+        let mut acc = a.part(0).clone();
+        for x in &a.parts()[1..] {
+            acc = op(&acc, x);
+        }
+        ParArray::like(a, vec![acc; a.len()])
+    }
+
+    /// Transpose a 2-D grid of parts: result part `(i, j)` is input part
+    /// `(j, i)`. Requires a square grid (placement is preserved, data
+    /// moves).
+    pub fn transpose<T: Clone + Bytes>(&mut self, a: &ParArray<T>) -> ParArray<T> {
+        let (rows, cols) = a.shape().dims2();
+        assert_eq!(rows, cols, "transpose needs a square grid, got {rows}x{cols}");
+        let mut routes = Vec::new();
+        let mut parts = Vec::with_capacity(a.len());
+        for i in 0..rows {
+            for j in 0..cols {
+                let dst = i * cols + j;
+                let src = j * cols + i;
+                if src != dst {
+                    routes.push((a.procs()[src], a.procs()[dst], a.part(src).bytes()));
+                }
+                parts.push(a.part(src).clone());
+            }
+        }
+        if !routes.is_empty() {
+            self.machine.permute(a.procs(), &routes);
+        }
+        ParArray::like(a, parts)
+    }
+
+    /// Rebalance a distributed sequence: redistribute the elements of the
+    /// concatenated parts so every part holds a balanced (±1) contiguous
+    /// block, preserving global order. The standard fix-up after skewing
+    /// operations like hyperquicksort's pivot exchanges.
+    pub fn balance<T: Clone + Bytes>(&mut self, a: &ParArray<Vec<T>>) -> ParArray<Vec<T>> {
+        let p = a.len();
+        if p == 0 {
+            return a.clone();
+        }
+        let total: usize = a.parts().iter().map(Vec::len).sum();
+        let targets = crate::partition::block_ranges(total, p);
+
+        // Current global offset of each source part.
+        let mut offsets = Vec::with_capacity(p);
+        let mut acc = 0usize;
+        for part in a.parts() {
+            offsets.push(acc);
+            acc += part.len();
+        }
+
+        // Route overlapping [src-range] x [dst-range] element spans.
+        let elem_bytes = |v: &Vec<T>| if v.is_empty() { 0 } else { v.bytes() / v.len() };
+        let mut routes = Vec::new();
+        let mut parts: Vec<Vec<T>> = targets
+            .iter()
+            .map(|r| Vec::with_capacity(r.len()))
+            .collect();
+        for (src, part) in a.parts().iter().enumerate() {
+            let s0 = offsets[src];
+            for (dst, target) in targets.iter().enumerate() {
+                let lo = s0.max(target.start);
+                let hi = (s0 + part.len()).min(target.end);
+                if lo < hi {
+                    parts[dst].extend(part[lo - s0..hi - s0].iter().cloned());
+                    if src != dst {
+                        routes.push((
+                            a.procs()[src],
+                            a.procs()[dst],
+                            (hi - lo) * elem_bytes(part),
+                        ));
+                    }
+                }
+            }
+        }
+        if !routes.is_empty() {
+            self.machine.permute(a.procs(), &routes);
+        }
+        ParArray::like(a, parts)
+    }
+
+    /// Total exchange: part `i` holds one bucket per destination; after the
+    /// exchange, part `i` holds bucket `i` *from* every source (bucket
+    /// transpose). The backbone of sample-sort style algorithms.
+    pub fn total_exchange<T: Clone + Bytes>(
+        &mut self,
+        a: &ParArray<Vec<Vec<T>>>,
+    ) -> ParArray<Vec<Vec<T>>> {
+        let n = a.len();
+        for (k, part) in a.parts().iter().enumerate() {
+            assert_eq!(part.len(), n, "total_exchange: part {k} has {} buckets, need {n}", part.len());
+        }
+        let per_pair = a
+            .parts()
+            .iter()
+            .flat_map(|bs| bs.iter().map(Bytes::bytes))
+            .max()
+            .unwrap_or(0);
+        self.machine.all_to_all(a.procs(), per_pair);
+        let parts: Vec<Vec<Vec<T>>> = (0..n)
+            .map(|i| (0..n).map(|k| a.part(k)[i].clone()).collect())
+            .collect();
+        ParArray::like(a, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scl_machine::{CostModel, Machine, Time, Topology};
+
+    fn unit_ctx(n: usize) -> Scl {
+        Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit()))
+    }
+
+    #[test]
+    fn rotate_matches_paper_definition() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![10, 20, 30, 40]);
+        // result[i] = a[(i+1) mod 4]
+        let r = s.rotate(1, &a);
+        assert_eq!(r.to_vec(), vec![20, 30, 40, 10]);
+        assert_eq!(s.machine.metrics.messages, 4);
+    }
+
+    #[test]
+    fn rotate_negative_and_wrap() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![10, 20, 30, 40]);
+        assert_eq!(s.rotate(-1, &a).to_vec(), vec![40, 10, 20, 30]);
+        assert_eq!(s.rotate(5, &a).to_vec(), s.rotate(1, &a).to_vec());
+    }
+
+    #[test]
+    fn rotate_zero_is_free_identity() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![1, 2, 3, 4]);
+        let r = s.rotate(0, &a);
+        assert_eq!(r, a);
+        assert_eq!(s.makespan(), Time::ZERO);
+        assert_eq!(s.machine.metrics.messages, 0);
+    }
+
+    #[test]
+    fn rotate_composes_additively() {
+        let mut s = unit_ctx(5);
+        let a = ParArray::from_parts(vec![1, 2, 3, 4, 5]);
+        let first = s.rotate(3, &a);
+        let twice = s.rotate(2, &first);
+        let once = s.rotate(3 + 2, &a);
+        assert_eq!(twice.to_vec(), once.to_vec());
+    }
+
+    #[test]
+    fn rotate_row_per_row_distance() {
+        let mut s = unit_ctx(6);
+        // 2x3 grid: [0 1 2; 3 4 5]
+        let a = ParArray::from_grid(2, 3, (0..6).collect::<Vec<i32>>());
+        // row 0 unrotated, row 1 rotated by 1
+        let r = s.rotate_row(|i| i as isize, &a);
+        assert_eq!(r.to_vec(), vec![0, 1, 2, 4, 5, 3]);
+    }
+
+    #[test]
+    fn rotate_col_per_col_distance() {
+        let mut s = unit_ctx(6);
+        // 3x2 grid: [0 1; 2 3; 4 5]
+        let a = ParArray::from_grid(3, 2, (0..6).collect::<Vec<i32>>());
+        let r = s.rotate_col(|j| j as isize, &a);
+        // col 0 unrotated; col 1 rotated down by... A[(i+1) mod 3, 1]
+        assert_eq!(r.to_vec(), vec![0, 3, 2, 5, 4, 1]);
+    }
+
+    #[test]
+    fn shift_fills_boundary() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![1, 2, 3, 4]);
+        assert_eq!(s.shift(1, &a, &0).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(s.shift(-1, &a, &9).to_vec(), vec![2, 3, 4, 9]);
+        assert_eq!(s.shift(0, &a, &9).to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn brdcast_pairs_item_with_parts() {
+        let mut s = unit_ctx(3);
+        let a = ParArray::from_parts(vec![1, 2, 3]);
+        let r = s.brdcast(&99, &a);
+        assert_eq!(r.to_vec(), vec![(99, 1), (99, 2), (99, 3)]);
+        assert_eq!(s.machine.metrics.broadcasts, 1);
+    }
+
+    #[test]
+    fn apply_brdcast_uses_part_i() {
+        let mut s = unit_ctx(3);
+        let a = ParArray::from_parts(vec![10, 20, 30]);
+        let r = s.apply_brdcast(|x| x + 1, 1, &a);
+        assert_eq!(r.to_vec(), vec![(21, 10), (21, 20), (21, 30)]);
+    }
+
+    #[test]
+    fn apply_brdcast_costed_charges_source() {
+        let mut s = unit_ctx(3);
+        let a = ParArray::from_parts(vec![10u64, 20, 30]);
+        let _ = s.apply_brdcast_costed(|x| (*x, Work::cmps(7)), 2, &a);
+        assert_eq!(s.machine.metrics.cmps, 7);
+    }
+
+    #[test]
+    fn fetch_pulls_by_source_index() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![10, 20, 30, 40]);
+        // hypercube partner pattern, dim 0
+        let r = s.fetch(|i| i ^ 1, &a);
+        assert_eq!(r.to_vec(), vec![20, 10, 40, 30]);
+        assert_eq!(s.machine.metrics.messages, 4);
+    }
+
+    #[test]
+    fn fetch_one_to_many() {
+        let mut s = unit_ctx(3);
+        let a = ParArray::from_parts(vec![7, 8, 9]);
+        let r = s.fetch(|_| 0, &a);
+        assert_eq!(r.to_vec(), vec![7, 7, 7]);
+        // only two real messages (0 -> 1, 0 -> 2)
+        assert_eq!(s.machine.metrics.messages, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fetch_bad_source_panics() {
+        let mut s = unit_ctx(2);
+        let a = ParArray::from_parts(vec![1, 2]);
+        let _ = s.fetch(|_| 5, &a);
+    }
+
+    #[test]
+    fn send_many_to_one_accumulates() {
+        let mut s = unit_ctx(3);
+        let a = ParArray::from_parts(vec![10, 20, 30]);
+        // everyone sends to part 0
+        let r = s.send(|_| vec![0], &a);
+        assert_eq!(r.part(0).len(), 3);
+        assert!(r.part(1).is_empty());
+        let mut got = r.part(0).clone();
+        got.sort();
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn send_one_to_many_duplicates() {
+        let mut s = unit_ctx(3);
+        let a = ParArray::from_parts(vec![5, 6, 7]);
+        let r = s.send(|k| if k == 0 { vec![1, 2] } else { vec![] }, &a);
+        assert_eq!(r.part(1), &vec![5]);
+        assert_eq!(r.part(2), &vec![5]);
+        assert!(r.part(0).is_empty());
+    }
+
+    #[test]
+    fn total_exchange_transposes_buckets() {
+        let mut s = unit_ctx(2);
+        let a = ParArray::from_parts(vec![
+            vec![vec![1], vec![2]], // part 0's buckets for 0 and 1
+            vec![vec![3], vec![4]], // part 1's buckets for 0 and 1
+        ]);
+        let r = s.total_exchange(&a);
+        assert_eq!(r.part(0), &vec![vec![1], vec![3]]);
+        assert_eq!(r.part(1), &vec![vec![2], vec![4]]);
+        assert_eq!(s.machine.metrics.exchanges, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "buckets")]
+    fn total_exchange_checks_bucket_count() {
+        let mut s = unit_ctx(2);
+        let a = ParArray::from_parts(vec![vec![vec![1]], vec![vec![2], vec![3]]]);
+        let _ = s.total_exchange(&a);
+    }
+
+    #[test]
+    fn all_gather_replicates_everything() {
+        let mut s = unit_ctx(3);
+        let a = ParArray::from_parts(vec![1, 2, 3]);
+        let g = s.all_gather(&a);
+        for part in g.parts() {
+            assert_eq!(part, &vec![1, 2, 3]);
+        }
+        assert_eq!(s.machine.metrics.gathers, 1);
+    }
+
+    #[test]
+    fn fold_all_lands_on_every_part() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![1i64, 2, 3, 4]);
+        let r = s.fold_all(&a, |x, y| x + y, Work::NONE);
+        assert_eq!(r.to_vec(), vec![10, 10, 10, 10]);
+        assert_eq!(s.machine.metrics.reductions, 1);
+    }
+
+    #[test]
+    fn fold_all_matches_fold() {
+        let mut s = unit_ctx(5);
+        let a = ParArray::from_parts(vec![3i64, 1, 4, 1, 5]);
+        let f = s.fold(&a, |x, y| x + y);
+        let fa = s.fold_all(&a, |x, y| x + y, Work::NONE);
+        assert!(fa.parts().iter().all(|x| *x == f));
+    }
+
+    #[test]
+    fn transpose_square_grid() {
+        let mut s = unit_ctx(9);
+        let a = ParArray::from_grid(3, 3, (0..9).collect::<Vec<i32>>());
+        let t = s.transpose(&a);
+        assert_eq!(t.to_vec(), vec![0, 3, 6, 1, 4, 7, 2, 5, 8]);
+        // transpose twice = identity
+        let tt = s.transpose(&t);
+        assert_eq!(tt.to_vec(), a.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "square grid")]
+    fn transpose_rejects_rectangles() {
+        let mut s = unit_ctx(6);
+        let a = ParArray::from_grid(2, 3, (0..6).collect::<Vec<i32>>());
+        let _ = s.transpose(&a);
+    }
+
+    #[test]
+    fn balance_evens_out_skew() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![
+            vec![1i64, 2, 3, 4, 5, 6, 7],
+            vec![],
+            vec![8],
+            vec![9, 10],
+        ]);
+        let b = s.balance(&a);
+        let sizes: Vec<usize> = b.parts().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // global order preserved
+        let flat: Vec<i64> = b.parts().iter().flatten().copied().collect();
+        assert_eq!(flat, (1..=10).collect::<Vec<_>>());
+        assert!(s.machine.metrics.messages > 0);
+    }
+
+    #[test]
+    fn balance_is_idempotent_and_free_when_balanced() {
+        let mut s = unit_ctx(2);
+        let a = ParArray::from_parts(vec![vec![1i64, 2], vec![3, 4]]);
+        let b = s.balance(&a);
+        assert_eq!(b, a);
+        assert_eq!(s.machine.metrics.messages, 0);
+    }
+
+    #[test]
+    fn balance_empty_everything() {
+        let mut s = unit_ctx(3);
+        let a: ParArray<Vec<i64>> = ParArray::from_parts(vec![vec![], vec![], vec![]]);
+        let b = s.balance(&a);
+        assert!(b.parts().iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn comm_on_subgroup_charges_subgroup() {
+        let mut s = unit_ctx(8);
+        let a = ParArray::with_placement(vec![1, 2], vec![6, 7]);
+        let _ = s.rotate(1, &a);
+        assert_eq!(s.machine.clocks.get(0), Time::ZERO);
+        assert!(s.machine.clocks.get(6) > Time::ZERO);
+        assert!(s.machine.clocks.get(7) > Time::ZERO);
+    }
+}

@@ -1,0 +1,422 @@
+//! Computational skeletons: control-flow coordination.
+//!
+//! The paper's §2.3: `farm` (simplest data parallelism), `SPMD` (stages of
+//! ⟨global, local⟩ operation pairs whose composition models barrier
+//! synchronisation), `iterUntil` / `iterFor` (iteration), plus a generic
+//! divide-and-conquer `dc` built from `split` / `combine` — the nested
+//! parallel structure hyperquicksort needs.
+
+use crate::array::ParArray;
+use crate::bytes::Bytes;
+use crate::ctx::Scl;
+use crate::partition::Pattern;
+use scl_machine::Work;
+
+/// A boxed local operation of an SPMD stage: flat sequential code applied
+/// per part with its index, reporting the work it performed.
+pub type LocalOp<'a, T> = Box<dyn Fn(usize, &T) -> (T, Work) + Sync + 'a>;
+
+/// A boxed global operation of an SPMD stage: a whole-configuration
+/// transformation that may use any skeleton on the context.
+pub type GlobalOp<'a, T> = Box<dyn FnMut(&mut Scl, ParArray<T>) -> ParArray<T> + 'a>;
+
+/// A pipeline stage: a sequential transformation reporting its own work.
+pub type PipeStageFn<'a, T> = &'a (dyn Fn(&T) -> (T, Work) + Sync);
+
+/// One stage of an SPMD computation: a *local* operation farmed to every
+/// part, then a *global* (communication/synchronisation) operation over the
+/// whole configuration. The paper writes a stage as the pair `⟨gf, lf⟩` and
+/// defines `SPMD ((gf, lf) : fs) = SPMD fs ∘ gf ∘ imap lf`.
+pub struct SpmdStage<'a, T> {
+    /// Display label used in traces.
+    pub label: &'static str,
+    /// Local operation: flat sequential code, applied to each part with its
+    /// index; returns the new part and the work it performed.
+    pub local: LocalOp<'a, T>,
+    /// Global operation over the whole configuration (may use any skeleton
+    /// on the context).
+    pub global: GlobalOp<'a, T>,
+}
+
+impl<'a, T: Clone> SpmdStage<'a, T> {
+    /// A full ⟨global, local⟩ stage.
+    pub fn new(
+        label: &'static str,
+        local: impl Fn(usize, &T) -> (T, Work) + Sync + 'a,
+        global: impl FnMut(&mut Scl, ParArray<T>) -> ParArray<T> + 'a,
+    ) -> SpmdStage<'a, T> {
+        SpmdStage { label, local: Box::new(local), global: Box::new(global) }
+    }
+
+    /// A stage with only a local operation (global = identity).
+    pub fn local_only(
+        label: &'static str,
+        local: impl Fn(usize, &T) -> (T, Work) + Sync + 'a,
+    ) -> SpmdStage<'a, T> {
+        SpmdStage { label, local: Box::new(local), global: Box::new(|_, d| d) }
+    }
+
+    /// A stage with only a global operation (local = identity, no work).
+    pub fn global_only(
+        label: &'static str,
+        global: impl FnMut(&mut Scl, ParArray<T>) -> ParArray<T> + 'a,
+    ) -> SpmdStage<'a, T> {
+        SpmdStage { label, local: Box::new(|_, x: &T| (x.clone(), Work::NONE)), global: Box::new(global) }
+    }
+}
+
+impl Scl {
+    /// The paper's `farm f env`: apply `f env` to every part, the
+    /// environment being common data shared by all processes.
+    pub fn farm<E, T, R>(
+        &mut self,
+        f: impl Fn(&E, &T) -> R + Sync,
+        env: &E,
+        a: &ParArray<T>,
+    ) -> ParArray<R>
+    where
+        E: Sync,
+        T: Sync,
+        R: Send,
+    {
+        self.map(a, |x| f(env, x))
+    }
+
+    /// [`Scl::farm`] with self-reported work.
+    pub fn farm_costed<E, T, R>(
+        &mut self,
+        f: impl Fn(&E, &T) -> (R, Work) + Sync,
+        env: &E,
+        a: &ParArray<T>,
+    ) -> ParArray<R>
+    where
+        E: Sync,
+        T: Sync,
+        R: Send,
+    {
+        self.map_costed(a, |x| f(env, x))
+    }
+
+    /// Run a sequence of SPMD stages over a configuration. Between each
+    /// local phase and its global phase, the configuration's processor
+    /// group barrier-synchronises — the paper: "the composition operator
+    /// models the behaviour of barrier synchronisation".
+    pub fn spmd<T>(&mut self, stages: Vec<SpmdStage<'_, T>>, mut data: ParArray<T>) -> ParArray<T>
+    where
+        T: Sync + Send,
+    {
+        for mut stage in stages {
+            let local = &stage.local;
+            data = self.imap_costed(&data, |i, x| local(i, x));
+            self.machine.barrier_group(data.procs());
+            data = (stage.global)(self, data);
+        }
+        data
+    }
+
+    /// The paper's `iterUntil iterSolve finalSolve con x`: apply
+    /// `iter_solve` until `con` holds, then apply `final_solve`.
+    pub fn iter_until<X>(
+        &mut self,
+        mut iter_solve: impl FnMut(&mut Scl, X) -> X,
+        final_solve: impl FnOnce(&mut Scl, X) -> X,
+        con: impl Fn(&X) -> bool,
+        mut x: X,
+    ) -> X {
+        while !con(&x) {
+            x = iter_solve(self, x);
+        }
+        final_solve(self, x)
+    }
+
+    /// The paper's `iterFor terminator iterSolve x`: a counted loop,
+    /// passing the iteration number to the body.
+    pub fn iter_for<X>(
+        &mut self,
+        terminator: usize,
+        mut iter_solve: impl FnMut(&mut Scl, usize, X) -> X,
+        mut x: X,
+    ) -> X {
+        for i in 0..terminator {
+            x = iter_solve(self, i, x);
+        }
+        x
+    }
+
+    /// Apply `f` to each subgroup of a nested configuration. Groups are
+    /// processed one after another on the host, but each touches only its
+    /// own processors' clocks, so virtual time behaves as if the groups ran
+    /// concurrently — which is exactly the paper's nested-parallelism
+    /// semantics for `map` over a nested `ParArray`.
+    pub fn map_groups<T, R>(
+        &mut self,
+        nested: ParArray<ParArray<T>>,
+        f: &mut dyn FnMut(&mut Scl, ParArray<T>) -> ParArray<R>,
+    ) -> ParArray<ParArray<R>> {
+        let (groups, leaders, _) = nested.into_raw();
+        let mut out = Vec::with_capacity(groups.len());
+        for g in groups {
+            out.push(f(self, g));
+        }
+        ParArray::with_placement(out, leaders)
+    }
+
+    /// Task-parallel pipeline: stage `s` lives on processor `s`; items
+    /// stream through the stages, each stage reporting its own work. The
+    /// per-processor clocks produce the classic pipeline timing for free:
+    /// stage `s` starts item `j` only once it has finished item `j-1`
+    /// *and* item `j` has arrived from stage `s-1` — so with many items
+    /// the predicted makespan approaches
+    /// `(items + stages - 1) · max_stage_time`, not the sequential
+    /// `items · total_time`.
+    ///
+    /// This is the "parallel composition of concurrent tasks" extension
+    /// the paper's conclusion sketches on top of the data-parallel core.
+    ///
+    /// # Panics
+    /// Panics if the machine has fewer processors than stages.
+    pub fn pipeline<T: Clone + Bytes>(
+        &mut self,
+        stages: &[PipeStageFn<'_, T>],
+        items: Vec<T>,
+    ) -> Vec<T> {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        self.check_fits(stages.len());
+        let mut out = Vec::with_capacity(items.len());
+        for mut x in items {
+            for (s, stage) in stages.iter().enumerate() {
+                if s > 0 {
+                    // hand the item to the next stage's processor
+                    self.machine.send(s - 1, s, x.bytes());
+                }
+                let (next, w) = stage(&x);
+                self.machine.compute(s, w, "pipeline stage");
+                x = next;
+            }
+            out.push(x);
+        }
+        // the pipeline drains when the last stage finishes its last item
+        out
+    }
+
+    /// Generic divide-and-conquer over a configuration:
+    ///
+    /// 1. if `is_base` holds (or the group is too small to divide), apply
+    ///    `base`;
+    /// 2. otherwise apply `step` (the pre-division work — e.g.
+    ///    hyperquicksort's pivot/exchange phase), `split` into `branches`
+    ///    groups, recurse into each, and `combine`.
+    pub fn dc<T>(
+        &mut self,
+        data: ParArray<T>,
+        branches: usize,
+        is_base: &dyn Fn(&ParArray<T>) -> bool,
+        base: &mut dyn FnMut(&mut Scl, ParArray<T>) -> ParArray<T>,
+        step: &mut dyn FnMut(&mut Scl, ParArray<T>) -> ParArray<T>,
+    ) -> ParArray<T> {
+        assert!(branches >= 2, "dc needs at least 2 branches");
+        if is_base(&data) || data.len() < branches {
+            return base(self, data);
+        }
+        let data = step(self, data);
+        let groups = self.split(Pattern::Block(branches), data);
+        let solved = self.map_groups(groups, &mut |scl, g| {
+            scl.dc(g, branches, is_base, base, step)
+        });
+        self.combine(solved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scl_machine::{CostModel, Machine, Time, Topology};
+
+    fn unit_ctx(n: usize) -> Scl {
+        Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit()))
+    }
+
+    #[test]
+    fn farm_shares_environment() {
+        let mut s = unit_ctx(3);
+        let env = 100;
+        let a = ParArray::from_parts(vec![1, 2, 3]);
+        let r = s.farm(|e, x| e + x, &env, &a);
+        assert_eq!(r.to_vec(), vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn farm_costed_charges() {
+        let mut s = unit_ctx(2);
+        let a = ParArray::from_parts(vec![1u64, 2]);
+        let _ = s.farm_costed(|_, x| (*x, Work::flops(*x)), &(), &a);
+        assert_eq!(s.machine.metrics.flops, 3);
+    }
+
+    #[test]
+    fn spmd_runs_local_then_global() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![1, 2, 3, 4]);
+        let stages = vec![SpmdStage::new(
+            "double-then-rotate",
+            |_, x: &i32| (x * 2, Work::cmps(1)),
+            |scl: &mut Scl, d: ParArray<i32>| scl.rotate(1, &d),
+        )];
+        let r = s.spmd(stages, a);
+        assert_eq!(r.to_vec(), vec![4, 6, 8, 2]);
+        // one group barrier per stage
+        assert_eq!(s.machine.metrics.group_barriers, 1);
+        assert_eq!(s.machine.metrics.cmps, 4);
+    }
+
+    #[test]
+    fn spmd_multi_stage_barriers() {
+        let mut s = unit_ctx(2);
+        let a = ParArray::from_parts(vec![0, 0]);
+        let stages: Vec<SpmdStage<'_, i32>> = vec![
+            SpmdStage::local_only("inc", |_, x| (x + 1, Work::NONE)),
+            SpmdStage::local_only("inc", |_, x| (x + 1, Work::NONE)),
+            SpmdStage::local_only("inc", |_, x| (x + 1, Work::NONE)),
+        ];
+        let r = s.spmd(stages, a);
+        assert_eq!(r.to_vec(), vec![3, 3]);
+        assert_eq!(s.machine.metrics.group_barriers, 3);
+    }
+
+    #[test]
+    fn iter_until_stops_on_condition() {
+        let mut s = unit_ctx(1);
+        let out = s.iter_until(
+            |_, x: i32| x * 2,
+            |_, x| x + 1,
+            |x| *x >= 16,
+            1,
+        );
+        assert_eq!(out, 17); // 1→2→4→8→16, then final +1
+    }
+
+    #[test]
+    fn iter_until_condition_checked_before_first() {
+        let mut s = unit_ctx(1);
+        let out = s.iter_until(|_, x: i32| x * 2, |_, x| x, |x| *x >= 0, 5);
+        assert_eq!(out, 5); // body never runs
+    }
+
+    #[test]
+    fn iter_for_passes_counter() {
+        let mut s = unit_ctx(1);
+        let out = s.iter_for(4, |_, i, acc: Vec<usize>| {
+            let mut acc = acc;
+            acc.push(i);
+            acc
+        }, vec![]);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn map_groups_isolates_clocks() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![1u64, 2, 3, 4]);
+        let groups = s.split(Pattern::Block(2), a);
+        let out = s.map_groups(groups, &mut |scl, g| {
+            scl.map_costed(&g, |x| (*x, Work::cmps(*x)))
+        });
+        // group 0 = parts {1,2} on procs {0,1}; group 1 = {3,4} on {2,3}
+        assert_eq!(s.machine.clocks.get(0).as_secs(), 1.0);
+        assert_eq!(s.machine.clocks.get(3).as_secs(), 4.0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn pipeline_computes_stage_composition() {
+        let mut s = unit_ctx(3);
+        let add1: &(dyn Fn(&i64) -> (i64, Work) + Sync) = &|x| (x + 1, Work::flops(1));
+        let dbl: &(dyn Fn(&i64) -> (i64, Work) + Sync) = &|x| (x * 2, Work::flops(1));
+        let neg: &(dyn Fn(&i64) -> (i64, Work) + Sync) = &|x| (-x, Work::flops(1));
+        let out = s.pipeline(&[add1, dbl, neg], vec![1, 2, 3]);
+        assert_eq!(out, vec![-4, -6, -8]);
+    }
+
+    #[test]
+    fn pipeline_overlaps_stages() {
+        // Two stages of equal weight, many items, communication-free
+        // machine: the pipeline's predicted time must approach
+        // (items + 1) * unit, well below the sequential 2 * items * unit.
+        let mut s = Scl::new(Machine::new(
+            Topology::FullyConnected { procs: 2 },
+            CostModel::zero_comm(),
+        ));
+        let stage: &(dyn Fn(&i64) -> (i64, Work) + Sync) = &|x| (*x, Work::seconds(1.0));
+        let items: Vec<i64> = (0..50).collect();
+        let _ = s.pipeline(&[stage, stage], items);
+        let t = s.makespan().as_secs();
+        assert!((t - 51.0).abs() < 1e-9, "expected (items+1)*unit = 51, got {t}");
+    }
+
+    #[test]
+    fn single_stage_pipeline_is_sequential() {
+        let mut s = unit_ctx(1);
+        let stage: &(dyn Fn(&i64) -> (i64, Work) + Sync) = &|x| (x + 1, Work::seconds(1.0));
+        let out = s.pipeline(&[stage], vec![10, 20]);
+        assert_eq!(out, vec![11, 21]);
+        assert_eq!(s.makespan().as_secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn pipeline_rejects_no_stages() {
+        let mut s = unit_ctx(1);
+        let _ = s.pipeline::<i64>(&[], vec![1]);
+    }
+
+    #[test]
+    fn dc_reaches_base_on_every_group() {
+        let mut s = unit_ctx(8);
+        let a = ParArray::from_parts((0..8).collect::<Vec<i32>>());
+        let mut base_calls = 0;
+        let r = s.dc(
+            a,
+            2,
+            &|g| g.len() == 1,
+            &mut |scl, g| {
+                base_calls += 1;
+                scl.map(&g, |x| x * 10)
+            },
+            &mut |_, g| g,
+        );
+        assert_eq!(base_calls, 8);
+        assert_eq!(r.to_vec(), (0..8).map(|x| x * 10).collect::<Vec<_>>());
+        // placement survives the recursion
+        assert_eq!(r.procs(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn dc_step_applies_before_divide() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![1, 1, 1, 1]);
+        let r = s.dc(
+            a,
+            2,
+            &|g| g.len() == 1,
+            &mut |_, g| g,
+            &mut |scl, g| scl.map(&g, |x| x + 1),
+        );
+        // depth log2(4) = 2 step applications per element
+        assert_eq!(r.to_vec(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn dc_groups_run_in_virtual_parallel() {
+        let mut s = unit_ctx(4);
+        let a = ParArray::from_parts(vec![10u64, 10, 10, 10]);
+        let _ = s.dc(
+            a,
+            2,
+            &|g| g.len() == 1,
+            &mut |scl, g| scl.map_costed(&g, |x| (*x, Work::cmps(*x))),
+            &mut |_, g| g,
+        );
+        // all four leaves charge 10 cmps in parallel: makespan = 10, not 40
+        assert_eq!(s.makespan(), Time::from_secs(10.0));
+    }
+}

@@ -1,0 +1,17 @@
+//! The three skeleton families of SCL, as methods on [`crate::ctx::Scl`].
+//!
+//! * [`elementary`] — `map`, `imap`, `fold`, `scan`, `zip_with`
+//! * [`comm`] — `rotate`, `rotate_row`, `rotate_col`, `shift`, `brdcast`,
+//!   `apply_brdcast`, `send`, `fetch`, `total_exchange`
+//! * [`compute`] — `farm`, `spmd`, `iter_until`, `iter_for`, `map_groups`,
+//!   `dc`
+//!
+//! (Configuration skeletons — `partition`, `gather`, `distribution`,
+//! `redistribution`, `split`, `combine` — live on the context itself in
+//! [`crate::ctx`].)
+
+pub mod comm;
+pub mod compute;
+pub mod elementary;
+
+pub use compute::{GlobalOp, LocalOp, PipeStageFn, SpmdStage};

@@ -1,0 +1,269 @@
+//! Property-based tests for scl-core invariants:
+//! partition/gather inverses, skeleton algebra, placement preservation.
+
+use proptest::prelude::*;
+use scl_core::prelude::*;
+use scl_core::partition::{gather, gather2, partition, Pattern};
+
+fn unit_ctx(n: usize) -> Scl {
+    Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit()))
+}
+
+fn arb_pattern_1d() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        (1usize..=8).prop_map(Pattern::Block),
+        (1usize..=8).prop_map(Pattern::Cyclic),
+        ((1usize..=8), (1usize..=5)).prop_map(|(p, block)| Pattern::BlockCyclic { p, block }),
+    ]
+}
+
+fn arb_pattern_2d() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        (1usize..=5).prop_map(Pattern::RowBlock),
+        (1usize..=5).prop_map(Pattern::ColBlock),
+        (1usize..=5).prop_map(Pattern::RowCyclic),
+        (1usize..=5).prop_map(Pattern::ColCyclic),
+        ((1usize..=4), (1usize..=4)).prop_map(|(pr, pc)| Pattern::Grid { pr, pc }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn gather_inverts_partition(data in prop::collection::vec(any::<i64>(), 0..200),
+                                pattern in arb_pattern_1d()) {
+        let d = partition(pattern, &data);
+        prop_assert_eq!(gather(pattern, &d), data);
+    }
+
+    #[test]
+    fn partition_conserves_elements(data in prop::collection::vec(any::<i32>(), 0..200),
+                                    pattern in arb_pattern_1d()) {
+        let d = partition(pattern, &data);
+        let total: usize = d.parts().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, data.len());
+        let mut all: Vec<i32> = d.parts().iter().flatten().copied().collect();
+        let mut expect = data.clone();
+        all.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn block_partition_is_balanced(n in 0usize..500, p in 1usize..16) {
+        let data: Vec<u8> = vec![0; n];
+        let d = partition(Pattern::Block(p), &data);
+        let sizes: Vec<usize> = d.parts().iter().map(Vec::len).collect();
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn gather2_inverts_partition2(rows in 1usize..12, cols in 1usize..12,
+                                  pattern in arb_pattern_2d()) {
+        let m = Matrix::from_fn(rows, cols, |r, c| (r * 100 + c) as i64);
+        let d = scl_core::partition::partition2(pattern, &m);
+        let _ = &d;
+        prop_assert_eq!(gather2(pattern, &d), m);
+    }
+
+    #[test]
+    fn combine_inverts_split_block(n_parts in 1usize..32, groups in 1usize..8) {
+        prop_assume!(groups <= n_parts);
+        let a = ParArray::from_parts((0..n_parts as i64).collect::<Vec<_>>());
+        let nested = split(Pattern::Block(groups), a.clone());
+        prop_assert_eq!(combine(nested), a);
+    }
+
+    #[test]
+    fn rotate_composition_law(n in 1usize..16, a in -20isize..20, b in -20isize..20) {
+        // communication algebra: rotate a . rotate b == rotate (a+b)
+        let mut s = unit_ctx(n);
+        let data = ParArray::from_parts((0..n as i64).collect::<Vec<_>>());
+        let r1 = s.rotate(b, &data);
+        let r1 = s.rotate(a, &r1);
+        let r2 = s.rotate(a + b, &data);
+        prop_assert_eq!(r1.to_vec(), r2.to_vec());
+    }
+
+    #[test]
+    fn rotate_full_cycle_is_identity(n in 1usize..16) {
+        let mut s = unit_ctx(n);
+        let data = ParArray::from_parts((0..n as i64).collect::<Vec<_>>());
+        prop_assert_eq!(s.rotate(n as isize, &data).to_vec(), data.to_vec());
+    }
+
+    #[test]
+    fn fetch_fusion_law(n in 1usize..12, fa in 0usize..12, fb in 0usize..12) {
+        // fetch f . fetch g == fetch (g . f)   (paper §4, communication algebra)
+        let f = move |i: usize| (i + fa) % n;
+        let g = move |i: usize| (i * 7 + fb) % n;
+        let mut s = unit_ctx(n);
+        let data = ParArray::from_parts((0..n as i64).collect::<Vec<_>>());
+        let lhs = s.fetch(g, &data);
+        let lhs = s.fetch(f, &lhs);
+        let rhs = s.fetch(move |i| g(f(i)), &data);
+        prop_assert_eq!(lhs.to_vec(), rhs.to_vec());
+    }
+
+    #[test]
+    fn map_fusion_law(data in prop::collection::vec(any::<i32>(), 1..32)) {
+        // map f . map g == map (f . g)
+        let n = data.len();
+        let mut s = unit_ctx(n);
+        let a = ParArray::from_parts(data);
+        let g = |x: &i32| x.wrapping_mul(3);
+        let f = |x: &i32| x.wrapping_add(17);
+        let lhs_inner = s.map(&a, g);
+        let lhs = s.map(&lhs_inner, f);
+        let rhs = s.map(&a, |x| f(&g(x)));
+        prop_assert_eq!(lhs.to_vec(), rhs.to_vec());
+    }
+
+    #[test]
+    fn map_distribution_law(data in prop::collection::vec(-1000i64..1000, 1..32)) {
+        // foldr (f . g) == fold f . map g  for associative f (here +, g = square)
+        let n = data.len();
+        let mut s = unit_ctx(n);
+        let a = ParArray::from_parts(data.clone());
+        let mapped = s.map(&a, |x| x * x);
+        let parallel = s.fold(&mapped, |x, y| x + y);
+        let sequential: i64 = data.iter().map(|x| x * x).sum();
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn scan_last_equals_fold(data in prop::collection::vec(-100i64..100, 1..32)) {
+        let n = data.len();
+        let mut s = unit_ctx(n);
+        let a = ParArray::from_parts(data);
+        let scanned = s.scan(&a, |x, y| x + y);
+        let folded = s.fold(&a, |x, y| x + y);
+        prop_assert_eq!(*scanned.part(n - 1), folded);
+    }
+
+    #[test]
+    fn send_delivers_multiset(dests in prop::collection::vec(prop::collection::vec(0usize..10, 0..4), 1..10)) {
+        let n = dests.len();
+        let dests: Vec<Vec<usize>> =
+            dests.into_iter().map(|v| v.into_iter().map(|d| d % n).collect()).collect();
+        let mut s = unit_ctx(n);
+        let a = ParArray::from_parts((0..n as i64).collect::<Vec<_>>());
+        let d2 = dests.clone();
+        let out = s.send(move |k| d2[k].clone(), &a);
+        // every (src, dst) pair delivered exactly once, nothing invented
+        let mut sent: Vec<(usize, i64)> = vec![];
+        for (k, ds) in dests.iter().enumerate() {
+            for &d in ds {
+                sent.push((d, k as i64));
+            }
+        }
+        let mut got: Vec<(usize, i64)> = vec![];
+        for (j, inbox) in out.parts().iter().enumerate() {
+            for &v in inbox {
+                got.push((j, v));
+            }
+        }
+        sent.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(sent, got);
+    }
+
+    #[test]
+    fn skeletons_preserve_placement(n in 1usize..12, k in -5isize..5) {
+        let mut s = unit_ctx(n);
+        let a = ParArray::from_parts((0..n as i64).collect::<Vec<_>>());
+        let m = s.map(&a, |x| x + 1);
+        prop_assert_eq!(m.procs(), a.procs());
+        let r = s.rotate(k, &a);
+        prop_assert_eq!(r.procs(), a.procs());
+        let f = s.fetch(|i| i, &a);
+        prop_assert_eq!(f.procs(), a.procs());
+    }
+
+    #[test]
+    fn threaded_and_sequential_skeletons_agree(
+        data in prop::collection::vec(any::<i64>(), 1..64),
+        threads in 2usize..6,
+    ) {
+        let n = data.len();
+        let a = ParArray::from_parts(data);
+        let mut s1 = unit_ctx(n);
+        let mut s2 = unit_ctx(n).with_policy(ExecPolicy::Threads(threads));
+        let m1 = s1.map(&a, |x| x.wrapping_mul(5));
+        let m2 = s2.map(&a, |x| x.wrapping_mul(5));
+        let f1 = s1.fold(&m1, |x, y| x.wrapping_add(*y));
+        let f2 = s2.fold(&m2, |x, y| x.wrapping_add(*y));
+        prop_assert_eq!(m1, m2);
+        prop_assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn comm_skeletons_preserve_multisets(data in prop::collection::vec(any::<i64>(), 1..24),
+                                         k in -9isize..9, f_add in 0usize..24) {
+        let n = data.len();
+        let mut s = unit_ctx(n);
+        let a = ParArray::from_parts(data.clone());
+        let mut expect = data.clone();
+        expect.sort_unstable();
+
+        let mut r = s.rotate(k, &a).to_vec();
+        r.sort_unstable();
+        prop_assert_eq!(&r, &expect, "rotate must permute");
+
+        // bijective fetch (a rotation expressed as fetch) also permutes
+        let mut r = s.fetch(move |i| (i + f_add) % n, &a).to_vec();
+        r.sort_unstable();
+        prop_assert_eq!(&r, &expect, "bijective fetch must permute");
+    }
+
+    #[test]
+    fn balance_preserves_order_and_evens(sizes in prop::collection::vec(0usize..12, 1..10)) {
+        let p = sizes.len();
+        let mut s = unit_ctx(p);
+        let mut next = 0i64;
+        let parts: Vec<Vec<i64>> = sizes
+            .iter()
+            .map(|&len| (0..len).map(|_| { next += 1; next }).collect())
+            .collect();
+        let total: usize = sizes.iter().sum();
+        let a = ParArray::from_parts(parts);
+        let b = s.balance(&a);
+        // order preserved
+        let flat: Vec<i64> = b.parts().iter().flatten().copied().collect();
+        prop_assert_eq!(flat, (1..=total as i64).collect::<Vec<_>>());
+        // sizes balanced to +-1
+        let min = b.parts().iter().map(Vec::len).min().unwrap();
+        let max = b.parts().iter().map(Vec::len).max().unwrap();
+        prop_assert!(max - min <= 1, "sizes {:?}", b.parts().iter().map(Vec::len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_gather_and_fold_all_agree_with_basics(data in prop::collection::vec(-100i64..100, 1..16)) {
+        let n = data.len();
+        let mut s = unit_ctx(n);
+        let a = ParArray::from_parts(data.clone());
+        let gathered = s.all_gather(&a);
+        for part in gathered.parts() {
+            prop_assert_eq!(part, &data);
+        }
+        let folded = s.fold(&a, |x, y| x + y);
+        let folded_all = s.fold_all(&a, |x, y| x + y, Work::NONE);
+        prop_assert!(folded_all.parts().iter().all(|x| *x == folded));
+    }
+
+    #[test]
+    fn virtual_time_deterministic(
+        data in prop::collection::vec(0u64..1000, 1..32),
+    ) {
+        let n = data.len();
+        let run = |data: &[u64]| -> (f64, u64) {
+            let mut s = Scl::ap1000(n);
+            let a = ParArray::from_parts(data.to_vec());
+            let m = s.map_costed(&a, |x| (*x, Work::cmps(*x)));
+            let _ = s.fold(&m, |x, y| x + y);
+            (s.makespan().as_secs(), s.machine.metrics.messages)
+        };
+        prop_assert_eq!(run(&data), run(&data));
+    }
+}

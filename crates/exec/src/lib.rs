@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # scl-exec — execution substrate for SCL skeletons
+//!
+//! The paper's skeletons were "implemented in a problem independent manner"
+//! as templates over Fortran + MPI. In this reproduction the equivalent
+//! substrate is this crate: a small, from-scratch threaded runtime (no
+//! `rayon`) that the skeleton layer uses to apply sequential base-language
+//! fragments to the partitions of a distributed array — really in parallel
+//! when the host has cores to spare, or sequentially for deterministic
+//! debugging.
+//!
+//! Two building blocks are provided:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — scoped, self-scheduling parallel map
+//!   over a slice, preserving output order and propagating worker panics.
+//! * [`ThreadPool`] — a persistent pool for `'static` jobs with joinable
+//!   [`JobHandle`]s.
+//!
+//! An [`ExecPolicy`] selects between sequential and threaded execution and is
+//! threaded through `scl-core`'s context type.
+
+pub mod policy;
+pub mod pool;
+pub mod scope;
+
+pub use policy::ExecPolicy;
+pub use pool::{JobHandle, ThreadPool};
+pub use scope::{par_for_each, par_map, par_map_indexed};

@@ -1,0 +1,77 @@
+//! Execution policy: sequential or threaded.
+
+use std::num::NonZeroUsize;
+
+/// How partition-local work should be executed on the host.
+///
+/// The simulated machine's *virtual* processor count is independent of this:
+/// a 32-cell simulation can run on 4 host threads, or on one (sequentially,
+/// fully deterministic scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPolicy {
+    /// Run everything on the calling thread, in partition order.
+    #[default]
+    Sequential,
+    /// Run on up to this many host threads (at least 1).
+    Threads(usize),
+}
+
+impl ExecPolicy {
+    /// Threaded policy sized to the host's available parallelism.
+    pub fn auto() -> ExecPolicy {
+        let n = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        if n <= 1 {
+            ExecPolicy::Sequential
+        } else {
+            ExecPolicy::Threads(n)
+        }
+    }
+
+    /// The number of host threads this policy will actually use for `tasks`
+    /// independent tasks (never more threads than tasks, never zero).
+    pub fn effective_threads(&self, tasks: usize) -> usize {
+        match *self {
+            ExecPolicy::Sequential => 1,
+            ExecPolicy::Threads(n) => n.max(1).min(tasks.max(1)),
+        }
+    }
+
+    /// True if this policy may use more than one thread.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, ExecPolicy::Threads(n) if *n > 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(ExecPolicy::Sequential.effective_threads(100), 1);
+        assert_eq!(ExecPolicy::Threads(8).effective_threads(3), 3);
+        assert_eq!(ExecPolicy::Threads(8).effective_threads(100), 8);
+        assert_eq!(ExecPolicy::Threads(0).effective_threads(5), 1);
+        assert_eq!(ExecPolicy::Threads(4).effective_threads(0), 1);
+    }
+
+    #[test]
+    fn parallel_predicate() {
+        assert!(!ExecPolicy::Sequential.is_parallel());
+        assert!(!ExecPolicy::Threads(1).is_parallel());
+        assert!(ExecPolicy::Threads(2).is_parallel());
+    }
+
+    #[test]
+    fn auto_is_sane() {
+        match ExecPolicy::auto() {
+            ExecPolicy::Sequential => {}
+            ExecPolicy::Threads(n) => assert!(n >= 2),
+        }
+    }
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(ExecPolicy::default(), ExecPolicy::Sequential);
+    }
+}

@@ -1,0 +1,216 @@
+//! A persistent thread pool for `'static` jobs.
+//!
+//! [`ThreadPool`] complements the scoped [`crate::scope`] primitives: it owns
+//! long-lived worker threads fed from a single crossbeam channel, for
+//! workloads that submit independent jobs over time (e.g. a stream of `farm`
+//! tasks) rather than one bulk-parallel slice. Each submission returns a
+//! [`JobHandle`] that can be joined for the job's result; panics inside a job
+//! are caught and surfaced at join time, never killing a worker.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::any::Any;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The result of a submitted job: either its return value or the panic
+/// payload it raised.
+pub struct JobHandle<R> {
+    rx: Receiver<std::thread::Result<R>>,
+}
+
+impl<R> JobHandle<R> {
+    /// Wait for the job and return its result; a panicking job yields
+    /// `Err(payload)` just like [`std::thread::JoinHandle::join`].
+    pub fn join(self) -> std::thread::Result<R> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(Box::new("scl-exec: job dropped before completion") as Box<dyn Any + Send>))
+    }
+
+    /// Non-blocking poll: `Some(result)` once the job has finished.
+    pub fn try_join(&self) -> Option<std::thread::Result<R>>
+    where
+        R: Send,
+    {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `size` workers (at least 1).
+    pub fn new(size: usize) -> ThreadPool {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("scl-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn scl-exec worker")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job, returning a handle to its eventual result.
+    pub fn submit<R, F>(&self, f: F) -> JobHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (rtx, rrx) = bounded::<std::thread::Result<R>>(1);
+        let job: Job = Box::new(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let _ = rtx.send(result);
+        });
+        self.tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(job)
+            .expect("all scl-exec workers exited");
+        JobHandle { rx: rrx }
+    }
+
+    /// Submit a batch and wait for all results, in submission order.
+    ///
+    /// # Panics
+    /// Re-raises the first job panic encountered.
+    pub fn submit_all<R, F, I>(&self, jobs: I) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+        I: IntoIterator<Item = F>,
+    {
+        let handles: Vec<JobHandle<R>> = jobs.into_iter().map(|f| self.submit(f)).collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker drain and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let h = pool.submit(|| 21 * 2);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn size_is_at_least_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        assert_eq!(pool.submit(|| 1).join().unwrap(), 1);
+    }
+
+    #[test]
+    fn submit_all_preserves_order() {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<_> = (0..100).map(|i| move || i * i).collect();
+        let out = pool.submit_all(jobs);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn job_panic_is_caught_at_join() {
+        let pool = ThreadPool::new(2);
+        let h = pool.submit(|| -> u32 { panic!("job exploded") });
+        assert!(h.join().is_err());
+        // the worker survived and keeps serving:
+        assert_eq!(pool.submit(|| 7).join().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "job exploded")]
+    fn submit_all_reraises_panics() {
+        let pool = ThreadPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("job exploded"))];
+        let _ = pool.submit_all(jobs);
+    }
+
+    #[test]
+    fn drop_joins_workers_after_draining() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let hits = hits.clone();
+                // fire-and-forget handles: results discarded
+                let _ = pool.submit(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // pool dropped here: must drain all 50 jobs before joining
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn try_join_eventually_ready() {
+        let pool = ThreadPool::new(1);
+        let h = pool.submit(|| 5u32);
+        let mut val = None;
+        for _ in 0..10_000 {
+            if let Some(r) = h.try_join() {
+                val = Some(r.unwrap());
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(val, Some(5));
+    }
+
+    #[test]
+    fn many_concurrent_submitters() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let mut joins = vec![];
+        for t in 0..8 {
+            let pool = pool.clone();
+            joins.push(std::thread::spawn(move || {
+                let jobs: Vec<_> = (0..50u64).map(|i| move || i + t).collect();
+                pool.submit_all(jobs).iter().sum::<u64>()
+            }));
+        }
+        let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        let expect: u64 = (0..8u64).map(|t| (0..50u64).map(|i| i + t).sum::<u64>()).sum();
+        assert_eq!(total, expect);
+    }
+}

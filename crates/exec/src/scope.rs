@@ -1,0 +1,180 @@
+//! Scoped parallel map over a slice.
+//!
+//! [`par_map_indexed`] is the workhorse behind every data-parallel skeleton:
+//! it applies a function to each element of a slice, using self-scheduling
+//! (an atomic work counter) so that unevenly sized partitions — the `farm`
+//! skeleton's raison d'être — balance across host threads automatically.
+//!
+//! Results come back **in input order** regardless of completion order, and
+//! a panic in any worker propagates to the caller (after all workers have
+//! stopped), matching the behaviour of a plain sequential loop closely
+//! enough for tests to rely on it.
+
+use crate::policy::ExecPolicy;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Apply `f(index, &item)` to every element, returning results in input
+/// order.
+///
+/// With [`ExecPolicy::Sequential`] this is a plain loop; with
+/// [`ExecPolicy::Threads`] items are pulled off a shared atomic counter by
+/// up to `n` scoped threads.
+///
+/// # Panics
+/// Propagates the first panic raised by `f`.
+pub fn par_map_indexed<T, R, F>(policy: ExecPolicy, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n_threads = policy.effective_threads(items.len());
+    if n_threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+
+    let mut out: Vec<Option<R>> = std::thread::scope(|s| {
+        for _ in 0..n_threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out
+        // scope joins all workers here; a worker panic re-raises now,
+        // superseding any missing results.
+    });
+
+    if out.iter().any(Option::is_none) {
+        // A worker died without panicking through scope (can't normally
+        // happen) — fail loudly rather than return partial data.
+        panic!("scl-exec: worker thread failed to produce a result");
+    }
+    out.iter_mut().map(|slot| slot.take().unwrap()).collect()
+}
+
+/// [`par_map_indexed`] without the index.
+pub fn par_map<T, R, F>(policy: ExecPolicy, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(policy, items, |_, x| f(x))
+}
+
+/// Run `f(index, &item)` for side effects only.
+pub fn par_for_each<T, F>(policy: ExecPolicy, items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    let _: Vec<()> = par_map_indexed(policy, items, |i, x| f(i, x));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    const POLICIES: [ExecPolicy; 3] =
+        [ExecPolicy::Sequential, ExecPolicy::Threads(2), ExecPolicy::Threads(8)];
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for p in POLICIES {
+            let out = par_map(p, &items, |x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_indices() {
+        let items = vec!["a", "b", "c"];
+        for p in POLICIES {
+            let out = par_map_indexed(p, &items, |i, s| format!("{i}{s}"));
+            assert_eq!(out, vec!["0a", "1b", "2c"], "{p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        for p in POLICIES {
+            let empty: Vec<i32> = vec![];
+            assert!(par_map(p, &empty, |x| *x).is_empty());
+            assert_eq!(par_map(p, &[42], |x| x + 1), vec![43]);
+        }
+    }
+
+    #[test]
+    fn unbalanced_work_self_schedules() {
+        // Heavily skewed task sizes: correctness must not depend on balance.
+        let items: Vec<u64> = (0..64).map(|i| if i == 0 { 200_000 } else { 10 }).collect();
+        let spin = |n: &u64| -> u64 { (0..*n).fold(0u64, |a, i| a.wrapping_add(i)) };
+        let seq = par_map(ExecPolicy::Sequential, &items, spin);
+        let par = par_map(ExecPolicy::Threads(4), &items, spin);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        for p in POLICIES {
+            let hits = AtomicU64::new(0);
+            let items: Vec<u64> = (0..257).collect();
+            par_for_each(p, &items, |_, x| {
+                hits.fetch_add(*x + 1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), (0..257).map(|x| x + 1).sum::<u64>());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates_threaded() {
+        let items: Vec<u32> = (0..32).collect();
+        let _ = par_map(ExecPolicy::Threads(4), &items, |x| {
+            if *x == 17 {
+                panic!("boom");
+            }
+            *x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates_sequential() {
+        let items: Vec<u32> = (0..32).collect();
+        let _ = par_map(ExecPolicy::Sequential, &items, |x| {
+            if *x == 17 {
+                panic!("boom");
+            }
+            *x
+        });
+    }
+
+    #[test]
+    fn borrows_from_environment() {
+        let base = [10, 20, 30];
+        let items = vec![0usize, 1, 2];
+        let out = par_map(ExecPolicy::Threads(2), &items, |i| base[*i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Property tests: threaded execution is observationally equivalent to
+//! sequential execution for pure functions.
+
+use proptest::prelude::*;
+use scl_exec::{par_map, par_map_indexed, ExecPolicy, ThreadPool};
+
+proptest! {
+    #[test]
+    fn par_map_equals_seq_map(items in prop::collection::vec(any::<i64>(), 0..200),
+                              threads in 1usize..8) {
+        let f = |x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        let seq: Vec<i64> = items.iter().map(f).collect();
+        let par = par_map(ExecPolicy::Threads(threads), &items, f);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn indexed_map_equals_enumerate(items in prop::collection::vec(any::<u32>(), 0..200)) {
+        let f = |i: usize, x: &u32| (i as u64) * 1000 + *x as u64 % 997;
+        let seq: Vec<u64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let par = par_map_indexed(ExecPolicy::Threads(4), &items, f);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pool_submit_all_matches_direct(values in prop::collection::vec(any::<u16>(), 0..100)) {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<_> = values.iter().map(|&v| move || v as u32 + 1).collect();
+        let out = pool.submit_all(jobs);
+        let expect: Vec<u32> = values.iter().map(|&v| v as u32 + 1).collect();
+        prop_assert_eq!(out, expect);
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-processor virtual clocks.
+//!
+//! Each simulated processor owns a clock; local work advances the owner's
+//! clock, and synchronising operations (barriers, collectives) bring groups
+//! of clocks together. The predicted runtime of a program is the *makespan*:
+//! the largest clock once the program finishes.
+
+use crate::time::Time;
+use crate::topology::ProcId;
+
+/// The clocks of a set of processors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcClocks {
+    t: Vec<Time>,
+}
+
+impl ProcClocks {
+    /// `n` clocks, all at zero.
+    pub fn new(n: usize) -> ProcClocks {
+        assert!(n > 0, "need at least one processor");
+        ProcClocks { t: vec![Time::ZERO; n] }
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Always false (a machine has ≥ 1 processor), provided for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Current time of processor `p`.
+    pub fn get(&self, p: ProcId) -> Time {
+        self.t[p]
+    }
+
+    /// Overwrite the time of processor `p` (used by message delivery, where
+    /// the receiver's clock becomes `max(receiver, sender + transit)`).
+    pub fn set(&mut self, p: ProcId, t: Time) {
+        self.t[p] = t;
+    }
+
+    /// Advance processor `p` by `dt`.
+    pub fn advance(&mut self, p: ProcId, dt: Time) {
+        debug_assert!(dt.is_valid(), "negative or non-finite time advance: {dt:?}");
+        self.t[p] += dt;
+    }
+
+    /// Advance every processor by `dt`.
+    pub fn advance_all(&mut self, dt: Time) {
+        for t in &mut self.t {
+            *t += dt;
+        }
+    }
+
+    /// Move the clock of `p` forward to at least `t` (no-op if already past).
+    pub fn raise_to(&mut self, p: ProcId, t: Time) {
+        if self.t[p] < t {
+            self.t[p] = t;
+        }
+    }
+
+    /// Synchronise **all** processors: every clock jumps to the current
+    /// maximum plus `cost`. Returns the post-barrier time.
+    pub fn barrier(&mut self, cost: Time) -> Time {
+        let m = self.makespan() + cost;
+        for t in &mut self.t {
+            *t = m;
+        }
+        m
+    }
+
+    /// Synchronise a subset of processors (a *group* in MPI terms — what
+    /// SCL's nested arrays map to). Clocks outside the group are untouched.
+    ///
+    /// # Panics
+    /// Panics if `group` is empty or contains an out-of-range id.
+    pub fn barrier_group(&mut self, group: &[ProcId], cost: Time) -> Time {
+        assert!(!group.is_empty(), "barrier over empty group");
+        let m = group.iter().map(|&p| self.t[p]).fold(Time::ZERO, Time::max) + cost;
+        for &p in group {
+            self.t[p] = m;
+        }
+        m
+    }
+
+    /// The largest clock — the predicted elapsed time so far.
+    pub fn makespan(&self) -> Time {
+        self.t.iter().copied().fold(Time::ZERO, Time::max)
+    }
+
+    /// The smallest clock.
+    pub fn min_time(&self) -> Time {
+        self.t.iter().copied().fold(Time(f64::INFINITY), Time::min)
+    }
+
+    /// Mean of all clocks.
+    pub fn mean(&self) -> Time {
+        self.t.iter().copied().sum::<Time>() / self.t.len() as f64
+    }
+
+    /// Load imbalance: `makespan / mean`, 1.0 when perfectly balanced.
+    /// Returns 1.0 when no time has elapsed at all.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean();
+        if mean == Time::ZERO {
+            1.0
+        } else {
+            self.makespan() / mean
+        }
+    }
+
+    /// Reset every clock to zero.
+    pub fn reset(&mut self) {
+        for t in &mut self.t {
+            *t = Time::ZERO;
+        }
+    }
+
+    /// Snapshot of all clock values.
+    pub fn snapshot(&self) -> Vec<Time> {
+        self.t.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = ProcClocks::new(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.makespan(), Time::ZERO);
+        assert_eq!(c.mean(), Time::ZERO);
+        assert_eq!(c.imbalance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_procs() {
+        let _ = ProcClocks::new(0);
+    }
+
+    #[test]
+    fn advance_and_makespan() {
+        let mut c = ProcClocks::new(3);
+        c.advance(0, Time::from_secs(1.0));
+        c.advance(1, Time::from_secs(3.0));
+        c.advance(1, Time::from_secs(1.0));
+        assert_eq!(c.get(0).as_secs(), 1.0);
+        assert_eq!(c.get(1).as_secs(), 4.0);
+        assert_eq!(c.get(2).as_secs(), 0.0);
+        assert_eq!(c.makespan().as_secs(), 4.0);
+        assert_eq!(c.min_time().as_secs(), 0.0);
+    }
+
+    #[test]
+    fn barrier_syncs_to_max_plus_cost() {
+        let mut c = ProcClocks::new(3);
+        c.advance(2, Time::from_secs(5.0));
+        let t = c.barrier(Time::from_secs(0.5));
+        assert_eq!(t.as_secs(), 5.5);
+        for p in 0..3 {
+            assert_eq!(c.get(p).as_secs(), 5.5);
+        }
+    }
+
+    #[test]
+    fn group_barrier_leaves_outsiders_alone() {
+        let mut c = ProcClocks::new(4);
+        c.advance(0, Time::from_secs(1.0));
+        c.advance(1, Time::from_secs(2.0));
+        c.advance(3, Time::from_secs(9.0));
+        c.barrier_group(&[0, 1], Time::from_secs(1.0));
+        assert_eq!(c.get(0).as_secs(), 3.0);
+        assert_eq!(c.get(1).as_secs(), 3.0);
+        assert_eq!(c.get(2).as_secs(), 0.0);
+        assert_eq!(c.get(3).as_secs(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn group_barrier_rejects_empty() {
+        let mut c = ProcClocks::new(2);
+        c.barrier_group(&[], Time::ZERO);
+    }
+
+    #[test]
+    fn raise_to_is_monotone() {
+        let mut c = ProcClocks::new(1);
+        c.raise_to(0, Time::from_secs(2.0));
+        assert_eq!(c.get(0).as_secs(), 2.0);
+        c.raise_to(0, Time::from_secs(1.0));
+        assert_eq!(c.get(0).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn imbalance_measures_skew() {
+        let mut c = ProcClocks::new(2);
+        c.advance(0, Time::from_secs(2.0));
+        // mean = 1.0, max = 2.0
+        assert_eq!(c.imbalance(), 2.0);
+        c.advance(1, Time::from_secs(2.0));
+        assert_eq!(c.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = ProcClocks::new(2);
+        c.advance_all(Time::from_secs(1.0));
+        c.reset();
+        assert_eq!(c.makespan(), Time::ZERO);
+    }
+
+    #[test]
+    fn snapshot_copies_state() {
+        let mut c = ProcClocks::new(2);
+        c.advance(1, Time::from_secs(7.0));
+        let s = c.snapshot();
+        assert_eq!(s[0].as_secs(), 0.0);
+        assert_eq!(s[1].as_secs(), 7.0);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # scl-machine — a simulated distributed-memory multicomputer
+//!
+//! This crate is the *hardware substrate* for the `scl-rs` reproduction of
+//! Darlington, Guo, To & Yang, *"Parallel Skeletons for Structured
+//! Composition"* (PPoPP 1995). The paper evaluates its skeleton language on a
+//! Fujitsu AP1000 — a 1991 distributed-memory machine we obviously cannot
+//! run — so this crate models one: interconnect topologies, a calibratable
+//! linear cost model, per-processor virtual clocks, collective-communication
+//! formulas, counters and event traces.
+//!
+//! The skeleton layer (`scl-core`) performs the *real* data movement on the
+//! host and charges this machine for what each step would have cost; the
+//! maximum clock (the *makespan*) is the predicted parallel runtime. That is
+//! exactly what's needed to regenerate the paper's Table 1 and Figure 3
+//! scaling shapes deterministically.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use scl_machine::{Machine, CostModel, Topology, Work};
+//!
+//! // A 16-cell AP1000-like machine (2-D torus + hardware broadcast).
+//! let mut m = Machine::ap1000(16);
+//!
+//! // Each cell quicksorts its local block: charge n/p log n/p comparisons.
+//! let works: Vec<Work> = (0..16).map(|_| Work::cmps(6250 * 13)).collect();
+//! m.compute_each(&works, "local sort");
+//!
+//! // One barrier, then gather the blocks to cell 0.
+//! m.barrier();
+//! let group: Vec<usize> = (0..16).collect();
+//! m.gather(&group, 6250 * 8);
+//!
+//! println!("predicted runtime: {}", m.makespan());
+//! assert!(m.makespan().as_secs() > 0.0);
+//! ```
+
+pub mod clock;
+pub mod cost;
+pub mod machine;
+pub mod metrics;
+pub mod network;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use clock::ProcClocks;
+pub use cost::{CostModel, Work};
+pub use machine::{Machine, MachineReport};
+pub use metrics::Metrics;
+pub use network::{log_phases, Network};
+pub use time::Time;
+pub use topology::{ProcId, Topology};
+pub use trace::{Event, Trace};

@@ -1,0 +1,576 @@
+//! The simulated multicomputer.
+//!
+//! [`Machine`] is the façade the rest of the workspace talks to: it owns the
+//! topology, the cost model, the per-processor clocks, the counters and the
+//! (optional) event trace, and exposes one method per primitive the SCL
+//! skeletons charge — local compute, point-to-point messages, barriers and
+//! group collectives.
+//!
+//! The execution model is *virtual time*: methods never move real data (the
+//! skeleton layer does that), they only account for what the data movement
+//! would cost on the modelled machine. Collectives are synchronising, as in
+//! the paper's SPMD semantics: participants meet at the max of their clocks
+//! and leave together after the collective's cost.
+
+use crate::clock::ProcClocks;
+use crate::cost::{CostModel, Work};
+use crate::metrics::Metrics;
+use crate::network::Network;
+use crate::time::Time;
+use crate::topology::{ProcId, Topology};
+use crate::trace::{Event, Trace};
+
+/// A simulated distributed-memory machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    topo: Topology,
+    model: CostModel,
+    /// Per-processor relative compute speed (1.0 = nominal). Models
+    /// heterogeneous clusters / thermally-throttled cells: local work on
+    /// processor `p` takes `cost / speed[p]`.
+    speed: Vec<f64>,
+    /// Per-processor virtual clocks (public for read access; mutate through
+    /// the machine's methods so counters and traces stay consistent).
+    pub clocks: ProcClocks,
+    /// Aggregate operation counters.
+    pub metrics: Metrics,
+    /// Optional event trace.
+    pub trace: Trace,
+}
+
+/// End-of-run summary produced by [`Machine::report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineReport {
+    /// Number of processors.
+    pub procs: usize,
+    /// Predicted elapsed time (max clock).
+    pub makespan: Time,
+    /// Load imbalance (`makespan / mean clock`).
+    pub imbalance: f64,
+    /// Operation counters.
+    pub metrics: Metrics,
+}
+
+impl std::fmt::Display for MachineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "procs={} makespan={} imbalance={:.3} {}",
+            self.procs,
+            self.makespan,
+            self.imbalance,
+            self.metrics.summary()
+        )
+    }
+}
+
+impl Machine {
+    /// Build a machine from a topology and a cost model.
+    pub fn new(topo: Topology, model: CostModel) -> Machine {
+        assert!(model.is_valid(), "invalid cost model");
+        let n = topo.procs();
+        Machine {
+            topo,
+            model,
+            speed: vec![1.0; n],
+            clocks: ProcClocks::new(n),
+            metrics: Metrics::new(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Set the relative compute speed of processor `p` (1.0 = nominal,
+    /// 0.5 = half speed). Communication is unaffected.
+    ///
+    /// # Panics
+    /// Panics unless `factor` is finite and positive.
+    pub fn set_speed(&mut self, p: ProcId, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "speed must be positive, got {factor}");
+        self.speed[p] = factor;
+    }
+
+    /// The relative compute speed of processor `p`.
+    pub fn speed(&self, p: ProcId) -> f64 {
+        self.speed[p]
+    }
+
+    /// An AP1000-like machine with `n` cells: 2-D torus T-net and the
+    /// [`CostModel::ap1000`] parameters.
+    pub fn ap1000(n: usize) -> Machine {
+        Machine::new(Topology::torus_for(n), CostModel::ap1000())
+    }
+
+    /// A hypercube machine of `n = 2^d` processors with the given model.
+    pub fn hypercube(n: usize, model: CostModel) -> Machine {
+        Machine::new(Topology::hypercube_for(n), model)
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.topo.procs()
+    }
+
+    /// The interconnect.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The cost parameters.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The network cost calculator for this machine.
+    pub fn network(&self) -> Network<'_> {
+        Network::new(&self.model, &self.topo)
+    }
+
+    // ---- local computation ------------------------------------------------
+
+    /// Charge `work` of local computation to processor `p` (scaled by the
+    /// processor's relative speed).
+    pub fn compute(&mut self, p: ProcId, work: Work, label: &str) {
+        let dt = work.cost(&self.model) / self.speed[p];
+        let start = self.clocks.get(p);
+        self.clocks.advance(p, dt);
+        self.metrics.compute_steps += 1;
+        self.metrics.flops += work.flops;
+        self.metrics.cmps += work.cmps;
+        self.metrics.moves += work.moves;
+        if self.trace.is_enabled() {
+            self.trace.record(Event::Compute {
+                proc: p,
+                start,
+                end: start + dt,
+                label: label.to_string(),
+            });
+        }
+    }
+
+    /// Charge one bag of work per processor (a data-parallel local step —
+    /// no synchronisation; clocks drift apart according to load).
+    pub fn compute_each(&mut self, works: &[Work], label: &str) {
+        assert_eq!(works.len(), self.nprocs(), "one Work per processor");
+        for (p, w) in works.iter().enumerate() {
+            self.compute(p, *w, label);
+        }
+    }
+
+    // ---- point-to-point ---------------------------------------------------
+
+    /// Send `bytes` from `src` to `dst`. The sender pays its software
+    /// overhead and continues; the receiver's clock is raised to the arrival
+    /// time (it may already be later — then the message waited in a buffer).
+    pub fn send(&mut self, src: ProcId, dst: ProcId, bytes: usize) {
+        let depart = self.clocks.get(src);
+        let transit = self.network().ptp(src, dst, bytes);
+        self.clocks.advance(src, self.model.t_msg);
+        self.clocks.raise_to(dst, depart + transit);
+        self.metrics.messages += 1;
+        self.metrics.bytes += bytes as u64;
+        if self.trace.is_enabled() {
+            self.trace.record(Event::Message {
+                src,
+                dst,
+                bytes,
+                send: depart,
+                recv: depart + transit,
+            });
+        }
+    }
+
+    /// Synchronous pairwise exchange between `a` and `b` (both send
+    /// `bytes_max`, full duplex): both clocks meet, then advance by one
+    /// transfer time. This is the hyperquicksort partner step.
+    pub fn exchange(&mut self, a: ProcId, b: ProcId, bytes_max: usize) {
+        let t0 = self.clocks.get(a).max(self.clocks.get(b));
+        let dt = self.network().pairwise_exchange(a, b, bytes_max);
+        self.clocks.set(a, t0 + dt);
+        self.clocks.set(b, t0 + dt);
+        self.metrics.messages += 2;
+        self.metrics.bytes += 2 * bytes_max as u64;
+        if self.trace.is_enabled() {
+            self.trace.record(Event::Collective {
+                kind: "exchange",
+                procs: vec![a, b],
+                start: t0,
+                end: t0 + dt,
+            });
+        }
+    }
+
+    /// A synchronous *permutation step*: every route `(src, dst, bytes)` is
+    /// delivered in one bulk phase, as SCL's data-movement skeletons
+    /// (`rotate`, `send`, `fetch`) require. The whole `group` meets at the
+    /// max of its clocks and leaves together once the slowest endpoint is
+    /// done. Endpoint cost: each processor pays the sum of the messages it
+    /// sources plus the sum of the messages it sinks (serialised NIC model);
+    /// the phase takes the max over endpoints.
+    ///
+    /// Self-routes (src == dst) are priced as local memory copies and do not
+    /// count as messages.
+    pub fn permute(&mut self, group: &[ProcId], routes: &[(ProcId, ProcId, usize)]) -> Time {
+        assert!(!group.is_empty(), "permute over empty group");
+        let net = Network::new(&self.model, &self.topo);
+        let n = self.clocks.len();
+        let mut out_cost = vec![Time::ZERO; n];
+        let mut in_cost = vec![Time::ZERO; n];
+        let mut messages = 0u64;
+        let mut bytes_total = 0u64;
+        for &(src, dst, bytes) in routes {
+            let c = net.ptp(src, dst, bytes);
+            out_cost[src] += c;
+            in_cost[dst] += c;
+            if src != dst {
+                messages += 1;
+                bytes_total += bytes as u64;
+            }
+        }
+        let dt = group
+            .iter()
+            .map(|&p| out_cost[p].max(in_cost[p]))
+            .fold(Time::ZERO, Time::max);
+        self.metrics.messages += messages;
+        self.metrics.bytes += bytes_total;
+        self.collective("permute", group, dt)
+    }
+
+    // ---- synchronisation --------------------------------------------------
+
+    /// Full-machine barrier.
+    pub fn barrier(&mut self) -> Time {
+        let end = self.clocks.barrier(self.model.t_barrier);
+        self.metrics.barriers += 1;
+        if self.trace.is_enabled() {
+            self.trace.record(Event::Barrier { procs: (0..self.nprocs()).collect(), end });
+        }
+        end
+    }
+
+    /// Barrier over a processor group (nested parallelism).
+    pub fn barrier_group(&mut self, group: &[ProcId]) -> Time {
+        let end = self.clocks.barrier_group(group, self.model.t_barrier);
+        self.metrics.group_barriers += 1;
+        if self.trace.is_enabled() {
+            self.trace.record(Event::Barrier { procs: group.to_vec(), end });
+        }
+        end
+    }
+
+    // ---- collectives ------------------------------------------------------
+
+    fn collective(&mut self, kind: &'static str, group: &[ProcId], dt: Time) -> Time {
+        assert!(!group.is_empty(), "collective over empty group");
+        let t0 = group.iter().map(|&p| self.clocks.get(p)).fold(Time::ZERO, Time::max);
+        let end = t0 + dt;
+        for &p in group {
+            self.clocks.set(p, end);
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(Event::Collective { kind, procs: group.to_vec(), start: t0, end });
+        }
+        end
+    }
+
+    /// Broadcast `bytes` from a member to the whole `group`.
+    pub fn broadcast(&mut self, group: &[ProcId], bytes: usize) -> Time {
+        let dt = self.network().broadcast(group.len(), bytes);
+        self.metrics.broadcasts += 1;
+        self.metrics.bytes += bytes as u64 * (group.len().saturating_sub(1)) as u64;
+        self.collective("broadcast", group, dt)
+    }
+
+    /// Reduction across `group` carrying `bytes`, with `combine` local work
+    /// per phase.
+    pub fn reduce(&mut self, group: &[ProcId], bytes: usize, combine: Work) -> Time {
+        let dt = self.network().reduce(group.len(), bytes, combine);
+        self.metrics.reductions += 1;
+        self.collective("reduce", group, dt)
+    }
+
+    /// Parallel prefix across `group`.
+    pub fn scan(&mut self, group: &[ProcId], bytes: usize, combine: Work) -> Time {
+        let dt = self.network().scan(group.len(), bytes, combine);
+        self.metrics.scans += 1;
+        self.collective("scan", group, dt)
+    }
+
+    /// Gather `bytes_per_proc` from each group member to a root.
+    pub fn gather(&mut self, group: &[ProcId], bytes_per_proc: usize) -> Time {
+        let dt = self.network().gather(group.len(), bytes_per_proc);
+        self.metrics.gathers += 1;
+        self.metrics.bytes += bytes_per_proc as u64 * (group.len().saturating_sub(1)) as u64;
+        self.collective("gather", group, dt)
+    }
+
+    /// Scatter `bytes_per_proc` from a root to each group member.
+    pub fn scatter(&mut self, group: &[ProcId], bytes_per_proc: usize) -> Time {
+        let dt = self.network().scatter(group.len(), bytes_per_proc);
+        self.metrics.gathers += 1;
+        self.metrics.bytes += bytes_per_proc as u64 * (group.len().saturating_sub(1)) as u64;
+        self.collective("scatter", group, dt)
+    }
+
+    /// All-gather: every group member ends up with every member's
+    /// `bytes_per_proc` contribution (recursive doubling).
+    pub fn all_gather(&mut self, group: &[ProcId], bytes_per_proc: usize) -> Time {
+        let dt = self.network().all_gather(group.len(), bytes_per_proc);
+        self.metrics.gathers += 1;
+        let g = group.len() as u64;
+        self.metrics.bytes += bytes_per_proc as u64 * g.saturating_sub(1) * g;
+        self.collective("all_gather", group, dt)
+    }
+
+    /// All-reduce: every group member ends up with the reduction
+    /// (butterfly), paying `combine` local work per phase.
+    pub fn all_reduce(&mut self, group: &[ProcId], bytes: usize, combine: Work) -> Time {
+        let dt = self.network().all_reduce(group.len(), bytes, combine);
+        self.metrics.reductions += 1;
+        self.collective("all_reduce", group, dt)
+    }
+
+    /// All-to-all personalised exchange of `bytes_per_pair` within `group`.
+    pub fn all_to_all(&mut self, group: &[ProcId], bytes_per_pair: usize) -> Time {
+        let dt = self.network().all_to_all(group.len(), bytes_per_pair);
+        self.metrics.exchanges += 1;
+        let g = group.len() as u64;
+        self.metrics.bytes += bytes_per_pair as u64 * g.saturating_sub(1) * g;
+        self.collective("all_to_all", group, dt)
+    }
+
+    // ---- results ----------------------------------------------------------
+
+    /// Predicted elapsed time so far.
+    pub fn makespan(&self) -> Time {
+        self.clocks.makespan()
+    }
+
+    /// Zero the clocks, counters and trace for a fresh run on the same
+    /// machine.
+    pub fn reset(&mut self) {
+        self.clocks.reset();
+        self.metrics.reset();
+        self.trace.clear();
+    }
+
+    /// Snapshot summary of the run.
+    pub fn report(&self) -> MachineReport {
+        MachineReport {
+            procs: self.nprocs(),
+            makespan: self.makespan(),
+            imbalance: self.clocks.imbalance(),
+            metrics: self.metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_machine(n: usize) -> Machine {
+        Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit())
+    }
+
+    #[test]
+    fn compute_advances_only_owner() {
+        let mut m = unit_machine(3);
+        m.compute(1, Work::cmps(5), "sort");
+        assert_eq!(m.clocks.get(0), Time::ZERO);
+        assert_eq!(m.clocks.get(1).as_secs(), 5.0);
+        assert_eq!(m.metrics.cmps, 5);
+        assert_eq!(m.metrics.compute_steps, 1);
+    }
+
+    #[test]
+    fn compute_each_requires_full_vector() {
+        let mut m = unit_machine(2);
+        m.compute_each(&[Work::flops(1), Work::flops(2)], "step");
+        assert_eq!(m.makespan().as_secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one Work per processor")]
+    fn compute_each_wrong_len_panics() {
+        let mut m = unit_machine(2);
+        m.compute_each(&[Work::NONE], "bad");
+    }
+
+    #[test]
+    fn send_raises_receiver() {
+        let mut m = unit_machine(2);
+        m.send(0, 1, 3);
+        // transit = t_msg(1) + t_hop(1) + 3*t_byte(3) = 5
+        assert_eq!(m.clocks.get(1).as_secs(), 5.0);
+        // sender only pays software overhead
+        assert_eq!(m.clocks.get(0).as_secs(), 1.0);
+        assert_eq!(m.metrics.messages, 1);
+        assert_eq!(m.metrics.bytes, 3);
+    }
+
+    #[test]
+    fn send_does_not_rewind_receiver() {
+        let mut m = unit_machine(2);
+        m.compute(1, Work::seconds(100.0), "busy");
+        m.send(0, 1, 1);
+        assert_eq!(m.clocks.get(1).as_secs(), 100.0);
+    }
+
+    #[test]
+    fn exchange_synchronises_pair() {
+        let mut m = unit_machine(4);
+        m.compute(2, Work::seconds(10.0), "late");
+        m.exchange(1, 2, 4);
+        assert_eq!(m.clocks.get(1), m.clocks.get(2));
+        assert!(m.clocks.get(1).as_secs() > 10.0);
+        assert_eq!(m.clocks.get(3), Time::ZERO);
+        assert_eq!(m.metrics.messages, 2);
+    }
+
+    #[test]
+    fn barrier_counts_and_syncs() {
+        let mut m = unit_machine(3);
+        m.compute(0, Work::seconds(2.0), "w");
+        let t = m.barrier();
+        assert_eq!(t.as_secs(), 3.0); // 2.0 + unit barrier cost
+        assert_eq!(m.metrics.barriers, 1);
+        for p in 0..3 {
+            assert_eq!(m.clocks.get(p), t);
+        }
+    }
+
+    #[test]
+    fn group_collective_leaves_outsiders() {
+        let mut m = unit_machine(4);
+        m.broadcast(&[0, 1], 8);
+        assert!(m.clocks.get(0) > Time::ZERO);
+        assert_eq!(m.clocks.get(0), m.clocks.get(1));
+        assert_eq!(m.clocks.get(2), Time::ZERO);
+        assert_eq!(m.metrics.broadcasts, 1);
+    }
+
+    #[test]
+    fn collective_starts_at_group_max() {
+        let mut m = unit_machine(3);
+        m.compute(2, Work::seconds(7.0), "late");
+        let end = m.reduce(&[0, 1, 2], 0, Work::NONE);
+        assert!(end.as_secs() >= 7.0);
+    }
+
+    #[test]
+    fn ap1000_shape() {
+        let m = Machine::ap1000(32);
+        assert_eq!(m.nprocs(), 32);
+        assert!(matches!(m.topology(), Topology::Torus2D { .. }));
+        assert!(m.model().hw_broadcast);
+    }
+
+    #[test]
+    fn hypercube_constructor() {
+        let m = Machine::hypercube(16, CostModel::ap1000());
+        assert_eq!(m.nprocs(), 16);
+        assert_eq!(m.topology().diameter(), 4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = unit_machine(2);
+        m.trace.enable();
+        m.compute(0, Work::flops(1), "w");
+        m.barrier();
+        m.reset();
+        assert_eq!(m.makespan(), Time::ZERO);
+        assert_eq!(m.metrics, Metrics::new());
+        assert!(m.trace.events().is_empty());
+    }
+
+    #[test]
+    fn permute_prices_bottleneck_endpoint() {
+        let mut m = unit_machine(4);
+        let group: Vec<usize> = (0..4).collect();
+        // Rotate by one: 4 disjoint messages of 2 bytes each.
+        // Each ptp = t_msg(1) + t_hop(1) + 2*t_byte(2) = 4.
+        let routes: Vec<(usize, usize, usize)> =
+            (0..4).map(|i| (i, (i + 1) % 4, 2)).collect();
+        let end = m.permute(&group, &routes);
+        assert_eq!(end.as_secs(), 4.0);
+        assert_eq!(m.metrics.messages, 4);
+        assert_eq!(m.metrics.bytes, 8);
+    }
+
+    #[test]
+    fn permute_many_to_one_serialises_at_receiver() {
+        let mut m = unit_machine(4);
+        let group: Vec<usize> = (0..4).collect();
+        // Three senders converge on proc 0: receiver cost = 3 * ptp.
+        let routes: Vec<(usize, usize, usize)> = (1..4).map(|i| (i, 0, 2)).collect();
+        let end = m.permute(&group, &routes);
+        assert_eq!(end.as_secs(), 12.0);
+    }
+
+    #[test]
+    fn permute_self_route_is_memcpy_not_message() {
+        let mut m = unit_machine(2);
+        let end = m.permute(&[0, 1], &[(0, 0, 10)]);
+        assert_eq!(m.metrics.messages, 0);
+        assert_eq!(m.metrics.bytes, 0);
+        // unit t_mem * 10 bytes
+        assert_eq!(end.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn report_display() {
+        let mut m = unit_machine(2);
+        m.compute(0, Work::flops(3), "w");
+        let r = m.report();
+        assert_eq!(r.procs, 2);
+        assert_eq!(r.makespan.as_secs(), 3.0);
+        let s = format!("{r}");
+        assert!(s.contains("procs=2"));
+    }
+
+    #[test]
+    fn heterogeneous_speed_scales_compute_only() {
+        let mut m = unit_machine(2);
+        m.set_speed(1, 0.5); // half-speed cell
+        m.compute(0, Work::flops(10), "w");
+        m.compute(1, Work::flops(10), "w");
+        assert_eq!(m.clocks.get(0).as_secs(), 10.0);
+        assert_eq!(m.clocks.get(1).as_secs(), 20.0);
+        // communication is NOT scaled
+        let before = m.clocks.get(1);
+        m.send(1, 0, 0);
+        assert_eq!((m.clocks.get(1) - before).as_secs(), 1.0); // t_msg only
+        assert_eq!(m.speed(1), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn speed_must_be_positive() {
+        let mut m = unit_machine(1);
+        m.set_speed(0, 0.0);
+    }
+
+    #[test]
+    fn slow_processor_dominates_barrier() {
+        let mut m = unit_machine(4);
+        m.set_speed(3, 0.25);
+        for p in 0..4 {
+            m.compute(p, Work::flops(8), "w");
+        }
+        m.barrier();
+        // slowest cell took 32s, barrier adds 1
+        assert_eq!(m.makespan().as_secs(), 33.0);
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let mut m = unit_machine(2);
+        m.trace.enable();
+        m.compute(0, Work::flops(1), "w");
+        m.send(0, 1, 8);
+        m.barrier();
+        m.broadcast(&[0, 1], 4);
+        assert_eq!(m.trace.events().len(), 4);
+    }
+}

@@ -1,0 +1,131 @@
+//! Aggregate counters for a simulated run.
+//!
+//! Counters answer the "how much communication did this program do" question
+//! independently of the cost model — the transformation ablations (§4 of the
+//! paper) assert on *these* (messages removed, barriers removed) as well as
+//! on virtual time.
+
+use serde::{Deserialize, Serialize};
+
+/// Event counters accumulated by a [`crate::machine::Machine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Total payload bytes moved point-to-point.
+    pub bytes: u64,
+    /// Full-machine barriers executed.
+    pub barriers: u64,
+    /// Group (subset) barriers executed.
+    pub group_barriers: u64,
+    /// Broadcast collectives.
+    pub broadcasts: u64,
+    /// Reduction collectives.
+    pub reductions: u64,
+    /// Scan collectives.
+    pub scans: u64,
+    /// Gather/scatter collectives.
+    pub gathers: u64,
+    /// All-to-all collectives.
+    pub exchanges: u64,
+    /// Local compute steps charged.
+    pub compute_steps: u64,
+    /// Total flops charged.
+    pub flops: u64,
+    /// Total comparisons charged.
+    pub cmps: u64,
+    /// Total element moves charged.
+    pub moves: u64,
+}
+
+impl Metrics {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Total collective operations of any kind.
+    pub fn collectives(&self) -> u64 {
+        self.broadcasts + self.reductions + self.scans + self.gathers + self.exchanges
+    }
+
+    /// Total synchronisation points (all barrier flavours).
+    pub fn sync_points(&self) -> u64 {
+        self.barriers + self.group_barriers
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.barriers += other.barriers;
+        self.group_barriers += other.group_barriers;
+        self.broadcasts += other.broadcasts;
+        self.reductions += other.reductions;
+        self.scans += other.scans;
+        self.gathers += other.gathers;
+        self.exchanges += other.exchanges;
+        self.compute_steps += other.compute_steps;
+        self.flops += other.flops;
+        self.cmps += other.cmps;
+        self.moves += other.moves;
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "msgs={} bytes={} barriers={}(+{} group) collectives={} compute_steps={} (flops={} cmps={} moves={})",
+            self.messages,
+            self.bytes,
+            self.barriers,
+            self.group_barriers,
+            self.collectives(),
+            self.compute_steps,
+            self.flops,
+            self.cmps,
+            self.moves,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let m = Metrics::new();
+        assert_eq!(m.messages, 0);
+        assert_eq!(m.collectives(), 0);
+        assert_eq!(m.sync_points(), 0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Metrics { messages: 1, bytes: 10, barriers: 2, ..Metrics::default() };
+        let b = Metrics { messages: 3, bytes: 5, group_barriers: 1, cmps: 7, ..Metrics::default() };
+        a.merge(&b);
+        assert_eq!(a.messages, 4);
+        assert_eq!(a.bytes, 15);
+        assert_eq!(a.sync_points(), 3);
+        assert_eq!(a.cmps, 7);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut a = Metrics { messages: 1, ..Metrics::default() };
+        a.reset();
+        assert_eq!(a, Metrics::default());
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let m = Metrics { messages: 42, ..Metrics::default() };
+        assert!(m.summary().contains("msgs=42"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Collective-communication cost formulas.
+//!
+//! [`Network`] combines a [`CostModel`] with a [`Topology`] and prices the
+//! bulk operations SCL's communication skeletons compile to. The formulas are
+//! the standard log-tree / linear-phase models used in parallel-algorithm
+//! textbooks (Quinn, *Parallel Computing: Theory and Practice* — the paper's
+//! own reference for hyperquicksort):
+//!
+//! * point-to-point: `t_msg + hops·t_hop + bytes·t_byte`
+//! * broadcast: one phase on hardware-broadcast machines (AP1000 B-net),
+//!   otherwise `⌈log₂ g⌉` point-to-point phases
+//! * reduce / scan: `⌈log₂ g⌉` phases of message + local combine
+//! * gather / scatter: `⌈log₂ g⌉` phases with doubling payloads
+//! * all-to-all: `g − 1` phases
+//!
+//! All formulas work on a *group size* `g`, not the whole machine, because
+//! SCL supports nested parallelism over processor groups.
+
+use crate::cost::{CostModel, Work};
+use crate::time::Time;
+use crate::topology::{ProcId, Topology};
+
+/// Cost calculator for a (cost model, topology) pair.
+#[derive(Debug, Clone, Copy)]
+pub struct Network<'a> {
+    /// The machine's cost parameters.
+    pub model: &'a CostModel,
+    /// The machine's interconnect.
+    pub topo: &'a Topology,
+}
+
+/// `⌈log₂ g⌉`, with `log_phases(0) == log_phases(1) == 0`.
+pub fn log_phases(g: usize) -> u32 {
+    if g <= 1 {
+        0
+    } else {
+        usize::BITS - (g - 1).leading_zeros()
+    }
+}
+
+impl<'a> Network<'a> {
+    /// Pair a model with a topology.
+    pub fn new(model: &'a CostModel, topo: &'a Topology) -> Network<'a> {
+        Network { model, topo }
+    }
+
+    /// Cost of a point-to-point message from `src` to `dst`.
+    pub fn ptp(&self, src: ProcId, dst: ProcId, bytes: usize) -> Time {
+        if src == dst {
+            // Local "send to self" is a memory copy.
+            return self.model.t_mem * bytes;
+        }
+        self.model.ptp(bytes, self.topo.hops(src, dst))
+    }
+
+    /// Cost of one tree phase between typical group members: a message over
+    /// the topology's mean hop distance, with the byte term scaled by the
+    /// link-contention factor (many members transfer at once).
+    fn phase(&self, bytes: f64) -> Time {
+        self.model.t_msg
+            + self.model.t_hop * self.topo.mean_hops()
+            + self.model.t_byte * (bytes * self.model.contention)
+    }
+
+    /// Broadcast `bytes` from one member to a group of `g` processors.
+    pub fn broadcast(&self, g: usize, bytes: usize) -> Time {
+        if g <= 1 {
+            return Time::ZERO;
+        }
+        if self.model.hw_broadcast {
+            // Single phase on the dedicated broadcast network; worst-case
+            // distance bounded by the diameter.
+            self.model.ptp(bytes, self.topo.diameter())
+        } else {
+            self.phase(bytes as f64) * log_phases(g) as f64
+        }
+    }
+
+    /// Reduce `bytes` of payload across `g` processors, paying `combine`
+    /// local work per tree phase.
+    pub fn reduce(&self, g: usize, bytes: usize, combine: Work) -> Time {
+        if g <= 1 {
+            return Time::ZERO;
+        }
+        (self.phase(bytes as f64) + combine.cost(self.model)) * log_phases(g) as f64
+    }
+
+    /// Parallel prefix (scan) across `g` processors — same log-depth shape
+    /// as reduce.
+    pub fn scan(&self, g: usize, bytes: usize, combine: Work) -> Time {
+        self.reduce(g, bytes, combine)
+    }
+
+    /// Gather `bytes_per_proc` from each of `g` processors to one root,
+    /// tree-style with payload doubling each phase.
+    pub fn gather(&self, g: usize, bytes_per_proc: usize) -> Time {
+        if g <= 1 {
+            return Time::ZERO;
+        }
+        let mut total = Time::ZERO;
+        let mut payload = bytes_per_proc as f64;
+        for _ in 0..log_phases(g) {
+            total += self.phase(payload);
+            payload *= 2.0;
+        }
+        total
+    }
+
+    /// Scatter from one root to `g` processors — symmetric to gather.
+    pub fn scatter(&self, g: usize, bytes_per_proc: usize) -> Time {
+        self.gather(g, bytes_per_proc)
+    }
+
+    /// All-gather (recursive doubling): after `⌈log₂ g⌉` phases every
+    /// member holds all `g` contributions — same phase structure as a
+    /// tree gather, but nobody waits for a root.
+    pub fn all_gather(&self, g: usize, bytes_per_proc: usize) -> Time {
+        self.gather(g, bytes_per_proc)
+    }
+
+    /// All-reduce (butterfly): every member ends with the reduction —
+    /// log-depth like [`Network::reduce`], no separate broadcast needed.
+    pub fn all_reduce(&self, g: usize, bytes: usize, combine: Work) -> Time {
+        self.reduce(g, bytes, combine)
+    }
+
+    /// Total exchange (all-to-all personalised) of `bytes_per_pair` between
+    /// every ordered pair: `g − 1` phases.
+    pub fn all_to_all(&self, g: usize, bytes_per_pair: usize) -> Time {
+        if g <= 1 {
+            return Time::ZERO;
+        }
+        self.phase(bytes_per_pair as f64) * (g - 1) as f64
+    }
+
+    /// A synchronous pairwise exchange (both directions at once, as in the
+    /// hyperquicksort partner step): one message time over the actual route,
+    /// assuming full-duplex links.
+    pub fn pairwise_exchange(&self, a: ProcId, b: ProcId, bytes_max: usize) -> Time {
+        self.ptp(a, b, bytes_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_net(topo: &Topology) -> Network<'_> {
+        // Leak a unit model for test brevity; tests only.
+        let model = Box::leak(Box::new(CostModel::unit()));
+        Network::new(model, topo)
+    }
+
+    #[test]
+    fn log_phases_values() {
+        assert_eq!(log_phases(0), 0);
+        assert_eq!(log_phases(1), 0);
+        assert_eq!(log_phases(2), 1);
+        assert_eq!(log_phases(3), 2);
+        assert_eq!(log_phases(4), 2);
+        assert_eq!(log_phases(5), 3);
+        assert_eq!(log_phases(32), 5);
+    }
+
+    #[test]
+    fn ptp_self_is_memcpy() {
+        let topo = Topology::Hypercube { dim: 3 };
+        let n = unit_net(&topo);
+        assert_eq!(n.ptp(2, 2, 10).as_secs(), 10.0); // t_mem * bytes
+    }
+
+    #[test]
+    fn ptp_counts_hops() {
+        let topo = Topology::Hypercube { dim: 3 };
+        let n = unit_net(&topo);
+        // 0 -> 7 is 3 hops; unit model: 1 (msg) + 3 (hops) + bytes
+        assert_eq!(n.ptp(0, 7, 4).as_secs(), 8.0);
+    }
+
+    #[test]
+    fn singleton_groups_are_free() {
+        let topo = Topology::Hypercube { dim: 3 };
+        let n = unit_net(&topo);
+        assert_eq!(n.broadcast(1, 100), Time::ZERO);
+        assert_eq!(n.reduce(1, 100, Work::flops(5)), Time::ZERO);
+        assert_eq!(n.gather(1, 100), Time::ZERO);
+        assert_eq!(n.all_to_all(1, 100), Time::ZERO);
+    }
+
+    #[test]
+    fn broadcast_tree_is_log_depth() {
+        let topo = Topology::FullyConnected { procs: 8 };
+        let n = unit_net(&topo);
+        // mean_hops = 1; phase(0 bytes) = t_msg + t_hop = 2.0; 3 phases.
+        assert_eq!(n.broadcast(8, 0).as_secs(), 6.0);
+    }
+
+    #[test]
+    fn hw_broadcast_is_single_phase() {
+        let topo = Topology::Torus2D { rows: 4, cols: 4 };
+        let mut model = CostModel::unit();
+        model.hw_broadcast = true;
+        let n = Network::new(&model, &topo);
+        // single phase regardless of group size
+        assert_eq!(n.broadcast(4, 8), n.broadcast(16, 8));
+    }
+
+    #[test]
+    fn gather_payload_doubles() {
+        let topo = Topology::FullyConnected { procs: 4 };
+        let n = unit_net(&topo);
+        // phases: bytes, 2*bytes; each phase adds t_msg + t_hop = 2
+        // total = (2 + 10) + (2 + 20) = 34
+        assert_eq!(n.gather(4, 10).as_secs(), 34.0);
+    }
+
+    #[test]
+    fn all_to_all_linear_in_group() {
+        let topo = Topology::FullyConnected { procs: 8 };
+        let n = unit_net(&topo);
+        let c4 = n.all_to_all(4, 16);
+        let c8 = n.all_to_all(8, 16);
+        assert!((c8.as_secs() / c4.as_secs() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_charges_combine_per_phase() {
+        let topo = Topology::FullyConnected { procs: 4 };
+        let n = unit_net(&topo);
+        let without = n.reduce(4, 0, Work::NONE);
+        let with = n.reduce(4, 0, Work::flops(10));
+        // 2 phases, each adding 10 flops * 1s
+        assert_eq!((with - without).as_secs(), 20.0);
+    }
+
+    #[test]
+    fn bigger_groups_cost_more() {
+        let topo = Topology::Hypercube { dim: 5 };
+        let model = CostModel::ap1000();
+        let n = Network::new(&model, &topo);
+        for g in [2usize, 4, 8, 16, 32] {
+            assert!(n.reduce(g, 64, Work::NONE) >= n.reduce(g / 2, 64, Work::NONE));
+            assert!(n.gather(g, 64) >= n.gather(g / 2, 64));
+        }
+    }
+
+    #[test]
+    fn scan_matches_reduce_shape() {
+        let topo = Topology::Ring { procs: 8 };
+        let n = unit_net(&topo);
+        assert_eq!(n.scan(8, 8, Work::NONE), n.reduce(8, 8, Work::NONE));
+    }
+}

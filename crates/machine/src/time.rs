@@ -1,0 +1,240 @@
+//! Virtual time.
+//!
+//! The simulator measures everything in [`Time`], a thin newtype over `f64`
+//! seconds. A newtype (rather than a bare `f64`) keeps durations from being
+//! accidentally mixed with counts or byte sizes, while still being `Copy` and
+//! cheap to pass around.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span (or absolute point) of virtual time, in seconds.
+///
+/// `Time` values are produced by [`crate::cost::CostModel`] formulas and
+/// accumulated in per-processor clocks ([`crate::clock::ProcClocks`]).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Time(pub f64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Time {
+        Time(s)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Time {
+        Time(ms * 1e-3)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Time {
+        Time(us * 1e-6)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Time {
+        Time(ns * 1e-9)
+    }
+
+    /// The value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The value in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Pointwise maximum.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Pointwise minimum.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// True if this is a finite, non-negative duration.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs as f64)
+    }
+}
+
+impl Mul<usize> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: usize) -> Time {
+        Time(self.0 * rhs as f64)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Div for Time {
+    /// Ratio of two durations (e.g. for speedup computations).
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Time) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        Time(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for Time {
+    /// Engineering-style rendering: picks s / ms / µs / ns by magnitude.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        let a = s.abs();
+        if a == 0.0 {
+            write!(f, "0s")
+        } else if a >= 1.0 {
+            write!(f, "{:.3}s", s)
+        } else if a >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else if a >= 1e-6 {
+            write!(f, "{:.3}µs", s * 1e6)
+        } else {
+            write!(f, "{:.1}ns", s * 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Time::from_secs(1.5).as_secs(), 1.5);
+        assert!((Time::from_millis(2.0).as_secs() - 0.002).abs() < 1e-12);
+        assert!((Time::from_micros(3.0).as_secs() - 3e-6).abs() < 1e-15);
+        assert!((Time::from_nanos(4.0).as_secs() - 4e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(0.25);
+        assert_eq!((a + b).as_secs(), 1.25);
+        assert_eq!((a - b).as_secs(), 0.75);
+        assert_eq!((b * 4.0).as_secs(), 1.0);
+        assert_eq!((a / 4.0).as_secs(), 0.25);
+        assert_eq!(a / b, 4.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 1.25);
+        c -= b;
+        assert_eq!(c.as_secs(), 1.0);
+    }
+
+    #[test]
+    fn mul_by_counts() {
+        assert_eq!((Time::from_secs(0.5) * 4u64).as_secs(), 2.0);
+        assert_eq!((Time::from_secs(0.5) * 4usize).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = (1..=4).map(|i| Time::from_secs(i as f64)).sum();
+        assert_eq!(total.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Time::ZERO), "0s");
+        assert_eq!(format!("{}", Time::from_secs(2.5)), "2.500s");
+        assert_eq!(format!("{}", Time::from_millis(1.5)), "1.500ms");
+        assert_eq!(format!("{}", Time::from_micros(12.0)), "12.000µs");
+        assert_eq!(format!("{}", Time::from_nanos(7.0)), "7.0ns");
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Time::from_secs(0.0).is_valid());
+        assert!(Time::from_secs(1.0).is_valid());
+        assert!(!Time::from_secs(-1.0).is_valid());
+        assert!(!Time(f64::NAN).is_valid());
+        assert!(!Time(f64::INFINITY).is_valid());
+    }
+}

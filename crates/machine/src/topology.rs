@@ -1,0 +1,414 @@
+//! Interconnect topologies.
+//!
+//! The paper's evaluation machine, the Fujitsu AP1000, connects its cells by
+//! a 2-D torus ("T-net") and additionally provides a hardware broadcast
+//! network ("B-net") and a hardware barrier/status network ("S-net"). The
+//! hyperquicksort example assumes a hypercube communication pattern, which on
+//! the real machine is *embedded* into the torus. We model all of these, plus
+//! a few standard shapes useful for experiments.
+//!
+//! A topology answers structural questions only — how many processors, how
+//! far apart two of them are (in hops), who neighbours whom. Time costs are
+//! the business of [`crate::cost::CostModel`] and [`crate::network`].
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a (virtual) processor, `0 .. procs()`.
+pub type ProcId = usize;
+
+/// An interconnect shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every pair of distinct processors is one hop apart.
+    FullyConnected {
+        /// Number of processors.
+        procs: usize,
+    },
+    /// A bidirectional ring.
+    Ring {
+        /// Number of processors.
+        procs: usize,
+    },
+    /// A binary hypercube of dimension `dim` (so `2^dim` processors).
+    Hypercube {
+        /// Cube dimension (log2 of the processor count).
+        dim: u32,
+    },
+    /// A 2-D mesh without wraparound links, row-major numbering.
+    Mesh2D {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// A 2-D torus (mesh with wraparound), row-major numbering.
+    /// This is the AP1000 T-net shape.
+    Torus2D {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+}
+
+impl Topology {
+    /// A hypercube big enough to hold `n` processors (`n` must be a power of
+    /// two).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or not a power of two.
+    pub fn hypercube_for(n: usize) -> Topology {
+        assert!(n > 0 && n.is_power_of_two(), "hypercube needs a power-of-two size, got {n}");
+        Topology::Hypercube { dim: n.trailing_zeros() }
+    }
+
+    /// A torus as close to square as possible holding exactly `n` processors.
+    pub fn torus_for(n: usize) -> Topology {
+        assert!(n > 0, "torus needs at least one processor");
+        let mut rows = (n as f64).sqrt().floor() as usize;
+        while rows > 1 && n % rows != 0 {
+            rows -= 1;
+        }
+        Topology::Torus2D { rows, cols: n / rows }
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        match *self {
+            Topology::FullyConnected { procs } | Topology::Ring { procs } => procs,
+            Topology::Hypercube { dim } => 1usize << dim,
+            Topology::Mesh2D { rows, cols } | Topology::Torus2D { rows, cols } => rows * cols,
+        }
+    }
+
+    /// Routing distance (number of links crossed) between two processors,
+    /// assuming minimal-path routing.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    pub fn hops(&self, a: ProcId, b: ProcId) -> usize {
+        let n = self.procs();
+        assert!(a < n && b < n, "proc id out of range ({a},{b} on {n} procs)");
+        if a == b {
+            return 0;
+        }
+        match *self {
+            Topology::FullyConnected { .. } => 1,
+            Topology::Ring { procs } => {
+                let d = a.abs_diff(b);
+                d.min(procs - d)
+            }
+            Topology::Hypercube { .. } => (a ^ b).count_ones() as usize,
+            Topology::Mesh2D { cols, .. } => {
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                ar.abs_diff(br) + ac.abs_diff(bc)
+            }
+            Topology::Torus2D { rows, cols } => {
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                let dr = ar.abs_diff(br);
+                let dc = ac.abs_diff(bc);
+                dr.min(rows - dr) + dc.min(cols - dc)
+            }
+        }
+    }
+
+    /// Direct neighbours of `p`, in ascending id order.
+    pub fn neighbors(&self, p: ProcId) -> Vec<ProcId> {
+        let n = self.procs();
+        assert!(p < n, "proc id {p} out of range on {n} procs");
+        let mut out = match *self {
+            Topology::FullyConnected { procs } => (0..procs).filter(|&q| q != p).collect(),
+            Topology::Ring { procs } => {
+                if procs == 1 {
+                    vec![]
+                } else if procs == 2 {
+                    vec![1 - p]
+                } else {
+                    vec![(p + procs - 1) % procs, (p + 1) % procs]
+                }
+            }
+            Topology::Hypercube { dim } => (0..dim).map(|d| p ^ (1usize << d)).collect(),
+            Topology::Mesh2D { rows, cols } => {
+                let (r, c) = (p / cols, p % cols);
+                let mut v = Vec::with_capacity(4);
+                if r > 0 {
+                    v.push(p - cols);
+                }
+                if r + 1 < rows {
+                    v.push(p + cols);
+                }
+                if c > 0 {
+                    v.push(p - 1);
+                }
+                if c + 1 < cols {
+                    v.push(p + 1);
+                }
+                v
+            }
+            Topology::Torus2D { rows, cols } => {
+                let (r, c) = (p / cols, p % cols);
+                let mut v = Vec::with_capacity(4);
+                if rows > 1 {
+                    v.push(((r + rows - 1) % rows) * cols + c);
+                    if rows > 2 {
+                        v.push(((r + 1) % rows) * cols + c);
+                    }
+                }
+                if cols > 1 {
+                    v.push(r * cols + (c + cols - 1) % cols);
+                    if cols > 2 {
+                        v.push(r * cols + (c + 1) % cols);
+                    }
+                }
+                v
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The largest hop distance between any pair of processors.
+    pub fn diameter(&self) -> usize {
+        match *self {
+            Topology::FullyConnected { procs } => usize::from(procs > 1),
+            Topology::Ring { procs } => procs / 2,
+            Topology::Hypercube { dim } => dim as usize,
+            Topology::Mesh2D { rows, cols } => (rows - 1) + (cols - 1),
+            Topology::Torus2D { rows, cols } => rows / 2 + cols / 2,
+        }
+    }
+
+    /// Average hop distance from a processor to all *other* processors,
+    /// useful as the expected cost of a random point-to-point message.
+    pub fn mean_hops(&self) -> f64 {
+        let n = self.procs();
+        if n <= 1 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for b in 1..n {
+            total += self.hops(0, b);
+        }
+        // All modelled topologies are vertex-transitive except Mesh2D; for
+        // the mesh we average over all sources for correctness.
+        if matches!(self, Topology::Mesh2D { .. }) {
+            let mut grand = 0usize;
+            for a in 0..n {
+                for b in 0..n {
+                    grand += self.hops(a, b);
+                }
+            }
+            grand as f64 / (n * (n - 1)) as f64
+        } else {
+            total as f64 / (n - 1) as f64
+        }
+    }
+
+    /// Hypercube partner of `p` across dimension `d` (the processor whose id
+    /// differs exactly in bit `d`). Defined for every topology because SCL
+    /// programs (hyperquicksort) use the *logical* hypercube pattern even
+    /// when embedded in another network.
+    #[inline]
+    pub fn hypercube_partner(p: ProcId, d: u32) -> ProcId {
+        p ^ (1usize << d)
+    }
+
+    /// The binary-reflected Gray code of `i`: consecutive integers map to
+    /// hypercube ids one bit apart — the standard ring-in-hypercube
+    /// embedding.
+    #[inline]
+    pub fn gray(i: usize) -> usize {
+        i ^ (i >> 1)
+    }
+
+    /// Inverse of [`Topology::gray`].
+    pub fn gray_inv(mut g: usize) -> usize {
+        let mut i = 0usize;
+        while g != 0 {
+            i ^= g;
+            g >>= 1;
+        }
+        i
+    }
+
+    /// True if the topology contains a direct link `a — b`.
+    pub fn linked(&self, a: ProcId, b: ProcId) -> bool {
+        a != b && self.hops(a, b) == 1
+    }
+
+    /// A short human-readable description, e.g. `hypercube(d=5, 32 procs)`.
+    pub fn describe(&self) -> String {
+        match *self {
+            Topology::FullyConnected { procs } => format!("fully-connected({procs} procs)"),
+            Topology::Ring { procs } => format!("ring({procs} procs)"),
+            Topology::Hypercube { dim } => format!("hypercube(d={dim}, {} procs)", 1usize << dim),
+            Topology::Mesh2D { rows, cols } => format!("mesh({rows}x{cols})"),
+            Topology::Torus2D { rows, cols } => format!("torus({rows}x{cols})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn procs_counts() {
+        assert_eq!(Topology::FullyConnected { procs: 7 }.procs(), 7);
+        assert_eq!(Topology::Ring { procs: 5 }.procs(), 5);
+        assert_eq!(Topology::Hypercube { dim: 5 }.procs(), 32);
+        assert_eq!(Topology::Mesh2D { rows: 3, cols: 4 }.procs(), 12);
+        assert_eq!(Topology::Torus2D { rows: 8, cols: 16 }.procs(), 128);
+    }
+
+    #[test]
+    fn hypercube_for_powers_of_two() {
+        assert_eq!(Topology::hypercube_for(1), Topology::Hypercube { dim: 0 });
+        assert_eq!(Topology::hypercube_for(32), Topology::Hypercube { dim: 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_for_rejects_non_power() {
+        let _ = Topology::hypercube_for(12);
+    }
+
+    #[test]
+    fn torus_for_prefers_square() {
+        assert_eq!(Topology::torus_for(16), Topology::Torus2D { rows: 4, cols: 4 });
+        assert_eq!(Topology::torus_for(12), Topology::Torus2D { rows: 3, cols: 4 });
+        assert_eq!(Topology::torus_for(7), Topology::Torus2D { rows: 1, cols: 7 });
+    }
+
+    #[test]
+    fn ring_hops_wrap() {
+        let t = Topology::Ring { procs: 8 };
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(0, 7), 1);
+        assert_eq!(t.hops(0, 4), 4);
+        assert_eq!(t.hops(1, 6), 3);
+    }
+
+    #[test]
+    fn hypercube_hops_is_popcount() {
+        let t = Topology::Hypercube { dim: 4 };
+        assert_eq!(t.hops(0b0000, 0b1111), 4);
+        assert_eq!(t.hops(0b1010, 0b1000), 1);
+        assert_eq!(t.hops(3, 3), 0);
+    }
+
+    #[test]
+    fn mesh_vs_torus_hops() {
+        let m = Topology::Mesh2D { rows: 4, cols: 4 };
+        let t = Topology::Torus2D { rows: 4, cols: 4 };
+        // corner to corner: mesh walks the full manhattan distance,
+        // torus wraps around.
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(t.hops(0, 15), 2);
+    }
+
+    #[test]
+    fn neighbors_ring_small() {
+        assert!(Topology::Ring { procs: 1 }.neighbors(0).is_empty());
+        assert_eq!(Topology::Ring { procs: 2 }.neighbors(0), vec![1]);
+        assert_eq!(Topology::Ring { procs: 5 }.neighbors(0), vec![1, 4]);
+    }
+
+    #[test]
+    fn neighbors_hypercube() {
+        let t = Topology::Hypercube { dim: 3 };
+        assert_eq!(t.neighbors(0), vec![1, 2, 4]);
+        assert_eq!(t.neighbors(5), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn neighbors_mesh_corner_and_center() {
+        let t = Topology::Mesh2D { rows: 3, cols: 3 };
+        assert_eq!(t.neighbors(0), vec![1, 3]);
+        assert_eq!(t.neighbors(4), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn neighbors_torus_always_wrap() {
+        let t = Topology::Torus2D { rows: 3, cols: 3 };
+        assert_eq!(t.neighbors(0), vec![1, 2, 3, 6]);
+        assert_eq!(t.neighbors(0).len(), 4);
+    }
+
+    #[test]
+    fn neighbors_are_one_hop() {
+        for t in [
+            Topology::FullyConnected { procs: 6 },
+            Topology::Ring { procs: 9 },
+            Topology::Hypercube { dim: 4 },
+            Topology::Mesh2D { rows: 3, cols: 5 },
+            Topology::Torus2D { rows: 4, cols: 4 },
+        ] {
+            for p in 0..t.procs() {
+                for q in t.neighbors(p) {
+                    assert_eq!(t.hops(p, q), 1, "{} {p}->{q}", t.describe());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_max_hops() {
+        for t in [
+            Topology::FullyConnected { procs: 6 },
+            Topology::Ring { procs: 9 },
+            Topology::Hypercube { dim: 4 },
+            Topology::Mesh2D { rows: 3, cols: 5 },
+            Topology::Torus2D { rows: 4, cols: 6 },
+        ] {
+            let n = t.procs();
+            let max = (0..n)
+                .flat_map(|a| (0..n).map(move |b| (a, b)))
+                .map(|(a, b)| t.hops(a, b))
+                .max()
+                .unwrap();
+            assert_eq!(t.diameter(), max, "{}", t.describe());
+        }
+    }
+
+    #[test]
+    fn gray_code_adjacent() {
+        for i in 0..63usize {
+            let a = Topology::gray(i);
+            let b = Topology::gray(i + 1);
+            assert_eq!((a ^ b).count_ones(), 1, "gray({i}) and gray({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn gray_inverse() {
+        for i in 0..256usize {
+            assert_eq!(Topology::gray_inv(Topology::gray(i)), i);
+        }
+    }
+
+    #[test]
+    fn partner_is_involution() {
+        for p in 0..32usize {
+            for d in 0..5u32 {
+                let q = Topology::hypercube_partner(p, d);
+                assert_ne!(p, q);
+                assert_eq!(Topology::hypercube_partner(q, d), p);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_hops_fully_connected_is_one() {
+        assert_eq!(Topology::FullyConnected { procs: 10 }.mean_hops(), 1.0);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(Topology::Hypercube { dim: 5 }.describe(), "hypercube(d=5, 32 procs)");
+        assert_eq!(Topology::Torus2D { rows: 8, cols: 16 }.describe(), "torus(8x16)");
+    }
+}

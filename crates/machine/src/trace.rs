@@ -1,0 +1,335 @@
+//! Event traces and ASCII Gantt rendering.
+//!
+//! When tracing is enabled, the machine records every compute span, message
+//! and synchronisation with virtual-time stamps. Traces make the simulator
+//! debuggable ("why is processor 3 idle?") and power the timeline renderings
+//! used in examples and docs.
+
+use crate::time::Time;
+use crate::topology::ProcId;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span of local computation on one processor.
+    Compute {
+        /// Executing processor.
+        proc: ProcId,
+        /// Span start.
+        start: Time,
+        /// Span end.
+        end: Time,
+        /// Operation label.
+        label: String,
+    },
+    /// A point-to-point message.
+    Message {
+        /// Sender.
+        src: ProcId,
+        /// Receiver.
+        dst: ProcId,
+        /// Payload size.
+        bytes: usize,
+        /// Departure time.
+        send: Time,
+        /// Arrival time.
+        recv: Time,
+    },
+    /// A barrier over a set of processors ending at `end`.
+    Barrier {
+        /// Participants.
+        procs: Vec<ProcId>,
+        /// Synchronisation instant.
+        end: Time,
+    },
+    /// A collective operation over a set of processors.
+    Collective {
+        /// Collective kind (e.g. "broadcast").
+        kind: &'static str,
+        /// Participants.
+        procs: Vec<ProcId>,
+        /// Start (group clock max).
+        start: Time,
+        /// Completion time.
+        end: Time,
+    },
+}
+
+impl Event {
+    /// The virtual time at which the event completes.
+    pub fn end_time(&self) -> Time {
+        match self {
+            Event::Compute { end, .. } => *end,
+            Event::Message { recv, .. } => *recv,
+            Event::Barrier { end, .. } => *end,
+            Event::Collective { end, .. } => *end,
+        }
+    }
+}
+
+/// A capped event log. Recording is off by default; enable with
+/// [`Trace::enable`]. The cap prevents long benchmark runs from accumulating
+/// unbounded memory.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<Event>,
+    enabled: bool,
+    cap: usize,
+    dropped: usize,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl Trace {
+    /// A disabled trace with the default cap (65536 events).
+    pub fn new() -> Trace {
+        Trace { events: Vec::new(), enabled: false, cap: 65536, dropped: 0 }
+    }
+
+    /// Turn recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Turn recording off (existing events are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Change the maximum number of retained events.
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+
+    /// Record an event (no-op when disabled; counts drops past the cap).
+    pub fn record(&mut self, e: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(e);
+    }
+
+    /// All retained events, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events that were dropped due to the cap.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Discard all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, f: impl Fn(&Event) -> bool) -> usize {
+        self.events.iter().filter(|e| f(e)).count()
+    }
+
+    /// Total recorded *compute* time of processor `p`.
+    pub fn busy_time(&self, p: ProcId) -> Time {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Compute { proc, start, end, .. } if *proc == p => Some(*end - *start),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Compute utilisation of processor `p` against the trace's makespan
+    /// (0.0 when nothing happened).
+    pub fn utilization(&self, p: ProcId) -> f64 {
+        let makespan = self.events.iter().map(Event::end_time).fold(Time::ZERO, Time::max);
+        if makespan == Time::ZERO {
+            0.0
+        } else {
+            self.busy_time(p) / makespan
+        }
+    }
+
+    /// Render an ASCII Gantt chart, one row per processor, `width` columns
+    /// spanning `[0, makespan]`. Compute spans render as `#`, collective
+    /// participation as `=`, barriers as `|`. Idle time is `.`.
+    pub fn gantt(&self, nprocs: usize, width: usize) -> String {
+        let makespan =
+            self.events.iter().map(Event::end_time).fold(Time::ZERO, Time::max);
+        let mut rows = vec![vec![b'.'; width]; nprocs];
+        if makespan > Time::ZERO {
+            let col = |t: Time| -> usize {
+                (((t / makespan) * (width as f64 - 1.0)).floor() as usize).min(width - 1)
+            };
+            let fill = |row: &mut Vec<u8>, a: Time, b: Time, ch: u8| {
+                // barriers win over collectives win over compute
+                let prio = |x: u8| match x {
+                    b'|' => 3,
+                    b'=' => 2,
+                    b'#' => 1,
+                    _ => 0,
+                };
+                for slot in &mut row[col(a)..=col(b)] {
+                    if prio(ch) >= prio(*slot) {
+                        *slot = ch;
+                    }
+                }
+            };
+            for e in &self.events {
+                match e {
+                    Event::Compute { proc, start, end, .. } => {
+                        if *proc < nprocs {
+                            fill(&mut rows[*proc], *start, *end, b'#');
+                        }
+                    }
+                    Event::Message { .. } => {}
+                    Event::Barrier { procs, end } => {
+                        for &p in procs {
+                            if p < nprocs {
+                                fill(&mut rows[p], *end, *end, b'|');
+                            }
+                        }
+                    }
+                    Event::Collective { procs, start, end, .. } => {
+                        for &p in procs {
+                            if p < nprocs {
+                                fill(&mut rows[p], *start, *end, b'=');
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("time 0 .. {makespan}\n"));
+        for (p, row) in rows.iter().enumerate() {
+            out.push_str(&format!("p{p:<3} [{}]\n", String::from_utf8_lossy(row)));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("({} events dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(proc: ProcId, a: f64, b: f64) -> Event {
+        Event::Compute {
+            proc,
+            start: Time::from_secs(a),
+            end: Time::from_secs(b),
+            label: "w".into(),
+        }
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let mut t = Trace::new();
+        t.record(compute(0, 0.0, 1.0));
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn records_when_enabled() {
+        let mut t = Trace::new();
+        t.enable();
+        assert!(t.is_enabled());
+        t.record(compute(0, 0.0, 1.0));
+        assert_eq!(t.events().len(), 1);
+        t.disable();
+        t.record(compute(0, 1.0, 2.0));
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let mut t = Trace::new();
+        t.enable();
+        t.set_cap(2);
+        for i in 0..5 {
+            t.record(compute(0, i as f64, i as f64 + 1.0));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        t.clear();
+        assert_eq!(t.events().len(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn count_filters() {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(compute(0, 0.0, 1.0));
+        t.record(Event::Barrier { procs: vec![0, 1], end: Time::from_secs(2.0) });
+        assert_eq!(t.count(|e| matches!(e, Event::Barrier { .. })), 1);
+        assert_eq!(t.count(|e| matches!(e, Event::Compute { .. })), 1);
+    }
+
+    #[test]
+    fn end_time_of_each_variant() {
+        assert_eq!(compute(0, 0.0, 2.5).end_time().as_secs(), 2.5);
+        let m = Event::Message {
+            src: 0,
+            dst: 1,
+            bytes: 8,
+            send: Time::from_secs(1.0),
+            recv: Time::from_secs(3.0),
+        };
+        assert_eq!(m.end_time().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn busy_time_and_utilization() {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(compute(0, 0.0, 2.0));
+        t.record(compute(0, 3.0, 4.0));
+        t.record(compute(1, 0.0, 4.0));
+        assert_eq!(t.busy_time(0).as_secs(), 3.0);
+        assert_eq!(t.busy_time(1).as_secs(), 4.0);
+        assert!((t.utilization(0) - 0.75).abs() < 1e-12);
+        assert!((t.utilization(1) - 1.0).abs() < 1e-12);
+        assert_eq!(t.utilization(5), 0.0);
+        assert_eq!(Trace::new().utilization(0), 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(compute(0, 0.0, 1.0));
+        t.record(compute(1, 1.0, 2.0));
+        t.record(Event::Barrier { procs: vec![0, 1], end: Time::from_secs(2.0) });
+        let g = t.gantt(2, 20);
+        assert!(g.contains("p0"));
+        assert!(g.contains("p1"));
+        assert!(g.contains('#'));
+        assert!(g.contains('|'));
+    }
+
+    #[test]
+    fn gantt_empty_trace_is_all_idle() {
+        let t = Trace::new();
+        let g = t.gantt(1, 10);
+        assert!(g.contains("[..........]"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the machine substrate.
+
+use proptest::prelude::*;
+use scl_machine::{log_phases, CostModel, Machine, Network, Time, Topology, Work};
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1usize..=64).prop_map(|procs| Topology::FullyConnected { procs }),
+        (1usize..=64).prop_map(|procs| Topology::Ring { procs }),
+        (0u32..=6).prop_map(|dim| Topology::Hypercube { dim }),
+        ((1usize..=8), (1usize..=8)).prop_map(|(rows, cols)| Topology::Mesh2D { rows, cols }),
+        ((1usize..=8), (1usize..=8)).prop_map(|(rows, cols)| Topology::Torus2D { rows, cols }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn hops_is_a_metric(topo in arb_topology(), seed in any::<u64>()) {
+        let n = topo.procs();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 7) % n;
+        let c = (seed as usize / 49) % n;
+        // identity
+        prop_assert_eq!(topo.hops(a, a), 0);
+        // symmetry
+        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+        // triangle inequality
+        prop_assert!(topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c));
+        // bounded by diameter
+        prop_assert!(topo.hops(a, b) <= topo.diameter());
+    }
+
+    #[test]
+    fn neighbors_symmetric(topo in arb_topology()) {
+        for p in 0..topo.procs() {
+            for q in topo.neighbors(p) {
+                prop_assert!(topo.neighbors(q).contains(&p),
+                    "{}: {q} not a neighbor of {p}", topo.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn gray_code_bijective_on_range(n in 1usize..1024) {
+        let mut seen = vec![false; n.next_power_of_two()];
+        for i in 0..n.next_power_of_two() {
+            let g = Topology::gray(i);
+            prop_assert!(!seen[g]);
+            seen[g] = true;
+            prop_assert_eq!(Topology::gray_inv(g), i);
+        }
+    }
+
+    #[test]
+    fn log_phases_covers_group(g in 1usize..100_000) {
+        // 2^log_phases(g) >= g > 2^(log_phases(g)-1)
+        let k = log_phases(g);
+        prop_assert!(1usize << k >= g);
+        if k > 0 {
+            prop_assert!(1usize << (k - 1) < g);
+        }
+    }
+
+    #[test]
+    fn collective_costs_monotone_in_bytes(
+        topo in arb_topology(),
+        b1 in 0usize..10_000,
+        b2 in 0usize..10_000,
+    ) {
+        let model = CostModel::ap1000();
+        let net = Network::new(&model, &topo);
+        let g = topo.procs();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(net.broadcast(g, lo) <= net.broadcast(g, hi));
+        prop_assert!(net.gather(g, lo) <= net.gather(g, hi));
+        prop_assert!(net.all_to_all(g, lo) <= net.all_to_all(g, hi));
+    }
+
+    #[test]
+    fn makespan_never_decreases(ops in prop::collection::vec((0usize..8, 0u64..1000), 1..50)) {
+        let mut m = Machine::new(Topology::Hypercube { dim: 3 }, CostModel::ap1000());
+        let mut last = Time::ZERO;
+        for (p, w) in ops {
+            m.compute(p, Work::cmps(w), "w");
+            let now = m.makespan();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn barrier_equalises_all_clocks(ops in prop::collection::vec((0usize..8, 0u64..1000), 0..20)) {
+        let mut m = Machine::new(Topology::Hypercube { dim: 3 }, CostModel::ap1000());
+        for (p, w) in ops {
+            m.compute(p, Work::flops(w), "w");
+        }
+        m.barrier();
+        let t0 = m.clocks.get(0);
+        for p in 1..8 {
+            prop_assert_eq!(m.clocks.get(p), t0);
+        }
+        prop_assert!((m.clocks.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_cost_additive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let model = CostModel::ap1000();
+        let lhs = (Work::cmps(a) + Work::cmps(b)).cost(&model);
+        let rhs = Work::cmps(a).cost(&model) + Work::cmps(b).cost(&model);
+        prop_assert!((lhs.as_secs() - rhs.as_secs()).abs() <= 1e-9 * lhs.as_secs().max(1.0));
+    }
+}

@@ -1,0 +1,258 @@
+//! Static cost estimation of skeleton expressions.
+//!
+//! The estimator prices one pass of an expression over a distributed array
+//! of `n` scalar elements (one per virtual processor) on a machine described
+//! by a [`CostModel`] and [`Topology`]. It uses the same collective formulas
+//! as the runtime simulator ([`scl_machine::Network`]), so "the optimiser's
+//! opinion" and "what the simulator charges" agree structurally.
+//!
+//! Every data-parallel step pays one barrier (the SPMD composition
+//! semantics); this is precisely why map fusion is profitable.
+
+use crate::ir::Expr;
+use crate::registry::Registry;
+use scl_machine::{CostModel, Network, Time, Topology};
+
+/// Machine and data-size parameters for estimation.
+#[derive(Debug, Clone)]
+pub struct CostParams {
+    /// Number of elements = virtual processors.
+    pub n: usize,
+    /// Payload bytes per element.
+    pub elem_bytes: usize,
+    /// Machine cost parameters.
+    pub model: CostModel,
+    /// Machine interconnect.
+    pub topo: Topology,
+}
+
+impl CostParams {
+    /// AP1000-flavoured defaults for `n` elements of 8 bytes.
+    pub fn ap1000(n: usize) -> CostParams {
+        CostParams {
+            n,
+            elem_bytes: 8,
+            model: CostModel::ap1000(),
+            topo: Topology::torus_for(n.max(1)),
+        }
+    }
+}
+
+/// Tracks the logical data layout while walking a composition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Layout {
+    Flat { n: usize },
+    Grouped { groups: usize, per_group: usize },
+    Scalar,
+}
+
+/// Estimate the cost of `e` on `params`. Errors on unknown symbols or
+/// ill-typed programs.
+pub fn estimate(e: &Expr, reg: &Registry, params: &CostParams) -> Result<Time, String> {
+    let net = Network::new(&params.model, &params.topo);
+    let (t, _) = walk(e, reg, params, &net, Layout::Flat { n: params.n })?;
+    Ok(t)
+}
+
+fn barrier(params: &CostParams) -> Time {
+    params.model.t_barrier
+}
+
+fn step_comm(net: &Network<'_>, params: &CostParams) -> Time {
+    // One permutation phase: a typical point-to-point message plus barrier.
+    net.model.ptp(params.elem_bytes, net.topo.mean_hops().ceil() as usize) + barrier(params)
+}
+
+fn walk(
+    e: &Expr,
+    reg: &Registry,
+    params: &CostParams,
+    net: &Network<'_>,
+    layout: Layout,
+) -> Result<(Time, Layout), String> {
+    use Expr::*;
+    let flat_n = |layout: Layout| -> Result<usize, String> {
+        match layout {
+            Layout::Flat { n } => Ok(n),
+            other => Err(format!("expected flat array layout, got {other:?}")),
+        }
+    };
+    match e {
+        Id => Ok((Time::ZERO, layout)),
+        Compose(es) => {
+            let mut t = Time::ZERO;
+            let mut lay = layout;
+            for sub in es.iter().rev() {
+                let (dt, next) = walk(sub, reg, params, net, lay)?;
+                t += dt;
+                lay = next;
+            }
+            Ok((t, lay))
+        }
+        Map(f) => {
+            let _ = flat_n(layout)?;
+            let w = reg.fn_work(f)?;
+            Ok((w.cost(&params.model) + barrier(params), layout))
+        }
+        Fold(op) => {
+            let n = flat_n(layout)?;
+            let w = reg.op_work(op)?;
+            Ok((net.reduce(n, params.elem_bytes, w), Layout::Scalar))
+        }
+        FoldrMap(op, g) => {
+            // Sequential: gather everything to one processor, then n
+            // applications of g and op there.
+            let n = flat_n(layout)?;
+            let per = reg.op_work(op)?.cost(&params.model)
+                + reg.fn_work(g)?.cost(&params.model);
+            let t = net.gather(n, params.elem_bytes) + per * n;
+            Ok((t, Layout::Scalar))
+        }
+        Scan(op) => {
+            let n = flat_n(layout)?;
+            let w = reg.op_work(op)?;
+            Ok((net.scan(n, params.elem_bytes, w), layout))
+        }
+        Rotate(k) => {
+            let _ = flat_n(layout)?;
+            if *k == 0 {
+                Ok((Time::ZERO, layout))
+            } else {
+                Ok((step_comm(net, params), layout))
+            }
+        }
+        Fetch(_) | Send(_) => {
+            let _ = flat_n(layout)?;
+            Ok((step_comm(net, params), layout))
+        }
+        Split(p) => {
+            let n = flat_n(layout)?;
+            if *p == 0 || n < *p {
+                return Err(format!("cannot split {n} elements into {p} groups"));
+            }
+            Ok((Time::ZERO, Layout::Grouped { groups: *p, per_group: n / *p }))
+        }
+        MapGroups(body) => match layout {
+            Layout::Grouped { groups, per_group } => {
+                // groups run in parallel: cost of one group
+                let (t, inner) =
+                    walk(body, reg, params, net, Layout::Flat { n: per_group.max(1) })?;
+                if !matches!(inner, Layout::Flat { .. }) {
+                    return Err("mapGroups body must preserve array layout".into());
+                }
+                Ok((t, Layout::Grouped { groups, per_group }))
+            }
+            other => Err(format!("mapGroups needs grouped layout, got {other:?}")),
+        },
+        Combine => match layout {
+            Layout::Grouped { groups, per_group } => {
+                Ok((Time::ZERO, Layout::Flat { n: groups * per_group }))
+            }
+            other => Err(format!("combine needs grouped layout, got {other:?}")),
+        },
+        SegRotate { k, .. } => {
+            let _ = flat_n(layout)?;
+            if *k == 0 {
+                Ok((Time::ZERO, layout))
+            } else {
+                Ok((step_comm(net, params), layout))
+            }
+        }
+        SegFetch { .. } | SegSend { .. } => {
+            let _ = flat_n(layout)?;
+            Ok((step_comm(net, params), layout))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FnRef, IdxRef};
+
+    fn reg() -> Registry {
+        Registry::standard()
+    }
+
+    fn params() -> CostParams {
+        CostParams::ap1000(16)
+    }
+
+    #[test]
+    fn id_is_free() {
+        assert_eq!(estimate(&Expr::Id, &reg(), &params()).unwrap(), Time::ZERO);
+    }
+
+    #[test]
+    fn fused_maps_cost_less_than_separate() {
+        let separate = Expr::Compose(vec![
+            Expr::Map(FnRef::named("inc")),
+            Expr::Map(FnRef::named("double")),
+        ]);
+        let fused = Expr::Map(FnRef::named("inc").then_after(FnRef::named("double")));
+        let cs = estimate(&separate, &reg(), &params()).unwrap();
+        let cf = estimate(&fused, &reg(), &params()).unwrap();
+        // exactly one barrier saved
+        let saved = cs - cf;
+        assert!((saved.as_secs() - params().model.t_barrier.as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_comm_costs_less() {
+        let two = Expr::Compose(vec![
+            Expr::Fetch(IdxRef::named("succ")),
+            Expr::Fetch(IdxRef::named("succ")),
+        ]);
+        let one = Expr::Fetch(IdxRef::named("succ").then_after(IdxRef::named("succ")));
+        assert!(estimate(&one, &reg(), &params()).unwrap() < estimate(&two, &reg(), &params()).unwrap());
+    }
+
+    #[test]
+    fn foldr_is_much_worse_than_fold_map() {
+        let seq = Expr::FoldrMap("add".into(), FnRef::named("square"));
+        let par = Expr::Compose(vec![Expr::Fold("add".into()), Expr::Map(FnRef::named("square"))]);
+        let cs = estimate(&seq, &reg(), &params()).unwrap();
+        let cp = estimate(&par, &reg(), &params()).unwrap();
+        assert!(cs > cp, "sequential {cs} should exceed parallel {cp}");
+    }
+
+    #[test]
+    fn rotate_zero_free_nonzero_charged() {
+        assert_eq!(estimate(&Expr::Rotate(0), &reg(), &params()).unwrap(), Time::ZERO);
+        assert!(estimate(&Expr::Rotate(1), &reg(), &params()).unwrap() > Time::ZERO);
+    }
+
+    #[test]
+    fn nested_equals_segmented_cost_shape() {
+        let nested = Expr::pipeline(vec![
+            Expr::Split(4),
+            Expr::MapGroups(Box::new(Expr::Rotate(1))),
+            Expr::Combine,
+        ]);
+        let flat = Expr::SegRotate { groups: 4, k: 1 };
+        let cn = estimate(&nested, &reg(), &params()).unwrap();
+        let cf = estimate(&flat, &reg(), &params()).unwrap();
+        assert_eq!(cn, cf);
+    }
+
+    #[test]
+    fn errors_on_bad_programs() {
+        // map after fold: ill-typed
+        let bad = Expr::pipeline(vec![Expr::Fold("add".into()), Expr::Map(FnRef::named("inc"))]);
+        assert!(estimate(&bad, &reg(), &params()).is_err());
+        // unknown function
+        assert!(estimate(&Expr::Map(FnRef::named("nope")), &reg(), &params()).is_err());
+        // over-splitting
+        let bad = Expr::Split(64);
+        assert!(estimate(&bad, &reg(), &CostParams::ap1000(4)).is_err());
+    }
+
+    #[test]
+    fn scan_and_fold_scale_with_log_n() {
+        let r = reg();
+        let c4 = estimate(&Expr::Fold("add".into()), &r, &CostParams::ap1000(4)).unwrap();
+        let c64 = estimate(&Expr::Fold("add".into()), &r, &CostParams::ap1000(64)).unwrap();
+        assert!(c64 > c4);
+        assert!(c64.as_secs() / c4.as_secs() < 6.0, "log growth, not linear");
+    }
+}

@@ -1,0 +1,309 @@
+//! The reference interpreter.
+//!
+//! `eval` gives every [`Expr`] a denotational meaning over concrete data.
+//! Its whole purpose is to *check the rewrite rules*: a transformation is
+//! meaning-preserving iff the interpreter produces the same value before and
+//! after (see the property tests). It is intentionally the dumbest possible
+//! implementation — no parallelism, no cost accounting.
+
+use crate::ir::{Expr, Shape};
+use crate::registry::Registry;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A distributed array (one scalar per virtual processor).
+    Arr(Vec<i64>),
+    /// A single scalar.
+    Scal(i64),
+    /// A nested array (groups).
+    Nested(Vec<Vec<i64>>),
+}
+
+impl Value {
+    /// The shape of this value.
+    pub fn shape(&self) -> Shape {
+        match self {
+            Value::Arr(_) => Shape::Arr,
+            Value::Scal(_) => Shape::Scal,
+            Value::Nested(gs) => Shape::Nested(gs.len()),
+        }
+    }
+
+    /// Extract an array or error.
+    pub fn into_arr(self) -> Result<Vec<i64>, String> {
+        match self {
+            Value::Arr(v) => Ok(v),
+            other => Err(format!("expected array, got {:?}", other.shape())),
+        }
+    }
+}
+
+/// Balanced contiguous split of `v` into `p` groups (mirrors
+/// `scl-core`'s block partitioning).
+fn block_split(v: &[i64], p: usize) -> Vec<Vec<i64>> {
+    assert!(p > 0);
+    let n = v.len();
+    let base = n / p;
+    let extra = n % p;
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0;
+    for i in 0..p {
+        let len = base + usize::from(i < extra);
+        out.push(v[start..start + len].to_vec());
+        start += len;
+    }
+    out
+}
+
+/// Evaluate `e` on `input` under `reg`.
+pub fn eval(e: &Expr, reg: &Registry, input: Value) -> Result<Value, String> {
+    use Expr::*;
+    match e {
+        Id => Ok(input),
+        Compose(es) => {
+            let mut v = input;
+            for sub in es.iter().rev() {
+                v = eval(sub, reg, v)?;
+            }
+            Ok(v)
+        }
+        Map(f) => {
+            let v = input.into_arr()?;
+            let mut out = Vec::with_capacity(v.len());
+            for x in v {
+                out.push(reg.apply_fn(f, x)?);
+            }
+            Ok(Value::Arr(out))
+        }
+        Fold(op) => {
+            let v = input.into_arr()?;
+            let mut it = v.into_iter();
+            let first = it.next().ok_or("fold of empty array is undefined")?;
+            let mut acc = first;
+            for x in it {
+                acc = reg.apply_op(op, acc, x)?;
+            }
+            Ok(Value::Scal(acc))
+        }
+        FoldrMap(op, g) => {
+            // foldr with combining function λ(x, acc). op(g(x), acc),
+            // seeded with g(last). Associativity of `op` is what lets the
+            // map-distribution rule replace this with fold ∘ map.
+            let v = input.into_arr()?;
+            let mut it = v.into_iter().rev();
+            let last = it.next().ok_or("foldr of empty array is undefined")?;
+            let mut acc = reg.apply_fn(g, last)?;
+            for x in it {
+                acc = reg.apply_op(op, reg.apply_fn(g, x)?, acc)?;
+            }
+            Ok(Value::Scal(acc))
+        }
+        Scan(op) => {
+            let v = input.into_arr()?;
+            let mut out = Vec::with_capacity(v.len());
+            let mut acc: Option<i64> = None;
+            for x in v {
+                acc = Some(match acc {
+                    None => x,
+                    Some(a) => reg.apply_op(op, a, x)?,
+                });
+                out.push(acc.unwrap());
+            }
+            Ok(Value::Arr(out))
+        }
+        Rotate(k) => {
+            let v = input.into_arr()?;
+            let n = v.len();
+            if n == 0 {
+                return Ok(Value::Arr(v));
+            }
+            let k = k.rem_euclid(n as i64) as usize;
+            let out: Vec<i64> = (0..n).map(|i| v[(i + k) % n]).collect();
+            Ok(Value::Arr(out))
+        }
+        Fetch(h) => {
+            let v = input.into_arr()?;
+            let n = v.len();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(v[reg.apply_idx(h, i, n)?]);
+            }
+            Ok(Value::Arr(out))
+        }
+        Send(h) => {
+            let v = input.into_arr()?;
+            let n = v.len();
+            let mut out = vec![0i64; n];
+            for (k, x) in v.iter().enumerate() {
+                let j = reg.apply_idx(h, k, n)?;
+                out[j] = out[j].wrapping_add(*x);
+            }
+            Ok(Value::Arr(out))
+        }
+        Split(p) => {
+            let v = input.into_arr()?;
+            if v.len() < *p {
+                return Err(format!("cannot split {} elements into {p} groups", v.len()));
+            }
+            Ok(Value::Nested(block_split(&v, *p)))
+        }
+        MapGroups(sub) => match input {
+            Value::Nested(gs) => {
+                let mut out = Vec::with_capacity(gs.len());
+                for g in gs {
+                    out.push(eval(sub, reg, Value::Arr(g))?.into_arr()?);
+                }
+                Ok(Value::Nested(out))
+            }
+            other => Err(format!("mapGroups needs nested input, got {:?}", other.shape())),
+        },
+        Combine => match input {
+            Value::Nested(gs) => Ok(Value::Arr(gs.into_iter().flatten().collect())),
+            other => Err(format!("combine needs nested input, got {:?}", other.shape())),
+        },
+        SegRotate { groups, k } => {
+            let v = input.into_arr()?;
+            let segs = block_split(&v, *groups);
+            let mut out = Vec::with_capacity(v.len());
+            for seg in segs {
+                let m = seg.len();
+                if m == 0 {
+                    continue;
+                }
+                let kk = k.rem_euclid(m as i64) as usize;
+                out.extend((0..m).map(|i| seg[(i + kk) % m]));
+            }
+            Ok(Value::Arr(out))
+        }
+        SegFetch { groups, f } => {
+            let v = input.into_arr()?;
+            let segs = block_split(&v, *groups);
+            let mut out = Vec::with_capacity(v.len());
+            for seg in segs {
+                let m = seg.len();
+                for i in 0..m {
+                    out.push(seg[reg.apply_idx(f, i, m)?]);
+                }
+            }
+            Ok(Value::Arr(out))
+        }
+        SegSend { groups, f } => {
+            let v = input.into_arr()?;
+            let segs = block_split(&v, *groups);
+            let mut out = Vec::with_capacity(v.len());
+            for seg in segs {
+                let m = seg.len();
+                let mut local = vec![0i64; m];
+                for (k, x) in seg.iter().enumerate() {
+                    let j = reg.apply_idx(f, k, m)?;
+                    local[j] = local[j].wrapping_add(*x);
+                }
+                out.extend(local);
+            }
+            Ok(Value::Arr(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FnRef;
+    use crate::ir::IdxRef;
+
+    fn arr(v: Vec<i64>) -> Value {
+        Value::Arr(v)
+    }
+
+    fn run(e: &Expr, v: Vec<i64>) -> Value {
+        eval(e, &Registry::standard(), arr(v)).unwrap()
+    }
+
+    #[test]
+    fn id_and_compose() {
+        let e = Expr::pipeline(vec![Expr::Map(FnRef::named("inc")), Expr::Map(FnRef::named("double"))]);
+        // inc first, then double
+        assert_eq!(run(&e, vec![1, 2]), arr(vec![4, 6]));
+        assert_eq!(run(&Expr::Id, vec![5]), arr(vec![5]));
+    }
+
+    #[test]
+    fn fold_and_scan() {
+        assert_eq!(run(&Expr::Fold("add".into()), vec![1, 2, 3, 4]), Value::Scal(10));
+        assert_eq!(run(&Expr::Scan("add".into()), vec![1, 2, 3]), arr(vec![1, 3, 6]));
+        assert!(eval(&Expr::Fold("add".into()), &Registry::standard(), arr(vec![])).is_err());
+    }
+
+    #[test]
+    fn foldr_map_matches_fold_of_map_for_assoc() {
+        let lhs = Expr::FoldrMap("add".into(), FnRef::named("square"));
+        let rhs = Expr::pipeline(vec![Expr::Map(FnRef::named("square")), Expr::Fold("add".into())]);
+        let data = vec![1, 2, 3, 4, 5];
+        assert_eq!(run(&lhs, data.clone()), run(&rhs, data));
+    }
+
+    #[test]
+    fn rotate_wraps() {
+        assert_eq!(run(&Expr::Rotate(1), vec![10, 20, 30]), arr(vec![20, 30, 10]));
+        assert_eq!(run(&Expr::Rotate(-1), vec![10, 20, 30]), arr(vec![30, 10, 20]));
+        assert_eq!(run(&Expr::Rotate(3), vec![10, 20, 30]), arr(vec![10, 20, 30]));
+    }
+
+    #[test]
+    fn fetch_and_send() {
+        assert_eq!(run(&Expr::Fetch(IdxRef::named("succ")), vec![1, 2, 3]), arr(vec![2, 3, 1]));
+        // send zero: everything accumulates at index 0
+        assert_eq!(run(&Expr::Send(IdxRef::named("zero")), vec![1, 2, 3]), arr(vec![6, 0, 0]));
+    }
+
+    #[test]
+    fn split_mapgroups_combine() {
+        let e = Expr::pipeline(vec![
+            Expr::Split(2),
+            Expr::MapGroups(Box::new(Expr::Rotate(1))),
+            Expr::Combine,
+        ]);
+        assert_eq!(run(&e, vec![1, 2, 3, 4]), arr(vec![2, 1, 4, 3]));
+    }
+
+    #[test]
+    fn seg_variants_match_nested_forms() {
+        let data: Vec<i64> = (0..12).collect();
+        let nested = Expr::pipeline(vec![
+            Expr::Split(3),
+            Expr::MapGroups(Box::new(Expr::Rotate(1))),
+            Expr::Combine,
+        ]);
+        let flat = Expr::SegRotate { groups: 3, k: 1 };
+        assert_eq!(run(&nested, data.clone()), run(&flat, data.clone()));
+
+        let nested_f = Expr::pipeline(vec![
+            Expr::Split(3),
+            Expr::MapGroups(Box::new(Expr::Fetch(IdxRef::named("rev")))),
+            Expr::Combine,
+        ]);
+        let flat_f = Expr::SegFetch { groups: 3, f: IdxRef::named("rev") };
+        assert_eq!(run(&nested_f, data.clone()), run(&flat_f, data.clone()));
+
+        let nested_s = Expr::pipeline(vec![
+            Expr::Split(3),
+            Expr::MapGroups(Box::new(Expr::Send(IdxRef::named("half")))),
+            Expr::Combine,
+        ]);
+        let flat_s = Expr::SegSend { groups: 3, f: IdxRef::named("half") };
+        assert_eq!(run(&nested_s, data.clone()), run(&flat_s, data));
+    }
+
+    #[test]
+    fn split_too_small_errors() {
+        assert!(eval(&Expr::Split(5), &Registry::standard(), arr(vec![1, 2])).is_err());
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let bad = Expr::pipeline(vec![Expr::Fold("add".into()), Expr::Map(FnRef::named("inc"))]);
+        assert!(eval(&bad, &Registry::standard(), arr(vec![1, 2])).is_err());
+        assert!(eval(&Expr::Combine, &Registry::standard(), arr(vec![1])).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! The rewrite engine: normalisation, fixpoint rewriting, candidate
+//! enumeration and cost-directed optimisation.
+
+use crate::cost::{estimate, CostParams};
+use crate::ir::Expr;
+use crate::registry::Registry;
+use crate::rules::Rule;
+use scl_machine::Time;
+
+/// A record of one applied rewrite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Applied {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Pretty-printed expression before.
+    pub before: String,
+    /// Pretty-printed expression after.
+    pub after: String,
+}
+
+/// Put an expression in normal form:
+/// * nested `Compose` flattened,
+/// * `Id` removed from compositions,
+/// * `Compose([])` → `Id`, `Compose([e])` → `e`,
+/// * normalisation applied recursively inside `MapGroups`.
+pub fn normalize(e: Expr) -> Expr {
+    match e {
+        Expr::Compose(es) => {
+            let mut flat = Vec::with_capacity(es.len());
+            for sub in es {
+                match normalize(sub) {
+                    Expr::Id => {}
+                    Expr::Compose(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            match flat.len() {
+                0 => Expr::Id,
+                1 => flat.pop().unwrap(),
+                _ => Expr::Compose(flat),
+            }
+        }
+        Expr::MapGroups(b) => {
+            let b = normalize(*b);
+            if b == Expr::Id {
+                Expr::Id
+            } else {
+                Expr::MapGroups(Box::new(b))
+            }
+        }
+        other => other,
+    }
+}
+
+/// Try one rule application anywhere in `e` (root first, then children,
+/// leftmost-first). Returns the rewritten whole expression.
+fn rewrite_once(e: &Expr, rules: &[Rule], reg: &Registry, log: &mut Vec<Applied>) -> Option<Expr> {
+    for rule in rules {
+        if let Some(out) = rule.apply(e, reg) {
+            log.push(Applied {
+                rule: rule.name(),
+                before: e.to_string(),
+                after: normalize(out.clone()).to_string(),
+            });
+            return Some(out);
+        }
+    }
+    match e {
+        Expr::Compose(es) => {
+            for (i, sub) in es.iter().enumerate() {
+                if let Some(new_sub) = rewrite_once(sub, rules, reg, log) {
+                    let mut out = es.clone();
+                    out[i] = new_sub;
+                    return Some(Expr::Compose(out));
+                }
+            }
+            None
+        }
+        Expr::MapGroups(b) => {
+            rewrite_once(b, rules, reg, log).map(|nb| Expr::MapGroups(Box::new(nb)))
+        }
+        _ => None,
+    }
+}
+
+/// Apply `rules` to a fixpoint (with an iteration cap as a safety net —
+/// the shipped rule set strictly shrinks the term, so the cap is never hit
+/// in practice). Returns the normal form and the log of applications.
+pub fn rewrite_fixpoint(e: Expr, rules: &[Rule], reg: &Registry) -> (Expr, Vec<Applied>) {
+    const CAP: usize = 10_000;
+    let mut log = Vec::new();
+    let mut cur = normalize(e);
+    for _ in 0..CAP {
+        match rewrite_once(&cur, rules, reg, &mut log) {
+            Some(next) => cur = normalize(next),
+            None => return (cur, log),
+        }
+    }
+    (cur, log)
+}
+
+/// Optimise with the full safe rule set (the paper's laws) to fixpoint.
+pub fn optimize(e: Expr, reg: &Registry) -> (Expr, Vec<Applied>) {
+    rewrite_fixpoint(e, &Rule::ALL, reg)
+}
+
+/// Enumerate every expression reachable from `e` by a *single* rule
+/// application at any position, tagged with the rule that produced it.
+pub fn single_step_candidates(e: &Expr, reg: &Registry) -> Vec<(&'static str, Expr)> {
+    let mut out = Vec::new();
+    for rule in &Rule::ALL {
+        collect_applications(e, *rule, reg, &mut |rewritten| {
+            out.push((rule.name(), normalize(rewritten)));
+        });
+    }
+    out
+}
+
+/// Apply `rule` at every position of `e`, calling `sink` with each whole
+/// rewritten expression. (`dyn` rather than `impl` — the recursion wraps
+/// the sink in a new closure per level, which would otherwise monomorphise
+/// forever.)
+fn collect_applications(
+    e: &Expr,
+    rule: Rule,
+    reg: &Registry,
+    sink: &mut dyn FnMut(Expr),
+) {
+    for out in rule.apply_all(e, reg) {
+        sink(out);
+    }
+    match e {
+        Expr::Compose(es) => {
+            for (i, sub) in es.iter().enumerate() {
+                let mut wrap = |rewritten: Expr| {
+                    let mut copy = es.clone();
+                    copy[i] = rewritten;
+                    sink(Expr::Compose(copy));
+                };
+                collect_applications(sub, rule, reg, &mut wrap);
+            }
+        }
+        Expr::MapGroups(b) => {
+            let mut wrap = |rewritten: Expr| sink(Expr::MapGroups(Box::new(rewritten)));
+            collect_applications(b, rule, reg, &mut wrap);
+        }
+        _ => {}
+    }
+}
+
+/// Report from the cost-directed optimiser.
+#[derive(Debug, Clone)]
+pub struct OptReport {
+    /// Estimated cost of the input program.
+    pub initial_cost: Time,
+    /// Estimated cost of the chosen program.
+    pub final_cost: Time,
+    /// The greedy steps taken (rule name, cost after the step).
+    pub steps: Vec<(&'static str, Time)>,
+}
+
+/// Greedy cost-directed optimisation: repeatedly take the single rewrite
+/// that most reduces the estimated cost on the given machine, stopping at a
+/// local optimum. Because all shipped rules are semantics-preserving, any
+/// stopping point is a valid program.
+pub fn optimize_costed(
+    e: Expr,
+    reg: &Registry,
+    params: &CostParams,
+) -> Result<(Expr, OptReport), String> {
+    let mut cur = normalize(e);
+    let initial_cost = estimate(&cur, reg, params)?;
+    let mut cur_cost = initial_cost;
+    let mut steps = Vec::new();
+    loop {
+        // Strictly decreasing (cost, size) lexicographic measure: equal-cost
+        // rewrites that shrink the term (e.g. rotate(0) → id) still apply,
+        // and termination is guaranteed.
+        let cur_key = (cur_cost, cur.size());
+        let mut best: Option<(&'static str, Expr, (Time, usize))> = None;
+        for (rule, cand) in single_step_candidates(&cur, reg) {
+            let key = (estimate(&cand, reg, params)?, cand.size());
+            let improves = key.0 < cur_key.0 || (key.0 == cur_key.0 && key.1 < cur_key.1);
+            let beats_best = best
+                .as_ref()
+                .map(|(_, _, bk)| key.0 < bk.0 || (key.0 == bk.0 && key.1 < bk.1))
+                .unwrap_or(true);
+            if improves && beats_best {
+                best = Some((rule, cand, key));
+            }
+        }
+        match best {
+            Some((rule, cand, key)) => {
+                steps.push((rule, key.0));
+                cur = cand;
+                cur_cost = key.0;
+            }
+            None => break,
+        }
+    }
+    Ok((cur, OptReport { initial_cost, final_cost: cur_cost, steps }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FnRef, IdxRef};
+    use scl_machine::{CostModel, Topology};
+
+    fn reg() -> Registry {
+        Registry::standard()
+    }
+
+    fn params() -> CostParams {
+        CostParams {
+            n: 16,
+            elem_bytes: 8,
+            model: CostModel::ap1000(),
+            topo: Topology::Torus2D { rows: 4, cols: 4 },
+        }
+    }
+
+    #[test]
+    fn normalize_flattens_and_prunes() {
+        let e = Expr::Compose(vec![
+            Expr::Id,
+            Expr::Compose(vec![Expr::Rotate(1), Expr::Id, Expr::Rotate(2)]),
+            Expr::Id,
+        ]);
+        assert_eq!(normalize(e), Expr::Compose(vec![Expr::Rotate(1), Expr::Rotate(2)]));
+        assert_eq!(normalize(Expr::Compose(vec![])), Expr::Id);
+        assert_eq!(normalize(Expr::Compose(vec![Expr::Rotate(3)])), Expr::Rotate(3));
+        assert_eq!(normalize(Expr::MapGroups(Box::new(Expr::Id))), Expr::Id);
+    }
+
+    #[test]
+    fn fixpoint_fuses_map_chain() {
+        let e = Expr::pipeline(vec![
+            Expr::Map(FnRef::named("inc")),
+            Expr::Map(FnRef::named("double")),
+            Expr::Map(FnRef::named("square")),
+        ]);
+        let (out, log) = optimize(e, &reg());
+        assert!(matches!(out, Expr::Map(_)), "got {out}");
+        assert_eq!(log.iter().filter(|a| a.rule == "map-fusion").count(), 2);
+    }
+
+    #[test]
+    fn fixpoint_collapses_rotations() {
+        let e = Expr::pipeline(vec![Expr::Rotate(3), Expr::Rotate(-3)]);
+        let (out, log) = optimize(e, &reg());
+        assert_eq!(out, Expr::Id);
+        assert!(log.iter().any(|a| a.rule == "rotate-fusion"));
+        assert!(log.iter().any(|a| a.rule == "rotate-identity"));
+    }
+
+    #[test]
+    fn fixpoint_distributes_foldr() {
+        let e = Expr::FoldrMap("add".into(), FnRef::named("square"));
+        let (out, log) = optimize(e, &reg());
+        assert_eq!(
+            out,
+            Expr::Compose(vec![Expr::Fold("add".into()), Expr::Map(FnRef::named("square"))])
+        );
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].rule, "map-distribution");
+    }
+
+    #[test]
+    fn fixpoint_flattens_nested() {
+        let e = Expr::pipeline(vec![
+            Expr::Split(4),
+            Expr::MapGroups(Box::new(Expr::pipeline(vec![
+                Expr::Map(FnRef::named("inc")),
+                Expr::Rotate(1),
+            ]))),
+            Expr::Combine,
+        ]);
+        let (out, log) = optimize(e, &reg());
+        assert!(log.iter().any(|a| a.rule == "flatten"), "{log:?}");
+        assert!(out.count(&|x| matches!(x, Expr::Split(_))) == 0);
+        assert!(out.count(&|x| matches!(x, Expr::SegRotate { .. })) == 1);
+    }
+
+    #[test]
+    fn rewrites_reach_inside_map_groups() {
+        let e = Expr::MapGroups(Box::new(Expr::pipeline(vec![
+            Expr::Map(FnRef::named("inc")),
+            Expr::Map(FnRef::named("double")),
+            Expr::Fold("add".into()),
+        ])));
+        let (_, log) = optimize(e, &reg());
+        assert!(log.iter().any(|a| a.rule == "map-fusion"));
+    }
+
+    #[test]
+    fn candidates_enumerate_all_positions() {
+        let e = Expr::Compose(vec![
+            Expr::Map(FnRef::named("inc")),
+            Expr::Map(FnRef::named("double")),
+            Expr::Map(FnRef::named("square")),
+        ]);
+        let cands = single_step_candidates(&e, &reg());
+        // two adjacent map pairs can fuse
+        let fusions: Vec<_> = cands.iter().filter(|(r, _)| *r == "map-fusion").collect();
+        assert_eq!(fusions.len(), 2);
+    }
+
+    #[test]
+    fn cost_directed_never_worse() {
+        let e = Expr::pipeline(vec![
+            Expr::Map(FnRef::named("inc")),
+            Expr::Map(FnRef::named("double")),
+            Expr::Rotate(2),
+            Expr::Rotate(-2),
+            Expr::Fetch(IdxRef::named("succ")),
+            Expr::Fetch(IdxRef::named("succ")),
+        ]);
+        let (out, report) = optimize_costed(e, &reg(), &params()).unwrap();
+        assert!(report.final_cost <= report.initial_cost);
+        assert!(!report.steps.is_empty());
+        // rotations cancel entirely; fetches fuse; maps fuse
+        assert!(out.count(&|x| matches!(x, Expr::Rotate(_))) == 0, "{out}");
+        assert!(out.count(&|x| matches!(x, Expr::Fetch(_))) == 1, "{out}");
+        assert!(out.count(&|x| matches!(x, Expr::Map(_))) == 1, "{out}");
+    }
+
+    #[test]
+    fn applied_log_is_readable() {
+        let e = Expr::pipeline(vec![
+            Expr::Map(FnRef::named("inc")),
+            Expr::Map(FnRef::named("double")),
+        ]);
+        let (_, log) = optimize(e, &reg());
+        assert_eq!(log[0].rule, "map-fusion");
+        assert!(log[0].before.contains("map"));
+        assert!(log[0].after.contains("map"));
+    }
+}

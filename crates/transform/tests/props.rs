@@ -1,0 +1,172 @@
+//! The crate's central guarantee, property-tested: **every transformation
+//! preserves meaning**. Random well-typed skeleton programs are generated,
+//! optimised by both engines, and checked against the reference interpreter
+//! on random data.
+
+use proptest::prelude::*;
+use scl_transform::prelude::*;
+
+/// Names available in `Registry::standard()`.
+const SCALARS: &[&str] = &["inc", "dec", "double", "square", "neg", "halve", "heavy"];
+const IDXFNS: &[&str] = &["id", "succ", "pred", "xor1", "half", "rev", "zero"];
+const ASSOC_OPS: &[&str] = &["add", "mul", "max", "min"];
+
+fn arb_fnref() -> impl Strategy<Value = FnRef> {
+    prop_oneof![
+        prop::sample::select(SCALARS).prop_map(FnRef::named),
+        (prop::sample::select(SCALARS), prop::sample::select(SCALARS))
+            .prop_map(|(a, b)| FnRef::named(a).then_after(FnRef::named(b))),
+    ]
+}
+
+fn arb_idxref() -> impl Strategy<Value = IdxRef> {
+    prop::sample::select(IDXFNS).prop_map(IdxRef::named)
+}
+
+/// One flat (array → array) step.
+fn arb_step() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Id),
+        arb_fnref().prop_map(Expr::Map),
+        (-8i64..8).prop_map(Expr::Rotate),
+        arb_idxref().prop_map(Expr::Fetch),
+        arb_idxref().prop_map(Expr::Send),
+        prop::sample::select(ASSOC_OPS).prop_map(|op| Expr::Scan(op.to_string())),
+    ]
+}
+
+/// A flattenable group body (what the flatten rule can translate).
+fn arb_flattenable_body() -> impl Strategy<Value = Expr> {
+    prop::collection::vec(
+        prop_oneof![
+            arb_fnref().prop_map(Expr::Map),
+            (-4i64..4).prop_map(Expr::Rotate),
+            arb_idxref().prop_map(Expr::Fetch),
+            arb_idxref().prop_map(Expr::Send),
+        ],
+        1..4,
+    )
+    .prop_map(Expr::pipeline)
+}
+
+/// A nested split/mapGroups/combine block with small group counts (inputs
+/// in the tests always have ≥ 8 elements, so `split` succeeds).
+fn arb_nested_block() -> impl Strategy<Value = Expr> {
+    (1usize..=4, arb_flattenable_body()).prop_map(|(p, body)| {
+        Expr::pipeline(vec![Expr::Split(p), Expr::MapGroups(Box::new(body)), Expr::Combine])
+    })
+}
+
+/// A random well-typed array→array program.
+fn arb_program() -> impl Strategy<Value = Expr> {
+    prop::collection::vec(
+        prop_oneof![4 => arb_step(), 1 => arb_nested_block()],
+        1..8,
+    )
+    .prop_map(Expr::pipeline)
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-1_000_000i64..1_000_000, 8..32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn optimize_preserves_semantics(e in arb_program(), data in arb_input()) {
+        let reg = Registry::standard();
+        let (opt, _) = optimize(e.clone(), &reg);
+        let before = eval(&e, &reg, Value::Arr(data.clone()));
+        let after = eval(&opt, &reg, Value::Arr(data));
+        prop_assert_eq!(before, after, "program: {} => {}", e, opt);
+    }
+
+    #[test]
+    fn optimize_costed_preserves_semantics_and_cost(e in arb_program(), data in arb_input()) {
+        let reg = Registry::standard();
+        let params = CostParams::ap1000(data.len());
+        let (opt, report) = optimize_costed(e.clone(), &reg, &params).unwrap();
+        prop_assert!(report.final_cost <= report.initial_cost);
+        let before = eval(&e, &reg, Value::Arr(data.clone()));
+        let after = eval(&opt, &reg, Value::Arr(data));
+        prop_assert_eq!(before, after, "program: {} => {}", e, opt);
+    }
+
+    #[test]
+    fn optimize_never_grows_the_term(e in arb_program()) {
+        let reg = Registry::standard();
+        let (opt, _) = optimize(e.clone(), &reg);
+        prop_assert!(opt.size() <= e.size(), "{} ({}) => {} ({})",
+            e, e.size(), opt, opt.size());
+    }
+
+    #[test]
+    fn optimize_is_idempotent(e in arb_program()) {
+        let reg = Registry::standard();
+        let (once, _) = optimize(e, &reg);
+        let (twice, log) = optimize(once.clone(), &reg);
+        prop_assert_eq!(once, twice);
+        prop_assert!(log.is_empty());
+    }
+
+    #[test]
+    fn normalize_is_idempotent(e in arb_program()) {
+        let n1 = normalize(e);
+        let n2 = normalize(n1.clone());
+        prop_assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn shapes_preserved_by_optimization(e in arb_program()) {
+        let reg = Registry::standard();
+        let (opt, _) = optimize(e.clone(), &reg);
+        prop_assert_eq!(shape_of(&e, Shape::Arr), shape_of(&opt, Shape::Arr));
+    }
+
+    #[test]
+    fn map_distribution_end_to_end(data in arb_input(),
+                                   op in prop::sample::select(ASSOC_OPS),
+                                   f in arb_fnref()) {
+        // the sequential foldr and the parallel fold∘map agree for
+        // associative operators
+        let reg = Registry::standard();
+        let seq = Expr::FoldrMap(op.to_string(), f);
+        let (par, log) = optimize(seq.clone(), &reg);
+        prop_assert!(log.iter().any(|a| a.rule == "map-distribution"));
+        let before = eval(&seq, &reg, Value::Arr(data.clone()));
+        let after = eval(&par, &reg, Value::Arr(data));
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn print_parse_roundtrip(e in arb_program()) {
+        // normalise first: the printer collapses what normalize collapses
+        let e = normalize(e);
+        let text = e.to_string();
+        let back = scl_transform::parse(&text)
+            .unwrap_or_else(|err| panic!("could not re-parse `{text}`: {err}"));
+        prop_assert_eq!(back, e, "source: {}", text);
+    }
+
+    #[test]
+    fn parsed_program_means_the_same(e in arb_program(), data in arb_input()) {
+        let reg = Registry::standard();
+        let e = normalize(e);
+        let back = scl_transform::parse(&e.to_string()).unwrap();
+        prop_assert_eq!(
+            eval(&e, &reg, Value::Arr(data.clone())),
+            eval(&back, &reg, Value::Arr(data))
+        );
+    }
+
+    #[test]
+    fn estimated_cost_total_for_valid_programs(e in arb_program(), n in 8usize..64) {
+        let reg = Registry::standard();
+        let params = CostParams::ap1000(n);
+        // every generated program estimates successfully and non-negatively
+        let c = estimate(&e, &reg, &params);
+        prop_assert!(c.is_ok(), "{e}: {c:?}");
+        prop_assert!(c.unwrap().as_secs() >= 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Hyperquicksort on a simulated hypercube — the paper's §3/§5 flagship.
+//!
+//! ```text
+//! cargo run --release --example hypersort [n] [dim]
+//! ```
+//!
+//! Sorts `n` random keys (default 100 000) on a `2^dim`-processor hypercube
+//! (default dim 5 = 32 processors, the paper's largest configuration),
+//! with both the nested recursive formulation and the flattened SPMD one,
+//! and reports predicted runtimes and communication counts.
+
+use scl::apps::hyperquicksort::{hyperquicksort_flat, hyperquicksort_nested, sequential_sort};
+use scl::apps::workloads::uniform_keys;
+use scl::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let dim: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let p = 1usize << dim;
+
+    let data = uniform_keys(n, 1995);
+    println!("sorting {n} random keys on a {p}-processor hypercube (AP1000 model)\n");
+
+    let (seq, seq_work) = sequential_sort(&data);
+    let seq_time = seq_work.cost(&CostModel::ap1000());
+    println!("sequential quicksort:     {seq_time}   ({} comparisons)", seq_work.cmps);
+
+    let mut scl = Scl::hypercube(p, CostModel::ap1000());
+    let flat = hyperquicksort_flat(&mut scl, &data, dim);
+    assert_eq!(flat, seq);
+    println!(
+        "flattened hyperquicksort: {}   speedup {:.2}, {} msgs, {} bytes",
+        scl.makespan(),
+        seq_time / scl.makespan(),
+        scl.machine.metrics.messages,
+        scl.machine.metrics.bytes
+    );
+
+    let mut scl = Scl::hypercube(p, CostModel::ap1000());
+    let nested = hyperquicksort_nested(&mut scl, &data, dim);
+    assert_eq!(nested, seq);
+    println!(
+        "nested hyperquicksort:    {}   speedup {:.2}, {} msgs, {} bytes",
+        scl.makespan(),
+        seq_time / scl.makespan(),
+        scl.machine.metrics.messages,
+        scl.machine.metrics.bytes
+    );
+
+    println!("\nall three agree; first 10 keys: {:?}", &flat[..10.min(flat.len())]);
+}

