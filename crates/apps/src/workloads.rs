@@ -4,14 +4,13 @@
 //! systems; these helpers produce the equivalents, seeded so that every
 //! test, bench and table row is exactly reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use scl_core::Matrix;
+use scl_testkit::Rng;
 
 /// `n` uniform random `i64` keys in `[0, 10^9)`.
 pub fn uniform_keys(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(0..1_000_000_000i64)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.range_i64(0, 1_000_000_000)).collect()
 }
 
 /// Already-sorted keys (adversarial for naive quicksort pivots).
@@ -26,28 +25,28 @@ pub fn reverse_keys(n: usize) -> Vec<i64> {
 
 /// Keys drawn from only `k` distinct values (duplicate-heavy).
 pub fn few_unique_keys(n: usize, k: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(0..k.max(1) as i64)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.range_i64(0, k.max(1) as i64)).collect()
 }
 
 /// A random, strictly diagonally dominant `n × n` system `(A, b)` — always
 /// non-singular and well-conditioned, so Gauss–Jordan with partial pivoting
 /// solves it stably.
 pub fn diag_dominant_system(n: usize, seed: u64) -> (Matrix<f64>, Vec<f64>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut a: Matrix<f64> = Matrix::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut a: Matrix<f64> = Matrix::from_fn(n, n, |_, _| rng.range_f64(-1.0, 1.0));
     for i in 0..n {
         let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
-        a.set(i, i, row_sum + rng.random_range(1.0..2.0));
+        a.set(i, i, row_sum + rng.range_f64(1.0, 2.0));
     }
-    let b: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+    let b: Vec<f64> = (0..n).map(|_| rng.range_f64(-10.0, 10.0)).collect();
     (a, b)
 }
 
 /// A random dense matrix with entries in `[-1, 1]`.
 pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0..1.0))
+    let mut rng = Rng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.range_f64(-1.0, 1.0))
 }
 
 /// Residual `max_i |A x − b|_i` of a proposed solution.

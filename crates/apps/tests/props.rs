@@ -1,97 +1,130 @@
 //! Property tests for the SCL applications: correctness against std/naive
 //! baselines on randomised inputs, shapes of the virtual-time predictions.
+//! (Randomised via `scl-testkit`, the workspace's proptest replacement.)
 
-use proptest::prelude::*;
+use scl_apps::workloads::{diag_dominant_system, random_matrix, residual};
 use scl_apps::{
     cannon_matmul, gauss_jordan_scl, gauss_jordan_seq, histogram_scl, histogram_seq,
     hyperquicksort_flat, hyperquicksort_nested, jacobi_scl, jacobi_seq, psrs_sort,
 };
-use scl_apps::workloads::{diag_dominant_system, random_matrix, residual};
 use scl_core::prelude::*;
+use scl_testkit::{cases, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn hyperquicksort_sorts_anything(data in prop::collection::vec(any::<i64>(), 0..600),
-                                     dim in 0u32..4) {
+#[test]
+fn hyperquicksort_sorts_anything() {
+    cases(48, 0x51, |rng| {
+        let len = rng.range_usize(0, 600);
+        let data = rng.vec_of(len, Rng::any_i64);
+        let dim = rng.below(4) as u32;
         let mut expect = data.clone();
         expect.sort_unstable();
         let mut scl = Scl::hypercube(1 << dim, CostModel::ap1000());
-        prop_assert_eq!(hyperquicksort_flat(&mut scl, &data, dim), expect.clone());
+        assert_eq!(hyperquicksort_flat(&mut scl, &data, dim), expect.clone());
         let mut scl = Scl::hypercube(1 << dim, CostModel::ap1000());
-        prop_assert_eq!(hyperquicksort_nested(&mut scl, &data, dim), expect);
-    }
+        assert_eq!(hyperquicksort_nested(&mut scl, &data, dim), expect);
+    });
+}
 
-    #[test]
-    fn flat_and_nested_agree(data in prop::collection::vec(-1000i64..1000, 0..400),
-                             dim in 1u32..4) {
+#[test]
+fn flat_and_nested_agree() {
+    cases(48, 0x52, |rng| {
+        let len = rng.range_usize(0, 400);
+        let data = rng.vec_of(len, |r| r.range_i64(-1000, 1000));
+        let dim = 1 + rng.below(3) as u32;
         let mut s1 = Scl::hypercube(1 << dim, CostModel::ap1000());
         let mut s2 = Scl::hypercube(1 << dim, CostModel::ap1000());
-        prop_assert_eq!(
+        assert_eq!(
             hyperquicksort_flat(&mut s1, &data, dim),
             hyperquicksort_nested(&mut s2, &data, dim)
         );
-    }
+    });
+}
 
-    #[test]
-    fn psrs_sorts_anything(data in prop::collection::vec(any::<i64>(), 0..600),
-                           p in 1usize..9) {
+#[test]
+fn psrs_sorts_anything() {
+    cases(48, 0x53, |rng| {
+        let len = rng.range_usize(0, 600);
+        let data = rng.vec_of(len, Rng::any_i64);
+        let p = rng.range_usize(1, 9);
         let mut expect = data.clone();
         expect.sort_unstable();
         let mut scl = Scl::ap1000(p);
-        prop_assert_eq!(psrs_sort(&mut scl, &data, p), expect);
-    }
+        assert_eq!(psrs_sort(&mut scl, &data, p), expect);
+    });
+}
 
-    #[test]
-    fn gauss_solves_dominant_systems(n in 1usize..24, p in 1usize..8, seed in any::<u64>()) {
-        let p = p.min(n + 1);
+#[test]
+fn gauss_solves_dominant_systems() {
+    cases(48, 0x54, |rng| {
+        let n = rng.range_usize(1, 24);
+        let p = rng.range_usize(1, 8).min(n + 1);
+        let seed = rng.next_u64();
         let (a, b) = diag_dominant_system(n, seed);
         let mut scl = Scl::ap1000(p);
         let x = gauss_jordan_scl(&mut scl, &a, &b, p);
-        prop_assert!(residual(&a, &x, &b) < 1e-8);
-        prop_assert_eq!(x, gauss_jordan_seq(&a, &b));
-    }
+        assert!(residual(&a, &x, &b) < 1e-8);
+        assert_eq!(x, gauss_jordan_seq(&a, &b));
+    });
+}
 
-    #[test]
-    fn cannon_matches_naive(blk in 1usize..4, q in 1usize..4, seed in any::<u64>()) {
+#[test]
+fn cannon_matches_naive() {
+    cases(48, 0x55, |rng| {
+        let blk = rng.range_usize(1, 4);
+        let q = rng.range_usize(1, 4);
+        let seed = rng.next_u64();
         let n = blk * q;
         let a = random_matrix(n, n, seed);
         let b = random_matrix(n, n, seed.wrapping_add(1));
         let mut scl = Scl::ap1000(q * q);
         let got = cannon_matmul(&mut scl, &a, &b, q);
-        prop_assert!(got.max_abs_diff(&a.matmul(&b)) < 1e-9);
-    }
+        assert!(got.max_abs_diff(&a.matmul(&b)) < 1e-9);
+    });
+}
 
-    #[test]
-    fn jacobi_parallel_is_bitwise_sequential(n in 0usize..80, p in 1usize..8,
-                                             iters in 1usize..40) {
+#[test]
+fn jacobi_parallel_is_bitwise_sequential() {
+    cases(48, 0x56, |rng| {
+        let n = rng.range_usize(0, 80);
+        let p = rng.range_usize(1, 8);
+        let iters = rng.range_usize(1, 40);
         let u0: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64).collect();
         let seq = jacobi_seq(&u0, 1e-9, iters);
         let mut scl = Scl::ap1000(p);
         let par = jacobi_scl(&mut scl, &u0, p, 1e-9, iters);
-        prop_assert_eq!(par, seq);
-    }
+        assert_eq!(par, seq);
+    });
+}
 
-    #[test]
-    fn histogram_matches_sequential(values in prop::collection::vec(any::<u64>(), 0..500),
-                                    buckets in 1usize..40, p in 1usize..8) {
+#[test]
+fn histogram_matches_sequential() {
+    cases(48, 0x57, |rng| {
+        let len = rng.range_usize(0, 500);
+        let values = rng.vec_of(len, Rng::next_u64);
+        let buckets = rng.range_usize(1, 40);
+        let p = rng.range_usize(1, 8);
         let expect = histogram_seq(&values, buckets);
         let mut scl = Scl::ap1000(p);
-        prop_assert_eq!(histogram_scl(&mut scl, &values, buckets, p), expect);
-    }
+        assert_eq!(histogram_scl(&mut scl, &values, buckets, p), expect);
+    });
+}
 
-    #[test]
-    fn sort_virtual_time_monotone_in_n(n1 in 100usize..2000, n2 in 100usize..2000) {
+#[test]
+fn sort_virtual_time_monotone_in_n() {
+    cases(24, 0x58, |rng| {
         // larger inputs never predict *faster* sorts on the same machine
+        let n1 = rng.range_usize(100, 2000);
+        let n2 = rng.range_usize(100, 2000);
         let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
-        prop_assume!(hi > lo + 200);
+        if hi <= lo + 200 {
+            return;
+        }
         let time = |n: usize| {
             let data = scl_apps::workloads::uniform_keys(n, 77);
             let mut scl = Scl::hypercube(8, CostModel::ap1000());
             let _ = hyperquicksort_flat(&mut scl, &data, 3);
             scl.makespan().as_secs()
         };
-        prop_assert!(time(hi) > time(lo));
-    }
+        assert!(time(hi) > time(lo));
+    });
 }

@@ -2,129 +2,100 @@
 //! Cannon's matmul, Jacobi and histogram, each swept over processor count
 //! on the simulated AP1000.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scl_apps::workloads::{diag_dominant_system, random_matrix, uniform_keys};
 use scl_apps::{cannon_matmul, gauss_jordan_scl, histogram_scl, jacobi_scl, psrs_sort};
 use scl_core::prelude::*;
+use scl_testkit::bench;
 use std::hint::black_box;
 
-fn bench_gauss(c: &mut Criterion) {
+fn bench_gauss() {
     let (a, b_rhs) = diag_dominant_system(64, 1995);
-    let mut g = c.benchmark_group("apps/gauss");
-    g.sample_size(10);
     for p in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bch, &p| {
-            bch.iter(|| {
-                let mut scl = Scl::ap1000(p);
-                black_box(gauss_jordan_scl(&mut scl, black_box(&a), black_box(&b_rhs), p))
-            })
+        bench(&format!("apps/gauss/{p}"), || {
+            let mut scl = Scl::ap1000(p);
+            black_box(gauss_jordan_scl(
+                &mut scl,
+                black_box(&a),
+                black_box(&b_rhs),
+                p,
+            ))
         });
     }
-    g.finish();
 }
 
-fn bench_psrs(c: &mut Criterion) {
+fn bench_psrs() {
     let data = uniform_keys(50_000, 2);
-    let mut g = c.benchmark_group("apps/psrs");
-    g.sample_size(10);
     for p in [1usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                let mut scl = Scl::ap1000(p);
-                black_box(psrs_sort(&mut scl, black_box(&data), p))
-            })
+        bench(&format!("apps/psrs/{p}"), || {
+            let mut scl = Scl::ap1000(p);
+            black_box(psrs_sort(&mut scl, black_box(&data), p))
         });
     }
-    g.finish();
 }
 
-fn bench_cannon(c: &mut Criterion) {
+fn bench_cannon() {
     let a = random_matrix(48, 48, 1);
     let b_m = random_matrix(48, 48, 2);
-    let mut g = c.benchmark_group("apps/cannon");
-    g.sample_size(10);
     for q in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(q * q), &q, |bch, &q| {
-            bch.iter(|| {
-                let mut scl = Scl::ap1000(q * q);
-                black_box(cannon_matmul(&mut scl, black_box(&a), black_box(&b_m), q))
-            })
+        bench(&format!("apps/cannon/{}", q * q), || {
+            let mut scl = Scl::ap1000(q * q);
+            black_box(cannon_matmul(&mut scl, black_box(&a), black_box(&b_m), q))
         });
     }
-    g.finish();
 }
 
-fn bench_jacobi(c: &mut Criterion) {
+fn bench_jacobi() {
     let mut u0 = vec![0.0f64; 512];
     u0[511] = 100.0;
-    let mut g = c.benchmark_group("apps/jacobi");
-    g.sample_size(10);
     for p in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                let mut scl = Scl::ap1000(p);
-                black_box(jacobi_scl(&mut scl, black_box(&u0), p, 1e-3, 200))
-            })
+        bench(&format!("apps/jacobi/{p}"), || {
+            let mut scl = Scl::ap1000(p);
+            black_box(jacobi_scl(&mut scl, black_box(&u0), p, 1e-3, 200))
         });
     }
-    g.finish();
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    let values: Vec<u64> = uniform_keys(100_000, 5).into_iter().map(|x| x as u64).collect();
-    let mut g = c.benchmark_group("apps/histogram");
-    g.sample_size(10);
+fn bench_histogram() {
+    let values: Vec<u64> = uniform_keys(100_000, 5)
+        .into_iter()
+        .map(|x| x as u64)
+        .collect();
     for p in [1usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                let mut scl = Scl::ap1000(p);
-                black_box(histogram_scl(&mut scl, black_box(&values), 256, p))
-            })
+        bench(&format!("apps/histogram/{p}"), || {
+            let mut scl = Scl::ap1000(p);
+            black_box(histogram_scl(&mut scl, black_box(&values), 256, p))
         });
     }
-    g.finish();
 }
 
-fn bench_fft(c: &mut Criterion) {
+fn bench_fft() {
     let x: Vec<(f64, f64)> = (0..4096)
         .map(|i| ((i as f64 * 0.01).sin(), (i as f64 * 0.02).cos()))
         .collect();
-    let mut g = c.benchmark_group("apps/fft");
-    g.sample_size(10);
     for p in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                let mut scl = Scl::hypercube(p, CostModel::ap1000());
-                black_box(scl_apps::fft::fft_scl(&mut scl, black_box(&x), p))
-            })
+        bench(&format!("apps/fft/{p}"), || {
+            let mut scl = Scl::hypercube(p, CostModel::ap1000());
+            black_box(scl_apps::fft::fft_scl(&mut scl, black_box(&x), p))
         });
     }
-    g.finish();
 }
 
-fn bench_nbody(c: &mut Criterion) {
+fn bench_nbody() {
     let bodies = scl_apps::nbody::random_bodies(512, 3);
-    let mut g = c.benchmark_group("apps/nbody");
-    g.sample_size(10);
     for p in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                let mut scl = Scl::ap1000(p);
-                black_box(scl_apps::nbody::forces_scl(&mut scl, black_box(&bodies), p))
-            })
+        bench(&format!("apps/nbody/{p}"), || {
+            let mut scl = Scl::ap1000(p);
+            black_box(scl_apps::nbody::forces_scl(&mut scl, black_box(&bodies), p))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_gauss,
-    bench_psrs,
-    bench_cannon,
-    bench_jacobi,
-    bench_histogram,
-    bench_fft,
-    bench_nbody
-);
-criterion_main!(benches);
+fn main() {
+    bench_gauss();
+    bench_psrs();
+    bench_cannon();
+    bench_jacobi();
+    bench_histogram();
+    bench_fft();
+    bench_nbody();
+}

@@ -1,65 +1,51 @@
-//! Criterion bench for the Table 1 / Figure 3 workload: flattened
+//! Host-time bench for the Table 1 / Figure 3 workload: flattened
 //! hyperquicksort on the simulated AP1000, swept over processor count and
 //! input size, plus the nested (§3) formulation for comparison.
 //!
-//! Criterion measures *host* wall time of the simulation (useful for
-//! tracking the harness itself); the paper-shaped numbers are the virtual
-//! times printed by the `table1` / `figure3` binaries.
+//! This measures *host* wall time of the simulation (useful for tracking
+//! the harness itself); the paper-shaped numbers are the virtual times
+//! printed by the `table1` / `figure3` binaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scl_apps::hyperquicksort::{hyperquicksort_flat, hyperquicksort_nested};
 use scl_apps::workloads::uniform_keys;
 use scl_core::prelude::*;
+use scl_testkit::bench;
 use std::hint::black_box;
 
-fn bench_procs_sweep(c: &mut Criterion) {
+fn bench_procs_sweep() {
     let data = uniform_keys(50_000, 1995);
-    let mut g = c.benchmark_group("table1/procs");
-    g.sample_size(10);
     for dim in [0u32, 2, 4, 5] {
-        g.bench_with_input(BenchmarkId::from_parameter(1usize << dim), &dim, |b, &dim| {
-            b.iter(|| {
-                let mut scl = Scl::hypercube(1 << dim, CostModel::ap1000());
-                black_box(hyperquicksort_flat(&mut scl, black_box(&data), dim))
-            })
+        bench(&format!("table1/procs/{}", 1usize << dim), || {
+            let mut scl = Scl::hypercube(1 << dim, CostModel::ap1000());
+            black_box(hyperquicksort_flat(&mut scl, black_box(&data), dim))
         });
     }
-    g.finish();
 }
 
-fn bench_size_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1/size");
-    g.sample_size(10);
+fn bench_size_sweep() {
     for n in [10_000usize, 50_000, 100_000] {
         let data = uniform_keys(n, 7);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
-            b.iter(|| {
-                let mut scl = Scl::hypercube(16, CostModel::ap1000());
-                black_box(hyperquicksort_flat(&mut scl, black_box(data), 4))
-            })
+        bench(&format!("table1/size/{n}"), || {
+            let mut scl = Scl::hypercube(16, CostModel::ap1000());
+            black_box(hyperquicksort_flat(&mut scl, black_box(&data), 4))
         });
     }
-    g.finish();
 }
 
-fn bench_nested_vs_flat(c: &mut Criterion) {
+fn bench_nested_vs_flat() {
     let data = uniform_keys(20_000, 3);
-    let mut g = c.benchmark_group("hyperquicksort/form");
-    g.sample_size(10);
-    g.bench_function("flat", |b| {
-        b.iter(|| {
-            let mut scl = Scl::hypercube(8, CostModel::ap1000());
-            black_box(hyperquicksort_flat(&mut scl, black_box(&data), 3))
-        })
+    bench("hyperquicksort/form/flat", || {
+        let mut scl = Scl::hypercube(8, CostModel::ap1000());
+        black_box(hyperquicksort_flat(&mut scl, black_box(&data), 3))
     });
-    g.bench_function("nested", |b| {
-        b.iter(|| {
-            let mut scl = Scl::hypercube(8, CostModel::ap1000());
-            black_box(hyperquicksort_nested(&mut scl, black_box(&data), 3))
-        })
+    bench("hyperquicksort/form/nested", || {
+        let mut scl = Scl::hypercube(8, CostModel::ap1000());
+        black_box(hyperquicksort_nested(&mut scl, black_box(&data), 3))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_procs_sweep, bench_size_sweep, bench_nested_vs_flat);
-criterion_main!(benches);
+fn main() {
+    bench_procs_sweep();
+    bench_size_sweep();
+    bench_nested_vs_flat();
+}

@@ -1,110 +1,106 @@
 //! Micro-benchmarks of the elementary and communication skeletons:
 //! per-operation host cost of `map`, `fold`, `scan`, `rotate`, `fetch`,
 //! `send`, and the sequential vs. threaded execution policies.
+//!
+//! Runs on the zero-dependency `scl_testkit::bench` harness
+//! (`cargo bench -p scl-bench --bench skeletons`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scl_core::prelude::*;
+use scl_testkit::bench;
 use std::hint::black_box;
 
 fn make_ctx(n: usize) -> Scl {
-    Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::ap1000()))
+    Scl::new(Machine::new(
+        Topology::FullyConnected { procs: n },
+        CostModel::ap1000(),
+    ))
 }
 
 fn dist_array(parts: usize, part_len: usize) -> ParArray<Vec<i64>> {
     ParArray::from_parts(
-        (0..parts).map(|i| (0..part_len as i64).map(|x| x + i as i64).collect()).collect(),
+        (0..parts)
+            .map(|i| (0..part_len as i64).map(|x| x + i as i64).collect())
+            .collect(),
     )
 }
 
-fn bench_map(c: &mut Criterion) {
-    let mut g = c.benchmark_group("skeletons/map");
+fn bench_map() {
     for parts in [4usize, 16, 64] {
         let a = dist_array(parts, 1000);
-        g.bench_with_input(BenchmarkId::from_parameter(parts), &a, |b, a| {
-            let mut scl = make_ctx(a.len());
-            b.iter(|| {
-                black_box(scl.map_costed(a, |v| {
-                    let s: i64 = v.iter().sum();
-                    (s, Work::flops(v.len() as u64))
-                }))
-            })
+        let mut scl = make_ctx(a.len());
+        bench(&format!("skeletons/map/{parts}"), || {
+            black_box(scl.map_costed(&a, |v| {
+                let s: i64 = v.iter().sum();
+                (s, Work::flops(v.len() as u64))
+            }))
         });
     }
-    g.finish();
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies() {
     let a = dist_array(16, 20_000);
     let heavy = |v: &Vec<i64>| -> i64 {
-        v.iter().fold(0i64, |acc, x| acc.wrapping_mul(31).wrapping_add(*x))
+        v.iter()
+            .fold(0i64, |acc, x| acc.wrapping_mul(31).wrapping_add(*x))
     };
-    let mut g = c.benchmark_group("skeletons/policy");
-    g.sample_size(10);
-    g.bench_function("sequential", |b| {
-        let mut scl = make_ctx(16);
-        b.iter(|| black_box(scl.map(&a, heavy)))
+    let mut scl = make_ctx(16);
+    bench("skeletons/policy/sequential", || {
+        black_box(scl.map(&a, heavy))
     });
-    g.bench_function("threads4", |b| {
-        let mut scl = make_ctx(16).with_policy(ExecPolicy::Threads(4));
-        b.iter(|| black_box(scl.map(&a, heavy)))
+    let mut scl = make_ctx(16).with_policy(ExecPolicy::Threads(4));
+    bench("skeletons/policy/threads4", || {
+        black_box(scl.map(&a, heavy))
     });
-    g.finish();
 }
 
-fn bench_fold_scan(c: &mut Criterion) {
+fn bench_fold_scan() {
     let a = ParArray::from_parts((0..64i64).collect::<Vec<_>>());
-    let mut g = c.benchmark_group("skeletons/reduction");
-    g.bench_function("fold", |b| {
-        let mut scl = make_ctx(64);
-        b.iter(|| black_box(scl.fold(&a, |x, y| x + y)))
+    let mut scl = make_ctx(64);
+    bench("skeletons/reduction/fold", || {
+        black_box(scl.fold(&a, |x, y| x + y))
     });
-    g.bench_function("scan", |b| {
-        let mut scl = make_ctx(64);
-        b.iter(|| black_box(scl.scan(&a, |x, y| x + y)))
+    let mut scl = make_ctx(64);
+    bench("skeletons/reduction/scan", || {
+        black_box(scl.scan(&a, |x, y| x + y))
     });
-    g.finish();
 }
 
-fn bench_comm(c: &mut Criterion) {
+fn bench_comm() {
     let a = dist_array(32, 500);
-    let mut g = c.benchmark_group("skeletons/comm");
-    g.bench_function("rotate", |b| {
-        let mut scl = make_ctx(32);
-        b.iter(|| black_box(scl.rotate(1, &a)))
+    let mut scl = make_ctx(32);
+    bench("skeletons/comm/rotate", || black_box(scl.rotate(1, &a)));
+    let mut scl = make_ctx(32);
+    bench("skeletons/comm/fetch", || {
+        black_box(scl.fetch(|i| i ^ 1, &a))
     });
-    g.bench_function("fetch", |b| {
-        let mut scl = make_ctx(32);
-        b.iter(|| black_box(scl.fetch(|i| i ^ 1, &a)))
+    let mut scl = make_ctx(32);
+    bench("skeletons/comm/send", || {
+        black_box(scl.send(|i| vec![i / 2], &a))
     });
-    g.bench_function("send", |b| {
-        let mut scl = make_ctx(32);
-        b.iter(|| black_box(scl.send(|i| vec![i / 2], &a)))
+    let mut scl = make_ctx(32);
+    bench("skeletons/comm/brdcast", || {
+        black_box(scl.brdcast(&42i64, &a))
     });
-    g.bench_function("brdcast", |b| {
-        let mut scl = make_ctx(32);
-        b.iter(|| black_box(scl.brdcast(&42i64, &a)))
-    });
-    g.finish();
 }
 
-fn bench_partition(c: &mut Criterion) {
+fn bench_partition() {
     let data: Vec<i64> = (0..100_000).collect();
-    let mut g = c.benchmark_group("skeletons/partition");
-    for pat in [Pattern::Block(16), Pattern::Cyclic(16), Pattern::BlockCyclic { p: 16, block: 64 }] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{pat:?}")), &pat, |b, &pat| {
-            let mut scl = make_ctx(16);
-            b.iter(|| black_box(scl.partition(pat, black_box(&data))))
+    for pat in [
+        Pattern::Block(16),
+        Pattern::Cyclic(16),
+        Pattern::BlockCyclic { p: 16, block: 64 },
+    ] {
+        let mut scl = make_ctx(16);
+        bench(&format!("skeletons/partition/{pat:?}"), || {
+            black_box(scl.partition(pat, black_box(&data)))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_map,
-    bench_policies,
-    bench_fold_scan,
-    bench_comm,
-    bench_partition
-);
-criterion_main!(benches);
+fn main() {
+    bench_map();
+    bench_policies();
+    bench_fold_scan();
+    bench_comm();
+    bench_partition();
+}

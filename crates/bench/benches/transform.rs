@@ -3,8 +3,8 @@
 //! unoptimised and optimised programs (the ablation rows, measured as a
 //! bench so regressions show up).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scl_bench::ablation_rows;
+use scl_testkit::bench;
 use scl_transform::prelude::*;
 use std::hint::black_box;
 
@@ -21,53 +21,49 @@ fn chain_program(len: usize) -> Expr {
     )
 }
 
-fn bench_fixpoint(c: &mut Criterion) {
+fn bench_fixpoint() {
     let reg = Registry::standard();
-    let mut g = c.benchmark_group("transform/fixpoint");
     for len in [8usize, 32, 128] {
         let e = chain_program(len);
-        g.bench_with_input(BenchmarkId::from_parameter(len), &e, |b, e| {
-            b.iter(|| black_box(optimize(e.clone(), &reg)))
+        bench(&format!("transform/fixpoint/{len}"), || {
+            black_box(optimize(e.clone(), &reg))
         });
     }
-    g.finish();
 }
 
-fn bench_cost_directed(c: &mut Criterion) {
+fn bench_cost_directed() {
     let reg = Registry::standard();
     let params = CostParams::ap1000(64);
-    let mut g = c.benchmark_group("transform/cost-directed");
-    g.sample_size(10);
     for len in [8usize, 24] {
         let e = chain_program(len);
-        g.bench_with_input(BenchmarkId::from_parameter(len), &e, |b, e| {
-            b.iter(|| black_box(optimize_costed(e.clone(), &reg, &params).unwrap()))
+        bench(&format!("transform/cost-directed/{len}"), || {
+            black_box(optimize_costed(e.clone(), &reg, &params).unwrap())
         });
     }
-    g.finish();
 }
 
-fn bench_interp(c: &mut Criterion) {
+fn bench_interp() {
     let reg = Registry::standard();
     let e = chain_program(32);
     let (opt, _) = optimize(e.clone(), &reg);
     let data: Vec<i64> = (0..4096).collect();
-    let mut g = c.benchmark_group("transform/interp");
-    g.bench_function("unoptimized", |b| {
-        b.iter(|| black_box(eval(&e, &reg, Value::Arr(data.clone())).unwrap()))
+    bench("transform/interp/unoptimized", || {
+        black_box(eval(&e, &reg, Value::Arr(data.clone())).unwrap())
     });
-    g.bench_function("optimized", |b| {
-        b.iter(|| black_box(eval(&opt, &reg, Value::Arr(data.clone())).unwrap()))
+    bench("transform/interp/optimized", || {
+        black_box(eval(&opt, &reg, Value::Arr(data.clone())).unwrap())
     });
-    g.finish();
 }
 
-fn bench_ablation_suite(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transform/ablations");
-    g.sample_size(10);
-    g.bench_function("full-suite", |b| b.iter(|| black_box(ablation_rows(1024))));
-    g.finish();
+fn bench_ablation_suite() {
+    bench("transform/ablations/full-suite", || {
+        black_box(ablation_rows(1024))
+    });
 }
 
-criterion_group!(benches, bench_fixpoint, bench_cost_directed, bench_interp, bench_ablation_suite);
-criterion_main!(benches);
+fn main() {
+    bench_fixpoint();
+    bench_cost_directed();
+    bench_interp();
+    bench_ablation_suite();
+}

@@ -1,14 +1,15 @@
 //! A persistent thread pool for `'static` jobs.
 //!
 //! [`ThreadPool`] complements the scoped [`crate::scope`] primitives: it owns
-//! long-lived worker threads fed from a single crossbeam channel, for
-//! workloads that submit independent jobs over time (e.g. a stream of `farm`
-//! tasks) rather than one bulk-parallel slice. Each submission returns a
+//! long-lived worker threads fed from a single shared queue, for workloads
+//! that submit independent jobs over time (e.g. a stream of `farm` tasks)
+//! rather than one bulk-parallel slice. Each submission returns a
 //! [`JobHandle`] that can be joined for the job's result; panics inside a job
 //! are caught and surfaced at join time, never killing a worker.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::any::Any;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -29,9 +30,9 @@ impl<R> JobHandle<R> {
     /// Wait for the job and return its result; a panicking job yields
     /// `Err(payload)` just like [`std::thread::JoinHandle::join`].
     pub fn join(self) -> std::thread::Result<R> {
-        self.rx
-            .recv()
-            .unwrap_or_else(|_| Err(Box::new("scl-exec: job dropped before completion") as Box<dyn Any + Send>))
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(Box::new("scl-exec: job dropped before completion") as Box<dyn Any + Send>)
+        })
     }
 
     /// Non-blocking poll: `Some(result)` once the job has finished.
@@ -47,21 +48,33 @@ impl ThreadPool {
     /// Spawn a pool with `size` workers (at least 1).
     pub fn new(size: usize) -> ThreadPool {
         let size = size.max(1);
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = channel::<Job>();
+        // std::sync::mpsc is single-consumer, so the workers share the
+        // receiver behind a mutex; a worker holds the lock only while
+        // *taking* a job, never while running it.
+        let rx = Arc::new(Mutex::new(rx));
         let workers = (0..size)
             .map(|i| {
-                let rx = rx.clone();
+                let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("scl-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
+                    .spawn(move || loop {
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break, // a worker panicked holding the lock
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // channel closed: pool dropped
                         }
                     })
                     .expect("failed to spawn scl-exec worker")
             })
             .collect();
-        ThreadPool { tx: Some(tx), workers }
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+        }
     }
 
     /// Number of worker threads.
@@ -75,7 +88,7 @@ impl ThreadPool {
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
-        let (rtx, rrx) = bounded::<std::thread::Result<R>>(1);
+        let (rtx, rrx) = sync_channel::<std::thread::Result<R>>(1);
         let job: Job = Box::new(move || {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
             let _ = rtx.send(result);
@@ -210,7 +223,9 @@ mod tests {
             }));
         }
         let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
-        let expect: u64 = (0..8u64).map(|t| (0..50u64).map(|i| i + t).sum::<u64>()).sum();
+        let expect: u64 = (0..8u64)
+            .map(|t| (0..50u64).map(|i| i + t).sum::<u64>())
+            .sum();
         assert_eq!(total, expect);
     }
 }

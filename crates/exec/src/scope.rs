@@ -34,7 +34,7 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
 
     let mut out: Vec<Option<R>> = std::thread::scope(|s| {
         for _ in 0..n_threads {
@@ -94,15 +94,22 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
-    const POLICIES: [ExecPolicy; 3] =
-        [ExecPolicy::Sequential, ExecPolicy::Threads(2), ExecPolicy::Threads(8)];
+    const POLICIES: [ExecPolicy; 3] = [
+        ExecPolicy::Sequential,
+        ExecPolicy::Threads(2),
+        ExecPolicy::Threads(8),
+    ];
 
     #[test]
     fn map_preserves_order() {
         let items: Vec<u64> = (0..1000).collect();
         for p in POLICIES {
             let out = par_map(p, &items, |x| x * 2);
-            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "{p:?}");
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * 2).collect::<Vec<_>>(),
+                "{p:?}"
+            );
         }
     }
 
@@ -142,7 +149,10 @@ mod tests {
             par_for_each(p, &items, |_, x| {
                 hits.fetch_add(*x + 1, Ordering::Relaxed);
             });
-            assert_eq!(hits.load(Ordering::Relaxed), (0..257).map(|x| x + 1).sum::<u64>());
+            assert_eq!(
+                hits.load(Ordering::Relaxed),
+                (0..257).map(|x| x + 1).sum::<u64>()
+            );
         }
     }
 

@@ -8,10 +8,9 @@
 //! machine used for ablation studies.
 
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
 
 /// Linear (LogP-flavoured) machine cost parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Fixed per-message software overhead (send + receive path).
     pub t_msg: Time,
@@ -121,9 +120,17 @@ impl CostModel {
     /// Sanity check: every parameter finite and non-negative, contention
     /// at least 1.
     pub fn is_valid(&self) -> bool {
-        [self.t_msg, self.t_byte, self.t_hop, self.t_barrier, self.t_flop, self.t_cmp, self.t_mem]
-            .iter()
-            .all(|t| t.is_valid())
+        [
+            self.t_msg,
+            self.t_byte,
+            self.t_hop,
+            self.t_barrier,
+            self.t_flop,
+            self.t_cmp,
+            self.t_mem,
+        ]
+        .iter()
+        .all(|t| t.is_valid())
             && self.contention.is_finite()
             && self.contention >= 1.0
     }
@@ -143,7 +150,7 @@ impl Default for CostModel {
 /// for merging); the counts are deterministic given the input, which makes
 /// the whole simulation reproducible. Wall-clock measured work can be folded
 /// in through the `seconds` field.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Work {
     /// Floating point operations.
     pub flops: u64,
@@ -157,26 +164,43 @@ pub struct Work {
 
 impl Work {
     /// No work at all.
-    pub const NONE: Work = Work { flops: 0, cmps: 0, moves: 0, seconds: 0.0 };
+    pub const NONE: Work = Work {
+        flops: 0,
+        cmps: 0,
+        moves: 0,
+        seconds: 0.0,
+    };
 
     /// Work consisting of `n` floating-point operations.
     pub fn flops(n: u64) -> Work {
-        Work { flops: n, ..Work::NONE }
+        Work {
+            flops: n,
+            ..Work::NONE
+        }
     }
 
     /// Work consisting of `n` comparisons.
     pub fn cmps(n: u64) -> Work {
-        Work { cmps: n, ..Work::NONE }
+        Work {
+            cmps: n,
+            ..Work::NONE
+        }
     }
 
     /// Work consisting of `n` element moves.
     pub fn moves(n: u64) -> Work {
-        Work { moves: n, ..Work::NONE }
+        Work {
+            moves: n,
+            ..Work::NONE
+        }
     }
 
     /// Work measured directly in seconds.
     pub fn seconds(s: f64) -> Work {
-        Work { seconds: s, ..Work::NONE }
+        Work {
+            seconds: s,
+            ..Work::NONE
+        }
     }
 
     /// The time this work takes under `model`.
@@ -248,14 +272,27 @@ mod tests {
     #[test]
     fn work_cost_unit_model_counts_ops() {
         let m = CostModel::unit();
-        let w = Work { flops: 2, cmps: 3, moves: 4, seconds: 5.0 };
+        let w = Work {
+            flops: 2,
+            cmps: 3,
+            moves: 4,
+            seconds: 5.0,
+        };
         assert_eq!(w.cost(&m).as_secs(), 2.0 + 3.0 + 4.0 + 5.0);
     }
 
     #[test]
     fn work_addition() {
         let a = Work::flops(1) + Work::cmps(2) + Work::moves(3);
-        assert_eq!(a, Work { flops: 1, cmps: 2, moves: 3, seconds: 0.0 });
+        assert_eq!(
+            a,
+            Work {
+                flops: 1,
+                cmps: 2,
+                moves: 3,
+                seconds: 0.0
+            }
+        );
         let mut b = Work::NONE;
         b += a;
         b += Work::seconds(1.5);

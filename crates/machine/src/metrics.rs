@@ -5,10 +5,8 @@
 //! paper) assert on *these* (messages removed, barriers removed) as well as
 //! on virtual time.
 
-use serde::{Deserialize, Serialize};
-
 /// Event counters accumulated by a [`crate::machine::Machine`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Point-to-point messages sent.
     pub messages: u64,
@@ -107,8 +105,19 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = Metrics { messages: 1, bytes: 10, barriers: 2, ..Metrics::default() };
-        let b = Metrics { messages: 3, bytes: 5, group_barriers: 1, cmps: 7, ..Metrics::default() };
+        let mut a = Metrics {
+            messages: 1,
+            bytes: 10,
+            barriers: 2,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            messages: 3,
+            bytes: 5,
+            group_barriers: 1,
+            cmps: 7,
+            ..Metrics::default()
+        };
         a.merge(&b);
         assert_eq!(a.messages, 4);
         assert_eq!(a.bytes, 15);
@@ -118,14 +127,20 @@ mod tests {
 
     #[test]
     fn reset_zeroes() {
-        let mut a = Metrics { messages: 1, ..Metrics::default() };
+        let mut a = Metrics {
+            messages: 1,
+            ..Metrics::default()
+        };
         a.reset();
         assert_eq!(a, Metrics::default());
     }
 
     #[test]
     fn summary_mentions_counts() {
-        let m = Metrics { messages: 42, ..Metrics::default() };
+        let m = Metrics {
+            messages: 42,
+            ..Metrics::default()
+        };
         assert!(m.summary().contains("msgs=42"));
     }
 }

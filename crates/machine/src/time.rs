@@ -5,7 +5,6 @@
 //! accidentally mixed with counts or byte sizes, while still being `Copy` and
 //! cheap to pass around.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -14,7 +13,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 ///
 /// `Time` values are produced by [`crate::cost::CostModel`] formulas and
 /// accumulated in per-processor clocks ([`crate::clock::ProcClocks`]).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Time(pub f64);
 
 impl Time {

@@ -11,13 +11,11 @@
 //! far apart two of them are (in hops), who neighbours whom. Time costs are
 //! the business of [`crate::cost::CostModel`] and [`crate::network`].
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a (virtual) processor, `0 .. procs()`.
 pub type ProcId = usize;
 
 /// An interconnect shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {
     /// Every pair of distinct processors is one hop apart.
     FullyConnected {
@@ -58,18 +56,26 @@ impl Topology {
     /// # Panics
     /// Panics if `n` is zero or not a power of two.
     pub fn hypercube_for(n: usize) -> Topology {
-        assert!(n > 0 && n.is_power_of_two(), "hypercube needs a power-of-two size, got {n}");
-        Topology::Hypercube { dim: n.trailing_zeros() }
+        assert!(
+            n > 0 && n.is_power_of_two(),
+            "hypercube needs a power-of-two size, got {n}"
+        );
+        Topology::Hypercube {
+            dim: n.trailing_zeros(),
+        }
     }
 
     /// A torus as close to square as possible holding exactly `n` processors.
     pub fn torus_for(n: usize) -> Topology {
         assert!(n > 0, "torus needs at least one processor");
         let mut rows = (n as f64).sqrt().floor() as usize;
-        while rows > 1 && n % rows != 0 {
+        while rows > 1 && !n.is_multiple_of(rows) {
             rows -= 1;
         }
-        Topology::Torus2D { rows, cols: n / rows }
+        Topology::Torus2D {
+            rows,
+            cols: n / rows,
+        }
     }
 
     /// Number of processors.
@@ -88,7 +94,10 @@ impl Topology {
     /// Panics if either id is out of range.
     pub fn hops(&self, a: ProcId, b: ProcId) -> usize {
         let n = self.procs();
-        assert!(a < n && b < n, "proc id out of range ({a},{b} on {n} procs)");
+        assert!(
+            a < n && b < n,
+            "proc id out of range ({a},{b} on {n} procs)"
+        );
         if a == b {
             return 0;
         }
@@ -278,9 +287,18 @@ mod tests {
 
     #[test]
     fn torus_for_prefers_square() {
-        assert_eq!(Topology::torus_for(16), Topology::Torus2D { rows: 4, cols: 4 });
-        assert_eq!(Topology::torus_for(12), Topology::Torus2D { rows: 3, cols: 4 });
-        assert_eq!(Topology::torus_for(7), Topology::Torus2D { rows: 1, cols: 7 });
+        assert_eq!(
+            Topology::torus_for(16),
+            Topology::Torus2D { rows: 4, cols: 4 }
+        );
+        assert_eq!(
+            Topology::torus_for(12),
+            Topology::Torus2D { rows: 3, cols: 4 }
+        );
+        assert_eq!(
+            Topology::torus_for(7),
+            Topology::Torus2D { rows: 1, cols: 7 }
+        );
     }
 
     #[test]
@@ -408,7 +426,13 @@ mod tests {
 
     #[test]
     fn describe_is_stable() {
-        assert_eq!(Topology::Hypercube { dim: 5 }.describe(), "hypercube(d=5, 32 procs)");
-        assert_eq!(Topology::Torus2D { rows: 8, cols: 16 }.describe(), "torus(8x16)");
+        assert_eq!(
+            Topology::Hypercube { dim: 5 }.describe(),
+            "hypercube(d=5, 32 procs)"
+        );
+        assert_eq!(
+            Topology::Torus2D { rows: 8, cols: 16 }.describe(),
+            "torus(8x16)"
+        );
     }
 }

@@ -1,112 +1,154 @@
-//! Property-based tests for the machine substrate.
+//! Property-based tests for the machine substrate. (Randomised via
+//! `scl-testkit`, the workspace's zero-dependency proptest replacement.)
 
-use proptest::prelude::*;
 use scl_machine::{log_phases, CostModel, Machine, Network, Time, Topology, Work};
+use scl_testkit::{cases, Rng};
 
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        (1usize..=64).prop_map(|procs| Topology::FullyConnected { procs }),
-        (1usize..=64).prop_map(|procs| Topology::Ring { procs }),
-        (0u32..=6).prop_map(|dim| Topology::Hypercube { dim }),
-        ((1usize..=8), (1usize..=8)).prop_map(|(rows, cols)| Topology::Mesh2D { rows, cols }),
-        ((1usize..=8), (1usize..=8)).prop_map(|(rows, cols)| Topology::Torus2D { rows, cols }),
-    ]
+fn arb_topology(rng: &mut Rng) -> Topology {
+    match rng.below(5) {
+        0 => Topology::FullyConnected {
+            procs: rng.range_usize(1, 65),
+        },
+        1 => Topology::Ring {
+            procs: rng.range_usize(1, 65),
+        },
+        2 => Topology::Hypercube {
+            dim: rng.below(7) as u32,
+        },
+        3 => Topology::Mesh2D {
+            rows: rng.range_usize(1, 9),
+            cols: rng.range_usize(1, 9),
+        },
+        _ => Topology::Torus2D {
+            rows: rng.range_usize(1, 9),
+            cols: rng.range_usize(1, 9),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn hops_is_a_metric(topo in arb_topology(), seed in any::<u64>()) {
+#[test]
+fn hops_is_a_metric() {
+    cases(128, 0xA1, |rng| {
+        let topo = arb_topology(rng);
         let n = topo.procs();
+        let seed = rng.next_u64();
         let a = (seed as usize) % n;
         let b = (seed as usize / 7) % n;
         let c = (seed as usize / 49) % n;
         // identity
-        prop_assert_eq!(topo.hops(a, a), 0);
+        assert_eq!(topo.hops(a, a), 0);
         // symmetry
-        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+        assert_eq!(topo.hops(a, b), topo.hops(b, a));
         // triangle inequality
-        prop_assert!(topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c));
+        assert!(topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c));
         // bounded by diameter
-        prop_assert!(topo.hops(a, b) <= topo.diameter());
-    }
+        assert!(topo.hops(a, b) <= topo.diameter());
+    });
+}
 
-    #[test]
-    fn neighbors_symmetric(topo in arb_topology()) {
+#[test]
+fn neighbors_symmetric() {
+    cases(48, 0xA2, |rng| {
+        let topo = arb_topology(rng);
         for p in 0..topo.procs() {
             for q in topo.neighbors(p) {
-                prop_assert!(topo.neighbors(q).contains(&p),
-                    "{}: {q} not a neighbor of {p}", topo.describe());
+                assert!(
+                    topo.neighbors(q).contains(&p),
+                    "{}: {q} not a neighbor of {p}",
+                    topo.describe()
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn gray_code_bijective_on_range(n in 1usize..1024) {
+#[test]
+fn gray_code_bijective_on_range() {
+    cases(48, 0xA3, |rng| {
+        let n = rng.range_usize(1, 1024);
         let mut seen = vec![false; n.next_power_of_two()];
         for i in 0..n.next_power_of_two() {
             let g = Topology::gray(i);
-            prop_assert!(!seen[g]);
+            assert!(!seen[g]);
             seen[g] = true;
-            prop_assert_eq!(Topology::gray_inv(g), i);
+            assert_eq!(Topology::gray_inv(g), i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn log_phases_covers_group(g in 1usize..100_000) {
+#[test]
+fn log_phases_covers_group() {
+    cases(200, 0xA4, |rng| {
+        let g = rng.range_usize(1, 100_000);
         // 2^log_phases(g) >= g > 2^(log_phases(g)-1)
         let k = log_phases(g);
-        prop_assert!(1usize << k >= g);
+        assert!(1usize << k >= g);
         if k > 0 {
-            prop_assert!(1usize << (k - 1) < g);
+            assert!(1usize << (k - 1) < g);
         }
-    }
+    });
+}
 
-    #[test]
-    fn collective_costs_monotone_in_bytes(
-        topo in arb_topology(),
-        b1 in 0usize..10_000,
-        b2 in 0usize..10_000,
-    ) {
+#[test]
+fn collective_costs_monotone_in_bytes() {
+    cases(96, 0xA5, |rng| {
+        let topo = arb_topology(rng);
+        let b1 = rng.range_usize(0, 10_000);
+        let b2 = rng.range_usize(0, 10_000);
         let model = CostModel::ap1000();
         let net = Network::new(&model, &topo);
         let g = topo.procs();
         let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
-        prop_assert!(net.broadcast(g, lo) <= net.broadcast(g, hi));
-        prop_assert!(net.gather(g, lo) <= net.gather(g, hi));
-        prop_assert!(net.all_to_all(g, lo) <= net.all_to_all(g, hi));
-    }
+        assert!(net.broadcast(g, lo) <= net.broadcast(g, hi));
+        assert!(net.gather(g, lo) <= net.gather(g, hi));
+        assert!(net.all_to_all(g, lo) <= net.all_to_all(g, hi));
+    });
+}
 
-    #[test]
-    fn makespan_never_decreases(ops in prop::collection::vec((0usize..8, 0u64..1000), 1..50)) {
+#[test]
+fn makespan_never_decreases() {
+    cases(64, 0xA6, |rng| {
+        let n_ops = rng.range_usize(1, 50);
         let mut m = Machine::new(Topology::Hypercube { dim: 3 }, CostModel::ap1000());
         let mut last = Time::ZERO;
-        for (p, w) in ops {
+        for _ in 0..n_ops {
+            let p = rng.range_usize(0, 8);
+            let w = rng.below(1000);
             m.compute(p, Work::cmps(w), "w");
             let now = m.makespan();
-            prop_assert!(now >= last);
+            assert!(now >= last);
             last = now;
         }
-    }
+    });
+}
 
-    #[test]
-    fn barrier_equalises_all_clocks(ops in prop::collection::vec((0usize..8, 0u64..1000), 0..20)) {
+#[test]
+fn barrier_equalises_all_clocks() {
+    cases(64, 0xA7, |rng| {
+        let n_ops = rng.range_usize(0, 20);
         let mut m = Machine::new(Topology::Hypercube { dim: 3 }, CostModel::ap1000());
-        for (p, w) in ops {
+        for _ in 0..n_ops {
+            let p = rng.range_usize(0, 8);
+            let w = rng.below(1000);
             m.compute(p, Work::flops(w), "w");
         }
         m.barrier();
         let t0 = m.clocks.get(0);
         for p in 1..8 {
-            prop_assert_eq!(m.clocks.get(p), t0);
+            assert_eq!(m.clocks.get(p), t0);
         }
-        prop_assert!((m.clocks.imbalance() - 1.0).abs() < 1e-12);
-    }
+        assert!((m.clocks.imbalance() - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn work_cost_additive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+#[test]
+fn work_cost_additive() {
+    cases(200, 0xA8, |rng| {
+        let a = rng.below(1_000_000);
+        let b = rng.below(1_000_000);
         let model = CostModel::ap1000();
         let lhs = (Work::cmps(a) + Work::cmps(b)).cost(&model);
         let rhs = Work::cmps(a).cost(&model) + Work::cmps(b).cost(&model);
-        prop_assert!((lhs.as_secs() - rhs.as_secs()).abs() <= 1e-9 * lhs.as_secs().max(1.0));
-    }
+        assert!((lhs.as_secs() - rhs.as_secs()).abs() <= 1e-9 * lhs.as_secs().max(1.0));
+    });
 }
