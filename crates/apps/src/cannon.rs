@@ -6,8 +6,8 @@
 //! steps multiplies the local blocks and rotates `A` one step left along
 //! rows and `B` one step up along columns.
 
-use scl_core::prelude::*;
 use scl_core::align;
+use scl_core::prelude::*;
 
 /// Block-wise `C += A · B` with flop counting.
 fn block_mac(c: &Matrix<f64>, a: &Matrix<f64>, b: &Matrix<f64>) -> (Matrix<f64>, Work) {
@@ -37,7 +37,10 @@ pub fn cannon_matmul(scl: &mut Scl, a: &Matrix<f64>, b: &Matrix<f64>, q: usize) 
     let n = a.rows();
     assert_eq!(a.dims(), (n, n), "A must be square");
     assert_eq!(b.dims(), (n, n), "B must be square");
-    assert!(q >= 1 && n % q == 0, "grid size {q} must divide matrix size {n}");
+    assert!(
+        q >= 1 && n.is_multiple_of(q),
+        "grid size {q} must divide matrix size {n}"
+    );
     scl.check_fits(q * q);
     scl.machine.barrier();
 
@@ -53,13 +56,17 @@ pub fn cannon_matmul(scl: &mut Scl, a: &Matrix<f64>, b: &Matrix<f64>, q: usize) 
     let blk = n / q;
     let zero = ParArray::like(&da, vec![Matrix::filled(blk, blk, 0.0f64); q * q]);
 
-    let dc = scl.iter_for(q, |scl, _, dc| {
-        let cfg = align(align(da.clone(), db.clone()), dc);
-        let out = scl.map_costed(&cfg, |((ab, bb), cb)| block_mac(cb, ab, bb));
-        da = scl.rotate_row(|_| 1, &da);
-        db = scl.rotate_col(|_| 1, &db);
-        out
-    }, zero);
+    let dc = scl.iter_for(
+        q,
+        |scl, _, dc| {
+            let cfg = align(align(da.clone(), db.clone()), dc);
+            let out = scl.map_costed(&cfg, |((ab, bb), cb)| block_mac(cb, ab, bb));
+            da = scl.rotate_row(|_| 1, &da);
+            db = scl.rotate_col(|_| 1, &db);
+            out
+        },
+        zero,
+    );
 
     scl.gather2(grid, &dc)
 }

@@ -8,8 +8,8 @@
 //! the textbook demonstration that SCL's skeleton set covers the classic
 //! hypercube algorithms beyond sorting.
 
-use scl_core::prelude::*;
 use scl_core::align;
+use scl_core::prelude::*;
 use std::f64::consts::PI;
 
 /// A complex number as `(re, im)` (keeps the wire format trivial).
@@ -39,7 +39,10 @@ fn twiddle(k: usize, n: usize) -> Cplx {
 /// Bit-reversal permutation of a power-of-two-length slice.
 pub fn bit_reverse<T: Clone>(x: &[T]) -> Vec<T> {
     let n = x.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     let bits = n.trailing_zeros();
     if bits == 0 {
         return x.to_vec();
@@ -100,8 +103,14 @@ pub fn dft_naive(input: &[Cplx]) -> Vec<Cplx> {
 /// for the predicted time.
 pub fn fft_scl(scl: &mut Scl, input: &[Cplx], p: usize) -> Vec<Cplx> {
     let n = input.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
-    assert!(p.is_power_of_two(), "processor count must be a power of two, got {p}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
+    assert!(
+        p.is_power_of_two(),
+        "processor count must be a power of two, got {p}"
+    );
     assert!(n >= p, "need at least one point per processor");
     scl.check_fits(p);
     scl.machine.barrier();
@@ -154,7 +163,10 @@ pub fn fft_scl(scl: &mut Scl, input: &[Cplx], p: usize) -> Vec<Cplx> {
 pub fn ifft_seq(input: &[Cplx]) -> Vec<Cplx> {
     let conj: Vec<Cplx> = input.iter().map(|&(re, im)| (re, -im)).collect();
     let n = input.len() as f64;
-    fft_seq(&conj).iter().map(|&(re, im)| (re / n, -im / n)).collect()
+    fft_seq(&conj)
+        .iter()
+        .map(|&(re, im)| (re / n, -im / n))
+        .collect()
 }
 
 #[cfg(test)]
@@ -165,7 +177,12 @@ mod tests {
     fn signal(n: usize, seed: u64) -> Vec<Cplx> {
         uniform_keys(2 * n, seed)
             .chunks(2)
-            .map(|c| ((c[0] % 1000) as f64 / 500.0 - 1.0, (c[1] % 1000) as f64 / 500.0 - 1.0))
+            .map(|c| {
+                (
+                    (c[0] % 1000) as f64 / 500.0 - 1.0,
+                    (c[1] % 1000) as f64 / 500.0 - 1.0,
+                )
+            })
             .collect()
     }
 
@@ -197,7 +214,9 @@ mod tests {
         let mut x = vec![(0.0, 0.0); 8];
         x[0] = (1.0, 0.0);
         let f = fft_seq(&x);
-        assert!(f.iter().all(|&(re, im)| (re - 1.0).abs() < 1e-12 && im.abs() < 1e-12));
+        assert!(f
+            .iter()
+            .all(|&(re, im)| (re - 1.0).abs() < 1e-12 && im.abs() < 1e-12));
     }
 
     #[test]

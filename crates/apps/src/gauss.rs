@@ -74,8 +74,11 @@ pub fn gauss_jordan_scl(scl: &mut Scl, a: &Matrix<f64>, b: &[f64], p: usize) -> 
     let da: ParArray<ColBlock> = id_blocks.map_into(|_, ids| {
         ids.into_iter()
             .map(|c| {
-                let col: Vec<f64> =
-                    if c < n { (0..n).map(|r| *a.get(r, c)).collect() } else { b.to_vec() };
+                let col: Vec<f64> = if c < n {
+                    (0..n).map(|r| *a.get(r, c)).collect()
+                } else {
+                    b.to_vec()
+                };
                 (c, col)
             })
             .collect()
@@ -87,39 +90,49 @@ pub fn gauss_jordan_scl(scl: &mut Scl, a: &Matrix<f64>, b: &[f64], p: usize) -> 
 
     // iterFor n elimPivot
     let owner_of = move |c: usize| scl_core::owner_1d(Pattern::Block(p), n + 1, c);
-    let solved = scl.iter_for(n, |scl, i, da: ParArray<ColBlock>| {
-        // applybrdcast (PARTIALPIVOT i) (owner i) DA:
-        // the owner of column i finds the pivot row and broadcasts
-        // (pivot_row, column i's values)
-        let cfg = scl.apply_brdcast_costed(
-            |block: &ColBlock| {
-                let (_, col) = block
-                    .iter()
-                    .find(|(c, _)| *c == i)
-                    .expect("owner block must contain column i");
-                let (prow, w) = partial_pivot(col, i);
-                ((prow, col.clone()), w)
-            },
-            owner_of(i),
-            &da,
-        );
-        // map (UPDATE i): swap rows i/prow locally, then annihilate
-        scl.map_costed(&cfg, |((prow, pivot_col), block)| {
-            let mut pivot_col = pivot_col.clone();
-            pivot_col.swap(i, *prow);
-            let mut out = block.clone();
-            let mut work = Work::moves(2 * out.len() as u64);
-            for (_, col) in out.iter_mut() {
-                col.swap(i, *prow);
-                work += gauss_update(col, &pivot_col, i);
-            }
-            (out, work)
-        })
-    }, da);
+    let solved = scl.iter_for(
+        n,
+        |scl, i, da: ParArray<ColBlock>| {
+            // applybrdcast (PARTIALPIVOT i) (owner i) DA:
+            // the owner of column i finds the pivot row and broadcasts
+            // (pivot_row, column i's values)
+            let cfg = scl.apply_brdcast_costed(
+                |block: &ColBlock| {
+                    let (_, col) = block
+                        .iter()
+                        .find(|(c, _)| *c == i)
+                        .expect("owner block must contain column i");
+                    let (prow, w) = partial_pivot(col, i);
+                    ((prow, col.clone()), w)
+                },
+                owner_of(i),
+                &da,
+            );
+            // map (UPDATE i): swap rows i/prow locally, then annihilate
+            scl.map_costed(&cfg, |((prow, pivot_col), block)| {
+                let mut pivot_col = pivot_col.clone();
+                pivot_col.swap(i, *prow);
+                let mut out = block.clone();
+                let mut work = Work::moves(2 * out.len() as u64);
+                for (_, col) in out.iter_mut() {
+                    col.swap(i, *prow);
+                    work += gauss_update(col, &pivot_col, i);
+                }
+                (out, work)
+            })
+        },
+        da,
+    );
 
     // The solution is the last augmented column; fetch it from its owner.
     let last_owner = owner_of(n);
-    let x = solved.part(last_owner).iter().find(|(c, _)| *c == n).unwrap().1.clone();
+    let x = solved
+        .part(last_owner)
+        .iter()
+        .find(|(c, _)| *c == n)
+        .unwrap()
+        .1
+        .clone();
     scl.machine.send(last_owner, 0, n * 8);
     x
 }

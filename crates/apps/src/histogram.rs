@@ -7,8 +7,8 @@
 //! is the paper's motivating case for the irregular `send` family: the
 //! destination of a datum is a function of its *value*, not its index.
 
-use scl_core::prelude::*;
 use scl_core::block_ranges;
+use scl_core::prelude::*;
 
 /// Sequential baseline.
 pub fn histogram_seq(values: &[u64], buckets: usize) -> Vec<u64> {
@@ -19,18 +19,19 @@ pub fn histogram_seq(values: &[u64], buckets: usize) -> Vec<u64> {
     h
 }
 
-/// SCL histogram on `p` processors. `values` are binned by `value %
-/// buckets`. Returns counts per bucket; read `scl.makespan()` for the
-/// predicted time.
-pub fn histogram_scl(scl: &mut Scl, values: &[u64], buckets: usize, p: usize) -> Vec<u64> {
+/// The distributed phase of the histogram as a first-class plan:
+/// count locally, slice the local histograms into per-owner fragments,
+/// total-exchange them, and reduce at each owner. Input is the partitioned
+/// values; output is one `Vec<u64>` of owned-bucket counts per processor.
+pub fn histogram_plan(
+    buckets: usize,
+    p: usize,
+) -> Skel<'static, ParArray<Vec<u64>>, ParArray<Vec<u64>>> {
     assert!(buckets > 0, "need at least one bucket");
-    scl.check_fits(p);
-    scl.machine.barrier();
     let ranges = block_ranges(buckets, p);
 
     // local counting
-    let da = scl.partition(Pattern::Block(p), values);
-    let counts = scl.map_costed(&da, |part| {
+    let count = Skel::map_costed(move |part: &Vec<u64>| {
         let mut h = vec![0u64; buckets];
         for &v in part {
             h[(v as usize) % buckets] += 1;
@@ -38,17 +39,14 @@ pub fn histogram_scl(scl: &mut Scl, values: &[u64], buckets: usize, p: usize) ->
         (h, Work::cmps(part.len() as u64))
     });
 
-    // slice each local histogram into per-owner fragments and exchange
-    let ranges_for_split = ranges.clone();
-    let fragments = scl.map_costed(&counts, move |h| {
-        let frags: Vec<Vec<u64>> =
-            ranges_for_split.iter().map(|r| h[r.clone()].to_vec()).collect();
+    // slice each local histogram into per-owner fragments
+    let fragment = Skel::map_costed(move |h: &Vec<u64>| {
+        let frags: Vec<Vec<u64>> = ranges.iter().map(|r| h[r.clone()].to_vec()).collect();
         (frags, Work::moves(h.len() as u64))
     });
-    let exchanged = scl.total_exchange(&fragments);
 
     // each owner sums the p incoming partials for its bin range
-    let reduced = scl.map_costed(&exchanged, |partials| {
+    let reduce = Skel::map_costed(|partials: &Vec<Vec<u64>>| {
         let width = partials.first().map(Vec::len).unwrap_or(0);
         let mut acc = vec![0u64; width];
         for part in partials {
@@ -60,6 +58,22 @@ pub fn histogram_scl(scl: &mut Scl, values: &[u64], buckets: usize, p: usize) ->
         (acc, Work::flops(flops))
     });
 
+    count
+        .then(fragment)
+        .then(Skel::total_exchange())
+        .then(reduce)
+}
+
+/// SCL histogram on `p` processors. `values` are binned by `value %
+/// buckets`. Returns counts per bucket; read `scl.makespan()` for the
+/// predicted time. Configure/partition eagerly, then run
+/// [`histogram_plan`].
+pub fn histogram_scl(scl: &mut Scl, values: &[u64], buckets: usize, p: usize) -> Vec<u64> {
+    assert!(buckets > 0, "need at least one bucket");
+    scl.check_fits(p);
+    scl.machine.barrier();
+    let da = scl.partition(Pattern::Block(p), values);
+    let reduced = histogram_plan(buckets, p).run(scl, da);
     scl.gather(&reduced)
 }
 
@@ -69,7 +83,10 @@ mod tests {
     use crate::workloads::uniform_keys;
 
     fn values(n: usize, seed: u64) -> Vec<u64> {
-        uniform_keys(n, seed).into_iter().map(|x| x as u64).collect()
+        uniform_keys(n, seed)
+            .into_iter()
+            .map(|x| x as u64)
+            .collect()
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub fn hqs_step(scl: &mut Scl, da: ParArray<Vec<i64>>, g: usize) -> ParArray<Vec
     let cfg = align(pivots, da);
     let splits = scl.imap_costed(&cfg, move |i, (pivot, v)| {
         let (lo, hi, w) = split_sorted(v, *pivot);
-        if (i / half) % 2 == 0 {
+        if (i / half).is_multiple_of(2) {
             ((lo, hi), w) // lower half keeps low
         } else {
             ((hi, lo), w) // upper half keeps high
@@ -83,10 +83,14 @@ pub fn hyperquicksort_flat(scl: &mut Scl, data: &[i64], dim: u32) -> Vec<i64> {
     let p = 1usize << dim;
     scl.machine.barrier(); // program start: everyone synchronised
     let da = distribute_and_sort(scl, data, p);
-    let sorted = scl.iter_for(dim as usize, |scl, i, da| {
-        let g = 1usize << (dim as usize - i); // group size shrinks each round
-        hqs_step(scl, da, g)
-    }, da);
+    let sorted = scl.iter_for(
+        dim as usize,
+        |scl, i, da| {
+            let g = 1usize << (dim as usize - i); // group size shrinks each round
+            hqs_step(scl, da, g)
+        },
+        da,
+    );
     scl.gather(&sorted)
 }
 
@@ -108,7 +112,10 @@ fn hsort(scl: &mut Scl, da: ParArray<Vec<i64>>) -> ParArray<Vec<i64>> {
     if g == 1 {
         return da;
     }
-    assert!(g.is_power_of_two(), "hsort needs a power-of-two group, got {g}");
+    assert!(
+        g.is_power_of_two(),
+        "hsort needs a power-of-two group, got {g}"
+    );
     let half = g / 2;
 
     // spreadPivot = applybrdcast MIDVALUE 0
@@ -144,29 +151,23 @@ pub fn hyperquicksort_dc(scl: &mut Scl, data: &[i64], dim: u32) -> Vec<i64> {
     let p = 1usize << dim;
     scl.machine.barrier();
     let da = distribute_and_sort(scl, data, p);
-    let sorted = scl.dc(
-        da,
-        2,
-        &|g| g.len() == 1,
-        &mut |_, g| g,
-        &mut |scl, g| {
-            // one pivot/split/exchange/merge round over the current group
-            let half = g.len() / 2;
-            let cfg = scl.apply_brdcast_costed(part_midvalue, 0, &g);
-            let splits = scl.imap_costed(&cfg, move |i, (pivot, v)| {
-                let (lo, hi, w) = split_sorted(v, *pivot);
-                if i < half {
-                    ((lo, hi), w)
-                } else {
-                    ((hi, lo), w)
-                }
-            });
-            let (keeps, gives) = unalign(splits);
-            let received = scl.fetch(move |i| i ^ half, &gives);
-            let merged = align(keeps, received);
-            scl.map_costed(&merged, |(a, b)| merge_sorted(a, b))
-        },
-    );
+    let sorted = scl.dc(da, 2, &|g| g.len() == 1, &mut |_, g| g, &mut |scl, g| {
+        // one pivot/split/exchange/merge round over the current group
+        let half = g.len() / 2;
+        let cfg = scl.apply_brdcast_costed(part_midvalue, 0, &g);
+        let splits = scl.imap_costed(&cfg, move |i, (pivot, v)| {
+            let (lo, hi, w) = split_sorted(v, *pivot);
+            if i < half {
+                ((lo, hi), w)
+            } else {
+                ((hi, lo), w)
+            }
+        });
+        let (keeps, gives) = unalign(splits);
+        let received = scl.fetch(move |i| i ^ half, &gives);
+        let merged = align(keeps, received);
+        scl.map_costed(&merged, |(a, b)| merge_sorted(a, b))
+    });
     scl.gather(&sorted)
 }
 
@@ -216,7 +217,12 @@ mod tests {
 
         let mut scl = Scl::hypercube(1 << dim, CostModel::ap1000());
         let nested = hyperquicksort_nested(&mut scl, data, dim);
-        assert_eq!(nested, expect, "nested failed (dim={dim}, n={})", data.len());
+        assert_eq!(
+            nested,
+            expect,
+            "nested failed (dim={dim}, n={})",
+            data.len()
+        );
     }
 
     #[test]
@@ -278,10 +284,8 @@ mod tests {
 
         let after1 = hqs_step(&mut scl, da, 4);
         // pivot was proc 0's median; check the cube split invariant
-        let lower_max =
-            after1.parts()[..2].iter().flatten().copied().max();
-        let upper_min =
-            after1.parts()[2..].iter().flatten().copied().min();
+        let lower_max = after1.parts()[..2].iter().flatten().copied().max();
+        let upper_min = after1.parts()[2..].iter().flatten().copied().min();
         if let (Some(lm), Some(um)) = (lower_max, upper_min) {
             assert!(lm <= um, "cube split violated: {lm} > {um}");
         }
@@ -290,7 +294,10 @@ mod tests {
         }
 
         let after2 = hqs_step(&mut scl, after1, 2);
-        assert!(globally_sorted(&after2), "not globally sorted after d steps");
+        assert!(
+            globally_sorted(&after2),
+            "not globally sorted after d steps"
+        );
     }
 
     #[test]
@@ -308,8 +315,14 @@ mod tests {
         assert!(t4 < t1, "4 procs should beat 1 ({t4} vs {t1})");
         assert!(t16 < t4, "16 procs should beat 4 ({t16} vs {t4})");
         let speedup16 = t1 / t16;
-        assert!(speedup16 > 2.0, "some real speedup expected, got {speedup16}");
-        assert!(speedup16 < 16.0, "speedup must be sublinear, got {speedup16}");
+        assert!(
+            speedup16 > 2.0,
+            "some real speedup expected, got {speedup16}"
+        );
+        assert!(
+            speedup16 < 16.0,
+            "speedup must be sublinear, got {speedup16}"
+        );
     }
 
     #[test]

@@ -40,27 +40,29 @@ pub fn jacobi_seq(u0: &[f64], tol: f64, max_iters: usize) -> JacobiResult {
         u = next;
         iterations += 1;
     }
-    JacobiResult { u, iterations, residual }
+    JacobiResult {
+        u,
+        iterations,
+        residual,
+    }
 }
 
-/// SCL Jacobi on `p` processors (block distribution + shift-based halo
-/// exchange). Bitwise-identical to [`jacobi_seq`] given the same inputs.
-pub fn jacobi_scl(
-    scl: &mut Scl,
-    u0: &[f64],
-    p: usize,
+/// The iteration state a Jacobi plan threads: the distributed field, the
+/// sweep count, and the latest residual.
+pub type JacobiState = (ParArray<Vec<f64>>, usize, f64);
+
+/// The convergence loop as a first-class plan: a [`Skel::iter_until`] whose
+/// body is one relaxation sweep (halo exchange via `shift`, local update,
+/// global `fold(max)` residual). `n` is the global field length, `starts`
+/// the global offset of each part.
+pub fn jacobi_plan(
+    n: usize,
+    starts: Vec<usize>,
     tol: f64,
     max_iters: usize,
-) -> JacobiResult {
-    let n = u0.len();
-    scl.check_fits(p);
-    scl.machine.barrier();
-    let da = scl.partition(Pattern::Block(p), u0);
-    let starts: Vec<usize> = block_ranges(n, p).iter().map(|r| r.start).collect();
-
-    type State = (ParArray<Vec<f64>>, usize, f64);
-    let (u, iterations, residual) = scl.iter_until(
-        |scl, (da, iters, _): State| {
+) -> Skel<'static, JacobiState, JacobiState> {
+    Skel::iter_until(
+        move |scl, (da, iters, _): JacobiState| {
             // halo exchange: my left halo is my left neighbour's last
             // element; my right halo is my right neighbour's first.
             let lasts = scl.map(&da, |v: &Vec<f64>| v.last().copied());
@@ -81,9 +83,16 @@ pub fn jacobi_scl(
                     if g == 0 || g == n - 1 {
                         continue; // fixed boundary
                     }
-                    let left = if i == 0 { lh.expect("interior cell needs left halo") } else { v[i - 1] };
-                    let right =
-                        if i + 1 == m { rh.expect("interior cell needs right halo") } else { v[i + 1] };
+                    let left = if i == 0 {
+                        lh.expect("interior cell needs left halo")
+                    } else {
+                        v[i - 1]
+                    };
+                    let right = if i + 1 == m {
+                        rh.expect("interior cell needs right halo")
+                    } else {
+                        v[i + 1]
+                    };
                     next[i] = 0.5 * (left + right);
                     diff = diff.max((next[i] - v[i]).abs());
                 }
@@ -98,11 +107,28 @@ pub fn jacobi_scl(
             (next, iters + 1, residual)
         },
         |_, s| s,
-        |(_, iters, res): &State| *iters >= max_iters || *res <= tol,
-        (da, 0usize, f64::INFINITY),
-    );
+        move |(_, iters, res): &JacobiState| *iters >= max_iters || *res <= tol,
+    )
+}
 
-    JacobiResult { u: scl.gather(&u), iterations, residual }
+/// SCL Jacobi on `p` processors (block distribution + shift-based halo
+/// exchange). Bitwise-identical to [`jacobi_seq`] given the same inputs.
+/// Configure/partition eagerly, then run [`jacobi_plan`].
+pub fn jacobi_scl(scl: &mut Scl, u0: &[f64], p: usize, tol: f64, max_iters: usize) -> JacobiResult {
+    let n = u0.len();
+    scl.check_fits(p);
+    scl.machine.barrier();
+    let da = scl.partition(Pattern::Block(p), u0);
+    let starts: Vec<usize> = block_ranges(n, p).iter().map(|r| r.start).collect();
+
+    let plan = jacobi_plan(n, starts, tol, max_iters);
+    let (u, iterations, residual) = plan.run(scl, (da, 0usize, f64::INFINITY));
+
+    JacobiResult {
+        u: scl.gather(&u),
+        iterations,
+        residual,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +151,11 @@ mod tests {
         // steady state of the discrete Laplace equation is a straight line
         for i in 0..32 {
             let expect = 100.0 * i as f64 / 31.0;
-            assert!((r.u[i] - expect).abs() < 1e-4, "u[{i}]={} vs {expect}", r.u[i]);
+            assert!(
+                (r.u[i] - expect).abs() < 1e-4,
+                "u[{i}]={} vs {expect}",
+                r.u[i]
+            );
         }
     }
 

@@ -52,11 +52,7 @@ fn merge_partials(a: &Partial, b: &Partial) -> Partial {
 }
 
 /// Sequential Lloyd's algorithm baseline.
-pub fn kmeans_seq(
-    points: &[[f64; 2]],
-    init: &[[f64; 2]],
-    max_iters: usize,
-) -> KmeansResult {
+pub fn kmeans_seq(points: &[[f64; 2]], init: &[[f64; 2]], max_iters: usize) -> KmeansResult {
     let k = init.len();
     let mut centroids = init.to_vec();
     let mut assignment = vec![0usize; points.len()];
@@ -76,7 +72,10 @@ pub fn kmeans_seq(
         }
         for c in 0..k {
             if sums[c].1 > 0 {
-                centroids[c] = [sums[c].0[0] / sums[c].1 as f64, sums[c].0[1] / sums[c].1 as f64];
+                centroids[c] = [
+                    sums[c].0[0] / sums[c].1 as f64,
+                    sums[c].0[1] / sums[c].1 as f64,
+                ];
             }
         }
         iterations += 1;
@@ -84,7 +83,11 @@ pub fn kmeans_seq(
             break;
         }
     }
-    KmeansResult { centroids, assignment, iterations }
+    KmeansResult {
+        centroids,
+        assignment,
+        iterations,
+    }
 }
 
 /// SCL K-means on `p` processors.
@@ -141,7 +144,10 @@ pub fn kmeans_scl(
             let total = scl.fold(&partials, |a, b| {
                 let pa: Partial = a.iter().map(|&(x, y, c)| ([x, y], c)).collect();
                 let pb: Partial = b.iter().map(|&(x, y, c)| ([x, y], c)).collect();
-                merge_partials(&pa, &pb).iter().map(|(s, c)| (s[0], s[1], *c)).collect()
+                merge_partials(&pa, &pb)
+                    .iter()
+                    .map(|(s, c)| (s[0], s[1], *c))
+                    .collect()
             });
 
             // new centroids; empty clusters keep their position

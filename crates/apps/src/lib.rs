@@ -41,12 +41,11 @@ pub mod workloads;
 pub use cannon::cannon_matmul;
 pub use fft::{dft_naive, fft_scl, fft_seq};
 pub use gauss::{gauss_jordan_scl, gauss_jordan_seq};
-pub use histogram::{histogram_scl, histogram_seq};
+pub use histogram::{histogram_plan, histogram_scl, histogram_seq};
 pub use hyperquicksort::{
-    globally_sorted, hyperquicksort_dc, hyperquicksort_flat, hyperquicksort_nested,
-    sequential_sort,
+    globally_sorted, hyperquicksort_dc, hyperquicksort_flat, hyperquicksort_nested, sequential_sort,
 };
-pub use jacobi::{jacobi_scl, jacobi_seq, JacobiResult};
+pub use jacobi::{jacobi_plan, jacobi_scl, jacobi_seq, JacobiResult, JacobiState};
 pub use kmeans::{kmeans_scl, kmeans_seq, KmeansResult};
 pub use nbody::{forces_scl, forces_seq, Body};
-pub use psrs::psrs_sort;
+pub use psrs::{psrs_plan, psrs_sort};

@@ -47,12 +47,7 @@ fn pair_force(on: &Body, from: &Body) -> [f64; 2] {
 /// Accumulate forces of `sources` on `targets` (skipping self-pairs by
 /// identity of position+mass is unnecessary: `i == j` only happens within
 /// the resident block, which passes `skip_same_index`).
-fn block_forces(
-    targets: &[Body],
-    sources: &[Body],
-    same_block: bool,
-    acc: &mut [[f64; 2]],
-) -> u64 {
+fn block_forces(targets: &[Body], sources: &[Body], same_block: bool, acc: &mut [[f64; 2]]) -> u64 {
     let mut flops = 0u64;
     for (i, t) in targets.iter().enumerate() {
         for (j, s) in sources.iter().enumerate() {
@@ -88,19 +83,23 @@ pub fn forces_scl(scl: &mut Scl, bodies: &[Body], p: usize) -> Vec<[f64; 2]> {
     let acc = scl.map(&resident, |blk| vec![[0.0f64; 2]; blk.len()]);
     let zipped = align(resident, acc);
 
-    let zipped = scl.iter_for(p, |scl, step, zipped: ParArray<(Vec<Body>, Vec<[f64; 2]>)>| {
-        // interact residents with the currently visiting block
-        let visiting = travelling.clone();
-        let cfg = align(zipped, visiting);
-        let out = scl.map_costed(&cfg, |((res, acc), vis)| {
-            let mut acc = acc.clone();
-            let flops = block_forces(res, vis, step == 0, &mut acc);
-            ((res.clone(), acc), Work::flops(flops))
-        });
-        // pass the travelling blocks one processor around the ring
-        travelling = scl.rotate(1, &travelling);
-        out
-    }, zipped);
+    let zipped = scl.iter_for(
+        p,
+        |scl, step, zipped: ParArray<(Vec<Body>, Vec<[f64; 2]>)>| {
+            // interact residents with the currently visiting block
+            let visiting = travelling.clone();
+            let cfg = align(zipped, visiting);
+            let out = scl.map_costed(&cfg, |((res, acc), vis)| {
+                let mut acc = acc.clone();
+                let flops = block_forces(res, vis, step == 0, &mut acc);
+                ((res.clone(), acc), Work::flops(flops))
+            });
+            // pass the travelling blocks one processor around the ring
+            travelling = scl.rotate(1, &travelling);
+            out
+        },
+        zipped,
+    );
 
     let (_, acc) = unalign(zipped);
     scl.gather(&acc)
@@ -138,15 +137,23 @@ mod tests {
 
     fn close(a: &[[f64; 2]], b: &[[f64; 2]], tol: f64) -> bool {
         a.len() == b.len()
-            && a.iter().zip(b).all(|(x, y)| {
-                (x[0] - y[0]).abs() < tol && (x[1] - y[1]).abs() < tol
-            })
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x[0] - y[0]).abs() < tol && (x[1] - y[1]).abs() < tol)
     }
 
     #[test]
     fn forces_are_antisymmetric() {
-        let a = Body { pos: [0.0, 0.0], vel: [0.0; 2], mass: 1.0 };
-        let b = Body { pos: [1.0, 0.0], vel: [0.0; 2], mass: 2.0 };
+        let a = Body {
+            pos: [0.0, 0.0],
+            vel: [0.0; 2],
+            mass: 1.0,
+        };
+        let b = Body {
+            pos: [1.0, 0.0],
+            vel: [0.0; 2],
+            mass: 2.0,
+        };
         let fab = pair_force(&a, &b);
         let fba = pair_force(&b, &a);
         assert!((fab[0] + fba[0]).abs() < 1e-15);
@@ -169,8 +176,16 @@ mod tests {
     fn every_pair_interacts_exactly_once() {
         // two bodies on different processors must feel each other
         let bodies = vec![
-            Body { pos: [0.0, 0.0], vel: [0.0; 2], mass: 1.0 },
-            Body { pos: [0.5, 0.0], vel: [0.0; 2], mass: 1.0 },
+            Body {
+                pos: [0.0, 0.0],
+                vel: [0.0; 2],
+                mass: 1.0,
+            },
+            Body {
+                pos: [0.5, 0.0],
+                vel: [0.0; 2],
+                mass: 1.0,
+            },
         ];
         let mut scl = Scl::ap1000(2);
         let f = forces_scl(&mut scl, &bodies, 2);
@@ -205,8 +220,16 @@ mod tests {
     #[test]
     fn integrate_moves_bodies() {
         let mut bodies = vec![
-            Body { pos: [0.0, 0.0], vel: [0.0; 2], mass: 1.0 },
-            Body { pos: [1.0, 0.0], vel: [0.0; 2], mass: 1.0 },
+            Body {
+                pos: [0.0, 0.0],
+                vel: [0.0; 2],
+                mass: 1.0,
+            },
+            Body {
+                pos: [1.0, 0.0],
+                vel: [0.0; 2],
+                mass: 1.0,
+            },
         ];
         let f = forces_seq(&bodies);
         integrate(&mut bodies, &f, 0.1);

@@ -13,54 +13,61 @@
 use crate::seqkit::{merge_sorted, seq_quicksort};
 use scl_core::prelude::*;
 
-/// Sort `data` on `p` processors with PSRS. Returns the sorted vector;
-/// read `scl.makespan()` for the predicted time.
-pub fn psrs_sort(scl: &mut Scl, data: &[i64], p: usize) -> Vec<i64> {
-    assert!(p >= 1, "need at least one processor");
-    scl.check_fits(p);
-    scl.machine.barrier();
-
-    // Phase 1: distribute and sort locally.
-    let da = scl.partition(Pattern::Block(p), data);
-    let da = scl.map_costed(&da, |part| {
+/// Phase 1 as a plan stage: sort each local run with the instrumented
+/// quicksort.
+fn local_sort_stage() -> Skel<'static, ParArray<Vec<i64>>, ParArray<Vec<i64>>> {
+    Skel::map_costed(|part: &Vec<i64>| {
         let mut v = part.clone();
         let w = seq_quicksort(&mut v);
         (v, w)
-    });
-    if p == 1 {
-        return scl.gather(&da);
-    }
+    })
+}
 
-    // Phase 2: each processor takes p regular samples of its sorted run.
-    let samples = scl.map_costed(&da, |v| {
-        let mut s = Vec::with_capacity(p);
-        if !v.is_empty() {
-            for k in 0..p {
-                s.push(v[k * v.len() / p]);
+/// The whole PSRS pipeline (for `p >= 2`) as a first-class plan over a
+/// partitioned input: local sort → regular sampling → pivot selection and
+/// broadcast → bucketing → all-to-all exchange → p-way merge. Output is
+/// the sorted run per processor (globally ordered by part index).
+pub fn psrs_plan(p: usize) -> Skel<'static, ParArray<Vec<i64>>, ParArray<Vec<i64>>> {
+    assert!(
+        p >= 2,
+        "psrs_plan needs at least two processors (p=1 is a local sort)"
+    );
+
+    // Phases 2+3: sampling and pivot broadcast need the whole
+    // configuration (a gather to processor 0), so they form one opaque
+    // global stage that pairs every sorted run with the pivot vector.
+    let pivot_stage = Skel::from_fn(move |scl: &mut Scl, da: ParArray<Vec<i64>>| {
+        // each processor takes p regular samples of its sorted run
+        let samples = scl.map_costed(&da, |v| {
+            let mut s = Vec::with_capacity(p);
+            if !v.is_empty() {
+                for k in 0..p {
+                    s.push(v[k * v.len() / p]);
+                }
             }
-        }
-        (s, Work::moves(p as u64))
+            (s, Work::moves(p as u64))
+        });
+
+        // gather the samples, sort them on processor 0, pick p-1 pivots,
+        // broadcast them back
+        let mut all_samples = scl.gather(&samples);
+        let w = seq_quicksort(&mut all_samples);
+        scl.machine.compute(0, w, "sort samples");
+        // exactly p-1 pivots, even for tiny or empty sample sets
+        let pivots: Vec<i64> = (1..p)
+            .map(|k| {
+                if all_samples.is_empty() {
+                    0
+                } else {
+                    all_samples[(k * all_samples.len() / p).min(all_samples.len() - 1)]
+                }
+            })
+            .collect();
+        scl.brdcast(&pivots, &da)
     });
 
-    // Phase 3: gather the samples, sort them on processor 0, pick p-1
-    // pivots, broadcast them back.
-    let mut all_samples = scl.gather(&samples);
-    let w = seq_quicksort(&mut all_samples);
-    scl.machine.compute(0, w, "sort samples");
-    // exactly p-1 pivots, even for tiny or empty sample sets
-    let pivots: Vec<i64> = (1..p)
-        .map(|k| {
-            if all_samples.is_empty() {
-                0
-            } else {
-                all_samples[(k * all_samples.len() / p).min(all_samples.len() - 1)]
-            }
-        })
-        .collect();
-    let cfg = scl.brdcast(&pivots, &da);
-
-    // Phase 4: bucket local runs by the pivots and exchange all-to-all.
-    let buckets = scl.map_costed(&cfg, |(pivots, v)| {
+    // Phase 4a: bucket local runs by the broadcast pivots.
+    let bucket_stage = Skel::map_costed(move |(pivots, v): &(Vec<i64>, Vec<i64>)| {
         let mut out: Vec<Vec<i64>> = Vec::with_capacity(p);
         let mut start = 0usize;
         for piv in pivots.iter() {
@@ -70,12 +77,18 @@ pub fn psrs_sort(scl: &mut Scl, data: &[i64], p: usize) -> Vec<i64> {
         }
         out.push(v[start..].to_vec());
         let cmps = (p as u64) * ((v.len().max(1) as f64).log2().ceil() as u64 + 1);
-        (out, Work { cmps, moves: v.len() as u64, ..Work::NONE })
+        (
+            out,
+            Work {
+                cmps,
+                moves: v.len() as u64,
+                ..Work::NONE
+            },
+        )
     });
-    let exchanged = scl.total_exchange(&buckets);
 
     // Phase 5: merge the p received runs on each processor.
-    let merged = scl.map_costed(&exchanged, |runs| {
+    let merge_stage = Skel::map_costed(|runs: &Vec<Vec<i64>>| {
         let mut acc: Vec<i64> = Vec::new();
         let mut work = Work::NONE;
         for run in runs {
@@ -86,6 +99,27 @@ pub fn psrs_sort(scl: &mut Scl, data: &[i64], p: usize) -> Vec<i64> {
         (acc, work)
     });
 
+    local_sort_stage()
+        .then(pivot_stage)
+        .then(bucket_stage)
+        .then(Skel::total_exchange())
+        .then(merge_stage)
+}
+
+/// Sort `data` on `p` processors with PSRS. Returns the sorted vector;
+/// read `scl.makespan()` for the predicted time. Configure/partition
+/// eagerly, then run [`psrs_plan`].
+pub fn psrs_sort(scl: &mut Scl, data: &[i64], p: usize) -> Vec<i64> {
+    assert!(p >= 1, "need at least one processor");
+    scl.check_fits(p);
+    scl.machine.barrier();
+
+    let da = scl.partition(Pattern::Block(p), data);
+    if p == 1 {
+        let sorted = local_sort_stage().run(scl, da);
+        return scl.gather(&sorted);
+    }
+    let merged = psrs_plan(p).run(scl, da);
     scl.gather(&merged)
 }
 

@@ -17,7 +17,11 @@ pub fn seq_quicksort(v: &mut [i64]) -> Work {
     let mut cmps = 0u64;
     let mut moves = 0u64;
     quicksort_rec(v, &mut cmps, &mut moves);
-    Work { cmps, moves, ..Work::NONE }
+    Work {
+        cmps,
+        moves,
+        ..Work::NONE
+    }
 }
 
 fn quicksort_rec(v: &mut [i64], cmps: &mut u64, moves: &mut u64) {
@@ -100,7 +104,11 @@ pub fn split_sorted(sorted: &[i64], pivot: i64) -> (Vec<i64>, Vec<i64>, Work) {
     (
         sorted[..cut].to_vec(),
         sorted[cut..].to_vec(),
-        Work { cmps, moves, ..Work::NONE },
+        Work {
+            cmps,
+            moves,
+            ..Work::NONE
+        },
     )
 }
 
@@ -122,7 +130,14 @@ pub fn merge_sorted(a: &[i64], b: &[i64]) -> (Vec<i64>, Work) {
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
     let moves = out.len() as u64;
-    (out, Work { cmps, moves, ..Work::NONE })
+    (
+        out,
+        Work {
+            cmps,
+            moves,
+            ..Work::NONE
+        },
+    )
 }
 
 /// Is the slice sorted ascending?

@@ -17,7 +17,10 @@ fn main() {
 
     println!("Transformation ablations (n = {n} elements, AP1000 cost model)");
     println!();
-    println!("{:<22} {:>12} {:>12} {:>8} {:>6}", "rule", "cost_before", "cost_after", "saved%", "apps");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8} {:>6}",
+        "rule", "cost_before", "cost_after", "saved%", "apps"
+    );
     for row in ablation_rows(n) {
         let saved = if row.cost_before > 0.0 {
             100.0 * (row.cost_before - row.cost_after) / row.cost_before

@@ -31,12 +31,9 @@ fn main() {
     }
     println!();
 
-    let hqs_pts: Vec<(f64, f64)> =
-        hqs.iter().map(|r| (r.procs as f64, r.speedup)).collect();
-    let psrs_pts: Vec<(f64, f64)> =
-        psrs.iter().map(|r| (r.procs as f64, r.speedup)).collect();
-    let linear: Vec<(f64, f64)> =
-        (1..=32).map(|p| (p as f64, p as f64)).collect();
+    let hqs_pts: Vec<(f64, f64)> = hqs.iter().map(|r| (r.procs as f64, r.speedup)).collect();
+    let psrs_pts: Vec<(f64, f64)> = psrs.iter().map(|r| (r.procs as f64, r.speedup)).collect();
+    let linear: Vec<(f64, f64)> = (1..=32).map(|p| (p as f64, p as f64)).collect();
     print!(
         "{}",
         ascii_plot(

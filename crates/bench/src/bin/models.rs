@@ -19,11 +19,17 @@ fn main() {
 
     for (name, model) in [
         ("ap1000 (1991: slow cpu, slow net)", CostModel::ap1000()),
-        ("modern_cluster (fast cpu, fast net)", CostModel::modern_cluster()),
+        (
+            "modern_cluster (fast cpu, fast net)",
+            CostModel::modern_cluster(),
+        ),
         ("zero_comm (infinitely fast net)", CostModel::zero_comm()),
     ] {
         println!("== {name} ==");
-        println!("{:>9} | {:>28} | {:>28}", "n", "hyperquicksort best(p, S)", "psrs best(p, S)");
+        println!(
+            "{:>9} | {:>28} | {:>28}",
+            "n", "hyperquicksort best(p, S)", "psrs best(p, S)"
+        );
         for n in [10_000usize, 100_000, 1_000_000] {
             let hqs = table1_rows(n, 1995, &dims, model);
             let psrs = psrs_rows(n, 1995, &procs, model);
@@ -32,7 +38,10 @@ fn main() {
                     .iter()
                     .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
                     .unwrap();
-                format!("p={:<2} speedup={:>6.2} t={:>8.4}s", r.procs, r.speedup, r.seconds)
+                format!(
+                    "p={:<2} speedup={:>6.2} t={:>8.4}s",
+                    r.procs, r.speedup, r.seconds
+                )
             };
             println!("{:>9} | {:>28} | {:>28}", n, best(&hqs), best(&psrs));
         }

@@ -109,7 +109,10 @@ pub type Series<'a> = (&'a str, char, Vec<(f64, f64)>);
 /// speedup curve. Each series gets its own glyph; a linear-speedup
 /// reference can be added by the caller as another series.
 pub fn ascii_plot(series: &[Series<'_>], width: usize, height: usize) -> String {
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, _, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().copied())
+        .collect();
     if all.is_empty() {
         return "(no data)\n".to_string();
     }
@@ -264,7 +267,11 @@ mod tests {
         let last = rows.last().unwrap();
         assert_eq!(last.procs, 32);
         assert!(last.speedup > 4.0, "speedup {}", last.speedup);
-        assert!(last.speedup < 32.0, "speedup must be sublinear: {}", last.speedup);
+        assert!(
+            last.speedup < 32.0,
+            "speedup must be sublinear: {}",
+            last.speedup
+        );
     }
 
     #[test]
@@ -288,7 +295,10 @@ mod tests {
     #[test]
     fn ascii_plot_renders_points() {
         let s = ascii_plot(
-            &[("x", '*', vec![(1.0, 1.0), (32.0, 16.0)]), ("lin", '.', vec![(32.0, 32.0)])],
+            &[
+                ("x", '*', vec![(1.0, 1.0), (32.0, 16.0)]),
+                ("lin", '.', vec![(32.0, 32.0)]),
+            ],
             40,
             10,
         );

@@ -62,7 +62,11 @@ impl<T> ParArray<T> {
     /// A 1-D distributed array placing part `i` on processor `i`.
     pub fn from_parts(parts: Vec<T>) -> ParArray<T> {
         let n = parts.len();
-        ParArray { parts, procs: (0..n).collect(), shape: GridShape::Dim1(n) }
+        ParArray {
+            parts,
+            procs: (0..n).collect(),
+            shape: GridShape::Dim1(n),
+        }
     }
 
     /// A 1-D distributed array with an explicit placement.
@@ -72,7 +76,11 @@ impl<T> ParArray<T> {
     pub fn with_placement(parts: Vec<T>, procs: Vec<ProcId>) -> ParArray<T> {
         assert_eq!(parts.len(), procs.len(), "placement length mismatch");
         let n = parts.len();
-        ParArray { parts, procs, shape: GridShape::Dim1(n) }
+        ParArray {
+            parts,
+            procs,
+            shape: GridShape::Dim1(n),
+        }
     }
 
     /// An `r × c` grid of parts (row-major), part `(i,j)` on processor
@@ -80,7 +88,11 @@ impl<T> ParArray<T> {
     pub fn from_grid(rows: usize, cols: usize, parts: Vec<T>) -> ParArray<T> {
         assert_eq!(parts.len(), rows * cols, "grid parts length mismatch");
         let n = parts.len();
-        ParArray { parts, procs: (0..n).collect(), shape: GridShape::Dim2(rows, cols) }
+        ParArray {
+            parts,
+            procs: (0..n).collect(),
+            shape: GridShape::Dim2(rows, cols),
+        }
     }
 
     /// Reinterpret a 1-D array of `r*c` parts as an `r × c` grid (placement
@@ -164,8 +176,16 @@ impl<T> ParArray<T> {
     /// # Panics
     /// Panics if `parts.len()` differs from the template's part count.
     pub fn like<U>(template: &ParArray<U>, parts: Vec<T>) -> ParArray<T> {
-        assert_eq!(parts.len(), template.len(), "part count mismatch in ParArray::like");
-        ParArray { parts, procs: template.procs.clone(), shape: template.shape }
+        assert_eq!(
+            parts.len(),
+            template.len(),
+            "part count mismatch in ParArray::like"
+        );
+        ParArray {
+            parts,
+            procs: template.procs.clone(),
+            shape: template.shape,
+        }
     }
 
     /// Rebuild with the same placement/shape but new parts produced by `f`
@@ -182,7 +202,12 @@ impl<T> ParArray<T> {
     /// Like [`ParArray::map_parts`] but consuming, with the part index.
     pub fn map_into<U>(self, mut f: impl FnMut(usize, T) -> U) -> ParArray<U> {
         ParArray {
-            parts: self.parts.into_iter().enumerate().map(|(i, x)| f(i, x)).collect(),
+            parts: self
+                .parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .collect(),
             procs: self.procs,
             shape: self.shape,
         }

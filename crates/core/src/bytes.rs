@@ -23,7 +23,9 @@ macro_rules! impl_bytes_prim {
     };
 }
 
-impl_bytes_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+impl_bytes_prim!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char
+);
 
 impl Bytes for () {
     #[inline]

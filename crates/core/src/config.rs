@@ -28,7 +28,10 @@ pub fn align<A, B>(a: ParArray<A>, b: ParArray<B>) -> ParArray<(A, B)> {
 /// Checked [`align`].
 pub fn try_align<A, B>(a: ParArray<A>, b: ParArray<B>) -> Result<ParArray<(A, B)>> {
     if a.shape() != b.shape() {
-        return Err(SclError::ShapeMismatch { left: a.shape(), right: b.shape() });
+        return Err(SclError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
     }
     if a.procs() != b.procs() {
         return Err(SclError::PlacementMismatch);
@@ -72,7 +75,10 @@ pub fn unalign<A, B>(cfg: ParArray<(A, B)>) -> (ParArray<A>, ParArray<B>) {
 /// # Panics
 /// Panics if the pattern is not 1-D or produces empty groups.
 pub fn split<T>(pattern: Pattern, a: ParArray<T>) -> ParArray<ParArray<T>> {
-    assert!(pattern.is_1d(), "split needs a 1-D pattern, got {pattern:?}");
+    assert!(
+        pattern.is_1d(),
+        "split needs a 1-D pattern, got {pattern:?}"
+    );
     pattern.check();
     let p = pattern.parts();
     let n = a.len();
@@ -84,7 +90,10 @@ pub fn split<T>(pattern: Pattern, a: ParArray<T>) -> ParArray<ParArray<T>> {
             let mut groups = Vec::with_capacity(p);
             let mut leaders = Vec::with_capacity(p);
             for r in ranges {
-                assert!(!r.is_empty(), "split produced an empty group (n={n}, p={p})");
+                assert!(
+                    !r.is_empty(),
+                    "split produced an empty group (n={n}, p={p})"
+                );
                 let g_parts: Vec<T> = parts_iter.by_ref().take(r.len()).collect();
                 let g_procs: Vec<usize> = procs[r.clone()].to_vec();
                 leaders.push(g_procs[0]);
@@ -102,7 +111,10 @@ pub fn split<T>(pattern: Pattern, a: ParArray<T>) -> ParArray<ParArray<T>> {
             let mut groups = Vec::with_capacity(p);
             let mut leaders = Vec::with_capacity(p);
             for (g_parts, g_procs) in buckets {
-                assert!(!g_parts.is_empty(), "split produced an empty group (n={n}, p={p})");
+                assert!(
+                    !g_parts.is_empty(),
+                    "split produced an empty group (n={n}, p={p})"
+                );
                 leaders.push(g_procs[0]);
                 groups.push(ParArray::with_placement(g_parts, g_procs));
             }
@@ -144,7 +156,10 @@ mod tests {
     fn align_requires_conformance() {
         let a = ParArray::from_parts(vec![1, 2]);
         let b = ParArray::from_parts(vec![1, 2, 3]);
-        assert!(matches!(try_align(a, b), Err(SclError::ShapeMismatch { .. })));
+        assert!(matches!(
+            try_align(a, b),
+            Err(SclError::ShapeMismatch { .. })
+        ));
 
         let a = ParArray::from_parts(vec![1, 2]);
         let b = ParArray::with_placement(vec![1, 2], vec![1, 0]);
@@ -225,8 +240,7 @@ mod tests {
         let a = ParArray::from_parts((0..6).collect::<Vec<i32>>());
         let back = combine(split(Pattern::Cyclic(3), a.clone()));
         // parts are regrouped (group-major) but each keeps its processor
-        let mut pairs: Vec<(usize, i32)> =
-            back.iter().map(|(p, x)| (*p, *x)).collect();
+        let mut pairs: Vec<(usize, i32)> = back.iter().map(|(p, x)| (*p, *x)).collect();
         pairs.sort();
         let expect: Vec<(usize, i32)> = (0..6).map(|i| (i, i as i32)).collect();
         assert_eq!(pairs, expect);

@@ -51,7 +51,11 @@ impl Scl {
     /// A context over an explicit machine, sequential host execution, no
     /// wall-clock charging.
     pub fn new(machine: Machine) -> Scl {
-        Scl { machine, policy: ExecPolicy::Sequential, measure: MeasureMode::None }
+        Scl {
+            machine,
+            policy: ExecPolicy::Sequential,
+            measure: MeasureMode::None,
+        }
     }
 
     /// An AP1000-like machine with `procs` cells.
@@ -100,7 +104,11 @@ impl Scl {
     /// # Panics
     /// Panics if the pattern needs more parts than the machine has
     /// processors.
-    pub fn partition<T: Clone + Bytes>(&mut self, pattern: Pattern, data: &[T]) -> ParArray<Vec<T>> {
+    pub fn partition<T: Clone + Bytes>(
+        &mut self,
+        pattern: Pattern,
+        data: &[T],
+    ) -> ParArray<Vec<T>> {
         let out = partition::partition(pattern, data);
         self.check_fits(out.len());
         let per_part = out.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
@@ -224,7 +232,10 @@ mod tests {
     use scl_machine::Topology;
 
     fn unit_ctx(n: usize) -> Scl {
-        Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit()))
+        Scl::new(Machine::new(
+            Topology::FullyConnected { procs: n },
+            CostModel::unit(),
+        ))
     }
 
     #[test]
@@ -276,7 +287,11 @@ mod tests {
     fn matrix_partition_roundtrip() {
         let mut s = unit_ctx(6);
         let m = Matrix::from_fn(4, 6, |r, c| (r * 6 + c) as i64);
-        for pat in [Pattern::ColBlock(3), Pattern::RowBlock(2), Pattern::Grid { pr: 2, pc: 3 }] {
+        for pat in [
+            Pattern::ColBlock(3),
+            Pattern::RowBlock(2),
+            Pattern::Grid { pr: 2, pc: 3 },
+        ] {
             let d = s.partition2(pat, &m);
             assert_eq!(s.gather2(pat, &d), m, "{pat:?}");
         }
@@ -285,7 +300,12 @@ mod tests {
     #[test]
     fn distribution2_aligns() {
         let mut s = unit_ctx(3);
-        let cfg = s.distribution2(Pattern::Block(3), &[1, 2, 3], Pattern::Cyclic(3), &[4, 5, 6]);
+        let cfg = s.distribution2(
+            Pattern::Block(3),
+            &[1, 2, 3],
+            Pattern::Cyclic(3),
+            &[4, 5, 6],
+        );
         assert_eq!(cfg.len(), 3);
         assert_eq!(*cfg.part(0), (vec![1], vec![4]));
     }

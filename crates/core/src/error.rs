@@ -51,7 +51,10 @@ impl fmt::Display for SclError {
             }
             SclError::BadPattern(msg) => write!(f, "bad partition pattern: {msg}"),
             SclError::MachineTooSmall { needed, procs } => {
-                write!(f, "configuration needs {needed} processors, machine has {procs}")
+                write!(
+                    f,
+                    "configuration needs {needed} processors, machine has {procs}"
+                )
             }
         }
     }
@@ -68,14 +71,27 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SclError::ShapeMismatch { left: GridShape::Dim1(2), right: GridShape::Dim1(3) };
+        let e = SclError::ShapeMismatch {
+            left: GridShape::Dim1(2),
+            right: GridShape::Dim1(3),
+        };
         assert!(e.to_string().contains("align"));
-        assert!(SclError::PlacementMismatch.to_string().contains("placements"));
-        assert!(SclError::PartCountMismatch { expected: 2, found: 3 }
+        assert!(SclError::PlacementMismatch
             .to_string()
-            .contains("expected 2"));
+            .contains("placements"));
+        assert!(SclError::PartCountMismatch {
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("expected 2"));
         assert!(SclError::BadPattern("x".into()).to_string().contains("x"));
-        assert!(SclError::MachineTooSmall { needed: 8, procs: 4 }.to_string().contains("8"));
+        assert!(SclError::MachineTooSmall {
+            needed: 8,
+            procs: 4
+        }
+        .to_string()
+        .contains("8"));
     }
 
     #[test]

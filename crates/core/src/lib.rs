@@ -14,13 +14,22 @@
 //! [`scl_machine::CostModel`]), composable, and optimisable by algebraic
 //! transformation (see the `scl-transform` crate).
 //!
-//! ## The three skeleton families
+//! ## The three skeleton families — and plans over them
 //!
-//! | family | skeletons | module |
-//! |---|---|---|
-//! | configuration | `partition`, `gather`, `align`, `distribution`, `redistribution`, `split`, `combine` | [`ctx`], [`config`], [`partition`] |
-//! | elementary | `map`, `imap`, `fold`, `scan` + communication: `rotate`, `rotate_row`, `rotate_col`, `brdcast`, `apply_brdcast`, `send`, `fetch` | [`skeletons::elementary`], [`skeletons::comm`] |
-//! | computational | `farm`, `spmd`, `iter_until`, `iter_for`, `dc` | [`skeletons::compute`] |
+//! | family | skeletons | eager module | plan combinators |
+//! |---|---|---|---|
+//! | configuration | `partition`, `gather`, `align`, `distribution`, `redistribution`, `split`, `combine` | [`ctx`], [`config`], [`partition`] | [`Skel::partition`], [`Skel::gather`], [`Skel::balance`] |
+//! | elementary | `map`, `imap`, `fold`, `scan`, `zip_with` + communication: `rotate`, `rotate_row`, `rotate_col`, `brdcast`, `apply_brdcast`, `send`, `fetch`, `total_exchange` | [`skeletons::elementary`], [`skeletons::comm`] | [`Skel::map`], [`Skel::imap`], [`Skel::fold`], [`Skel::scan`], [`Skel::zip_with`], [`Skel::rotate`], [`Skel::shift`], [`Skel::brdcast`], [`Skel::fetch`], [`Skel::total_exchange`] |
+//! | computational | `farm`, `spmd`, `iter_until`, `iter_for`, `dc`, `pipeline` | [`skeletons::compute`] | [`Skel::farm`], [`Skel::spmd`], [`Skel::iter_until`], [`Skel::iter_for`], [`Skel::dc`], [`Skel::task_pipeline`] |
+//!
+//! Every skeleton is available two ways: **eagerly**, as a method on
+//! [`Scl`] that executes immediately, and as a **plan combinator** on
+//! [`Skel`] that builds a first-class program value. Plans compose with
+//! [`Skel::then`] / [`Skel::pipe`], run with [`Skel::run`], and — for the
+//! symbolic `i64` fragment ([`Skel::map_sym`], [`Skel::rotate`],
+//! [`Skel::fetch_sym`], [`Skel::send_sym`], [`Skel::scan_sym`]) — lower
+//! into the `scl-transform` IR so [`Scl::run_optimized`] can apply the
+//! paper's §4 rewrite laws *before* executing (see [`plan`]).
 //!
 //! ## Example: distributed dot product
 //!
@@ -52,6 +61,7 @@ pub mod config;
 pub mod ctx;
 pub mod error;
 pub mod partition;
+pub mod plan;
 pub mod seq;
 pub mod skeletons;
 
@@ -61,6 +71,7 @@ pub use config::{align, align3, combine, split, try_align, unalign};
 pub use ctx::{MeasureMode, Scl};
 pub use error::{Result, SclError};
 pub use partition::{block_ranges, gather, gather2, owner_1d, Pattern};
+pub use plan::Skel;
 pub use seq::Matrix;
 pub use skeletons::{GlobalOp, LocalOp, PipeStageFn, SpmdStage};
 
@@ -71,8 +82,10 @@ pub mod prelude {
     pub use crate::config::{align, align3, combine, split, unalign};
     pub use crate::ctx::{MeasureMode, Scl};
     pub use crate::partition::Pattern;
+    pub use crate::plan::Skel;
     pub use crate::seq::Matrix;
     pub use crate::skeletons::{PipeStageFn, SpmdStage};
     pub use scl_exec::ExecPolicy;
     pub use scl_machine::{CostModel, Machine, Time, Topology, Work};
+    pub use scl_transform::{Expr as PlanExpr, Registry};
 }

@@ -63,12 +63,18 @@ impl Pattern {
 
     /// True for patterns that apply to one-dimensional data.
     pub fn is_1d(&self) -> bool {
-        matches!(self, Pattern::Block(_) | Pattern::Cyclic(_) | Pattern::BlockCyclic { .. })
+        matches!(
+            self,
+            Pattern::Block(_) | Pattern::Cyclic(_) | Pattern::BlockCyclic { .. }
+        )
     }
 
     /// Validate the pattern itself (non-zero part counts, block sizes).
     pub fn check(&self) {
-        assert!(self.parts() > 0, "pattern must produce at least one part: {self:?}");
+        assert!(
+            self.parts() > 0,
+            "pattern must produce at least one part: {self:?}"
+        );
         if let Pattern::BlockCyclic { block, .. } = self {
             assert!(*block > 0, "block size must be positive");
         }
@@ -124,7 +130,10 @@ pub fn partition<T: Clone>(pattern: Pattern, data: &[T]) -> ParArray<Vec<T>> {
     let n = data.len();
     match pattern {
         Pattern::Block(p) => ParArray::from_parts(
-            block_ranges(n, p).into_iter().map(|r| data[r].to_vec()).collect(),
+            block_ranges(n, p)
+                .into_iter()
+                .map(|r| data[r].to_vec())
+                .collect(),
         ),
         Pattern::Cyclic(p) => {
             let mut parts: Vec<Vec<T>> = vec![Vec::with_capacity(n / p + 1); p];
@@ -148,10 +157,19 @@ pub fn partition<T: Clone>(pattern: Pattern, data: &[T]) -> ParArray<Vec<T>> {
 pub fn gather<T: Clone>(pattern: Pattern, dist: &ParArray<Vec<T>>) -> Vec<T> {
     pattern.check();
     let p = pattern.parts();
-    assert_eq!(dist.len(), p, "distributed array has {} parts, pattern expects {p}", dist.len());
+    assert_eq!(
+        dist.len(),
+        p,
+        "distributed array has {} parts, pattern expects {p}",
+        dist.len()
+    );
     let n: usize = dist.parts().iter().map(Vec::len).sum();
     match pattern {
-        Pattern::Block(_) => dist.parts().iter().flat_map(|v| v.iter().cloned()).collect(),
+        Pattern::Block(_) => dist
+            .parts()
+            .iter()
+            .flat_map(|v| v.iter().cloned())
+            .collect(),
         Pattern::Cyclic(_) | Pattern::BlockCyclic { .. } => {
             let mut cursors = vec![0usize; p];
             let mut out = Vec::with_capacity(n);
@@ -177,10 +195,16 @@ pub fn partition2<T: Clone>(pattern: Pattern, m: &Matrix<T>) -> ParArray<Matrix<
     pattern.check();
     match pattern {
         Pattern::RowBlock(p) => ParArray::from_parts(
-            block_ranges(m.rows(), p).into_iter().map(|r| m.row_range(r.start, r.end)).collect(),
+            block_ranges(m.rows(), p)
+                .into_iter()
+                .map(|r| m.row_range(r.start, r.end))
+                .collect(),
         ),
         Pattern::ColBlock(p) => ParArray::from_parts(
-            block_ranges(m.cols(), p).into_iter().map(|r| m.col_range(r.start, r.end)).collect(),
+            block_ranges(m.cols(), p)
+                .into_iter()
+                .map(|r| m.col_range(r.start, r.end))
+                .collect(),
         ),
         Pattern::RowCyclic(p) => ParArray::from_parts(
             (0..p)
@@ -218,7 +242,11 @@ pub fn partition2<T: Clone>(pattern: Pattern, m: &Matrix<T>) -> ParArray<Matrix<
 /// Exact inverse of [`partition2`].
 pub fn gather2<T: Clone>(pattern: Pattern, dist: &ParArray<Matrix<T>>) -> Matrix<T> {
     pattern.check();
-    assert_eq!(dist.len(), pattern.parts(), "part count mismatch in gather2");
+    assert_eq!(
+        dist.len(),
+        pattern.parts(),
+        "part count mismatch in gather2"
+    );
     match pattern {
         Pattern::RowBlock(_) => Matrix::vcat(dist.parts()),
         Pattern::ColBlock(_) => Matrix::hcat(dist.parts()),
@@ -235,8 +263,7 @@ pub fn gather2<T: Clone>(pattern: Pattern, dist: &ParArray<Matrix<T>>) -> Matrix
         Pattern::Grid { pr, pc } => {
             let row_blocks: Vec<Matrix<T>> = (0..pr)
                 .map(|i| {
-                    let row: Vec<Matrix<T>> =
-                        (0..pc).map(|j| dist.part2(i, j).clone()).collect();
+                    let row: Vec<Matrix<T>> = (0..pc).map(|j| dist.part2(i, j).clone()).collect();
                     Matrix::hcat(&row)
                 })
                 .collect();
@@ -255,7 +282,10 @@ mod tests {
         let rs = block_ranges(10, 3);
         assert_eq!(rs, vec![0..4, 4..7, 7..10]);
         let rs = block_ranges(3, 5);
-        assert_eq!(rs.iter().map(|r| r.len()).collect::<Vec<_>>(), vec![1, 1, 1, 0, 0]);
+        assert_eq!(
+            rs.iter().map(|r| r.len()).collect::<Vec<_>>(),
+            vec![1, 1, 1, 0, 0]
+        );
         let rs = block_ranges(0, 2);
         assert!(rs.iter().all(|r| r.is_empty()));
     }

@@ -1,0 +1,904 @@
+//! First-class skeleton plans: write a skeleton program **once**, then run
+//! it eagerly or optimise it first.
+//!
+//! The paper's central claim is that skeleton programs are *functional
+//! expressions* amenable to meaning-preserving transformation. The eager
+//! methods on [`Scl`] execute immediately, so by the time a program exists
+//! there is nothing left to transform. A [`Skel<A, B>`] closes that gap: it
+//! is a *value* describing a skeleton program from input `A` to output `B`,
+//! built from typed combinators ([`Skel::map`], [`Skel::fold`],
+//! [`Skel::rotate`], [`Skel::farm`], [`Skel::iter_until`], [`Skel::dc`], …)
+//! and composed with [`Skel::then`] / [`Skel::pipe`].
+//!
+//! A plan has **two back-ends**:
+//!
+//! 1. [`Skel::run`] executes eagerly by delegating to the existing skeleton
+//!    methods on [`Scl`] — the eager API stays the execution layer;
+//! 2. [`Skel::lower`] bridges the *lowerable fragment* (maps over registered
+//!    function symbols, rotations, fetches/sends over registered index
+//!    functions, scans, and pipelines thereof) into the `scl-transform`
+//!    [`Expr`] IR, where [`optimize`] applies the paper's §4 laws — map
+//!    fusion, communication algebra, flattening — and [`Skel::from_expr`]
+//!    raises the optimised program back into an executable plan.
+//!
+//! [`Scl::run_optimized`] wires the full path: plan → lower → optimise →
+//! raise → execute, falling back to eager execution for plans outside the
+//! lowerable fragment.
+//!
+//! ```
+//! use scl_core::prelude::*;
+//!
+//! let reg = Registry::standard();
+//! // map(double) then map(inc) with two cancelling rotations in between
+//! let plan = Skel::map_sym("double", &reg)
+//!     .then(Skel::rotate(3))
+//!     .then(Skel::rotate(-3))
+//!     .then(Skel::map_sym("inc", &reg));
+//!
+//! let input = ParArray::from_parts((0..8).collect::<Vec<i64>>());
+//!
+//! // eager
+//! let mut scl = Scl::ap1000(8);
+//! let eager = plan.run(&mut scl, input.clone());
+//!
+//! // optimise-then-execute: rotations cancel, maps fuse
+//! let mut scl = Scl::ap1000(8);
+//! let (opt, log) = scl.run_optimized(&plan, &reg, input);
+//! assert_eq!(eager, opt);
+//! assert!(!log.is_empty());
+//! ```
+
+use crate::array::ParArray;
+use crate::bytes::Bytes;
+use crate::ctx::Scl;
+use crate::partition::Pattern;
+use crate::skeletons::SpmdStage;
+use scl_machine::Work;
+use scl_transform::rewrite::Applied;
+use scl_transform::{optimize, shape_of, Expr, FnRef, IdxRef, Registry, Shape};
+use std::cell::RefCell;
+
+/// The eager interpretation of a plan: a host computation against a
+/// coordination context. `FnMut` so plans may own stateful stages (e.g.
+/// [`Skel::dc`] bases); the `RefCell` in [`Skel`] lets `run` stay `&self`.
+type ExecFn<'a, A, B> = Box<dyn FnMut(&mut Scl, A) -> B + 'a>;
+
+/// A first-class, typed skeleton program from `A` to `B`.
+///
+/// Built by the constructors in this module and composed with
+/// [`Skel::then`]; executed with [`Skel::run`]; optimised through
+/// [`Skel::lower`] / [`Skel::from_expr`] when it stays inside the lowerable
+/// fragment. The lifetime `'a` bounds everything the plan borrows (closures,
+/// a [`Registry`] for symbolic stages); plans over owned closures are
+/// `'static`.
+pub struct Skel<'a, A, B> {
+    exec: RefCell<ExecFn<'a, A, B>>,
+    /// `Some` iff every stage of the plan is in the lowerable fragment;
+    /// composition preserves it, any opaque stage forfeits it.
+    repr: Option<Expr>,
+}
+
+impl<'a, A, B> Skel<'a, A, B> {
+    /// A plan from an opaque stage: any host computation over the context.
+    /// Opaque stages execute fine but are not lowerable.
+    pub fn from_fn(f: impl FnMut(&mut Scl, A) -> B + 'a) -> Skel<'a, A, B> {
+        Skel {
+            exec: RefCell::new(Box::new(f)),
+            repr: None,
+        }
+    }
+
+    /// As [`Skel::from_fn`] but carrying an explicit IR representation —
+    /// the escape hatch for callers extending the lowerable fragment.
+    pub fn from_fn_repr(f: impl FnMut(&mut Scl, A) -> B + 'a, repr: Expr) -> Skel<'a, A, B> {
+        Skel {
+            exec: RefCell::new(Box::new(f)),
+            repr: Some(repr),
+        }
+    }
+
+    /// Run the plan eagerly on `scl`, consuming `input`.
+    pub fn run(&self, scl: &mut Scl, input: A) -> B {
+        (self.exec.borrow_mut())(scl, input)
+    }
+
+    /// Sequential composition: run `self`, feed its output to `next`.
+    /// Lowerability is preserved when both sides are lowerable.
+    pub fn then<C>(self, next: Skel<'a, B, C>) -> Skel<'a, A, C>
+    where
+        A: 'a,
+        B: 'a,
+        C: 'a,
+    {
+        let mut f = self.exec.into_inner();
+        let mut g = next.exec.into_inner();
+        let repr = match (self.repr, next.repr) {
+            // `next` applies after `self`: composition order is next ∘ self.
+            // Normalised so identity seeds (Skel::pipe) leave no `id` term.
+            (Some(a), Some(b)) => Some(scl_transform::normalize(b.after(a))),
+            _ => None,
+        };
+        Skel {
+            exec: RefCell::new(Box::new(move |scl: &mut Scl, x| {
+                let mid = f(scl, x);
+                g(scl, mid)
+            })),
+            repr,
+        }
+    }
+
+    /// The IR of this plan, if every stage was lowerable (no symbol
+    /// validation — see [`Skel::lower`]).
+    pub fn repr(&self) -> Option<&Expr> {
+        self.repr.as_ref()
+    }
+}
+
+impl<'a, A: 'a> Skel<'a, A, A> {
+    /// The identity plan.
+    pub fn identity() -> Skel<'a, A, A> {
+        Skel {
+            exec: RefCell::new(Box::new(|_, x| x)),
+            repr: Some(Expr::Id),
+        }
+    }
+
+    /// Compose a pipeline of same-typed stages given in **execution order**
+    /// (first element runs first) — the plan-level analogue of
+    /// [`Expr::pipeline`].
+    pub fn pipe(stages: Vec<Skel<'a, A, A>>) -> Skel<'a, A, A> {
+        let mut out = Skel::identity();
+        for s in stages {
+            out = out.then(s);
+        }
+        out
+    }
+}
+
+// ---- elementary skeletons ---------------------------------------------------
+
+impl<'a, T, R> Skel<'a, ParArray<T>, ParArray<R>>
+where
+    T: Sync + 'a,
+    R: Send + 'a,
+{
+    /// The paper's `map f`: apply `f` to every part ([`Scl::map`]).
+    pub fn map(f: impl Fn(&T) -> R + Sync + 'a) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.map(&a, &f))
+    }
+
+    /// Index-aware map ([`Scl::imap`]).
+    pub fn imap(f: impl Fn(usize, &T) -> R + Sync + 'a) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.imap(&a, &f))
+    }
+
+    /// Map with self-reported cost ([`Scl::map_costed`]).
+    pub fn map_costed(f: impl Fn(&T) -> (R, Work) + Sync + 'a) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.map_costed(&a, &f))
+    }
+
+    /// Index-aware costed map ([`Scl::imap_costed`]).
+    pub fn imap_costed(f: impl Fn(usize, &T) -> (R, Work) + Sync + 'a) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.imap_costed(&a, &f))
+    }
+
+    /// The paper's `farm f env`: map with a shared environment
+    /// ([`Scl::farm`]).
+    pub fn farm<E: Sync + 'a>(f: impl Fn(&E, &T) -> R + Sync + 'a, env: E) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.farm(&f, &env, &a))
+    }
+}
+
+impl<'a, A2, B2, R> Skel<'a, (ParArray<A2>, ParArray<B2>), ParArray<R>>
+where
+    A2: Sync + 'a,
+    B2: Sync + 'a,
+    R: Send + 'a,
+{
+    /// Element-wise combination of two conforming arrays
+    /// ([`Scl::zip_with`]). The plan's input is the pair of arrays.
+    pub fn zip_with(f: impl Fn(&A2, &B2) -> R + Sync + 'a) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, (a, b): (ParArray<A2>, ParArray<B2>)| {
+            scl.zip_with(&a, &b, &f)
+        })
+    }
+}
+
+impl<'a, T> Skel<'a, ParArray<T>, T>
+where
+    T: Clone + Bytes + 'a,
+{
+    /// Tree reduction to a scalar ([`Scl::fold`]); `op` must be
+    /// associative.
+    pub fn fold(op: impl Fn(&T, &T) -> T + 'a) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.fold(&a, &op))
+    }
+
+    /// [`Skel::fold`] with explicit per-phase combine work
+    /// ([`Scl::fold_costed`]).
+    pub fn fold_costed(op: impl Fn(&T, &T) -> T + 'a, combine: Work) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.fold_costed(&a, &op, combine))
+    }
+}
+
+impl<'a, T> Skel<'a, ParArray<T>, ParArray<T>>
+where
+    T: Clone + Bytes + 'a,
+{
+    /// Inclusive parallel prefix ([`Scl::scan`]); `op` must be associative.
+    pub fn scan(op: impl Fn(&T, &T) -> T + 'a) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.scan(&a, &op))
+    }
+
+    // ---- communication skeletons -------------------------------------------
+
+    /// Regular rotation by `k` ([`Scl::rotate`]). Lowerable: becomes
+    /// [`Expr::Rotate`], so cancelling rotations vanish under
+    /// [`optimize`].
+    pub fn rotate(k: isize) -> Self {
+        Skel::from_fn_repr(
+            move |scl: &mut Scl, a: ParArray<T>| scl.rotate(k, &a),
+            Expr::Rotate(k as i64),
+        )
+    }
+
+    /// Boundary-filled shift ([`Scl::shift`]).
+    pub fn shift(k: isize, fill: T) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.shift(k, &a, &fill))
+    }
+
+    /// Irregular fetch through an opaque index function ([`Scl::fetch`]).
+    pub fn fetch(f: impl Fn(usize) -> usize + 'a) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.fetch(&f, &a))
+    }
+
+    /// All-reduce: the fold result lands on every part
+    /// ([`Scl::fold_all`]).
+    pub fn fold_all(op: impl Fn(&T, &T) -> T + 'a, combine: Work) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.fold_all(&a, &op, combine))
+    }
+
+    /// Counted iteration ([`Scl::iter_for`]): apply `body` `terminator`
+    /// times, passing the iteration number.
+    pub fn iter_for(
+        terminator: usize,
+        mut body: impl FnMut(&mut Scl, usize, ParArray<T>) -> ParArray<T> + 'a,
+    ) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.iter_for(terminator, &mut body, a))
+    }
+}
+
+impl<'a, I, U> Skel<'a, ParArray<U>, ParArray<(I, U)>>
+where
+    I: Clone + Bytes + 'a,
+    U: Clone + 'a,
+{
+    /// Broadcast one value (captured at plan-construction time) to all
+    /// parts, pairing it with the local data ([`Scl::brdcast`]).
+    pub fn brdcast(item: I) -> Skel<'a, ParArray<U>, ParArray<(I, U)>> {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<U>| scl.brdcast(&item, &a))
+    }
+}
+
+impl<'a, T> Skel<'a, ParArray<Vec<Vec<T>>>, ParArray<Vec<Vec<T>>>>
+where
+    T: Clone + Bytes + 'a,
+{
+    /// Bucket transpose ([`Scl::total_exchange`]): part `i` ends up holding
+    /// bucket `i` from every source.
+    pub fn total_exchange() -> Self {
+        Skel::from_fn(|scl: &mut Scl, a: ParArray<Vec<Vec<T>>>| scl.total_exchange(&a))
+    }
+}
+
+// ---- configuration skeletons ------------------------------------------------
+
+impl<'a, T> Skel<'a, Vec<T>, ParArray<Vec<T>>>
+where
+    T: Clone + Bytes + 'a,
+{
+    /// Scatter a sequential array across the machine ([`Scl::partition`]).
+    pub fn partition(pattern: Pattern) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, data: Vec<T>| scl.partition(pattern, &data))
+    }
+}
+
+impl<'a, T> Skel<'a, ParArray<Vec<T>>, Vec<T>>
+where
+    T: Clone + Bytes + 'a,
+{
+    /// Collect a distributed array back to processor 0 ([`Scl::gather`]).
+    pub fn gather() -> Self {
+        Skel::from_fn(|scl: &mut Scl, a: ParArray<Vec<T>>| scl.gather(&a))
+    }
+}
+
+impl<'a, T> Skel<'a, ParArray<Vec<T>>, ParArray<Vec<T>>>
+where
+    T: Clone + Bytes + 'a,
+{
+    /// Rebalance part sizes to ±1, preserving global order
+    /// ([`Scl::balance`]).
+    pub fn balance() -> Self {
+        Skel::from_fn(|scl: &mut Scl, a: ParArray<Vec<T>>| scl.balance(&a))
+    }
+}
+
+// ---- computational skeletons ------------------------------------------------
+
+impl<'a, T> Skel<'a, ParArray<T>, ParArray<T>>
+where
+    T: Sync + Send + Clone + 'a,
+{
+    /// SPMD stages ([`Scl::spmd`]). Takes a *factory* producing the stage
+    /// list so the plan can be run more than once (stages are consumed per
+    /// run).
+    pub fn spmd(factory: impl Fn() -> Vec<SpmdStage<'a, T>> + 'a) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.spmd(factory(), a))
+    }
+
+    /// Generic divide-and-conquer ([`Scl::dc`]).
+    pub fn dc(
+        branches: usize,
+        is_base: impl Fn(&ParArray<T>) -> bool + 'a,
+        mut base: impl FnMut(&mut Scl, ParArray<T>) -> ParArray<T> + 'a,
+        mut step: impl FnMut(&mut Scl, ParArray<T>) -> ParArray<T> + 'a,
+    ) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| {
+            scl.dc(a, branches, &is_base, &mut base, &mut step)
+        })
+    }
+}
+
+impl<'a, X: 'a> Skel<'a, X, X> {
+    /// Condition-driven iteration ([`Scl::iter_until`]): apply `iter_solve`
+    /// until `con` holds, then `final_solve`. The state type `X` is
+    /// anything the loop threads through (arrays, tuples of arrays and
+    /// scalars, …).
+    pub fn iter_until(
+        mut iter_solve: impl FnMut(&mut Scl, X) -> X + 'a,
+        mut final_solve: impl FnMut(&mut Scl, X) -> X + 'a,
+        con: impl Fn(&X) -> bool + 'a,
+    ) -> Skel<'a, X, X> {
+        Skel::from_fn(move |scl: &mut Scl, x: X| {
+            scl.iter_until(&mut iter_solve, &mut final_solve, &con, x)
+        })
+    }
+}
+
+/// A boxed task-pipeline stage, as consumed by [`Skel::task_pipeline`].
+pub type BoxedStage<'a, T> = Box<dyn Fn(&T) -> (T, Work) + Sync + 'a>;
+
+impl<'a, T> Skel<'a, Vec<T>, Vec<T>>
+where
+    T: Clone + Bytes + 'a,
+{
+    /// Task-parallel pipeline over a stream of items ([`Scl::pipeline`]):
+    /// stage `s` lives on processor `s`, items stream through.
+    pub fn task_pipeline(stages: Vec<BoxedStage<'a, T>>) -> Self {
+        Skel::from_fn(move |scl: &mut Scl, items: Vec<T>| {
+            let refs: Vec<crate::skeletons::PipeStageFn<'_, T>> =
+                stages.iter().map(|b| &**b as _).collect();
+            scl.pipeline(&refs, items)
+        })
+    }
+}
+
+// ---- the lowerable i64 fragment ---------------------------------------------
+
+/// Check that every symbol an expression references resolves in `reg`.
+fn symbols_resolve(e: &Expr, reg: &Registry) -> bool {
+    let idx_ok = |h: &IdxRef| reg.apply_idx(h, 0, 1).is_ok();
+    match e {
+        Expr::Id | Expr::Rotate(_) | Expr::Split(_) | Expr::Combine | Expr::SegRotate { .. } => {
+            true
+        }
+        Expr::Compose(es) => es.iter().all(|sub| symbols_resolve(sub, reg)),
+        Expr::Map(f) => reg.fn_work(f).is_ok(),
+        Expr::Fold(op) | Expr::Scan(op) => reg.op_work(op).is_ok(),
+        Expr::FoldrMap(op, g) => reg.op_work(op).is_ok() && reg.fn_work(g).is_ok(),
+        Expr::Fetch(h) | Expr::Send(h) => idx_ok(h),
+        Expr::SegFetch { f, .. } | Expr::SegSend { f, .. } => idx_ok(f),
+        Expr::MapGroups(b) => symbols_resolve(b, reg),
+    }
+}
+
+/// Runtime value threaded through [`exec_expr`]: flat or nested (inside a
+/// `split … combine` region).
+enum RtVal {
+    Flat(ParArray<i64>),
+    Nested(ParArray<ParArray<i64>>),
+}
+
+/// Interpret an array→array [`Expr`] through the *runtime* skeleton layer,
+/// one scalar per virtual processor, charging the simulated machine.
+fn exec_expr(e: &Expr, reg: &Registry, scl: &mut Scl, val: RtVal) -> Result<RtVal, String> {
+    let flat = |v: RtVal| -> Result<ParArray<i64>, String> {
+        match v {
+            RtVal::Flat(a) => Ok(a),
+            RtVal::Nested(_) => Err(format!("{e}: needs a flat array")),
+        }
+    };
+    match e {
+        Expr::Id => Ok(val),
+        Expr::Compose(es) => {
+            let mut v = val;
+            for sub in es.iter().rev() {
+                v = exec_expr(sub, reg, scl, v)?;
+            }
+            Ok(v)
+        }
+        Expr::Map(f) => {
+            let a = flat(val)?;
+            // validates the symbol up front; apply_fn below cannot fail
+            let w = reg.fn_work(f)?;
+            let out = scl.map_costed(&a, |x| (reg.apply_fn(f, *x).unwrap_or(0), w));
+            Ok(RtVal::Flat(out))
+        }
+        Expr::Rotate(k) => Ok(RtVal::Flat(scl.rotate(*k as isize, &flat(val)?))),
+        Expr::Fetch(h) => {
+            let a = flat(val)?;
+            let n = a.len();
+            // pre-resolve the index map so errors surface as Err
+            let mut idx = Vec::with_capacity(n);
+            for i in 0..n {
+                idx.push(reg.apply_idx(h, i, n)?);
+            }
+            Ok(RtVal::Flat(scl.fetch(|i| idx[i], &a)))
+        }
+        Expr::Send(h) => {
+            let a = flat(val)?;
+            let n = a.len();
+            let mut dst = Vec::with_capacity(n);
+            for k in 0..n {
+                dst.push(reg.apply_idx(h, k, n)?);
+            }
+            let inboxes = scl.send(|k| vec![dst[k]], &a);
+            // resolve the unordered accumulation with + (the interpreter's
+            // canonical monoid)
+            Ok(RtVal::Flat(scl.map_costed(&inboxes, |v| {
+                (
+                    v.iter().fold(0i64, |acc, x| acc.wrapping_add(*x)),
+                    Work::flops(v.len() as u64),
+                )
+            })))
+        }
+        Expr::Scan(op) => {
+            let a = flat(val)?;
+            reg.op_work(op)?;
+            Ok(RtVal::Flat(
+                scl.scan(&a, |x, y| reg.apply_op(op, *x, *y).unwrap_or(0)),
+            ))
+        }
+        Expr::Split(p) => {
+            let a = flat(val)?;
+            if a.len() < *p {
+                return Err(format!("cannot split {} parts into {p} groups", a.len()));
+            }
+            Ok(RtVal::Nested(scl.split(Pattern::Block(*p), a)))
+        }
+        Expr::MapGroups(body) => match val {
+            RtVal::Nested(groups) => {
+                let mut err: Option<String> = None;
+                let out = scl.map_groups(groups, &mut |scl, g| match exec_expr(
+                    body,
+                    reg,
+                    scl,
+                    RtVal::Flat(g),
+                ) {
+                    Ok(RtVal::Flat(a)) => a,
+                    Ok(RtVal::Nested(_)) => {
+                        err = Some("mapGroups body must stay flat".into());
+                        ParArray::from_parts(vec![])
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        ParArray::from_parts(vec![])
+                    }
+                });
+                match err {
+                    None => Ok(RtVal::Nested(out)),
+                    Some(e) => Err(e),
+                }
+            }
+            RtVal::Flat(_) => Err("mapGroups needs a nested input".into()),
+        },
+        Expr::Combine => match val {
+            RtVal::Nested(groups) => Ok(RtVal::Flat(scl.combine(groups))),
+            RtVal::Flat(_) => Err("combine needs a nested input".into()),
+        },
+        // The flattened segmented forms execute as their nested equivalents
+        // (split ∘ mapGroups ∘ combine) — same routes, same charges.
+        Expr::SegRotate { groups, k } => {
+            let body = Expr::Rotate(*k);
+            seg(reg, scl, flat(val)?, *groups, &body)
+        }
+        Expr::SegFetch { groups, f } => {
+            let body = Expr::Fetch(f.clone());
+            seg(reg, scl, flat(val)?, *groups, &body)
+        }
+        Expr::SegSend { groups, f } => {
+            let body = Expr::Send(f.clone());
+            seg(reg, scl, flat(val)?, *groups, &body)
+        }
+        Expr::Fold(_) | Expr::FoldrMap(_, _) => Err(format!(
+            "{e}: scalar-producing programs are outside the array→array plan fragment"
+        )),
+    }
+}
+
+/// Execute `body` within each of `groups` block segments.
+fn seg(
+    reg: &Registry,
+    scl: &mut Scl,
+    a: ParArray<i64>,
+    groups: usize,
+    body: &Expr,
+) -> Result<RtVal, String> {
+    let nested = exec_expr(&Expr::Split(groups), reg, scl, RtVal::Flat(a))?;
+    let mapped = exec_expr(&Expr::MapGroups(Box::new(body.clone())), reg, scl, nested)?;
+    exec_expr(&Expr::Combine, reg, scl, mapped)
+}
+
+impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
+    /// A lowerable map over a scalar function **registered by name**: runs
+    /// eagerly through the registry's meaning (charged its registered
+    /// [`Work`]) and lowers to [`Expr::Map`].
+    ///
+    /// Running a plan whose symbol is missing from the registry it was
+    /// built against evaluates that stage to `0` per element; [`lower`]
+    /// (and therefore [`Scl::run_optimized`]) validates symbols up front.
+    ///
+    /// [`lower`]: Skel::lower
+    pub fn map_sym(name: &str, reg: &'a Registry) -> Self {
+        Self::map_ref(FnRef::named(name), reg)
+    }
+
+    /// As [`Skel::map_sym`] for an arbitrary (possibly composed) [`FnRef`].
+    pub fn map_ref(f: FnRef, reg: &'a Registry) -> Self {
+        let repr = Expr::Map(f.clone());
+        Skel::from_fn_repr(
+            move |scl: &mut Scl, a: ParArray<i64>| {
+                let w = reg.fn_work(&f).unwrap_or(Work::NONE);
+                scl.map_costed(&a, |x| (reg.apply_fn(&f, *x).unwrap_or(0), w))
+            },
+            repr,
+        )
+    }
+
+    /// A lowerable scan over a binary operator registered by name.
+    pub fn scan_sym(op: &str, reg: &'a Registry) -> Self {
+        let name = op.to_string();
+        let repr = Expr::Scan(name.clone());
+        Skel::from_fn_repr(
+            move |scl: &mut Scl, a: ParArray<i64>| {
+                scl.scan(&a, |x, y| reg.apply_op(&name, *x, *y).unwrap_or(0))
+            },
+            repr,
+        )
+    }
+
+    /// A lowerable fetch through an index function registered by name.
+    pub fn fetch_sym(name: &str, reg: &'a Registry) -> Self {
+        let h = IdxRef::named(name);
+        let repr = Expr::Fetch(h.clone());
+        Skel::from_fn_repr(
+            move |scl: &mut Scl, a: ParArray<i64>| {
+                let n = a.len();
+                scl.fetch(|i| reg.apply_idx(&h, i, n).unwrap_or(i), &a)
+            },
+            repr,
+        )
+    }
+
+    /// A lowerable send through an index function registered by name;
+    /// colliding values combine with wrapping `+` (the IR's canonical
+    /// monoid).
+    pub fn send_sym(name: &str, reg: &'a Registry) -> Self {
+        let h = IdxRef::named(name);
+        let repr = Expr::Send(h.clone());
+        Skel::from_fn_repr(
+            move |scl: &mut Scl, a: ParArray<i64>| {
+                let n = a.len();
+                let inboxes = scl.send(|k| vec![reg.apply_idx(&h, k, n).unwrap_or(k)], &a);
+                scl.map_costed(&inboxes, |v| {
+                    (
+                        v.iter().fold(0i64, |acc, x| acc.wrapping_add(*x)),
+                        Work::flops(v.len() as u64),
+                    )
+                })
+            },
+            repr,
+        )
+    }
+
+    /// Lower the plan into the `scl-transform` IR, if every stage is in
+    /// the lowerable fragment **and** every referenced symbol resolves in
+    /// `reg` **and** the program is array→array. Returns `None` otherwise.
+    pub fn lower(&self, reg: &Registry) -> Option<Expr> {
+        let e = self.repr.clone()?;
+        if shape_of(&e, Shape::Arr) != Ok(Shape::Arr) {
+            return None;
+        }
+        symbols_resolve(&e, reg).then_some(e)
+    }
+
+    /// Raise an array→array IR program back into an executable plan whose
+    /// stages delegate to the runtime skeleton layer (one scalar per
+    /// virtual processor). The inverse of [`Skel::lower`], used after
+    /// [`optimize`].
+    pub fn from_expr(e: &Expr, reg: &'a Registry) -> Result<Self, String> {
+        match shape_of(e, Shape::Arr) {
+            Ok(Shape::Arr) => {}
+            Ok(other) => return Err(format!("plan must be array→array, got {other:?}")),
+            Err(err) => return Err(err),
+        }
+        if !symbols_resolve(e, reg) {
+            return Err(format!("{e}: references unregistered symbols"));
+        }
+        let owned = e.clone();
+        let repr = e.clone();
+        Ok(Skel::from_fn_repr(
+            move |scl: &mut Scl, a: ParArray<i64>| match exec_expr(&owned, reg, scl, RtVal::Flat(a))
+            {
+                Ok(RtVal::Flat(out)) => out,
+                Ok(RtVal::Nested(_)) => unreachable!("shape-checked to Arr"),
+                Err(err) => panic!("raised plan failed at runtime: {err}"),
+            },
+            repr,
+        ))
+    }
+}
+
+impl Scl {
+    /// The plan → optimise → execute entry point: lower `plan`, apply the
+    /// §4 rewrite laws with [`optimize`], raise the optimised program and
+    /// execute it here. Returns the result and the rewrite log (empty when
+    /// the plan is outside the lowerable fragment, in which case it runs
+    /// eagerly instead — same answer either way).
+    pub fn run_optimized<'r>(
+        &mut self,
+        plan: &Skel<'r, ParArray<i64>, ParArray<i64>>,
+        reg: &'r Registry,
+        input: ParArray<i64>,
+    ) -> (ParArray<i64>, Vec<Applied>) {
+        match plan.lower(reg) {
+            Some(e) => {
+                let (opt, log) = optimize(e, reg);
+                let raised =
+                    Skel::from_expr(&opt, reg).expect("optimize preserves the array→array shape");
+                (raised.run(self, input), log)
+            }
+            None => (plan.run(self, input), Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scl_machine::{CostModel, Machine, Topology};
+    use scl_transform::{eval, Value};
+
+    fn unit_ctx(n: usize) -> Scl {
+        Scl::new(Machine::new(
+            Topology::FullyConnected { procs: n },
+            CostModel::unit(),
+        ))
+    }
+
+    fn arr(n: i64) -> ParArray<i64> {
+        ParArray::from_parts((0..n).collect())
+    }
+
+    #[test]
+    fn map_plan_matches_eager_map() {
+        let plan = Skel::map(|x: &i64| x * 10);
+        let mut s1 = unit_ctx(4);
+        let out = plan.run(&mut s1, arr(4));
+        let mut s2 = unit_ctx(4);
+        let eager = s2.map(&arr(4), |x| x * 10);
+        assert_eq!(out, eager);
+    }
+
+    #[test]
+    fn then_composes_in_execution_order() {
+        let plan = Skel::map(|x: &i64| x + 1).then(Skel::map(|x: &i64| x * 2));
+        let mut s = unit_ctx(3);
+        assert_eq!(plan.run(&mut s, arr(3)).to_vec(), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pipe_runs_first_stage_first() {
+        let plan = Skel::pipe(vec![Skel::map(|x: &i64| x + 1), Skel::rotate(1)]);
+        let mut s = unit_ctx(3);
+        // (0,1,2) -> +1 -> (1,2,3) -> rotate 1 -> (2,3,1)
+        assert_eq!(plan.run(&mut s, arr(3)).to_vec(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn plans_are_rerunnable() {
+        let plan = Skel::map(|x: &i64| x + 1);
+        let mut s = unit_ctx(3);
+        let a = plan.run(&mut s, arr(3));
+        let b = plan.run(&mut s, arr(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symbolic_stages_lower_and_opaque_stages_do_not() {
+        let reg = Registry::standard();
+        let lowerable = Skel::map_sym("inc", &reg).then(Skel::rotate(2));
+        assert!(lowerable.lower(&reg).is_some());
+
+        let opaque = Skel::map(|x: &i64| x + 1).then(Skel::rotate(2));
+        assert!(opaque.lower(&reg).is_none());
+
+        // one opaque stage poisons the whole chain
+        let mixed = Skel::map_sym("inc", &reg).then(Skel::map(|x: &i64| x + 1));
+        assert!(mixed.lower(&reg).is_none());
+    }
+
+    #[test]
+    fn lower_validates_symbols() {
+        let reg = Registry::standard();
+        let mut empty = Registry::new();
+        empty.scalar("only", |x| x, Work::NONE);
+        let plan = Skel::map_sym("inc", &reg);
+        assert!(plan.lower(&reg).is_some());
+        assert!(
+            plan.lower(&empty).is_none(),
+            "`inc` is not in the empty registry"
+        );
+    }
+
+    #[test]
+    fn lowered_repr_matches_the_program() {
+        let reg = Registry::standard();
+        let plan = Skel::map_sym("double", &reg)
+            .then(Skel::rotate(1))
+            .then(Skel::map_sym("inc", &reg));
+        let e = plan.lower(&reg).unwrap();
+        assert_eq!(e.to_string(), "map(inc) . rotate(1) . map(double)");
+    }
+
+    #[test]
+    fn pipe_lowers_without_spurious_identity() {
+        let reg = Registry::standard();
+        let plan = Skel::pipe(vec![Skel::map_sym("inc", &reg)]);
+        assert_eq!(plan.lower(&reg), Some(Expr::Map(FnRef::named("inc"))));
+    }
+
+    #[test]
+    fn run_matches_interpreter_on_the_lowerable_fragment() {
+        let reg = Registry::standard();
+        let plan = Skel::map_sym("square", &reg)
+            .then(Skel::rotate(-2))
+            .then(Skel::send_sym("half", &reg))
+            .then(Skel::fetch_sym("succ", &reg))
+            .then(Skel::scan_sym("add", &reg));
+        let e = plan.lower(&reg).unwrap();
+
+        let input: Vec<i64> = (0..12).map(|i| i * 3 - 5).collect();
+        let mut s = unit_ctx(12);
+        let got = plan
+            .run(&mut s, ParArray::from_parts(input.clone()))
+            .to_vec();
+        let expect = eval(&e, &reg, Value::Arr(input)).unwrap();
+        assert_eq!(Value::Arr(got), expect);
+    }
+
+    #[test]
+    fn run_optimized_agrees_with_eager_and_shrinks() {
+        let reg = Registry::standard();
+        let plan = Skel::map_sym("double", &reg)
+            .then(Skel::rotate(3))
+            .then(Skel::rotate(-3))
+            .then(Skel::map_sym("inc", &reg));
+
+        let input = arr(8);
+        let mut s1 = unit_ctx(8);
+        let eager = plan.run(&mut s1, input.clone());
+        let mut s2 = unit_ctx(8);
+        let (opt, log) = s2.run_optimized(&plan, &reg, input);
+
+        assert_eq!(eager, opt);
+        assert!(log.iter().any(|a| a.rule == "map-fusion"), "{log:?}");
+        assert!(log.iter().any(|a| a.rule == "rotate-fusion"), "{log:?}");
+        // the optimised run moved strictly less data
+        assert!(s2.machine.metrics.messages < s1.machine.metrics.messages);
+    }
+
+    #[test]
+    fn run_optimized_falls_back_for_opaque_plans() {
+        let reg = Registry::standard();
+        let plan = Skel::map(|x: &i64| x * 7);
+        let mut s = unit_ctx(4);
+        let (out, log) = s.run_optimized(&plan, &reg, arr(4));
+        assert_eq!(out.to_vec(), vec![0, 7, 14, 21]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn from_expr_executes_nested_programs() {
+        let reg = Registry::standard();
+        let e = Expr::pipeline(vec![
+            Expr::Split(2),
+            Expr::MapGroups(Box::new(Expr::Rotate(1))),
+            Expr::Combine,
+        ]);
+        let raised = Skel::from_expr(&e, &reg).unwrap();
+        let mut s = unit_ctx(4);
+        let out = raised.run(&mut s, arr(4));
+        assert_eq!(out.to_vec(), vec![1, 0, 3, 2]);
+        // agrees with the reference interpreter
+        let expect = eval(&e, &reg, Value::Arr((0..4).collect())).unwrap();
+        assert_eq!(Value::Arr(out.to_vec()), expect);
+    }
+
+    #[test]
+    fn from_expr_executes_segmented_forms() {
+        let reg = Registry::standard();
+        for e in [
+            Expr::SegRotate { groups: 3, k: 1 },
+            Expr::SegFetch {
+                groups: 3,
+                f: IdxRef::named("rev"),
+            },
+            Expr::SegSend {
+                groups: 3,
+                f: IdxRef::named("half"),
+            },
+        ] {
+            let raised = Skel::from_expr(&e, &reg).unwrap();
+            let mut s = unit_ctx(12);
+            let out = raised.run(&mut s, arr(12));
+            let expect = eval(&e, &reg, Value::Arr((0..12).collect())).unwrap();
+            assert_eq!(Value::Arr(out.to_vec()), expect, "{e}");
+        }
+    }
+
+    #[test]
+    fn from_expr_rejects_scalar_programs_and_bad_symbols() {
+        let reg = Registry::standard();
+        assert!(Skel::from_expr(&Expr::Fold("add".into()), &reg).is_err());
+        assert!(Skel::from_expr(&Expr::Map(FnRef::named("nope")), &reg).is_err());
+    }
+
+    #[test]
+    fn fold_and_scan_plans() {
+        let plan =
+            Skel::scan(|a: &i64, b: &i64| a + b).then(Skel::fold(|a: &i64, b: &i64| *a.max(b)));
+        let mut s = unit_ctx(4);
+        // scan: 0,1,3,6 -> fold max -> 6
+        assert_eq!(plan.run(&mut s, arr(4)), 6);
+    }
+
+    #[test]
+    fn iter_until_plan_loops() {
+        let plan: Skel<'_, i32, i32> = Skel::iter_until(|_, x| x * 2, |_, x| x + 1, |x| *x >= 16);
+        let mut s = unit_ctx(1);
+        assert_eq!(plan.run(&mut s, 1), 17);
+    }
+
+    #[test]
+    fn dc_plan_reaches_bases() {
+        let plan = Skel::dc(
+            2,
+            |g: &ParArray<i64>| g.len() == 1,
+            |scl: &mut Scl, g| scl.map(&g, |x| x * 10),
+            |_scl: &mut Scl, g| g,
+        );
+        let mut s = unit_ctx(8);
+        let out = plan.run(&mut s, arr(8));
+        assert_eq!(out.to_vec(), (0..8).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_gather_roundtrip_plan() {
+        let plan = Skel::partition(Pattern::Block(4)).then(Skel::gather());
+        let mut s = Scl::ap1000(4);
+        let data: Vec<i64> = (0..10).collect();
+        assert_eq!(plan.run(&mut s, data.clone()), data);
+    }
+}

@@ -23,7 +23,12 @@ impl<T> Matrix<T> {
     /// # Panics
     /// Panics unless `data.len() == rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Matrix<T> {
-        assert_eq!(data.len(), rows * cols, "matrix data length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} != {rows}x{cols}",
+            data.len()
+        );
         Matrix { rows, cols, data }
     }
 
@@ -66,14 +71,24 @@ impl<T> Matrix<T> {
     /// Immutable element access.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> &T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 
     /// Mutable element access.
     #[inline]
     pub fn get_mut(&mut self, r: usize, c: usize) -> &mut T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 
@@ -123,32 +138,56 @@ impl<T> Matrix<T> {
 
     /// Element-wise map.
     pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Matrix<U> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 
 impl<T: Clone> Matrix<T> {
     /// A `rows × cols` matrix with every element `v`.
     pub fn filled(rows: usize, cols: usize, v: T) -> Matrix<T> {
-        Matrix { rows, cols, data: vec![v; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Column `c` as an owned vector (columns are strided, so this copies).
     pub fn col(&self, c: usize) -> Vec<T> {
         assert!(c < self.cols, "col {c} out of {}", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c].clone()).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c].clone())
+            .collect()
     }
 
     /// A new matrix holding columns `c0 .. c1` (half-open).
     pub fn col_range(&self, c0: usize, c1: usize) -> Matrix<T> {
-        assert!(c0 <= c1 && c1 <= self.cols, "bad col range {c0}..{c1} of {}", self.cols);
-        Matrix::from_fn(self.rows, c1 - c0, |r, c| self.data[r * self.cols + c0 + c].clone())
+        assert!(
+            c0 <= c1 && c1 <= self.cols,
+            "bad col range {c0}..{c1} of {}",
+            self.cols
+        );
+        Matrix::from_fn(self.rows, c1 - c0, |r, c| {
+            self.data[r * self.cols + c0 + c].clone()
+        })
     }
 
     /// A new matrix holding rows `r0 .. r1` (half-open).
     pub fn row_range(&self, r0: usize, r1: usize) -> Matrix<T> {
-        assert!(r0 <= r1 && r1 <= self.rows, "bad row range {r0}..{r1} of {}", self.rows);
-        Matrix::from_vec(r1 - r0, self.cols, self.data[r0 * self.cols..r1 * self.cols].to_vec())
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "bad row range {r0}..{r1} of {}",
+            self.rows
+        );
+        Matrix::from_vec(
+            r1 - r0,
+            self.cols,
+            self.data[r0 * self.cols..r1 * self.cols].to_vec(),
+        )
     }
 
     /// The transpose.
@@ -194,14 +233,18 @@ impl Matrix<f64> {
     /// Dense matrix-vector product.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "matvec dimension mismatch");
-        self.iter_rows().map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+        self.iter_rows()
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Dense matrix-matrix product (naive; baselines only).
     pub fn matmul(&self, other: &Matrix<f64>) -> Matrix<f64> {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         Matrix::from_fn(self.rows, other.cols, |i, j| {
-            (0..self.cols).map(|k| self.get(i, k) * other.get(k, j)).sum()
+            (0..self.cols)
+                .map(|k| self.get(i, k) * other.get(k, j))
+                .sum()
         })
     }
 

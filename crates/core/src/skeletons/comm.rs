@@ -141,7 +141,13 @@ impl Scl {
         U: Clone,
     {
         self.machine.broadcast(a.procs(), item.bytes());
-        ParArray::like(a, a.parts().iter().map(|u| (item.clone(), u.clone())).collect())
+        ParArray::like(
+            a,
+            a.parts()
+                .iter()
+                .map(|u| (item.clone(), u.clone()))
+                .collect(),
+        )
     }
 
     /// The paper's `applybrdcast f i A = brdcast (f A[i]) A`: apply `f` to
@@ -162,7 +168,10 @@ impl Scl {
         let w = self.measured_work(t0.elapsed().as_secs_f64());
         self.charge_part(a, i, w, "apply_brdcast");
         self.machine.broadcast(a.procs(), r.bytes());
-        ParArray::like(a, a.parts().iter().map(|x| (r.clone(), x.clone())).collect())
+        ParArray::like(
+            a,
+            a.parts().iter().map(|x| (r.clone(), x.clone())).collect(),
+        )
     }
 
     /// [`Scl::apply_brdcast`] with self-reported local work.
@@ -179,7 +188,10 @@ impl Scl {
         let (r, w) = f(a.part(i));
         self.charge_part(a, i, w, "apply_brdcast");
         self.machine.broadcast(a.procs(), r.bytes());
-        ParArray::like(a, a.parts().iter().map(|x| (r.clone(), x.clone())).collect())
+        ParArray::like(
+            a,
+            a.parts().iter().map(|x| (r.clone(), x.clone())).collect(),
+        )
     }
 
     /// Irregular send: `f(k)` names the destination indices of part `k`
@@ -264,7 +276,10 @@ impl Scl {
     /// moves).
     pub fn transpose<T: Clone + Bytes>(&mut self, a: &ParArray<T>) -> ParArray<T> {
         let (rows, cols) = a.shape().dims2();
-        assert_eq!(rows, cols, "transpose needs a square grid, got {rows}x{cols}");
+        assert_eq!(
+            rows, cols,
+            "transpose needs a square grid, got {rows}x{cols}"
+        );
         let mut routes = Vec::new();
         let mut parts = Vec::with_capacity(a.len());
         for i in 0..rows {
@@ -318,11 +333,7 @@ impl Scl {
                 if lo < hi {
                     parts[dst].extend(part[lo - s0..hi - s0].iter().cloned());
                     if src != dst {
-                        routes.push((
-                            a.procs()[src],
-                            a.procs()[dst],
-                            (hi - lo) * elem_bytes(part),
-                        ));
+                        routes.push((a.procs()[src], a.procs()[dst], (hi - lo) * elem_bytes(part)));
                     }
                 }
             }
@@ -342,7 +353,12 @@ impl Scl {
     ) -> ParArray<Vec<Vec<T>>> {
         let n = a.len();
         for (k, part) in a.parts().iter().enumerate() {
-            assert_eq!(part.len(), n, "total_exchange: part {k} has {} buckets, need {n}", part.len());
+            assert_eq!(
+                part.len(),
+                n,
+                "total_exchange: part {k} has {} buckets, need {n}",
+                part.len()
+            );
         }
         let per_pair = a
             .parts()
@@ -364,7 +380,10 @@ mod tests {
     use scl_machine::{CostModel, Machine, Time, Topology};
 
     fn unit_ctx(n: usize) -> Scl {
-        Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit()))
+        Scl::new(Machine::new(
+            Topology::FullyConnected { procs: n },
+            CostModel::unit(),
+        ))
     }
 
     #[test]

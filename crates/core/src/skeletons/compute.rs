@@ -45,7 +45,11 @@ impl<'a, T: Clone> SpmdStage<'a, T> {
         local: impl Fn(usize, &T) -> (T, Work) + Sync + 'a,
         global: impl FnMut(&mut Scl, ParArray<T>) -> ParArray<T> + 'a,
     ) -> SpmdStage<'a, T> {
-        SpmdStage { label, local: Box::new(local), global: Box::new(global) }
+        SpmdStage {
+            label,
+            local: Box::new(local),
+            global: Box::new(global),
+        }
     }
 
     /// A stage with only a local operation (global = identity).
@@ -53,7 +57,11 @@ impl<'a, T: Clone> SpmdStage<'a, T> {
         label: &'static str,
         local: impl Fn(usize, &T) -> (T, Work) + Sync + 'a,
     ) -> SpmdStage<'a, T> {
-        SpmdStage { label, local: Box::new(local), global: Box::new(|_, d| d) }
+        SpmdStage {
+            label,
+            local: Box::new(local),
+            global: Box::new(|_, d| d),
+        }
     }
 
     /// A stage with only a global operation (local = identity, no work).
@@ -61,7 +69,11 @@ impl<'a, T: Clone> SpmdStage<'a, T> {
         label: &'static str,
         global: impl FnMut(&mut Scl, ParArray<T>) -> ParArray<T> + 'a,
     ) -> SpmdStage<'a, T> {
-        SpmdStage { label, local: Box::new(|_, x: &T| (x.clone(), Work::NONE)), global: Box::new(global) }
+        SpmdStage {
+            label,
+            local: Box::new(|_, x: &T| (x.clone(), Work::NONE)),
+            global: Box::new(global),
+        }
     }
 }
 
@@ -233,7 +245,10 @@ mod tests {
     use scl_machine::{CostModel, Machine, Time, Topology};
 
     fn unit_ctx(n: usize) -> Scl {
-        Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit()))
+        Scl::new(Machine::new(
+            Topology::FullyConnected { procs: n },
+            CostModel::unit(),
+        ))
     }
 
     #[test]
@@ -286,12 +301,7 @@ mod tests {
     #[test]
     fn iter_until_stops_on_condition() {
         let mut s = unit_ctx(1);
-        let out = s.iter_until(
-            |_, x: i32| x * 2,
-            |_, x| x + 1,
-            |x| *x >= 16,
-            1,
-        );
+        let out = s.iter_until(|_, x: i32| x * 2, |_, x| x + 1, |x| *x >= 16, 1);
         assert_eq!(out, 17); // 1→2→4→8→16, then final +1
     }
 
@@ -305,11 +315,15 @@ mod tests {
     #[test]
     fn iter_for_passes_counter() {
         let mut s = unit_ctx(1);
-        let out = s.iter_for(4, |_, i, acc: Vec<usize>| {
-            let mut acc = acc;
-            acc.push(i);
-            acc
-        }, vec![]);
+        let out = s.iter_for(
+            4,
+            |_, i, acc: Vec<usize>| {
+                let mut acc = acc;
+                acc.push(i);
+                acc
+            },
+            vec![],
+        );
         assert_eq!(out, vec![0, 1, 2, 3]);
     }
 
@@ -350,7 +364,10 @@ mod tests {
         let items: Vec<i64> = (0..50).collect();
         let _ = s.pipeline(&[stage, stage], items);
         let t = s.makespan().as_secs();
-        assert!((t - 51.0).abs() < 1e-9, "expected (items+1)*unit = 51, got {t}");
+        assert!(
+            (t - 51.0).abs() < 1e-9,
+            "expected (items+1)*unit = 51, got {t}"
+        );
     }
 
     #[test]
@@ -394,13 +411,9 @@ mod tests {
     fn dc_step_applies_before_divide() {
         let mut s = unit_ctx(4);
         let a = ParArray::from_parts(vec![1, 1, 1, 1]);
-        let r = s.dc(
-            a,
-            2,
-            &|g| g.len() == 1,
-            &mut |_, g| g,
-            &mut |scl, g| scl.map(&g, |x| x + 1),
-        );
+        let r = s.dc(a, 2, &|g| g.len() == 1, &mut |_, g| g, &mut |scl, g| {
+            scl.map(&g, |x| x + 1)
+        });
         // depth log2(4) = 2 step applications per element
         assert_eq!(r.to_vec(), vec![3, 3, 3, 3]);
     }

@@ -101,8 +101,7 @@ impl Scl {
         R: Send,
     {
         assert!(a.conforms(b), "zip_with needs conforming arrays");
-        let results: Vec<R> =
-            par_map_indexed(self.policy, a.parts(), |i, x| f(x, b.part(i)));
+        let results: Vec<R> = par_map_indexed(self.policy, a.parts(), |i, x| f(x, b.part(i)));
         // zip_with charges nothing locally (use map_costed over an aligned
         // configuration when cost matters).
         ParArray::like(a, results)
@@ -125,12 +124,7 @@ impl Scl {
     }
 
     /// [`Scl::fold`] with explicit per-phase combine work.
-    pub fn fold_costed<T>(
-        &mut self,
-        a: &ParArray<T>,
-        op: impl Fn(&T, &T) -> T,
-        combine: Work,
-    ) -> T
+    pub fn fold_costed<T>(&mut self, a: &ParArray<T>, op: impl Fn(&T, &T) -> T, combine: Work) -> T
     where
         T: Clone + Bytes,
     {
@@ -185,7 +179,10 @@ mod tests {
     use scl_machine::{CostModel, Machine, Time, Topology};
 
     fn unit_ctx(n: usize) -> Scl {
-        Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit()))
+        Scl::new(Machine::new(
+            Topology::FullyConnected { procs: n },
+            CostModel::unit(),
+        ))
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub enum ExecPolicy {
 impl ExecPolicy {
     /// Threaded policy sized to the host's available parallelism.
     pub fn auto() -> ExecPolicy {
-        let n = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
         if n <= 1 {
             ExecPolicy::Sequential
         } else {

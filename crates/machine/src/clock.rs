@@ -18,7 +18,9 @@ impl ProcClocks {
     /// `n` clocks, all at zero.
     pub fn new(n: usize) -> ProcClocks {
         assert!(n > 0, "need at least one processor");
-        ProcClocks { t: vec![Time::ZERO; n] }
+        ProcClocks {
+            t: vec![Time::ZERO; n],
+        }
     }
 
     /// Number of processors.

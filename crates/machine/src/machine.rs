@@ -85,7 +85,10 @@ impl Machine {
     /// # Panics
     /// Panics unless `factor` is finite and positive.
     pub fn set_speed(&mut self, p: ProcId, factor: f64) {
-        assert!(factor.is_finite() && factor > 0.0, "speed must be positive, got {factor}");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "speed must be positive, got {factor}"
+        );
         self.speed[p] = factor;
     }
 
@@ -242,7 +245,10 @@ impl Machine {
         let end = self.clocks.barrier(self.model.t_barrier);
         self.metrics.barriers += 1;
         if self.trace.is_enabled() {
-            self.trace.record(Event::Barrier { procs: (0..self.nprocs()).collect(), end });
+            self.trace.record(Event::Barrier {
+                procs: (0..self.nprocs()).collect(),
+                end,
+            });
         }
         end
     }
@@ -252,7 +258,10 @@ impl Machine {
         let end = self.clocks.barrier_group(group, self.model.t_barrier);
         self.metrics.group_barriers += 1;
         if self.trace.is_enabled() {
-            self.trace.record(Event::Barrier { procs: group.to_vec(), end });
+            self.trace.record(Event::Barrier {
+                procs: group.to_vec(),
+                end,
+            });
         }
         end
     }
@@ -261,13 +270,21 @@ impl Machine {
 
     fn collective(&mut self, kind: &'static str, group: &[ProcId], dt: Time) -> Time {
         assert!(!group.is_empty(), "collective over empty group");
-        let t0 = group.iter().map(|&p| self.clocks.get(p)).fold(Time::ZERO, Time::max);
+        let t0 = group
+            .iter()
+            .map(|&p| self.clocks.get(p))
+            .fold(Time::ZERO, Time::max);
         let end = t0 + dt;
         for &p in group {
             self.clocks.set(p, end);
         }
         if self.trace.is_enabled() {
-            self.trace.record(Event::Collective { kind, procs: group.to_vec(), start: t0, end });
+            self.trace.record(Event::Collective {
+                kind,
+                procs: group.to_vec(),
+                start: t0,
+                end,
+            });
         }
         end
     }
@@ -490,8 +507,7 @@ mod tests {
         let group: Vec<usize> = (0..4).collect();
         // Rotate by one: 4 disjoint messages of 2 bytes each.
         // Each ptp = t_msg(1) + t_hop(1) + 2*t_byte(2) = 4.
-        let routes: Vec<(usize, usize, usize)> =
-            (0..4).map(|i| (i, (i + 1) % 4, 2)).collect();
+        let routes: Vec<(usize, usize, usize)> = (0..4).map(|i| (i, (i + 1) % 4, 2)).collect();
         let end = m.permute(&group, &routes);
         assert_eq!(end.as_secs(), 4.0);
         assert_eq!(m.metrics.messages, 4);

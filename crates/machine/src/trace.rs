@@ -87,7 +87,12 @@ impl Default for Trace {
 impl Trace {
     /// A disabled trace with the default cap (65536 events).
     pub fn new() -> Trace {
-        Trace { events: Vec::new(), enabled: false, cap: 65536, dropped: 0 }
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+            cap: 65536,
+            dropped: 0,
+        }
     }
 
     /// Turn recording on.
@@ -148,7 +153,9 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match e {
-                Event::Compute { proc, start, end, .. } if *proc == p => Some(*end - *start),
+                Event::Compute {
+                    proc, start, end, ..
+                } if *proc == p => Some(*end - *start),
                 _ => None,
             })
             .sum()
@@ -157,7 +164,11 @@ impl Trace {
     /// Compute utilisation of processor `p` against the trace's makespan
     /// (0.0 when nothing happened).
     pub fn utilization(&self, p: ProcId) -> f64 {
-        let makespan = self.events.iter().map(Event::end_time).fold(Time::ZERO, Time::max);
+        let makespan = self
+            .events
+            .iter()
+            .map(Event::end_time)
+            .fold(Time::ZERO, Time::max);
         if makespan == Time::ZERO {
             0.0
         } else {
@@ -169,8 +180,11 @@ impl Trace {
     /// spanning `[0, makespan]`. Compute spans render as `#`, collective
     /// participation as `=`, barriers as `|`. Idle time is `.`.
     pub fn gantt(&self, nprocs: usize, width: usize) -> String {
-        let makespan =
-            self.events.iter().map(Event::end_time).fold(Time::ZERO, Time::max);
+        let makespan = self
+            .events
+            .iter()
+            .map(Event::end_time)
+            .fold(Time::ZERO, Time::max);
         let mut rows = vec![vec![b'.'; width]; nprocs];
         if makespan > Time::ZERO {
             let col = |t: Time| -> usize {
@@ -192,7 +206,9 @@ impl Trace {
             };
             for e in &self.events {
                 match e {
-                    Event::Compute { proc, start, end, .. } => {
+                    Event::Compute {
+                        proc, start, end, ..
+                    } => {
                         if *proc < nprocs {
                             fill(&mut rows[*proc], *start, *end, b'#');
                         }
@@ -205,7 +221,9 @@ impl Trace {
                             }
                         }
                     }
-                    Event::Collective { procs, start, end, .. } => {
+                    Event::Collective {
+                        procs, start, end, ..
+                    } => {
                         for &p in procs {
                             if p < nprocs {
                                 fill(&mut rows[p], *start, *end, b'=');
@@ -279,7 +297,10 @@ mod tests {
         let mut t = Trace::new();
         t.enable();
         t.record(compute(0, 0.0, 1.0));
-        t.record(Event::Barrier { procs: vec![0, 1], end: Time::from_secs(2.0) });
+        t.record(Event::Barrier {
+            procs: vec![0, 1],
+            end: Time::from_secs(2.0),
+        });
         assert_eq!(t.count(|e| matches!(e, Event::Barrier { .. })), 1);
         assert_eq!(t.count(|e| matches!(e, Event::Compute { .. })), 1);
     }
@@ -318,7 +339,10 @@ mod tests {
         t.enable();
         t.record(compute(0, 0.0, 1.0));
         t.record(compute(1, 1.0, 2.0));
-        t.record(Event::Barrier { procs: vec![0, 1], end: Time::from_secs(2.0) });
+        t.record(Event::Barrier {
+            procs: vec![0, 1],
+            end: Time::from_secs(2.0),
+        });
         let g = t.gantt(2, 20);
         assert!(g.contains("p0"));
         assert!(g.contains("p1"));

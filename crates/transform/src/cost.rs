@@ -60,7 +60,9 @@ fn barrier(params: &CostParams) -> Time {
 
 fn step_comm(net: &Network<'_>, params: &CostParams) -> Time {
     // One permutation phase: a typical point-to-point message plus barrier.
-    net.model.ptp(params.elem_bytes, net.topo.mean_hops().ceil() as usize) + barrier(params)
+    net.model
+        .ptp(params.elem_bytes, net.topo.mean_hops().ceil() as usize)
+        + barrier(params)
 }
 
 fn walk(
@@ -103,8 +105,7 @@ fn walk(
             // Sequential: gather everything to one processor, then n
             // applications of g and op there.
             let n = flat_n(layout)?;
-            let per = reg.op_work(op)?.cost(&params.model)
-                + reg.fn_work(g)?.cost(&params.model);
+            let per = reg.op_work(op)?.cost(&params.model) + reg.fn_work(g)?.cost(&params.model);
             let t = net.gather(n, params.elem_bytes) + per * n;
             Ok((t, Layout::Scalar))
         }
@@ -130,13 +131,26 @@ fn walk(
             if *p == 0 || n < *p {
                 return Err(format!("cannot split {n} elements into {p} groups"));
             }
-            Ok((Time::ZERO, Layout::Grouped { groups: *p, per_group: n / *p }))
+            Ok((
+                Time::ZERO,
+                Layout::Grouped {
+                    groups: *p,
+                    per_group: n / *p,
+                },
+            ))
         }
         MapGroups(body) => match layout {
             Layout::Grouped { groups, per_group } => {
                 // groups run in parallel: cost of one group
-                let (t, inner) =
-                    walk(body, reg, params, net, Layout::Flat { n: per_group.max(1) })?;
+                let (t, inner) = walk(
+                    body,
+                    reg,
+                    params,
+                    net,
+                    Layout::Flat {
+                        n: per_group.max(1),
+                    },
+                )?;
                 if !matches!(inner, Layout::Flat { .. }) {
                     return Err("mapGroups body must preserve array layout".into());
                 }
@@ -145,9 +159,12 @@ fn walk(
             other => Err(format!("mapGroups needs grouped layout, got {other:?}")),
         },
         Combine => match layout {
-            Layout::Grouped { groups, per_group } => {
-                Ok((Time::ZERO, Layout::Flat { n: groups * per_group }))
-            }
+            Layout::Grouped { groups, per_group } => Ok((
+                Time::ZERO,
+                Layout::Flat {
+                    n: groups * per_group,
+                },
+            )),
             other => Err(format!("combine needs grouped layout, got {other:?}")),
         },
         SegRotate { k, .. } => {
@@ -204,13 +221,18 @@ mod tests {
             Expr::Fetch(IdxRef::named("succ")),
         ]);
         let one = Expr::Fetch(IdxRef::named("succ").then_after(IdxRef::named("succ")));
-        assert!(estimate(&one, &reg(), &params()).unwrap() < estimate(&two, &reg(), &params()).unwrap());
+        assert!(
+            estimate(&one, &reg(), &params()).unwrap() < estimate(&two, &reg(), &params()).unwrap()
+        );
     }
 
     #[test]
     fn foldr_is_much_worse_than_fold_map() {
         let seq = Expr::FoldrMap("add".into(), FnRef::named("square"));
-        let par = Expr::Compose(vec![Expr::Fold("add".into()), Expr::Map(FnRef::named("square"))]);
+        let par = Expr::Compose(vec![
+            Expr::Fold("add".into()),
+            Expr::Map(FnRef::named("square")),
+        ]);
         let cs = estimate(&seq, &reg(), &params()).unwrap();
         let cp = estimate(&par, &reg(), &params()).unwrap();
         assert!(cs > cp, "sequential {cs} should exceed parallel {cp}");
@@ -218,7 +240,10 @@ mod tests {
 
     #[test]
     fn rotate_zero_free_nonzero_charged() {
-        assert_eq!(estimate(&Expr::Rotate(0), &reg(), &params()).unwrap(), Time::ZERO);
+        assert_eq!(
+            estimate(&Expr::Rotate(0), &reg(), &params()).unwrap(),
+            Time::ZERO
+        );
         assert!(estimate(&Expr::Rotate(1), &reg(), &params()).unwrap() > Time::ZERO);
     }
 
@@ -238,7 +263,10 @@ mod tests {
     #[test]
     fn errors_on_bad_programs() {
         // map after fold: ill-typed
-        let bad = Expr::pipeline(vec![Expr::Fold("add".into()), Expr::Map(FnRef::named("inc"))]);
+        let bad = Expr::pipeline(vec![
+            Expr::Fold("add".into()),
+            Expr::Map(FnRef::named("inc")),
+        ]);
         assert!(estimate(&bad, &reg(), &params()).is_err());
         // unknown function
         assert!(estimate(&Expr::Map(FnRef::named("nope")), &reg(), &params()).is_err());

@@ -156,11 +156,17 @@ pub fn eval(e: &Expr, reg: &Registry, input: Value) -> Result<Value, String> {
                 }
                 Ok(Value::Nested(out))
             }
-            other => Err(format!("mapGroups needs nested input, got {:?}", other.shape())),
+            other => Err(format!(
+                "mapGroups needs nested input, got {:?}",
+                other.shape()
+            )),
         },
         Combine => match input {
             Value::Nested(gs) => Ok(Value::Arr(gs.into_iter().flatten().collect())),
-            other => Err(format!("combine needs nested input, got {:?}", other.shape())),
+            other => Err(format!(
+                "combine needs nested input, got {:?}",
+                other.shape()
+            )),
         },
         SegRotate { groups, k } => {
             let v = input.into_arr()?;
@@ -222,7 +228,10 @@ mod tests {
 
     #[test]
     fn id_and_compose() {
-        let e = Expr::pipeline(vec![Expr::Map(FnRef::named("inc")), Expr::Map(FnRef::named("double"))]);
+        let e = Expr::pipeline(vec![
+            Expr::Map(FnRef::named("inc")),
+            Expr::Map(FnRef::named("double")),
+        ]);
         // inc first, then double
         assert_eq!(run(&e, vec![1, 2]), arr(vec![4, 6]));
         assert_eq!(run(&Expr::Id, vec![5]), arr(vec![5]));
@@ -230,31 +239,60 @@ mod tests {
 
     #[test]
     fn fold_and_scan() {
-        assert_eq!(run(&Expr::Fold("add".into()), vec![1, 2, 3, 4]), Value::Scal(10));
-        assert_eq!(run(&Expr::Scan("add".into()), vec![1, 2, 3]), arr(vec![1, 3, 6]));
-        assert!(eval(&Expr::Fold("add".into()), &Registry::standard(), arr(vec![])).is_err());
+        assert_eq!(
+            run(&Expr::Fold("add".into()), vec![1, 2, 3, 4]),
+            Value::Scal(10)
+        );
+        assert_eq!(
+            run(&Expr::Scan("add".into()), vec![1, 2, 3]),
+            arr(vec![1, 3, 6])
+        );
+        assert!(eval(
+            &Expr::Fold("add".into()),
+            &Registry::standard(),
+            arr(vec![])
+        )
+        .is_err());
     }
 
     #[test]
     fn foldr_map_matches_fold_of_map_for_assoc() {
         let lhs = Expr::FoldrMap("add".into(), FnRef::named("square"));
-        let rhs = Expr::pipeline(vec![Expr::Map(FnRef::named("square")), Expr::Fold("add".into())]);
+        let rhs = Expr::pipeline(vec![
+            Expr::Map(FnRef::named("square")),
+            Expr::Fold("add".into()),
+        ]);
         let data = vec![1, 2, 3, 4, 5];
         assert_eq!(run(&lhs, data.clone()), run(&rhs, data));
     }
 
     #[test]
     fn rotate_wraps() {
-        assert_eq!(run(&Expr::Rotate(1), vec![10, 20, 30]), arr(vec![20, 30, 10]));
-        assert_eq!(run(&Expr::Rotate(-1), vec![10, 20, 30]), arr(vec![30, 10, 20]));
-        assert_eq!(run(&Expr::Rotate(3), vec![10, 20, 30]), arr(vec![10, 20, 30]));
+        assert_eq!(
+            run(&Expr::Rotate(1), vec![10, 20, 30]),
+            arr(vec![20, 30, 10])
+        );
+        assert_eq!(
+            run(&Expr::Rotate(-1), vec![10, 20, 30]),
+            arr(vec![30, 10, 20])
+        );
+        assert_eq!(
+            run(&Expr::Rotate(3), vec![10, 20, 30]),
+            arr(vec![10, 20, 30])
+        );
     }
 
     #[test]
     fn fetch_and_send() {
-        assert_eq!(run(&Expr::Fetch(IdxRef::named("succ")), vec![1, 2, 3]), arr(vec![2, 3, 1]));
+        assert_eq!(
+            run(&Expr::Fetch(IdxRef::named("succ")), vec![1, 2, 3]),
+            arr(vec![2, 3, 1])
+        );
         // send zero: everything accumulates at index 0
-        assert_eq!(run(&Expr::Send(IdxRef::named("zero")), vec![1, 2, 3]), arr(vec![6, 0, 0]));
+        assert_eq!(
+            run(&Expr::Send(IdxRef::named("zero")), vec![1, 2, 3]),
+            arr(vec![6, 0, 0])
+        );
     }
 
     #[test]
@@ -283,7 +321,10 @@ mod tests {
             Expr::MapGroups(Box::new(Expr::Fetch(IdxRef::named("rev")))),
             Expr::Combine,
         ]);
-        let flat_f = Expr::SegFetch { groups: 3, f: IdxRef::named("rev") };
+        let flat_f = Expr::SegFetch {
+            groups: 3,
+            f: IdxRef::named("rev"),
+        };
         assert_eq!(run(&nested_f, data.clone()), run(&flat_f, data.clone()));
 
         let nested_s = Expr::pipeline(vec![
@@ -291,7 +332,10 @@ mod tests {
             Expr::MapGroups(Box::new(Expr::Send(IdxRef::named("half")))),
             Expr::Combine,
         ]);
-        let flat_s = Expr::SegSend { groups: 3, f: IdxRef::named("half") };
+        let flat_s = Expr::SegSend {
+            groups: 3,
+            f: IdxRef::named("half"),
+        };
         assert_eq!(run(&nested_s, data.clone()), run(&flat_s, data));
     }
 
@@ -302,7 +346,10 @@ mod tests {
 
     #[test]
     fn type_errors_surface() {
-        let bad = Expr::pipeline(vec![Expr::Fold("add".into()), Expr::Map(FnRef::named("inc"))]);
+        let bad = Expr::pipeline(vec![
+            Expr::Fold("add".into()),
+            Expr::Map(FnRef::named("inc")),
+        ]);
         assert!(eval(&bad, &Registry::standard(), arr(vec![1, 2])).is_err());
         assert!(eval(&Expr::Combine, &Registry::standard(), arr(vec![1])).is_err());
     }

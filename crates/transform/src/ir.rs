@@ -221,8 +221,14 @@ pub fn shape_of(e: &Expr, inp: Shape) -> Result<Shape, String> {
             }
             Ok(s)
         }
-        Map(_) | Scan(_) | Rotate(_) | Fetch(_) | Send(_)
-        | SegRotate { .. } | SegFetch { .. } | SegSend { .. } => {
+        Map(_)
+        | Scan(_)
+        | Rotate(_)
+        | Fetch(_)
+        | Send(_)
+        | SegRotate { .. }
+        | SegFetch { .. }
+        | SegSend { .. } => {
             want_arr(inp, "array skeleton")?;
             Ok(Arr)
         }
@@ -238,7 +244,9 @@ pub fn shape_of(e: &Expr, inp: Shape) -> Result<Shape, String> {
             Nested(g) => {
                 let s = shape_of(sub, Arr)?;
                 if s != Arr {
-                    return Err(format!("mapGroups body must map arrays to arrays, got {s:?}"));
+                    return Err(format!(
+                        "mapGroups body must map arrays to arrays, got {s:?}"
+                    ));
                 }
                 Ok(Nested(g))
             }
@@ -307,10 +315,16 @@ mod tests {
 
     #[test]
     fn fnref_composition_flattens() {
-        let f = FnRef::named("f").then_after(FnRef::named("g")).then_after(FnRef::named("h"));
+        let f = FnRef::named("f")
+            .then_after(FnRef::named("g"))
+            .then_after(FnRef::named("h"));
         assert_eq!(
             f,
-            FnRef::Comp(vec![FnRef::named("f"), FnRef::named("g"), FnRef::named("h")])
+            FnRef::Comp(vec![
+                FnRef::named("f"),
+                FnRef::named("g"),
+                FnRef::named("h")
+            ])
         );
         assert_eq!(f.names(), vec!["f", "g", "h"]);
     }
@@ -319,7 +333,10 @@ mod tests {
     fn pipeline_reverses_into_composition() {
         let p = Expr::pipeline(vec![Expr::Rotate(1), Expr::Map(FnRef::named("f"))]);
         // rotate runs first => composition [map, rotate]
-        assert_eq!(p, Expr::Compose(vec![Expr::Map(FnRef::named("f")), Expr::Rotate(1)]));
+        assert_eq!(
+            p,
+            Expr::Compose(vec![Expr::Map(FnRef::named("f")), Expr::Rotate(1)])
+        );
         assert_eq!(Expr::pipeline(vec![Expr::Id]), Expr::Id);
     }
 

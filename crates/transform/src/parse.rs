@@ -110,9 +110,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push((Tok::Ident(src[start..i].to_string()), start));
@@ -150,7 +148,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), at: self.at() })
+        Err(ParseError {
+            message: message.into(),
+            at: self.at(),
+        })
     }
 
     fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
@@ -191,7 +192,11 @@ impl Parser {
             self.bump();
             terms.push(self.term()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Expr::Compose(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Expr::Compose(terms)
+        })
     }
 
     fn term(&mut self) -> Result<Expr, ParseError> {
@@ -319,7 +324,11 @@ impl Parser {
                     items.push(self.fnref()?);
                 }
                 self.expect(Tok::RParen, "`)`")?;
-                Ok(if items.len() == 1 { items.pop().unwrap() } else { FnRef::Comp(items) })
+                Ok(if items.len() == 1 {
+                    items.pop().unwrap()
+                } else {
+                    FnRef::Comp(items)
+                })
             }
             _ => self.err("expected a function reference"),
         }
@@ -336,7 +345,11 @@ impl Parser {
                     items.push(self.idxref()?);
                 }
                 self.expect(Tok::RParen, "`)`")?;
-                Ok(if items.len() == 1 { items.pop().unwrap() } else { IdxRef::Comp(items) })
+                Ok(if items.len() == 1 {
+                    items.pop().unwrap()
+                } else {
+                    IdxRef::Comp(items)
+                })
             }
             _ => self.err("expected an index-function reference"),
         }
@@ -347,12 +360,22 @@ impl Parser {
 pub fn parse(src: &str) -> Result<Expr, ParseError> {
     let toks = lex(src)?;
     if toks.is_empty() {
-        return Err(ParseError { message: "empty program".into(), at: 0 });
+        return Err(ParseError {
+            message: "empty program".into(),
+            at: 0,
+        });
     }
-    let mut p = Parser { toks, pos: 0, len: src.len() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        len: src.len(),
+    };
     let e = p.expr()?;
     if p.pos != p.toks.len() {
-        return Err(ParseError { message: "trailing input after program".into(), at: p.at() });
+        return Err(ParseError {
+            message: "trailing input after program".into(),
+            at: p.at(),
+        });
     }
     Ok(e)
 }
@@ -371,7 +394,10 @@ mod tests {
         assert_eq!(parse("fold(add)").unwrap(), Expr::Fold("add".into()));
         assert_eq!(parse("scan(max)").unwrap(), Expr::Scan("max".into()));
         assert_eq!(parse("split(4)").unwrap(), Expr::Split(4));
-        assert_eq!(parse("fetch(succ)").unwrap(), Expr::Fetch(IdxRef::named("succ")));
+        assert_eq!(
+            parse("fetch(succ)").unwrap(),
+            Expr::Fetch(IdxRef::named("succ"))
+        );
     }
 
     #[test]
@@ -392,7 +418,10 @@ mod tests {
         let e = parse("map((square . inc))").unwrap();
         assert_eq!(
             e,
-            Expr::Map(FnRef::Comp(vec![FnRef::named("square"), FnRef::named("inc")]))
+            Expr::Map(FnRef::Comp(vec![
+                FnRef::named("square"),
+                FnRef::named("inc")
+            ]))
         );
         // nested
         let e = parse("map(((a . b) . c))").unwrap();
@@ -425,7 +454,10 @@ mod tests {
         );
         assert_eq!(
             parse("segFetch(g=2, rev)").unwrap(),
-            Expr::SegFetch { groups: 2, f: IdxRef::named("rev") }
+            Expr::SegFetch {
+                groups: 2,
+                f: IdxRef::named("rev")
+            }
         );
     }
 

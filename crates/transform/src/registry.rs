@@ -60,7 +60,11 @@ impl Registry {
         r.scalar("square", |x| x.wrapping_mul(x), Work::flops(1));
         r.scalar("neg", |x| x.wrapping_neg(), Work::flops(1));
         r.scalar("halve", |x| x / 2, Work::flops(1));
-        r.scalar("heavy", |x| (0..32).fold(x, |a, i| a.wrapping_mul(31).wrapping_add(i)), Work::flops(32));
+        r.scalar(
+            "heavy",
+            |x| (0..32).fold(x, |a, i| a.wrapping_mul(31).wrapping_add(i)),
+            Work::flops(32),
+        );
         r.binop("add", |a, b| a.wrapping_add(b), true, Work::flops(1));
         r.binop("mul", |a, b| a.wrapping_mul(b), true, Work::flops(1));
         r.binop("max", i64::max, true, Work::cmps(1));
@@ -78,7 +82,13 @@ impl Registry {
 
     /// Register a unary scalar function.
     pub fn scalar(&mut self, name: &str, f: impl Fn(i64) -> i64 + Sync + 'static, work: Work) {
-        self.scalars.insert(name.to_string(), ScalarFn { f: Box::new(f), work });
+        self.scalars.insert(
+            name.to_string(),
+            ScalarFn {
+                f: Box::new(f),
+                work,
+            },
+        );
     }
 
     /// Register a binary operator.
@@ -89,19 +99,30 @@ impl Registry {
         assoc: bool,
         work: Work,
     ) {
-        self.binops.insert(name.to_string(), BinOp { f: Box::new(f), assoc, work });
+        self.binops.insert(
+            name.to_string(),
+            BinOp {
+                f: Box::new(f),
+                assoc,
+                work,
+            },
+        );
     }
 
     /// Register an index-mapping function.
     pub fn idx(&mut self, name: &str, f: impl Fn(usize, usize) -> usize + Sync + 'static) {
-        self.idxfns.insert(name.to_string(), IdxFn { f: Box::new(f) });
+        self.idxfns
+            .insert(name.to_string(), IdxFn { f: Box::new(f) });
     }
 
     /// Apply a (possibly composed) scalar function reference.
     pub fn apply_fn(&self, r: &FnRef, x: i64) -> Result<i64, String> {
         match r {
             FnRef::Named(n) => {
-                let s = self.scalars.get(n).ok_or_else(|| format!("unknown scalar fn `{n}`"))?;
+                let s = self
+                    .scalars
+                    .get(n)
+                    .ok_or_else(|| format!("unknown scalar fn `{n}`"))?;
                 Ok((s.f)(x))
             }
             FnRef::Comp(fs) => {
@@ -136,7 +157,10 @@ impl Registry {
 
     /// Apply a binary operator.
     pub fn apply_op(&self, name: &str, a: i64, b: i64) -> Result<i64, String> {
-        let op = self.binops.get(name).ok_or_else(|| format!("unknown binop `{name}`"))?;
+        let op = self
+            .binops
+            .get(name)
+            .ok_or_else(|| format!("unknown binop `{name}`"))?;
         Ok((op.f)(a, b))
     }
 
@@ -157,8 +181,10 @@ impl Registry {
     pub fn apply_idx(&self, r: &IdxRef, i: usize, n: usize) -> Result<usize, String> {
         match r {
             IdxRef::Named(name) => {
-                let f =
-                    self.idxfns.get(name).ok_or_else(|| format!("unknown idx fn `{name}`"))?;
+                let f = self
+                    .idxfns
+                    .get(name)
+                    .ok_or_else(|| format!("unknown idx fn `{name}`"))?;
                 let j = (f.f)(i, n);
                 Ok(j % n.max(1))
             }

@@ -120,12 +120,7 @@ pub fn single_step_candidates(e: &Expr, reg: &Registry) -> Vec<(&'static str, Ex
 /// rewritten expression. (`dyn` rather than `impl` — the recursion wraps
 /// the sink in a new closure per level, which would otherwise monomorphise
 /// forever.)
-fn collect_applications(
-    e: &Expr,
-    rule: Rule,
-    reg: &Registry,
-    sink: &mut dyn FnMut(Expr),
-) {
+fn collect_applications(e: &Expr, rule: Rule, reg: &Registry, sink: &mut dyn FnMut(Expr)) {
     for out in rule.apply_all(e, reg) {
         sink(out);
     }
@@ -198,7 +193,14 @@ pub fn optimize_costed(
             None => break,
         }
     }
-    Ok((cur, OptReport { initial_cost, final_cost: cur_cost, steps }))
+    Ok((
+        cur,
+        OptReport {
+            initial_cost,
+            final_cost: cur_cost,
+            steps,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -227,9 +229,15 @@ mod tests {
             Expr::Compose(vec![Expr::Rotate(1), Expr::Id, Expr::Rotate(2)]),
             Expr::Id,
         ]);
-        assert_eq!(normalize(e), Expr::Compose(vec![Expr::Rotate(1), Expr::Rotate(2)]));
+        assert_eq!(
+            normalize(e),
+            Expr::Compose(vec![Expr::Rotate(1), Expr::Rotate(2)])
+        );
         assert_eq!(normalize(Expr::Compose(vec![])), Expr::Id);
-        assert_eq!(normalize(Expr::Compose(vec![Expr::Rotate(3)])), Expr::Rotate(3));
+        assert_eq!(
+            normalize(Expr::Compose(vec![Expr::Rotate(3)])),
+            Expr::Rotate(3)
+        );
         assert_eq!(normalize(Expr::MapGroups(Box::new(Expr::Id))), Expr::Id);
     }
 
@@ -260,7 +268,10 @@ mod tests {
         let (out, log) = optimize(e, &reg());
         assert_eq!(
             out,
-            Expr::Compose(vec![Expr::Fold("add".into()), Expr::Map(FnRef::named("square"))])
+            Expr::Compose(vec![
+                Expr::Fold("add".into()),
+                Expr::Map(FnRef::named("square"))
+            ])
         );
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].rule, "map-distribution");

@@ -80,15 +80,11 @@ impl Rule {
     pub fn apply_all(&self, e: &Expr, reg: &Registry) -> Vec<Expr> {
         match self {
             Rule::MapFusion => window_rule_all(e, |a, b| match (a, b) {
-                (Expr::Map(f), Expr::Map(g)) => {
-                    Some(Expr::Map(f.clone().then_after(g.clone())))
-                }
+                (Expr::Map(f), Expr::Map(g)) => Some(Expr::Map(f.clone().then_after(g.clone()))),
                 _ => None,
             }),
             Rule::SendFusion => window_rule_all(e, |a, b| match (a, b) {
-                (Expr::Send(f), Expr::Send(g)) => {
-                    Some(Expr::Send(f.clone().then_after(g.clone())))
-                }
+                (Expr::Send(f), Expr::Send(g)) => Some(Expr::Send(f.clone().then_after(g.clone()))),
                 _ => None,
             }),
             Rule::FetchFusion => window_rule_all(e, |a, b| match (a, b) {
@@ -114,15 +110,14 @@ impl Rule {
                 _ => None,
             },
             Rule::MapDistribution => match e {
-                Expr::FoldrMap(op, g) if reg.is_assoc(op) => Some(
-                    Expr::Compose(vec![Expr::Fold(op.clone()), Expr::Map(g.clone())]),
-                ),
+                Expr::FoldrMap(op, g) if reg.is_assoc(op) => Some(Expr::Compose(vec![
+                    Expr::Fold(op.clone()),
+                    Expr::Map(g.clone()),
+                ])),
                 _ => None,
             },
             Rule::MapFusion => window_rule(e, |a, b| match (a, b) {
-                (Expr::Map(f), Expr::Map(g)) => {
-                    Some(Expr::Map(f.clone().then_after(g.clone())))
-                }
+                (Expr::Map(f), Expr::Map(g)) => Some(Expr::Map(f.clone().then_after(g.clone()))),
                 _ => None,
             }),
             Rule::SendFusion => window_rule(e, |a, b| match (a, b) {
@@ -196,8 +191,14 @@ pub fn flatten_body(e: &Expr, p: usize) -> Option<Expr> {
         Expr::Id => Some(Expr::Id),
         Expr::Map(f) => Some(Expr::Map(f.clone())),
         Expr::Rotate(k) => Some(Expr::SegRotate { groups: p, k: *k }),
-        Expr::Fetch(h) => Some(Expr::SegFetch { groups: p, f: h.clone() }),
-        Expr::Send(h) => Some(Expr::SegSend { groups: p, f: h.clone() }),
+        Expr::Fetch(h) => Some(Expr::SegFetch {
+            groups: p,
+            f: h.clone(),
+        }),
+        Expr::Send(h) => Some(Expr::SegSend {
+            groups: p,
+            f: h.clone(),
+        }),
         Expr::Compose(es) => {
             let flat: Option<Vec<Expr>> = es.iter().map(|x| flatten_body(x, p)).collect();
             Some(Expr::Compose(flat?))
@@ -278,7 +279,10 @@ mod tests {
             Rule::RotateFusion.apply(&e, &reg()),
             Some(Expr::Compose(vec![Expr::Rotate(5)]))
         );
-        assert_eq!(Rule::RotateIdentity.apply(&Expr::Rotate(0), &reg()), Some(Expr::Id));
+        assert_eq!(
+            Rule::RotateIdentity.apply(&Expr::Rotate(0), &reg()),
+            Some(Expr::Id)
+        );
         assert_eq!(Rule::RotateIdentity.apply(&Expr::Rotate(1), &reg()), None);
     }
 
@@ -319,7 +323,10 @@ mod tests {
             Expr::Split(4),
         ]);
         let out = Rule::Flatten.apply(&e, &reg()).unwrap();
-        assert_eq!(out, Expr::Compose(vec![Expr::SegRotate { groups: 4, k: 1 }]));
+        assert_eq!(
+            out,
+            Expr::Compose(vec![Expr::SegRotate { groups: 4, k: 1 }])
+        );
     }
 
     #[test]
@@ -355,10 +362,15 @@ mod tests {
     #[test]
     fn commute_moves_map_past_rotate_and_fetch() {
         let e = Expr::Compose(vec![Expr::Map(FnRef::named("inc")), Expr::Rotate(1)]);
-        let out = Rule::MapCommCommute.apply(&e, &reg()).map(crate::rewrite::normalize);
+        let out = Rule::MapCommCommute
+            .apply(&e, &reg())
+            .map(crate::rewrite::normalize);
         assert_eq!(
             out,
-            Some(Expr::Compose(vec![Expr::Rotate(1), Expr::Map(FnRef::named("inc"))]))
+            Some(Expr::Compose(vec![
+                Expr::Rotate(1),
+                Expr::Map(FnRef::named("inc"))
+            ]))
         );
         let e = Expr::Compose(vec![
             Expr::Map(FnRef::named("inc")),

@@ -17,11 +17,17 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(96);
     let q: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
-    assert!(n % q == 0, "grid size {q} must divide matrix size {n}");
+    assert!(
+        n.is_multiple_of(q),
+        "grid size {q} must divide matrix size {n}"
+    );
 
     let a = random_matrix(n, n, 1);
     let b = random_matrix(n, n, 2);
-    println!("C = A * B for {n}x{n} matrices on a {q}x{q} grid ({} cells)\n", q * q);
+    println!(
+        "C = A * B for {n}x{n} matrices on a {q}x{q} grid ({} cells)\n",
+        q * q
+    );
 
     let expect = a.matmul(&b);
     let mut scl = Scl::ap1000(q * q);
@@ -34,13 +40,18 @@ fn main() {
     println!("  grid   cells  predicted_time  speedup");
     let mut t1 = None;
     for qq in [1usize, 2, 4] {
-        if n % qq != 0 {
+        if !n.is_multiple_of(qq) {
             continue;
         }
         let mut scl = Scl::ap1000(qq * qq);
         let _ = cannon_matmul(&mut scl, &a, &b, qq);
         let t = scl.makespan().as_secs();
         let base = *t1.get_or_insert(t);
-        println!("  {qq:>2}x{qq:<2}  {:>5}  {:>14.4}s  {:>7.2}", qq * qq, t, base / t);
+        println!(
+            "  {qq:>2}x{qq:<2}  {:>5}  {:>14.4}s  {:>7.2}",
+            qq * qq,
+            t,
+            base / t
+        );
     }
 }

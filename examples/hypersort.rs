@@ -24,7 +24,10 @@ fn main() {
 
     let (seq, seq_work) = sequential_sort(&data);
     let seq_time = seq_work.cost(&CostModel::ap1000());
-    println!("sequential quicksort:     {seq_time}   ({} comparisons)", seq_work.cmps);
+    println!(
+        "sequential quicksort:     {seq_time}   ({} comparisons)",
+        seq_work.cmps
+    );
 
     let mut scl = Scl::hypercube(p, CostModel::ap1000());
     let flat = hyperquicksort_flat(&mut scl, &data, dim);
@@ -48,5 +51,8 @@ fn main() {
         scl.machine.metrics.bytes
     );
 
-    println!("\nall three agree; first 10 keys: {:?}", &flat[..10.min(flat.len())]);
+    println!(
+        "\nall three agree; first 10 keys: {:?}",
+        &flat[..10.min(flat.len())]
+    );
 }

@@ -19,7 +19,10 @@ fn main() {
 
     println!("heat rod, {n} cells, fixed ends 0/100, tol 1e-6, {p} processors\n");
     let seq = jacobi_seq(&u0, 1e-6, 1_000_000);
-    println!("sequential: {} sweeps, residual {:.2e}", seq.iterations, seq.residual);
+    println!(
+        "sequential: {} sweeps, residual {:.2e}",
+        seq.iterations, seq.residual
+    );
 
     let mut scl = Scl::ap1000(p);
     let par = jacobi_scl(&mut scl, &u0, p, 1e-6, 1_000_000);

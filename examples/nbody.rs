@@ -37,7 +37,10 @@ fn main() {
         integrate(&mut bodies, &f, 0.05);
         let cx: f64 = bodies.iter().map(|b| b.pos[0] * b.mass).sum::<f64>()
             / bodies.iter().map(|b| b.mass).sum::<f64>();
-        println!("step {step}: centre of mass x = {cx:.6}, predicted sweep time {}", scl.makespan());
+        println!(
+            "step {step}: centre of mass x = {cx:.6}, predicted sweep time {}",
+            scl.makespan()
+        );
     }
 
     println!("\nprocessor sweep (one force evaluation):");

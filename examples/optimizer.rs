@@ -1,7 +1,9 @@
-//! The §4 transformation engine in action: take a wasteful skeleton
-//! program, apply the paper's laws (map fusion, communication algebra,
-//! flattening), verify meaning preservation with the reference
-//! interpreter, and compare estimated costs on the AP1000 model.
+//! The §4 transformation engine in action — through the first-class plan
+//! API. A wasteful skeleton program is written **once** as a `Skel` plan,
+//! then run two ways: eagerly, and via `Scl::run_optimized`, which lowers
+//! the plan into the transformation IR, applies the paper's laws (map
+//! fusion, communication algebra, flattening), raises the optimised
+//! program back, and executes it — same answer, less virtual time.
 //!
 //! ```text
 //! cargo run --release --example optimizer
@@ -13,36 +15,72 @@ fn main() {
     let reg = Registry::standard();
     let params = CostParams::ap1000(1024);
 
-    // A deliberately naive program, written in SCL's concrete syntax:
-    //   two fetches, two cancelling rotations, two separate maps, then a
-    //   nested rotate inside 4 processor groups.
-    // (composition order: rightmost runs first)
-    let source = "fetch(succ) . fetch(succ) . rotate(-3) . rotate(3) \
-                  . map(double) . map(inc) \
-                  . combine . mapGroups[rotate(1)] . split(4)";
-    let program = scl_transform::parse(source).expect("valid program text");
+    // A deliberately naive program as a typed plan: two fetches, two
+    // cancelling rotations, two separate maps. Written in execution order
+    // (first stage first) — `.then` is flipped function composition.
+    let plan = Skel::map_sym("inc", &reg)
+        .then(Skel::map_sym("double", &reg))
+        .then(Skel::rotate(3))
+        .then(Skel::rotate(-3))
+        .then(Skel::fetch_sym("succ", &reg))
+        .then(Skel::fetch_sym("succ", &reg));
 
-    println!("original program:\n  {program}\n");
+    let program = plan
+        .lower(&reg)
+        .expect("every stage is in the lowerable fragment");
+    println!("plan lowers to:\n  {program}\n");
     let c0 = estimate(&program, &reg, &params).unwrap();
     println!("estimated cost (1024 elems, AP1000): {c0}\n");
 
-    let (optimized, log) = optimize(program.clone(), &reg);
+    // Run it both ways on the simulated machine.
+    let input = scl::core::ParArray::from_parts((0..1024).collect::<Vec<i64>>());
+
+    let mut eager_ctx = Scl::ap1000(1024);
+    let eager = plan.run(&mut eager_ctx, input.clone());
+
+    let mut opt_ctx = Scl::ap1000(1024);
+    let (optimized_out, log) = opt_ctx.run_optimized(&plan, &reg, input.clone());
+
     println!("applied rewrites:");
     for step in &log {
         println!("  [{}]", step.rule);
         println!("      {}", step.before);
         println!("   => {}", step.after);
     }
+
+    let (optimized, _) = optimize(program.clone(), &reg);
     println!("\noptimized program:\n  {optimized}\n");
     let c1 = estimate(&optimized, &reg, &params).unwrap();
-    println!("estimated cost after: {c1}  ({:.1}% saved)\n", 100.0 * (1.0 - c1 / c0));
+    println!(
+        "estimated cost after: {c1}  ({:.1}% saved)",
+        100.0 * (1.0 - c1 / c0)
+    );
 
-    // The guarantee that makes this safe: identical meaning.
-    let input: Vec<i64> = (0..1024).collect();
-    let before = eval(&program, &reg, Value::Arr(input.clone())).unwrap();
-    let after = eval(&optimized, &reg, Value::Arr(input)).unwrap();
-    assert_eq!(before, after);
-    println!("interpreter check: optimized program computes the identical result ✓");
+    // The guarantee that makes this safe: identical results...
+    assert_eq!(eager, optimized_out);
+    // ...and the interpreter agrees too.
+    let flat: Vec<i64> = (0..1024).collect();
+    let interp = eval(&program, &reg, Value::Arr(flat)).unwrap();
+    assert_eq!(interp, Value::Arr(eager.to_vec()));
+    println!("\neager run and optimize-then-execute computed identical results ✓");
+    println!(
+        "virtual time: eager {} vs optimized {}  |  messages: {} vs {}",
+        eager_ctx.makespan(),
+        opt_ctx.makespan(),
+        eager_ctx.machine.metrics.messages,
+        opt_ctx.machine.metrics.messages
+    );
+
+    // Plans with nested structure optimise too: the flatten law turns
+    // split/mapGroups/combine into a segmented rotate.
+    let nested = scl_transform::parse("combine . mapGroups[rotate(1)] . split(4)").unwrap();
+    let nested_plan = Skel::from_expr(&nested, &reg).unwrap();
+    let mut ctx = Scl::ap1000(1024);
+    let (_, nested_log) = ctx.run_optimized(&nested_plan, &reg, input);
+    println!("\nnested plan rewrites:");
+    for step in &nested_log {
+        println!("  [{}] {} => {}", step.rule, step.before, step.after);
+    }
 
     // Cost-directed greedy search reaches the same place here:
     let (best, report) = optimize_costed(program, &reg, &params).unwrap();

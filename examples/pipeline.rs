@@ -1,49 +1,61 @@
 //! The task-parallel pipeline skeleton — the "parallel composition of
-//! concurrent tasks" extension the paper's conclusion sketches — including
-//! what happens on a heterogeneous machine (one slow cell).
+//! concurrent tasks" extension the paper's conclusion sketches — written
+//! as a first-class `Skel` plan and reused across three machines,
+//! including a heterogeneous one (one slow cell).
 //!
 //! ```text
 //! cargo run --release --example pipeline [items]
 //! ```
 
-use scl::core::skeletons::compute::PipeStageFn;
 use scl::prelude::*;
 
-fn main() {
-    let items: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+type Stage = Box<dyn Fn(&Vec<u8>) -> (Vec<u8>, Work) + Sync>;
 
+fn stages() -> Vec<Stage> {
     // A three-stage image-ish pipeline over byte blocks: decode → filter →
     // encode, with the middle stage twice as heavy.
-    let decode: PipeStageFn<'_, Vec<u8>> = &|blk| {
+    let decode: Stage = Box::new(|blk| {
         let out: Vec<u8> = blk.iter().map(|b| b.wrapping_add(1)).collect();
         (out, Work::moves(blk.len() as u64))
-    };
-    let filter: PipeStageFn<'_, Vec<u8>> = &|blk| {
+    });
+    let filter: Stage = Box::new(|blk| {
         let out: Vec<u8> = blk.iter().map(|b| b.wrapping_mul(3)).collect();
         (out, Work::moves(2 * blk.len() as u64))
-    };
-    let encode: PipeStageFn<'_, Vec<u8>> = &|blk| {
+    });
+    let encode: Stage = Box::new(|blk| {
         let out: Vec<u8> = blk.iter().rev().copied().collect();
         (out, Work::moves(blk.len() as u64))
-    };
+    });
+    vec![decode, filter, encode]
+}
 
+fn main() {
+    let items: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     let blocks: Vec<Vec<u8>> = (0..items).map(|i| vec![(i % 251) as u8; 256]).collect();
+
+    // The program exists once, as a value; contexts come and go.
+    let plan = Skel::task_pipeline(stages());
 
     // homogeneous machine
     let mut scl = Scl::ap1000(3);
-    let out = scl.pipeline(&[decode, filter, encode], blocks.clone());
+    let out = plan.run(&mut scl, blocks.clone());
     println!("{} blocks through 3 stages", out.len());
     println!("pipelined (3 cells):   {}", scl.makespan());
 
-    // sequential reference: all three stages on one cell
-    let mut seq = Scl::ap1000(1);
-    let fused: PipeStageFn<'_, Vec<u8>> = &|blk| {
-        let (a, w1) = decode(blk);
-        let (b, w2) = filter(&a);
-        let (c, w3) = encode(&b);
+    // sequential reference: all three stages fused onto one cell
+    let s = stages();
+    let fused: Stage = Box::new(move |blk| {
+        let (a, w1) = s[0](blk);
+        let (b, w2) = s[1](&a);
+        let (c, w3) = s[2](&b);
         (c, w1 + w2 + w3)
-    };
-    let out_seq = seq.pipeline(&[fused], blocks.clone());
+    });
+    let seq_plan = Skel::task_pipeline(vec![fused]);
+    let mut seq = Scl::ap1000(1);
+    let out_seq = seq_plan.run(&mut seq, blocks.clone());
     assert_eq!(out, out_seq);
     println!("sequential (1 cell):   {}", seq.makespan());
     println!(
@@ -51,10 +63,11 @@ fn main() {
         seq.makespan() / scl.makespan()
     );
 
-    // heterogeneous: the middle cell is half speed — the bottleneck widens
+    // heterogeneous: the middle cell is half speed — the bottleneck widens.
+    // Same plan value, different machine.
     let mut hetero = Scl::ap1000(3);
     hetero.machine.set_speed(1, 0.5);
-    let out_h = hetero.pipeline(&[decode, filter, encode], blocks);
+    let out_h = plan.run(&mut hetero, blocks);
     assert_eq!(out, out_h);
     println!("with cell 1 at half speed: {}", hetero.makespan());
     println!(

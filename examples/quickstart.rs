@@ -10,6 +10,11 @@
 //! (partition/align), elementary (map/fold + communication), and
 //! computational (iterFor), then prints the machine's verdict — predicted
 //! runtime, message counts, and a Gantt chart of the virtual timeline.
+//!
+//! Every skeleton comes in two styles: the **eager** methods on `Scl`
+//! used below, and the **plan** combinators on `Skel` (same skeletons as
+//! first-class values, composable with `.then`, optimisable before
+//! execution) — the final section shows both side by side.
 
 use scl::prelude::*;
 
@@ -40,17 +45,62 @@ fn main() {
     // processor to the left and take pairwise differences.
     let rotated = scl.rotate(1, &partials);
     let diffs = scl.zip_with(&partials, &rotated, |a, b| a - b);
-    println!("neighbour diffs     = {:?}", diffs.to_vec().iter().map(|d| (d * 1e3).round() / 1e3).collect::<Vec<_>>());
+    println!(
+        "neighbour diffs     = {:?}",
+        diffs
+            .to_vec()
+            .iter()
+            .map(|d| (d * 1e3).round() / 1e3)
+            .collect::<Vec<_>>()
+    );
 
     // ---- computational skeletons ----------------------------------------
     // iterFor: three sweeps of a toy smoothing iteration over the partials.
-    let smoothed = scl.iter_for(3, |scl, _, arr: ParArray<f64>| {
-        let left = scl.rotate(-1, &arr);
-        let right = scl.rotate(1, &arr);
-        let cfg = align(align(left, right), arr);
-        scl.map_costed(&cfg, |((l, r), c)| ((l + r + c) / 3.0, Work::flops(3)))
-    }, partials);
-    println!("smoothed partials   = {:?}", smoothed.to_vec().iter().map(|d| (d * 1e3).round() / 1e3).collect::<Vec<_>>());
+    let smoothed = scl.iter_for(
+        3,
+        |scl, _, arr: ParArray<f64>| {
+            let left = scl.rotate(-1, &arr);
+            let right = scl.rotate(1, &arr);
+            let cfg = align(align(left, right), arr);
+            scl.map_costed(&cfg, |((l, r), c)| ((l + r + c) / 3.0, Work::flops(3)))
+        },
+        partials,
+    );
+    println!(
+        "smoothed partials   = {:?}",
+        smoothed
+            .to_vec()
+            .iter()
+            .map(|d| (d * 1e3).round() / 1e3)
+            .collect::<Vec<_>>()
+    );
+
+    // ---- the plan API: the same program as a value -----------------------
+    // The eager calls above execute as they are written. A `Skel` plan is
+    // the same skeleton program held as a *value*: write once, run against
+    // any context — or, for the symbolic fragment, let the §4 rewrite laws
+    // shrink it first.
+    let reg = Registry::standard();
+    let plan = Skel::map_sym("square", &reg) // map with a registered symbol
+        .then(Skel::rotate(2)) // ... a rotation
+        .then(Skel::rotate(-2)) // ... that cancels
+        .then(Skel::map_sym("inc", &reg)); // ... and a second map
+    let ints = scl::core::ParArray::from_parts((0..8).collect::<Vec<i64>>());
+
+    // eager run: executes stage by stage, exactly as composed
+    let mut plan_ctx = Scl::ap1000(8);
+    let eager = plan.run(&mut plan_ctx, ints.clone());
+
+    // optimise-then-execute: rotations cancel, the maps fuse into one
+    let mut opt_ctx = Scl::ap1000(8);
+    let (optimized, log) = opt_ctx.run_optimized(&plan, &reg, ints);
+    assert_eq!(eager, optimized);
+    println!();
+    println!("plan:      {}", plan.lower(&reg).unwrap());
+    println!(
+        "optimized: {} rewrites applied, identical result ✓",
+        log.len()
+    );
 
     // ---- the machine's verdict -------------------------------------------
     println!();

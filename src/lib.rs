@@ -9,7 +9,9 @@
 //!   topologies, cost models, virtual clocks, collectives, traces.
 //! * [`exec`] (`scl-exec`) — the from-scratch threaded execution substrate.
 //! * [`core`] (`scl-core`) — SCL itself: configuration, elementary,
-//!   communication and computational skeletons over distributed arrays.
+//!   communication and computational skeletons over distributed arrays,
+//!   plus the first-class [`Skel`](scl_core::Skel) plan API (write a
+//!   skeleton program once, run it eagerly or optimise-then-execute).
 //! * [`transform`] (`scl-transform`) — the §4 transformation engine: map
 //!   fusion, map distribution, communication algebra, flattening, and a
 //!   cost-directed optimiser.
@@ -28,8 +30,8 @@ pub use scl_transform as transform;
 /// One prelude for the whole stack.
 pub mod prelude {
     pub use scl_core::prelude::*;
+    pub use scl_core::Skel;
     pub use scl_transform::prelude::{
-        estimate, eval, optimize, optimize_costed, CostParams, Expr, FnRef, IdxRef, Registry,
-        Value,
+        estimate, eval, optimize, optimize_costed, CostParams, Expr, FnRef, IdxRef, Registry, Value,
     };
 }

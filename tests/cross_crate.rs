@@ -7,47 +7,12 @@
 use scl::prelude::*;
 
 /// Execute a (flat, array→array) IR program through the *runtime* skeleton
-/// layer on a real `Scl` context, one scalar per processor.
+/// layer on a real `Scl` context, one scalar per processor — by raising it
+/// into a `Skel` plan (the plan API's `from_expr` back-end).
 fn run_on_scl(e: &Expr, reg: &Registry, scl: &mut Scl, input: &[i64]) -> Vec<i64> {
     let arr = scl_core::ParArray::from_parts(input.to_vec());
-    run_expr(e, reg, scl, arr).to_vec()
-}
-
-fn run_expr(
-    e: &Expr,
-    reg: &Registry,
-    scl: &mut Scl,
-    arr: scl_core::ParArray<i64>,
-) -> scl_core::ParArray<i64> {
-    match e {
-        Expr::Id => arr,
-        Expr::Compose(es) => {
-            let mut a = arr;
-            for sub in es.iter().rev() {
-                a = run_expr(sub, reg, scl, a);
-            }
-            a
-        }
-        Expr::Map(f) => scl.map_costed(&arr, |x| {
-            (reg.apply_fn(f, *x).unwrap(), reg.fn_work(f).unwrap())
-        }),
-        Expr::Rotate(k) => scl.rotate(*k as isize, &arr),
-        Expr::Fetch(h) => {
-            let n = arr.len();
-            scl.fetch(|i| reg.apply_idx(h, i, n).unwrap(), &arr)
-        }
-        Expr::Send(h) => {
-            let n = arr.len();
-            let inboxes = scl.send(|k| vec![reg.apply_idx(h, k, n).unwrap()], &arr);
-            // resolve the unordered accumulation with + (the interpreter's
-            // canonical monoid)
-            scl.map_costed(&inboxes, |v| {
-                (v.iter().fold(0i64, |a, x| a.wrapping_add(*x)), Work::flops(v.len() as u64))
-            })
-        }
-        Expr::Scan(op) => scl.scan(&arr, |a, b| reg.apply_op(op, *a, *b).unwrap()),
-        other => panic!("runtime translation not defined for {other}"),
-    }
+    let plan = Skel::from_expr(e, reg).expect("program is in the array→array fragment");
+    plan.run(scl, arr).to_vec()
 }
 
 fn program() -> Expr {
@@ -122,7 +87,10 @@ fn static_estimate_ranks_like_the_simulator() {
             let (ei, si) = ranked[i];
             let (ej, sj) = ranked[j];
             if ei < ej * 0.8 {
-                assert!(si <= sj * 1.05, "estimator said {i} << {j}, simulator disagrees: {si} vs {sj}");
+                assert!(
+                    si <= sj * 1.05,
+                    "estimator said {i} << {j}, simulator disagrees: {si} vs {sj}"
+                );
             }
         }
     }

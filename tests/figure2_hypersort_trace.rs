@@ -92,7 +92,10 @@ fn figure2_communication_structure() {
     let m2 = count_for(2);
     let m3 = count_for(3);
     let m4 = count_for(4);
-    assert!(m3 > m2 && m4 > m3, "messages must grow with dimension: {m2} {m3} {m4}");
+    assert!(
+        m3 > m2 && m4 > m3,
+        "messages must grow with dimension: {m2} {m3} {m4}"
+    );
 }
 
 #[test]

@@ -9,7 +9,10 @@ use scl::prelude::*;
 use scl_core::SpmdStage;
 
 fn unit_ctx(n: usize) -> Scl {
-    Scl::new(Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit()))
+    Scl::new(Machine::new(
+        Topology::FullyConnected { procs: n },
+        CostModel::unit(),
+    ))
 }
 
 #[test]
@@ -82,7 +85,10 @@ fn spmd_stage_is_gf_after_imap_lf() {
 
     assert_eq!(spmd, manual);
     assert_eq!(s1.makespan(), s2.makespan());
-    assert_eq!(s1.machine.metrics.group_barriers, s2.machine.metrics.group_barriers);
+    assert_eq!(
+        s1.machine.metrics.group_barriers,
+        s2.machine.metrics.group_barriers
+    );
 }
 
 #[test]

@@ -107,7 +107,10 @@ fn kmeans_threaded_equivalence() {
 
 #[test]
 fn histogram_threaded_equivalence() {
-    let values: Vec<u64> = uniform_keys(4_000, 11).into_iter().map(|x| x as u64).collect();
+    let values: Vec<u64> = uniform_keys(4_000, 11)
+        .into_iter()
+        .map(|x| x as u64)
+        .collect();
     let (mut a, mut b) = two_ctxs(8);
     let ra = scl::apps::histogram::histogram_scl(&mut a, &values, 64, 8);
     let rb = scl::apps::histogram::histogram_scl(&mut b, &values, 64, 8);
