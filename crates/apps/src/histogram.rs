@@ -101,6 +101,35 @@ mod tests {
     }
 
     #[test]
+    fn plan_fuses_count_and_fragment_into_one_segment() {
+        let plan = histogram_plan(16, 4);
+        assert!(plan.fusable());
+        // count + fragment fuse back-to-back; the exchange is the barrier
+        assert_eq!(
+            plan.fused_stages().unwrap(),
+            vec![
+                ("map_costed", false),
+                ("map_costed", false),
+                ("total_exchange", true),
+                ("map_costed", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn run_fused_matches_eager_and_seq() {
+        let v = values(3000, 17);
+        for (buckets, p) in [(16usize, 4usize), (10, 3), (5, 8)] {
+            let expect = histogram_seq(&v, buckets);
+            let mut scl = Scl::ap1000(p).with_policy(ExecPolicy::Threads(4));
+            let da = scl.partition(Pattern::Block(p), &v);
+            let reduced = scl.run_fused(&histogram_plan(buckets, p), da).unwrap();
+            let got = scl.gather(&reduced);
+            assert_eq!(got, expect, "buckets={buckets} p={p}");
+        }
+    }
+
+    #[test]
     fn counts_sum_to_n() {
         let v = values(1234, 9);
         let mut scl = Scl::ap1000(4);

@@ -51,17 +51,22 @@ pub fn jacobi_seq(u0: &[f64], tol: f64, max_iters: usize) -> JacobiResult {
 /// sweep count, and the latest residual.
 pub type JacobiState = (ParArray<Vec<f64>>, usize, f64);
 
-/// The convergence loop as a first-class plan: a [`Skel::iter_until`] whose
-/// body is one relaxation sweep (halo exchange via `shift`, local update,
-/// global `fold(max)` residual). `n` is the global field length, `starts`
-/// the global offset of each part.
+/// The convergence loop as a first-class plan: a
+/// [`Skel::iter_until_fused`] whose body is one relaxation sweep (halo
+/// exchange via `shift`, local update, global `fold(max)` residual). `n` is
+/// the global field length, `starts` the global offset of each part.
+///
+/// The whole loop is a single fusion *barrier* (every sweep needs the halo
+/// exchange), so under [`Scl::run_fused`] the plan composes with
+/// neighbouring fused stages and oversized configurations error instead of
+/// panicking; the body itself still runs through the eager skeletons.
 pub fn jacobi_plan(
     n: usize,
     starts: Vec<usize>,
     tol: f64,
     max_iters: usize,
 ) -> Skel<'static, JacobiState, JacobiState> {
-    Skel::iter_until(
+    Skel::iter_until_fused(
         move |scl, (da, iters, _): JacobiState| {
             // halo exchange: my left halo is my left neighbour's last
             // element; my right halo is my right neighbour's first.
@@ -169,6 +174,26 @@ mod tests {
             assert_eq!(par.u, seq.u, "p={p}");
             assert_eq!(par.iterations, seq.iterations, "p={p}");
             assert_eq!(par.residual, seq.residual, "p={p}");
+        }
+    }
+
+    #[test]
+    fn plan_is_fusable_and_run_fused_matches_seq() {
+        let u0 = ramp(40);
+        let n = u0.len();
+        for p in [2usize, 4] {
+            let starts: Vec<usize> = block_ranges(n, p).iter().map(|r| r.start).collect();
+            let plan = jacobi_plan(n, starts, 1e-6, 500);
+            assert!(plan.fusable());
+
+            let seq = jacobi_seq(&u0, 1e-6, 500);
+            let mut scl = Scl::ap1000(p);
+            let da = scl.partition(Pattern::Block(p), &u0);
+            let (u, iterations, residual) =
+                scl.run_fused(&plan, (da, 0usize, f64::INFINITY)).unwrap();
+            assert_eq!(scl.gather(&u), seq.u, "p={p}");
+            assert_eq!(iterations, seq.iterations, "p={p}");
+            assert_eq!(residual, seq.residual, "p={p}");
         }
     }
 

@@ -35,8 +35,10 @@ pub fn psrs_plan(p: usize) -> Skel<'static, ParArray<Vec<i64>>, ParArray<Vec<i64
 
     // Phases 2+3: sampling and pivot broadcast need the whole
     // configuration (a gather to processor 0), so they form one opaque
-    // global stage that pairs every sorted run with the pivot vector.
-    let pivot_stage = Skel::from_fn(move |scl: &mut Scl, da: ParArray<Vec<i64>>| {
+    // global stage that pairs every sorted run with the pivot vector — a
+    // fusion *barrier*, so the surrounding sort/bucket/merge stages still
+    // fuse under `run_fused`.
+    let pivot_stage = Skel::barrier("pivots", move |scl: &mut Scl, da: ParArray<Vec<i64>>| {
         // each processor takes p regular samples of its sorted run
         let samples = scl.map_costed(&da, |v| {
             let mut s = Vec::with_capacity(p);
@@ -153,6 +155,37 @@ mod tests {
     fn non_power_of_two_procs_work() {
         check(&uniform_keys(2000, 1), 5);
         check(&uniform_keys(2000, 1), 6);
+    }
+
+    #[test]
+    fn plan_is_fusable_with_barriers_at_comm_points() {
+        let plan = psrs_plan(4);
+        assert!(plan.fusable());
+        assert_eq!(
+            plan.fused_stages().unwrap(),
+            vec![
+                ("map_costed", false), // local sort
+                ("pivots", true),      // gather + broadcast
+                ("map_costed", false), // bucket
+                ("total_exchange", true),
+                ("map_costed", false), // merge
+            ]
+        );
+    }
+
+    #[test]
+    fn run_fused_matches_eager() {
+        for p in [2usize, 4, 7] {
+            let data = uniform_keys(2000, 11);
+            let mut s1 = Scl::ap1000(p);
+            let da = s1.partition(Pattern::Block(p), &data);
+            let eager = psrs_plan(p).run(&mut s1, da);
+
+            let mut s2 = Scl::ap1000(p).with_policy(ExecPolicy::Threads(4));
+            let da = s2.partition(Pattern::Block(p), &data);
+            let fused = s2.run_fused(&psrs_plan(p), da).unwrap();
+            assert_eq!(eager, fused, "p={p}");
+        }
     }
 
     #[test]

@@ -165,6 +165,22 @@ impl<T> ParArray<T> {
         (self.parts, self.procs, self.shape)
     }
 
+    /// Rebuild from the pieces of [`ParArray::into_raw`] — the inverse used
+    /// when an executor takes the parts away (e.g. to run them through a
+    /// fused stage chain) and puts transformed parts back.
+    ///
+    /// # Panics
+    /// Panics if the three pieces disagree on the part count.
+    pub fn from_raw(parts: Vec<T>, procs: Vec<ProcId>, shape: GridShape) -> ParArray<T> {
+        assert_eq!(parts.len(), procs.len(), "placement length mismatch");
+        assert_eq!(parts.len(), shape.len(), "shape length mismatch");
+        ParArray {
+            parts,
+            procs,
+            shape,
+        }
+    }
+
     /// Iterate `(&proc, &part)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&ProcId, &T)> {
         self.procs.iter().zip(self.parts.iter())

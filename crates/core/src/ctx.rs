@@ -15,9 +15,10 @@
 use crate::array::ParArray;
 use crate::bytes::Bytes;
 use crate::config;
+use crate::error::{Result, SclError};
 use crate::partition::{self, Pattern};
 use crate::seq::Matrix;
-use scl_exec::ExecPolicy;
+use scl_exec::{ExecPolicy, ThreadPool};
 use scl_machine::{CostModel, Machine, Time, Work};
 
 /// How local (base-language) computation is charged to the virtual clocks.
@@ -45,6 +46,9 @@ pub struct Scl {
     pub policy: ExecPolicy,
     /// Charging mode for un-costed local closures.
     pub measure: MeasureMode,
+    /// Lazily created persistent worker pool for fused segments (the eager
+    /// skeletons use scoped threads and never touch this).
+    pool: Option<ThreadPool>,
 }
 
 impl Scl {
@@ -55,6 +59,7 @@ impl Scl {
             machine,
             policy: ExecPolicy::Sequential,
             measure: MeasureMode::None,
+            pool: None,
         }
     }
 
@@ -109,11 +114,23 @@ impl Scl {
         pattern: Pattern,
         data: &[T],
     ) -> ParArray<Vec<T>> {
+        self.try_partition(pattern, data)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Scl::partition`] returning [`SclError::MachineTooSmall`] instead
+    /// of panicking when the pattern needs more parts than the machine has
+    /// processors — the entry point fused execution uses.
+    pub fn try_partition<T: Clone + Bytes>(
+        &mut self,
+        pattern: Pattern,
+        data: &[T],
+    ) -> Result<ParArray<Vec<T>>> {
         let out = partition::partition(pattern, data);
-        self.check_fits(out.len());
+        self.try_check_fits(out.len())?;
         let per_part = out.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
         self.machine.scatter(out.procs(), per_part);
-        out
+        Ok(out)
     }
 
     /// Partition a matrix across the machine.
@@ -203,11 +220,36 @@ impl Scl {
 
     /// Assert that a configuration of `parts` parts fits on this machine.
     pub fn check_fits(&self, parts: usize) {
-        assert!(
-            parts <= self.nprocs(),
-            "configuration needs {parts} processors, machine has {}",
-            self.nprocs()
-        );
+        if let Err(e) = self.try_check_fits(parts) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`Scl::check_fits`] as a `Result` — fused execution reports
+    /// oversized configurations as [`SclError::MachineTooSmall`] instead of
+    /// panicking.
+    pub fn try_check_fits(&self, parts: usize) -> Result<()> {
+        if parts <= self.nprocs() {
+            Ok(())
+        } else {
+            Err(SclError::MachineTooSmall {
+                needed: parts,
+                procs: self.nprocs(),
+            })
+        }
+    }
+
+    /// The persistent worker pool fused segments dispatch onto, created on
+    /// first use and grown if a later segment asks for more threads.
+    pub(crate) fn fused_pool(&mut self, threads: usize) -> &ThreadPool {
+        let stale = match &self.pool {
+            Some(p) => p.size() < threads,
+            None => true,
+        };
+        if stale {
+            self.pool = Some(ThreadPool::new(threads));
+        }
+        self.pool.as_ref().expect("pool just ensured")
     }
 
     /// Charge local work to the owner of part `i` of `a`.

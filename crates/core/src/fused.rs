@@ -1,0 +1,520 @@
+//! Fused, partition-resident plan execution.
+//!
+//! The eager interpretation of a [`Skel`](crate::plan::Skel) plan executes
+//! one skeleton at a time: every `.then()` materialises a full
+//! [`ParArray`] and re-dispatches onto fresh scoped worker threads. That is
+//! faithful to the paper's semantics but leaves performance on the table —
+//! a run of purely part-local stages (`map`, `imap`, `zip_with`, `farm` and
+//! their costed forms) has **no** cross-partition data flow, so the whole
+//! run can execute back-to-back on the worker that owns each partition,
+//! with no intermediate arrays and a single dispatch.
+//!
+//! This module is that executor. A fusable plan carries, next to its eager
+//! closure, a [`FusedPlan`]: a chain of type-erased nodes, each either
+//!
+//! * a **compute** node — part-local, safe to fuse with its neighbours; or
+//! * a **barrier** node — anything that needs the whole configuration
+//!   (communication skeletons like `rotate` / `fetch` / `total_exchange`,
+//!   scans and reductions, repartitioning, opaque whole-array stages).
+//!
+//! Execution walks the chain, grouping maximal runs of compute nodes into
+//! *segments*. Each segment is dispatched **once** through
+//! [`scl_exec::par_pipeline`] on the context's persistent thread pool
+//! (eager skeletons spawn scoped threads per call); barrier nodes run on
+//! the calling thread through the ordinary eager skeletons. The simulated
+//! machine is charged the same *totals* either way — makespan, flops /
+//! cmps / moves, message counts agree with eager execution — but a fused
+//! segment charges each partition **once** with the summed work (one
+//! `"fused"` compute event), where the eager path charges once per stage,
+//! so `compute_steps` and per-stage trace events differ by design. Under
+//! [`ExecPolicy::CostDriven`] each segment asks the machine's
+//! [`CostModel`](scl_machine::CostModel) (via
+//! [`CostModel::fused_decision`](scl_machine::CostModel::fused_decision))
+//! whether fanning out is worth it and at what grain; small segments fall
+//! back to sequential execution on the calling thread.
+//!
+//! Values flow between nodes in an erased form, [`ErasedArr`]: one boxed
+//! payload per partition plus an optional *side* value for non-distributed
+//! state (the scalars an `iter_until` threads, host data before a
+//! `partition`). The [`FusePort`] trait defines the canonical conversion
+//! between a plan's boundary types and this form; every fused constructor
+//! uses it, which is what makes node chains composable across `.then()`.
+//!
+//! Failure behaviour is part of the contract: a panic inside a fused
+//! compute node is re-raised on the caller **labelled with the stage
+//! name** (`fused stage `map` panicked on part 3: …`), and configurations
+//! that do not fit the machine surface as
+//! [`SclError::MachineTooSmall`](crate::error::SclError) from
+//! [`Scl::run_fused`](crate::ctx::Scl::run_fused) instead of a raw panic.
+
+use crate::array::ParArray;
+use crate::ctx::Scl;
+use crate::error::Result;
+use scl_exec::{par_pipeline, ExecPolicy};
+use scl_machine::Work;
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::time::Instant;
+
+/// A type-erased partition payload flowing through a fused segment.
+pub type PartVal = Box<dyn Any + Send>;
+
+/// The erased value flowing between fused nodes: a distributed array of
+/// erased parts, plus an optional non-distributed *side* payload (scalars
+/// threaded by `iter_until`, host data before `partition` / after
+/// `gather`).
+pub struct ErasedArr {
+    pub(crate) arr: ParArray<PartVal>,
+    pub(crate) side: Option<PartVal>,
+    /// `size_of` of the concrete part type — a static payload estimate for
+    /// the cost model (heap-owning parts are under-estimated; the model
+    /// treats that as a reason to stay sequential, the cheap mistake).
+    pub(crate) elem_bytes: usize,
+}
+
+/// Canonical conversion between a plan boundary type and [`ErasedArr`].
+///
+/// Every fused stage constructor erases its input and restores its output
+/// through this trait, so when two fusable plans compose, the exit
+/// conversion of one and the entry conversion of the next are exact
+/// inverses and can be dropped — the node chains concatenate directly.
+/// Implementations exist for the shapes plans actually cross stage
+/// boundaries with: `ParArray<T>`, conforming pairs of arrays (`zip_with`
+/// input), host `Vec<T>` (before `partition` / after `gather`), and
+/// `(ParArray<T>, S, U)` iteration states.
+pub trait FusePort: Sized {
+    /// Erase into the fused runtime representation.
+    fn erase(self) -> ErasedArr;
+    /// Rebuild from the fused runtime representation.
+    ///
+    /// # Panics
+    /// Panics if `e` was not produced by [`FusePort::erase`] of this same
+    /// type — impossible through plan composition, which preserves boundary
+    /// types.
+    fn restore(e: ErasedArr) -> Self;
+}
+
+fn erase_parts<T: Send + 'static>(a: ParArray<T>) -> ParArray<PartVal> {
+    a.map_into(|_, x| Box::new(x) as PartVal)
+}
+
+fn restore_parts<T: Send + 'static>(arr: ParArray<PartVal>) -> ParArray<T> {
+    arr.map_into(|_, v| {
+        *v.downcast::<T>()
+            .expect("fused plan boundary type mismatch")
+    })
+}
+
+impl<T: Send + 'static> FusePort for ParArray<T> {
+    fn erase(self) -> ErasedArr {
+        ErasedArr {
+            arr: erase_parts(self),
+            side: None,
+            elem_bytes: std::mem::size_of::<T>(),
+        }
+    }
+    fn restore(e: ErasedArr) -> Self {
+        restore_parts(e.arr)
+    }
+}
+
+impl<A: Send + 'static, B: Send + 'static> FusePort for (ParArray<A>, ParArray<B>) {
+    fn erase(self) -> ErasedArr {
+        let (a, b) = self;
+        assert!(
+            a.conforms(&b),
+            "fused pair boundary needs conforming arrays"
+        );
+        let mut bs = b.into_parts().into_iter();
+        ErasedArr {
+            arr: a.map_into(|_, x| Box::new((x, bs.next().expect("conforming arrays"))) as PartVal),
+            side: None,
+            elem_bytes: std::mem::size_of::<(A, B)>(),
+        }
+    }
+    fn restore(e: ErasedArr) -> Self {
+        crate::config::unalign(restore_parts::<(A, B)>(e.arr))
+    }
+}
+
+impl<T: Send + 'static> FusePort for Vec<T> {
+    fn erase(self) -> ErasedArr {
+        ErasedArr {
+            arr: ParArray::from_parts(Vec::new()),
+            side: Some(Box::new(self)),
+            elem_bytes: std::mem::size_of::<T>(),
+        }
+    }
+    fn restore(e: ErasedArr) -> Self {
+        *e.side
+            .expect("fused host-data boundary lost its payload")
+            .downcast::<Vec<T>>()
+            .expect("fused plan boundary type mismatch")
+    }
+}
+
+impl<T, S, U> FusePort for (ParArray<T>, S, U)
+where
+    T: Send + 'static,
+    S: Send + 'static,
+    U: Send + 'static,
+{
+    fn erase(self) -> ErasedArr {
+        let (a, s, u) = self;
+        ErasedArr {
+            arr: erase_parts(a),
+            side: Some(Box::new((s, u))),
+            elem_bytes: std::mem::size_of::<T>(),
+        }
+    }
+    fn restore(e: ErasedArr) -> Self {
+        let (s, u) = *e
+            .side
+            .expect("fused iteration-state boundary lost its scalars")
+            .downcast::<(S, U)>()
+            .expect("fused plan boundary type mismatch");
+        (restore_parts(e.arr), s, u)
+    }
+}
+
+/// A compute node: part index + erased part in, erased part + reported
+/// [`Work`] + measured host seconds out. The seconds are nonzero only for
+/// *uncosted* stages (plain `map`/`imap`/`farm`), mirroring the eager
+/// layer: costed stages charge exactly their reported work, uncosted ones
+/// charge per the context's `MeasureMode`.
+type ComputeFn<'a> = Box<dyn Fn(usize, PartVal) -> (PartVal, Work, f64) + Sync + 'a>;
+type BarrierFn<'a> = Box<dyn FnMut(&mut Scl, ErasedArr) -> Result<ErasedArr> + 'a>;
+
+/// One stage of a fused chain.
+pub(crate) enum FusedNode<'a> {
+    /// Part-local: output part `i` depends only on input part `i`. Runs of
+    /// these execute back-to-back on the owning worker.
+    Compute {
+        label: &'static str,
+        f: ComputeFn<'a>,
+    },
+    /// Whole-configuration: a fusion barrier. Runs on the calling thread
+    /// through the eager skeleton layer.
+    Barrier {
+        label: &'static str,
+        f: BarrierFn<'a>,
+    },
+}
+
+impl FusedNode<'_> {
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            FusedNode::Compute { label, .. } | FusedNode::Barrier { label, .. } => label,
+        }
+    }
+
+    pub(crate) fn is_barrier(&self) -> bool {
+        matches!(self, FusedNode::Barrier { .. })
+    }
+}
+
+/// The fused form of a plan from `A` to `B`: entry/exit conversions (always
+/// the canonical [`FusePort`] ones) around a node chain.
+pub(crate) struct FusedPlan<'a, A, B> {
+    entry: Box<dyn Fn(A) -> ErasedArr + 'a>,
+    pub(crate) nodes: Vec<FusedNode<'a>>,
+    exit: Box<dyn Fn(ErasedArr) -> B + 'a>,
+}
+
+impl<'a, A: FusePort + 'a, B: FusePort + 'a> FusedPlan<'a, A, B> {
+    fn from_nodes(nodes: Vec<FusedNode<'a>>) -> Self {
+        FusedPlan {
+            entry: Box::new(A::erase),
+            nodes,
+            exit: Box::new(B::restore),
+        }
+    }
+}
+
+/// Concatenate two fused plans across a shared boundary type. Sound
+/// because every constructor builds entry/exit from [`FusePort`], so
+/// `a.exit` and `b.entry` are exact inverses — both are dropped.
+pub(crate) fn compose<'a, A, B, C>(
+    a: FusedPlan<'a, A, B>,
+    b: FusedPlan<'a, B, C>,
+) -> FusedPlan<'a, A, C> {
+    let mut nodes = a.nodes;
+    nodes.extend(b.nodes);
+    FusedPlan {
+        entry: a.entry,
+        nodes,
+        exit: b.exit,
+    }
+}
+
+/// A single part-local stage as a fused plan. `timed` selects the eager
+/// layer's charging convention: `true` for uncosted stages (host time is
+/// measured and charged per `MeasureMode`, like [`Scl::imap`]), `false`
+/// for costed ones (only the reported [`Work`] is charged, like
+/// [`Scl::imap_costed`]).
+pub(crate) fn compute_node<'a, T, R>(
+    label: &'static str,
+    timed: bool,
+    f: impl Fn(usize, &T) -> (R, Work) + Sync + 'a,
+) -> FusedPlan<'a, ParArray<T>, ParArray<R>>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+{
+    FusedPlan::from_nodes(vec![FusedNode::Compute {
+        label,
+        f: Box::new(move |i, v| {
+            let x = v.downcast::<T>().expect("fused stage input type mismatch");
+            let t0 = Instant::now();
+            let (r, w) = f(i, &x);
+            let secs = if timed {
+                t0.elapsed().as_secs_f64()
+            } else {
+                0.0
+            };
+            (Box::new(r) as PartVal, w, secs)
+        }),
+    }])
+}
+
+/// A part-local stage over a zipped pair boundary ([`Skel::zip_with`]).
+///
+/// [`Skel::zip_with`]: crate::plan::Skel::zip_with
+pub(crate) fn compute_pair_node<'a, A, B, R>(
+    label: &'static str,
+    f: impl Fn(&A, &B) -> (R, Work) + Sync + 'a,
+) -> FusedPlan<'a, (ParArray<A>, ParArray<B>), ParArray<R>>
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    R: Send + 'static,
+{
+    FusedPlan::from_nodes(vec![FusedNode::Compute {
+        label,
+        // like the eager `Scl::zip_with`, this charges nothing locally
+        f: Box::new(move |_, v| {
+            let pair = v
+                .downcast::<(A, B)>()
+                .expect("fused stage input type mismatch");
+            let (r, w) = f(&pair.0, &pair.1);
+            (Box::new(r) as PartVal, w, 0.0)
+        }),
+    }])
+}
+
+/// A whole-configuration stage as a fused plan (a barrier).
+pub(crate) fn barrier_node<'a, A, B>(
+    label: &'static str,
+    mut f: impl FnMut(&mut Scl, A) -> Result<B> + 'a,
+) -> FusedPlan<'a, A, B>
+where
+    A: FusePort + 'a,
+    B: FusePort + 'a,
+{
+    FusedPlan::from_nodes(vec![FusedNode::Barrier {
+        label,
+        f: Box::new(move |scl, e| Ok(B::erase(f(scl, A::restore(e))?))),
+    }])
+}
+
+/// Best-effort rendering of a panic payload for the labelled re-raise.
+/// Non-string payloads (`panic_any` tokens) are flattened to a
+/// placeholder: fused execution trades payload identity for the stage
+/// label, unlike the eager path which propagates payloads verbatim.
+fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+impl Scl {
+    /// Execute a fused plan: walk the node chain, running maximal compute
+    /// runs as single partition-resident segments and barriers eagerly.
+    pub(crate) fn exec_fused<A, B>(
+        &mut self,
+        plan: &mut FusedPlan<'_, A, B>,
+        input: A,
+    ) -> Result<B> {
+        let mut val = (plan.entry)(input);
+        self.try_check_fits(val.arr.len())?;
+        let mut i = 0;
+        while i < plan.nodes.len() {
+            if plan.nodes[i].is_barrier() {
+                let FusedNode::Barrier { f, .. } = &mut plan.nodes[i] else {
+                    unreachable!()
+                };
+                val = f(self, val)?;
+                self.try_check_fits(val.arr.len())?;
+                i += 1;
+            } else {
+                let mut j = i;
+                while j < plan.nodes.len() && !plan.nodes[j].is_barrier() {
+                    j += 1;
+                }
+                val = self.exec_segment(&plan.nodes[i..j], val);
+                i = j;
+            }
+        }
+        Ok((plan.exit)(val))
+    }
+
+    /// Run one fused segment — consecutive compute nodes — over every
+    /// partition, charging each partition's accumulated work once.
+    fn exec_segment(&mut self, segment: &[FusedNode<'_>], val: ErasedArr) -> ErasedArr {
+        let ErasedArr {
+            arr,
+            side,
+            elem_bytes,
+        } = val;
+        if arr.is_empty() {
+            return ErasedArr {
+                arr,
+                side,
+                elem_bytes,
+            };
+        }
+        let stages: Vec<(&'static str, &ComputeFn<'_>)> = segment
+            .iter()
+            .map(|n| match n {
+                FusedNode::Compute { label, f } => (*label, f),
+                FusedNode::Barrier { .. } => {
+                    unreachable!("fused segments contain only compute nodes")
+                }
+            })
+            .collect();
+
+        let n = arr.len();
+        let (threads, grain) = self.segment_schedule(n, stages.len(), elem_bytes);
+        let (parts, procs, shape) = arr.into_raw();
+
+        let step = |i: usize, part: PartVal| -> (PartVal, Work, f64) {
+            let mut v = part;
+            let mut w = Work::NONE;
+            let mut secs = 0.0;
+            for (label, f) in &stages {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, v))) {
+                    Ok((nv, nw, ns)) => {
+                        v = nv;
+                        w += nw;
+                        secs += ns;
+                    }
+                    Err(payload) => panic!(
+                        "fused stage `{label}` panicked on part {i}: {}",
+                        panic_message(&*payload)
+                    ),
+                }
+            }
+            (v, w, secs)
+        };
+
+        let results: Vec<(PartVal, Work, f64)> = if threads <= 1 {
+            parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| step(i, p))
+                .collect()
+        } else {
+            // the pool only grows, so pass the cap: an earlier, wider
+            // dispatch must not over-commit this smaller one
+            let pool = self.fused_pool(threads);
+            par_pipeline(pool, parts, threads, grain, step)
+        };
+
+        let mut out = Vec::with_capacity(results.len());
+        for (i, (v, w, secs)) in results.into_iter().enumerate() {
+            let charged = w + self.measured_work(secs);
+            self.machine.compute(procs[i], charged, "fused");
+            out.push(v);
+        }
+        ErasedArr {
+            arr: ParArray::from_raw(out, procs, shape),
+            side,
+            elem_bytes,
+        }
+    }
+
+    /// `(threads, grain)` for a segment under the current [`ExecPolicy`].
+    fn segment_schedule(&self, parts: usize, stages: usize, elem_bytes: usize) -> (usize, usize) {
+        match self.policy {
+            ExecPolicy::Sequential => (1, 1),
+            ExecPolicy::Threads(t) => (t.max(1).min(parts), 1),
+            ExecPolicy::CostDriven { threads } => {
+                let d = self
+                    .machine
+                    .model()
+                    .fused_decision(parts, stages, elem_bytes, threads);
+                (d.threads.min(parts.max(1)), d.grain)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scl_machine::{CostModel, Machine, Topology};
+
+    fn unit_ctx(n: usize) -> Scl {
+        Scl::new(Machine::new(
+            Topology::FullyConnected { procs: n },
+            CostModel::unit(),
+        ))
+    }
+
+    #[test]
+    fn parray_port_roundtrips() {
+        let a = ParArray::with_placement(vec![1i64, 2, 3], vec![4, 5, 6]);
+        let e = a.clone().erase();
+        assert_eq!(e.elem_bytes, std::mem::size_of::<i64>());
+        let back: ParArray<i64> = FusePort::restore(e);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn pair_port_roundtrips() {
+        let a = ParArray::from_parts(vec![1i64, 2]);
+        let b = ParArray::from_parts(vec!["x".to_string(), "y".to_string()]);
+        let e = (a.clone(), b.clone()).erase();
+        let (ra, rb): (ParArray<i64>, ParArray<String>) = FusePort::restore(e);
+        assert_eq!(ra, a);
+        assert_eq!(rb, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "conforming")]
+    fn pair_port_rejects_mismatch() {
+        let a = ParArray::from_parts(vec![1i64, 2]);
+        let b = ParArray::from_parts(vec![1i64]);
+        let _ = (a, b).erase();
+    }
+
+    #[test]
+    fn vec_and_state_ports_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        let back: Vec<u64> = FusePort::restore(v.clone().erase());
+        assert_eq!(back, v);
+
+        let st = (ParArray::from_parts(vec![1.0f64, 2.0]), 7usize, 0.5f64);
+        let (arr, iters, res): (ParArray<f64>, usize, f64) = FusePort::restore(st.clone().erase());
+        assert_eq!(arr, st.0);
+        assert_eq!(iters, 7);
+        assert_eq!(res, 0.5);
+    }
+
+    #[test]
+    fn segment_schedule_honours_policy() {
+        let s = unit_ctx(4);
+        assert_eq!(s.segment_schedule(8, 3, 8), (1, 1));
+        let s = s.with_policy(ExecPolicy::Threads(4));
+        assert_eq!(s.segment_schedule(8, 3, 8), (4, 1));
+        assert_eq!(s.segment_schedule(2, 3, 8), (2, 1));
+        // unit model: any real work justifies fanning out
+        let s = s.with_policy(ExecPolicy::CostDriven { threads: 4 });
+        assert_eq!(s.segment_schedule(8, 3, 8), (4, 1));
+        assert_eq!(s.segment_schedule(1, 3, 8), (1, 1));
+    }
+}

@@ -31,6 +31,38 @@
 //! into the `scl-transform` IR so [`Scl::run_optimized`] can apply the
 //! paper's §4 rewrite laws *before* executing (see [`plan`]).
 //!
+//! ## Fused, partition-resident execution
+//!
+//! Eager execution dispatches each skeleton separately: every `.then()`
+//! materialises a full [`ParArray`] and spawns fresh scoped workers.
+//! [`Scl::run_fused`] instead compiles a plan into per-partition stage
+//! chains (module [`fused`]): runs of part-local **compute** skeletons
+//! (`map`, `imap`, `zip_with`, `farm`, their costed forms) execute
+//! back-to-back on the worker owning each partition — no intermediate
+//! arrays, one persistent-pool dispatch per run — while
+//! **communication** skeletons (`rotate`, `fetch`, `total_exchange`,
+//! scans, reductions, repartitioning) are the only barriers between fused
+//! segments. Results agree with eager execution bit-for-bit (the
+//! `tests/fused_vs_eager.rs` differential suite holds this under
+//! sequential, threaded, and cost-driven policies), and the simulated
+//! machine is charged the same work *totals* either way — makespan and
+//! operation counts agree, though a fused segment charges each partition
+//! once with the summed work where eager charges per stage, so
+//! `compute_steps` and per-stage trace events differ.
+//!
+//! Which segments fan out across host threads — and at what scheduling
+//! grain — is decided by the [`scl_exec::ExecPolicy`]:
+//! `ExecPolicy::Sequential` and `ExecPolicy::Threads` behave as named,
+//! while `ExecPolicy::CostDriven` consults the machine's
+//! [`CostModel::fused_decision`](scl_machine::CostModel::fused_decision)
+//! per segment, falling back to sequential execution when a segment's
+//! estimated work is within a few multiples of the dispatch overhead.
+//! Opaque whole-array stages join fused chains as explicit barriers via
+//! [`Skel::barrier`]; plans containing a stage with no fused form fall
+//! back to eager execution (same answer). [`Scl::run_optimized`] executes
+//! the rewritten program through this executor, so §4 optimisation and
+//! fusion compose.
+//!
 //! ## Example: distributed dot product
 //!
 //! ```
@@ -60,6 +92,7 @@ pub mod bytes;
 pub mod config;
 pub mod ctx;
 pub mod error;
+pub mod fused;
 pub mod partition;
 pub mod plan;
 pub mod seq;
@@ -70,6 +103,7 @@ pub use bytes::Bytes;
 pub use config::{align, align3, combine, split, try_align, unalign};
 pub use ctx::{MeasureMode, Scl};
 pub use error::{Result, SclError};
+pub use fused::{ErasedArr, FusePort, PartVal};
 pub use partition::{block_ranges, gather, gather2, owner_1d, Pattern};
 pub use plan::Skel;
 pub use seq::Matrix;
@@ -81,6 +115,7 @@ pub mod prelude {
     pub use crate::bytes::Bytes;
     pub use crate::config::{align, align3, combine, split, unalign};
     pub use crate::ctx::{MeasureMode, Scl};
+    pub use crate::fused::FusePort;
     pub use crate::partition::Pattern;
     pub use crate::plan::Skel;
     pub use crate::seq::Matrix;

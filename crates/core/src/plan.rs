@@ -10,11 +10,19 @@
 //! [`Skel::rotate`], [`Skel::farm`], [`Skel::iter_until`], [`Skel::dc`], …)
 //! and composed with [`Skel::then`] / [`Skel::pipe`].
 //!
-//! A plan has **two back-ends**:
+//! A plan has **three back-ends**:
 //!
 //! 1. [`Skel::run`] executes eagerly by delegating to the existing skeleton
-//!    methods on [`Scl`] — the eager API stays the execution layer;
-//! 2. [`Skel::lower`] bridges the *lowerable fragment* (maps over registered
+//!    methods on [`Scl`] — one skeleton dispatch (and one materialised
+//!    intermediate array) per stage;
+//! 2. [`Scl::run_fused`] compiles the plan into per-partition stage chains
+//!    (see [`crate::fused`]): runs of compute skeletons (`map` / `imap` /
+//!    `zip_with` / `farm` and their costed forms) execute back-to-back on
+//!    the worker that owns each partition with **no** intermediates, while
+//!    communication skeletons (`rotate`, `fetch`, `total_exchange`, …) act
+//!    as the only barriers. Same results bit-for-bit, one thread-pool
+//!    dispatch per fused segment instead of one spawn per skeleton;
+//! 3. [`Skel::lower`] bridges the *lowerable fragment* (maps over registered
 //!    function symbols, rotations, fetches/sends over registered index
 //!    functions, scans, and pipelines thereof) into the `scl-transform`
 //!    [`Expr`] IR, where [`optimize`] applies the paper's §4 laws — map
@@ -22,8 +30,8 @@
 //!    raises the optimised program back into an executable plan.
 //!
 //! [`Scl::run_optimized`] wires the full path: plan → lower → optimise →
-//! raise → execute, falling back to eager execution for plans outside the
-//! lowerable fragment.
+//! raise → **fused** execute, falling back to eager execution for plans
+//! outside the lowerable fragment.
 //!
 //! ```
 //! use scl_core::prelude::*;
@@ -51,12 +59,16 @@
 use crate::array::ParArray;
 use crate::bytes::Bytes;
 use crate::ctx::Scl;
+use crate::error::Result as SclResult;
+use crate::fused::{self, FusePort, FusedPlan};
 use crate::partition::Pattern;
 use crate::skeletons::SpmdStage;
 use scl_machine::Work;
 use scl_transform::rewrite::Applied;
 use scl_transform::{optimize, shape_of, Expr, FnRef, IdxRef, Registry, Shape};
 use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// The eager interpretation of a plan: a host computation against a
 /// coordination context. `FnMut` so plans may own stateful stages (e.g.
@@ -66,25 +78,33 @@ type ExecFn<'a, A, B> = Box<dyn FnMut(&mut Scl, A) -> B + 'a>;
 /// A first-class, typed skeleton program from `A` to `B`.
 ///
 /// Built by the constructors in this module and composed with
-/// [`Skel::then`]; executed with [`Skel::run`]; optimised through
-/// [`Skel::lower`] / [`Skel::from_expr`] when it stays inside the lowerable
-/// fragment. The lifetime `'a` bounds everything the plan borrows (closures,
-/// a [`Registry`] for symbolic stages); plans over owned closures are
-/// `'static`.
+/// [`Skel::then`]; executed with [`Skel::run`] (eager, one dispatch per
+/// stage) or [`Scl::run_fused`] (partition-resident, see [`crate::fused`]);
+/// optimised through [`Skel::lower`] / [`Skel::from_expr`] when it stays
+/// inside the lowerable fragment. The lifetime `'a` bounds everything the
+/// plan borrows (closures, a [`Registry`] for symbolic stages); plans over
+/// owned closures are `'static`.
 pub struct Skel<'a, A, B> {
     exec: RefCell<ExecFn<'a, A, B>>,
     /// `Some` iff every stage of the plan is in the lowerable fragment;
     /// composition preserves it, any opaque stage forfeits it.
     repr: Option<Expr>,
+    /// `Some` iff every stage supplied a fused form (compute node or
+    /// barrier); composition concatenates the node chains, any stage
+    /// without one forfeits fusion for the whole plan.
+    fused: Option<RefCell<FusedPlan<'a, A, B>>>,
 }
 
 impl<'a, A, B> Skel<'a, A, B> {
     /// A plan from an opaque stage: any host computation over the context.
-    /// Opaque stages execute fine but are not lowerable.
+    /// Opaque stages execute fine but are neither lowerable nor fusable —
+    /// use [`Skel::barrier`] for an opaque stage that should still compose
+    /// into fused chains.
     pub fn from_fn(f: impl FnMut(&mut Scl, A) -> B + 'a) -> Skel<'a, A, B> {
         Skel {
             exec: RefCell::new(Box::new(f)),
             repr: None,
+            fused: None,
         }
     }
 
@@ -94,6 +114,7 @@ impl<'a, A, B> Skel<'a, A, B> {
         Skel {
             exec: RefCell::new(Box::new(f)),
             repr: Some(repr),
+            fused: None,
         }
     }
 
@@ -102,8 +123,43 @@ impl<'a, A, B> Skel<'a, A, B> {
         (self.exec.borrow_mut())(scl, input)
     }
 
+    /// Run the plan through the fused executor (see [`crate::fused`]),
+    /// falling back to eager execution when any stage lacks a fused form —
+    /// same answer either way. Usually called as [`Scl::run_fused`].
+    ///
+    /// The `Err(MachineTooSmall)` contract applies to the fused path
+    /// (every fusable plan); the eager fallback keeps the eager layer's
+    /// panicking semantics, so only [`Skel::fusable`] plans are guaranteed
+    /// to surface oversized configurations as errors.
+    pub fn run_fused(&self, scl: &mut Scl, input: A) -> SclResult<B> {
+        match &self.fused {
+            Some(cell) => scl.exec_fused(&mut cell.borrow_mut(), input),
+            None => Ok(self.run(scl, input)),
+        }
+    }
+
+    /// True when every stage supplied a fused form, so [`Skel::run_fused`]
+    /// takes the partition-resident path rather than falling back.
+    pub fn fusable(&self) -> bool {
+        self.fused.is_some()
+    }
+
+    /// The fused stage structure as `(label, is_barrier)` pairs, or `None`
+    /// for unfusable plans. Consecutive non-barrier stages execute as one
+    /// fused segment.
+    pub fn fused_stages(&self) -> Option<Vec<(&'static str, bool)>> {
+        self.fused.as_ref().map(|cell| {
+            cell.borrow()
+                .nodes
+                .iter()
+                .map(|n| (n.label(), n.is_barrier()))
+                .collect()
+        })
+    }
+
     /// Sequential composition: run `self`, feed its output to `next`.
-    /// Lowerability is preserved when both sides are lowerable.
+    /// Lowerability and fusability are each preserved when both sides have
+    /// them.
     pub fn then<C>(self, next: Skel<'a, B, C>) -> Skel<'a, A, C>
     where
         A: 'a,
@@ -118,12 +174,19 @@ impl<'a, A, B> Skel<'a, A, B> {
             (Some(a), Some(b)) => Some(scl_transform::normalize(b.after(a))),
             _ => None,
         };
+        let fused = match (self.fused, next.fused) {
+            (Some(a), Some(b)) => {
+                Some(RefCell::new(fused::compose(a.into_inner(), b.into_inner())))
+            }
+            _ => None,
+        };
         Skel {
             exec: RefCell::new(Box::new(move |scl: &mut Scl, x| {
                 let mid = f(scl, x);
                 g(scl, mid)
             })),
             repr,
+            fused,
         }
     }
 
@@ -134,12 +197,43 @@ impl<'a, A, B> Skel<'a, A, B> {
     }
 }
 
+impl<'a, A, B> Skel<'a, A, B>
+where
+    A: FusePort + 'a,
+    B: FusePort + 'a,
+{
+    /// An opaque whole-configuration stage that still composes into fused
+    /// chains — as a **barrier** between fused segments. This is the fused
+    /// counterpart of [`Skel::from_fn`]: use it for global phases (gathers,
+    /// broadcasts, anything touching the whole configuration) inside plans
+    /// whose other stages should fuse. `label` names the stage in
+    /// [`Skel::fused_stages`] and in panic messages.
+    pub fn barrier(label: &'static str, f: impl FnMut(&mut Scl, A) -> B + 'a) -> Skel<'a, A, B> {
+        let shared = Rc::new(RefCell::new(f));
+        let exec = Rc::clone(&shared);
+        Skel {
+            exec: RefCell::new(Box::new(move |scl: &mut Scl, a| {
+                (exec.borrow_mut())(scl, a)
+            })),
+            repr: None,
+            fused: Some(RefCell::new(fused::barrier_node(label, move |scl, a| {
+                Ok((shared.borrow_mut())(scl, a))
+            }))),
+        }
+    }
+}
+
 impl<'a, A: 'a> Skel<'a, A, A> {
-    /// The identity plan.
+    /// The identity plan. Lowerable ([`Expr::Id`]) but **not** fusable —
+    /// `A` is unconstrained here, so no [`FusePort`] boundary exists;
+    /// composing a fusable plan with `identity()` forfeits fusion for the
+    /// whole chain ([`Skel::pipe`] therefore seeds from its first stage
+    /// instead of an identity).
     pub fn identity() -> Skel<'a, A, A> {
         Skel {
             exec: RefCell::new(Box::new(|_, x| x)),
             repr: Some(Expr::Id),
+            fused: None,
         }
     }
 
@@ -147,60 +241,128 @@ impl<'a, A: 'a> Skel<'a, A, A> {
     /// (first element runs first) — the plan-level analogue of
     /// [`Expr::pipeline`].
     pub fn pipe(stages: Vec<Skel<'a, A, A>>) -> Skel<'a, A, A> {
-        let mut out = Skel::identity();
-        for s in stages {
-            out = out.then(s);
+        let mut it = stages.into_iter();
+        match it.next() {
+            None => Skel::identity(),
+            Some(first) => it.fold(first, |acc, s| acc.then(s)),
         }
-        out
     }
 }
 
 // ---- elementary skeletons ---------------------------------------------------
 
+/// Build a compute-stage plan: the eager path delegates to `eager`, the
+/// fused path runs `node` per part (both share the same user closure, so
+/// the two executions are identical arithmetic).
+fn compute_stage<'a, T, R>(
+    label: &'static str,
+    timed: bool,
+    eager: impl FnMut(&mut Scl, ParArray<T>) -> ParArray<R> + 'a,
+    node: impl Fn(usize, &T) -> (R, Work) + Sync + 'a,
+) -> Skel<'a, ParArray<T>, ParArray<R>>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+{
+    Skel {
+        exec: RefCell::new(Box::new(eager)),
+        repr: None,
+        fused: Some(RefCell::new(fused::compute_node(label, timed, node))),
+    }
+}
+
 impl<'a, T, R> Skel<'a, ParArray<T>, ParArray<R>>
 where
-    T: Sync + 'a,
-    R: Send + 'a,
+    T: Send + Sync + 'static,
+    R: Send + 'static,
 {
     /// The paper's `map f`: apply `f` to every part ([`Scl::map`]).
-    pub fn map(f: impl Fn(&T) -> R + Sync + 'a) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.map(&a, &f))
+    /// Part-local, so runs of these fuse under [`Scl::run_fused`].
+    pub fn map(f: impl Fn(&T) -> R + Send + Sync + 'a) -> Self {
+        let f = Arc::new(f);
+        let g = Arc::clone(&f);
+        compute_stage(
+            "map",
+            true,
+            move |scl, a| scl.map(&a, &*f),
+            move |_, x| (g(x), Work::NONE),
+        )
     }
 
     /// Index-aware map ([`Scl::imap`]).
-    pub fn imap(f: impl Fn(usize, &T) -> R + Sync + 'a) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.imap(&a, &f))
+    pub fn imap(f: impl Fn(usize, &T) -> R + Send + Sync + 'a) -> Self {
+        let f = Arc::new(f);
+        let g = Arc::clone(&f);
+        compute_stage(
+            "imap",
+            true,
+            move |scl, a| scl.imap(&a, &*f),
+            move |i, x| (g(i, x), Work::NONE),
+        )
     }
 
     /// Map with self-reported cost ([`Scl::map_costed`]).
-    pub fn map_costed(f: impl Fn(&T) -> (R, Work) + Sync + 'a) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.map_costed(&a, &f))
+    pub fn map_costed(f: impl Fn(&T) -> (R, Work) + Send + Sync + 'a) -> Self {
+        let f = Arc::new(f);
+        let g = Arc::clone(&f);
+        compute_stage(
+            "map_costed",
+            false,
+            move |scl, a| scl.map_costed(&a, &*f),
+            move |_, x| g(x),
+        )
     }
 
     /// Index-aware costed map ([`Scl::imap_costed`]).
-    pub fn imap_costed(f: impl Fn(usize, &T) -> (R, Work) + Sync + 'a) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.imap_costed(&a, &f))
+    pub fn imap_costed(f: impl Fn(usize, &T) -> (R, Work) + Send + Sync + 'a) -> Self {
+        let f = Arc::new(f);
+        let g = Arc::clone(&f);
+        compute_stage(
+            "imap_costed",
+            false,
+            move |scl, a| scl.imap_costed(&a, &*f),
+            move |i, x| g(i, x),
+        )
     }
 
     /// The paper's `farm f env`: map with a shared environment
     /// ([`Scl::farm`]).
-    pub fn farm<E: Sync + 'a>(f: impl Fn(&E, &T) -> R + Sync + 'a, env: E) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.farm(&f, &env, &a))
+    pub fn farm<E: Send + Sync + 'a>(f: impl Fn(&E, &T) -> R + Send + Sync + 'a, env: E) -> Self {
+        let shared = Arc::new((f, env));
+        let node = Arc::clone(&shared);
+        compute_stage(
+            "farm",
+            true,
+            move |scl, a| scl.farm(&shared.0, &shared.1, &a),
+            move |_, x| ((node.0)(&node.1, x), Work::NONE),
+        )
     }
 }
 
 impl<'a, A2, B2, R> Skel<'a, (ParArray<A2>, ParArray<B2>), ParArray<R>>
 where
-    A2: Sync + 'a,
-    B2: Sync + 'a,
-    R: Send + 'a,
+    A2: Send + Sync + 'static,
+    B2: Send + Sync + 'static,
+    R: Send + 'static,
 {
     /// Element-wise combination of two conforming arrays
     /// ([`Scl::zip_with`]). The plan's input is the pair of arrays.
-    pub fn zip_with(f: impl Fn(&A2, &B2) -> R + Sync + 'a) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, (a, b): (ParArray<A2>, ParArray<B2>)| {
-            scl.zip_with(&a, &b, &f)
-        })
+    /// Part-local, so it fuses with neighbouring compute stages.
+    pub fn zip_with(f: impl Fn(&A2, &B2) -> R + Send + Sync + 'a) -> Self {
+        let f = Arc::new(f);
+        let g = Arc::clone(&f);
+        Skel {
+            exec: RefCell::new(Box::new(
+                move |scl: &mut Scl, (a, b): (ParArray<A2>, ParArray<B2>)| {
+                    scl.zip_with(&a, &b, &*f)
+                },
+            )),
+            repr: None,
+            fused: Some(RefCell::new(fused::compute_pair_node(
+                "zip_with",
+                move |x, y| (g(x, y), Work::NONE),
+            ))),
+        }
     }
 }
 
@@ -223,71 +385,91 @@ where
 
 impl<'a, T> Skel<'a, ParArray<T>, ParArray<T>>
 where
-    T: Clone + Bytes + 'a,
+    T: Clone + Bytes + Send + 'static,
 {
     /// Inclusive parallel prefix ([`Scl::scan`]); `op` must be associative.
+    /// Cross-partition data flow, so a fusion **barrier**.
     pub fn scan(op: impl Fn(&T, &T) -> T + 'a) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.scan(&a, &op))
+        Skel::barrier("scan", move |scl: &mut Scl, a: ParArray<T>| {
+            scl.scan(&a, &op)
+        })
     }
 
     // ---- communication skeletons -------------------------------------------
 
     /// Regular rotation by `k` ([`Scl::rotate`]). Lowerable: becomes
     /// [`Expr::Rotate`], so cancelling rotations vanish under
-    /// [`optimize`].
+    /// [`optimize`]. A fusion barrier.
     pub fn rotate(k: isize) -> Self {
-        Skel::from_fn_repr(
-            move |scl: &mut Scl, a: ParArray<T>| scl.rotate(k, &a),
-            Expr::Rotate(k as i64),
-        )
+        let mut plan = Skel::barrier("rotate", move |scl: &mut Scl, a: ParArray<T>| {
+            scl.rotate(k, &a)
+        });
+        plan.repr = Some(Expr::Rotate(k as i64));
+        plan
     }
 
-    /// Boundary-filled shift ([`Scl::shift`]).
+    /// Boundary-filled shift ([`Scl::shift`]). A fusion barrier.
     pub fn shift(k: isize, fill: T) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.shift(k, &a, &fill))
+        Skel::barrier("shift", move |scl: &mut Scl, a: ParArray<T>| {
+            scl.shift(k, &a, &fill)
+        })
     }
 
     /// Irregular fetch through an opaque index function ([`Scl::fetch`]).
+    /// A fusion barrier.
     pub fn fetch(f: impl Fn(usize) -> usize + 'a) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.fetch(&f, &a))
+        Skel::barrier("fetch", move |scl: &mut Scl, a: ParArray<T>| {
+            scl.fetch(&f, &a)
+        })
     }
 
     /// All-reduce: the fold result lands on every part
-    /// ([`Scl::fold_all`]).
+    /// ([`Scl::fold_all`]). A fusion barrier.
     pub fn fold_all(op: impl Fn(&T, &T) -> T + 'a, combine: Work) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.fold_all(&a, &op, combine))
+        Skel::barrier("fold_all", move |scl: &mut Scl, a: ParArray<T>| {
+            scl.fold_all(&a, &op, combine)
+        })
     }
 
     /// Counted iteration ([`Scl::iter_for`]): apply `body` `terminator`
-    /// times, passing the iteration number.
+    /// times, passing the iteration number. A fusion barrier (the body is
+    /// an opaque whole-configuration computation).
     pub fn iter_for(
         terminator: usize,
         mut body: impl FnMut(&mut Scl, usize, ParArray<T>) -> ParArray<T> + 'a,
     ) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<T>| scl.iter_for(terminator, &mut body, a))
+        Skel::barrier("iter_for", move |scl: &mut Scl, a: ParArray<T>| {
+            scl.iter_for(terminator, &mut body, a)
+        })
     }
 }
 
 impl<'a, I, U> Skel<'a, ParArray<U>, ParArray<(I, U)>>
 where
-    I: Clone + Bytes + 'a,
-    U: Clone + 'a,
+    I: Clone + Bytes + Send + 'static,
+    U: Clone + Send + 'static,
 {
     /// Broadcast one value (captured at plan-construction time) to all
-    /// parts, pairing it with the local data ([`Scl::brdcast`]).
+    /// parts, pairing it with the local data ([`Scl::brdcast`]). A fusion
+    /// barrier.
     pub fn brdcast(item: I) -> Skel<'a, ParArray<U>, ParArray<(I, U)>> {
-        Skel::from_fn(move |scl: &mut Scl, a: ParArray<U>| scl.brdcast(&item, &a))
+        Skel::barrier("brdcast", move |scl: &mut Scl, a: ParArray<U>| {
+            scl.brdcast(&item, &a)
+        })
     }
 }
 
 impl<'a, T> Skel<'a, ParArray<Vec<Vec<T>>>, ParArray<Vec<Vec<T>>>>
 where
-    T: Clone + Bytes + 'a,
+    T: Clone + Bytes + Send + 'static,
 {
     /// Bucket transpose ([`Scl::total_exchange`]): part `i` ends up holding
-    /// bucket `i` from every source.
+    /// bucket `i` from every source. The canonical fusion barrier.
     pub fn total_exchange() -> Self {
-        Skel::from_fn(|scl: &mut Scl, a: ParArray<Vec<Vec<T>>>| scl.total_exchange(&a))
+        Skel::barrier(
+            "total_exchange",
+            |scl: &mut Scl, a: ParArray<Vec<Vec<T>>>| scl.total_exchange(&a),
+        )
     }
 }
 
@@ -295,32 +477,48 @@ where
 
 impl<'a, T> Skel<'a, Vec<T>, ParArray<Vec<T>>>
 where
-    T: Clone + Bytes + 'a,
+    T: Clone + Bytes + Send + 'static,
 {
     /// Scatter a sequential array across the machine ([`Scl::partition`]).
+    /// A fusion barrier; under [`Scl::run_fused`] an oversized pattern
+    /// surfaces as [`SclError::MachineTooSmall`](crate::error::SclError)
+    /// instead of panicking.
     pub fn partition(pattern: Pattern) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, data: Vec<T>| scl.partition(pattern, &data))
+        let exec = move |scl: &mut Scl, data: Vec<T>| scl.partition(pattern, &data);
+        Skel {
+            exec: RefCell::new(Box::new(exec)),
+            repr: None,
+            fused: Some(RefCell::new(fused::barrier_node(
+                "partition",
+                move |scl: &mut Scl, data: Vec<T>| scl.try_partition(pattern, &data),
+            ))),
+        }
     }
 }
 
 impl<'a, T> Skel<'a, ParArray<Vec<T>>, Vec<T>>
 where
-    T: Clone + Bytes + 'a,
+    T: Clone + Bytes + Send + 'static,
 {
     /// Collect a distributed array back to processor 0 ([`Scl::gather`]).
+    /// A fusion barrier.
     pub fn gather() -> Self {
-        Skel::from_fn(|scl: &mut Scl, a: ParArray<Vec<T>>| scl.gather(&a))
+        Skel::barrier("gather", |scl: &mut Scl, a: ParArray<Vec<T>>| {
+            scl.gather(&a)
+        })
     }
 }
 
 impl<'a, T> Skel<'a, ParArray<Vec<T>>, ParArray<Vec<T>>>
 where
-    T: Clone + Bytes + 'a,
+    T: Clone + Bytes + Send + 'static,
 {
     /// Rebalance part sizes to ±1, preserving global order
-    /// ([`Scl::balance`]).
+    /// ([`Scl::balance`]). A fusion barrier.
     pub fn balance() -> Self {
-        Skel::from_fn(|scl: &mut Scl, a: ParArray<Vec<T>>| scl.balance(&a))
+        Skel::barrier("balance", |scl: &mut Scl, a: ParArray<Vec<T>>| {
+            scl.balance(&a)
+        })
     }
 }
 
@@ -354,7 +552,9 @@ impl<'a, X: 'a> Skel<'a, X, X> {
     /// Condition-driven iteration ([`Scl::iter_until`]): apply `iter_solve`
     /// until `con` holds, then `final_solve`. The state type `X` is
     /// anything the loop threads through (arrays, tuples of arrays and
-    /// scalars, …).
+    /// scalars, …). Not fusable — use [`Skel::iter_until_fused`] when `X`
+    /// implements [`FusePort`] and the plan should compose into fused
+    /// chains.
     pub fn iter_until(
         mut iter_solve: impl FnMut(&mut Scl, X) -> X + 'a,
         mut final_solve: impl FnMut(&mut Scl, X) -> X + 'a,
@@ -366,17 +566,37 @@ impl<'a, X: 'a> Skel<'a, X, X> {
     }
 }
 
+impl<'a, X: FusePort + 'a> Skel<'a, X, X> {
+    /// As [`Skel::iter_until`] for state types with a fused boundary form:
+    /// the whole loop participates in fused execution as a single
+    /// **barrier** stage (the loop body is free to run its own skeletons),
+    /// so surrounding compute stages still fuse and
+    /// [`Scl::run_fused`] validates the configuration instead of
+    /// panicking.
+    pub fn iter_until_fused(
+        iter_solve: impl FnMut(&mut Scl, X) -> X + 'a,
+        final_solve: impl FnMut(&mut Scl, X) -> X + 'a,
+        con: impl Fn(&X) -> bool + 'a,
+    ) -> Skel<'a, X, X> {
+        let mut solvers = (iter_solve, final_solve);
+        Skel::barrier("iter_until", move |scl: &mut Scl, x: X| {
+            scl.iter_until(&mut solvers.0, &mut solvers.1, &con, x)
+        })
+    }
+}
+
 /// A boxed task-pipeline stage, as consumed by [`Skel::task_pipeline`].
 pub type BoxedStage<'a, T> = Box<dyn Fn(&T) -> (T, Work) + Sync + 'a>;
 
 impl<'a, T> Skel<'a, Vec<T>, Vec<T>>
 where
-    T: Clone + Bytes + 'a,
+    T: Clone + Bytes + Send + 'static,
 {
     /// Task-parallel pipeline over a stream of items ([`Scl::pipeline`]):
-    /// stage `s` lives on processor `s`, items stream through.
+    /// stage `s` lives on processor `s`, items stream through. A fusion
+    /// barrier (the stream is host-side, not partitioned).
     pub fn task_pipeline(stages: Vec<BoxedStage<'a, T>>) -> Self {
-        Skel::from_fn(move |scl: &mut Scl, items: Vec<T>| {
+        Skel::barrier("task_pipeline", move |scl: &mut Scl, items: Vec<T>| {
             let refs: Vec<crate::skeletons::PipeStageFn<'_, T>> =
                 stages.iter().map(|b| &**b as _).collect();
             scl.pipeline(&refs, items)
@@ -555,61 +775,77 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
     }
 
     /// As [`Skel::map_sym`] for an arbitrary (possibly composed) [`FnRef`].
+    /// Part-local, so it fuses with neighbouring compute stages.
     pub fn map_ref(f: FnRef, reg: &'a Registry) -> Self {
         let repr = Expr::Map(f.clone());
-        Skel::from_fn_repr(
+        let node_f = f.clone();
+        // the registry is borrowed immutably for 'a, so the per-application
+        // work is a constant of the stage — resolve it once, not per element
+        let w = reg.fn_work(&f).unwrap_or(Work::NONE);
+        let mut plan = compute_stage(
+            "map_sym",
+            false,
             move |scl: &mut Scl, a: ParArray<i64>| {
-                let w = reg.fn_work(&f).unwrap_or(Work::NONE);
                 scl.map_costed(&a, |x| (reg.apply_fn(&f, *x).unwrap_or(0), w))
             },
-            repr,
-        )
+            move |_, x: &i64| (reg.apply_fn(&node_f, *x).unwrap_or(0), w),
+        );
+        plan.repr = Some(repr);
+        plan
     }
 
-    /// A lowerable scan over a binary operator registered by name.
+    /// A lowerable scan over a binary operator registered by name. A
+    /// fusion barrier.
     pub fn scan_sym(op: &str, reg: &'a Registry) -> Self {
         let name = op.to_string();
         let repr = Expr::Scan(name.clone());
-        Skel::from_fn_repr(
-            move |scl: &mut Scl, a: ParArray<i64>| {
-                scl.scan(&a, |x, y| reg.apply_op(&name, *x, *y).unwrap_or(0))
-            },
-            repr,
-        )
+        let mut plan = Skel::barrier("scan_sym", move |scl: &mut Scl, a: ParArray<i64>| {
+            scl.scan(&a, |x, y| reg.apply_op(&name, *x, *y).unwrap_or(0))
+        });
+        plan.repr = Some(repr);
+        plan
     }
 
     /// A lowerable fetch through an index function registered by name.
     pub fn fetch_sym(name: &str, reg: &'a Registry) -> Self {
-        let h = IdxRef::named(name);
+        Self::fetch_ref(IdxRef::named(name), reg)
+    }
+
+    /// As [`Skel::fetch_sym`] for an arbitrary [`IdxRef`]. A fusion
+    /// barrier.
+    pub fn fetch_ref(h: IdxRef, reg: &'a Registry) -> Self {
         let repr = Expr::Fetch(h.clone());
-        Skel::from_fn_repr(
-            move |scl: &mut Scl, a: ParArray<i64>| {
-                let n = a.len();
-                scl.fetch(|i| reg.apply_idx(&h, i, n).unwrap_or(i), &a)
-            },
-            repr,
-        )
+        let mut plan = Skel::barrier("fetch_sym", move |scl: &mut Scl, a: ParArray<i64>| {
+            let n = a.len();
+            scl.fetch(|i| reg.apply_idx(&h, i, n).unwrap_or(i), &a)
+        });
+        plan.repr = Some(repr);
+        plan
     }
 
     /// A lowerable send through an index function registered by name;
     /// colliding values combine with wrapping `+` (the IR's canonical
     /// monoid).
     pub fn send_sym(name: &str, reg: &'a Registry) -> Self {
-        let h = IdxRef::named(name);
+        Self::send_ref(IdxRef::named(name), reg)
+    }
+
+    /// As [`Skel::send_sym`] for an arbitrary [`IdxRef`]. A fusion
+    /// barrier.
+    pub fn send_ref(h: IdxRef, reg: &'a Registry) -> Self {
         let repr = Expr::Send(h.clone());
-        Skel::from_fn_repr(
-            move |scl: &mut Scl, a: ParArray<i64>| {
-                let n = a.len();
-                let inboxes = scl.send(|k| vec![reg.apply_idx(&h, k, n).unwrap_or(k)], &a);
-                scl.map_costed(&inboxes, |v| {
-                    (
-                        v.iter().fold(0i64, |acc, x| acc.wrapping_add(*x)),
-                        Work::flops(v.len() as u64),
-                    )
-                })
-            },
-            repr,
-        )
+        let mut plan = Skel::barrier("send_sym", move |scl: &mut Scl, a: ParArray<i64>| {
+            let n = a.len();
+            let inboxes = scl.send(|k| vec![reg.apply_idx(&h, k, n).unwrap_or(k)], &a);
+            scl.map_costed(&inboxes, |v| {
+                (
+                    v.iter().fold(0i64, |acc, x| acc.wrapping_add(*x)),
+                    Work::flops(v.len() as u64),
+                )
+            })
+        });
+        plan.repr = Some(repr);
+        plan
     }
 
     /// Lower the plan into the `scl-transform` IR, if every stage is in
@@ -627,6 +863,11 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
     /// stages delegate to the runtime skeleton layer (one scalar per
     /// virtual processor). The inverse of [`Skel::lower`], used after
     /// [`optimize`].
+    ///
+    /// The raised plan is built stage by stage, so it is **fusable**: maps
+    /// become compute nodes, everything else becomes a barrier, and
+    /// [`Scl::run_optimized`] can hand the optimised program to the fused
+    /// executor.
     pub fn from_expr(e: &Expr, reg: &'a Registry) -> Result<Self, String> {
         match shape_of(e, Shape::Arr) {
             Ok(Shape::Arr) => {}
@@ -636,26 +877,84 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
         if !symbols_resolve(e, reg) {
             return Err(format!("{e}: references unregistered symbols"));
         }
-        let owned = e.clone();
-        let repr = e.clone();
-        Ok(Skel::from_fn_repr(
-            move |scl: &mut Scl, a: ParArray<i64>| match exec_expr(&owned, reg, scl, RtVal::Flat(a))
-            {
+
+        // Top-level stages in execution order (Compose applies right to
+        // left).
+        let elements: Vec<Expr> = match e {
+            Expr::Compose(es) => es.iter().rev().cloned().collect(),
+            other => vec![other.clone()],
+        };
+
+        // Group the stages so that every emitted piece is array→array:
+        // shape-preserving leaves become their own (possibly fusable)
+        // stage; a `split … combine` region accumulates until the shape is
+        // flat again and runs as one barrier through the interpreter.
+        let mut plan: Option<Self> = None;
+        let mut region: Vec<Expr> = Vec::new(); // execution order
+        let mut shape = Shape::Arr;
+        for st in elements {
+            shape = shape_of(&st, shape)?;
+            if region.is_empty() && shape == Shape::Arr {
+                let stage = Self::expr_stage(st, reg);
+                plan = Some(match plan {
+                    None => stage,
+                    Some(p) => p.then(stage),
+                });
+            } else {
+                region.push(st);
+                if shape == Shape::Arr {
+                    let chunk = Expr::pipeline(std::mem::take(&mut region));
+                    let stage = Self::expr_barrier(chunk, reg);
+                    plan = Some(match plan {
+                        None => stage,
+                        Some(p) => p.then(stage),
+                    });
+                }
+            }
+        }
+        let mut plan = plan.unwrap_or_else(Skel::identity);
+        plan.repr = Some(e.clone());
+        Ok(plan)
+    }
+
+    /// One shape-preserving IR leaf as a plan stage, fused where the leaf
+    /// is part-local.
+    fn expr_stage(st: Expr, reg: &'a Registry) -> Self {
+        match st {
+            Expr::Map(f) => Skel::map_ref(f, reg),
+            Expr::Rotate(k) => Skel::rotate(k as isize),
+            Expr::Scan(op) => Skel::scan_sym(&op, reg),
+            Expr::Fetch(h) => Skel::fetch_ref(h, reg),
+            Expr::Send(h) => Skel::send_ref(h, reg),
+            other => Self::expr_barrier(other, reg),
+        }
+    }
+
+    /// An arbitrary array→array IR fragment as one barrier stage executed
+    /// through the runtime interpreter.
+    fn expr_barrier(st: Expr, reg: &'a Registry) -> Self {
+        let repr = st.clone();
+        let mut plan = Skel::barrier(
+            "expr",
+            move |scl: &mut Scl, a: ParArray<i64>| match exec_expr(&st, reg, scl, RtVal::Flat(a)) {
                 Ok(RtVal::Flat(out)) => out,
                 Ok(RtVal::Nested(_)) => unreachable!("shape-checked to Arr"),
                 Err(err) => panic!("raised plan failed at runtime: {err}"),
             },
-            repr,
-        ))
+        );
+        plan.repr = Some(repr);
+        plan
     }
 }
 
 impl Scl {
     /// The plan → optimise → execute entry point: lower `plan`, apply the
     /// §4 rewrite laws with [`optimize`], raise the optimised program and
-    /// execute it here. Returns the result and the rewrite log (empty when
-    /// the plan is outside the lowerable fragment, in which case it runs
-    /// eagerly instead — same answer either way).
+    /// execute it here **through the fused executor** (the raised plan is
+    /// always fusable, so surviving map runs execute partition-resident).
+    /// Returns the result and the rewrite log (empty when the plan is
+    /// outside the lowerable fragment, in which case it runs eagerly
+    /// instead — same answer either way).
     pub fn run_optimized<'r>(
         &mut self,
         plan: &Skel<'r, ParArray<i64>, ParArray<i64>>,
@@ -667,10 +966,24 @@ impl Scl {
                 let (opt, log) = optimize(e, reg);
                 let raised =
                     Skel::from_expr(&opt, reg).expect("optimize preserves the array→array shape");
-                (raised.run(self, input), log)
+                let out = self
+                    .run_fused(&raised, input)
+                    .unwrap_or_else(|err| panic!("optimized plan failed: {err}"));
+                (out, log)
             }
             None => (plan.run(self, input), Vec::new()),
         }
+    }
+
+    /// Execute `plan` through the fused, partition-resident executor —
+    /// [`Skel::run_fused`] as a context method, mirroring
+    /// [`Scl::run_optimized`]. On the fused path (any [`Skel::fusable`]
+    /// plan) oversized configurations surface as
+    /// [`SclError::MachineTooSmall`](crate::error::SclError) instead of
+    /// panicking; plans with an unfusable stage fall back to eager
+    /// execution (same answer, eager panicking semantics).
+    pub fn run_fused<'r, A, B>(&mut self, plan: &Skel<'r, A, B>, input: A) -> SclResult<B> {
+        plan.run_fused(self, input)
     }
 }
 
@@ -900,5 +1213,290 @@ mod tests {
         let mut s = Scl::ap1000(4);
         let data: Vec<i64> = (0..10).collect();
         assert_eq!(plan.run(&mut s, data.clone()), data);
+    }
+
+    // ---- fused execution ----------------------------------------------------
+
+    use scl_exec::ExecPolicy;
+
+    #[test]
+    fn fused_stage_structure_groups_compute_runs() {
+        let plan = Skel::map(|x: &i64| x + 1)
+            .then(Skel::map(|x: &i64| x * 2))
+            .then(Skel::rotate(1))
+            .then(Skel::map_costed(|x: &i64| (x - 1, Work::flops(1))));
+        assert!(plan.fusable());
+        assert_eq!(
+            plan.fused_stages().unwrap(),
+            vec![
+                ("map", false),
+                ("map", false),
+                ("rotate", true),
+                ("map_costed", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn opaque_from_fn_forfeits_fusion_but_barrier_does_not() {
+        let opaque = Skel::map(|x: &i64| x + 1).then(Skel::from_fn(|_, a: ParArray<i64>| a));
+        assert!(!opaque.fusable());
+
+        let with_barrier = Skel::map(|x: &i64| x + 1)
+            .then(Skel::barrier("pass", |_, a: ParArray<i64>| a))
+            .then(Skel::map(|x: &i64| x * 3));
+        assert!(with_barrier.fusable());
+        let mut s = unit_ctx(4);
+        let out = s.run_fused(&with_barrier, arr(4)).unwrap();
+        assert_eq!(out.to_vec(), vec![3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn run_fused_matches_eager_under_every_policy() {
+        for policy in [
+            ExecPolicy::Sequential,
+            ExecPolicy::Threads(4),
+            ExecPolicy::cost_driven(),
+        ] {
+            let plan = Skel::map(|x: &i64| x * 3)
+                .then(Skel::imap(|i, x: &i64| x + i as i64))
+                .then(Skel::rotate(2))
+                .then(Skel::map_costed(|x: &i64| (x * x, Work::flops(1))))
+                .then(Skel::scan(|a: &i64, b: &i64| a.wrapping_add(*b)));
+            let mut s1 = unit_ctx(8);
+            let eager = plan.run(&mut s1, arr(8));
+            let mut s2 = unit_ctx(8).with_policy(policy);
+            let fused = s2.run_fused(&plan, arr(8)).unwrap();
+            assert_eq!(eager, fused, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn run_fused_charges_like_eager_for_costed_stages() {
+        let plan = Skel::map_costed(|x: &i64| (x + 1, Work::flops(2)))
+            .then(Skel::map_costed(|x: &i64| (x * 2, Work::cmps(1))))
+            .then(Skel::rotate(1));
+        let mut s1 = unit_ctx(4);
+        let _ = plan.run(&mut s1, arr(4));
+        let mut s2 = unit_ctx(4);
+        let _ = s2.run_fused(&plan, arr(4)).unwrap();
+        assert_eq!(s1.makespan(), s2.makespan());
+        assert_eq!(s1.machine.metrics.flops, s2.machine.metrics.flops);
+        assert_eq!(s1.machine.metrics.messages, s2.machine.metrics.messages);
+    }
+
+    #[test]
+    fn fused_costed_stages_never_pick_up_wallclock_charges() {
+        use crate::ctx::MeasureMode;
+        // Costed stages charge exactly their reported work in both
+        // executors, even under WallClock measurement — measured host time
+        // applies only to *uncosted* stages, as in the eager layer.
+        let plan = Skel::map_costed(|x: &i64| (x + 1, Work::flops(3)));
+        let mut s1 = unit_ctx(4).with_measure(MeasureMode::WallClock { scale: 1000.0 });
+        let eager = plan.run(&mut s1, arr(4));
+        let mut s2 = unit_ctx(4).with_measure(MeasureMode::WallClock { scale: 1000.0 });
+        let fused = s2.run_fused(&plan, arr(4)).unwrap();
+        assert_eq!(eager, fused);
+        assert_eq!(s1.makespan(), s2.makespan());
+    }
+
+    #[test]
+    fn fused_uncosted_stages_do_charge_wallclock() {
+        use crate::ctx::MeasureMode;
+        use scl_machine::Time;
+        let plan = Skel::map(|n: &u64| (0..200_000u64).fold(*n, |a, i| a.wrapping_add(i)));
+        let mut s = unit_ctx(2).with_measure(MeasureMode::WallClock { scale: 1.0 });
+        let _ = s
+            .run_fused(&plan, ParArray::from_parts(vec![1u64, 2]))
+            .unwrap();
+        assert!(s.makespan() > Time::ZERO);
+    }
+
+    #[test]
+    fn run_fused_zip_with_and_pair_input() {
+        let plan = Skel::zip_with(|a: &i64, b: &i64| a * 10 + b);
+        let input = (arr(4), arr(4));
+        let mut s1 = unit_ctx(4);
+        let eager = plan.run(&mut s1, input.clone());
+        let mut s2 = unit_ctx(4).with_policy(ExecPolicy::Threads(2));
+        let fused = s2.run_fused(&plan, input).unwrap();
+        assert_eq!(eager, fused);
+    }
+
+    #[test]
+    fn run_fused_partition_gather_roundtrip() {
+        let plan = Skel::partition(Pattern::Block(4)).then(Skel::gather());
+        let mut s = Scl::ap1000(4);
+        let data: Vec<i64> = (0..10).collect();
+        assert_eq!(s.run_fused(&plan, data.clone()).unwrap(), data);
+    }
+
+    #[test]
+    fn run_fused_reports_machine_too_small() {
+        // partition wider than the machine: eager panics, fused errors
+        let plan = Skel::partition(Pattern::Block(8)).then(Skel::gather());
+        let mut s = Scl::ap1000(2);
+        let err = s
+            .run_fused(&plan, (0..16).collect::<Vec<i64>>())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::SclError::MachineTooSmall {
+                needed: 8,
+                procs: 2
+            }
+        );
+
+        // input configuration wider than the machine
+        let plan = Skel::map(|x: &i64| x + 1);
+        let mut s = unit_ctx(2);
+        let err = s.run_fused(&plan, arr(6)).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SclError::MachineTooSmall {
+                needed: 6,
+                procs: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn fused_panic_carries_stage_label_sequential() {
+        let plan = Skel::map(|x: &i64| if *x == 2 { panic!("boom") } else { *x });
+        let mut s = unit_ctx(4);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.run_fused(&plan, arr(4));
+        }))
+        .unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("fused stage `map`"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn fused_panic_carries_stage_label_threaded() {
+        let plan = Skel::map_costed(|x: &i64| {
+            if *x == 5 {
+                panic!("kaboom")
+            }
+            (*x, Work::NONE)
+        });
+        let mut s = unit_ctx(8).with_policy(ExecPolicy::Threads(4));
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.run_fused(&plan, arr(8));
+        }))
+        .unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("fused stage `map_costed`"), "{msg}");
+        assert!(msg.contains("kaboom"), "{msg}");
+    }
+
+    #[test]
+    fn pipe_preserves_fusability() {
+        let plan = Skel::pipe(vec![
+            Skel::map(|x: &i64| x + 1),
+            Skel::rotate(1),
+            Skel::map(|x: &i64| x * 2),
+        ]);
+        assert!(plan.fusable());
+        let mut s = unit_ctx(3);
+        // (0,1,2) -> +1 -> (1,2,3) -> rotate 1 -> (2,3,1) -> *2 -> (4,6,2)
+        assert_eq!(s.run_fused(&plan, arr(3)).unwrap().to_vec(), vec![4, 6, 2]);
+    }
+
+    #[test]
+    fn from_expr_raises_fusable_plans() {
+        let reg = Registry::standard();
+        let e = Expr::pipeline(vec![
+            Expr::Map(FnRef::named("inc")),
+            Expr::Map(FnRef::named("double")),
+            Expr::Rotate(1),
+            Expr::Map(FnRef::named("square")),
+        ]);
+        let raised = Skel::from_expr(&e, &reg).unwrap();
+        assert!(raised.fusable());
+        let stages = raised.fused_stages().unwrap();
+        assert_eq!(
+            stages,
+            vec![
+                ("map_sym", false),
+                ("map_sym", false),
+                ("rotate", true),
+                ("map_sym", false),
+            ]
+        );
+        // and the raised repr still round-trips
+        assert_eq!(raised.lower(&reg), Some(e.clone()));
+
+        let mut s = unit_ctx(6);
+        let fused = s.run_fused(&raised, arr(6)).unwrap();
+        let expect = scl_transform::eval(&e, &reg, Value::Arr((0..6).collect())).unwrap();
+        assert_eq!(Value::Arr(fused.to_vec()), expect);
+    }
+
+    #[test]
+    fn from_expr_nested_regions_stay_one_barrier() {
+        let reg = Registry::standard();
+        let e = Expr::pipeline(vec![
+            Expr::Map(FnRef::named("inc")),
+            Expr::Split(2),
+            Expr::MapGroups(Box::new(Expr::Rotate(1))),
+            Expr::Combine,
+            Expr::Map(FnRef::named("double")),
+        ]);
+        let raised = Skel::from_expr(&e, &reg).unwrap();
+        let stages = raised.fused_stages().unwrap();
+        assert_eq!(
+            stages,
+            vec![("map_sym", false), ("expr", true), ("map_sym", false),]
+        );
+        let mut s = unit_ctx(4);
+        let fused = s.run_fused(&raised, arr(4)).unwrap();
+        let expect = scl_transform::eval(&e, &reg, Value::Arr((0..4).collect())).unwrap();
+        assert_eq!(Value::Arr(fused.to_vec()), expect);
+    }
+
+    #[test]
+    fn run_optimized_takes_the_fused_path() {
+        let reg = Registry::standard();
+        let plan = Skel::map_sym("double", &reg)
+            .then(Skel::rotate(3))
+            .then(Skel::rotate(-3))
+            .then(Skel::map_sym("inc", &reg));
+        let input = arr(8);
+        let mut s1 = unit_ctx(8);
+        let eager = plan.run(&mut s1, input.clone());
+        let mut s2 = unit_ctx(8).with_policy(ExecPolicy::Threads(4));
+        let (opt, log) = s2.run_optimized(&plan, &reg, input);
+        assert_eq!(eager, opt);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn iter_until_fused_is_a_barrier_stage() {
+        let plan = Skel::iter_until_fused(
+            |scl: &mut Scl, (a, n, r): (ParArray<i64>, usize, f64)| {
+                (scl.map(&a, |x| x + 1), n + 1, r)
+            },
+            |_, s| s,
+            |(_, n, _): &(ParArray<i64>, usize, f64)| *n >= 3,
+        );
+        assert!(plan.fusable());
+        assert_eq!(plan.fused_stages().unwrap(), vec![("iter_until", true)]);
+        let mut s = unit_ctx(4);
+        let (out, n, _) = s.run_fused(&plan, (arr(4), 0usize, 0.0f64)).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(out.to_vec(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn fused_plans_are_rerunnable() {
+        let plan = Skel::map(|x: &i64| x + 1).then(Skel::rotate(1));
+        let mut s = unit_ctx(3);
+        let a = s.run_fused(&plan, arr(3)).unwrap();
+        let b = s.run_fused(&plan, arr(3)).unwrap();
+        assert_eq!(a, b);
+        // and eager still works on the same plan value afterwards
+        assert_eq!(plan.run(&mut s, arr(3)), a);
     }
 }

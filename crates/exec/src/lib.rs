@@ -9,20 +9,29 @@
 //! when the host has cores to spare, or sequentially for deterministic
 //! debugging.
 //!
-//! Two building blocks are provided:
+//! Three building blocks are provided:
 //!
 //! * [`par_map`] / [`par_map_indexed`] — scoped, self-scheduling parallel map
 //!   over a slice, preserving output order and propagating worker panics.
+//!   This is the *eager* path: every skeleton invocation spawns (and joins)
+//!   its own scoped workers.
 //! * [`ThreadPool`] — a persistent pool for `'static` jobs with joinable
 //!   [`JobHandle`]s.
+//! * [`par_pipeline`] — the *fused* path: carry a batch of items through a
+//!   whole per-item stage chain on a persistent [`ThreadPool`], so a run of
+//!   fused plan stages costs one dispatch instead of one thread-spawn per
+//!   skeleton, and each partition stays resident on one worker with no
+//!   materialised intermediates between stages.
 //!
-//! An [`ExecPolicy`] selects between sequential and threaded execution and is
-//! threaded through `scl-core`'s context type.
+//! An [`ExecPolicy`] selects between sequential, threaded, and
+//! cost-model-driven execution and is threaded through `scl-core`'s context
+//! type. Host parallelism is queried once per process ([`host_threads`]) —
+//! never per call.
 
 pub mod policy;
 pub mod pool;
 pub mod scope;
 
-pub use policy::ExecPolicy;
+pub use policy::{host_threads, ExecPolicy};
 pub use pool::{JobHandle, ThreadPool};
-pub use scope::{par_for_each, par_map, par_map_indexed};
+pub use scope::{par_for_each, par_map, par_map_indexed, par_pipeline};

@@ -1,6 +1,22 @@
-//! Execution policy: sequential or threaded.
+//! Execution policy: sequential, threaded, or cost-model-driven.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// The host's available parallelism, queried **once** and cached for the
+/// lifetime of the process.
+///
+/// `std::thread::available_parallelism` can be surprisingly expensive (it
+/// reads cgroup limits / sysfs on Linux), and policies used to re-query it
+/// on every [`ExecPolicy::auto`] call; all callers now share this cache.
+pub fn host_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 /// How partition-local work should be executed on the host.
 ///
@@ -14,14 +30,32 @@ pub enum ExecPolicy {
     Sequential,
     /// Run on up to this many host threads (at least 1).
     Threads(usize),
+    /// Let a cost model decide, per fused segment, between sequential and
+    /// threaded execution and pick the scheduling grain. Outside a fused
+    /// segment (plain `par_map` dispatch) this behaves like
+    /// [`ExecPolicy::Threads`] at the cap.
+    ///
+    /// This crate knows nothing about cost models; the decision itself is
+    /// made by the caller (`scl-core` consults `scl-machine`'s
+    /// `CostModel::fused_decision`). The variant only carries the host
+    /// thread ceiling so the choice of *how many* threads stays cached here.
+    ///
+    /// The decision's payload estimate is **static** (`size_of` of the
+    /// part type), so heap-backed parts (`Vec<T>` partitions) are
+    /// under-estimated and bias the model toward sequential execution —
+    /// the cheap mistake. When the caller *knows* partitions carry heavy
+    /// heap payloads, [`ExecPolicy::Threads`] states that directly.
+    CostDriven {
+        /// Upper bound on host threads (usually [`host_threads`]).
+        threads: usize,
+    },
 }
 
 impl ExecPolicy {
-    /// Threaded policy sized to the host's available parallelism.
+    /// Threaded policy sized to the host's available parallelism (cached —
+    /// see [`host_threads`]).
     pub fn auto() -> ExecPolicy {
-        let n = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1);
+        let n = host_threads();
         if n <= 1 {
             ExecPolicy::Sequential
         } else {
@@ -29,18 +63,33 @@ impl ExecPolicy {
         }
     }
 
+    /// Cost-driven policy capped at the host's available parallelism
+    /// (cached — see [`host_threads`]).
+    pub fn cost_driven() -> ExecPolicy {
+        ExecPolicy::CostDriven {
+            threads: host_threads(),
+        }
+    }
+
     /// The number of host threads this policy will actually use for `tasks`
     /// independent tasks (never more threads than tasks, never zero).
+    /// [`ExecPolicy::CostDriven`] answers with its ceiling; the per-segment
+    /// decision happens in the fused executor.
     pub fn effective_threads(&self, tasks: usize) -> usize {
         match *self {
             ExecPolicy::Sequential => 1,
-            ExecPolicy::Threads(n) => n.max(1).min(tasks.max(1)),
+            ExecPolicy::Threads(n) | ExecPolicy::CostDriven { threads: n } => {
+                n.max(1).min(tasks.max(1))
+            }
         }
     }
 
     /// True if this policy may use more than one thread.
     pub fn is_parallel(&self) -> bool {
-        matches!(self, ExecPolicy::Threads(n) if *n > 1)
+        matches!(
+            self,
+            ExecPolicy::Threads(n) | ExecPolicy::CostDriven { threads: n } if *n > 1
+        )
     }
 }
 
@@ -69,7 +118,34 @@ mod tests {
         match ExecPolicy::auto() {
             ExecPolicy::Sequential => {}
             ExecPolicy::Threads(n) => assert!(n >= 2),
+            ExecPolicy::CostDriven { .. } => panic!("auto never yields CostDriven"),
         }
+    }
+
+    #[test]
+    fn host_threads_is_cached_and_positive() {
+        let a = host_threads();
+        let b = host_threads();
+        assert!(a >= 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cost_driven_carries_the_cached_ceiling() {
+        let p = ExecPolicy::cost_driven();
+        assert_eq!(
+            p,
+            ExecPolicy::CostDriven {
+                threads: host_threads()
+            }
+        );
+        assert_eq!(p.effective_threads(2), host_threads().min(2));
+        assert_eq!(
+            p.is_parallel(),
+            host_threads() > 1,
+            "cost-driven parallelism mirrors the host"
+        );
+        assert!(!ExecPolicy::CostDriven { threads: 1 }.is_parallel());
     }
 
     #[test]

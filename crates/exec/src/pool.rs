@@ -122,6 +122,14 @@ impl ThreadPool {
     }
 }
 
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         // Closing the channel lets each worker drain and exit.

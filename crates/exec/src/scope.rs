@@ -1,9 +1,18 @@
-//! Scoped parallel map over a slice.
+//! Scoped parallel map over a slice, and the persistent-pool pipeline.
 //!
-//! [`par_map_indexed`] is the workhorse behind every data-parallel skeleton:
-//! it applies a function to each element of a slice, using self-scheduling
-//! (an atomic work counter) so that unevenly sized partitions — the `farm`
-//! skeleton's raison d'être — balance across host threads automatically.
+//! [`par_map_indexed`] is the workhorse behind every *eager* data-parallel
+//! skeleton: it applies a function to each element of a slice, using
+//! self-scheduling (an atomic work counter) so that unevenly sized
+//! partitions — the `farm` skeleton's raison d'être — balance across host
+//! threads automatically. It spawns **scoped threads per call**, which is
+//! fine for one bulk skeleton but wasteful when a plan runs many skeletons
+//! back to back.
+//!
+//! [`par_pipeline`] is the fused-execution counterpart: it runs a batch of
+//! items through an arbitrary per-item stage chain on a persistent
+//! [`ThreadPool`], so a whole run of fused stages costs **one** dispatch
+//! instead of one thread-spawn per skeleton, and each item stays resident
+//! on one worker for the entire chain (no materialised intermediates).
 //!
 //! Results come back **in input order** regardless of completion order, and
 //! a panic in any worker propagates to the caller (after all workers have
@@ -11,7 +20,9 @@
 //! enough for tests to rely on it.
 
 use crate::policy::ExecPolicy;
+use crate::pool::ThreadPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Apply `f(index, &item)` to every element, returning results in input
 /// order.
@@ -87,6 +98,136 @@ where
     F: Fn(usize, &T) + Sync,
 {
     let _: Vec<()> = par_map_indexed(policy, items, |i, x| f(i, x));
+}
+
+/// Carry every item of a batch through a per-item stage chain on a
+/// persistent [`ThreadPool`] — the partition-resident primitive behind
+/// fused plan execution.
+///
+/// `step(index, item)` is the whole chain for one item (the caller composes
+/// the stages); items are claimed off a shared atomic counter in blocks of
+/// `grain` consecutive indices, so unevenly sized items still self-balance
+/// while cheap ones amortise the counter traffic. Results come back in
+/// input order. Unlike [`par_map_indexed`], which spawns scoped threads per
+/// call, this submits at most `min(threads, pool.size())` jobs to workers
+/// that already exist — reusing the pool across every fused segment of a
+/// run. `threads` is the scheduler's cap for *this* batch: a pool kept
+/// large by an earlier, wider dispatch never over-commits a later, smaller
+/// one.
+///
+/// With one usable worker (or a batch smaller than one grain block) the
+/// chain runs inline on the caller.
+///
+/// # Panics
+/// Propagates the first panic raised by `step`, after every worker has
+/// finished; the pool itself survives (workers catch job panics).
+pub fn par_pipeline<T, R, F>(
+    pool: &ThreadPool,
+    items: Vec<T>,
+    threads: usize,
+    grain: usize,
+    step: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let grain = grain.max(1);
+    let workers = threads.min(pool.size()).min(n.div_ceil(grain));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| step(i, x))
+            .collect();
+    }
+
+    struct Shared<'s, T, R, F> {
+        items: Vec<Mutex<Option<T>>>,
+        out: Vec<Mutex<Option<R>>>,
+        next: AtomicUsize,
+        grain: usize,
+        step: &'s F,
+    }
+    impl<T: Send, R: Send, F: Fn(usize, T) -> R + Sync> Shared<'_, T, R, F> {
+        fn drain(&self) {
+            loop {
+                let start = self.next.fetch_add(self.grain, Ordering::Relaxed);
+                if start >= self.items.len() {
+                    break;
+                }
+                for i in start..(start + self.grain).min(self.items.len()) {
+                    // The guard drops before `step` runs, so a panicking
+                    // step never poisons a lock.
+                    let x = self.items[i]
+                        .lock()
+                        .expect("scl-exec: poisoned pipeline slot")
+                        .take()
+                        .expect("scl-exec: pipeline item claimed twice");
+                    let r = (self.step)(i, x);
+                    *self.out[i].lock().expect("scl-exec: poisoned result slot") = Some(r);
+                }
+            }
+        }
+    }
+
+    let shared = Shared {
+        items: items.into_iter().map(|x| Mutex::new(Some(x))).collect(),
+        out: (0..n).map(|_| Mutex::new(None)).collect(),
+        next: AtomicUsize::new(0),
+        grain,
+        step: &step,
+    };
+
+    /// Joins every outstanding handle on drop, so submitted jobs can never
+    /// outlive the borrow they were (unsafely) granted below — even if
+    /// this frame unwinds mid-submission.
+    struct JoinOnDrop<R>(Vec<crate::pool::JobHandle<R>>);
+    impl<R> Drop for JoinOnDrop<R> {
+        fn drop(&mut self) {
+            for h in self.0.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+
+    let job: &(dyn Fn() + Sync) = &|| shared.drain();
+    // SAFETY: the pool's workers require `'static` jobs, but `job` borrows
+    // `shared` (and through it `step` and the items) from this stack frame.
+    // Extending the lifetime is sound because every submitted job is joined
+    // before this function returns, on every path: the handles live in
+    // `pending`, whose `Drop` joins them, so even a panic out of
+    // `pool.submit` (its internal `expect`s) or out of this frame cannot
+    // drop `shared` while a worker still runs `shared.drain()`. Job panics
+    // are caught inside the pool and re-raised here only after all handles
+    // have been joined.
+    let job: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(job) };
+    let mut pending = JoinOnDrop(Vec::with_capacity(workers));
+    for _ in 0..workers {
+        pending.0.push(pool.submit(job));
+    }
+    let mut first_panic = None;
+    for h in pending.0.drain(..) {
+        if let Err(payload) = h.join() {
+            first_panic.get_or_insert(payload);
+        }
+    }
+    drop(pending);
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+
+    shared
+        .out
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("scl-exec: poisoned result slot")
+                .expect("scl-exec: pipeline worker skipped an item")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -186,5 +327,96 @@ mod tests {
         let items = vec![0usize, 1, 2];
         let out = par_map(ExecPolicy::Threads(2), &items, |i| base[*i] + 1);
         assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_chain() {
+        let pool = ThreadPool::new(4);
+        for grain in [1, 2, 7, 100] {
+            let items: Vec<u64> = (0..257).collect();
+            let out = par_pipeline(&pool, items.clone(), 4, grain, |i, x| {
+                // a three-stage chain, fused into one step
+                let a = x * 2;
+                let b = a + i as u64;
+                b * 3
+            });
+            let expect: Vec<u64> = items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| (x * 2 + i as u64) * 3)
+                .collect();
+            assert_eq!(out, expect, "grain={grain}");
+        }
+    }
+
+    #[test]
+    fn pipeline_borrows_from_environment() {
+        let pool = ThreadPool::new(3);
+        let base = [100u64, 200, 300, 400];
+        let out = par_pipeline(&pool, vec![0usize, 1, 2, 3], 3, 1, |_, i| base[i] + 1);
+        assert_eq!(out, vec![101, 201, 301, 401]);
+    }
+
+    #[test]
+    fn pipeline_reuses_one_pool_across_calls() {
+        let pool = ThreadPool::new(2);
+        for round in 0..50u64 {
+            let out = par_pipeline(&pool, vec![1u64, 2, 3, 4, 5], 2, 1, |_, x| x + round);
+            assert_eq!(
+                out,
+                vec![1 + round, 2 + round, 3 + round, 4 + round, 5 + round]
+            );
+        }
+        assert_eq!(pool.size(), 2, "pool survives every dispatch");
+    }
+
+    #[test]
+    fn pipeline_empty_and_single() {
+        let pool = ThreadPool::new(2);
+        let empty: Vec<u8> = vec![];
+        assert!(par_pipeline(&pool, empty, 2, 1, |_, x: u8| x).is_empty());
+        assert_eq!(par_pipeline(&pool, vec![9u8], 2, 1, |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn pipeline_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_pipeline(&pool, items, 4, 1, |_, x| {
+                if x == 33 {
+                    panic!("stage blew up");
+                }
+                x
+            })
+        }));
+        assert!(r.is_err());
+        // pool still works afterwards
+        assert_eq!(
+            par_pipeline(&pool, vec![1u32, 2], 4, 1, |_, x| x * 2),
+            vec![2, 4]
+        );
+    }
+
+    #[test]
+    fn pipeline_thread_cap_overrides_pool_size() {
+        // a pool kept large by an earlier dispatch must not over-commit a
+        // later batch whose scheduler asked for 1 thread: cap 1 runs
+        // inline on the caller
+        let pool = ThreadPool::new(4);
+        let caller = std::thread::current().id();
+        let out = par_pipeline(&pool, vec![1u8, 2, 3], 1, 1, |_, x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x * 2
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pipeline_moves_owned_items() {
+        let pool = ThreadPool::new(2);
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i; 8]).collect();
+        let out = par_pipeline(&pool, items, 2, 2, |_, v| v.iter().sum::<u64>());
+        assert_eq!(out, (0..16).map(|i| i * 8).collect::<Vec<u64>>());
     }
 }

@@ -117,6 +117,46 @@ impl CostModel {
         self
     }
 
+    /// Decide how one **fused segment** — `stages` part-local stages run
+    /// back-to-back over `parts` partitions of roughly `elem_bytes` each —
+    /// should execute on a host offering up to `max_threads` threads.
+    ///
+    /// The model weighs the segment's estimated local work per partition
+    /// (`stages · elem_bytes · t_mem`) against its per-phase coordination
+    /// overhead (`t_msg + t_barrier`, standing in for the host cost of
+    /// waking and joining workers): segments whose total work is within a
+    /// few multiples of the overhead run sequentially, larger ones fan out
+    /// with a grain that gives each thread several scheduling quanta for
+    /// self-balancing. `elem_bytes` is a *static* estimate
+    /// (`size_of::<T>()` of the part type), so heap-heavy parts are
+    /// under-estimated — the decision errs toward sequential, which is the
+    /// cheap mistake.
+    pub fn fused_decision(
+        &self,
+        parts: usize,
+        stages: usize,
+        elem_bytes: usize,
+        max_threads: usize,
+    ) -> FusedDecision {
+        let sequential = FusedDecision {
+            threads: 1,
+            grain: 1,
+        };
+        if max_threads <= 1 || parts <= 1 {
+            return sequential;
+        }
+        let per_part = self.t_mem * (stages.max(1) * elem_bytes.max(1));
+        let overhead = self.t_msg + self.t_barrier;
+        if per_part * parts <= overhead * 4u64 {
+            return sequential;
+        }
+        let threads = max_threads.min(parts);
+        FusedDecision {
+            threads,
+            grain: (parts / (threads * 4)).max(1),
+        }
+    }
+
     /// Sanity check: every parameter finite and non-negative, contention
     /// at least 1.
     pub fn is_valid(&self) -> bool {
@@ -140,6 +180,16 @@ impl Default for CostModel {
     fn default() -> Self {
         CostModel::ap1000()
     }
+}
+
+/// The execution choice a [`CostModel`] makes for one fused segment — see
+/// [`CostModel::fused_decision`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedDecision {
+    /// Host threads to run the segment on (`1` = sequential, inline).
+    pub threads: usize,
+    /// Consecutive partitions a worker claims per scheduling step.
+    pub grain: usize,
 }
 
 /// A bag of abstract local work, charged to a processor's clock via
@@ -323,6 +373,44 @@ mod tests {
     fn contention_below_one_is_invalid() {
         assert!(!CostModel::unit().with_contention(0.5).is_valid());
         assert!(CostModel::unit().with_contention(3.0).is_valid());
+    }
+
+    #[test]
+    fn fused_decision_degenerate_cases_are_sequential() {
+        let m = CostModel::unit();
+        // no host parallelism, or a single partition: nothing to fan out
+        assert_eq!(m.fused_decision(64, 8, 1024, 1).threads, 1);
+        assert_eq!(m.fused_decision(1, 8, 1024, 8).threads, 1);
+        assert_eq!(m.fused_decision(0, 8, 1024, 8).threads, 1);
+    }
+
+    #[test]
+    fn fused_decision_small_segments_stay_sequential() {
+        // AP1000: coordination overhead (55 µs) dwarfs a couple of memory
+        // ops per partition, so tiny segments run inline.
+        let m = CostModel::ap1000();
+        let d = m.fused_decision(8, 2, 8, 8);
+        assert_eq!(
+            d,
+            FusedDecision {
+                threads: 1,
+                grain: 1
+            }
+        );
+    }
+
+    #[test]
+    fn fused_decision_large_segments_fan_out() {
+        let m = CostModel::ap1000();
+        let d = m.fused_decision(32, 4, 64 * 1024, 8);
+        assert_eq!(d.threads, 8);
+        // 32 parts / (8 threads * 4 quanta) = 1 part per claim
+        assert_eq!(d.grain, 1);
+        // more parts than scheduling quanta -> coarser grain
+        let d = m.fused_decision(1024, 4, 64 * 1024, 8);
+        assert_eq!(d.grain, 1024 / (8 * 4));
+        // never more threads than parts
+        assert_eq!(m.fused_decision(3, 4, 64 * 1024, 8).threads, 3);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod topology;
 pub mod trace;
 
 pub use clock::ProcClocks;
-pub use cost::{CostModel, Work};
+pub use cost::{CostModel, FusedDecision, Work};
 pub use machine::{Machine, MachineReport};
 pub use metrics::Metrics;
 pub use network::{log_phases, Network};

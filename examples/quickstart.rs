@@ -93,13 +93,34 @@ fn main() {
 
     // optimise-then-execute: rotations cancel, the maps fuse into one
     let mut opt_ctx = Scl::ap1000(8);
-    let (optimized, log) = opt_ctx.run_optimized(&plan, &reg, ints);
+    let (optimized, log) = opt_ctx.run_optimized(&plan, &reg, ints.clone());
     assert_eq!(eager, optimized);
     println!();
     println!("plan:      {}", plan.lower(&reg).unwrap());
     println!(
         "optimized: {} rewrites applied, identical result ✓",
         log.len()
+    );
+
+    // ---- fused, partition-resident execution -----------------------------
+    // `run_fused` compiles the plan into per-partition stage chains: runs
+    // of compute skeletons execute back-to-back on the worker that owns
+    // each partition (no intermediate arrays, one thread-pool dispatch per
+    // segment), with communication skeletons as the only barriers. Same
+    // answer as the eager run, bit for bit; `ExecPolicy::cost_driven()`
+    // lets the machine's cost model decide per segment whether fanning out
+    // across host threads is worth it.
+    let mut fused_ctx = Scl::ap1000(8).with_policy(ExecPolicy::cost_driven());
+    let fused = fused_ctx
+        .run_fused(&plan, ints)
+        .expect("configuration fits the machine");
+    assert_eq!(eager, fused);
+    let stages = plan.fused_stages().unwrap();
+    let barriers = stages.iter().filter(|(_, b)| *b).count();
+    println!(
+        "fused:     {} stages, {} barriers, identical result ✓",
+        stages.len(),
+        barriers
     );
 
     // ---- the machine's verdict -------------------------------------------
