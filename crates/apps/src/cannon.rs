@@ -9,23 +9,23 @@
 use scl_core::align;
 use scl_core::prelude::*;
 
-/// Block-wise `C += A · B` with flop counting.
-fn block_mac(c: &Matrix<f64>, a: &Matrix<f64>, b: &Matrix<f64>) -> (Matrix<f64>, Work) {
+/// Block-wise `C += A · B` with flop counting; the accumulator is owned
+/// and updated in place (no per-step clone of the C block).
+fn block_mac(mut c: Matrix<f64>, a: &Matrix<f64>, b: &Matrix<f64>) -> (Matrix<f64>, Work) {
     let (m, k) = a.dims();
     let (k2, n) = b.dims();
     assert_eq!(k, k2, "inner dimension mismatch");
     assert_eq!(c.dims(), (m, n), "accumulator shape mismatch");
-    let mut out = c.clone();
     for i in 0..m {
         for j in 0..n {
-            let mut acc = *out.get(i, j);
+            let mut acc = *c.get(i, j);
             for l in 0..k {
                 acc += a.get(i, l) * b.get(l, j);
             }
-            out.set(i, j, acc);
+            c.set(i, j, acc);
         }
     }
-    (out, Work::flops(2 * (m * n * k) as u64))
+    (c, Work::flops(2 * (m * n * k) as u64))
 }
 
 /// Multiply `a · b` on a `q × q` processor grid with Cannon's algorithm.
@@ -49,21 +49,33 @@ pub fn cannon_matmul(scl: &mut Scl, a: &Matrix<f64>, b: &Matrix<f64>, q: usize) 
     let db = scl.partition2(grid, b);
 
     // Initial skew: row i of A rotates left by i; column j of B rotates up
-    // by j.
-    let mut da = scl.rotate_row(|i| i as isize, &da);
-    let mut db = scl.rotate_col(|j| j as isize, &db);
+    // by j. Owned rotations: the blocks move, nothing clones.
+    let mut da = scl.rotate_row_owned(|i| i as isize, da);
+    let mut db = scl.rotate_col_owned(|j| j as isize, db);
 
     let blk = n / q;
     let zero = ParArray::like(&da, vec![Matrix::filled(blk, blk, 0.0f64); q * q]);
 
+    // Each step zips the owned A/B/C blocks into one configuration, hands
+    // every part to the kernel by value, and splits the (untouched) A/B
+    // blocks back out to rotate them into the next step — the whole sweep
+    // moves blocks, never copies them.
+    let empty = || ParArray::from_parts(Vec::new());
     let dc = scl.iter_for(
         q,
         |scl, _, dc| {
-            let cfg = align(align(da.clone(), db.clone()), dc);
-            let out = scl.map_costed(&cfg, |((ab, bb), cb)| block_mac(cb, ab, bb));
-            da = scl.rotate_row(|_| 1, &da);
-            db = scl.rotate_col(|_| 1, &db);
-            out
+            let a_now = std::mem::replace(&mut da, empty());
+            let b_now = std::mem::replace(&mut db, empty());
+            let cfg = align(align(a_now, b_now), dc);
+            let out = scl.map_costed_owned(cfg, |((ab, bb), cb)| {
+                let (c, w) = block_mac(cb, &ab, &bb);
+                (((ab, bb), c), w)
+            });
+            let (abs, cs) = unalign(out);
+            let (ra, rb) = unalign(abs);
+            da = scl.rotate_row_owned(|_| 1, ra);
+            db = scl.rotate_col_owned(|_| 1, rb);
+            cs
         },
         zero,
     );

@@ -74,7 +74,7 @@ pub fn histogram_scl(scl: &mut Scl, values: &[u64], buckets: usize, p: usize) ->
     scl.machine.barrier();
     let da = scl.partition(Pattern::Block(p), values);
     let reduced = histogram_plan(buckets, p).run(scl, da);
-    scl.gather(&reduced)
+    scl.gather_owned(reduced)
 }
 
 #[cfg(test)]

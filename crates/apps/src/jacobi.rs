@@ -56,6 +56,13 @@ pub type JacobiState = (ParArray<Vec<f64>>, usize, f64);
 /// exchange via `shift`, local update, global `fold(max)` residual). `n` is
 /// the global field length, `starts` the global offset of each part.
 ///
+/// The sweep **double-buffers** through the context's recycled-buffer pool:
+/// each part writes its new values into a buffer from [`Scl::take_buf`] and
+/// recycles its spent input with [`Scl::recycle_buf`], so after the first
+/// sweep warms the pool the loop performs no per-element heap allocation —
+/// the owned halo shift moves the boundary values and
+/// [`Scl::imap_costed_owned`] hands each part to the kernel by value.
+///
 /// The whole loop is a single fusion *barrier* (every sweep needs the halo
 /// exchange), so under [`Scl::run_fused`] the plan composes with
 /// neighbouring fused stages and oversized configurations error instead of
@@ -72,16 +79,20 @@ pub fn jacobi_plan(
             // element; my right halo is my right neighbour's first.
             let lasts = scl.map(&da, |v: &Vec<f64>| v.last().copied());
             let firsts = scl.map(&da, |v: &Vec<f64>| v.first().copied());
-            let left_halo = scl.shift(1, &lasts, &None);
-            let right_halo = scl.shift(-1, &firsts, &None);
+            let left_halo = scl.shift_owned(1, lasts, &None);
+            let right_halo = scl.shift_owned(-1, firsts, &None);
+
+            // one write buffer per part, recycled sweep over sweep
+            let spares: Vec<Vec<f64>> = da.parts().iter().map(|v| scl.take_buf(v.len())).collect();
+            let spares = ParArray::like(&da, spares);
 
             // local sweep, skipping global boundary cells
-            let cfg = align3(left_halo, right_halo, da);
+            let cfg = align(align3(left_halo, right_halo, da), spares);
             let starts = starts.clone();
-            let swept = scl.imap_costed(&cfg, move |part_idx, (lh, rh, v)| {
+            let swept = scl.imap_costed_owned(cfg, move |part_idx, ((lh, rh, v), mut next)| {
                 let base = starts[part_idx];
                 let m = v.len();
-                let mut next = v.clone();
+                next.extend_from_slice(&v); // one memcpy into the recycled buffer
                 let mut diff = 0.0f64;
                 for i in 0..m {
                     let g = base + i;
@@ -101,9 +112,13 @@ pub fn jacobi_plan(
                     next[i] = 0.5 * (left + right);
                     diff = diff.max((next[i] - v[i]).abs());
                 }
-                ((next, diff), Work::flops(2 * m as u64))
+                (((next, diff), v), Work::flops(2 * m as u64))
             });
-            let (next, diffs) = unalign(swept);
+            let (next_diff, olds) = unalign(swept);
+            let (next, diffs) = unalign(next_diff);
+            for spent in olds.into_parts() {
+                scl.recycle_buf(spent);
+            }
             let residual = if n > 2 {
                 scl.fold(&diffs, |a, b| a.max(*b))
             } else {
@@ -130,7 +145,7 @@ pub fn jacobi_scl(scl: &mut Scl, u0: &[f64], p: usize, tol: f64, max_iters: usiz
     let (u, iterations, residual) = plan.run(scl, (da, 0usize, f64::INFINITY));
 
     JacobiResult {
-        u: scl.gather(&u),
+        u: scl.gather_owned(u),
         iterations,
         residual,
     }
@@ -215,6 +230,21 @@ mod tests {
             assert_eq!(r.u, u0, "n={n}");
             assert_eq!(r.iterations, 1); // one sweep discovers residual 0
         }
+    }
+
+    #[test]
+    fn sweep_buffers_recycle_through_the_pool() {
+        let u0 = ramp(64);
+        let mut scl = Scl::ap1000(4);
+        let _ = jacobi_scl(&mut scl, &u0, 4, 0.0, 10);
+        // steady state: each sweep takes p buffers and returns p — after
+        // the run the spent field's buffers sit parked for the next run
+        assert_eq!(scl.pooled_buffers(), 4);
+        let before = scl.pooled_buffers();
+        let _ = jacobi_scl(&mut scl, &u0, 4, 0.0, 10);
+        assert_eq!(scl.pooled_buffers(), before, "reruns reuse, not grow");
+        scl.clear_buffers();
+        assert_eq!(scl.pooled_buffers(), 0);
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub fn psrs_plan(p: usize) -> Skel<'static, ParArray<Vec<i64>>, ParArray<Vec<i64
     // configuration (a gather to processor 0), so they form one opaque
     // global stage that pairs every sorted run with the pivot vector — a
     // fusion *barrier*, so the surrounding sort/bucket/merge stages still
-    // fuse under `run_fused`.
+    // fuse under `run_fused`. The sorted runs themselves are never cloned:
+    // the samples gather by move and the broadcast moves the runs into the
+    // (pivots, run) pairs.
     let pivot_stage = Skel::barrier("pivots", move |scl: &mut Scl, da: ParArray<Vec<i64>>| {
         // each processor takes p regular samples of its sorted run
         let samples = scl.map_costed(&da, |v| {
@@ -52,7 +54,7 @@ pub fn psrs_plan(p: usize) -> Skel<'static, ParArray<Vec<i64>>, ParArray<Vec<i64
 
         // gather the samples, sort them on processor 0, pick p-1 pivots,
         // broadcast them back
-        let mut all_samples = scl.gather(&samples);
+        let mut all_samples = scl.gather_owned(samples);
         let w = seq_quicksort(&mut all_samples);
         scl.machine.compute(0, w, "sort samples");
         // exactly p-1 pivots, even for tiny or empty sample sets
@@ -65,7 +67,7 @@ pub fn psrs_plan(p: usize) -> Skel<'static, ParArray<Vec<i64>>, ParArray<Vec<i64
                 }
             })
             .collect();
-        scl.brdcast(&pivots, &da)
+        scl.brdcast_owned(&pivots, da)
     });
 
     // Phase 4a: bucket local runs by the broadcast pivots.
@@ -119,10 +121,10 @@ pub fn psrs_sort(scl: &mut Scl, data: &[i64], p: usize) -> Vec<i64> {
     let da = scl.partition(Pattern::Block(p), data);
     if p == 1 {
         let sorted = local_sort_stage().run(scl, da);
-        return scl.gather(&sorted);
+        return scl.gather_owned(sorted);
     }
     let merged = psrs_plan(p).run(scl, da);
-    scl.gather(&merged)
+    scl.gather_owned(merged)
 }
 
 #[cfg(test)]

@@ -1,0 +1,348 @@
+//! Communication-skeleton benchmark: **owned (move-based) vs borrowed
+//! (cloning)** data movement, emitted as `BENCH_comm.json`.
+//!
+//! ```text
+//! cargo run --release -p scl-bench --bin comm [parts] [elems_per_bucket] [sweeps] [reps]
+//! ```
+//!
+//! Three experiments, each timing the borrowed skeleton (clones every part
+//! it routes) against its owned twin (moves parts, recycles buffers) under
+//! the same machine and policy, with heap traffic measured by the counting
+//! allocator in `scl-testkit`:
+//!
+//! * **total_exchange** (psrs-style): `p` parts × `p` buckets of
+//!   `elems` i64 each, exchanged `sweeps` times (the bucket transpose is an
+//!   involution, so the data survives a sweep chain);
+//! * **rotate sweep** (cannon-style): a `p × p` grid of `elems`-float
+//!   blocks, row-rotated one step `p` times — the inner loop of Cannon's
+//!   algorithm;
+//! * **jacobi double-buffer**: the real `jacobi_scl` app (owned halos +
+//!   recycled sweep buffers) against the cloning sweep it replaced,
+//!   reporting per-iteration allocations after warm-up.
+//!
+//! The machine charges are identical on both paths by construction (held by
+//! `tests/owned_vs_borrowed.rs`); what this bench shows is the *host* cost
+//! of the cloning discipline the machine model never charges for.
+
+use scl_apps::jacobi::{jacobi_scl, jacobi_seq};
+use scl_core::prelude::*;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: scl_testkit::alloc::CountingAlloc = scl_testkit::alloc::CountingAlloc;
+
+/// Wall time plus allocator deltas for `reps` runs of `f` (one warm-up).
+fn measure<R>(reps: usize, mut f: impl FnMut() -> R) -> Sample {
+    std::hint::black_box(f());
+    let a0 = scl_testkit::alloc::allocations();
+    let b0 = scl_testkit::alloc::allocated_bytes();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    let millis = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    Sample {
+        millis,
+        allocs: (scl_testkit::alloc::allocations() - a0) / reps as u64,
+        alloc_bytes: (scl_testkit::alloc::allocated_bytes() - b0) / reps as u64,
+    }
+}
+
+struct Sample {
+    millis: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+struct Row {
+    bench: &'static str,
+    mode: &'static str,
+    sample: Sample,
+}
+
+fn exchange_input(p: usize, elems: usize) -> ParArray<Vec<Vec<i64>>> {
+    ParArray::from_parts(
+        (0..p)
+            .map(|k| {
+                (0..p)
+                    .map(|i| (0..elems).map(|e| (k * p + i + e) as i64).collect())
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn grid_input(q: usize, elems: usize) -> ParArray<Vec<f64>> {
+    ParArray::from_grid(
+        q,
+        q,
+        (0..q * q)
+            .map(|b| (0..elems).map(|e| (b * elems + e) as f64).collect())
+            .collect(),
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut next = |d: usize| args.next().and_then(|s| s.parse().ok()).unwrap_or(d);
+    let parts = next(8);
+    let elems = next(8192);
+    let sweeps = next(8);
+    let reps = next(11);
+    let policy = ExecPolicy::cost_driven();
+
+    println!("communication-skeleton benchmark (owned vs cloning)");
+    println!(
+        "  {parts} parts, {elems} elems/bucket, {sweeps}-step sweeps, \
+         {reps} reps, policy {policy:?}"
+    );
+    println!();
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ---- total_exchange sweep (psrs-style) --------------------------------
+    {
+        let input = exchange_input(parts, elems);
+        let mut scl = Scl::ap1000(parts).with_policy(policy);
+        let borrowed = measure(reps, || {
+            scl.reset();
+            let mut cur = input.clone();
+            for _ in 0..sweeps {
+                cur = scl.total_exchange(&cur);
+            }
+            cur
+        });
+        let mut scl = Scl::ap1000(parts).with_policy(policy);
+        let owned = measure(reps, || {
+            scl.reset();
+            let mut cur = input.clone();
+            for _ in 0..sweeps {
+                cur = scl.total_exchange_owned(cur);
+            }
+            cur
+        });
+        rows.push(Row {
+            bench: "total_exchange",
+            mode: "borrowed_cloning",
+            sample: borrowed,
+        });
+        rows.push(Row {
+            bench: "total_exchange",
+            mode: "owned_moving",
+            sample: owned,
+        });
+    }
+
+    // ---- rotate sweep (cannon-style) --------------------------------------
+    {
+        let q = parts;
+        let input = grid_input(q, elems);
+        let mut scl = Scl::ap1000(q * q).with_policy(policy);
+        let borrowed = measure(reps, || {
+            scl.reset();
+            let mut cur = input.clone();
+            for _ in 0..sweeps {
+                cur = scl.rotate_row(|_| 1, &cur);
+            }
+            cur
+        });
+        let mut scl = Scl::ap1000(q * q).with_policy(policy);
+        let owned = measure(reps, || {
+            scl.reset();
+            let mut cur = input.clone();
+            for _ in 0..sweeps {
+                cur = scl.rotate_row_owned(|_| 1, cur);
+            }
+            cur
+        });
+        rows.push(Row {
+            bench: "rotate_sweep",
+            mode: "borrowed_cloning",
+            sample: borrowed,
+        });
+        rows.push(Row {
+            bench: "rotate_sweep",
+            mode: "owned_moving",
+            sample: owned,
+        });
+    }
+
+    // ---- jacobi double-buffer ---------------------------------------------
+    // Per-iteration heap allocations, measured as the delta between a long
+    // and a short run so setup/teardown cancels out. The cloning baseline
+    // is the sweep the owned path replaced: clone the field, write into the
+    // clone.
+    let (
+        jacobi_per_iter,
+        cloning_per_iter,
+        jacobi_bytes_per_iter,
+        cloning_bytes_per_iter,
+        jacobi_speedup,
+    ) = {
+        let n = parts * elems;
+        let p = parts;
+        let u0: Vec<f64> = {
+            let mut v = vec![0.0; n];
+            v[n - 1] = 100.0;
+            v
+        };
+        let (short, long) = (10usize, 10 + sweeps.max(20));
+        let extra = (long - short) as u64;
+
+        let mut scl = Scl::ap1000(p).with_policy(policy);
+        let run = |scl: &mut Scl, iters: usize| jacobi_scl(scl, &u0, p, 0.0, iters);
+        let owned_short = measure(reps, || run(&mut scl, short));
+        let owned_long = measure(reps, || run(&mut scl, long));
+        let per_iter = owned_long.allocs.saturating_sub(owned_short.allocs) / extra;
+        let per_iter_bytes = owned_long
+            .alloc_bytes
+            .saturating_sub(owned_short.alloc_bytes)
+            / extra;
+
+        // cloning baseline, same arithmetic
+        let clone_sweep = |scl: &mut Scl, iters: usize| {
+            let da = scl.partition(Pattern::Block(p), &u0);
+            let mut state = (da, 0usize, f64::INFINITY);
+            while state.1 < iters {
+                let (da, it, _) = state;
+                let lasts = scl.map(&da, |v: &Vec<f64>| v.last().copied());
+                let firsts = scl.map(&da, |v: &Vec<f64>| v.first().copied());
+                let lh = scl.shift(1, &lasts, &None);
+                let rh = scl.shift(-1, &firsts, &None);
+                let cfg = scl_core::align3(lh, rh, da);
+                let swept = scl.imap_costed(&cfg, |_, (lh, rh, v)| {
+                    let m = v.len();
+                    let mut nx = v.clone();
+                    let mut diff = 0.0f64;
+                    for i in 0..m {
+                        let left = if i == 0 { *lh } else { Some(v[i - 1]) };
+                        let right = if i + 1 == m { *rh } else { Some(v[i + 1]) };
+                        if let (Some(l), Some(r)) = (left, right) {
+                            nx[i] = 0.5 * (l + r);
+                            diff = diff.max((nx[i] - v[i]).abs());
+                        }
+                    }
+                    ((nx, diff), Work::flops(2 * m as u64))
+                });
+                let (nx, diffs) = scl_core::unalign(swept);
+                let res = scl.fold(&diffs, |a, b| a.max(*b));
+                state = (nx, it + 1, res);
+            }
+            scl.gather(&state.0)
+        };
+        let mut scl = Scl::ap1000(p).with_policy(policy);
+        let clone_short = measure(reps, || clone_sweep(&mut scl, short));
+        let clone_long = measure(reps, || clone_sweep(&mut scl, long));
+        let clone_per_iter = clone_long.allocs.saturating_sub(clone_short.allocs) / extra;
+        let clone_per_iter_bytes = clone_long
+            .alloc_bytes
+            .saturating_sub(clone_short.alloc_bytes)
+            / extra;
+
+        let speedup = clone_long.millis / owned_long.millis;
+        rows.push(Row {
+            bench: "jacobi",
+            mode: "borrowed_cloning",
+            sample: clone_long,
+        });
+        rows.push(Row {
+            bench: "jacobi",
+            mode: "owned_double_buffer",
+            sample: owned_long,
+        });
+
+        // sanity: the double-buffered app still matches the sequential code
+        let seq = jacobi_seq(&u0, 1e-6, 200);
+        let mut check = Scl::ap1000(p);
+        let par = jacobi_scl(&mut check, &u0, p, 1e-6, 200);
+        assert_eq!(par.u, seq.u, "owned jacobi must match the sequential code");
+
+        (
+            per_iter,
+            clone_per_iter,
+            per_iter_bytes,
+            clone_per_iter_bytes,
+            speedup,
+        )
+    };
+
+    println!(
+        "{:<16} {:<22} {:>10} {:>14} {:>14}",
+        "bench", "mode", "millis", "allocs/rep", "bytes/rep"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:<22} {:>10.4} {:>14} {:>14}",
+            r.bench, r.mode, r.sample.millis, r.sample.allocs, r.sample.alloc_bytes
+        );
+    }
+
+    let speedup_of = |bench: &str| {
+        let t = |mode: &str| {
+            rows.iter()
+                .find(|r| r.bench == bench && r.mode.starts_with(mode))
+                .map(|r| r.sample.millis)
+                .unwrap_or(f64::NAN)
+        };
+        t("borrowed") / t("owned")
+    };
+    let te_speedup = speedup_of("total_exchange");
+    let rot_speedup = speedup_of("rotate_sweep");
+    println!();
+    println!("owned vs cloning speedup: total_exchange {te_speedup:.2}x, rotate_sweep {rot_speedup:.2}x, jacobi {jacobi_speedup:.2}x");
+    println!(
+        "jacobi per-iteration heap traffic after warm-up: owned {jacobi_per_iter} allocs / \
+         {jacobi_bytes_per_iter} B (constant — double-buffered), cloning {cloning_per_iter} \
+         allocs / {cloning_bytes_per_iter} B (O(field) fresh buffers every sweep)"
+    );
+
+    // ---- BENCH_comm.json --------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"comm_owned_vs_cloning\",\n");
+    json.push_str(&format!("  \"parts\": {parts},\n"));
+    json.push_str(&format!("  \"elems_per_bucket\": {elems},\n"));
+    json.push_str(&format!("  \"sweeps\": {sweeps},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        scl_exec::host_threads()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"millis\": {:.6}, \"allocs_per_rep\": {}, \"alloc_bytes_per_rep\": {}}}{}\n",
+            r.bench,
+            r.mode,
+            r.sample.millis,
+            r.sample.allocs,
+            r.sample.alloc_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_owned_vs_cloning_total_exchange\": {te_speedup:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup_owned_vs_cloning_rotate_sweep\": {rot_speedup:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup_owned_vs_cloning_jacobi\": {jacobi_speedup:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"jacobi_allocs_per_iteration_owned\": {jacobi_per_iter},\n"
+    ));
+    json.push_str(&format!(
+        "  \"jacobi_allocs_per_iteration_cloning\": {cloning_per_iter},\n"
+    ));
+    json.push_str(&format!(
+        "  \"jacobi_alloc_bytes_per_iteration_owned\": {jacobi_bytes_per_iter},\n"
+    ));
+    json.push_str(&format!(
+        "  \"jacobi_alloc_bytes_per_iteration_cloning\": {cloning_bytes_per_iter}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_comm.json", &json).expect("write BENCH_comm.json");
+    println!();
+    println!("wrote BENCH_comm.json");
+}

@@ -229,6 +229,65 @@ impl<T> ParArray<T> {
         }
     }
 
+    /// Move-based routing: part `i` of the result is part `src_of(i)` of
+    /// `self`, **moved** — no clones, no allocation beyond the output
+    /// vector. `src_of` must be a permutation of `0..len` (the regular
+    /// communication patterns: rotations, shifts with wraparound,
+    /// transposes). Placement and shape are preserved; this is the pure
+    /// data movement — the costed forms live on
+    /// [`Scl`](crate::ctx::Scl) (`rotate_owned`, `fetch_owned`, …).
+    ///
+    /// # Panics
+    /// Panics if `src_of` repeats a source (and therefore, lengths being
+    /// equal, skips another) or indexes out of range.
+    #[must_use]
+    pub fn permute_owned(self, src_of: impl Fn(usize) -> usize) -> ParArray<T> {
+        let n = self.parts.len();
+        let (parts, procs, shape) = self.into_raw();
+        let mut cells: Vec<Option<T>> = parts.into_iter().map(Some).collect();
+        let out: Vec<T> = (0..n)
+            .map(|i| {
+                cells[src_of(i)]
+                    .take()
+                    .expect("permute_owned: source part used twice (not a permutation)")
+            })
+            .collect();
+        ParArray::from_raw(out, procs, shape)
+    }
+
+    /// Move-based reindexing for possibly *one-to-many* routings
+    /// (`fetch`-style): part `i` of the result is part `src_of(i)` of
+    /// `self`. Each source's **last** use is moved; earlier uses clone;
+    /// unused sources are dropped. For a true permutation this clones
+    /// nothing and equals [`ParArray::permute_owned`].
+    #[must_use]
+    pub fn reindex_owned(self, src_of: impl Fn(usize) -> usize) -> ParArray<T>
+    where
+        T: Clone,
+    {
+        let n = self.parts.len();
+        let srcs: Vec<usize> = (0..n).map(src_of).collect();
+        let mut remaining = vec![0usize; n];
+        for &s in &srcs {
+            remaining[s] += 1;
+        }
+        let (parts, procs, shape) = self.into_raw();
+        let mut cells: Vec<Option<T>> = parts.into_iter().map(Some).collect();
+        let out: Vec<T> = srcs
+            .iter()
+            .map(|&s| {
+                remaining[s] -= 1;
+                let cell = cells[s].as_ref().expect("reindex_owned: source gone");
+                if remaining[s] == 0 {
+                    cells[s].take().expect("reindex_owned: source gone")
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        ParArray::from_raw(out, procs, shape)
+    }
+
     /// True if the two arrays have identical shape and placement — the
     /// precondition for `align`.
     pub fn conforms<U>(&self, other: &ParArray<U>) -> bool {
@@ -353,6 +412,37 @@ mod tests {
         let s = format!("{a}");
         assert!(s.contains("p0: 7"));
         assert!(s.contains("p1: 8"));
+    }
+
+    #[test]
+    fn permute_owned_moves_without_clone() {
+        // a non-Clone payload proves no clones happen
+        #[derive(Debug, PartialEq)]
+        struct NoClone(u64);
+        let a = ParArray::with_placement(vec![NoClone(0), NoClone(1), NoClone(2)], vec![7, 8, 9]);
+        let b = a.permute_owned(|i| (i + 1) % 3);
+        assert_eq!(b.parts(), &[NoClone(1), NoClone(2), NoClone(0)]);
+        assert_eq!(b.procs(), &[7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn permute_owned_rejects_non_permutation() {
+        let a = ParArray::from_parts(vec![1, 2, 3]);
+        let _ = a.permute_owned(|_| 0);
+    }
+
+    #[test]
+    fn reindex_owned_clones_only_duplicates() {
+        let a = ParArray::from_parts(vec![vec![1], vec![2], vec![3]]);
+        // one-to-many: part 0 fetched by everyone
+        let b = a.reindex_owned(|_| 0);
+        assert_eq!(b.to_vec(), vec![vec![1], vec![1], vec![1]]);
+        // a pure permutation clones nothing and matches permute_owned
+        let a = ParArray::from_parts(vec![10, 20, 30, 40]);
+        let by_reindex = a.clone().reindex_owned(|i| i ^ 1);
+        let by_permute = a.permute_owned(|i| i ^ 1);
+        assert_eq!(by_reindex, by_permute);
     }
 
     #[test]

@@ -18,8 +18,34 @@ use crate::config;
 use crate::error::{Result, SclError};
 use crate::partition::{self, Pattern};
 use crate::seq::Matrix;
-use scl_exec::{ExecPolicy, ThreadPool};
+use scl_exec::{par_concat, par_scatter, ExecPolicy, ThreadPool};
 use scl_machine::{CostModel, Machine, Time, Work};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// Cap on recycled buffers retained per concrete `Vec<T>` type — enough
+/// for a double-buffered sweep on every partition of a wide machine,
+/// small enough that a one-off wide phase cannot pin memory forever.
+const MAX_POOLED_BUFFERS: usize = 256;
+
+/// Type-erased recycled-buffer storage behind [`Scl::take_buf`] /
+/// [`Scl::recycle_buf`]: cleared `Vec<T>`s keyed by their concrete type,
+/// kept so iterative plans (jacobi's sweep, `iter_until` bodies)
+/// double-buffer instead of allocating fresh vectors every iteration.
+#[derive(Default)]
+pub(crate) struct BufPool {
+    slots: HashMap<TypeId, Vec<Box<dyn Any + Send>>>,
+}
+
+impl std::fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let buffers: usize = self.slots.values().map(Vec::len).sum();
+        f.debug_struct("BufPool")
+            .field("types", &self.slots.len())
+            .field("buffers", &buffers)
+            .finish()
+    }
+}
 
 /// How local (base-language) computation is charged to the virtual clocks.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,9 +72,13 @@ pub struct Scl {
     pub policy: ExecPolicy,
     /// Charging mode for un-costed local closures.
     pub measure: MeasureMode,
-    /// Lazily created persistent worker pool for fused segments (the eager
-    /// skeletons use scoped threads and never touch this).
+    /// Lazily created persistent worker pool for fused segments and
+    /// pool-parallel communication barriers (the eager compute skeletons
+    /// use scoped threads and never touch this).
     pool: Option<ThreadPool>,
+    /// Recycled-buffer pool for double-buffered iteration — host-side
+    /// perf state, deliberately **not** cleared by [`Scl::reset`].
+    bufs: BufPool,
 }
 
 impl Scl {
@@ -60,6 +90,7 @@ impl Scl {
             policy: ExecPolicy::Sequential,
             measure: MeasureMode::None,
             pool: None,
+            bufs: BufPool::default(),
         }
     }
 
@@ -97,8 +128,58 @@ impl Scl {
     }
 
     /// Reset clocks/counters/trace for a fresh run.
+    ///
+    /// Host-side performance state — the persistent worker pool and the
+    /// recycled-buffer pool — deliberately survives: it models nothing on
+    /// the simulated machine, and the whole point of recycling is to carry
+    /// warm buffers across runs. Use [`Scl::clear_buffers`] to drop the
+    /// recycled memory explicitly.
     pub fn reset(&mut self) {
         self.machine.reset();
+    }
+
+    // ---- recycled buffers --------------------------------------------------
+
+    /// Take a buffer with room for `capacity` elements, reusing a recycled
+    /// one when available (cleared, capacity retained — the steady state of
+    /// a double-buffered loop allocates nothing). Pair with
+    /// [`Scl::recycle_buf`].
+    #[must_use]
+    pub fn take_buf<T: Send + 'static>(&mut self, capacity: usize) -> Vec<T> {
+        if let Some(stack) = self.bufs.slots.get_mut(&TypeId::of::<Vec<T>>()) {
+            if let Some(b) = stack.pop() {
+                let mut v = *b
+                    .downcast::<Vec<T>>()
+                    .expect("buffer pool slots are keyed by their exact type");
+                v.reserve(capacity);
+                return v;
+            }
+        }
+        Vec::with_capacity(capacity)
+    }
+
+    /// Return a buffer to the pool for a later [`Scl::take_buf`]. The
+    /// contents are dropped (`clear`); the allocation is kept, up to a
+    /// bounded number of buffers per type.
+    pub fn recycle_buf<T: Send + 'static>(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return;
+        }
+        let stack = self.bufs.slots.entry(TypeId::of::<Vec<T>>()).or_default();
+        if stack.len() < MAX_POOLED_BUFFERS {
+            stack.push(Box::new(buf));
+        }
+    }
+
+    /// Number of buffers currently parked in the recycle pool (all types).
+    pub fn pooled_buffers(&self) -> usize {
+        self.bufs.slots.values().map(Vec::len).sum()
+    }
+
+    /// Drop every recycled buffer ([`Scl::reset`] keeps them on purpose).
+    pub fn clear_buffers(&mut self) {
+        self.bufs.slots.clear();
     }
 
     // ---- configuration skeletons -------------------------------------------
@@ -109,6 +190,7 @@ impl Scl {
     /// # Panics
     /// Panics if the pattern needs more parts than the machine has
     /// processors.
+    #[must_use]
     pub fn partition<T: Clone + Bytes>(
         &mut self,
         pattern: Pattern,
@@ -116,6 +198,57 @@ impl Scl {
     ) -> ParArray<Vec<T>> {
         self.try_partition(pattern, data)
             .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Scl::partition`] that **consumes** the host data, moving elements
+    /// into the parts instead of cloning them — charged identically. Block
+    /// patterns additionally move their contiguous ranges on the persistent
+    /// pool ([`scl_exec::par_scatter`]) when the cost model says the
+    /// payload justifies it.
+    #[must_use]
+    pub fn partition_owned<T: Clone + Bytes + Send>(
+        &mut self,
+        pattern: Pattern,
+        data: Vec<T>,
+    ) -> ParArray<Vec<T>> {
+        self.try_partition_owned(pattern, data)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Scl::partition_owned`] returning [`SclError::MachineTooSmall`]
+    /// instead of panicking — the owned counterpart of
+    /// [`Scl::try_partition`] and the entry point fused execution uses.
+    pub fn try_partition_owned<T: Clone + Bytes + Send>(
+        &mut self,
+        pattern: Pattern,
+        data: Vec<T>,
+    ) -> Result<ParArray<Vec<T>>> {
+        pattern.check();
+        let out = match pattern {
+            Pattern::Block(p) => {
+                let ranges = partition::block_ranges(data.len(), p);
+                let per_part = data.len() / p.max(1) * std::mem::size_of::<T>();
+                let (threads, _) = self.comm_schedule(p, per_part);
+                let parts = if threads <= 1 {
+                    let mut data = data;
+                    let mut parts = Vec::with_capacity(p);
+                    for r in ranges.iter().rev() {
+                        parts.push(data.split_off(r.start));
+                    }
+                    parts.reverse();
+                    parts
+                } else {
+                    let pool = self.fused_pool(threads);
+                    par_scatter(pool, data, &ranges, threads)
+                };
+                ParArray::from_parts(parts)
+            }
+            _ => partition::partition_owned(pattern, data),
+        };
+        self.try_check_fits(out.len())?;
+        let per_part = out.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
+        self.machine.scatter(out.procs(), per_part);
+        Ok(out)
     }
 
     /// [`Scl::partition`] returning [`SclError::MachineTooSmall`] instead
@@ -134,6 +267,7 @@ impl Scl {
     }
 
     /// Partition a matrix across the machine.
+    #[must_use]
     pub fn partition2<T: Clone + Bytes>(
         &mut self,
         pattern: Pattern,
@@ -152,6 +286,29 @@ impl Scl {
         let per_part = a.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
         self.machine.gather(a.procs(), per_part);
         a.parts().iter().flat_map(|v| v.iter().cloned()).collect()
+    }
+
+    /// [`Scl::gather`] that **consumes** the distributed array, moving
+    /// elements into the result instead of cloning them — charged
+    /// identically. The concat itself runs on the persistent pool
+    /// ([`scl_exec::par_concat`]) when the cost model says the moved bytes
+    /// justify fanning out.
+    pub fn gather_owned<T: Bytes + Send>(&mut self, a: ParArray<Vec<T>>) -> Vec<T> {
+        let per_part = a.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
+        self.machine.gather(a.procs(), per_part);
+        let (threads, _) = self.comm_schedule(a.len(), per_part);
+        let parts = a.into_parts();
+        if threads <= 1 {
+            let total = parts.iter().map(Vec::len).sum();
+            let mut out = Vec::with_capacity(total);
+            for v in parts {
+                out.extend(v);
+            }
+            out
+        } else {
+            let pool = self.fused_pool(threads);
+            par_concat(pool, parts, threads)
+        }
     }
 
     /// Pattern-aware gather: exact inverse of [`Scl::partition`].
@@ -178,6 +335,7 @@ impl Scl {
 
     /// The paper's `distribution` skeleton for two arrays: partition each
     /// with its own strategy and align the results into a configuration.
+    #[must_use]
     pub fn distribution2<A: Clone + Bytes, B: Clone + Bytes>(
         &mut self,
         pa: Pattern,
@@ -193,6 +351,7 @@ impl Scl {
     /// The paper's `redistribution` skeleton: apply one bulk-movement
     /// function per component of a configuration. The closures receive this
     /// context so they can use communication skeletons (and be charged).
+    #[must_use]
     pub fn redistribution2<A, B>(
         &mut self,
         cfg: ParArray<(A, B)>,
@@ -207,11 +366,13 @@ impl Scl {
 
     /// Divide a configuration into sub-configurations (processor groups);
     /// pure renaming of processors, so cost-free.
+    #[must_use]
     pub fn split<T>(&mut self, pattern: Pattern, a: ParArray<T>) -> ParArray<ParArray<T>> {
         config::split(pattern, a)
     }
 
     /// Flatten a nested configuration; cost-free.
+    #[must_use]
     pub fn combine<T>(&mut self, nested: ParArray<ParArray<T>>) -> ParArray<T> {
         config::combine(nested)
     }
@@ -237,6 +398,25 @@ impl Scl {
                 procs: self.nprocs(),
             })
         }
+    }
+
+    /// `(threads, grain)` for the local data movement of a communication
+    /// barrier moving `parts` pieces of about `per_part_bytes` each, under
+    /// the current [`ExecPolicy`]: sequential stays inline, threaded and
+    /// cost-driven policies consult
+    /// [`CostModel::comm_decision`] so
+    /// small payloads never pay a pool dispatch. Charging is unaffected —
+    /// the simulated machine sees the same routes either way.
+    pub(crate) fn comm_schedule(&self, parts: usize, per_part_bytes: usize) -> (usize, usize) {
+        let cap = match self.policy {
+            ExecPolicy::Sequential => return (1, 1),
+            ExecPolicy::Threads(t) | ExecPolicy::CostDriven { threads: t } => t,
+        };
+        let d = self
+            .machine
+            .model()
+            .comm_decision(parts, per_part_bytes, cap);
+        (d.threads.min(parts.max(1)), d.grain)
     }
 
     /// The persistent worker pool fused segments dispatch onto, created on

@@ -40,6 +40,16 @@
 //! between a plan's boundary types and this form; every fused constructor
 //! uses it, which is what makes node chains composable across `.then()`.
 //!
+//! Ownership is part of the contract end to end: a barrier node receives
+//! its `ErasedArr` **by value** and re-emits an owned one, and the plan
+//! layer's barrier closures delegate to the *owned* communication
+//! skeletons (`rotate_owned`, `total_exchange_owned`, `gather_owned`, …),
+//! so part payloads **move** through an entire fused chain — compute
+//! segments hand boxed parts worker-to-worker, barriers re-route the same
+//! boxes — and nothing clones partition data between stages. See the
+//! "Zero-copy communication" section of the [crate docs](crate) for when
+//! data does and does not clone.
+//!
 //! Failure behaviour is part of the contract: a panic inside a fused
 //! compute node is re-raised on the caller **labelled with the stage
 //! name** (`fused stage `map` panicked on part 3: …`), and configurations
@@ -437,8 +447,15 @@ impl Scl {
         }
     }
 
-    /// `(threads, grain)` for a segment under the current [`ExecPolicy`].
-    fn segment_schedule(&self, parts: usize, stages: usize, elem_bytes: usize) -> (usize, usize) {
+    /// `(threads, grain)` for a segment under the current [`ExecPolicy`] —
+    /// also the schedule for the owned compute maps in
+    /// [`crate::skeletons::elementary`], which are one-stage segments.
+    pub(crate) fn segment_schedule(
+        &self,
+        parts: usize,
+        stages: usize,
+        elem_bytes: usize,
+    ) -> (usize, usize) {
         match self.policy {
             ExecPolicy::Sequential => (1, 1),
             ExecPolicy::Threads(t) => (t.max(1).min(parts), 1),

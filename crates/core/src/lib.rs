@@ -63,6 +63,47 @@
 //! the rewritten program through this executor, so §4 optimisation and
 //! fusion compose.
 //!
+//! ## Zero-copy communication: the ownership discipline
+//!
+//! Every communication skeleton comes in two forms with **identical
+//! machine charges** (routes, messages, bytes, makespan — held by the
+//! `tests/owned_vs_borrowed.rs` differential suite):
+//!
+//! * the **borrowed** form (`rotate(&a)`, `total_exchange(&a)`, …) keeps
+//!   the input alive and *clones* every part it routes — right when the
+//!   input is reused (Cannon-style sweeps over a retained array, ablation
+//!   runs over one dataset);
+//! * the **owned** form (`rotate_owned(a)`, `total_exchange_owned(a)`,
+//!   `gather_owned(a)`, `partition_owned(data)`, …) consumes the input and
+//!   **moves** parts along the routes — permutations
+//!   ([`ParArray::permute_owned`]) clone nothing at all; one-to-many
+//!   routings ([`ParArray::reindex_owned`], `send_owned`, `fetch_owned`)
+//!   move each source's *last* use and clone only the extra copies, which
+//!   is exactly the data the simulated machine charges for shipping
+//!   anyway.
+//!
+//! The plan layer uses the owned forms exclusively: every barrier stage of
+//! a [`Skel`] receives its array by value and re-emits an owned one, so a
+//! fused chain moves part payloads end to end. Heavy local movements — the
+//! `total_exchange` bucket transpose, the `gather` concat, the block
+//! `partition` scatter — additionally fan out across the context's
+//! persistent worker pool (`scl_exec::par_permute` / `par_concat` /
+//! `par_scatter`) when
+//! [`CostModel::comm_decision`](scl_machine::CostModel::comm_decision)
+//! says the moved bytes justify a dispatch; small arrays stay inline.
+//!
+//! Iterative plans double-buffer through the context's recycled-buffer
+//! pool: [`Scl::take_buf`] hands out a cleared buffer (reusing a recycled
+//! allocation when one fits), [`Scl::recycle_buf`] parks a spent one, so a
+//! convergence loop like jacobi's allocates a constant amount per sweep
+//! after its first iteration. The pool is host-side performance state, not
+//! machine state: [`Scl::reset`] deliberately keeps it (warm buffers carry
+//! across runs), and [`Scl::clear_buffers`] drops it explicitly.
+//!
+//! All `ParArray`-returning skeletons are `#[must_use]`: dropping a
+//! skeleton result silently is almost always a performance bug (the work
+//! and communication were still charged), so it warns at compile time.
+//!
 //! ## Example: distributed dot product
 //!
 //! ```

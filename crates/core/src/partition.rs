@@ -153,6 +153,45 @@ pub fn partition<T: Clone>(pattern: Pattern, data: &[T]) -> ParArray<Vec<T>> {
     }
 }
 
+/// [`partition`] that **consumes** the host data, moving each element into
+/// its part — no clones. Block patterns split off contiguous ranges;
+/// cyclic patterns deal elements out by move.
+///
+/// # Panics
+/// Panics if `pattern` is not one-dimensional.
+pub fn partition_owned<T>(pattern: Pattern, data: Vec<T>) -> ParArray<Vec<T>> {
+    pattern.check();
+    let n = data.len();
+    match pattern {
+        Pattern::Block(p) => {
+            let ranges = block_ranges(n, p);
+            let mut data = data;
+            let mut parts = Vec::with_capacity(p);
+            for r in ranges.iter().rev() {
+                parts.push(data.split_off(r.start));
+            }
+            parts.reverse();
+            ParArray::from_parts(parts)
+        }
+        Pattern::Cyclic(p) => {
+            let mut parts: Vec<Vec<T>> = (0..p).map(|_| Vec::with_capacity(n / p + 1)).collect();
+            for (j, x) in data.into_iter().enumerate() {
+                parts[j % p].push(x);
+            }
+            ParArray::from_parts(parts)
+        }
+        Pattern::BlockCyclic { p, block } => {
+            let mut parts: Vec<Vec<T>> =
+                (0..p).map(|_| Vec::with_capacity(n / p + block)).collect();
+            for (j, x) in data.into_iter().enumerate() {
+                parts[(j / block) % p].push(x);
+            }
+            ParArray::from_parts(parts)
+        }
+        _ => panic!("partition of a 1-D array needs a 1-D pattern, got {pattern:?}"),
+    }
+}
+
 /// Exact inverse of [`partition`].
 pub fn gather<T: Clone>(pattern: Pattern, dist: &ParArray<Vec<T>>) -> Vec<T> {
     pattern.check();
@@ -338,6 +377,22 @@ mod tests {
         ] {
             let d = partition(pattern, &data);
             assert_eq!(gather(pattern, &d), data, "{pattern:?}");
+        }
+    }
+
+    #[test]
+    fn partition_owned_matches_partition() {
+        let data: Vec<u32> = (0..23).collect();
+        for pattern in [
+            Pattern::Block(4),
+            Pattern::Block(1),
+            Pattern::Block(40),
+            Pattern::Cyclic(4),
+            Pattern::BlockCyclic { p: 3, block: 2 },
+        ] {
+            let cloned = partition(pattern, &data);
+            let moved = partition_owned(pattern, data.clone());
+            assert_eq!(moved, cloned, "{pattern:?}");
         }
     }
 

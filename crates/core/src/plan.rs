@@ -402,7 +402,7 @@ where
     /// [`optimize`]. A fusion barrier.
     pub fn rotate(k: isize) -> Self {
         let mut plan = Skel::barrier("rotate", move |scl: &mut Scl, a: ParArray<T>| {
-            scl.rotate(k, &a)
+            scl.rotate_owned(k, a)
         });
         plan.repr = Some(Expr::Rotate(k as i64));
         plan
@@ -411,7 +411,7 @@ where
     /// Boundary-filled shift ([`Scl::shift`]). A fusion barrier.
     pub fn shift(k: isize, fill: T) -> Self {
         Skel::barrier("shift", move |scl: &mut Scl, a: ParArray<T>| {
-            scl.shift(k, &a, &fill)
+            scl.shift_owned(k, a, &fill)
         })
     }
 
@@ -419,7 +419,7 @@ where
     /// A fusion barrier.
     pub fn fetch(f: impl Fn(usize) -> usize + 'a) -> Self {
         Skel::barrier("fetch", move |scl: &mut Scl, a: ParArray<T>| {
-            scl.fetch(&f, &a)
+            scl.fetch_owned(&f, a)
         })
     }
 
@@ -454,7 +454,7 @@ where
     /// barrier.
     pub fn brdcast(item: I) -> Skel<'a, ParArray<U>, ParArray<(I, U)>> {
         Skel::barrier("brdcast", move |scl: &mut Scl, a: ParArray<U>| {
-            scl.brdcast(&item, &a)
+            scl.brdcast_owned(&item, a)
         })
     }
 }
@@ -468,7 +468,7 @@ where
     pub fn total_exchange() -> Self {
         Skel::barrier(
             "total_exchange",
-            |scl: &mut Scl, a: ParArray<Vec<Vec<T>>>| scl.total_exchange(&a),
+            |scl: &mut Scl, a: ParArray<Vec<Vec<T>>>| scl.total_exchange_owned(a),
         )
     }
 }
@@ -484,13 +484,13 @@ where
     /// surfaces as [`SclError::MachineTooSmall`](crate::error::SclError)
     /// instead of panicking.
     pub fn partition(pattern: Pattern) -> Self {
-        let exec = move |scl: &mut Scl, data: Vec<T>| scl.partition(pattern, &data);
+        let exec = move |scl: &mut Scl, data: Vec<T>| scl.partition_owned(pattern, data);
         Skel {
             exec: RefCell::new(Box::new(exec)),
             repr: None,
             fused: Some(RefCell::new(fused::barrier_node(
                 "partition",
-                move |scl: &mut Scl, data: Vec<T>| scl.try_partition(pattern, &data),
+                move |scl: &mut Scl, data: Vec<T>| scl.try_partition_owned(pattern, data),
             ))),
         }
     }
@@ -504,7 +504,7 @@ where
     /// A fusion barrier.
     pub fn gather() -> Self {
         Skel::barrier("gather", |scl: &mut Scl, a: ParArray<Vec<T>>| {
-            scl.gather(&a)
+            scl.gather_owned(a)
         })
     }
 }
@@ -517,7 +517,7 @@ where
     /// ([`Scl::balance`]). A fusion barrier.
     pub fn balance() -> Self {
         Skel::barrier("balance", |scl: &mut Scl, a: ParArray<Vec<T>>| {
-            scl.balance(&a)
+            scl.balance_owned(a)
         })
     }
 }
@@ -655,7 +655,7 @@ fn exec_expr(e: &Expr, reg: &Registry, scl: &mut Scl, val: RtVal) -> Result<RtVa
             let out = scl.map_costed(&a, |x| (reg.apply_fn(f, *x).unwrap_or(0), w));
             Ok(RtVal::Flat(out))
         }
-        Expr::Rotate(k) => Ok(RtVal::Flat(scl.rotate(*k as isize, &flat(val)?))),
+        Expr::Rotate(k) => Ok(RtVal::Flat(scl.rotate_owned(*k as isize, flat(val)?))),
         Expr::Fetch(h) => {
             let a = flat(val)?;
             let n = a.len();
@@ -664,7 +664,7 @@ fn exec_expr(e: &Expr, reg: &Registry, scl: &mut Scl, val: RtVal) -> Result<RtVa
             for i in 0..n {
                 idx.push(reg.apply_idx(h, i, n)?);
             }
-            Ok(RtVal::Flat(scl.fetch(|i| idx[i], &a)))
+            Ok(RtVal::Flat(scl.fetch_owned(|i| idx[i], a)))
         }
         Expr::Send(h) => {
             let a = flat(val)?;
@@ -673,7 +673,7 @@ fn exec_expr(e: &Expr, reg: &Registry, scl: &mut Scl, val: RtVal) -> Result<RtVa
             for k in 0..n {
                 dst.push(reg.apply_idx(h, k, n)?);
             }
-            let inboxes = scl.send(|k| vec![dst[k]], &a);
+            let inboxes = scl.send_owned(|k| vec![dst[k]], a);
             // resolve the unordered accumulation with + (the interpreter's
             // canonical monoid)
             Ok(RtVal::Flat(scl.map_costed(&inboxes, |v| {
@@ -817,7 +817,7 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
         let repr = Expr::Fetch(h.clone());
         let mut plan = Skel::barrier("fetch_sym", move |scl: &mut Scl, a: ParArray<i64>| {
             let n = a.len();
-            scl.fetch(|i| reg.apply_idx(&h, i, n).unwrap_or(i), &a)
+            scl.fetch_owned(|i| reg.apply_idx(&h, i, n).unwrap_or(i), a)
         });
         plan.repr = Some(repr);
         plan
@@ -836,7 +836,7 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
         let repr = Expr::Send(h.clone());
         let mut plan = Skel::barrier("send_sym", move |scl: &mut Scl, a: ParArray<i64>| {
             let n = a.len();
-            let inboxes = scl.send(|k| vec![reg.apply_idx(&h, k, n).unwrap_or(k)], &a);
+            let inboxes = scl.send_owned(|k| vec![reg.apply_idx(&h, k, n).unwrap_or(k)], a);
             scl.map_costed(&inboxes, |v| {
                 (
                     v.iter().fold(0i64, |acc, x| acc.wrapping_add(*x)),

@@ -33,6 +33,7 @@ impl Scl {
     ///
     /// `rotate 0` is the identity and costs nothing (the communication
     /// algebra's `rotate 0 → id` law holds by construction).
+    #[must_use]
     pub fn rotate<T: Clone + Bytes>(&mut self, k: isize, a: &ParArray<T>) -> ParArray<T> {
         let n = a.len();
         if n == 0 {
@@ -55,6 +56,7 @@ impl Scl {
 
     /// Rotate every row of a 2-D grid: the paper's
     /// `rotate_row df A = ⟨(i,j) ↦ A[i, (j + df i) mod cols]⟩`.
+    #[must_use]
     pub fn rotate_row<T: Clone + Bytes>(
         &mut self,
         df: impl Fn(usize) -> isize,
@@ -70,6 +72,7 @@ impl Scl {
 
     /// Rotate every column of a 2-D grid: the paper's
     /// `rotate_col df A = ⟨(i,j) ↦ A[(i + df j) mod rows, j]⟩`.
+    #[must_use]
     pub fn rotate_col<T: Clone + Bytes>(
         &mut self,
         df: impl Fn(usize) -> isize,
@@ -111,6 +114,7 @@ impl Scl {
     /// Shift without wraparound: part `i` receives part `i - k` (for
     /// `k > 0`), with `fill` entering at the boundary. The stencil
     /// workhorse (halo exchange).
+    #[must_use]
     pub fn shift<T: Clone + Bytes>(&mut self, k: isize, a: &ParArray<T>, fill: &T) -> ParArray<T> {
         let n = a.len() as isize;
         let mut routes = Vec::new();
@@ -135,6 +139,7 @@ impl Scl {
 
     /// Broadcast one value to all parts, pairing it with the local data:
     /// the paper's `brdcast a A = map (align_pair a) A`.
+    #[must_use]
     pub fn brdcast<T, U>(&mut self, item: &T, a: &ParArray<U>) -> ParArray<(T, U)>
     where
         T: Clone + Bytes,
@@ -153,6 +158,7 @@ impl Scl {
     /// The paper's `applybrdcast f i A = brdcast (f A[i]) A`: apply `f` to
     /// the data on part `i` locally, broadcast the result to the group. The
     /// local work is charged per the context's measure mode.
+    #[must_use]
     pub fn apply_brdcast<T, R>(
         &mut self,
         f: impl Fn(&T) -> R,
@@ -175,6 +181,7 @@ impl Scl {
     }
 
     /// [`Scl::apply_brdcast`] with self-reported local work.
+    #[must_use]
     pub fn apply_brdcast_costed<T, R>(
         &mut self,
         f: impl Fn(&T) -> (R, Work),
@@ -197,6 +204,7 @@ impl Scl {
     /// Irregular send: `f(k)` names the destination indices of part `k`
     /// (one-to-many allowed). Destination `j` accumulates every part sent
     /// to it — *in unspecified order* (see module docs).
+    #[must_use]
     pub fn send<T: Clone + Bytes>(
         &mut self,
         f: impl Fn(usize) -> Vec<usize>,
@@ -221,6 +229,7 @@ impl Scl {
     /// Irregular fetch: part `i` pulls part `f(i)` (one-to-one or
     /// one-to-many sources; the paper notes `fetch` cannot express
     /// many-to-one).
+    #[must_use]
     pub fn fetch<T: Clone + Bytes>(
         &mut self,
         f: impl Fn(usize) -> usize,
@@ -243,6 +252,7 @@ impl Scl {
 
     /// All-gather: every part receives the full sequence of parts (in part
     /// order). The data-parallel `allgather` of MPI.
+    #[must_use]
     pub fn all_gather<T: Clone + Bytes>(&mut self, a: &ParArray<T>) -> ParArray<Vec<T>> {
         let per = a.parts().iter().map(Bytes::bytes).max().unwrap_or(0);
         self.machine.all_gather(a.procs(), per);
@@ -255,6 +265,7 @@ impl Scl {
     ///
     /// # Panics
     /// Panics on an empty array.
+    #[must_use]
     pub fn fold_all<T: Clone + Bytes>(
         &mut self,
         a: &ParArray<T>,
@@ -274,6 +285,7 @@ impl Scl {
     /// Transpose a 2-D grid of parts: result part `(i, j)` is input part
     /// `(j, i)`. Requires a square grid (placement is preserved, data
     /// moves).
+    #[must_use]
     pub fn transpose<T: Clone + Bytes>(&mut self, a: &ParArray<T>) -> ParArray<T> {
         let (rows, cols) = a.shape().dims2();
         assert_eq!(
@@ -302,6 +314,7 @@ impl Scl {
     /// concatenated parts so every part holds a balanced (±1) contiguous
     /// block, preserving global order. The standard fix-up after skewing
     /// operations like hyperquicksort's pivot exchanges.
+    #[must_use]
     pub fn balance<T: Clone + Bytes>(&mut self, a: &ParArray<Vec<T>>) -> ParArray<Vec<T>> {
         let p = a.len();
         if p == 0 {
@@ -347,30 +360,340 @@ impl Scl {
     /// Total exchange: part `i` holds one bucket per destination; after the
     /// exchange, part `i` holds bucket `i` *from* every source (bucket
     /// transpose). The backbone of sample-sort style algorithms.
+    ///
+    /// Charged **per route**: each cross-processor bucket pays for the
+    /// bytes it actually ships
+    /// ([`Machine::all_to_all_v`](scl_machine::Machine::all_to_all_v)),
+    /// not `g·(g−1)` copies of the globally largest bucket — skewed
+    /// exchanges (the common case after sampling-based bucketing) cost
+    /// what they move.
+    #[must_use]
     pub fn total_exchange<T: Clone + Bytes>(
         &mut self,
         a: &ParArray<Vec<Vec<T>>>,
     ) -> ParArray<Vec<Vec<T>>> {
         let n = a.len();
-        for (k, part) in a.parts().iter().enumerate() {
-            assert_eq!(
-                part.len(),
-                n,
-                "total_exchange: part {k} has {} buckets, need {n}",
-                part.len()
-            );
-        }
-        let per_pair = a
-            .parts()
-            .iter()
-            .flat_map(|bs| bs.iter().map(Bytes::bytes))
-            .max()
-            .unwrap_or(0);
-        self.machine.all_to_all(a.procs(), per_pair);
+        let routes = total_exchange_routes(a);
+        self.machine.all_to_all_v(a.procs(), &routes);
         let parts: Vec<Vec<Vec<T>>> = (0..n)
             .map(|i| (0..n).map(|k| a.part(k)[i].clone()).collect())
             .collect();
         ParArray::like(a, parts)
+    }
+}
+
+/// Validate a total-exchange configuration and produce its route table:
+/// one `(src, dst, bytes)` entry per non-empty cross-processor bucket (the
+/// diagonal stays home, and an empty bucket ships no message at all).
+///
+/// # Panics
+/// Panics if any part does not hold exactly one bucket per destination.
+fn total_exchange_routes<T: Bytes>(a: &ParArray<Vec<Vec<T>>>) -> Vec<(ProcId, ProcId, usize)> {
+    let n = a.len();
+    let mut routes = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
+    for (k, part) in a.parts().iter().enumerate() {
+        assert_eq!(
+            part.len(),
+            n,
+            "total_exchange: part {k} has {} buckets, need {n}",
+            part.len()
+        );
+        for (i, bucket) in part.iter().enumerate() {
+            if i != k && !bucket.is_empty() {
+                routes.push((a.procs()[k], a.procs()[i], bucket.bytes()));
+            }
+        }
+    }
+    routes
+}
+
+// ---- owned (zero-copy) variants ---------------------------------------------
+//
+// Every borrowed communication skeleton has an owned twin that *consumes*
+// its input and **moves** parts along the routes instead of cloning them.
+// The simulated machine is charged identically — routes are computed from
+// the borrowed view before any part moves — so the two forms are
+// interchangeable for cost studies; `tests/owned_vs_borrowed.rs` holds
+// outputs and `machine.metrics` equal under every `ExecPolicy`. The plan
+// layer's barrier stages use the owned forms exclusively: a `BarrierFn`
+// receives its array by value, so nothing in a fused chain clones part
+// payloads between stages.
+
+impl Scl {
+    /// [`Scl::rotate`] consuming its input: parts **move** along the
+    /// rotation, no clones (note the relaxed bound — `T` need not be
+    /// `Clone`). Charged identically.
+    #[must_use]
+    pub fn rotate_owned<T: Bytes>(&mut self, k: isize, a: ParArray<T>) -> ParArray<T> {
+        let n = a.len();
+        if n == 0 {
+            return a;
+        }
+        let k = norm(k, n);
+        if k == 0 {
+            return a;
+        }
+        let routes: Vec<(ProcId, ProcId, usize)> = (0..n)
+            .map(|i| {
+                let src = (i + k) % n;
+                (a.procs()[src], a.procs()[i], a.part(src).bytes())
+            })
+            .collect();
+        self.machine.permute(a.procs(), &routes);
+        a.permute_owned(|i| (i + k) % n)
+    }
+
+    /// [`Scl::rotate_row`] consuming its input — parts move. Charged
+    /// identically.
+    #[must_use]
+    pub fn rotate_row_owned<T: Bytes>(
+        &mut self,
+        df: impl Fn(usize) -> isize,
+        a: ParArray<T>,
+    ) -> ParArray<T> {
+        let (rows, cols) = a.shape().dims2();
+        let src_of = |i: usize, j: usize| -> usize {
+            let jj = norm(df(i), cols.max(1));
+            i * cols + (j + jj) % cols
+        };
+        self.rotate_grid_owned(a, rows, cols, src_of)
+    }
+
+    /// [`Scl::rotate_col`] consuming its input — parts move. Charged
+    /// identically.
+    #[must_use]
+    pub fn rotate_col_owned<T: Bytes>(
+        &mut self,
+        df: impl Fn(usize) -> isize,
+        a: ParArray<T>,
+    ) -> ParArray<T> {
+        let (rows, cols) = a.shape().dims2();
+        let src_of = |i: usize, j: usize| -> usize {
+            let ii = norm(df(j), rows.max(1));
+            ((i + ii) % rows) * cols + j
+        };
+        self.rotate_grid_owned(a, rows, cols, src_of)
+    }
+
+    fn rotate_grid_owned<T: Bytes>(
+        &mut self,
+        a: ParArray<T>,
+        rows: usize,
+        cols: usize,
+        src_of: impl Fn(usize, usize) -> usize,
+    ) -> ParArray<T> {
+        let mut routes = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let dst = i * cols + j;
+                let src = src_of(i, j);
+                if src != dst {
+                    routes.push((a.procs()[src], a.procs()[dst], a.part(src).bytes()));
+                }
+            }
+        }
+        if !routes.is_empty() {
+            self.machine.permute(a.procs(), &routes);
+        }
+        a.permute_owned(|d| src_of(d / cols, d % cols))
+    }
+
+    /// [`Scl::shift`] consuming its input: surviving parts move, only the
+    /// boundary clones `fill`. Charged identically.
+    #[must_use]
+    pub fn shift_owned<T: Clone + Bytes>(
+        &mut self,
+        k: isize,
+        a: ParArray<T>,
+        fill: &T,
+    ) -> ParArray<T> {
+        let n = a.len() as isize;
+        let mut routes = Vec::new();
+        for i in 0..n {
+            let src = i - k;
+            if src >= 0 && src < n && src != i {
+                routes.push((
+                    a.procs()[src as usize],
+                    a.procs()[i as usize],
+                    a.part(src as usize).bytes(),
+                ));
+            }
+        }
+        if !routes.is_empty() {
+            self.machine.permute(a.procs(), &routes);
+        }
+        let (parts, procs, shape) = a.into_raw();
+        let mut cells: Vec<Option<T>> = parts.into_iter().map(Some).collect();
+        let out: Vec<T> = (0..n)
+            .map(|i| {
+                let src = i - k;
+                if src >= 0 && src < n {
+                    cells[src as usize]
+                        .take()
+                        .expect("shift sources are distinct")
+                } else {
+                    fill.clone()
+                }
+            })
+            .collect();
+        ParArray::from_raw(out, procs, shape)
+    }
+
+    /// [`Scl::brdcast`] consuming the array: local data moves into the
+    /// pairs, only the broadcast item clones (it genuinely lands on every
+    /// part). Charged identically.
+    #[must_use]
+    pub fn brdcast_owned<T, U>(&mut self, item: &T, a: ParArray<U>) -> ParArray<(T, U)>
+    where
+        T: Clone + Bytes,
+    {
+        self.machine.broadcast(a.procs(), item.bytes());
+        a.map_into(|_, u| (item.clone(), u))
+    }
+
+    /// [`Scl::send`] consuming its input: each part **moves** to its last
+    /// destination and clones only for the earlier ones (one-to-one
+    /// routings clone nothing). Charged identically; inbox order is the
+    /// same unspecified-but-deterministic ascending source order.
+    #[must_use]
+    pub fn send_owned<T: Clone + Bytes>(
+        &mut self,
+        f: impl Fn(usize) -> Vec<usize>,
+        a: ParArray<T>,
+    ) -> ParArray<Vec<T>> {
+        let n = a.len();
+        let mut routes = Vec::new();
+        let mut dests: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for k in 0..n {
+            let ds = f(k);
+            for &j in &ds {
+                assert!(j < n, "send: destination {j} out of range ({n} parts)");
+                if j != k {
+                    routes.push((a.procs()[k], a.procs()[j], a.part(k).bytes()));
+                }
+            }
+            dests.push(ds);
+        }
+        self.machine.permute(a.procs(), &routes);
+        let (parts, procs, shape) = a.into_raw();
+        let mut inboxes: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        for (k, x) in parts.into_iter().enumerate() {
+            if let Some((&last, init)) = dests[k].split_last() {
+                for &j in init {
+                    inboxes[j].push(x.clone());
+                }
+                inboxes[last].push(x);
+            }
+        }
+        ParArray::from_raw(inboxes, procs, shape)
+    }
+
+    /// [`Scl::fetch`] consuming its input: each source moves to its last
+    /// fetcher and clones only for additional ones (a permutation clones
+    /// nothing). Charged identically.
+    #[must_use]
+    pub fn fetch_owned<T: Clone + Bytes>(
+        &mut self,
+        f: impl Fn(usize) -> usize,
+        a: ParArray<T>,
+    ) -> ParArray<T> {
+        let n = a.len();
+        let mut routes = Vec::new();
+        for i in 0..n {
+            let src = f(i);
+            assert!(src < n, "fetch: source {src} out of range ({n} parts)");
+            if src != i {
+                routes.push((a.procs()[src], a.procs()[i], a.part(src).bytes()));
+            }
+        }
+        self.machine.permute(a.procs(), &routes);
+        a.reindex_owned(f)
+    }
+
+    /// [`Scl::balance`] consuming its input: elements **move** into their
+    /// rebalanced parts (no per-element clones). Charged identically.
+    #[must_use]
+    pub fn balance_owned<T: Bytes>(&mut self, a: ParArray<Vec<T>>) -> ParArray<Vec<T>> {
+        let p = a.len();
+        if p == 0 {
+            return a;
+        }
+        let total: usize = a.parts().iter().map(Vec::len).sum();
+        let targets = crate::partition::block_ranges(total, p);
+
+        let mut offsets = Vec::with_capacity(p);
+        let mut acc = 0usize;
+        for part in a.parts() {
+            offsets.push(acc);
+            acc += part.len();
+        }
+
+        let elem_bytes = |v: &Vec<T>| if v.is_empty() { 0 } else { v.bytes() / v.len() };
+        let mut routes = Vec::new();
+        for (src, part) in a.parts().iter().enumerate() {
+            let s0 = offsets[src];
+            for (dst, target) in targets.iter().enumerate() {
+                let lo = s0.max(target.start);
+                let hi = (s0 + part.len()).min(target.end);
+                if lo < hi && src != dst {
+                    routes.push((a.procs()[src], a.procs()[dst], (hi - lo) * elem_bytes(part)));
+                }
+            }
+        }
+        if !routes.is_empty() {
+            self.machine.permute(a.procs(), &routes);
+        }
+
+        let (parts, procs, shape) = a.into_raw();
+        let mut stream = parts.into_iter().flatten();
+        let out: Vec<Vec<T>> = targets
+            .iter()
+            .map(|r| stream.by_ref().take(r.len()).collect())
+            .collect();
+        ParArray::from_raw(out, procs, shape)
+    }
+
+    /// [`Scl::total_exchange`] consuming its input: buckets **move** to
+    /// their destinations (a pure permutation of `n²` bucket cells — zero
+    /// clones), on the persistent pool
+    /// ([`scl_exec::par_permute`]) when the cost model
+    /// says the cell count justifies fanning out. Charged identically
+    /// (per-route bucket bytes).
+    #[must_use]
+    pub fn total_exchange_owned<T: Clone + Bytes + Send>(
+        &mut self,
+        a: ParArray<Vec<Vec<T>>>,
+    ) -> ParArray<Vec<Vec<T>>> {
+        let n = a.len();
+        let routes = total_exchange_routes(&a);
+        self.machine.all_to_all_v(a.procs(), &routes);
+
+        let (parts, procs, shape) = a.into_raw();
+        // flatten to n*n bucket cells; destination cell (i, k) takes source
+        // cell (k, i) — moving Vec headers, so the payload estimate for the
+        // fan-out gate is pointer-sized, not the bucket contents
+        let cells: Vec<Vec<T>> = parts.into_iter().flatten().collect();
+        let src_of = |c: usize| -> usize {
+            let (i, k) = (c / n.max(1), c % n.max(1));
+            k * n + i
+        };
+        let (threads, grain) = self.comm_schedule(n * n, std::mem::size_of::<Vec<T>>());
+        let shuffled: Vec<Vec<T>> = if threads <= 1 {
+            let mut cells: Vec<Option<Vec<T>>> = cells.into_iter().map(Some).collect();
+            (0..n * n)
+                .map(|c| cells[src_of(c)].take().expect("bucket transpose is 1:1"))
+                .collect()
+        } else {
+            let table: Vec<usize> = (0..n * n).map(src_of).collect();
+            let pool = self.fused_pool(threads);
+            scl_exec::par_permute(pool, cells, &table, threads, grain)
+        };
+        let mut out = Vec::with_capacity(n);
+        let mut it = shuffled.into_iter();
+        for _ in 0..n {
+            out.push(it.by_ref().take(n).collect());
+        }
+        ParArray::from_raw(out, procs, shape)
     }
 }
 
@@ -631,6 +954,105 @@ mod tests {
         let a: ParArray<Vec<i64>> = ParArray::from_parts(vec![vec![], vec![], vec![]]);
         let b = s.balance(&a);
         assert!(b.parts().iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn total_exchange_charges_per_route_bucket_bytes() {
+        // 2 procs, unit model, fully connected (1 hop). Buckets:
+        //   part 0: [len 1 (stays), len 2 -> proc 1]   (i64 = 8 bytes each)
+        //   part 1: [len 3 -> proc 0, len 1 (stays)]
+        // Routes: (0 -> 1, 16 B) and (1 -> 0, 24 B).
+        // ptp = t_msg(1) + t_hop(1) + bytes; each endpoint sources one route
+        // and sinks the other, so the phase is max(1+1+16, 1+1+24) = 26 s.
+        let mut s = unit_ctx(2);
+        let a = ParArray::from_parts(vec![
+            vec![vec![1i64], vec![2, 3]],
+            vec![vec![4, 5, 6], vec![7]],
+        ]);
+        let r = s.total_exchange(&a);
+        assert_eq!(r.part(0), &vec![vec![1], vec![4, 5, 6]]);
+        assert_eq!(s.makespan().as_secs(), 26.0);
+        assert_eq!(s.machine.metrics.exchanges, 1);
+        assert_eq!(s.machine.metrics.messages, 2);
+        assert_eq!(s.machine.metrics.bytes, 40);
+
+        // the old uniform charge would have been phase(max bucket = 24 B)
+        // per pair: (1 + 1 + 24) * (2-1) = 26 only because symmetric; with
+        // a skewed third proc the saving is strict:
+        let mut s = unit_ctx(3);
+        let a = ParArray::from_parts(vec![
+            vec![vec![], vec![1i64], vec![]],
+            vec![vec![], vec![], vec![]],
+            vec![vec![], vec![], vec![]],
+        ]);
+        let _ = s.total_exchange(&a);
+        // single real route 0 -> 1 of 8 bytes: 1 + 1 + 8 = 10 s
+        assert_eq!(s.makespan().as_secs(), 10.0);
+    }
+
+    #[test]
+    fn owned_total_exchange_matches_borrowed() {
+        let a = ParArray::from_parts(vec![
+            vec![vec![1i64], vec![2, 3]],
+            vec![vec![4, 5, 6], vec![]],
+        ]);
+        let mut s1 = unit_ctx(2);
+        let borrowed = s1.total_exchange(&a);
+        let mut s2 = unit_ctx(2);
+        let owned = s2.total_exchange_owned(a);
+        assert_eq!(owned, borrowed);
+        assert_eq!(s1.machine.metrics, s2.machine.metrics);
+        assert_eq!(s1.makespan(), s2.makespan());
+    }
+
+    #[test]
+    fn owned_rotate_moves_non_clone_parts() {
+        // rotate_owned needs no Clone bound at all
+        #[derive(Debug, PartialEq)]
+        struct Heavy(Vec<u8>);
+        impl Bytes for Heavy {
+            fn bytes(&self) -> usize {
+                self.0.len()
+            }
+        }
+        let mut s = unit_ctx(3);
+        let a = ParArray::from_parts((0..3).map(|i| Heavy(vec![i; 4])).collect());
+        let r = s.rotate_owned(1, a);
+        assert_eq!(
+            r.parts(),
+            &[Heavy(vec![1; 4]), Heavy(vec![2; 4]), Heavy(vec![0; 4])]
+        );
+        assert_eq!(s.machine.metrics.messages, 3);
+    }
+
+    #[test]
+    fn owned_shift_and_fetch_match_borrowed() {
+        let a = ParArray::from_parts(vec![10i64, 20, 30, 40]);
+        let mut s1 = unit_ctx(4);
+        let mut s2 = unit_ctx(4);
+        assert_eq!(s1.shift(1, &a, &0), s2.shift_owned(1, a.clone(), &0));
+        assert_eq!(
+            s1.fetch(|i| i ^ 1, &a),
+            s2.fetch_owned(|i| i ^ 1, a.clone())
+        );
+        // one-to-many fetch clones only the duplicates
+        assert_eq!(s1.fetch(|_| 0, &a), s2.fetch_owned(|_| 0, a.clone()));
+        assert_eq!(s1.machine.metrics, s2.machine.metrics);
+        assert_eq!(s1.makespan(), s2.makespan());
+    }
+
+    #[test]
+    fn owned_send_and_balance_match_borrowed() {
+        let mut s1 = unit_ctx(3);
+        let mut s2 = unit_ctx(3);
+        let a = ParArray::from_parts(vec![5i64, 6, 7]);
+        let f = |k: usize| if k == 0 { vec![1, 2] } else { vec![0] };
+        assert_eq!(s1.send(f, &a), s2.send_owned(f, a.clone()));
+
+        let skew = ParArray::from_parts(vec![vec![1i64, 2, 3, 4, 5], vec![], vec![6]]);
+        assert_eq!(s1.balance(&skew), s2.balance_owned(skew.clone()));
+        assert_eq!(s1.machine.metrics, s2.machine.metrics);
+        assert_eq!(s1.makespan(), s2.makespan());
     }
 
     #[test]

@@ -80,6 +80,7 @@ impl<'a, T: Clone> SpmdStage<'a, T> {
 impl Scl {
     /// The paper's `farm f env`: apply `f env` to every part, the
     /// environment being common data shared by all processes.
+    #[must_use]
     pub fn farm<E, T, R>(
         &mut self,
         f: impl Fn(&E, &T) -> R + Sync,
@@ -95,6 +96,7 @@ impl Scl {
     }
 
     /// [`Scl::farm`] with self-reported work.
+    #[must_use]
     pub fn farm_costed<E, T, R>(
         &mut self,
         f: impl Fn(&E, &T) -> (R, Work) + Sync,
@@ -113,6 +115,7 @@ impl Scl {
     /// local phase and its global phase, the configuration's processor
     /// group barrier-synchronises — the paper: "the composition operator
     /// models the behaviour of barrier synchronisation".
+    #[must_use]
     pub fn spmd<T>(&mut self, stages: Vec<SpmdStage<'_, T>>, mut data: ParArray<T>) -> ParArray<T>
     where
         T: Sync + Send,
@@ -160,6 +163,7 @@ impl Scl {
     /// own processors' clocks, so virtual time behaves as if the groups ran
     /// concurrently — which is exactly the paper's nested-parallelism
     /// semantics for `map` over a nested `ParArray`.
+    #[must_use]
     pub fn map_groups<T, R>(
         &mut self,
         nested: ParArray<ParArray<T>>,
@@ -218,6 +222,7 @@ impl Scl {
     /// 2. otherwise apply `step` (the pre-division work — e.g.
     ///    hyperquicksort's pivot/exchange phase), `split` into `branches`
     ///    groups, recurse into each, and `combine`.
+    #[must_use]
     pub fn dc<T>(
         &mut self,
         data: ParArray<T>,

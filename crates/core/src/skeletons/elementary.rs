@@ -19,13 +19,14 @@
 use crate::array::ParArray;
 use crate::bytes::Bytes;
 use crate::ctx::Scl;
-use scl_exec::par_map_indexed;
+use scl_exec::{par_map_indexed, par_pipeline};
 use scl_machine::Work;
 use std::time::Instant;
 
 impl Scl {
     /// Apply `f` to every part: the paper's
     /// `map f ⟨x₀,…,xₙ⟩ = ⟨f x₀,…,f xₙ⟩`.
+    #[must_use]
     pub fn map<T, R>(&mut self, a: &ParArray<T>, f: impl Fn(&T) -> R + Sync) -> ParArray<R>
     where
         T: Sync,
@@ -36,6 +37,7 @@ impl Scl {
 
     /// Index-aware map: the paper's
     /// `imap f ⟨x₀,…,xₙ⟩ = ⟨f 0 x₀,…,f n xₙ⟩`.
+    #[must_use]
     pub fn imap<T, R>(&mut self, a: &ParArray<T>, f: impl Fn(usize, &T) -> R + Sync) -> ParArray<R>
     where
         T: Sync,
@@ -57,6 +59,7 @@ impl Scl {
 
     /// Map with self-reported cost: `f` returns `(result, work)` and the
     /// work is charged to the owning processor.
+    #[must_use]
     pub fn map_costed<T, R>(
         &mut self,
         a: &ParArray<T>,
@@ -70,6 +73,7 @@ impl Scl {
     }
 
     /// Index-aware [`Scl::map_costed`].
+    #[must_use]
     pub fn imap_costed<T, R>(
         &mut self,
         a: &ParArray<T>,
@@ -89,6 +93,7 @@ impl Scl {
     }
 
     /// Element-wise combination of two conforming arrays.
+    #[must_use]
     pub fn zip_with<A, B, R>(
         &mut self,
         a: &ParArray<A>,
@@ -140,6 +145,7 @@ impl Scl {
 
     /// Inclusive parallel prefix: the paper's
     /// `scan ⊕ ⟨x₀,x₁,…⟩ = ⟨x₀, x₀⊕x₁, …⟩`. `op` must be associative.
+    #[must_use]
     pub fn scan<T>(&mut self, a: &ParArray<T>, op: impl Fn(&T, &T) -> T) -> ParArray<T>
     where
         T: Clone + Bytes,
@@ -148,6 +154,7 @@ impl Scl {
     }
 
     /// [`Scl::scan`] with explicit per-phase combine work.
+    #[must_use]
     pub fn scan_costed<T>(
         &mut self,
         a: &ParArray<T>,
@@ -168,6 +175,103 @@ impl Scl {
             parts.push(acc.clone());
         }
         ParArray::like(a, parts)
+    }
+
+    // ---- owned (consuming) maps --------------------------------------------
+    //
+    // The owned maps take the array by value and hand each part to the
+    // closure **by value**, so iterative kernels can mutate buffers in
+    // place or return their spent input for recycling
+    // ([`Scl::recycle_buf`]) instead of cloning every element each sweep.
+    // Charging matches the borrowed forms exactly. Threaded execution uses
+    // the persistent pool ([`scl_exec::par_pipeline`] — owned items can't
+    // ride the borrowed scoped-thread path), gated like a one-stage fused
+    // segment.
+
+    /// [`Scl::map`] consuming the array: `f` receives each part by value.
+    #[must_use]
+    pub fn map_owned<T, R>(&mut self, a: ParArray<T>, f: impl Fn(T) -> R + Sync) -> ParArray<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        let (pairs, procs, shape) = self
+            .run_owned(a, |_, x| {
+                let t0 = Instant::now();
+                let r = f(x);
+                (r, t0.elapsed().as_secs_f64())
+            })
+            .into_raw();
+        let mut parts = Vec::with_capacity(pairs.len());
+        for (i, (r, secs)) in pairs.into_iter().enumerate() {
+            let w = self.measured_work(secs);
+            self.machine.compute(procs[i], w, "map");
+            parts.push(r);
+        }
+        ParArray::from_raw(parts, procs, shape)
+    }
+
+    /// [`Scl::map_costed`] consuming the array.
+    #[must_use]
+    pub fn map_costed_owned<T, R>(
+        &mut self,
+        a: ParArray<T>,
+        f: impl Fn(T) -> (R, Work) + Sync,
+    ) -> ParArray<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        self.imap_costed_owned(a, |_, x| f(x))
+    }
+
+    /// [`Scl::imap_costed`] consuming the array.
+    #[must_use]
+    pub fn imap_costed_owned<T, R>(
+        &mut self,
+        a: ParArray<T>,
+        f: impl Fn(usize, T) -> (R, Work) + Sync,
+    ) -> ParArray<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        let (pairs, procs, shape) = self.run_owned(a, f).into_raw();
+        let mut parts = Vec::with_capacity(pairs.len());
+        for (i, (r, w)) in pairs.into_iter().enumerate() {
+            self.machine.compute(procs[i], w, "map");
+            parts.push(r);
+        }
+        ParArray::from_raw(parts, procs, shape)
+    }
+
+    /// Dispatch an owned per-part step over the policy's threads.
+    fn run_owned<T, R>(
+        &mut self,
+        a: ParArray<T>,
+        step: impl Fn(usize, T) -> R + Sync,
+    ) -> ParArray<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        let n = a.len();
+        // scheduled exactly like a one-stage fused segment: Threads(t)
+        // fans out unconditionally (as the borrowed maps do), CostDriven
+        // consults the model with the static payload estimate
+        let (threads, grain) = self.segment_schedule(n, 1, std::mem::size_of::<T>());
+        let (parts, procs, shape) = a.into_raw();
+        let results: Vec<R> = if threads <= 1 {
+            parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| step(i, x))
+                .collect()
+        } else {
+            let pool = self.fused_pool(threads);
+            par_pipeline(pool, parts, threads, grain, step)
+        };
+        ParArray::from_raw(results, procs, shape)
     }
 }
 
@@ -298,6 +402,55 @@ mod tests {
         let total = s.fold(&a, |x, y| x + y);
         let prefix = s.scan(&a, |x, y| x + y);
         assert_eq!(*prefix.part(4), total);
+    }
+
+    #[test]
+    fn owned_maps_match_borrowed_and_charge_identically() {
+        let a = ParArray::with_placement((0..8u64).collect(), (0..8).rev().collect());
+        for policy in [ExecPolicy::Sequential, ExecPolicy::Threads(4)] {
+            let mut s1 = unit_ctx(8).with_policy(policy);
+            let borrowed = s1.imap_costed(&a, |i, x| (x * 2 + i as u64, Work::cmps(*x)));
+            let mut s2 = unit_ctx(8).with_policy(policy);
+            let owned = s2.imap_costed_owned(a.clone(), |i, x| (x * 2 + i as u64, Work::cmps(x)));
+            assert_eq!(borrowed, owned, "{policy:?}");
+            assert_eq!(s1.machine.metrics, s2.machine.metrics, "{policy:?}");
+            assert_eq!(s1.makespan(), s2.makespan(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn owned_maps_fan_out_under_threads_policy() {
+        // Threads(t) is unconditional for the borrowed maps, so the owned
+        // maps must honour it too — a tiny static payload must not gate
+        // them back to the caller thread.
+        use std::sync::Mutex;
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let a = ParArray::from_parts((0..64i64).collect());
+        let mut s = unit_ctx(64).with_policy(ExecPolicy::Threads(4));
+        let out = s.map_owned(a, |x| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            x + 1
+        });
+        assert_eq!(out.to_vec(), (1..=64).collect::<Vec<i64>>());
+        let seen = seen.into_inner().unwrap();
+        assert!(
+            !seen.contains(&std::thread::current().id()) || seen.len() > 1,
+            "owned map ran inline despite Threads(4)"
+        );
+    }
+
+    #[test]
+    fn map_owned_consumes_parts_in_place() {
+        // the closure receives the part by value and may reuse its buffer
+        let a = ParArray::from_parts(vec![vec![1i64, 2], vec![3, 4]]);
+        let mut s = unit_ctx(2);
+        let b = s.map_owned(a, |mut v: Vec<i64>| {
+            for x in &mut v {
+                *x *= 10;
+            }
+            v
+        });
+        assert_eq!(b.to_vec(), vec![vec![10, 20], vec![30, 40]]);
     }
 
     #[test]

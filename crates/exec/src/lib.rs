@@ -22,6 +22,13 @@
 //!   fused plan stages costs one dispatch instead of one thread-spawn per
 //!   skeleton, and each partition stays resident on one worker with no
 //!   materialised intermediates between stages.
+//! * [`par_permute`] / [`par_concat`] / [`par_scatter`] — the *zero-copy
+//!   communication* path: move cells along a routing table, move-concatenate
+//!   parts, and move-split a vector into contiguous ranges, all on the
+//!   persistent pool with no clones. These back the owned communication
+//!   skeletons (`total_exchange` bucket transpose, `gather` concat,
+//!   `partition` scatter) when the cost model says the payload justifies
+//!   fanning out.
 //!
 //! An [`ExecPolicy`] selects between sequential, threaded, and
 //! cost-model-driven execution and is threaded through `scl-core`'s context
@@ -34,4 +41,6 @@ pub mod scope;
 
 pub use policy::{host_threads, ExecPolicy};
 pub use pool::{JobHandle, ThreadPool};
-pub use scope::{par_for_each, par_map, par_map_indexed, par_pipeline};
+pub use scope::{
+    par_concat, par_for_each, par_map, par_map_indexed, par_permute, par_pipeline, par_scatter,
+};

@@ -21,8 +21,50 @@
 
 use crate::policy::ExecPolicy;
 use crate::pool::ThreadPool;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Joins every outstanding handle on drop, so submitted jobs can never
+/// outlive a borrow they were (unsafely) granted — even if the submitting
+/// frame unwinds mid-submission.
+struct JoinOnDrop<R>(Vec<crate::pool::JobHandle<R>>);
+impl<R> Drop for JoinOnDrop<R> {
+    fn drop(&mut self) {
+        for h in self.0.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Submit `workers` copies of `job` to the pool and join them all,
+/// re-raising the first job panic after every worker has stopped.
+///
+/// # Safety
+/// The pool's workers require `'static` jobs; this function transmutes the
+/// borrow away. That is sound **only** because every submitted job is
+/// joined before this function returns, on every path: the handles live in
+/// a [`JoinOnDrop`], so even a panic out of `pool.submit` (its internal
+/// `expect`s) or an unwinding join cannot let a worker outlive the data
+/// `job` borrows. The caller must not stash `job` anywhere that outlives
+/// the call.
+unsafe fn run_static_jobs(pool: &ThreadPool, workers: usize, job: &(dyn Fn() + Sync)) {
+    let job: &'static (dyn Fn() + Sync) = std::mem::transmute(job);
+    let mut pending = JoinOnDrop(Vec::with_capacity(workers));
+    for _ in 0..workers {
+        pending.0.push(pool.submit(job));
+    }
+    let mut first_panic = None;
+    for h in pending.0.drain(..) {
+        if let Err(payload) = h.join() {
+            first_panic.get_or_insert(payload);
+        }
+    }
+    drop(pending);
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
 
 /// Apply `f(index, &item)` to every element, returning results in input
 /// order.
@@ -181,43 +223,12 @@ where
         step: &step,
     };
 
-    /// Joins every outstanding handle on drop, so submitted jobs can never
-    /// outlive the borrow they were (unsafely) granted below — even if
-    /// this frame unwinds mid-submission.
-    struct JoinOnDrop<R>(Vec<crate::pool::JobHandle<R>>);
-    impl<R> Drop for JoinOnDrop<R> {
-        fn drop(&mut self) {
-            for h in self.0.drain(..) {
-                let _ = h.join();
-            }
-        }
-    }
-
     let job: &(dyn Fn() + Sync) = &|| shared.drain();
-    // SAFETY: the pool's workers require `'static` jobs, but `job` borrows
-    // `shared` (and through it `step` and the items) from this stack frame.
-    // Extending the lifetime is sound because every submitted job is joined
-    // before this function returns, on every path: the handles live in
-    // `pending`, whose `Drop` joins them, so even a panic out of
-    // `pool.submit` (its internal `expect`s) or out of this frame cannot
-    // drop `shared` while a worker still runs `shared.drain()`. Job panics
-    // are caught inside the pool and re-raised here only after all handles
-    // have been joined.
-    let job: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(job) };
-    let mut pending = JoinOnDrop(Vec::with_capacity(workers));
-    for _ in 0..workers {
-        pending.0.push(pool.submit(job));
-    }
-    let mut first_panic = None;
-    for h in pending.0.drain(..) {
-        if let Err(payload) = h.join() {
-            first_panic.get_or_insert(payload);
-        }
-    }
-    drop(pending);
-    if let Some(payload) = first_panic {
-        std::panic::resume_unwind(payload);
-    }
+    // SAFETY: `job` borrows `shared` (and through it `step` and the items)
+    // from this stack frame, and `run_static_jobs` joins every submitted
+    // worker before returning on every path, so no worker can outlive
+    // `shared`.
+    unsafe { run_static_jobs(pool, workers, job) };
 
     shared
         .out
@@ -228,6 +239,287 @@ where
                 .expect("scl-exec: pipeline worker skipped an item")
         })
         .collect()
+}
+
+/// Move every cell of `items` to its destination — `out[j] =
+/// items[src_of[j]]` — with **no clones**: the owned counterpart of a
+/// routing table, used by the owned communication skeletons
+/// (`total_exchange` bucket transpose, owned rotations over grids) when the
+/// cost model says the cell count justifies fanning out.
+///
+/// `src_of` must be a permutation of `0..items.len()`: a repeated source
+/// panics, and (by pigeonhole, since lengths match) every cell is then
+/// consumed exactly once. Destinations are claimed off a shared atomic
+/// counter in blocks of `grain` consecutive indices; with one usable worker
+/// the permutation runs inline on the caller.
+///
+/// # Panics
+/// Panics if `src_of.len() != items.len()`, if an index is out of range, or
+/// if a source index repeats.
+pub fn par_permute<T>(
+    pool: &ThreadPool,
+    items: Vec<T>,
+    src_of: &[usize],
+    threads: usize,
+    grain: usize,
+) -> Vec<T>
+where
+    T: Send,
+{
+    let n = items.len();
+    assert_eq!(
+        src_of.len(),
+        n,
+        "par_permute: routing table length mismatch"
+    );
+    let grain = grain.max(1);
+    let workers = threads.min(pool.size()).min(n.div_ceil(grain).max(1));
+    if workers <= 1 {
+        let mut cells: Vec<Option<T>> = items.into_iter().map(Some).collect();
+        return src_of
+            .iter()
+            .map(|&s| {
+                cells[s]
+                    .take()
+                    .expect("par_permute: source index used twice")
+            })
+            .collect();
+    }
+
+    struct Shared<'s, T> {
+        cells: Vec<Mutex<Option<T>>>,
+        out: Vec<Mutex<Option<T>>>,
+        src_of: &'s [usize],
+        next: AtomicUsize,
+        grain: usize,
+    }
+    impl<T: Send> Shared<'_, T> {
+        fn drain(&self) {
+            loop {
+                let start = self.next.fetch_add(self.grain, Ordering::Relaxed);
+                if start >= self.out.len() {
+                    break;
+                }
+                for j in start..(start + self.grain).min(self.out.len()) {
+                    let x = self.cells[self.src_of[j]]
+                        .lock()
+                        .expect("scl-exec: poisoned permute cell")
+                        .take()
+                        .expect("par_permute: source index used twice");
+                    *self.out[j].lock().expect("scl-exec: poisoned permute slot") = Some(x);
+                }
+            }
+        }
+    }
+
+    let shared = Shared {
+        cells: items.into_iter().map(|x| Mutex::new(Some(x))).collect(),
+        out: (0..n).map(|_| Mutex::new(None)).collect(),
+        src_of,
+        next: AtomicUsize::new(0),
+        grain,
+    };
+    let job: &(dyn Fn() + Sync) = &|| shared.drain();
+    // SAFETY: `job` borrows `shared` from this frame; `run_static_jobs`
+    // joins every worker before returning on every path.
+    unsafe { run_static_jobs(pool, workers, job) };
+
+    shared
+        .out
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("scl-exec: poisoned permute slot")
+                .expect("scl-exec: permute worker skipped a cell")
+        })
+        .collect()
+}
+
+/// Wrapper making a raw pointer shareable across pool workers. Soundness is
+/// the caller's obligation: workers must touch disjoint ranges only.
+struct RawCursor<T>(*mut T);
+unsafe impl<T: Send> Sync for RawCursor<T> {}
+unsafe impl<T: Send> Send for RawCursor<T> {}
+
+/// Move-concatenate `parts` into one flat vector — the pool-parallel form
+/// of the `gather` skeleton's concat. Each part's elements are *moved*
+/// (byte-copied, never cloned, never dropped twice) into a pre-sized
+/// destination; workers claim whole parts off a shared counter, so the
+/// memcpys of different parts proceed in parallel. With one usable worker
+/// the concat runs inline.
+///
+/// On an internal invariant failure (a worker panicking inside the pool
+/// plumbing — element moves themselves cannot panic) the destination is
+/// abandoned un-lengthened and not-yet-moved elements leak rather than
+/// double-drop.
+pub fn par_concat<T: Send>(pool: &ThreadPool, parts: Vec<Vec<T>>, threads: usize) -> Vec<T> {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let workers = threads.min(pool.size()).min(parts.len().max(1));
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(total);
+        for v in parts {
+            out.extend(v);
+        }
+        return out;
+    }
+
+    let mut offsets = Vec::with_capacity(parts.len());
+    let mut acc = 0usize;
+    for v in &parts {
+        offsets.push(acc);
+        acc += v.len();
+    }
+    let mut out: Vec<T> = Vec::with_capacity(total);
+
+    struct Shared<T> {
+        sources: Vec<Mutex<Option<Vec<T>>>>,
+        offsets: Vec<usize>,
+        base: RawCursor<T>,
+        next: AtomicUsize,
+    }
+    impl<T: Send> Shared<T> {
+        fn drain(&self) {
+            loop {
+                let k = self.next.fetch_add(1, Ordering::Relaxed);
+                if k >= self.sources.len() {
+                    break;
+                }
+                let mut src = self.sources[k]
+                    .lock()
+                    .expect("scl-exec: poisoned concat source")
+                    .take()
+                    .expect("scl-exec: concat source claimed twice");
+                // SAFETY: destination range [offsets[k], offsets[k]+len) is
+                // disjoint per source and within the `total`-element
+                // allocation; the source's len is zeroed after the copy so
+                // its elements are owned exactly once (by the destination).
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        src.as_ptr(),
+                        self.base.0.add(self.offsets[k]),
+                        src.len(),
+                    );
+                    src.set_len(0);
+                }
+            }
+        }
+    }
+
+    let shared = Shared {
+        sources: parts.into_iter().map(|v| Mutex::new(Some(v))).collect(),
+        offsets,
+        base: RawCursor(out.as_mut_ptr()),
+        next: AtomicUsize::new(0),
+    };
+    let job: &(dyn Fn() + Sync) = &|| shared.drain();
+    // SAFETY: `job` borrows `shared` from this frame; `run_static_jobs`
+    // joins every worker before returning on every path.
+    unsafe { run_static_jobs(pool, workers, job) };
+    drop(shared); // every source claimed and fully moved out
+
+    // SAFETY: all `total` elements were initialised by the disjoint copies.
+    unsafe { out.set_len(total) };
+    out
+}
+
+/// Split `data` into the given contiguous `ranges` by **moving** elements —
+/// the pool-parallel form of the `partition` skeleton's scatter (block
+/// patterns). Ranges must be ascending, contiguous, and cover the whole
+/// vector; workers claim whole ranges off a shared counter and byte-copy
+/// their span into a fresh exactly-sized vector. With one usable worker the
+/// split runs inline (reverse `split_off`s, still zero-clone).
+///
+/// # Panics
+/// Panics if the ranges are not an ascending contiguous cover of
+/// `0..data.len()`.
+pub fn par_scatter<T: Send>(
+    pool: &ThreadPool,
+    mut data: Vec<T>,
+    ranges: &[Range<usize>],
+    threads: usize,
+) -> Vec<Vec<T>> {
+    let mut expect = 0usize;
+    for r in ranges {
+        assert_eq!(
+            r.start, expect,
+            "par_scatter: ranges must be ascending and contiguous"
+        );
+        assert!(r.end >= r.start, "par_scatter: inverted range");
+        expect = r.end;
+    }
+    assert_eq!(
+        expect,
+        data.len(),
+        "par_scatter: ranges must cover the data"
+    );
+
+    let workers = threads.min(pool.size()).min(ranges.len().max(1));
+    if workers <= 1 {
+        let mut parts = Vec::with_capacity(ranges.len());
+        for r in ranges.iter().rev() {
+            parts.push(data.split_off(r.start));
+        }
+        parts.reverse();
+        return parts;
+    }
+
+    struct Shared<'s, T> {
+        base: RawCursor<T>,
+        ranges: &'s [Range<usize>],
+        out: Vec<Mutex<Option<Vec<T>>>>,
+        next: AtomicUsize,
+    }
+    impl<T: Send> Shared<'_, T> {
+        fn drain(&self) {
+            loop {
+                let k = self.next.fetch_add(1, Ordering::Relaxed);
+                if k >= self.ranges.len() {
+                    break;
+                }
+                let r = &self.ranges[k];
+                let mut v: Vec<T> = Vec::with_capacity(r.len());
+                // SAFETY: source spans are disjoint per range and within the
+                // original allocation, whose len was zeroed up front — the
+                // copies are the sole owners of the moved elements.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        self.base.0.add(r.start),
+                        v.as_mut_ptr(),
+                        r.len(),
+                    );
+                    v.set_len(r.len());
+                }
+                *self.out[k].lock().expect("scl-exec: poisoned scatter slot") = Some(v);
+            }
+        }
+    }
+
+    let base = RawCursor(data.as_mut_ptr());
+    // SAFETY: zero the length *before* sharing so the moved-from vector can
+    // never drop elements that workers copied out; on an internal panic the
+    // un-copied elements leak rather than double-drop.
+    unsafe { data.set_len(0) };
+    let shared = Shared {
+        base,
+        ranges,
+        out: (0..ranges.len()).map(|_| Mutex::new(None)).collect(),
+        next: AtomicUsize::new(0),
+    };
+    let job: &(dyn Fn() + Sync) = &|| shared.drain();
+    // SAFETY: `job` borrows `shared` (and through it `data`'s buffer) from
+    // this frame; `run_static_jobs` joins every worker before returning.
+    unsafe { run_static_jobs(pool, workers, job) };
+
+    shared
+        .out
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("scl-exec: poisoned scatter slot")
+                .expect("scl-exec: scatter worker skipped a range")
+        })
+        .collect()
+    // `data` drops here with len 0: frees the allocation, drops no elements
 }
 
 #[cfg(test)]
@@ -418,5 +710,98 @@ mod tests {
         let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i; 8]).collect();
         let out = par_pipeline(&pool, items, 2, 2, |_, v| v.iter().sum::<u64>());
         assert_eq!(out, (0..16).map(|i| i * 8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn permute_matches_indexing_all_widths() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 1, 2, 7, 64, 257] {
+            // a deterministic non-trivial permutation: reversal
+            let src_of: Vec<usize> = (0..n).map(|j| n - 1 - j).collect();
+            let items: Vec<Vec<u64>> = (0..n as u64).map(|i| vec![i; 3]).collect();
+            for threads in [1usize, 2, 4] {
+                for grain in [1usize, 3] {
+                    let out = par_permute(&pool, items.clone(), &src_of, threads, grain);
+                    let expect: Vec<Vec<u64>> = src_of.iter().map(|&s| items[s].clone()).collect();
+                    assert_eq!(out, expect, "n={n} threads={threads} grain={grain}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source index used twice")]
+    fn permute_rejects_duplicate_sources() {
+        let pool = ThreadPool::new(2);
+        let _ = par_permute(&pool, vec![1, 2, 3], &[0, 0, 1], 1, 1);
+    }
+
+    #[test]
+    fn concat_moves_all_elements_in_order() {
+        let pool = ThreadPool::new(4);
+        for sizes in [vec![], vec![0usize, 0], vec![3, 0, 5, 1], vec![100; 9]] {
+            let mut next = 0u64;
+            let parts: Vec<Vec<u64>> = sizes
+                .iter()
+                .map(|&len| {
+                    (0..len)
+                        .map(|_| {
+                            next += 1;
+                            next
+                        })
+                        .collect()
+                })
+                .collect();
+            let expect: Vec<u64> = parts.iter().flatten().copied().collect();
+            for threads in [1usize, 3] {
+                assert_eq!(
+                    par_concat(&pool, parts.clone(), threads),
+                    expect,
+                    "sizes={sizes:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concat_handles_heap_elements_without_double_drop() {
+        // Strings exercise real drops: a double-drop or a leak-into-drop
+        // bug would abort under the allocator long before the assert.
+        let pool = ThreadPool::new(3);
+        let parts: Vec<Vec<String>> = (0..8)
+            .map(|k| (0..50).map(|i| format!("s{k}_{i}")).collect())
+            .collect();
+        let expect: Vec<String> = parts.iter().flatten().cloned().collect();
+        assert_eq!(par_concat(&pool, parts, 3), expect);
+    }
+
+    #[test]
+    fn scatter_splits_by_ranges() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<String> = (0..23).map(|i| format!("x{i}")).collect();
+        let ranges = [0usize..7, 7..7, 7..20, 20..23];
+        for threads in [1usize, 4] {
+            let parts = par_scatter(&pool, data.clone(), &ranges, threads);
+            assert_eq!(parts.len(), 4);
+            for (r, part) in ranges.iter().zip(&parts) {
+                assert_eq!(part.as_slice(), &data[r.clone()], "{r:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the data")]
+    fn scatter_rejects_partial_cover() {
+        let pool = ThreadPool::new(2);
+        let _ = par_scatter(&pool, vec![1, 2, 3, 4], &[0..2, 2..3], 2);
+    }
+
+    #[test]
+    fn scatter_concat_roundtrip() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<u64> = (0..1000).collect();
+        let ranges = [0..250, 250..251, 251..999, 999..1000];
+        let parts = par_scatter(&pool, data.clone(), &ranges, 4);
+        assert_eq!(par_concat(&pool, parts, 4), data);
     }
 }

@@ -157,6 +157,25 @@ impl CostModel {
         }
     }
 
+    /// Decide whether a **communication barrier's local data movement** —
+    /// moving `parts` cells of roughly `per_part_bytes` each (a bucket
+    /// transpose, a gather concat, a partition scatter) — should fan out
+    /// over the persistent pool. Same weighing as
+    /// [`CostModel::fused_decision`] with a single stage, but the payload
+    /// estimate is the *actual* bytes the skeleton is about to move (it has
+    /// them, for route charging), not a static `size_of`: pure pointer
+    /// moves report pointer-sized payloads and stay sequential, while
+    /// element-copying movements (concat, scatter) report the real span and
+    /// fan out once it dwarfs the dispatch overhead.
+    pub fn comm_decision(
+        &self,
+        parts: usize,
+        per_part_bytes: usize,
+        max_threads: usize,
+    ) -> FusedDecision {
+        self.fused_decision(parts, 1, per_part_bytes, max_threads)
+    }
+
     /// Sanity check: every parameter finite and non-negative, contention
     /// at least 1.
     pub fn is_valid(&self) -> bool {
@@ -411,6 +430,17 @@ mod tests {
         assert_eq!(d.grain, 1024 / (8 * 4));
         // never more threads than parts
         assert_eq!(m.fused_decision(3, 4, 64 * 1024, 8).threads, 3);
+    }
+
+    #[test]
+    fn comm_decision_gates_on_real_payload() {
+        let m = CostModel::ap1000();
+        // pointer-sized cell moves (a bucket transpose of Vec headers on a
+        // small grid) stay sequential ...
+        assert_eq!(m.comm_decision(16, 24, 8).threads, 1);
+        // ... while a gather concat of 64 KiB parts fans out
+        assert_eq!(m.comm_decision(16, 64 * 1024, 8).threads, 8);
+        assert_eq!(m.comm_decision(1, 1 << 20, 8).threads, 1);
     }
 
     #[test]

@@ -214,28 +214,34 @@ impl Machine {
     /// count as messages.
     pub fn permute(&mut self, group: &[ProcId], routes: &[(ProcId, ProcId, usize)]) -> Time {
         assert!(!group.is_empty(), "permute over empty group");
+        let dt = self.routed_phase(group, routes);
+        self.collective("permute", group, dt)
+    }
+
+    /// Price one synchronous routed phase (the serialised-NIC model shared
+    /// by [`Machine::permute`] and [`Machine::all_to_all_v`]): each
+    /// endpoint pays the sum of the messages it sources plus the sum it
+    /// sinks, the phase takes the max over the group's endpoints, and
+    /// every cross-processor route counts as a message. Self-routes are
+    /// priced as local memory copies and not counted.
+    fn routed_phase(&mut self, group: &[ProcId], routes: &[(ProcId, ProcId, usize)]) -> Time {
         let net = Network::new(&self.model, &self.topo);
         let n = self.clocks.len();
         let mut out_cost = vec![Time::ZERO; n];
         let mut in_cost = vec![Time::ZERO; n];
-        let mut messages = 0u64;
-        let mut bytes_total = 0u64;
         for &(src, dst, bytes) in routes {
             let c = net.ptp(src, dst, bytes);
             out_cost[src] += c;
             in_cost[dst] += c;
             if src != dst {
-                messages += 1;
-                bytes_total += bytes as u64;
+                self.metrics.messages += 1;
+                self.metrics.bytes += bytes as u64;
             }
         }
-        let dt = group
+        group
             .iter()
             .map(|&p| out_cost[p].max(in_cost[p]))
-            .fold(Time::ZERO, Time::max);
-        self.metrics.messages += messages;
-        self.metrics.bytes += bytes_total;
-        self.collective("permute", group, dt)
+            .fold(Time::ZERO, Time::max)
     }
 
     // ---- synchronisation --------------------------------------------------
@@ -352,6 +358,25 @@ impl Machine {
         self.metrics.exchanges += 1;
         let g = group.len() as u64;
         self.metrics.bytes += bytes_per_pair as u64 * g.saturating_sub(1) * g;
+        self.collective("all_to_all", group, dt)
+    }
+
+    /// All-to-all personalised exchange with **per-route** payloads (MPI's
+    /// `alltoallv`): every `(src, dst, bytes)` route is delivered in one
+    /// synchronous phase priced like [`Machine::permute`] — each endpoint
+    /// pays the sum of the messages it sources plus the sum it sinks
+    /// (serialised NIC model), and the phase takes the max over endpoints.
+    /// Unlike the uniform [`Machine::all_to_all`], skewed buckets are
+    /// charged what they actually ship instead of `(g−1)·g` copies of the
+    /// largest bucket.
+    ///
+    /// Counted as one exchange; each cross-processor route also counts as a
+    /// message. Self-routes (data staying home) are free and uncounted —
+    /// the skeleton layer omits them.
+    pub fn all_to_all_v(&mut self, group: &[ProcId], routes: &[(ProcId, ProcId, usize)]) -> Time {
+        assert!(!group.is_empty(), "all_to_all_v over empty group");
+        let dt = self.routed_phase(group, routes);
+        self.metrics.exchanges += 1;
         self.collective("all_to_all", group, dt)
     }
 
@@ -522,6 +547,39 @@ mod tests {
         let routes: Vec<(usize, usize, usize)> = (1..4).map(|i| (i, 0, 2)).collect();
         let end = m.permute(&group, &routes);
         assert_eq!(end.as_secs(), 12.0);
+    }
+
+    #[test]
+    fn all_to_all_v_prices_actual_routes() {
+        let mut m = unit_machine(2);
+        // Skewed buckets: 0 -> 1 ships 16 bytes, 1 -> 0 ships 24.
+        // ptp = t_msg(1) + t_hop(1) + bytes; endpoints each source one and
+        // sink one route, so the phase is max(18, 26) = 26.
+        let end = m.all_to_all_v(&[0, 1], &[(0, 1, 16), (1, 0, 24)]);
+        assert_eq!(end.as_secs(), 26.0);
+        assert_eq!(m.metrics.exchanges, 1);
+        assert_eq!(m.metrics.messages, 2);
+        assert_eq!(m.metrics.bytes, 40);
+
+        // skewed buckets: one heavy route among four procs. The uniform
+        // model charges every one of the g-1 phases the max bucket size;
+        // per-route charging pays for the single real transfer.
+        let mut v = unit_machine(4);
+        let sparse = v.all_to_all_v(&(0..4).collect::<Vec<_>>(), &[(0, 1, 8)]);
+        assert_eq!(sparse.as_secs(), 10.0); // t_msg + t_hop + 8 bytes
+        let mut u = unit_machine(4);
+        let uniform = u.all_to_all(&(0..4).collect::<Vec<_>>(), 8);
+        assert!(sparse < uniform, "{sparse} vs {uniform}");
+    }
+
+    #[test]
+    fn all_to_all_v_serialises_hot_receiver() {
+        let mut m = unit_machine(4);
+        let group: Vec<usize> = (0..4).collect();
+        // three senders converge on proc 0: receiver pays 3 * (1+1+2) = 12
+        let routes: Vec<(usize, usize, usize)> = (1..4).map(|i| (i, 0, 2)).collect();
+        assert_eq!(m.all_to_all_v(&group, &routes).as_secs(), 12.0);
+        assert_eq!(m.metrics.exchanges, 1);
     }
 
     #[test]

@@ -118,6 +118,61 @@ impl Rng {
     }
 }
 
+/// A counting global allocator for allocation-budget benchmarks.
+///
+/// Install it in a bench binary with
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: scl_testkit::alloc::CountingAlloc = scl_testkit::alloc::CountingAlloc;
+/// ```
+///
+/// and read [`alloc::allocations`] / [`alloc::allocated_bytes`] before and
+/// after the measured section; the deltas are the section's heap traffic.
+/// Counters are process-global atomics (never reset), so concurrent
+/// measurement sections must be serialised by the caller.
+pub mod alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator wrapper counting every allocation (and realloc)
+    /// and the bytes requested.
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates directly to `System`; the counters are monotonic
+    // atomics with no further invariants.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Total allocations (+ reallocs) since process start.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested since process start.
+    pub fn allocated_bytes() -> u64 {
+        BYTES.load(Ordering::Relaxed)
+    }
+}
+
 /// Time a closure and print a one-line `criterion`-style report.
 ///
 /// The harness warms up once, then runs timed batches until at least

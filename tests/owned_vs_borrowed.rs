@@ -1,0 +1,336 @@
+//! Differential suite for the zero-copy communication layer: every owned
+//! (move-based) skeleton variant must agree **bit-for-bit** with its
+//! borrowed (cloning) form *and* leave identical `machine.metrics`
+//! (messages, bytes, exchanges, …) and makespan — under sequential,
+//! threaded, and cost-driven policies, on both the unit and AP1000 cost
+//! models (the latter exercises the pool-parallel gate's "stay sequential"
+//! branch, the former its fan-out branch).
+//!
+//! The CI harness pins the policy set through `SCL_EXEC_POLICY`
+//! (`seq` / `auto` / `cost`); unset, every policy runs in-process.
+
+use scl::prelude::*;
+use scl_core::ParArray;
+use scl_testkit::{cases, Rng};
+
+/// The policy matrix, overridable by the CI harness.
+fn policies() -> Vec<ExecPolicy> {
+    match std::env::var("SCL_EXEC_POLICY").as_deref() {
+        Ok("seq") => vec![ExecPolicy::Sequential],
+        Ok("auto") => vec![ExecPolicy::auto()],
+        Ok("cost") => vec![ExecPolicy::cost_driven()],
+        _ => vec![
+            ExecPolicy::Sequential,
+            ExecPolicy::Threads(4),
+            ExecPolicy::cost_driven(),
+        ],
+    }
+}
+
+/// Both machines the suite runs on: unit (cheap coordination — the
+/// pool-parallel gate fans out) and AP1000 (expensive coordination — small
+/// movements stay inline).
+fn machines(n: usize) -> Vec<Scl> {
+    vec![
+        Scl::new(Machine::new(
+            Topology::FullyConnected { procs: n },
+            CostModel::unit(),
+        )),
+        Scl::ap1000(n),
+    ]
+}
+
+/// Run `borrowed` and `owned` on twin contexts and require identical
+/// outputs, metrics, and makespan.
+fn check<T: PartialEq + std::fmt::Debug>(
+    label: &str,
+    n: usize,
+    policy: ExecPolicy,
+    borrowed: impl Fn(&mut Scl) -> T,
+    owned: impl Fn(&mut Scl) -> T,
+) {
+    for (mut s1, mut s2) in machines(n).into_iter().zip(machines(n)) {
+        s1.policy = policy;
+        s2.policy = policy;
+        let b = borrowed(&mut s1);
+        let o = owned(&mut s2);
+        assert_eq!(b, o, "{label}: outputs diverged ({policy:?})");
+        assert_eq!(
+            s1.machine.metrics, s2.machine.metrics,
+            "{label}: metrics diverged ({policy:?})"
+        );
+        assert_eq!(
+            s1.makespan(),
+            s2.makespan(),
+            "{label}: makespan diverged ({policy:?})"
+        );
+    }
+}
+
+fn arb_parts(rng: &mut Rng) -> ParArray<Vec<i64>> {
+    let n = rng.range_usize(1, 10);
+    ParArray::from_parts(rng.vec_of(n, |r| {
+        let len = r.range_usize(0, 40);
+        r.vec_of(len, |r| r.range_i64(-1_000, 1_000))
+    }))
+}
+
+#[test]
+fn rotate_shift_owned_match_borrowed() {
+    for policy in policies() {
+        cases(64, 0xA0, |rng| {
+            let a = arb_parts(rng);
+            let n = a.len();
+            let k = rng.range_i64(-12, 13) as isize;
+            let a2 = a.clone();
+            check(
+                "rotate",
+                n,
+                policy,
+                |s| s.rotate(k, &a),
+                move |s| s.rotate_owned(k, a2.clone()),
+            );
+            let fill = vec![rng.range_i64(-5, 5)];
+            let a2 = a.clone();
+            let f2 = fill.clone();
+            check(
+                "shift",
+                n,
+                policy,
+                |s| s.shift(k, &a, &fill),
+                move |s| s.shift_owned(k, a2.clone(), &f2),
+            );
+        });
+    }
+}
+
+#[test]
+fn grid_rotations_owned_match_borrowed() {
+    for policy in policies() {
+        cases(48, 0xA1, |rng| {
+            let rows = rng.range_usize(1, 5);
+            let cols = rng.range_usize(1, 5);
+            let g = ParArray::from_grid(
+                rows,
+                cols,
+                rng.vec_of(rows * cols, |r| r.vec_of(8, |r| r.any_i64())),
+            );
+            let d = rng.range_i64(-3, 4);
+            let g2 = g.clone();
+            check(
+                "rotate_row",
+                rows * cols,
+                policy,
+                |s| s.rotate_row(|i| (d * i as i64) as isize, &g),
+                move |s| s.rotate_row_owned(|i| (d * i as i64) as isize, g2.clone()),
+            );
+            let g2 = g.clone();
+            check(
+                "rotate_col",
+                rows * cols,
+                policy,
+                |s| s.rotate_col(|j| (d + j as i64) as isize, &g),
+                move |s| s.rotate_col_owned(|j| (d + j as i64) as isize, g2.clone()),
+            );
+        });
+    }
+}
+
+#[test]
+fn fetch_send_owned_match_borrowed() {
+    for policy in policies() {
+        cases(64, 0xA2, |rng| {
+            let a = arb_parts(rng);
+            let n = a.len();
+            // a random (possibly many-to-one) index map, shared by both
+            let srcs: Vec<usize> = (0..n).map(|_| rng.range_usize(0, n)).collect();
+            let a2 = a.clone();
+            let srcs2 = srcs.clone();
+            check(
+                "fetch",
+                n,
+                policy,
+                |s| s.fetch(|i| srcs[i], &a),
+                move |s| s.fetch_owned(|i| srcs2[i], a2.clone()),
+            );
+            // random one-to-many destination lists
+            let dests: Vec<Vec<usize>> = (0..n)
+                .map(|_| {
+                    let d = rng.range_usize(0, 4);
+                    (0..d).map(|_| rng.range_usize(0, n)).collect()
+                })
+                .collect();
+            let a2 = a.clone();
+            let dests2 = dests.clone();
+            check(
+                "send",
+                n,
+                policy,
+                |s| s.send(|k| dests[k].clone(), &a),
+                move |s| s.send_owned(|k| dests2[k].clone(), a2.clone()),
+            );
+        });
+    }
+}
+
+#[test]
+fn brdcast_owned_matches_borrowed() {
+    for policy in policies() {
+        cases(32, 0xA3, |rng| {
+            let a = arb_parts(rng);
+            let n = a.len();
+            let item_len = rng.range_usize(0, 10);
+            let item: Vec<i64> = rng.vec_of(item_len, |r| r.any_i64());
+            let a2 = a.clone();
+            let i2 = item.clone();
+            check(
+                "brdcast",
+                n,
+                policy,
+                |s| s.brdcast(&item, &a),
+                move |s| s.brdcast_owned(&i2, a2.clone()),
+            );
+        });
+    }
+}
+
+#[test]
+fn total_exchange_owned_matches_borrowed() {
+    for policy in policies() {
+        cases(48, 0xA4, |rng| {
+            let n = rng.range_usize(1, 9);
+            let a = ParArray::from_parts(rng.vec_of(n, |r| {
+                (0..n)
+                    .map(|_| {
+                        let len = r.range_usize(0, 24);
+                        r.vec_of(len, |r| r.range_i64(-99, 99))
+                    })
+                    .collect::<Vec<Vec<i64>>>()
+            }));
+            let a2 = a.clone();
+            check(
+                "total_exchange",
+                n,
+                policy,
+                |s| s.total_exchange(&a),
+                move |s| s.total_exchange_owned(a2.clone()),
+            );
+        });
+    }
+}
+
+#[test]
+fn balance_gather_partition_owned_match_borrowed() {
+    for policy in policies() {
+        cases(48, 0xA5, |rng| {
+            let a = arb_parts(rng);
+            let n = a.len();
+            let a2 = a.clone();
+            check(
+                "balance",
+                n,
+                policy,
+                |s| s.balance(&a),
+                move |s| s.balance_owned(a2.clone()),
+            );
+            let a2 = a.clone();
+            check(
+                "gather",
+                n,
+                policy,
+                |s| s.gather(&a),
+                move |s| s.gather_owned(a2.clone()),
+            );
+
+            let data_len = rng.range_usize(0, 200);
+            let data: Vec<i64> = rng.vec_of(data_len, |r| r.any_i64());
+            let p = rng.range_usize(1, 9);
+            let pattern = *rng.pick(&[
+                Pattern::Block(p),
+                Pattern::Cyclic(p),
+                Pattern::BlockCyclic { p, block: 3 },
+            ]);
+            let d2 = data.clone();
+            check(
+                "partition",
+                p,
+                policy,
+                |s| s.partition(pattern, &data),
+                move |s| s.partition_owned(pattern, d2.clone()),
+            );
+        });
+    }
+}
+
+#[test]
+fn owned_barrier_plans_agree_with_cloning_eager_path() {
+    // The plan layer's barriers now consume their arrays; a pipeline mixing
+    // every owned barrier must still match the hand-written borrowed
+    // composition, charges included.
+    for policy in policies() {
+        let data: Vec<i64> = (0..64).map(|i| (i * 37) % 101 - 50).collect();
+
+        let plan = Skel::partition(Pattern::Block(8))
+            .then(Skel::balance())
+            .then(Skel::map_costed(|v: &Vec<i64>| {
+                (
+                    v.iter().map(|x| x * 2).collect::<Vec<i64>>(),
+                    Work::flops(1),
+                )
+            }))
+            .then(Skel::rotate(3))
+            .then(Skel::shift(-1, Vec::new()))
+            .then(Skel::gather());
+        let mut s1 = Scl::ap1000(8).with_policy(policy);
+        let via_plan = plan.run(&mut s1, data.clone());
+
+        let mut s2 = Scl::ap1000(8).with_policy(policy);
+        let da = s2.partition(Pattern::Block(8), &data);
+        let da = s2.balance(&da);
+        let da = s2.map_costed(&da, |v| {
+            (
+                v.iter().map(|x| x * 2).collect::<Vec<i64>>(),
+                Work::flops(1),
+            )
+        });
+        let da = s2.rotate(3, &da);
+        let da = s2.shift(-1, &da, &Vec::new());
+        let via_borrowed = s2.gather(&da);
+
+        assert_eq!(via_plan, via_borrowed, "{policy:?}");
+        assert_eq!(s1.machine.metrics, s2.machine.metrics, "{policy:?}");
+        assert_eq!(s1.makespan(), s2.makespan(), "{policy:?}");
+
+        // and the fused path agrees too
+        let mut s3 = Scl::ap1000(8).with_policy(policy);
+        let via_fused = s3.run_fused(&plan, data).unwrap();
+        assert_eq!(via_fused, via_plan, "{policy:?}");
+        assert_eq!(s3.machine.metrics, s1.machine.metrics, "{policy:?}");
+    }
+}
+
+#[test]
+fn owned_maps_match_borrowed_forms() {
+    for policy in policies() {
+        cases(32, 0xA6, |rng| {
+            let a = arb_parts(rng);
+            let n = a.len();
+            let a2 = a.clone();
+            check(
+                "imap_costed",
+                n,
+                policy,
+                |s| {
+                    s.imap_costed(&a, |i, v| {
+                        (v.iter().sum::<i64>() + i as i64, Work::cmps(v.len() as u64))
+                    })
+                },
+                move |s| {
+                    s.imap_costed_owned(a2.clone(), |i, v| {
+                        (v.iter().sum::<i64>() + i as i64, Work::cmps(v.len() as u64))
+                    })
+                },
+            );
+        });
+    }
+}
