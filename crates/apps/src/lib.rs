@@ -24,6 +24,8 @@
 //! * [`seqkit`] — the instrumented sequential kernels (`SEQ_QUICKSORT`,
 //!   `MIDVALUE`, `SPLIT`, `MERGE`, `PARTIALPIVOT`, `UPDATE`) that report
 //!   their own operation counts for deterministic cost accounting.
+//! * [`stream_histogram`] — windowed histogram over an unbounded stream
+//!   of batches, served through the `scl-stream` operator graph.
 //! * [`workloads`] — seeded input generators.
 
 pub mod cannon;
@@ -36,6 +38,7 @@ pub mod kmeans;
 pub mod nbody;
 pub mod psrs;
 pub mod seqkit;
+pub mod stream_histogram;
 pub mod workloads;
 
 pub use cannon::cannon_matmul;
@@ -49,3 +52,6 @@ pub use jacobi::{jacobi_plan, jacobi_scl, jacobi_seq, JacobiResult, JacobiState}
 pub use kmeans::{kmeans_scl, kmeans_seq, KmeansResult};
 pub use nbody::{forces_scl, forces_seq, Body};
 pub use psrs::{psrs_plan, psrs_sort};
+pub use stream_histogram::{
+    batch_histogram_plan, windowed_histogram_seq, windowed_histogram_stream,
+};

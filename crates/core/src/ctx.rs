@@ -21,28 +21,107 @@ use crate::seq::Matrix;
 use scl_exec::{par_concat, par_scatter, ExecPolicy, ThreadPool};
 use scl_machine::{CostModel, Machine, Time, Work};
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-/// Cap on recycled buffers retained per concrete `Vec<T>` type — enough
-/// for a double-buffered sweep on every partition of a wide machine,
+/// Default cap on the bytes the recycled-buffer pool may keep resident
+/// (64 MiB): enough for double-buffered sweeps over sizeable fields,
 /// small enough that a one-off wide phase cannot pin memory forever.
-const MAX_POOLED_BUFFERS: usize = 256;
+pub const DEFAULT_BUFFER_CAP_BYTES: usize = 64 << 20;
+
+/// One recycled allocation: a cleared `Vec<T>` behind `dyn Any`, with the
+/// recycle stamp tying it to its slot in the pool's eviction order and
+/// its capacity-bytes remembered for accounting.
+struct PooledBuf {
+    stamp: u64,
+    bytes: usize,
+    buf: Box<dyn Any + Send>,
+}
 
 /// Type-erased recycled-buffer storage behind [`Scl::take_buf`] /
-/// [`Scl::recycle_buf`]: cleared `Vec<T>`s keyed by their concrete type,
-/// kept so iterative plans (jacobi's sweep, `iter_until` bodies)
-/// double-buffer instead of allocating fresh vectors every iteration.
-#[derive(Default)]
+/// [`Scl::recycle_buf`]: cleared `Vec<T>`s kept so iterative plans
+/// (jacobi's sweep, `iter_until` bodies) double-buffer instead of
+/// allocating fresh vectors every iteration.
+///
+/// Takes and recycles are O(1): buffers live in per-type stacks
+/// (`slots`, newest at the back — the buffer most likely cache-warm).
+/// Resident bytes are capped (`cap`) with **oldest-first** eviction, so a
+/// one-off phase of giant buffers ages out instead of pinning memory for
+/// the life of the context; the global age order is the stamped `order`
+/// queue, whose entries go stale when a buffer is taken and are lazily
+/// skipped (and periodically compacted) rather than searched for.
 pub(crate) struct BufPool {
-    slots: HashMap<TypeId, Vec<Box<dyn Any + Send>>>,
+    /// Per-type stacks: front = oldest of that type, back = newest.
+    slots: HashMap<TypeId, VecDeque<PooledBuf>>,
+    /// Global recycle order, oldest first. May contain stale entries for
+    /// buffers already taken; an entry is live iff its stamp still heads
+    /// its type's stack front when eviction reaches it.
+    order: VecDeque<(u64, TypeId)>,
+    next_stamp: u64,
+    buffers: usize,
+    resident: usize,
+    cap: usize,
+}
+
+impl Default for BufPool {
+    fn default() -> BufPool {
+        BufPool {
+            slots: HashMap::new(),
+            order: VecDeque::new(),
+            next_stamp: 0,
+            buffers: 0,
+            resident: 0,
+            cap: DEFAULT_BUFFER_CAP_BYTES,
+        }
+    }
+}
+
+impl BufPool {
+    /// Evict oldest-first until resident bytes are within the cap.
+    ///
+    /// Invariant making the stale check sound: `order` holds type markers
+    /// in global stamp order and per-type stacks are stamp-sorted, so
+    /// when a marker `(stamp, ty)` reaches the front, the oldest live
+    /// buffer of `ty` has `front.stamp >= stamp` — equality means the
+    /// marker's buffer still exists (evict it), a greater stamp means it
+    /// was taken (skip the stale marker).
+    fn evict_to_cap(&mut self) {
+        while self.resident > self.cap {
+            let (stamp, ty) = self
+                .order
+                .pop_front()
+                .expect("resident bytes imply order entries");
+            let Some(stack) = self.slots.get_mut(&ty) else {
+                continue; // stale: every buffer of this type was taken
+            };
+            if stack.front().is_some_and(|e| e.stamp == stamp) {
+                let dropped = stack.pop_front().expect("front just observed");
+                self.resident -= dropped.bytes;
+                self.buffers -= 1;
+            }
+        }
+    }
+
+    /// Drop stale `order` markers once they outnumber live buffers 2:1 —
+    /// keeps the queue O(live buffers) without a per-take search.
+    fn compact_order(&mut self) {
+        if self.order.len() < 2 * self.buffers + 32 {
+            return;
+        }
+        let live: std::collections::HashSet<u64> = self
+            .slots
+            .values()
+            .flat_map(|stack| stack.iter().map(|e| e.stamp))
+            .collect();
+        self.order.retain(|(stamp, _)| live.contains(stamp));
+    }
 }
 
 impl std::fmt::Debug for BufPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let buffers: usize = self.slots.values().map(Vec::len).sum();
         f.debug_struct("BufPool")
-            .field("types", &self.slots.len())
-            .field("buffers", &buffers)
+            .field("buffers", &self.buffers)
+            .field("resident_bytes", &self.resident)
+            .field("cap_bytes", &self.cap)
             .finish()
     }
 }
@@ -140,46 +219,93 @@ impl Scl {
 
     // ---- recycled buffers --------------------------------------------------
 
-    /// Take a buffer with room for `capacity` elements, reusing a recycled
-    /// one when available (cleared, capacity retained — the steady state of
-    /// a double-buffered loop allocates nothing). Pair with
-    /// [`Scl::recycle_buf`].
+    /// Take a buffer with room for `capacity` elements, reusing the most
+    /// recently recycled one of this type when available (cleared,
+    /// capacity retained — the steady state of a double-buffered loop
+    /// allocates nothing). Pair with [`Scl::recycle_buf`].
     #[must_use]
     pub fn take_buf<T: Send + 'static>(&mut self, capacity: usize) -> Vec<T> {
-        if let Some(stack) = self.bufs.slots.get_mut(&TypeId::of::<Vec<T>>()) {
-            if let Some(b) = stack.pop() {
-                let mut v = *b
-                    .downcast::<Vec<T>>()
-                    .expect("buffer pool slots are keyed by their exact type");
-                v.reserve(capacity);
-                return v;
-            }
+        let ty = TypeId::of::<Vec<T>>();
+        // newest of this type first: the most recently recycled matching
+        // buffer is the most likely to still be cache-warm. Its marker in
+        // the eviction order goes stale and is skipped/compacted lazily.
+        if let Some(entry) = self.bufs.slots.get_mut(&ty).and_then(VecDeque::pop_back) {
+            self.bufs.resident -= entry.bytes;
+            self.bufs.buffers -= 1;
+            let mut v = *entry
+                .buf
+                .downcast::<Vec<T>>()
+                .expect("buffer pool entries are keyed by their exact type");
+            v.reserve(capacity);
+            return v;
         }
         Vec::with_capacity(capacity)
     }
 
     /// Return a buffer to the pool for a later [`Scl::take_buf`]. The
-    /// contents are dropped (`clear`); the allocation is kept, up to a
-    /// bounded number of buffers per type.
+    /// contents are dropped (`clear`); the allocation is kept while the
+    /// pool's resident bytes stay within [`Scl::buffer_cap`] — past the
+    /// cap the **oldest** pooled buffers are evicted first (and a single
+    /// buffer larger than the whole cap is simply dropped).
     pub fn recycle_buf<T: Send + 'static>(&mut self, mut buf: Vec<T>) {
         buf.clear();
-        if buf.capacity() == 0 {
+        let bytes = buf.capacity() * std::mem::size_of::<T>();
+        if bytes == 0 || bytes > self.bufs.cap {
             return;
         }
-        let stack = self.bufs.slots.entry(TypeId::of::<Vec<T>>()).or_default();
-        if stack.len() < MAX_POOLED_BUFFERS {
-            stack.push(Box::new(buf));
-        }
+        let ty = TypeId::of::<Vec<T>>();
+        let stamp = self.bufs.next_stamp;
+        self.bufs.next_stamp += 1;
+        self.bufs.slots.entry(ty).or_default().push_back(PooledBuf {
+            stamp,
+            bytes,
+            buf: Box::new(buf),
+        });
+        self.bufs.order.push_back((stamp, ty));
+        self.bufs.buffers += 1;
+        self.bufs.resident += bytes;
+        self.bufs.evict_to_cap();
+        self.bufs.compact_order();
     }
 
     /// Number of buffers currently parked in the recycle pool (all types).
     pub fn pooled_buffers(&self) -> usize {
-        self.bufs.slots.values().map(Vec::len).sum()
+        self.bufs.buffers
+    }
+
+    /// Bytes currently resident in the recycle pool (the capacity bytes of
+    /// every parked buffer) — the pool-size metric the cap enforces.
+    pub fn pooled_bytes(&self) -> usize {
+        self.bufs.resident
+    }
+
+    /// The pool's resident-byte cap (default
+    /// [`DEFAULT_BUFFER_CAP_BYTES`]).
+    pub fn buffer_cap(&self) -> usize {
+        self.bufs.cap
+    }
+
+    /// Builder-style: set the recycled-buffer pool's resident-byte cap.
+    /// Evicts oldest-first immediately if already above it; `0` disables
+    /// recycling entirely.
+    pub fn with_buffer_cap(mut self, bytes: usize) -> Scl {
+        self.set_buffer_cap(bytes);
+        self
+    }
+
+    /// Set the recycled-buffer pool's resident-byte cap (see
+    /// [`Scl::with_buffer_cap`]).
+    pub fn set_buffer_cap(&mut self, bytes: usize) {
+        self.bufs.cap = bytes;
+        self.bufs.evict_to_cap();
     }
 
     /// Drop every recycled buffer ([`Scl::reset`] keeps them on purpose).
     pub fn clear_buffers(&mut self) {
         self.bufs.slots.clear();
+        self.bufs.order.clear();
+        self.bufs.buffers = 0;
+        self.bufs.resident = 0;
     }
 
     // ---- configuration skeletons -------------------------------------------
@@ -561,5 +687,131 @@ mod tests {
         let _ = s.partition(Pattern::Block(2), &[1i64, 2]);
         s.reset();
         assert_eq!(s.makespan(), Time::ZERO);
+    }
+
+    // ---- recycled-buffer pool ----------------------------------------------
+
+    #[test]
+    fn buf_pool_retains_capacity_across_recycle() {
+        let mut s = unit_ctx(1);
+        let mut v: Vec<u64> = s.take_buf(100);
+        v.extend(0..100);
+        let ptr = v.as_ptr();
+        let cap = v.capacity();
+        s.recycle_buf(v);
+        assert_eq!(s.pooled_buffers(), 1);
+        assert_eq!(s.pooled_bytes(), cap * std::mem::size_of::<u64>());
+        let v2: Vec<u64> = s.take_buf(50);
+        assert!(v2.is_empty(), "recycled buffers come back cleared");
+        assert!(v2.capacity() >= cap);
+        assert_eq!(v2.as_ptr(), ptr, "same allocation reused");
+        assert_eq!(s.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn buf_pool_keeps_types_apart() {
+        let mut s = unit_ctx(1);
+        s.recycle_buf::<u64>(Vec::with_capacity(16));
+        s.recycle_buf::<f32>(Vec::with_capacity(8));
+        assert_eq!(s.pooled_buffers(), 2);
+        // a take of a third type allocates fresh and leaves both parked
+        let v: Vec<String> = s.take_buf(4);
+        assert!(v.capacity() >= 4);
+        assert_eq!(s.pooled_buffers(), 2);
+        // matching takes hit their own slots
+        let a: Vec<u64> = s.take_buf(1);
+        assert!(a.capacity() >= 16);
+        let b: Vec<f32> = s.take_buf(1);
+        assert!(b.capacity() >= 8);
+        assert_eq!(s.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn buf_pool_survives_reset_but_not_clear() {
+        let mut s = unit_ctx(1);
+        s.recycle_buf::<u8>(Vec::with_capacity(32));
+        s.reset();
+        assert_eq!(s.pooled_buffers(), 1, "reset keeps warm buffers");
+        s.clear_buffers();
+        assert_eq!(s.pooled_buffers(), 0);
+        assert_eq!(s.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn buf_pool_cap_evicts_oldest_first() {
+        // cap fits exactly two 128-byte buffers
+        let mut s = unit_ctx(1).with_buffer_cap(256);
+        assert_eq!(s.buffer_cap(), 256);
+        let mk = |tag: u8| {
+            let mut v: Vec<u8> = Vec::with_capacity(128);
+            v.push(tag);
+            v
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        let (pa, pb, pc) = (a.as_ptr(), b.as_ptr(), c.as_ptr());
+        s.recycle_buf(a);
+        s.recycle_buf(b);
+        assert_eq!(s.pooled_bytes(), 256);
+        s.recycle_buf(c); // over cap: evicts `a`, the oldest
+        assert_eq!(s.pooled_buffers(), 2);
+        assert!(s.pooled_bytes() <= 256);
+        // takes come back newest-first: c then b, never a
+        let x: Vec<u8> = s.take_buf(1);
+        let y: Vec<u8> = s.take_buf(1);
+        assert_eq!(x.as_ptr(), pc);
+        assert_eq!(y.as_ptr(), pb);
+        assert_ne!(x.as_ptr(), pa);
+        let z: Vec<u8> = s.take_buf(1);
+        assert_ne!(z.as_ptr(), pa, "evicted allocation is gone");
+    }
+
+    #[test]
+    fn buf_pool_eviction_skips_stale_markers_from_takes() {
+        // cap fits three 100-byte buffers
+        let mut s = unit_ctx(1).with_buffer_cap(300);
+        s.recycle_buf::<u8>(Vec::with_capacity(100)); // stamp 0
+        let y: Vec<f32> = Vec::with_capacity(25); // 100 bytes
+        let py = y.as_ptr();
+        s.recycle_buf(y); // stamp 1
+        let _taken: Vec<u8> = s.take_buf(1); // stamp 0's marker goes stale
+        let x2: Vec<u8> = Vec::with_capacity(100);
+        let px2 = x2.as_ptr();
+        s.recycle_buf(x2); // stamp 2
+        s.recycle_buf::<u16>(Vec::with_capacity(50)); // stamp 3, resident 300
+        assert_eq!(s.pooled_bytes(), 300);
+        s.recycle_buf::<u32>(Vec::with_capacity(25)); // stamp 4: over cap
+                                                      // the stale u8 marker (stamp 0) must be skipped — the oldest *live*
+                                                      // buffer is the f32 one (stamp 1), not the newer u8 (stamp 2)
+        assert_eq!(s.pooled_buffers(), 3);
+        assert_eq!(s.pooled_bytes(), 300);
+        let back_u8: Vec<u8> = s.take_buf(1);
+        assert_eq!(back_u8.as_ptr(), px2, "newer u8 buffer survived");
+        let back_f32: Vec<f32> = s.take_buf(1);
+        assert_ne!(back_f32.as_ptr(), py, "oldest live buffer was evicted");
+    }
+
+    #[test]
+    fn buf_pool_rejects_oversized_and_empty_buffers() {
+        let mut s = unit_ctx(1).with_buffer_cap(64);
+        s.recycle_buf::<u8>(Vec::with_capacity(128)); // larger than the whole cap
+        s.recycle_buf::<u8>(Vec::new()); // zero capacity
+        assert_eq!(s.pooled_buffers(), 0);
+        assert_eq!(s.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn buf_pool_shrinking_cap_evicts_immediately() {
+        let mut s = unit_ctx(1);
+        for _ in 0..4 {
+            s.recycle_buf::<u8>(Vec::with_capacity(100));
+        }
+        assert_eq!(s.pooled_bytes(), 400);
+        s.set_buffer_cap(150);
+        assert_eq!(s.pooled_buffers(), 1);
+        assert_eq!(s.pooled_bytes(), 100);
+        s.set_buffer_cap(0); // disables recycling
+        assert_eq!(s.pooled_buffers(), 0);
+        s.recycle_buf::<u8>(Vec::with_capacity(100));
+        assert_eq!(s.pooled_buffers(), 0);
     }
 }

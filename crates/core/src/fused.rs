@@ -82,6 +82,19 @@ pub struct ErasedArr {
     pub(crate) elem_bytes: usize,
 }
 
+impl ErasedArr {
+    /// Number of distributed parts (virtual processors this value spans).
+    pub fn parts(&self) -> usize {
+        self.arr.len()
+    }
+
+    /// Static per-element payload estimate (`size_of` of the concrete part
+    /// type) — what the cost model weighs when deciding fan-out.
+    pub fn elem_bytes(&self) -> usize {
+        self.elem_bytes
+    }
+}
+
 /// Canonical conversion between a plan boundary type and [`ErasedArr`].
 ///
 /// Every fused stage constructor erases its input and restores its output
@@ -191,18 +204,28 @@ where
 /// [`Work`] + measured host seconds out. The seconds are nonzero only for
 /// *uncosted* stages (plain `map`/`imap`/`farm`), mirroring the eager
 /// layer: costed stages charge exactly their reported work, uncosted ones
-/// charge per the context's `MeasureMode`.
-type ComputeFn<'a> = Box<dyn Fn(usize, PartVal) -> (PartVal, Work, f64) + Sync + 'a>;
+/// charge per the context's `MeasureMode`. `Send + Sync` so a streaming
+/// runtime can replicate a stage across persistent farm workers.
+type ComputeFn<'a> = Box<dyn Fn(usize, PartVal) -> (PartVal, Work, f64) + Send + Sync + 'a>;
 type BarrierFn<'a> = Box<dyn FnMut(&mut Scl, ErasedArr) -> Result<ErasedArr> + 'a>;
+
+/// One part-local compute stage of a fused chain.
+pub(crate) struct ComputeStage<'a> {
+    label: &'static str,
+    /// True when the *eager* layer charges a compute event for this stage
+    /// (every map flavour does; `zip_with` deliberately charges nothing).
+    /// The fused executor ignores this — it charges every segment stage
+    /// into one summed event — but per-stage streaming charging
+    /// ([`SegmentOp::apply`]) replays exactly the eager charges.
+    charged: bool,
+    f: ComputeFn<'a>,
+}
 
 /// One stage of a fused chain.
 pub(crate) enum FusedNode<'a> {
     /// Part-local: output part `i` depends only on input part `i`. Runs of
     /// these execute back-to-back on the owning worker.
-    Compute {
-        label: &'static str,
-        f: ComputeFn<'a>,
-    },
+    Compute(ComputeStage<'a>),
     /// Whole-configuration: a fusion barrier. Runs on the calling thread
     /// through the eager skeleton layer.
     Barrier {
@@ -214,7 +237,9 @@ pub(crate) enum FusedNode<'a> {
 impl FusedNode<'_> {
     pub(crate) fn label(&self) -> &'static str {
         match self {
-            FusedNode::Compute { label, .. } | FusedNode::Barrier { label, .. } => label,
+            FusedNode::Compute(ComputeStage { label, .. }) | FusedNode::Barrier { label, .. } => {
+                label
+            }
         }
     }
 
@@ -265,14 +290,15 @@ pub(crate) fn compose<'a, A, B, C>(
 pub(crate) fn compute_node<'a, T, R>(
     label: &'static str,
     timed: bool,
-    f: impl Fn(usize, &T) -> (R, Work) + Sync + 'a,
+    f: impl Fn(usize, &T) -> (R, Work) + Send + Sync + 'a,
 ) -> FusedPlan<'a, ParArray<T>, ParArray<R>>
 where
     T: Send + 'static,
     R: Send + 'static,
 {
-    FusedPlan::from_nodes(vec![FusedNode::Compute {
+    FusedPlan::from_nodes(vec![FusedNode::Compute(ComputeStage {
         label,
+        charged: true,
         f: Box::new(move |i, v| {
             let x = v.downcast::<T>().expect("fused stage input type mismatch");
             let t0 = Instant::now();
@@ -284,7 +310,7 @@ where
             };
             (Box::new(r) as PartVal, w, secs)
         }),
-    }])
+    })])
 }
 
 /// A part-local stage over a zipped pair boundary ([`Skel::zip_with`]).
@@ -292,16 +318,17 @@ where
 /// [`Skel::zip_with`]: crate::plan::Skel::zip_with
 pub(crate) fn compute_pair_node<'a, A, B, R>(
     label: &'static str,
-    f: impl Fn(&A, &B) -> (R, Work) + Sync + 'a,
+    f: impl Fn(&A, &B) -> (R, Work) + Send + Sync + 'a,
 ) -> FusedPlan<'a, (ParArray<A>, ParArray<B>), ParArray<R>>
 where
     A: Send + 'static,
     B: Send + 'static,
     R: Send + 'static,
 {
-    FusedPlan::from_nodes(vec![FusedNode::Compute {
+    FusedPlan::from_nodes(vec![FusedNode::Compute(ComputeStage {
         label,
         // like the eager `Scl::zip_with`, this charges nothing locally
+        charged: false,
         f: Box::new(move |_, v| {
             let pair = v
                 .downcast::<(A, B)>()
@@ -309,7 +336,7 @@ where
             let (r, w) = f(&pair.0, &pair.1);
             (Box::new(r) as PartVal, w, 0.0)
         }),
-    }])
+    })])
 }
 
 /// A whole-configuration stage as a fused plan (a barrier).
@@ -327,11 +354,155 @@ where
     }])
 }
 
+// ---- streaming introspection ------------------------------------------------
+
+/// One operator of a fused plan, as a streaming runtime consumes it: a
+/// maximal run of part-local compute stages ([`PlanOp::Segment`], pure and
+/// replicable across farm workers) or a whole-configuration barrier
+/// ([`PlanOp::Barrier`], stateful and order-serial). Produced by
+/// [`Skel::into_stream_ops`](crate::plan::Skel::into_stream_ops); barriers
+/// are exactly the stage boundaries of the persistent operator graph.
+pub enum PlanOp<'a> {
+    /// A maximal fused compute segment.
+    Segment(SegmentOp<'a>),
+    /// A fusion barrier.
+    Barrier(BarrierOp<'a>),
+}
+
+impl PlanOp<'_> {
+    /// Display label: the barrier's stage name, or the segment's stage
+    /// names joined with `+`.
+    pub fn label(&self) -> String {
+        match self {
+            PlanOp::Segment(seg) => seg.label(),
+            PlanOp::Barrier(b) => b.label().to_string(),
+        }
+    }
+}
+
+/// A maximal run of part-local compute stages, extracted from a fused
+/// plan. `Send + Sync`: a streaming runtime shares one `SegmentOp` across
+/// all replicas of a farm stage.
+pub struct SegmentOp<'a> {
+    stages: Vec<ComputeStage<'a>>,
+}
+
+impl SegmentOp<'_> {
+    /// Number of fused compute stages in the segment.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True for a segment with no stages (never produced by plans).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stage labels, in execution order.
+    pub fn stage_labels(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.label).collect()
+    }
+
+    /// Display label: stage names joined with `+`.
+    pub fn label(&self) -> String {
+        self.stage_labels().join("+")
+    }
+
+    /// Run the whole segment over every part of `val`, charging `scl`
+    /// **exactly as the eager layer would**: one compute event per part
+    /// per *charged* stage (all map flavours; `zip_with` stays free), in
+    /// the same per-processor order as the eager stage-by-stage loops —
+    /// so per-item metrics and makespan agree with [`Skel::run`]
+    /// bit-for-bit under [`MeasureMode::None`](crate::ctx::MeasureMode)
+    /// and costed stages. (The fused executor instead charges each part
+    /// once with the summed work; same totals, different `compute_steps`.)
+    ///
+    /// # Panics
+    /// Re-raises a stage panic labelled
+    /// `` fused stage `X` panicked on part i ``, like fused execution.
+    pub fn apply(&self, scl: &mut Scl, val: ErasedArr) -> ErasedArr {
+        let ErasedArr {
+            arr,
+            side,
+            elem_bytes,
+        } = val;
+        let (parts, procs, shape) = arr.into_raw();
+        let mut out = Vec::with_capacity(parts.len());
+        for (i, part) in parts.into_iter().enumerate() {
+            let mut v = part;
+            for st in &self.stages {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| (st.f)(i, v))) {
+                    Ok((nv, w, secs)) => {
+                        if st.charged {
+                            let charged = w + scl.measured_work(secs);
+                            scl.machine.compute(procs[i], charged, st.label);
+                        }
+                        v = nv;
+                    }
+                    Err(payload) => panic!(
+                        "fused stage `{}` panicked on part {i}: {}",
+                        st.label,
+                        panic_message(&*payload)
+                    ),
+                }
+            }
+            out.push(v);
+        }
+        ErasedArr {
+            arr: ParArray::from_raw(out, procs, shape),
+            side,
+            elem_bytes,
+        }
+    }
+}
+
+/// A whole-configuration barrier stage, extracted from a fused plan.
+/// Stateful (`FnMut`, possibly `Rc`-shared with the plan's eager path), so
+/// a streaming runtime must run it on one thread and feed it items in
+/// stream order.
+pub struct BarrierOp<'a> {
+    label: &'static str,
+    f: BarrierFn<'a>,
+}
+
+impl BarrierOp<'_> {
+    /// The barrier's stage name.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Run the barrier, then validate that the configuration it produced
+    /// still fits the machine — the same contract as fused execution.
+    pub fn apply(&mut self, scl: &mut Scl, val: ErasedArr) -> Result<ErasedArr> {
+        let out = (self.f)(scl, val)?;
+        scl.try_check_fits(out.arr.len())?;
+        Ok(out)
+    }
+}
+
+/// Group a fused node chain into maximal segments and barriers — the
+/// operator list a streaming runtime builds its graph from.
+pub(crate) fn plan_ops(nodes: Vec<FusedNode<'_>>) -> Vec<PlanOp<'_>> {
+    let mut ops: Vec<PlanOp<'_>> = Vec::new();
+    for node in nodes {
+        match node {
+            FusedNode::Compute(st) => match ops.last_mut() {
+                Some(PlanOp::Segment(seg)) => seg.stages.push(st),
+                _ => ops.push(PlanOp::Segment(SegmentOp { stages: vec![st] })),
+            },
+            FusedNode::Barrier { label, f } => ops.push(PlanOp::Barrier(BarrierOp { label, f })),
+        }
+    }
+    ops
+}
+
 /// Best-effort rendering of a panic payload for the labelled re-raise.
 /// Non-string payloads (`panic_any` tokens) are flattened to a
 /// placeholder: fused execution trades payload identity for the stage
 /// label, unlike the eager path which propagates payloads verbatim.
-fn panic_message(payload: &(dyn Any + Send)) -> &str {
+/// Public so downstream executors (the streaming runtime's poison
+/// envelopes) render payloads identically.
+pub fn panic_message(payload: &(dyn Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&str>() {
         s
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -390,7 +561,7 @@ impl Scl {
         let stages: Vec<(&'static str, &ComputeFn<'_>)> = segment
             .iter()
             .map(|n| match n {
-                FusedNode::Compute { label, f } => (*label, f),
+                FusedNode::Compute(ComputeStage { label, f, .. }) => (*label, f),
                 FusedNode::Barrier { .. } => {
                     unreachable!("fused segments contain only compute nodes")
                 }

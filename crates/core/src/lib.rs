@@ -21,6 +21,7 @@
 //! | configuration | `partition`, `gather`, `align`, `distribution`, `redistribution`, `split`, `combine` | [`ctx`], [`config`], [`partition`] | [`Skel::partition`], [`Skel::gather`], [`Skel::balance`] |
 //! | elementary | `map`, `imap`, `fold`, `scan`, `zip_with` + communication: `rotate`, `rotate_row`, `rotate_col`, `brdcast`, `apply_brdcast`, `send`, `fetch`, `total_exchange` | [`skeletons::elementary`], [`skeletons::comm`] | [`Skel::map`], [`Skel::imap`], [`Skel::fold`], [`Skel::scan`], [`Skel::zip_with`], [`Skel::rotate`], [`Skel::shift`], [`Skel::brdcast`], [`Skel::fetch`], [`Skel::total_exchange`] |
 //! | computational | `farm`, `spmd`, `iter_until`, `iter_for`, `dc`, `pipeline` | [`skeletons::compute`] | [`Skel::farm`], [`Skel::spmd`], [`Skel::iter_until`], [`Skel::iter_for`], [`Skel::dc`], [`Skel::task_pipeline`] |
+//! | streaming | persistent pipeline/farm operator graphs serving a plan over unbounded input — bounded queues, backpressure, autonomic farm widths | `scl-stream` (`StreamExec`) | [`Skel::into_stream_ops`] → `StreamExec::push`/`drain`/`run_stream` |
 //!
 //! Every skeleton is available two ways: **eagerly**, as a method on
 //! [`Scl`] that executes immediately, and as a **plan combinator** on
@@ -98,7 +99,10 @@
 //! convergence loop like jacobi's allocates a constant amount per sweep
 //! after its first iteration. The pool is host-side performance state, not
 //! machine state: [`Scl::reset`] deliberately keeps it (warm buffers carry
-//! across runs), and [`Scl::clear_buffers`] drops it explicitly.
+//! across runs), and [`Scl::clear_buffers`] drops it explicitly. Resident
+//! bytes are capped ([`DEFAULT_BUFFER_CAP_BYTES`] unless overridden with
+//! [`Scl::with_buffer_cap`]) with oldest-first eviction, and
+//! [`Scl::pooled_bytes`] reads the gauge.
 //!
 //! All `ParArray`-returning skeletons are `#[must_use]`: dropping a
 //! skeleton result silently is almost always a performance bug (the work
@@ -142,9 +146,9 @@ pub mod skeletons;
 pub use array::{GridShape, ParArray};
 pub use bytes::Bytes;
 pub use config::{align, align3, combine, split, try_align, unalign};
-pub use ctx::{MeasureMode, Scl};
+pub use ctx::{MeasureMode, Scl, DEFAULT_BUFFER_CAP_BYTES};
 pub use error::{Result, SclError};
-pub use fused::{ErasedArr, FusePort, PartVal};
+pub use fused::{panic_message, BarrierOp, ErasedArr, FusePort, PartVal, PlanOp, SegmentOp};
 pub use partition::{block_ranges, gather, gather2, owner_1d, Pattern};
 pub use plan::Skel;
 pub use seq::Matrix;

@@ -195,6 +195,29 @@ impl<'a, A, B> Skel<'a, A, B> {
     pub fn repr(&self) -> Option<&Expr> {
         self.repr.as_ref()
     }
+
+    /// Decompose a fusable plan into its streaming operator list: maximal
+    /// fused compute segments ([`PlanOp::Segment`](fused::PlanOp), pure and
+    /// replicable) separated by barriers
+    /// ([`PlanOp::Barrier`](fused::PlanOp), stateful, order-serial). This
+    /// is the compilation step of the `scl-stream` runtime: each segment
+    /// becomes a long-lived farm stage, each barrier a stage boundary.
+    ///
+    /// Consumes the plan (the ops own the stage closures). Plans with an
+    /// unfusable stage are handed back unchanged as `Err` so the caller
+    /// can fall back to eager per-item execution.
+    #[allow(clippy::result_large_err)] // Err is the unconsumed plan, by design
+    pub fn into_stream_ops(self) -> std::result::Result<Vec<fused::PlanOp<'a>>, Self> {
+        let Skel { exec, repr, fused } = self;
+        match fused {
+            Some(cell) => Ok(fused::plan_ops(cell.into_inner().nodes)),
+            None => Err(Skel {
+                exec,
+                repr,
+                fused: None,
+            }),
+        }
+    }
 }
 
 impl<'a, A, B> Skel<'a, A, B>
@@ -258,7 +281,7 @@ fn compute_stage<'a, T, R>(
     label: &'static str,
     timed: bool,
     eager: impl FnMut(&mut Scl, ParArray<T>) -> ParArray<R> + 'a,
-    node: impl Fn(usize, &T) -> (R, Work) + Sync + 'a,
+    node: impl Fn(usize, &T) -> (R, Work) + Send + Sync + 'a,
 ) -> Skel<'a, ParArray<T>, ParArray<R>>
 where
     T: Send + Sync + 'static,

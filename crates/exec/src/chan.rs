@@ -1,0 +1,296 @@
+//! A bounded multi-producer / multi-consumer channel.
+//!
+//! `std::sync::mpsc` is single-consumer, which rules it out for farm
+//! stages where several replica workers pull items off one queue. This is
+//! the minimal MPMC complement: a [`Bounded<T>`] channel over a
+//! `Mutex<VecDeque>` and two condvars, with
+//!
+//! * a hard **capacity** — [`Bounded::send`] blocks while the queue is
+//!   full, which is what gives a streaming operator graph backpressure
+//!   (memory stays O(capacity) regardless of stream length);
+//! * a **close** bit — [`Bounded::close`] wakes every blocked sender and
+//!   receiver; receivers drain the remaining items and then observe
+//!   disconnection, the standard shutdown protocol for persistent stage
+//!   workers;
+//! * a **depth gauge** — [`Bounded::len`] reads the current queue depth
+//!   without disturbing it, which is what an autonomic controller samples
+//!   to decide whether a stage is keeping up.
+//!
+//! Handles are cheap clones sharing one queue (`Arc` internally); any
+//! handle may send, receive, or close.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+/// A bounded MPMC channel; see the [module docs](self).
+pub struct Bounded<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Bounded<T> {
+    fn clone(&self) -> Self {
+        Bounded {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Outcome of a non-blocking receive.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecv<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue is currently empty but the channel is open.
+    Empty,
+    /// The channel is closed and fully drained.
+    Closed,
+}
+
+impl<T> Bounded<T> {
+    /// A channel holding at most `cap` items (at least 1).
+    pub fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    buf: VecDeque::with_capacity(cap.max(1)),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                cap: cap.max(1),
+            }),
+        }
+    }
+
+    /// The capacity the channel was created with.
+    pub fn capacity(&self) -> usize {
+        self.inner.cap
+    }
+
+    /// Current queue depth (racy by nature; a gauge, not a guarantee).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("poisoned channel").buf.len()
+    }
+
+    /// True when the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`Bounded::close`] has been called on any handle.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().expect("poisoned channel").closed
+    }
+
+    /// Close the channel: blocked senders fail, receivers drain what is
+    /// left and then observe [`TryRecv::Closed`] / `None`.
+    pub fn close(&self) {
+        self.inner.state.lock().expect("poisoned channel").closed = true;
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Enqueue, blocking while the channel is full. `Err(item)` if the
+    /// channel closed (the item is handed back).
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut st = self.inner.state.lock().expect("poisoned channel");
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.buf.len() < self.inner.cap {
+                st.buf.push_back(item);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.inner.not_full.wait(st).expect("poisoned channel");
+        }
+    }
+
+    /// Enqueue without blocking. `Err(item)` when full or closed.
+    pub fn try_send(&self, item: T) -> Result<(), T> {
+        let mut st = self.inner.state.lock().expect("poisoned channel");
+        if st.closed || st.buf.len() >= self.inner.cap {
+            return Err(item);
+        }
+        st.buf.push_back(item);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while the channel is open and empty. `None` once
+    /// the channel is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().expect("poisoned channel");
+        loop {
+            if let Some(x) = st.buf.pop_front() {
+                self.inner.not_full.notify_one();
+                return Some(x);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.inner.not_empty.wait(st).expect("poisoned channel");
+        }
+    }
+
+    /// [`Bounded::recv`] that gives up after `timeout`, returning
+    /// [`TryRecv::Empty`] — the idle loop of a stage worker that must also
+    /// periodically re-check its activation gate.
+    pub fn recv_timeout(&self, timeout: Duration) -> TryRecv<T> {
+        let mut st = self.inner.state.lock().expect("poisoned channel");
+        loop {
+            if let Some(x) = st.buf.pop_front() {
+                self.inner.not_full.notify_one();
+                return TryRecv::Item(x);
+            }
+            if st.closed {
+                return TryRecv::Closed;
+            }
+            let (guard, res) = self
+                .inner
+                .not_empty
+                .wait_timeout(st, timeout)
+                .expect("poisoned channel");
+            st = guard;
+            if res.timed_out() && st.buf.is_empty() {
+                return if st.closed {
+                    TryRecv::Closed
+                } else {
+                    TryRecv::Empty
+                };
+            }
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> TryRecv<T> {
+        let mut st = self.inner.state.lock().expect("poisoned channel");
+        match st.buf.pop_front() {
+            Some(x) => {
+                self.inner.not_full.notify_one();
+                TryRecv::Item(x)
+            }
+            None if st.closed => TryRecv::Closed,
+            None => TryRecv::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let ch = Bounded::new(4);
+        assert_eq!(ch.capacity(), 4);
+        ch.send(1).unwrap();
+        ch.send(2).unwrap();
+        assert_eq!(ch.len(), 2);
+        assert!(!ch.is_empty());
+        assert_eq!(ch.recv(), Some(1));
+        assert_eq!(ch.recv(), Some(2));
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn try_send_observes_capacity() {
+        let ch = Bounded::new(2);
+        ch.try_send(1).unwrap();
+        ch.try_send(2).unwrap();
+        assert_eq!(ch.try_send(3), Err(3));
+        assert_eq!(ch.recv(), Some(1));
+        ch.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_disconnects() {
+        let ch = Bounded::new(4);
+        ch.send("a").unwrap();
+        ch.close();
+        assert!(ch.is_closed());
+        assert_eq!(ch.send("b"), Err("b"));
+        assert_eq!(ch.recv(), Some("a"));
+        assert_eq!(ch.recv(), None);
+        assert_eq!(ch.try_recv(), TryRecv::Closed);
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_and_closed() {
+        let ch: Bounded<u8> = Bounded::new(1);
+        assert_eq!(ch.try_recv(), TryRecv::Empty);
+        ch.close();
+        assert_eq!(ch.try_recv(), TryRecv::Closed);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let ch: Bounded<u8> = Bounded::new(1);
+        assert_eq!(ch.recv_timeout(Duration::from_millis(1)), TryRecv::Empty);
+        ch.send(9).unwrap();
+        assert_eq!(ch.recv_timeout(Duration::from_millis(1)), TryRecv::Item(9));
+    }
+
+    #[test]
+    fn blocked_sender_resumes_when_room_appears() {
+        let ch = Bounded::new(1);
+        ch.send(0u64).unwrap();
+        let tx = ch.clone();
+        let sender = std::thread::spawn(move || tx.send(1).is_ok());
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(ch.recv(), Some(0)); // frees the slot
+        assert!(sender.join().unwrap());
+        assert_eq!(ch.recv(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_blocked_sender() {
+        let ch = Bounded::new(1);
+        ch.send(0u64).unwrap();
+        let tx = ch.clone();
+        let sender = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(5));
+        ch.close();
+        assert_eq!(sender.join().unwrap(), Err(1));
+    }
+
+    #[test]
+    fn multi_consumer_claims_each_item_once() {
+        let ch = Bounded::new(64);
+        let taken = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let rx = ch.clone();
+            let taken = Arc::clone(&taken);
+            joins.push(std::thread::spawn(move || {
+                while rx.recv().is_some() {
+                    taken.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for i in 0..500 {
+            ch.send(i).unwrap();
+        }
+        ch.close();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(taken.load(Ordering::Relaxed), 500);
+    }
+}

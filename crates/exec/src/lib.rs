@@ -30,17 +30,33 @@
 //!   `partition` scatter) when the cost model says the payload justifies
 //!   fanning out.
 //!
+//! For *streaming* execution (the `scl-stream` crate) two further pieces
+//! live here:
+//!
+//! * [`Bounded`] — a bounded MPMC channel with a depth gauge and a close
+//!   protocol: the backpressured links of a persistent operator graph.
+//! * [`spawn_stage_workers`] — long-lived pipeline-stage workers on a
+//!   [`ThreadPool`], each looping `take → work → emit` over a shared
+//!   [`Bounded`] input, gated by an atomic width so an autonomic
+//!   controller can widen/narrow a farm without spawning threads.
+//!
 //! An [`ExecPolicy`] selects between sequential, threaded, and
 //! cost-model-driven execution and is threaded through `scl-core`'s context
 //! type. Host parallelism is queried once per process ([`host_threads`]) —
-//! never per call.
+//! never per call. [`ExecPolicy::from_env`] reads the `SCL_EXEC_POLICY`
+//! pin the CI matrix sets, erroring (never silently falling back) on
+//! unrecognised values.
 
+pub mod chan;
 pub mod policy;
 pub mod pool;
 pub mod scope;
+pub mod stage;
 
-pub use policy::{host_threads, ExecPolicy};
+pub use chan::{Bounded, TryRecv};
+pub use policy::{host_threads, ExecPolicy, POLICY_ENV_VAR};
 pub use pool::{JobHandle, ThreadPool};
 pub use scope::{
     par_concat, par_for_each, par_map, par_map_indexed, par_permute, par_pipeline, par_scatter,
 };
+pub use stage::{spawn_stage_workers, StageCrew, WidthGate};

@@ -51,7 +51,55 @@ pub enum ExecPolicy {
     },
 }
 
+/// The environment variable [`ExecPolicy::from_env`] reads.
+pub const POLICY_ENV_VAR: &str = "SCL_EXEC_POLICY";
+
 impl ExecPolicy {
+    /// Parse a policy name as accepted in [`POLICY_ENV_VAR`]:
+    ///
+    /// * `seq` / `sequential` — [`ExecPolicy::Sequential`]
+    /// * `auto` — [`ExecPolicy::auto`]
+    /// * `cost` / `cost-driven` — [`ExecPolicy::cost_driven`]
+    /// * `threads:N` (N ≥ 1) — [`ExecPolicy::Threads`]`(N)`
+    ///
+    /// Unrecognised values are an error, never a silent fallback.
+    pub fn parse(s: &str) -> Result<ExecPolicy, String> {
+        match s.trim() {
+            "seq" | "sequential" => Ok(ExecPolicy::Sequential),
+            "auto" => Ok(ExecPolicy::auto()),
+            "cost" | "cost-driven" => Ok(ExecPolicy::cost_driven()),
+            other => {
+                if let Some(n) = other.strip_prefix("threads:") {
+                    return match n.parse::<usize>() {
+                        Ok(t) if t >= 1 => Ok(ExecPolicy::Threads(t)),
+                        _ => Err(format!(
+                            "invalid thread count in `{other}` (want `threads:N`, N >= 1)"
+                        )),
+                    };
+                }
+                Err(format!(
+                    "unrecognised execution policy `{other}` \
+                     (want seq | auto | cost | threads:N)"
+                ))
+            }
+        }
+    }
+
+    /// The policy pinned through the `SCL_EXEC_POLICY` environment
+    /// variable, as the CI matrix does: `Ok(None)` when unset (callers
+    /// supply their own default matrix), `Ok(Some(policy))` when set to a
+    /// value [`ExecPolicy::parse`] accepts, and `Err` — not a silent
+    /// fallback — when set to anything else.
+    pub fn from_env() -> Result<Option<ExecPolicy>, String> {
+        match std::env::var(POLICY_ENV_VAR) {
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(e) => Err(format!("{POLICY_ENV_VAR}: {e}")),
+            Ok(s) => ExecPolicy::parse(&s)
+                .map(Some)
+                .map_err(|e| format!("{POLICY_ENV_VAR}: {e}")),
+        }
+    }
+
     /// Threaded policy sized to the host's available parallelism (cached —
     /// see [`host_threads`]).
     pub fn auto() -> ExecPolicy {
@@ -151,5 +199,45 @@ mod tests {
     #[test]
     fn default_is_sequential() {
         assert_eq!(ExecPolicy::default(), ExecPolicy::Sequential);
+    }
+
+    #[test]
+    fn parse_accepts_the_ci_matrix_names() {
+        assert_eq!(ExecPolicy::parse("seq"), Ok(ExecPolicy::Sequential));
+        assert_eq!(ExecPolicy::parse("sequential"), Ok(ExecPolicy::Sequential));
+        assert_eq!(ExecPolicy::parse("auto"), Ok(ExecPolicy::auto()));
+        assert_eq!(ExecPolicy::parse("cost"), Ok(ExecPolicy::cost_driven()));
+        assert_eq!(
+            ExecPolicy::parse("cost-driven"),
+            Ok(ExecPolicy::cost_driven())
+        );
+        assert_eq!(ExecPolicy::parse("threads:6"), Ok(ExecPolicy::Threads(6)));
+        assert_eq!(ExecPolicy::parse(" seq "), Ok(ExecPolicy::Sequential));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_loudly() {
+        for bad in ["", "fast", "threads:", "threads:0", "threads:x", "SEQ"] {
+            let err = ExecPolicy::parse(bad).unwrap_err();
+            assert!(
+                err.contains("polic") || err.contains("thread"),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    // from_env itself is covered indirectly: the test binaries run with
+    // SCL_EXEC_POLICY either unset or set by the CI matrix, and mutating
+    // the process environment from a multi-threaded test harness is UB in
+    // Rust 2024 terms — parse() above covers the interesting logic.
+    #[test]
+    fn from_env_agrees_with_the_current_environment() {
+        match std::env::var(POLICY_ENV_VAR) {
+            Err(_) => assert_eq!(ExecPolicy::from_env(), Ok(None)),
+            Ok(s) => match ExecPolicy::parse(&s) {
+                Ok(p) => assert_eq!(ExecPolicy::from_env(), Ok(Some(p))),
+                Err(_) => assert!(ExecPolicy::from_env().is_err()),
+            },
+        }
     }
 }

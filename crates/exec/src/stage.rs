@@ -1,0 +1,300 @@
+//! Persistent stage workers: the farm form of a streaming pipeline stage.
+//!
+//! [`par_pipeline`](crate::par_pipeline) dispatches one *batch* onto the
+//! pool and joins; a streaming runtime instead needs workers that live as
+//! long as the stream does, each looping `take → work → emit` over a
+//! shared [`Bounded`] input queue. [`spawn_stage_workers`] submits
+//! `replicas` such loops as long-running pool jobs and returns a
+//! [`StageCrew`] of their handles.
+//!
+//! Two contracts matter to the caller:
+//!
+//! * **Shutdown** is by closing the input channel: workers drain what is
+//!   queued, then exit; [`StageCrew::join`] re-raises the first worker
+//!   panic (worker panics never kill pool threads — the pool catches
+//!   them — so a paniced stage surfaces at join, not as a hang). Wake
+//!   parked workers promptly by opening the gate wide
+//!   ([`WidthGate::open_all`]) after closing the channel: admitted
+//!   workers observe the closed channel and exit.
+//! * **Autonomic gating**: each worker re-checks the shared [`WidthGate`]
+//!   before claiming an item; workers with index `>= width` **park on
+//!   the gate's condvar** (no busy-polling) until a controller widens it,
+//!   so adaptation never spawns or joins threads and idle replicas cost
+//!   nothing but memory.
+
+use crate::chan::{Bounded, TryRecv};
+use crate::pool::{JobHandle, ThreadPool};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A farm's replica-width gate: worker `i` may claim work only while
+/// `width() > i`. Controllers move it with [`WidthGate::set`] (which
+/// wakes every parked worker); shutdown uses [`WidthGate::open_all`] so
+/// parked workers run into the closed input channel and exit.
+pub struct WidthGate {
+    width: Mutex<usize>,
+    changed: Condvar,
+}
+
+impl WidthGate {
+    /// A gate admitting the first `width` workers.
+    pub fn new(width: usize) -> Arc<WidthGate> {
+        Arc::new(WidthGate {
+            width: Mutex::new(width),
+            changed: Condvar::new(),
+        })
+    }
+
+    /// Current width.
+    pub fn width(&self) -> usize {
+        *self.width.lock().expect("poisoned width gate")
+    }
+
+    /// Set the width and wake every parked worker to re-check it.
+    pub fn set(&self, width: usize) {
+        *self.width.lock().expect("poisoned width gate") = width;
+        self.changed.notify_all();
+    }
+
+    /// Admit every worker — the shutdown wake-up: parked workers resume,
+    /// observe the closed input channel, and exit.
+    pub fn open_all(&self) {
+        self.set(usize::MAX);
+    }
+
+    /// Park until worker `idx` is admitted or `timeout` elapses (the
+    /// timeout is a defensive re-check, not the wake path — [`set`] and
+    /// [`open_all`] notify). Returns whether the worker is now admitted.
+    ///
+    /// [`set`]: WidthGate::set
+    /// [`open_all`]: WidthGate::open_all
+    pub fn wait_admitted(&self, idx: usize, timeout: Duration) -> bool {
+        let guard = self.width.lock().expect("poisoned width gate");
+        let (guard, _) = self
+            .changed
+            .wait_timeout_while(guard, timeout, |w| *w <= idx)
+            .expect("poisoned width gate");
+        *guard > idx
+    }
+}
+
+/// Handles of one stage's workers; join on shutdown.
+pub struct StageCrew {
+    handles: Vec<JobHandle<()>>,
+}
+
+impl StageCrew {
+    /// Number of workers spawned (the stage's maximum width).
+    pub fn size(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Wait for every worker to exit (close the input channel first, or
+    /// this blocks forever), re-raising the first worker panic.
+    pub fn join(self) {
+        let mut first_panic = None;
+        for h in self.handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Spawn `replicas` persistent workers on `pool`, each looping over
+/// `input` and calling `work(worker_index, item)` per claimed item —
+/// emission is `work`'s business (it usually sends into a downstream
+/// [`Bounded`]). Workers whose index is not admitted by `gate` park on
+/// its condvar without claiming items; see the [module docs](self).
+///
+/// The pool must have at least `replicas` threads to spare: each worker
+/// occupies one pool thread until the input channel closes.
+pub fn spawn_stage_workers<T: Send + 'static>(
+    pool: &ThreadPool,
+    replicas: usize,
+    gate: Arc<WidthGate>,
+    input: Bounded<T>,
+    work: Arc<dyn Fn(usize, T) + Send + Sync>,
+) -> StageCrew {
+    // pure safety nets: the real wake paths are gate notifications and
+    // channel closes
+    const GATE_PARK: Duration = Duration::from_millis(250);
+    const IDLE_POLL: Duration = Duration::from_millis(1);
+    let handles = (0..replicas)
+        .map(|r| {
+            let input = input.clone();
+            let gate = Arc::clone(&gate);
+            let work = Arc::clone(&work);
+            pool.submit(move || loop {
+                if gate.width() <= r {
+                    // gated off: park, but still notice shutdown
+                    if input.is_closed() && input.is_empty() {
+                        break;
+                    }
+                    let _ = gate.wait_admitted(r, GATE_PARK);
+                    continue;
+                }
+                match input.recv_timeout(IDLE_POLL) {
+                    TryRecv::Item(x) => work(r, x),
+                    TryRecv::Closed => break,
+                    TryRecv::Empty => {}
+                }
+            })
+        })
+        .collect();
+    StageCrew { handles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn gate_admits_and_parks() {
+        let gate = WidthGate::new(2);
+        assert_eq!(gate.width(), 2);
+        assert!(gate.wait_admitted(1, Duration::from_millis(1)));
+        assert!(!gate.wait_admitted(2, Duration::from_millis(1)));
+        gate.set(3);
+        assert!(gate.wait_admitted(2, Duration::from_millis(1)));
+        gate.open_all();
+        assert!(gate.wait_admitted(usize::MAX - 1, Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn gate_set_wakes_parked_waiter() {
+        let gate = WidthGate::new(0);
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || g2.wait_admitted(0, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(5));
+        gate.set(1); // must wake the waiter well before the 10s timeout
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn workers_process_everything_then_exit() {
+        let pool = ThreadPool::new(3);
+        let input = Bounded::new(8);
+        let output = Bounded::new(1024);
+        let out = output.clone();
+        let crew = spawn_stage_workers(
+            &pool,
+            3,
+            WidthGate::new(3),
+            input.clone(),
+            Arc::new(move |_, x: u64| {
+                let _ = out.send(x * 2);
+            }),
+        );
+        assert_eq!(crew.size(), 3);
+        for i in 0..200 {
+            input.send(i).unwrap();
+        }
+        input.close();
+        crew.join();
+        output.close();
+        let mut got = Vec::new();
+        while let Some(x) = output.recv() {
+            got.push(x);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..200).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn gated_workers_claim_nothing() {
+        let pool = ThreadPool::new(4);
+        let input = Bounded::new(64);
+        let seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let hits = Arc::new(AtomicU64::new(0));
+        // only worker 0 is admitted
+        let gate = WidthGate::new(1);
+        let crew = {
+            let seen = Arc::clone(&seen);
+            let hits = Arc::clone(&hits);
+            spawn_stage_workers(
+                &pool,
+                4,
+                Arc::clone(&gate),
+                input.clone(),
+                Arc::new(move |r, _x: u64| {
+                    seen.lock().unwrap().insert(r);
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+        };
+        for i in 0..50 {
+            input.send(i).unwrap();
+        }
+        // let the lone admitted worker drain the queue
+        while hits.load(Ordering::Relaxed) < 50 {
+            std::thread::yield_now();
+        }
+        input.close();
+        gate.open_all(); // wake the parked workers so they observe the close
+        crew.join();
+        assert_eq!(*seen.lock().unwrap(), std::collections::HashSet::from([0]));
+    }
+
+    #[test]
+    fn widening_activates_more_workers() {
+        let pool = ThreadPool::new(2);
+        let input = Bounded::new(64);
+        let seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let gate = WidthGate::new(1);
+        let crew = {
+            let seen = Arc::clone(&seen);
+            spawn_stage_workers(
+                &pool,
+                2,
+                Arc::clone(&gate),
+                input.clone(),
+                Arc::new(move |r, _x: u64| {
+                    seen.lock().unwrap().insert(r);
+                    // slow stage: gives the second worker a chance to claim
+                    std::thread::sleep(Duration::from_micros(300));
+                }),
+            )
+        };
+        gate.set(2); // widen: wakes the parked second worker
+        for i in 0..300 {
+            input.send(i).unwrap();
+        }
+        input.close();
+        crew.join();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            std::collections::HashSet::from([0, 1])
+        );
+    }
+
+    #[test]
+    fn worker_panic_surfaces_at_join() {
+        let pool = ThreadPool::new(1);
+        let input = Bounded::new(4);
+        let crew = spawn_stage_workers(
+            &pool,
+            1,
+            WidthGate::new(1),
+            input.clone(),
+            Arc::new(|_, x: u64| {
+                if x == 2 {
+                    panic!("stage died");
+                }
+            }),
+        );
+        for i in 0..4 {
+            input.send(i).unwrap();
+        }
+        input.close();
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| crew.join())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "stage died");
+    }
+}

@@ -48,7 +48,7 @@ pub mod trace;
 pub use clock::ProcClocks;
 pub use cost::{CostModel, FusedDecision, Work};
 pub use machine::{Machine, MachineReport};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, Throughput};
 pub use network::{log_phases, Network};
 pub use time::Time;
 pub use topology::{ProcId, Topology};

@@ -387,6 +387,20 @@ impl Machine {
         self.clocks.makespan()
     }
 
+    /// Processor occupancy in `[0, 1]`: mean clock over makespan (the
+    /// reciprocal of [`ProcClocks::imbalance`](crate::clock::ProcClocks)).
+    /// `1.0` means every processor was busy for the whole predicted run —
+    /// perfectly balanced; `1/p` means one processor did all the work. By
+    /// convention `1.0` before any work is charged.
+    pub fn occupancy(&self) -> f64 {
+        let imb = self.clocks.imbalance();
+        if imb > 0.0 {
+            1.0 / imb
+        } else {
+            1.0
+        }
+    }
+
     /// Zero the clocks, counters and trace for a fresh run on the same
     /// machine.
     pub fn reset(&mut self) {
@@ -601,6 +615,18 @@ mod tests {
         assert_eq!(r.makespan.as_secs(), 3.0);
         let s = format!("{r}");
         assert!(s.contains("procs=2"));
+    }
+
+    #[test]
+    fn occupancy_reflects_balance() {
+        let mut m = unit_machine(2);
+        assert_eq!(m.occupancy(), 1.0); // nothing charged yet
+        m.compute(0, Work::flops(10), "w");
+        m.compute(1, Work::flops(10), "w");
+        assert!((m.occupancy() - 1.0).abs() < 1e-12);
+        m.compute(0, Work::flops(20), "w");
+        // clocks 30 and 10: mean 20, makespan 30
+        assert!((m.occupancy() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

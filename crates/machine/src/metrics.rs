@@ -91,6 +91,40 @@ impl Metrics {
     }
 }
 
+/// Sustained-rate gauge for streaming execution: items completed over
+/// elapsed *host* seconds. The streaming runtime (`scl-stream`) keeps one
+/// per run and one per stage; benchmark tables report
+/// [`Throughput::items_per_sec`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Throughput {
+    /// Items completed.
+    pub items: u64,
+    /// Host seconds elapsed while completing them.
+    pub secs: f64,
+}
+
+impl Throughput {
+    /// A zeroed gauge.
+    pub fn new() -> Throughput {
+        Throughput::default()
+    }
+
+    /// Record `items` more completions over `secs` more elapsed seconds.
+    pub fn record(&mut self, items: u64, secs: f64) {
+        self.items += items;
+        self.secs += secs;
+    }
+
+    /// Items per second; `0.0` before any time has been observed.
+    pub fn items_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.items as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +176,15 @@ mod tests {
             ..Metrics::default()
         };
         assert!(m.summary().contains("msgs=42"));
+    }
+
+    #[test]
+    fn throughput_rates() {
+        let mut t = Throughput::new();
+        assert_eq!(t.items_per_sec(), 0.0);
+        t.record(100, 2.0);
+        t.record(50, 1.0);
+        assert_eq!(t.items, 150);
+        assert_eq!(t.items_per_sec(), 50.0);
     }
 }

@@ -1,0 +1,475 @@
+//! The persistent operator graph behind [`StreamExec`](crate::StreamExec):
+//! farm stages (segment replicas over bounded queues) linked by pump-side
+//! hops (barrier chains), plus the pump loop and the autonomic width
+//! controller.
+//!
+//! Threading model: farm replicas are the only worker threads; everything
+//! else — barrier execution, reordering, relaying between stages,
+//! completion — happens on the *pumping* thread (whoever calls
+//! `push`/`pop`/`drain`). That keeps the stateful pieces (`FnMut` barrier
+//! closures, possibly `Rc`-shared with the plan's eager path) on a single
+//! thread with no synchronisation, while the pure segments overlap across
+//! items.
+
+use crate::{Envelope, FarmStats, StageStat};
+use scl_core::{panic_message, BarrierOp, ErasedArr, PlanOp, SegmentOp};
+use scl_exec::{spawn_stage_workers, Bounded, ExecPolicy, ThreadPool, TryRecv, WidthGate};
+use scl_machine::Machine;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An operator the pump executes inline while relaying an item across a
+/// stage boundary.
+enum PumpOp {
+    /// A fusion barrier: stateful, runs in stream order.
+    Barrier(BarrierOp<'static>),
+    /// A fused segment under a 1-thread policy: the whole graph degrades
+    /// to synchronous inline execution with zero worker threads.
+    Inline(Arc<SegmentOp<'static>>),
+}
+
+impl PumpOp {
+    fn label(&self) -> String {
+        match self {
+            PumpOp::Barrier(b) => b.label().to_string(),
+            PumpOp::Inline(seg) => seg.label(),
+        }
+    }
+}
+
+/// Pump-thread service counters for one hop operator (no atomics needed:
+/// only the pump touches them).
+#[derive(Default)]
+struct OpStat {
+    items: u64,
+    busy_nanos: u64,
+}
+
+/// The relay between two farm stages (or stream entry/exit): the barrier
+/// chain applied while an item crosses — each operator with its own
+/// service counters — plus a one-item park slot for when the downstream
+/// queue is momentarily full.
+#[derive(Default)]
+struct Hop {
+    ops: Vec<(PumpOp, OpStat)>,
+    pending: Option<Envelope>,
+}
+
+impl Hop {
+    fn new() -> Hop {
+        Hop::default()
+    }
+
+    fn push_op(&mut self, op: PumpOp) {
+        self.ops.push((op, OpStat::default()));
+    }
+}
+
+/// One farm stage: a fused compute segment replicated across gated
+/// workers, with the pump-side reorder buffer that restores stream order.
+pub(crate) struct Farm {
+    label: String,
+    seg: Arc<SegmentOp<'static>>,
+    in_q: Bounded<Envelope>,
+    out_q: Bounded<Envelope>,
+    /// Replicas currently allowed to claim work (the autonomic gate;
+    /// workers past the width park on its condvar).
+    active: Arc<WidthGate>,
+    /// Current ceiling for `active` (≤ `spawned`; the cost model may
+    /// lower it below the policy cap at calibration).
+    max_width: AtomicUsize,
+    /// Workers actually spawned — the hard ceiling.
+    spawned: usize,
+    stats: Arc<FarmStats>,
+    /// Completed-but-out-of-order items, keyed by stream position.
+    reorder: BTreeMap<u64, Envelope>,
+    /// Next stream position to release downstream.
+    expect: u64,
+    // controller sampling state
+    last_busy: u64,
+    last_tick: Instant,
+}
+
+impl Farm {
+    fn new(
+        seg: Arc<SegmentOp<'static>>,
+        capacity: usize,
+        width_cap: usize,
+        adaptive: bool,
+    ) -> Farm {
+        Farm {
+            label: seg.label(),
+            seg,
+            in_q: Bounded::new(capacity),
+            out_q: Bounded::new(capacity),
+            active: WidthGate::new(if adaptive { 1 } else { width_cap }),
+            max_width: AtomicUsize::new(width_cap),
+            spawned: width_cap,
+            stats: Arc::new(FarmStats::default()),
+            reorder: BTreeMap::new(),
+            expect: 0,
+            last_busy: 0,
+            last_tick: Instant::now(),
+        }
+    }
+
+    /// Spawn this farm's replicas: each claims envelopes off `in_q`, runs
+    /// the segment against the item's own machine context (charging it
+    /// eager-style), and emits to `out_q` — blocking there when full, so
+    /// backpressure reaches the replicas too. A panicking stage poisons
+    /// the envelope instead of killing the worker; the pump re-raises the
+    /// panic on the caller when the item completes.
+    fn spawn(&self, pool: &ThreadPool) {
+        let seg = Arc::clone(&self.seg);
+        let out = self.out_q.clone();
+        let stats = Arc::clone(&self.stats);
+        let work = Arc::new(move |_replica: usize, env: Envelope| {
+            let t0 = Instant::now();
+            let Envelope {
+                seq,
+                mut scl,
+                payload,
+            } = env;
+            let payload = match payload {
+                Ok(val) => {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| seg.apply(&mut scl, val))) {
+                        Ok(v) => Ok(v),
+                        Err(p) => Err(panic_message(&*p).to_string()),
+                    }
+                }
+                poisoned => poisoned,
+            };
+            stats
+                .busy_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            stats.items.fetch_add(1, Ordering::Relaxed);
+            // a closed output means the graph is shutting down: drop
+            let _ = out.send(Envelope { seq, scl, payload });
+        });
+        // handles dropped: replicas never panic (poison instead), and the
+        // pool joins the worker threads on shutdown
+        let crew = spawn_stage_workers(
+            pool,
+            self.spawned,
+            Arc::clone(&self.active),
+            self.in_q.clone(),
+            work,
+        );
+        drop(crew);
+    }
+}
+
+/// The compiled graph; see the [module docs](self).
+pub(crate) struct Graph {
+    pub(crate) farms: Vec<Farm>,
+    /// `farms.len() + 1` hops: hop `h` relays into farm `h`, the last hop
+    /// relays into `completed`.
+    hops: Vec<Hop>,
+    /// The one-item entry slot `push` fills; the pump moves it into hop 0.
+    pub(crate) ingress: Option<Envelope>,
+    /// Finished envelopes in stream order, harvested by the executor.
+    pub(crate) completed: VecDeque<Envelope>,
+    capacity: usize,
+    /// Per-farm replica cap from the [`ExecPolicy`].
+    exec_cap: usize,
+    /// Whether calibration consults the cost model.
+    cost_driven: bool,
+    adaptive: bool,
+    /// The persistent worker pool, held for its drop (which joins the
+    /// replica threads); `None` when the graph has no farms. The `Graph`
+    /// drop impl closes every channel first, so the workers the pool
+    /// joins are guaranteed to exit.
+    _pool: Option<ThreadPool>,
+}
+
+impl Graph {
+    /// Compile an operator list into a live graph. A 1-thread policy
+    /// inlines every segment on the pump (zero worker threads); otherwise
+    /// each segment becomes a farm capped at the policy's thread count.
+    pub(crate) fn build(
+        ops: Vec<PlanOp<'static>>,
+        capacity: usize,
+        exec: ExecPolicy,
+        adaptive: bool,
+    ) -> Graph {
+        let exec_cap = match exec {
+            ExecPolicy::Sequential => 1,
+            ExecPolicy::Threads(t) | ExecPolicy::CostDriven { threads: t } => t.max(1),
+        };
+        let inline = exec_cap <= 1;
+        let mut hops = vec![Hop::new()];
+        let mut farms: Vec<Farm> = Vec::new();
+        for op in ops {
+            match op {
+                PlanOp::Barrier(b) => hops
+                    .last_mut()
+                    .expect("hops start non-empty")
+                    .push_op(PumpOp::Barrier(b)),
+                PlanOp::Segment(seg) => {
+                    let seg = Arc::new(seg);
+                    if inline {
+                        hops.last_mut()
+                            .expect("hops start non-empty")
+                            .push_op(PumpOp::Inline(seg));
+                    } else {
+                        farms.push(Farm::new(seg, capacity, exec_cap, adaptive));
+                        hops.push(Hop::new());
+                    }
+                }
+            }
+        }
+        let pool = if farms.is_empty() {
+            None
+        } else {
+            let pool = ThreadPool::new(farms.iter().map(|f| f.spawned).sum());
+            for farm in &farms {
+                farm.spawn(&pool);
+            }
+            Some(pool)
+        };
+        Graph {
+            farms,
+            hops,
+            ingress: None,
+            completed: VecDeque::new(),
+            capacity,
+            exec_cap,
+            cost_driven: matches!(exec, ExecPolicy::CostDriven { .. }),
+            adaptive,
+            _pool: pool,
+        }
+    }
+
+    /// Refine each farm's width ceiling from the first item's payload:
+    /// under a cost-driven policy, ask the machine's cost model whether
+    /// farming a window of `capacity` items of this size across threads is
+    /// worth the coordination at all, exactly as fused execution gates a
+    /// segment ([`CostModel::fused_decision`]). Non-cost-driven policies
+    /// keep the policy cap.
+    ///
+    /// [`CostModel::fused_decision`]: scl_machine::CostModel::fused_decision
+    pub(crate) fn calibrate(&mut self, env: &Envelope, machine: &Machine) {
+        if !self.cost_driven {
+            return;
+        }
+        let item_bytes = item_bytes(env.payload.as_ref().ok());
+        for farm in &mut self.farms {
+            let d = machine.model().fused_decision(
+                self.capacity.max(2),
+                farm.seg.len(),
+                item_bytes.max(1),
+                self.exec_cap,
+            );
+            let cap = d.threads.clamp(1, farm.spawned);
+            farm.max_width.store(cap, Ordering::Relaxed);
+            let active = farm.active.width();
+            let want = if self.adaptive { active.min(cap) } else { cap };
+            farm.active.set(want.max(1));
+        }
+    }
+
+    /// Place one envelope on the entry slot (the caller has verified it
+    /// is free).
+    pub(crate) fn offer(&mut self, env: Envelope) {
+        debug_assert!(self.ingress.is_none(), "ingress slot already occupied");
+        self.ingress = Some(env);
+    }
+
+    /// One pump pass: walk the hops downstream-first (so freed capacity
+    /// propagates upstream within a single pass), relaying every item
+    /// that can move — out of reorder buffers in stream order, through
+    /// the hop's barrier chain, into the next farm's queue or the
+    /// completion list. Never blocks.
+    pub(crate) fn pump(&mut self) {
+        let n = self.farms.len();
+        for h in (0..=n).rev() {
+            loop {
+                // a parked item goes first — order would break otherwise
+                if let Some(env) = self.hops[h].pending.take() {
+                    if let Err(env) = self.accept(h, env) {
+                        self.hops[h].pending = Some(env);
+                        break; // downstream still full: hop is stuck
+                    }
+                }
+                let Some(env) = self.source_next(h) else {
+                    break;
+                };
+                let env = self.apply_hop(h, env);
+                if let Err(env) = self.accept(h, env) {
+                    self.hops[h].pending = Some(env);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The next in-order envelope available to hop `h`: the entry slot
+    /// for hop 0, the upstream farm's reorder buffer otherwise.
+    fn source_next(&mut self, h: usize) -> Option<Envelope> {
+        if h == 0 {
+            return self.ingress.take();
+        }
+        let farm = &mut self.farms[h - 1];
+        // drain whatever the replicas have finished into the reorder
+        // buffer; release only the next item in stream order
+        while let TryRecv::Item(env) = farm.out_q.try_recv() {
+            farm.reorder.insert(env.seq, env);
+        }
+        match farm.reorder.remove(&farm.expect) {
+            Some(env) => {
+                farm.expect += 1;
+                Some(env)
+            }
+            None => None,
+        }
+    }
+
+    /// Run hop `h`'s operator chain on one envelope. Barriers and inline
+    /// segments both charge the item's own machine context; a failing
+    /// barrier or panicking inline stage poisons the envelope (re-raised
+    /// at completion).
+    fn apply_hop(&mut self, h: usize, mut env: Envelope) -> Envelope {
+        let hop = &mut self.hops[h];
+        for (op, stat) in &mut hop.ops {
+            if env.payload.is_err() {
+                break; // poisoned: carry the message through untouched
+            }
+            let Ok(val) = std::mem::replace(&mut env.payload, Err(String::new())) else {
+                unreachable!("checked non-err above")
+            };
+            let t0 = Instant::now();
+            env.payload = match op {
+                PumpOp::Barrier(b) => {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| b.apply(&mut env.scl, val)))
+                    {
+                        Ok(Ok(v)) => Ok(v),
+                        Ok(Err(e)) => Err(format!("stream barrier `{}` failed: {e}", b.label())),
+                        Err(p) => Err(format!(
+                            "stream barrier `{}` panicked: {}",
+                            b.label(),
+                            panic_message(&*p)
+                        )),
+                    }
+                }
+                PumpOp::Inline(seg) => {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        seg.apply(&mut env.scl, val)
+                    })) {
+                        Ok(v) => Ok(v),
+                        Err(p) => Err(panic_message(&*p).to_string()),
+                    }
+                }
+            };
+            stat.items += 1;
+            stat.busy_nanos += t0.elapsed().as_nanos() as u64;
+        }
+        env
+    }
+
+    /// Hand an envelope to hop `h`'s target: farm `h`'s queue, or the
+    /// completion list after the last hop. `Err` hands it back when the
+    /// queue is full.
+    #[allow(clippy::result_large_err)] // Err hands the envelope back, by design
+    fn accept(&mut self, h: usize, env: Envelope) -> Result<(), Envelope> {
+        if h < self.farms.len() {
+            self.farms[h].in_q.try_send(env)
+        } else {
+            self.completed.push_back(env);
+            Ok(())
+        }
+    }
+
+    /// One autonomic tick: sample every farm's queue depth and service
+    /// utilisation since the last tick; widen a backlogged stage (depth ≥
+    /// ¾ capacity) by one replica up to its ceiling, narrow a starved one
+    /// (empty queue, active replicas under 25 % busy) down to one. Width
+    /// changes only flip the atomic gate — no threads spawn or join.
+    pub(crate) fn tick_controller(&mut self) {
+        let now = Instant::now();
+        for farm in &mut self.farms {
+            let dt = now.duration_since(farm.last_tick).as_nanos() as u64;
+            if dt == 0 {
+                continue;
+            }
+            let busy = farm.stats.busy_nanos.load(Ordering::Relaxed);
+            let dbusy = busy.saturating_sub(farm.last_busy);
+            farm.last_busy = busy;
+            farm.last_tick = now;
+            let active = farm.active.width();
+            let cap = farm.max_width.load(Ordering::Relaxed);
+            let depth = farm.in_q.len();
+            let util = dbusy as f64 / (dt as f64 * active.max(1) as f64);
+            if depth * 4 >= farm.in_q.capacity() * 3 && active < cap {
+                farm.active.set(active + 1);
+            } else if depth == 0 && util < 0.25 && active > 1 {
+                farm.active.set(active - 1);
+            }
+        }
+    }
+
+    /// Snapshot every stage in pipeline order (hop operators interleaved
+    /// with farms).
+    pub(crate) fn stage_stats(&self) -> Vec<StageStat> {
+        let mut out = Vec::new();
+        for (h, hop) in self.hops.iter().enumerate() {
+            for (op, stat) in &hop.ops {
+                out.push(StageStat {
+                    label: op.label(),
+                    farm: false,
+                    width: 1,
+                    max_width: 1,
+                    queue_depth: 0,
+                    items: stat.items,
+                    mean_service_secs: mean_secs(stat.busy_nanos, stat.items),
+                });
+            }
+            if let Some(farm) = self.farms.get(h) {
+                let items = farm.stats.items.load(Ordering::Relaxed);
+                out.push(StageStat {
+                    label: farm.label.clone(),
+                    farm: true,
+                    width: farm.active.width(),
+                    max_width: farm.max_width.load(Ordering::Relaxed),
+                    queue_depth: farm.in_q.len(),
+                    items,
+                    mean_service_secs: mean_secs(
+                        farm.stats.busy_nanos.load(Ordering::Relaxed),
+                        items,
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        // Close every channel before the pool field drops: replicas
+        // blocked on a full output or an empty input wake, observe the
+        // close, and exit, letting the pool's drop join them. In-flight
+        // envelopes are dropped with the queues.
+        for farm in &self.farms {
+            farm.in_q.close();
+            farm.out_q.close();
+            // wake parked (gated-off) replicas so they observe the close
+            farm.active.open_all();
+        }
+    }
+}
+
+/// Static payload estimate of one stream item, for calibration.
+fn item_bytes(val: Option<&ErasedArr>) -> usize {
+    val.map_or(0, |v| v.parts() * v.elem_bytes())
+}
+
+fn mean_secs(busy_nanos: u64, items: u64) -> f64 {
+    if items == 0 {
+        0.0
+    } else {
+        busy_nanos as f64 / items as f64 / 1e9
+    }
+}

@@ -15,22 +15,28 @@
 //! * [`transform`] (`scl-transform`) — the §4 transformation engine: map
 //!   fusion, map distribution, communication algebra, flattening, and a
 //!   cost-directed optimiser.
+//! * [`stream`] (`scl-stream`) — the streaming runtime: compile a plan
+//!   into a persistent pipeline/farm operator graph and serve unbounded
+//!   input through it with backpressure and autonomic farm widths.
 //! * [`apps`] (`scl-apps`) — Gauss–Jordan, hyperquicksort (nested and
-//!   flattened), PSRS, Cannon, Jacobi, histogram.
+//!   flattened), PSRS, Cannon, Jacobi, histogram (batch and streaming).
 //!
-//! See `examples/quickstart.rs` for a guided tour, and the `scl-bench`
-//! crate for the binaries regenerating the paper's Table 1 and Figure 3.
+//! See `examples/quickstart.rs` for a guided tour, `examples/streaming.rs`
+//! for the streaming runtime, and the `scl-bench` crate for the binaries
+//! regenerating the paper's Table 1 and Figure 3.
 
 pub use scl_apps as apps;
 pub use scl_core as core;
 pub use scl_exec as exec;
 pub use scl_machine as machine;
+pub use scl_stream as stream;
 pub use scl_transform as transform;
 
 /// One prelude for the whole stack.
 pub mod prelude {
     pub use scl_core::prelude::*;
     pub use scl_core::Skel;
+    pub use scl_stream::{StreamExec, StreamPolicy};
     pub use scl_transform::prelude::{
         estimate, eval, optimize, optimize_costed, CostParams, Expr, FnRef, IdxRef, Registry, Value,
     };

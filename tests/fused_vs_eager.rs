@@ -19,13 +19,13 @@ const SCALARS: &[&str] = &["inc", "dec", "double", "square", "neg", "halve", "he
 const IDXFNS: &[&str] = &["id", "succ", "pred", "xor1", "half", "rev", "zero"];
 const ASSOC_OPS: &[&str] = &["add", "mul", "max", "min"];
 
-/// The policy matrix, overridable by the CI harness.
+/// The policy matrix, overridable by the CI harness. An unparseable
+/// `SCL_EXEC_POLICY` fails the suite instead of silently testing the
+/// wrong thing.
 fn policies() -> Vec<ExecPolicy> {
-    match std::env::var("SCL_EXEC_POLICY").as_deref() {
-        Ok("seq") => vec![ExecPolicy::Sequential],
-        Ok("auto") => vec![ExecPolicy::auto()],
-        Ok("cost") => vec![ExecPolicy::cost_driven()],
-        _ => vec![
+    match ExecPolicy::from_env().expect("SCL_EXEC_POLICY") {
+        Some(pinned) => vec![pinned],
+        None => vec![
             ExecPolicy::Sequential,
             ExecPolicy::Threads(4),
             ExecPolicy::cost_driven(),

@@ -13,13 +13,13 @@ use scl::prelude::*;
 use scl_core::ParArray;
 use scl_testkit::{cases, Rng};
 
-/// The policy matrix, overridable by the CI harness.
+/// The policy matrix, overridable by the CI harness. An unparseable
+/// `SCL_EXEC_POLICY` fails the suite instead of silently testing the
+/// wrong thing.
 fn policies() -> Vec<ExecPolicy> {
-    match std::env::var("SCL_EXEC_POLICY").as_deref() {
-        Ok("seq") => vec![ExecPolicy::Sequential],
-        Ok("auto") => vec![ExecPolicy::auto()],
-        Ok("cost") => vec![ExecPolicy::cost_driven()],
-        _ => vec![
+    match ExecPolicy::from_env().expect("SCL_EXEC_POLICY") {
+        Some(pinned) => vec![pinned],
+        None => vec![
             ExecPolicy::Sequential,
             ExecPolicy::Threads(4),
             ExecPolicy::cost_driven(),
