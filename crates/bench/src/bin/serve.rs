@@ -1,0 +1,320 @@
+//! Multi-tenant serving benchmark: the plan cache and shared graphs vs
+//! per-request setup, emitted as `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p scl-bench --bin serve [requests_per_tenant] [partitions] [stages]
+//! ```
+//!
+//! Two experiments, each swept over tenant counts `1, 2, 4, 8` (every
+//! tenant owning its own distinct plan):
+//!
+//! * **cached vs cold** — all tenants submit through one `Serve` in
+//!   optimize-then-execute mode. *Cached*: the default plan cache, so
+//!   lower → §4 optimise → raise → graph construction happens once per
+//!   distinct plan and every later request reuses the compiled graph.
+//!   *Cold*: `with_plan_cache_cap(0)`, the compile-per-request baseline a
+//!   service without a plan cache would pay. Same requests, same answers
+//!   (asserted), different setup cost — the headline is cached/cold
+//!   time at ≥ 4 tenants.
+//!
+//! * **throughput vs solo** — N tenants' plain-mode traffic through one
+//!   `Serve` (shared persistent graphs, batched pushes) vs the same N×R
+//!   requests as solo `plan.run` calls on a reset context under the same
+//!   thread budget: the items/sec cost of *not* having a serving layer.
+
+use scl_core::prelude::*;
+use scl_serve::{Serve, ServePolicy, Ticket};
+use std::time::Instant;
+
+/// Tenant `i`'s symbolic plan: `stages` maps interleaved with cancelling
+/// rotations, ending in a tenant-distinct rotate — heavy enough that the
+/// optimizer has real fusion work, distinct enough that every tenant's
+/// fingerprint differs.
+fn sym_plan(reg: &'static Registry, stages: usize, tenant: usize) -> SymPlan {
+    let names = ["inc", "double", "dec", "square"];
+    let mut p = Skel::map_sym(names[0], reg);
+    for s in 1..stages.max(2) {
+        if s % 4 == 0 {
+            let k = (s % 5 + 1) as isize;
+            p = p.then(Skel::rotate(k)).then(Skel::rotate(-k));
+        }
+        p = p.then(Skel::map_sym(names[s % names.len()], reg));
+    }
+    p.then(Skel::rotate(tenant as isize + 1))
+}
+
+type SymPlan = Skel<'static, ParArray<i64>, ParArray<i64>>;
+
+/// Tenant `i`'s plain-mode plan: opaque maps around a rotate barrier.
+fn plain_plan(stages: usize, tenant: usize) -> SymPlan {
+    let mut p =
+        Skel::map_costed(move |x: &i64| (x.wrapping_mul(3).wrapping_add(1), Work::flops(1)));
+    for s in 1..stages.max(2) {
+        if s == stages / 2 {
+            p = p.then(Skel::rotate(tenant as isize + 1));
+        }
+        p = p.then(Skel::map_costed(|x: &i64| {
+            (x.wrapping_add(7) ^ 0x55, Work::flops(1))
+        }));
+    }
+    p
+}
+
+fn input(partitions: usize, k: usize) -> ParArray<i64> {
+    ParArray::from_parts((0..partitions as i64).map(|i| i * 31 + k as i64).collect())
+}
+
+/// Run `requests` optimized submissions per tenant through `srv`,
+/// returning elapsed seconds (submissions + service + takes).
+fn drive_optimized(
+    srv: &mut Serve<ParArray<i64>, ParArray<i64>>,
+    reg: &'static Registry,
+    tenants: usize,
+    requests: usize,
+    partitions: usize,
+    stages: usize,
+    cold: bool,
+) -> (f64, Vec<ParArray<i64>>) {
+    let ids: Vec<_> = (0..tenants)
+        .map(|i| srv.add_tenant(&format!("t{i}")))
+        .collect();
+    let plans: Vec<SymPlan> = (0..tenants).map(|i| sym_plan(reg, stages, i)).collect();
+    let t0 = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::new();
+    for k in 0..requests {
+        for (i, t) in ids.iter().enumerate() {
+            let tk = srv
+                .submit_optimized(*t, "", &plans[i], reg, input(partitions, k))
+                .unwrap();
+            tickets.push(tk);
+            if cold {
+                // a cache-less service cannot defer: it compiles and
+                // serves per request (retention is off, so batching
+                // across requests would be compiling anyway)
+                srv.run_until_idle();
+            }
+        }
+    }
+    srv.run_until_idle();
+    let outs: Vec<ParArray<i64>> = tickets
+        .into_iter()
+        .map(|tk| srv.take(tk).unwrap().0)
+        .collect();
+    (t0.elapsed().as_secs_f64(), outs)
+}
+
+struct CacheRow {
+    tenants: usize,
+    cached_millis: f64,
+    cold_millis: f64,
+    speedup: f64,
+}
+
+struct ThroughputRow {
+    tenants: usize,
+    serve_rate: f64,
+    solo_rate: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut next = |d: usize| args.next().and_then(|s| s.parse().ok()).unwrap_or(d);
+    let requests = next(16);
+    let partitions = next(8);
+    let stages = next(24);
+    let host = scl_exec::host_threads();
+    let threads = host.clamp(2, 4);
+    let reg: &'static Registry = Box::leak(Box::new(Registry::standard()));
+    let tenant_counts = [1usize, 2, 4, 8];
+
+    println!("multi-tenant serving benchmark");
+    println!(
+        "  {requests} requests/tenant x {partitions} partitions x {stages} stages, \
+         {host} host threads, exec Threads({threads})"
+    );
+    println!();
+
+    let policy = |cap: usize| {
+        ServePolicy::new(Machine::ap1000(partitions))
+            .with_exec(ExecPolicy::Threads(threads))
+            .with_threads(threads)
+            .with_plan_cache_cap(cap)
+    };
+
+    // ---- cached vs cold: the plan cache's worth ---------------------------
+    let mut cache_rows: Vec<CacheRow> = Vec::new();
+    for &tenants in &tenant_counts {
+        let mut cached = Serve::new(policy(32));
+        let (cached_secs, cached_outs) = drive_optimized(
+            &mut cached,
+            reg,
+            tenants,
+            requests,
+            partitions,
+            stages,
+            false,
+        );
+        assert_eq!(cached.stats().cache_misses as usize, tenants);
+
+        let mut cold = Serve::new(policy(0));
+        let (cold_secs, cold_outs) =
+            drive_optimized(&mut cold, reg, tenants, requests, partitions, stages, true);
+        assert_eq!(
+            cold.stats().cache_misses as usize,
+            tenants * requests,
+            "cold mode compiles per request"
+        );
+        assert_eq!(cached_outs, cold_outs, "both paths serve the same answers");
+
+        cache_rows.push(CacheRow {
+            tenants,
+            cached_millis: cached_secs * 1e3,
+            cold_millis: cold_secs * 1e3,
+            speedup: cold_secs / cached_secs,
+        });
+    }
+
+    println!(
+        "{:<22} {:>8} {:>14} {:>12} {:>9}",
+        "experiment", "tenants", "cached ms", "cold ms", "speedup"
+    );
+    for r in &cache_rows {
+        println!(
+            "{:<22} {:>8} {:>14.2} {:>12.2} {:>8.2}x",
+            "cached_vs_cold", r.tenants, r.cached_millis, r.cold_millis, r.speedup
+        );
+    }
+    println!();
+
+    // ---- N-tenant throughput vs N solo runs -------------------------------
+    let mut tput_rows: Vec<ThroughputRow> = Vec::new();
+    for &tenants in &tenant_counts {
+        // shared service, one distinct plan per tenant
+        let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(policy(32));
+        let ids: Vec<_> = (0..tenants)
+            .map(|i| srv.add_tenant(&format!("t{i}")))
+            .collect();
+        // warm the cache so the sweep measures serving, not compilation
+        let mut warm: Vec<Ticket> = Vec::new();
+        for (i, t) in ids.iter().enumerate() {
+            warm.push(
+                srv.submit(*t, plain_plan(stages, i), input(partitions, 0))
+                    .unwrap(),
+            );
+        }
+        srv.run_until_idle();
+        assert_eq!(
+            srv.stats().cache_misses as usize,
+            tenants,
+            "every tenant's plan fingerprints distinctly (one compile each)"
+        );
+        let expect: Vec<ParArray<i64>> =
+            warm.into_iter().map(|tk| srv.take(tk).unwrap().0).collect();
+        // every tenant really is served its own plan (the rotate amounts
+        // differ, so the answers must too once tenants > 1)
+        let mut solo_ctx = Scl::ap1000(partitions);
+        for (i, got) in expect.iter().enumerate() {
+            let want = plain_plan(stages, i).run(&mut solo_ctx, input(partitions, 0));
+            assert_eq!(*got, want, "tenant {i}'s warm answer is its own plan's");
+            solo_ctx.reset();
+        }
+
+        let n_items = tenants * requests;
+        let t0 = Instant::now();
+        let mut tickets: Vec<Ticket> = Vec::new();
+        for k in 0..requests {
+            for (i, t) in ids.iter().enumerate() {
+                tickets.push(
+                    srv.submit(*t, plain_plan(stages, i), input(partitions, k))
+                        .unwrap(),
+                );
+            }
+        }
+        srv.run_until_idle();
+        let first = srv.take(tickets[0]).unwrap().0;
+        assert_eq!(first, expect[0], "serve agrees with its warm-up answer");
+        let serve_secs = t0.elapsed().as_secs_f64();
+        let serve_rate = n_items as f64 / serve_secs;
+
+        // solo baseline: every request pays per-call setup
+        let plans: Vec<SymPlan> = (0..tenants).map(|i| plain_plan(stages, i)).collect();
+        let mut ctx = Scl::ap1000(partitions).with_policy(ExecPolicy::Threads(threads));
+        let t0 = Instant::now();
+        for k in 0..requests {
+            for plan in &plans {
+                ctx.reset();
+                std::hint::black_box(plan.run(&mut ctx, input(partitions, k)));
+            }
+        }
+        let solo_secs = t0.elapsed().as_secs_f64();
+        let solo_rate = n_items as f64 / solo_secs;
+
+        tput_rows.push(ThroughputRow {
+            tenants,
+            serve_rate,
+            solo_rate,
+            speedup: serve_rate / solo_rate,
+        });
+    }
+
+    println!(
+        "{:<22} {:>8} {:>14} {:>12} {:>9}",
+        "experiment", "tenants", "serve it/s", "solo it/s", "speedup"
+    );
+    for r in &tput_rows {
+        println!(
+            "{:<22} {:>8} {:>14.1} {:>12.1} {:>8.2}x",
+            "throughput_vs_solo", r.tenants, r.serve_rate, r.solo_rate, r.speedup
+        );
+    }
+
+    let at4 = cache_rows
+        .iter()
+        .find(|r| r.tenants == 4)
+        .map_or(0.0, |r| r.speedup);
+    println!();
+    println!("cached vs cold compile-per-request at 4 tenants: {at4:.2}x");
+
+    // ---- BENCH_serve.json -------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"serve_multi_tenant\",\n");
+    json.push_str(&format!("  \"requests_per_tenant\": {requests},\n"));
+    json.push_str(&format!("  \"partitions\": {partitions},\n"));
+    json.push_str(&format!("  \"stages\": {stages},\n"));
+    json.push_str(&format!("  \"host_threads\": {host},\n"));
+    json.push_str(&format!("  \"exec_threads\": {threads},\n"));
+    json.push_str("  \"cached_vs_cold\": [\n");
+    for (i, r) in cache_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tenants\": {}, \"cached_millis\": {:.3}, \"cold_millis\": {:.3}, \
+             \"speedup\": {:.4}}}{}\n",
+            r.tenants,
+            r.cached_millis,
+            r.cold_millis,
+            r.speedup,
+            if i + 1 < cache_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"throughput_vs_solo\": [\n");
+    for (i, r) in tput_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tenants\": {}, \"serve_items_per_sec\": {:.3}, \
+             \"solo_items_per_sec\": {:.3}, \"speedup\": {:.4}}}{}\n",
+            r.tenants,
+            r.serve_rate,
+            r.solo_rate,
+            r.speedup,
+            if i + 1 < tput_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_cached_vs_cold_at_4_tenants\": {at4:.4}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!();
+    println!("wrote BENCH_serve.json");
+}

@@ -10,7 +10,7 @@
 //! with no intermediate arrays and a single dispatch.
 //!
 //! This module is that executor. A fusable plan carries, next to its eager
-//! closure, a [`FusedPlan`]: a chain of type-erased nodes, each either
+//! closure, a fused plan: a chain of type-erased nodes, each either
 //!
 //! * a **compute** node — part-local, safe to fuse with its neighbours; or
 //! * a **barrier** node — anything that needs the whole configuration
@@ -115,6 +115,11 @@ pub trait FusePort: Sized {
     /// type — impossible through plan composition, which preserves boundary
     /// types.
     fn restore(e: ErasedArr) -> Self;
+    /// The number of distributed parts this value will span once erased
+    /// ([`ErasedArr::parts`]), read without erasing — what admission
+    /// checks (machine-size validation in the streaming and serving
+    /// layers) use to avoid boxing every part just to count them.
+    fn parts_len(&self) -> usize;
 }
 
 fn erase_parts<T: Send + 'static>(a: ParArray<T>) -> ParArray<PartVal> {
@@ -139,6 +144,9 @@ impl<T: Send + 'static> FusePort for ParArray<T> {
     fn restore(e: ErasedArr) -> Self {
         restore_parts(e.arr)
     }
+    fn parts_len(&self) -> usize {
+        self.len()
+    }
 }
 
 impl<A: Send + 'static, B: Send + 'static> FusePort for (ParArray<A>, ParArray<B>) {
@@ -158,6 +166,9 @@ impl<A: Send + 'static, B: Send + 'static> FusePort for (ParArray<A>, ParArray<B
     fn restore(e: ErasedArr) -> Self {
         crate::config::unalign(restore_parts::<(A, B)>(e.arr))
     }
+    fn parts_len(&self) -> usize {
+        self.0.len()
+    }
 }
 
 impl<T: Send + 'static> FusePort for Vec<T> {
@@ -173,6 +184,9 @@ impl<T: Send + 'static> FusePort for Vec<T> {
             .expect("fused host-data boundary lost its payload")
             .downcast::<Vec<T>>()
             .expect("fused plan boundary type mismatch")
+    }
+    fn parts_len(&self) -> usize {
+        0 // host data is the side payload; it spans no parts until partitioned
     }
 }
 
@@ -198,6 +212,9 @@ where
             .expect("fused plan boundary type mismatch");
         (restore_parts(e.arr), s, u)
     }
+    fn parts_len(&self) -> usize {
+        self.0.len()
+    }
 }
 
 /// A compute node: part index + erased part in, erased part + reported
@@ -218,6 +235,10 @@ pub(crate) struct ComputeStage<'a> {
     /// into one summed event — but per-stage streaming charging
     /// ([`SegmentOp::apply`]) replays exactly the eager charges.
     charged: bool,
+    /// Hash of the stage's structural parameters (registered symbol names
+    /// for symbolic maps), folded into the plan fingerprint. 0 when the
+    /// stage has none beyond its label.
+    param: u64,
     f: ComputeFn<'a>,
 }
 
@@ -230,6 +251,12 @@ pub(crate) enum FusedNode<'a> {
     /// through the eager skeleton layer.
     Barrier {
         label: &'static str,
+        /// Hash of the barrier's structural parameters (rotation amount,
+        /// shift distance, iteration count, partition pattern, registered
+        /// symbol names) — what keeps `rotate(1)` and `rotate(2)` apart
+        /// in the plan fingerprint even when the surrounding plan is
+        /// opaque. 0 when the stage has none beyond its label.
+        param: u64,
         f: BarrierFn<'a>,
     },
 }
@@ -262,6 +289,21 @@ impl<'a, A: FusePort + 'a, B: FusePort + 'a> FusedPlan<'a, A, B> {
             entry: Box::new(A::erase),
             nodes,
             exit: Box::new(B::restore),
+        }
+    }
+}
+
+impl<A, B> FusedPlan<'_, A, B> {
+    /// Stamp every node with a structural-parameter hash — called by the
+    /// plan constructors that carry hashable parameters (rotation
+    /// amounts, iteration counts, symbol names), right after building
+    /// their single-node plan.
+    pub(crate) fn tag_param(&mut self, p: u64) {
+        for node in &mut self.nodes {
+            match node {
+                FusedNode::Compute(st) => st.param = p,
+                FusedNode::Barrier { param, .. } => *param = p,
+            }
         }
     }
 }
@@ -299,6 +341,7 @@ where
     FusedPlan::from_nodes(vec![FusedNode::Compute(ComputeStage {
         label,
         charged: true,
+        param: 0,
         f: Box::new(move |i, v| {
             let x = v.downcast::<T>().expect("fused stage input type mismatch");
             let t0 = Instant::now();
@@ -329,6 +372,7 @@ where
         label,
         // like the eager `Scl::zip_with`, this charges nothing locally
         charged: false,
+        param: 0,
         f: Box::new(move |_, v| {
             let pair = v
                 .downcast::<(A, B)>()
@@ -350,8 +394,166 @@ where
 {
     FusedPlan::from_nodes(vec![FusedNode::Barrier {
         label,
+        param: 0,
         f: Box::new(move |scl, e| Ok(B::erase(f(scl, A::restore(e))?))),
     }])
+}
+
+// ---- structural fingerprinting ----------------------------------------------
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a 64-bit running hash. FNV is used instead of
+/// the standard library's `DefaultHasher` because its value is **stable** —
+/// the same plan fingerprints identically across processes and toolchain
+/// versions, so fingerprints can appear in logs, bench JSON, and cache
+/// keys that outlive one run.
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Per-node tag bytes keeping compute and barrier stages from colliding
+/// even when labels coincide.
+const TAG_COMPUTE: &[u8] = &[0x01];
+const TAG_BARRIER: &[u8] = &[0x02];
+
+/// A structural fingerprint of a plan's fused operator chain — the key of
+/// `scl-serve`'s plan cache.
+///
+/// Two plans fingerprint equal when their fused stage chains are
+/// structurally identical: same stages, in the same order, with the same
+/// labels, charging conventions (so `map` vs `map_costed`, a reordered
+/// pipeline, or a different barrier kind all hash differently), and the
+/// same **structural parameters** — the non-closure values a stage is
+/// constructed from are hashed into its node, so `rotate(1)` vs
+/// `rotate(2)`, `shift(1, _)` vs `shift(2, _)`, iteration counts,
+/// partition patterns, task-pipeline lengths, and registered symbol names
+/// (`map_sym("inc")` vs `map_sym("double")`) all differ, inside opaque
+/// plans too. Plans in the lowerable fragment additionally fold in their
+/// whole-program IR.
+///
+/// **What the fingerprint cannot see:** the *bodies* of opaque closures
+/// and opaque captured values. `Skel::map(|x| x + 1)` and
+/// `Skel::map(|x| x * 2)` are structurally identical and fingerprint
+/// equal; so are two `Skel::shift(1, fill)` plans with different fill
+/// values, or two `Skel::fetch(f)` plans with different index closures. A
+/// cache keyed on fingerprints therefore assumes structurally-equal
+/// submissions are semantically equal — the standard prepared-statement
+/// contract. Callers serving semantically different plans with the same
+/// shape must disambiguate with [`PlanFingerprint::with_salt`] (e.g. a
+/// plan name or parameter string), as `scl-serve`'s `submit_keyed` does.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanFingerprint(u64);
+
+impl PlanFingerprint {
+    /// The raw 64-bit hash value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Derive a fingerprint distinguished by `salt` — how callers keep
+    /// structurally identical but semantically different plans apart in a
+    /// fingerprint-keyed cache. Salting is deterministic: the same
+    /// fingerprint and salt always yield the same derived fingerprint, and
+    /// any change to the salt changes the result.
+    #[must_use]
+    pub fn with_salt(self, salt: &str) -> PlanFingerprint {
+        let h = fnv(FNV_OFFSET, &self.0.to_le_bytes());
+        PlanFingerprint(fnv(h, salt.as_bytes()))
+    }
+}
+
+impl std::fmt::Display for PlanFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Debug for PlanFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PlanFingerprint({:016x})", self.0)
+    }
+}
+
+impl ComputeStage<'_> {
+    /// Fold this stage's structure into a running FNV hash: tag, label,
+    /// the charging convention (so conventions that differ only in how
+    /// they charge the machine still hash apart), and the stage's
+    /// structural-parameter hash.
+    fn hash_into(&self, h: u64) -> u64 {
+        let h = fnv(h, TAG_COMPUTE);
+        let h = fnv(h, self.label.as_bytes());
+        let h = fnv(h, &[self.charged as u8]);
+        fnv(h, &self.param.to_le_bytes())
+    }
+}
+
+/// Fold a barrier's structure — tag, label, parameter hash — into a
+/// running FNV hash.
+fn hash_barrier(h: u64, label: &str, param: u64) -> u64 {
+    let h = fnv(h, TAG_BARRIER);
+    let h = fnv(h, label.as_bytes());
+    fnv(h, &param.to_le_bytes())
+}
+
+/// Hash a stage-parameter rendering into the value plan constructors
+/// stamp through `FusedPlan::tag_param`.
+pub(crate) fn param_hash(s: &str) -> u64 {
+    fnv(FNV_OFFSET, s.as_bytes())
+}
+
+/// Hash a fused node chain. Segment grouping is irrelevant by
+/// construction: nodes are hashed stage by stage, so this agrees with
+/// [`fingerprint_ops`] over the grouped operator list of the same plan.
+pub(crate) fn fingerprint_nodes(nodes: &[FusedNode<'_>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for node in nodes {
+        h = match node {
+            FusedNode::Compute(st) => st.hash_into(h),
+            FusedNode::Barrier { label, param, .. } => hash_barrier(h, label, *param),
+        };
+    }
+    h
+}
+
+/// Structurally fingerprint a streaming operator list — the
+/// [`PlanOp`]-level hash, usable after
+/// [`Skel::into_stream_ops`](crate::plan::Skel::into_stream_ops) has
+/// consumed the plan. Hashes the operator chain only;
+/// [`Skel::fingerprint`](crate::plan::Skel::fingerprint) additionally
+/// folds in the plan's IR representation (or its absence), so the two
+/// values are related but not equal.
+pub fn fingerprint_ops(ops: &[PlanOp<'_>]) -> PlanFingerprint {
+    let mut h = FNV_OFFSET;
+    for op in ops {
+        match op {
+            PlanOp::Segment(seg) => {
+                for st in &seg.stages {
+                    h = st.hash_into(h);
+                }
+            }
+            PlanOp::Barrier(b) => h = hash_barrier(h, b.label, b.param),
+        }
+    }
+    PlanFingerprint(h)
+}
+
+/// Combine a node-chain hash with a plan's optional IR representation into
+/// the final fingerprint (the IR distinguishes lowerable stages whose
+/// parameters the node chain cannot see, e.g. `rotate(1)` vs `rotate(2)`).
+pub(crate) fn fingerprint_with_repr(nodes_hash: u64, repr: Option<String>) -> PlanFingerprint {
+    let h = match repr {
+        Some(text) => fnv(fnv(nodes_hash, &[0x03]), text.as_bytes()),
+        None => fnv(nodes_hash, &[0x04]),
+    };
+    PlanFingerprint(h)
 }
 
 // ---- streaming introspection ------------------------------------------------
@@ -412,8 +614,9 @@ impl SegmentOp<'_> {
     /// **exactly as the eager layer would**: one compute event per part
     /// per *charged* stage (all map flavours; `zip_with` stays free), in
     /// the same per-processor order as the eager stage-by-stage loops —
-    /// so per-item metrics and makespan agree with [`Skel::run`]
-    /// bit-for-bit under [`MeasureMode::None`](crate::ctx::MeasureMode)
+    /// so per-item metrics and makespan agree with
+    /// [`Skel::run`](crate::plan::Skel::run) bit-for-bit under
+    /// [`MeasureMode::None`](crate::ctx::MeasureMode)
     /// and costed stages. (The fused executor instead charges each part
     /// once with the summed work; same totals, different `compute_steps`.)
     ///
@@ -454,6 +657,61 @@ impl SegmentOp<'_> {
             elem_bytes,
         }
     }
+
+    /// Run the whole segment over every part of `val`, charging `scl`
+    /// **exactly as [`Scl::run_fused`] would**: each part is charged
+    /// *once* with the summed work of every stage, as a single `"fused"`
+    /// compute event — where [`SegmentOp::apply`] replays the eager
+    /// per-stage charges. Same work totals and makespan either way;
+    /// `compute_steps` and trace events differ by design.
+    ///
+    /// A streaming runtime uses this charging mode when its per-item
+    /// reports must agree with solo fused execution
+    /// ([`Scl::run_fused`] / [`Scl::run_optimized`]) rather than solo
+    /// eager execution.
+    ///
+    /// [`Scl::run_fused`]: crate::ctx::Scl::run_fused
+    /// [`Scl::run_optimized`]: crate::ctx::Scl::run_optimized
+    ///
+    /// # Panics
+    /// Re-raises a stage panic labelled
+    /// `` fused stage `X` panicked on part i ``, like fused execution.
+    pub fn apply_summed(&self, scl: &mut Scl, val: ErasedArr) -> ErasedArr {
+        let ErasedArr {
+            arr,
+            side,
+            elem_bytes,
+        } = val;
+        let (parts, procs, shape) = arr.into_raw();
+        let mut out = Vec::with_capacity(parts.len());
+        for (i, part) in parts.into_iter().enumerate() {
+            let mut v = part;
+            let mut w = Work::NONE;
+            let mut secs = 0.0;
+            for st in &self.stages {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| (st.f)(i, v))) {
+                    Ok((nv, nw, ns)) => {
+                        v = nv;
+                        w += nw;
+                        secs += ns;
+                    }
+                    Err(payload) => panic!(
+                        "fused stage `{}` panicked on part {i}: {}",
+                        st.label,
+                        panic_message(&*payload)
+                    ),
+                }
+            }
+            let charged = w + scl.measured_work(secs);
+            scl.machine.compute(procs[i], charged, "fused");
+            out.push(v);
+        }
+        ErasedArr {
+            arr: ParArray::from_raw(out, procs, shape),
+            side,
+            elem_bytes,
+        }
+    }
 }
 
 /// A whole-configuration barrier stage, extracted from a fused plan.
@@ -462,6 +720,7 @@ impl SegmentOp<'_> {
 /// stream order.
 pub struct BarrierOp<'a> {
     label: &'static str,
+    param: u64,
     f: BarrierFn<'a>,
 }
 
@@ -490,7 +749,9 @@ pub(crate) fn plan_ops(nodes: Vec<FusedNode<'_>>) -> Vec<PlanOp<'_>> {
                 Some(PlanOp::Segment(seg)) => seg.stages.push(st),
                 _ => ops.push(PlanOp::Segment(SegmentOp { stages: vec![st] })),
             },
-            FusedNode::Barrier { label, f } => ops.push(PlanOp::Barrier(BarrierOp { label, f })),
+            FusedNode::Barrier { label, param, f } => {
+                ops.push(PlanOp::Barrier(BarrierOp { label, param, f }))
+            }
         }
     }
     ops
@@ -691,6 +952,24 @@ mod tests {
         assert_eq!(arr, st.0);
         assert_eq!(iters, 7);
         assert_eq!(res, 0.5);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        // pinned value: the fingerprint must not drift across releases
+        assert_eq!(fnv(FNV_OFFSET, b"scl"), fnv(FNV_OFFSET, b"scl"));
+        assert_ne!(fnv(FNV_OFFSET, b"ab"), fnv(FNV_OFFSET, b"ba"));
+        assert_eq!(fnv(FNV_OFFSET, b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn salt_derives_deterministically_and_distinctly() {
+        let fp = PlanFingerprint(42);
+        assert_eq!(fp.with_salt("tenant-a"), fp.with_salt("tenant-a"));
+        assert_ne!(fp.with_salt("tenant-a"), fp.with_salt("tenant-b"));
+        assert_ne!(fp.with_salt("tenant-a"), fp);
+        // display is zero-padded hex of the raw value
+        assert_eq!(fp.to_string(), format!("{:016x}", fp.raw()));
     }
 
     #[test]

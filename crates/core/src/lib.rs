@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # scl-core — Parallel Skeletons for Structured Composition
 //!
 //! A Rust reproduction of the coordination language **SCL** from
@@ -148,7 +148,10 @@ pub use bytes::Bytes;
 pub use config::{align, align3, combine, split, try_align, unalign};
 pub use ctx::{MeasureMode, Scl, DEFAULT_BUFFER_CAP_BYTES};
 pub use error::{Result, SclError};
-pub use fused::{panic_message, BarrierOp, ErasedArr, FusePort, PartVal, PlanOp, SegmentOp};
+pub use fused::{
+    fingerprint_ops, panic_message, BarrierOp, ErasedArr, FusePort, PartVal, PlanFingerprint,
+    PlanOp, SegmentOp,
+};
 pub use partition::{block_ranges, gather, gather2, owner_1d, Pattern};
 pub use plan::Skel;
 pub use seq::Matrix;

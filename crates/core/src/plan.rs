@@ -196,6 +196,24 @@ impl<'a, A, B> Skel<'a, A, B> {
         self.repr.as_ref()
     }
 
+    /// The plan's structural fingerprint — the key `scl-serve`'s plan
+    /// cache compiles under — or `None` for plans with an unfusable stage
+    /// (nothing to compile, so nothing to cache).
+    ///
+    /// The fingerprint hashes the fused stage chain (stage kinds, labels,
+    /// order, charging conventions) and, when the plan is in the lowerable
+    /// fragment, its IR representation. It deliberately does **not** hash
+    /// closure bodies — see [`PlanFingerprint`](fused::PlanFingerprint)
+    /// for the equality contract and the salting escape hatch.
+    pub fn fingerprint(&self) -> Option<fused::PlanFingerprint> {
+        let cell = self.fused.as_ref()?;
+        let nodes_hash = fused::fingerprint_nodes(&cell.borrow().nodes);
+        Some(fused::fingerprint_with_repr(
+            nodes_hash,
+            self.repr.as_ref().map(|e| e.to_string()),
+        ))
+    }
+
     /// Decompose a fusable plan into its streaming operator list: maximal
     /// fused compute segments ([`PlanOp::Segment`](fused::PlanOp), pure and
     /// replicable) separated by barriers
@@ -273,6 +291,17 @@ impl<'a, A: 'a> Skel<'a, A, A> {
 }
 
 // ---- elementary skeletons ---------------------------------------------------
+
+/// Stamp a stage's structural parameters into its fused node(s), so the
+/// plan fingerprint distinguishes e.g. `rotate(1)` from `rotate(2)` even
+/// when the surrounding plan is opaque (and the composed IR therefore
+/// dropped). `rendered` is any stable textual rendering of the
+/// parameters.
+fn tag_param<A, B>(plan: &Skel<'_, A, B>, rendered: &str) {
+    if let Some(cell) = &plan.fused {
+        cell.borrow_mut().tag_param(fused::param_hash(rendered));
+    }
+}
 
 /// Build a compute-stage plan: the eager path delegates to `eager`, the
 /// fused path runs `node` per part (both share the same user closure, so
@@ -428,14 +457,17 @@ where
             scl.rotate_owned(k, a)
         });
         plan.repr = Some(Expr::Rotate(k as i64));
+        tag_param(&plan, &format!("rotate({k})"));
         plan
     }
 
     /// Boundary-filled shift ([`Scl::shift`]). A fusion barrier.
     pub fn shift(k: isize, fill: T) -> Self {
-        Skel::barrier("shift", move |scl: &mut Scl, a: ParArray<T>| {
+        let plan = Skel::barrier("shift", move |scl: &mut Scl, a: ParArray<T>| {
             scl.shift_owned(k, a, &fill)
-        })
+        });
+        tag_param(&plan, &format!("shift({k})"));
+        plan
     }
 
     /// Irregular fetch through an opaque index function ([`Scl::fetch`]).
@@ -461,9 +493,11 @@ where
         terminator: usize,
         mut body: impl FnMut(&mut Scl, usize, ParArray<T>) -> ParArray<T> + 'a,
     ) -> Self {
-        Skel::barrier("iter_for", move |scl: &mut Scl, a: ParArray<T>| {
+        let plan = Skel::barrier("iter_for", move |scl: &mut Scl, a: ParArray<T>| {
             scl.iter_for(terminator, &mut body, a)
-        })
+        });
+        tag_param(&plan, &format!("iter_for({terminator})"));
+        plan
     }
 }
 
@@ -508,14 +542,16 @@ where
     /// instead of panicking.
     pub fn partition(pattern: Pattern) -> Self {
         let exec = move |scl: &mut Scl, data: Vec<T>| scl.partition_owned(pattern, data);
-        Skel {
+        let plan = Skel {
             exec: RefCell::new(Box::new(exec)),
             repr: None,
             fused: Some(RefCell::new(fused::barrier_node(
                 "partition",
                 move |scl: &mut Scl, data: Vec<T>| scl.try_partition_owned(pattern, data),
             ))),
-        }
+        };
+        tag_param(&plan, &format!("partition({pattern:?})"));
+        plan
     }
 }
 
@@ -619,11 +655,14 @@ where
     /// stage `s` lives on processor `s`, items stream through. A fusion
     /// barrier (the stream is host-side, not partitioned).
     pub fn task_pipeline(stages: Vec<BoxedStage<'a, T>>) -> Self {
-        Skel::barrier("task_pipeline", move |scl: &mut Scl, items: Vec<T>| {
+        let n_stages = stages.len();
+        let plan = Skel::barrier("task_pipeline", move |scl: &mut Scl, items: Vec<T>| {
             let refs: Vec<crate::skeletons::PipeStageFn<'_, T>> =
                 stages.iter().map(|b| &**b as _).collect();
             scl.pipeline(&refs, items)
-        })
+        });
+        tag_param(&plan, &format!("task_pipeline({n_stages})"));
+        plan
     }
 }
 
@@ -813,6 +852,7 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
             },
             move |_, x: &i64| (reg.apply_fn(&node_f, *x).unwrap_or(0), w),
         );
+        tag_param(&plan, &repr.to_string());
         plan.repr = Some(repr);
         plan
     }
@@ -825,6 +865,7 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
         let mut plan = Skel::barrier("scan_sym", move |scl: &mut Scl, a: ParArray<i64>| {
             scl.scan(&a, |x, y| reg.apply_op(&name, *x, *y).unwrap_or(0))
         });
+        tag_param(&plan, &repr.to_string());
         plan.repr = Some(repr);
         plan
     }
@@ -842,6 +883,7 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
             let n = a.len();
             scl.fetch_owned(|i| reg.apply_idx(&h, i, n).unwrap_or(i), a)
         });
+        tag_param(&plan, &repr.to_string());
         plan.repr = Some(repr);
         plan
     }
@@ -867,6 +909,7 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
                 )
             })
         });
+        tag_param(&plan, &repr.to_string());
         plan.repr = Some(repr);
         plan
     }
@@ -965,6 +1008,7 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
                 Err(err) => panic!("raised plan failed at runtime: {err}"),
             },
         );
+        tag_param(&plan, &repr.to_string());
         plan.repr = Some(repr);
         plan
     }
@@ -1236,6 +1280,156 @@ mod tests {
         let mut s = Scl::ap1000(4);
         let data: Vec<i64> = (0..10).collect();
         assert_eq!(plan.run(&mut s, data.clone()), data);
+    }
+
+    // ---- structural fingerprinting ------------------------------------------
+
+    #[test]
+    fn equal_plans_fingerprint_equal() {
+        let a = Skel::map(|x: &i64| x + 1)
+            .then(Skel::rotate(2))
+            .then(Skel::map_costed(|x: &i64| (x * 2, Work::flops(1))));
+        let b = Skel::map(|x: &i64| x + 1)
+            .then(Skel::rotate(2))
+            .then(Skel::map_costed(|x: &i64| (x * 2, Work::flops(1))));
+        assert_eq!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+    }
+
+    #[test]
+    fn stage_order_changes_the_fingerprint() {
+        let ab = Skel::map(|x: &i64| x + 1).then(Skel::map_costed(|x: &i64| (*x, Work::NONE)));
+        let ba = Skel::map_costed(|x: &i64| (*x, Work::NONE)).then(Skel::map(|x: &i64| x + 1));
+        assert_ne!(ab.fingerprint().unwrap(), ba.fingerprint().unwrap());
+    }
+
+    #[test]
+    fn costed_and_uncosted_stages_fingerprint_apart() {
+        let plain = Skel::map(|x: &i64| x + 1);
+        let costed = Skel::map_costed(|x: &i64| (x + 1, Work::NONE));
+        let imap = Skel::imap(|_, x: &i64| x + 1);
+        let fp = |p: &Skel<'_, ParArray<i64>, ParArray<i64>>| p.fingerprint().unwrap();
+        assert_ne!(fp(&plain), fp(&costed));
+        assert_ne!(fp(&plain), fp(&imap));
+        assert_ne!(fp(&costed), fp(&imap));
+    }
+
+    #[test]
+    fn barrier_kinds_fingerprint_apart() {
+        let rot = Skel::map(|x: &i64| x + 1).then(Skel::rotate(1));
+        let shift = Skel::map(|x: &i64| x + 1).then(Skel::shift(1, 0));
+        let scan = Skel::map(|x: &i64| x + 1).then(Skel::scan(|a, b| a + b));
+        let fold = Skel::map(|x: &i64| x + 1).then(Skel::fold_all(|a, b| a + b, Work::NONE));
+        let fps: Vec<_> = [&rot, &shift, &scan, &fold]
+            .iter()
+            .map(|p| p.fingerprint().unwrap())
+            .collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "barrier kinds {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn lowerable_parameters_fingerprint_apart() {
+        // same node chain (one `rotate` barrier), different IR parameter
+        assert_ne!(
+            Skel::<'_, ParArray<i64>, ParArray<i64>>::rotate(1)
+                .fingerprint()
+                .unwrap(),
+            Skel::<'_, ParArray<i64>, ParArray<i64>>::rotate(2)
+                .fingerprint()
+                .unwrap()
+        );
+        let reg = Registry::standard();
+        assert_ne!(
+            Skel::map_sym("inc", &reg).fingerprint().unwrap(),
+            Skel::map_sym("double", &reg).fingerprint().unwrap()
+        );
+    }
+
+    #[test]
+    fn barrier_parameters_survive_opaque_composition() {
+        // regression: an opaque stage drops the composed IR, but the
+        // barrier's own parameters must still reach the fingerprint — a
+        // plan cache keyed on it would otherwise serve rotate(1) answers
+        // to rotate(2) requests
+        let fp = |k: isize| {
+            Skel::map(|x: &i64| x + 1)
+                .then(Skel::rotate(k))
+                .fingerprint()
+                .unwrap()
+        };
+        assert_ne!(fp(1), fp(2));
+        assert_eq!(fp(2), fp(2));
+
+        let sh = |k: isize| {
+            Skel::map(|x: &i64| x + 1)
+                .then(Skel::shift(k, 0))
+                .fingerprint()
+                .unwrap()
+        };
+        assert_ne!(sh(1), sh(2));
+
+        let it = |n: usize| {
+            Skel::map(|x: &i64| x + 1)
+                .then(Skel::iter_for(n, |_, _, a| a))
+                .fingerprint()
+                .unwrap()
+        };
+        assert_ne!(it(3), it(4));
+
+        let pt = |p: usize| {
+            Skel::<'_, Vec<i64>, ParArray<Vec<i64>>>::partition(Pattern::Block(p))
+                .fingerprint()
+                .unwrap()
+        };
+        assert_ne!(pt(2), pt(4));
+
+        let reg = Registry::standard();
+        let sym = |name: &str| {
+            Skel::map(|x: &i64| x + 1)
+                .then(Skel::map_sym(name, &reg))
+                .fingerprint()
+                .unwrap()
+        };
+        assert_ne!(sym("inc"), sym("double"));
+
+        // closure-captured values remain invisible — the documented
+        // submit_keyed case
+        let fill = |v: i64| {
+            Skel::<'_, ParArray<i64>, ParArray<i64>>::shift(1, v)
+                .fingerprint()
+                .unwrap()
+        };
+        assert_eq!(fill(0), fill(9));
+    }
+
+    #[test]
+    fn unfusable_plans_have_no_fingerprint() {
+        let opaque = Skel::from_fn(|_, a: ParArray<i64>| a);
+        assert!(opaque.fingerprint().is_none());
+        // one opaque stage poisons the chain's fingerprint too
+        let chain = Skel::map(|x: &i64| x + 1).then(Skel::from_fn(|_, a: ParArray<i64>| a));
+        assert!(chain.fingerprint().is_none());
+    }
+
+    #[test]
+    fn stream_ops_fingerprint_like_the_plan_modulo_repr() {
+        // the PlanOp-level hash sees the node chain only; an opaque plan
+        // (no repr) must fingerprint identically before and after
+        // `into_stream_ops` consumes it
+        let plan = Skel::map(|x: &i64| x + 1)
+            .then(Skel::shift(1, 0))
+            .then(Skel::map_costed(|x: &i64| (x * 3, Work::flops(1))));
+        let fp = plan.fingerprint().unwrap();
+        let ops = plan.into_stream_ops().ok().unwrap();
+        let from_ops = crate::fused::fingerprint_ops(&ops);
+        // plan-level fingerprint folds in the "no repr" marker
+        assert_eq!(
+            crate::fused::fingerprint_with_repr(from_ops.raw(), None),
+            fp
+        );
     }
 
     // ---- fused execution ----------------------------------------------------

@@ -1,0 +1,200 @@
+//! A shared host-thread budget with leased capacity.
+//!
+//! Persistent runtimes that coexist in one process — several streaming
+//! operator graphs, a multi-tenant plan service sharding one machine
+//! across clients — all want host threads, and the host has a fixed
+//! number. [`ThreadBudget`] is the hand-off point: one shared counter of
+//! total capacity from which each consumer **claims a lease**
+//! ([`ThreadBudget::try_claim`]) and to which the lease returns its
+//! capacity on drop. Nothing here spawns or parks threads; the budget only
+//! *accounts* — enforcement is the consumer's business (a streaming graph
+//! caps its farm width gates at its lease, a scheduler recomputes shares
+//! from `total` and `in_use`).
+//!
+//! Claims are best-effort and non-blocking: a claim asks for a preferred
+//! width and a minimum, and receives whatever slice of the remaining
+//! budget fits (or `None` when even the minimum does not). That favours
+//! admission over fairness — fair *shares* are a policy the caller
+//! computes (see `scl-serve`'s shard scheduler); the budget just keeps the
+//! process-wide total honest.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A shared pool of host-thread capacity; see the [module docs](self).
+#[derive(Debug)]
+pub struct ThreadBudget {
+    total: usize,
+    used: AtomicUsize,
+}
+
+impl ThreadBudget {
+    /// A budget of `total` threads (at least 1), ready to share.
+    pub fn new(total: usize) -> Arc<ThreadBudget> {
+        Arc::new(ThreadBudget {
+            total: total.max(1),
+            used: AtomicUsize::new(0),
+        })
+    }
+
+    /// Total capacity the budget was created with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Capacity currently out on leases.
+    pub fn in_use(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Capacity not yet leased.
+    pub fn available(&self) -> usize {
+        self.total.saturating_sub(self.in_use())
+    }
+
+    /// Claim between `min` and `want` threads (both at least 1; `want` is
+    /// raised to `min` if below it): the lease receives `want` when it
+    /// fits, otherwise whatever remains if that still covers `min`, and
+    /// `None` when even `min` is unavailable. Never blocks.
+    pub fn try_claim(self: &Arc<ThreadBudget>, want: usize, min: usize) -> Option<BudgetLease> {
+        let min = min.max(1);
+        let want = want.max(min);
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let avail = self.total.saturating_sub(cur);
+            let grant = want.min(avail);
+            if grant < min {
+                return None;
+            }
+            match self.used.compare_exchange_weak(
+                cur,
+                cur + grant,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(BudgetLease {
+                        granted: grant,
+                        budget: Arc::clone(self),
+                    })
+                }
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+/// A slice of a [`ThreadBudget`], returned to the budget on drop.
+#[derive(Debug)]
+pub struct BudgetLease {
+    granted: usize,
+    budget: Arc<ThreadBudget>,
+}
+
+impl BudgetLease {
+    /// How many threads this lease holds.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+
+    /// Shrink the lease to `keep` threads (no-op if already at or below),
+    /// returning the difference to the budget immediately — how a consumer
+    /// hands capacity back mid-flight when a scheduler narrows its share.
+    pub fn shrink_to(&mut self, keep: usize) {
+        let keep = keep.max(1).min(self.granted);
+        let give_back = self.granted - keep;
+        if give_back > 0 {
+            self.granted = keep;
+            self.budget.used.fetch_sub(give_back, Ordering::AcqRel);
+        }
+    }
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        self.budget.used.fetch_sub(self.granted, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_grant_within_the_total() {
+        let b = ThreadBudget::new(4);
+        assert_eq!((b.total(), b.in_use(), b.available()), (4, 0, 4));
+        let l1 = b.try_claim(3, 1).unwrap();
+        assert_eq!(l1.granted(), 3);
+        // 1 left: a want of 3 degrades to the remainder when min allows
+        let l2 = b.try_claim(3, 1).unwrap();
+        assert_eq!(l2.granted(), 1);
+        assert_eq!(b.available(), 0);
+        // nothing left: even min=1 is refused
+        assert!(b.try_claim(1, 1).is_none());
+        drop(l1);
+        assert_eq!(b.available(), 3);
+        drop(l2);
+        assert_eq!(b.available(), 4);
+    }
+
+    #[test]
+    fn min_is_respected() {
+        let b = ThreadBudget::new(4);
+        let _l = b.try_claim(3, 3).unwrap();
+        // 1 remaining < min 2: refused rather than degraded
+        assert!(b.try_claim(4, 2).is_none());
+        // want below min is raised to min
+        let l = b.try_claim(0, 1).unwrap();
+        assert_eq!(l.granted(), 1);
+    }
+
+    #[test]
+    fn total_is_at_least_one() {
+        let b = ThreadBudget::new(0);
+        assert_eq!(b.total(), 1);
+        assert!(b.try_claim(1, 1).is_some() || b.available() == 0);
+    }
+
+    #[test]
+    fn shrink_returns_capacity_early() {
+        let b = ThreadBudget::new(8);
+        let mut l = b.try_claim(6, 1).unwrap();
+        l.shrink_to(2);
+        assert_eq!(l.granted(), 2);
+        assert_eq!(b.available(), 6);
+        // shrinking below 1 clamps, growing is not a thing
+        l.shrink_to(0);
+        assert_eq!(l.granted(), 1);
+        l.shrink_to(5);
+        assert_eq!(l.granted(), 1);
+        drop(l);
+        assert_eq!(b.available(), 8);
+    }
+
+    #[test]
+    fn concurrent_claims_never_oversubscribe() {
+        let b = ThreadBudget::new(7);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let joins: Vec<_> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(lease) = b.try_claim(3, 1) {
+                            peak.fetch_max(b.in_use(), Ordering::Relaxed);
+                            assert!(lease.granted() >= 1 && lease.granted() <= 3);
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(peak.load(Ordering::Relaxed) <= 7, "budget oversubscribed");
+        assert_eq!(b.in_use(), 0, "all leases returned");
+    }
+}

@@ -40,6 +40,16 @@
 //!   [`Bounded`] input, gated by an atomic width so an autonomic
 //!   controller can widen/narrow a farm without spawning threads.
 //!
+//! When several such runtimes share one process — a multi-tenant plan
+//! service running many graphs against one machine — [`ThreadBudget`]
+//! accounts for the host-wide thread capacity: consumers claim
+//! [`BudgetLease`]s and cap their width gates at the grant, keeping the
+//! sum of *active* replicas across all tenants within the host budget
+//! whenever capacity is claimable. The budget accounts rather than
+//! enforces: a consumer that chooses to run after an empty grant (as a
+//! serving layer may, preferring admission over stalling) does so at
+//! minimum width, outside the accounted total.
+//!
 //! An [`ExecPolicy`] selects between sequential, threaded, and
 //! cost-model-driven execution and is threaded through `scl-core`'s context
 //! type. Host parallelism is queried once per process ([`host_threads`]) —
@@ -47,12 +57,14 @@
 //! pin the CI matrix sets, erroring (never silently falling back) on
 //! unrecognised values.
 
+pub mod budget;
 pub mod chan;
 pub mod policy;
 pub mod pool;
 pub mod scope;
 pub mod stage;
 
+pub use budget::{BudgetLease, ThreadBudget};
 pub use chan::{Bounded, TryRecv};
 pub use policy::{host_threads, ExecPolicy, POLICY_ENV_VAR};
 pub use pool::{JobHandle, ThreadPool};

@@ -90,6 +90,41 @@ impl ExecPolicy {
     /// supply their own default matrix), `Ok(Some(policy))` when set to a
     /// value [`ExecPolicy::parse`] accepts, and `Err` — not a silent
     /// fallback — when set to anything else.
+    ///
+    /// The accepted values (see [`ExecPolicy::parse`]):
+    ///
+    /// | value | policy |
+    /// |---|---|
+    /// | `seq` / `sequential` | [`ExecPolicy::Sequential`] |
+    /// | `auto` | [`ExecPolicy::auto`] — threads sized to the host |
+    /// | `cost` / `cost-driven` | [`ExecPolicy::cost_driven`] |
+    /// | `threads:N` (N ≥ 1) | [`ExecPolicy::Threads`]`(N)` |
+    ///
+    /// # Examples
+    ///
+    /// Doctests run in their own single-threaded process, so mutating the
+    /// environment here is safe; in multi-threaded programs prefer
+    /// setting `SCL_EXEC_POLICY` from the launching shell, as the CI
+    /// matrix does.
+    ///
+    /// ```
+    /// use scl_exec::{ExecPolicy, POLICY_ENV_VAR};
+    ///
+    /// // unset: callers fall back to their own policy matrix
+    /// std::env::remove_var(POLICY_ENV_VAR);
+    /// assert_eq!(ExecPolicy::from_env(), Ok(None));
+    ///
+    /// // pinned, as `SCL_EXEC_POLICY=threads:4 cargo test` would
+    /// std::env::set_var(POLICY_ENV_VAR, "threads:4");
+    /// assert_eq!(ExecPolicy::from_env(), Ok(Some(ExecPolicy::Threads(4))));
+    ///
+    /// std::env::set_var(POLICY_ENV_VAR, "seq");
+    /// assert_eq!(ExecPolicy::from_env(), Ok(Some(ExecPolicy::Sequential)));
+    ///
+    /// // unrecognised values are loud errors, never silent fallbacks
+    /// std::env::set_var(POLICY_ENV_VAR, "warp-speed");
+    /// assert!(ExecPolicy::from_env().is_err());
+    /// ```
     pub fn from_env() -> Result<Option<ExecPolicy>, String> {
         match std::env::var(POLICY_ENV_VAR) {
             Err(std::env::VarError::NotPresent) => Ok(None),

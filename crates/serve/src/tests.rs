@@ -1,0 +1,450 @@
+//! Unit tests for the service mechanics (cache, batching, scheduler
+//! wiring, accounting isolation). The heavyweight differential suite —
+//! N tenants through `Serve` == N solo runs, outputs and reports
+//! bit-for-bit, across policies and app plans — lives in the workspace's
+//! `tests/serve_vs_solo.rs`.
+
+use super::*;
+use scl_core::ParArray;
+use scl_machine::Work;
+use scl_machine::{CostModel, Topology};
+
+fn unit_machine(n: usize) -> Machine {
+    Machine::new(Topology::FullyConnected { procs: n }, CostModel::unit())
+}
+
+fn arr(k: i64) -> ParArray<i64> {
+    ParArray::from_parts((k..k + 4).collect())
+}
+
+fn mixed_plan() -> Skel<'static, ParArray<i64>, ParArray<i64>> {
+    Skel::map(|x: &i64| x * 3)
+        .then(Skel::rotate(1))
+        .then(Skel::map_costed(|x: &i64| (x + 1, Work::flops(1))))
+}
+
+fn serve(exec: ExecPolicy) -> Serve<ParArray<i64>, ParArray<i64>> {
+    Serve::new(ServePolicy::new(unit_machine(4)).with_exec(exec))
+}
+
+#[test]
+fn same_plan_compiles_once_and_answers_match_solo() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let tickets: Vec<Ticket> = (0..10)
+        .map(|k| srv.submit(t, mixed_plan(), arr(k)).unwrap())
+        .collect();
+    assert_eq!(srv.cached_plans(), 1, "ten submissions, one graph");
+    assert_eq!(srv.stats().cache_misses, 1);
+    assert_eq!(srv.stats().cache_hits, 9);
+    srv.run_until_idle();
+
+    let solo_plan = mixed_plan();
+    let mut scl = Scl::new(unit_machine(4));
+    for (k, ticket) in tickets.into_iter().enumerate() {
+        let (out, report) = srv.take(ticket).unwrap();
+        scl.reset();
+        let expect = solo_plan.run(&mut scl, arr(k as i64));
+        assert_eq!(out, expect, "request {k}");
+        assert_eq!(report, scl.machine.report(), "request {k}");
+    }
+    assert_eq!(srv.tenant_served(t), 10);
+    assert_eq!(srv.tenant_pending(t), 0);
+}
+
+#[test]
+fn barrier_parameters_split_the_cache_without_keys() {
+    // regression (code review): with an opaque map ahead of the barrier,
+    // rotate(1) and rotate(2) used to collide on one cache entry and the
+    // second tenant silently received the first plan's answers
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let p1 = Skel::map(|x: &i64| x + 1).then(Skel::rotate(1));
+    let p2 = Skel::map(|x: &i64| x + 1).then(Skel::rotate(2));
+    let a = srv.submit(t, p1, arr(0)).unwrap();
+    let b = srv.submit(t, p2, arr(0)).unwrap();
+    assert_eq!(srv.cached_plans(), 2, "distinct rotations, distinct graphs");
+    srv.run_until_idle();
+    assert_eq!(srv.take(a).unwrap().0.to_vec(), vec![2, 3, 4, 1]);
+    assert_eq!(srv.take(b).unwrap().0.to_vec(), vec![3, 4, 1, 2]);
+}
+
+#[test]
+fn submit_keyed_separates_structural_twins() {
+    // structurally identical plans with different closure semantics MUST
+    // be kept apart by the caller's key — this is the documented contract
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let double = Skel::map(|x: &i64| x * 2);
+    let triple = Skel::map(|x: &i64| x * 3);
+    let a = srv.submit_keyed(t, "double", double, arr(0)).unwrap();
+    let b = srv.submit_keyed(t, "triple", triple, arr(0)).unwrap();
+    assert_eq!(srv.cached_plans(), 2, "keys split the cache entries");
+    srv.run_until_idle();
+    assert_eq!(srv.take(a).unwrap().0.to_vec(), vec![0, 2, 4, 6]);
+    assert_eq!(srv.take(b).unwrap().0.to_vec(), vec![0, 3, 6, 9]);
+}
+
+#[test]
+fn batch_window_bounds_each_round() {
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+        ServePolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Sequential)
+            .with_batch_window(4),
+    );
+    let t = srv.add_tenant("t");
+    for k in 0..10 {
+        srv.submit(t, mixed_plan(), arr(k)).unwrap();
+    }
+    assert_eq!(srv.step(), 4, "first round serves one window");
+    assert_eq!(srv.pending_requests(), 6);
+    assert_eq!(srv.step(), 4);
+    assert_eq!(srv.step(), 2, "last round serves the remainder");
+    assert_eq!(srv.stats().batches, 3);
+}
+
+#[test]
+fn unfusable_plans_serve_eagerly_and_uncached() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let opaque = Skel::from_fn(|scl: &mut Scl, a: ParArray<i64>| scl.rotate(1, &a));
+    let ticket = srv.submit(t, opaque, arr(0)).unwrap();
+    // served immediately: no cache entry, no pending work
+    assert!(srv.is_ready(ticket));
+    assert_eq!(srv.cached_plans(), 0);
+    assert_eq!(srv.stats().eager_runs, 1);
+    let (out, _) = srv.take(ticket).unwrap();
+    assert_eq!(out.to_vec(), vec![1, 2, 3, 0]);
+}
+
+#[test]
+fn oversized_inputs_are_rejected_at_submit() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let err = srv
+        .submit(t, mixed_plan(), ParArray::from_parts((0..9).collect()))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SclError::MachineTooSmall {
+            needed: 9,
+            procs: 4
+        }
+    );
+    assert_eq!(srv.stats().requests, 0, "rejected requests never count");
+    assert_eq!(srv.pending_requests(), 0);
+}
+
+#[test]
+fn lru_eviction_keeps_the_cache_at_cap() {
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+        ServePolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Sequential)
+            .with_plan_cache_cap(2),
+    );
+    let t = srv.add_tenant("t");
+    // three distinct plans (distinct keys), interleaved with service
+    for (i, key) in ["a", "b", "c"].iter().enumerate() {
+        srv.submit_keyed(t, key, mixed_plan(), arr(i as i64))
+            .unwrap();
+        srv.run_until_idle();
+    }
+    assert_eq!(srv.cached_plans(), 2, "cap holds");
+    assert_eq!(srv.stats().evictions, 1, "oldest idle entry evicted");
+    // resubmitting the evicted plan recompiles: 3 initial misses + 1
+    srv.submit_keyed(t, "a", mixed_plan(), arr(9)).unwrap();
+    srv.run_until_idle();
+    assert_eq!(srv.stats().cache_misses, 4);
+}
+
+#[test]
+fn cache_cap_zero_recompiles_every_submission() {
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+        ServePolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Sequential)
+            .with_plan_cache_cap(0),
+    );
+    let t = srv.add_tenant("t");
+    for k in 0..3 {
+        srv.submit(t, mixed_plan(), arr(k)).unwrap();
+        srv.run_until_idle();
+    }
+    assert_eq!(srv.stats().cache_misses, 3, "cold path: compile per call");
+    assert_eq!(srv.cached_plans(), 0);
+}
+
+#[test]
+fn shares_follow_weights_and_activity() {
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+        ServePolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Threads(4))
+            .with_threads(8),
+    );
+    let a = srv.add_tenant("a");
+    let b = srv.add_tenant_weighted("b", 3);
+    assert!(srv.shares().is_empty(), "no pending work, no shares");
+
+    srv.submit(a, mixed_plan(), arr(0)).unwrap();
+    assert_eq!(srv.shares(), vec![(a, 8)], "sole active tenant takes all");
+
+    srv.submit(b, mixed_plan(), arr(1)).unwrap();
+    let shares: std::collections::HashMap<TenantId, usize> = srv.shares().into_iter().collect();
+    assert_eq!(shares[&a], 2);
+    assert_eq!(shares[&b], 6, "weight 3 takes 3x the share");
+
+    srv.run_until_idle();
+    assert!(srv.shares().is_empty(), "finished tenants leave the split");
+    assert_eq!(srv.thread_budget().in_use(), 0, "leases all returned");
+}
+
+#[test]
+fn reports_isolate_tenants_from_each_other() {
+    // two tenants share one compiled graph; each request's report must be
+    // exactly a solo run's — tenant b's heavier traffic must not leak
+    // into tenant a's accounting
+    let mut srv = serve(ExecPolicy::Sequential);
+    let a = srv.add_tenant("a");
+    let b = srv.add_tenant("b");
+    let ta = srv.submit(a, mixed_plan(), arr(0)).unwrap();
+    let tb: Vec<Ticket> = (1..6)
+        .map(|k| srv.submit(b, mixed_plan(), arr(k)).unwrap())
+        .collect();
+    srv.run_until_idle();
+
+    let solo = mixed_plan();
+    let mut scl = Scl::new(unit_machine(4));
+    let (_, report_a) = srv.take(ta).unwrap();
+    let expect_a = {
+        scl.reset();
+        let _ = solo.run(&mut scl, arr(0));
+        scl.machine.report()
+    };
+    assert_eq!(report_a, expect_a, "tenant a's report is solo-identical");
+    for (i, tk) in tb.into_iter().enumerate() {
+        let (_, report) = srv.take(tk).unwrap();
+        scl.reset();
+        let _ = solo.run(&mut scl, arr(i as i64 + 1));
+        assert_eq!(report, scl.machine.report(), "tenant b request {i}");
+    }
+}
+
+#[test]
+fn optimized_submissions_cache_the_raised_plan() {
+    let reg: &'static Registry = Box::leak(Box::new(Registry::standard()));
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let plan = || {
+        Skel::map_sym("double", reg)
+            .then(Skel::rotate(3))
+            .then(Skel::rotate(-3))
+            .then(Skel::map_sym("inc", reg))
+    };
+    let tickets: Vec<Ticket> = (0..6)
+        .map(|k| srv.submit_optimized(t, "", &plan(), reg, arr(k)).unwrap())
+        .collect();
+    assert_eq!(srv.stats().cache_misses, 1, "optimize+raise+compile once");
+    assert_eq!(srv.stats().cache_hits, 5);
+    srv.run_until_idle();
+
+    let solo = plan();
+    for (k, ticket) in tickets.into_iter().enumerate() {
+        let (out, report) = srv.take(ticket).unwrap();
+        let mut scl = Scl::new(unit_machine(4));
+        let (expect, log) = scl.run_optimized(&solo, reg, arr(k as i64));
+        assert!(!log.is_empty(), "rotations cancel, maps fuse");
+        assert_eq!(out, expect, "request {k}");
+        assert_eq!(report, scl.machine.report(), "request {k}");
+    }
+}
+
+#[test]
+fn optimized_and_plain_submissions_never_share_a_graph() {
+    let reg: &'static Registry = Box::leak(Box::new(Registry::standard()));
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let plan = || Skel::map_sym("inc", reg).then(Skel::rotate(1));
+    let p = srv.submit(t, plan(), arr(0)).unwrap();
+    let o = srv.submit_optimized(t, "", &plan(), reg, arr(0)).unwrap();
+    assert_eq!(srv.cached_plans(), 2, "modes salt the fingerprint apart");
+    srv.run_until_idle();
+    // same program, same answer, different execution paths
+    assert_eq!(srv.take(p).unwrap().0, srv.take(o).unwrap().0);
+}
+
+#[test]
+fn non_lowerable_optimized_submissions_fall_back_like_run_optimized() {
+    let reg: &'static Registry = Box::leak(Box::new(Registry::standard()));
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let opaque = Skel::map(|x: &i64| x * 7); // fusable but not lowerable
+    let ticket = srv.submit_optimized(t, "", &opaque, reg, arr(1)).unwrap();
+    assert!(srv.is_ready(ticket), "fallback serves immediately");
+    assert_eq!(srv.stats().eager_runs, 1);
+    let (out, report) = srv.take(ticket).unwrap();
+
+    let mut scl = Scl::new(unit_machine(4));
+    let (expect, log) = scl.run_optimized(&opaque, reg, arr(1));
+    assert!(log.is_empty());
+    assert_eq!(out, expect);
+    assert_eq!(report, scl.machine.report());
+}
+
+#[test]
+fn threaded_service_matches_sequential_answers() {
+    let mk = |exec| {
+        let mut srv = serve(exec);
+        let t = srv.add_tenant("t");
+        let tickets: Vec<Ticket> = (0..20)
+            .map(|k| srv.submit(t, mixed_plan(), arr(k)).unwrap())
+            .collect();
+        srv.run_until_idle();
+        tickets
+            .into_iter()
+            .map(|tk| srv.take(tk).unwrap())
+            .collect::<Vec<_>>()
+    };
+    let seq = mk(ExecPolicy::Sequential);
+    let thr = mk(ExecPolicy::Threads(3));
+    let cost = mk(ExecPolicy::cost_driven());
+    for (k, ((s, sr), (t, tr))) in seq.iter().zip(&thr).enumerate() {
+        assert_eq!(s, t, "request {k}");
+        assert_eq!(sr, tr, "request {k} report");
+    }
+    for (k, ((s, sr), (c, cr))) in seq.iter().zip(&cost).enumerate() {
+        assert_eq!(s, c, "request {k}");
+        assert_eq!(sr, cr, "request {k} report");
+    }
+}
+
+#[test]
+fn panicking_plan_poisons_only_its_batch() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    // one healthy plan and one that panics on a specific input, in the
+    // same service round
+    let healthy = srv.submit(t, mixed_plan(), arr(0)).unwrap();
+    let bomb = Skel::map(|x: &i64| if *x == 42 { panic!("boom") } else { *x });
+    let doomed = srv
+        .submit_keyed(
+            t,
+            "bomb",
+            bomb,
+            ParArray::from_parts(vec![41i64, 42, 43, 44]),
+        )
+        .unwrap();
+
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        srv.run_until_idle();
+    }))
+    .unwrap_err();
+    let msg = payload.downcast_ref::<String>().expect("labelled panic");
+    assert!(msg.contains("boom"), "{msg}");
+
+    // the round settled before re-raising: the healthy request delivered,
+    // the doomed one is abandoned, accounting is closed
+    assert!(srv.is_ready(healthy), "healthy batch still delivered");
+    assert!(!srv.is_ready(doomed), "poisoned batch abandoned");
+    assert_eq!(srv.stats().failed, 1);
+    assert_eq!(srv.tenant_pending(t), 0, "no leaked pending counts");
+    assert_eq!(srv.pending_requests(), 0);
+
+    // the poisoned graph is gone and the service keeps serving
+    let after = srv.submit(t, mixed_plan(), arr(5)).unwrap();
+    srv.run_until_idle();
+    assert!(srv.is_ready(after));
+    let mut scl = Scl::new(unit_machine(4));
+    assert_eq!(
+        srv.take(after).unwrap().0,
+        mixed_plan().run(&mut scl, arr(5))
+    );
+}
+
+#[test]
+fn poisoned_plan_abandons_queued_requests_beyond_the_batch() {
+    // window 1: the second request is still queued when the first one's
+    // batch panics — it must be abandoned with the plan, not leak as
+    // forever-pending
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+        ServePolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Sequential)
+            .with_batch_window(1),
+    );
+    let t = srv.add_tenant("t");
+    let bomb = || Skel::map(|x: &i64| if *x >= 0 { panic!("boom") } else { *x });
+    let first = srv.submit(t, bomb(), arr(0)).unwrap();
+    let queued = srv.submit(t, bomb(), arr(1)).unwrap();
+    assert_eq!(srv.pending_requests(), 2);
+
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        srv.step();
+    }))
+    .unwrap_err();
+    assert!(
+        scl_core::panic_message(&*payload).contains("boom"),
+        "panic re-raised"
+    );
+    assert!(!srv.is_ready(first));
+    assert!(
+        !srv.is_ready(queued),
+        "queued request abandoned with the plan"
+    );
+    assert_eq!(srv.stats().failed, 2);
+    assert_eq!(srv.tenant_pending(t), 0, "no leaked pending counts");
+    assert_eq!(srv.pending_requests(), 0);
+    assert_eq!(srv.cached_plans(), 0);
+}
+
+#[test]
+fn panicking_eager_fallback_settles_accounting() {
+    // an unfusable plan that panics must not leak a forever-pending
+    // ticket (which would dilute every future fair-share split)
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let bomb = Skel::from_fn(|_: &mut Scl, _: ParArray<i64>| -> ParArray<i64> { panic!("boom") });
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = srv.submit(t, bomb, arr(0));
+    }))
+    .unwrap_err();
+    assert!(scl_core::panic_message(&*payload).contains("boom"));
+    assert_eq!(srv.tenant_pending(t), 0, "no leaked pending count");
+    assert_eq!(srv.stats().failed, 1);
+    assert_eq!(srv.stats().eager_runs, 0, "failed runs are not served runs");
+    assert!(srv.shares().is_empty(), "tenant no longer counts as active");
+    // the service keeps serving
+    let ok = srv.submit(t, mixed_plan(), arr(1)).unwrap();
+    srv.run_until_idle();
+    assert!(srv.is_ready(ok));
+}
+
+#[test]
+fn eager_fallbacks_claim_the_shared_budget() {
+    // an unfusable plan must not run wider than the budget allows: hold
+    // the whole budget externally and watch the fallback degrade to one
+    // thread (observable through the lease accounting)
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+        ServePolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Threads(4))
+            .with_threads(2),
+    );
+    let t = srv.add_tenant("t");
+    let budget = Arc::clone(srv.thread_budget());
+    let hold = budget.try_claim(2, 2).unwrap();
+    assert_eq!(budget.available(), 0);
+    let opaque = Skel::from_fn(|scl: &mut Scl, a: ParArray<i64>| scl.rotate(1, &a));
+    let tk = srv.submit(t, opaque, arr(0)).unwrap();
+    assert!(srv.is_ready(tk), "fallback still admits at width 1");
+    drop(hold);
+    assert_eq!(budget.in_use(), 0, "fallback leases are returned");
+    // with capacity free the fallback claims (and returns) its width
+    let opaque = Skel::from_fn(|scl: &mut Scl, a: ParArray<i64>| scl.rotate(1, &a));
+    let tk = srv.submit(t, opaque, arr(1)).unwrap();
+    assert!(srv.is_ready(tk));
+    assert_eq!(budget.in_use(), 0);
+}
+
+#[test]
+#[should_panic(expected = "unregistered tenant")]
+fn unknown_tenants_are_rejected() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let _ = srv.submit(TenantId(3), mixed_plan(), arr(0));
+}

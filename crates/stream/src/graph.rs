@@ -78,9 +78,13 @@ pub(crate) struct Farm {
     /// Replicas currently allowed to claim work (the autonomic gate;
     /// workers past the width park on its condvar).
     active: Arc<WidthGate>,
-    /// Current ceiling for `active` (≤ `spawned`; the cost model may
-    /// lower it below the policy cap at calibration).
+    /// Current ceiling for `active` (≤ `spawned`): the policy/cost-model
+    /// ceiling clamped by the graph's external width cap.
     max_width: AtomicUsize,
+    /// The policy-side ceiling alone (exec policy cap, possibly lowered by
+    /// the cost model at calibration) — kept so an external cap change can
+    /// recompute `max_width` without re-calibrating.
+    policy_cap: usize,
     /// Workers actually spawned — the hard ceiling.
     spawned: usize,
     stats: Arc<FarmStats>,
@@ -107,6 +111,7 @@ impl Farm {
             out_q: Bounded::new(capacity),
             active: WidthGate::new(if adaptive { 1 } else { width_cap }),
             max_width: AtomicUsize::new(width_cap),
+            policy_cap: width_cap,
             spawned: width_cap,
             stats: Arc::new(FarmStats::default()),
             reorder: BTreeMap::new(),
@@ -122,7 +127,7 @@ impl Farm {
     /// backpressure reaches the replicas too. A panicking stage poisons
     /// the envelope instead of killing the worker; the pump re-raises the
     /// panic on the caller when the item completes.
-    fn spawn(&self, pool: &ThreadPool) {
+    fn spawn(&self, pool: &ThreadPool, summed: bool) {
         let seg = Arc::clone(&self.seg);
         let out = self.out_q.clone();
         let stats = Arc::clone(&self.stats);
@@ -135,7 +140,13 @@ impl Farm {
             } = env;
             let payload = match payload {
                 Ok(val) => {
-                    match std::panic::catch_unwind(AssertUnwindSafe(|| seg.apply(&mut scl, val))) {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if summed {
+                            seg.apply_summed(&mut scl, val)
+                        } else {
+                            seg.apply(&mut scl, val)
+                        }
+                    })) {
                         Ok(v) => Ok(v),
                         Err(p) => Err(panic_message(&*p).to_string()),
                     }
@@ -175,8 +186,14 @@ pub(crate) struct Graph {
     capacity: usize,
     /// Per-farm replica cap from the [`ExecPolicy`].
     exec_cap: usize,
+    /// External width cap ([`Graph::set_width_cap`]) clamping every farm's
+    /// ceiling — `usize::MAX` when nothing outside the graph constrains it.
+    extern_cap: usize,
     /// Whether calibration consults the cost model.
     cost_driven: bool,
+    /// Whether segments charge fused-style (one summed event per part)
+    /// instead of replaying eager per-stage charges.
+    summed_charging: bool,
     adaptive: bool,
     /// The persistent worker pool, held for its drop (which joins the
     /// replica threads); `None` when the graph has no farms. The `Graph`
@@ -194,6 +211,7 @@ impl Graph {
         capacity: usize,
         exec: ExecPolicy,
         adaptive: bool,
+        summed_charging: bool,
     ) -> Graph {
         let exec_cap = match exec {
             ExecPolicy::Sequential => 1,
@@ -226,7 +244,7 @@ impl Graph {
         } else {
             let pool = ThreadPool::new(farms.iter().map(|f| f.spawned).sum());
             for farm in &farms {
-                farm.spawn(&pool);
+                farm.spawn(&pool, summed_charging);
             }
             Some(pool)
         };
@@ -237,10 +255,34 @@ impl Graph {
             completed: VecDeque::new(),
             capacity,
             exec_cap,
+            extern_cap: usize::MAX,
             cost_driven: matches!(exec, ExecPolicy::CostDriven { .. }),
+            summed_charging,
             adaptive,
             _pool: pool,
         }
+    }
+
+    /// Clamp every farm's width ceiling at `cap` active replicas (≥ 1) —
+    /// the external control a shard scheduler drives when this graph's
+    /// share of a host-wide thread budget changes. The cap composes with
+    /// the policy/cost-model ceiling (the effective ceiling is the
+    /// minimum) and survives re-calibration; widening restores headroom
+    /// for the autonomic controller rather than forcing replicas active.
+    pub(crate) fn set_width_cap(&mut self, cap: usize) {
+        self.extern_cap = cap.max(1);
+        for farm in &mut self.farms {
+            let eff = farm.policy_cap.min(self.extern_cap).clamp(1, farm.spawned);
+            farm.max_width.store(eff, Ordering::Relaxed);
+            let active = farm.active.width();
+            let want = if self.adaptive { active.min(eff) } else { eff };
+            farm.active.set(want.max(1));
+        }
+    }
+
+    /// The external width cap last set (`usize::MAX` when unset).
+    pub(crate) fn width_cap(&self) -> usize {
+        self.extern_cap
     }
 
     /// Refine each farm's width ceiling from the first item's payload:
@@ -263,7 +305,8 @@ impl Graph {
                 item_bytes.max(1),
                 self.exec_cap,
             );
-            let cap = d.threads.clamp(1, farm.spawned);
+            farm.policy_cap = d.threads.clamp(1, farm.spawned);
+            let cap = farm.policy_cap.min(self.extern_cap).clamp(1, farm.spawned);
             farm.max_width.store(cap, Ordering::Relaxed);
             let active = farm.active.width();
             let want = if self.adaptive { active.min(cap) } else { cap };
@@ -332,6 +375,7 @@ impl Graph {
     /// barrier or panicking inline stage poisons the envelope (re-raised
     /// at completion).
     fn apply_hop(&mut self, h: usize, mut env: Envelope) -> Envelope {
+        let summed = self.summed_charging;
         let hop = &mut self.hops[h];
         for (op, stat) in &mut hop.ops {
             if env.payload.is_err() {
@@ -356,7 +400,11 @@ impl Graph {
                 }
                 PumpOp::Inline(seg) => {
                     match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        seg.apply(&mut env.scl, val)
+                        if summed {
+                            seg.apply_summed(&mut env.scl, val)
+                        } else {
+                            seg.apply(&mut env.scl, val)
+                        }
                     })) {
                         Ok(v) => Ok(v),
                         Err(p) => Err(panic_message(&*p).to_string()),

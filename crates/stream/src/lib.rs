@@ -60,6 +60,26 @@
 //! machine's `CostModel::fused_decision`. Replicas beyond the gate idle
 //! without claiming work, so adaptation never spawns or joins threads.
 //!
+//! ## Serving integration
+//!
+//! Two hooks exist for a layer above (the `scl-serve` multi-tenant
+//! service) that manages *many* graphs against one host:
+//!
+//! * **External width control** — [`StreamExec::set_width_cap`] clamps
+//!   every farm at a share of a host-wide thread budget
+//!   ([`scl_exec::ThreadBudget`]). The cap composes with the
+//!   policy/cost-model ceiling and with the autonomic controller (which
+//!   keeps adapting *within* it); replicas beyond the cap park on their
+//!   width gates, so a scheduler can re-shard capacity between tenants
+//!   every round without spawning or joining threads.
+//! * **Fused-style charging** — [`StreamPolicy::with_fused_charging`]
+//!   makes segments charge one summed `"fused"` compute event per part
+//!   ([`SegmentOp::apply_summed`]) instead of replaying eager per-stage
+//!   charges, so per-item reports equal solo
+//!   [`Scl::run_fused`](scl_core::Scl::run_fused) /
+//!   [`Scl::run_optimized`](scl_core::Scl::run_optimized) calls — what a
+//!   service needs when it compiles *optimized* plans into its cache.
+//!
 //! ```
 //! use scl_core::prelude::*;
 //! use scl_stream::{StreamExec, StreamPolicy};
@@ -78,6 +98,7 @@
 //! [`Skel::run`]: scl_core::Skel::run
 //! [`Skel::into_stream_ops`]: scl_core::Skel::into_stream_ops
 //! [`SegmentOp::apply`]: scl_core::SegmentOp::apply
+//! [`SegmentOp::apply_summed`]: scl_core::SegmentOp::apply_summed
 
 use scl_core::{ErasedArr, FusePort, Scl, SclError, Skel};
 use scl_exec::ExecPolicy;
@@ -100,11 +121,13 @@ pub struct StreamPolicy {
     capacity: usize,
     tick_items: u64,
     adaptive: bool,
+    fused_charging: bool,
 }
 
 impl StreamPolicy {
     /// Defaults: [`ExecPolicy::auto`] farm widths, capacity-8 channels,
-    /// adaptive width control ticking every 32 completions.
+    /// adaptive width control ticking every 32 completions, eager-style
+    /// per-stage charging.
     pub fn new(machine: Machine) -> StreamPolicy {
         StreamPolicy {
             machine,
@@ -112,6 +135,7 @@ impl StreamPolicy {
             capacity: 8,
             tick_items: 32,
             adaptive: true,
+            fused_charging: false,
         }
     }
 
@@ -142,6 +166,20 @@ impl StreamPolicy {
     /// at its maximum width from the start.
     pub fn with_adaptive(mut self, adaptive: bool) -> StreamPolicy {
         self.adaptive = adaptive;
+        self
+    }
+
+    /// Charge fused compute segments **fused-style** — one summed
+    /// `"fused"` compute event per part per segment
+    /// ([`SegmentOp::apply_summed`](scl_core::SegmentOp::apply_summed)) —
+    /// instead of replaying the eager per-stage charges. Same work totals
+    /// and makespan; choose this when per-item reports must agree with
+    /// solo [`Scl::run_fused`](scl_core::Scl::run_fused) /
+    /// [`Scl::run_optimized`](scl_core::Scl::run_optimized) calls rather
+    /// than solo eager runs, as `scl-serve` does for its optimized
+    /// submissions.
+    pub fn with_fused_charging(mut self, fused_charging: bool) -> StreamPolicy {
+        self.fused_charging = fused_charging;
         self
     }
 }
@@ -229,10 +267,11 @@ where
             capacity,
             tick_items,
             adaptive,
+            fused_charging,
         } = policy;
         let mode = match plan.into_stream_ops() {
             Err(plan) => Mode::Eager(plan),
-            Ok(ops) => Mode::Graph(Graph::build(ops, capacity, exec, adaptive)),
+            Ok(ops) => Mode::Graph(Graph::build(ops, capacity, exec, adaptive, fused_charging)),
         };
         StreamExec {
             mode,
@@ -288,6 +327,29 @@ where
         }
     }
 
+    /// Clamp every farm stage at `cap` active replicas (≥ 1) — the
+    /// external width control a shard scheduler drives when this graph's
+    /// share of a host-wide thread budget changes
+    /// ([`scl_exec::ThreadBudget`]). Composes with the policy/cost-model
+    /// ceiling (the effective ceiling is the minimum); widening again
+    /// restores headroom without forcing replicas active. Replicas beyond
+    /// the cap park on their width gates — no threads spawn or join. A
+    /// no-op for eager-fallback executors (no farms to cap).
+    pub fn set_width_cap(&mut self, cap: usize) {
+        if let Mode::Graph(g) = &mut self.mode {
+            g.set_width_cap(cap);
+        }
+    }
+
+    /// The external width cap last set with [`StreamExec::set_width_cap`]
+    /// (`usize::MAX` when unset or serving eagerly).
+    pub fn width_cap(&self) -> usize {
+        match &self.mode {
+            Mode::Eager(_) => usize::MAX,
+            Mode::Graph(g) => g.width_cap(),
+        }
+    }
+
     /// Feed one item into the graph, blocking (and pumping the graph)
     /// while the entry channel is full — this is where backpressure
     /// reaches the producer. Fails fast with
@@ -299,14 +361,12 @@ where
             Mode::Eager(plan) => {
                 // same entry contract as the graph path: reject oversized
                 // items as an Err, not a panic inside the eager layer
-                let val = item.erase();
-                if val.parts() > self.machine.nprocs() {
+                if item.parts_len() > self.machine.nprocs() {
                     return Err(SclError::MachineTooSmall {
-                        needed: val.parts(),
+                        needed: item.parts_len(),
                         procs: self.machine.nprocs(),
                     });
                 }
-                let item = A::restore(val);
                 let mut scl = Scl::new(self.machine.clone()).with_policy(self.exec);
                 let out = plan.run(&mut scl, item);
                 self.next_seq += 1;
@@ -415,14 +475,14 @@ where
     /// comes from the graph's farm replicas and pipeline overlap, not
     /// from intra-item thread fan-out.
     fn make_env(&mut self, item: A) -> Result<Envelope, SclError> {
-        let scl = Scl::new(self.machine.clone());
-        let val = item.erase();
-        if val.parts() > self.machine.nprocs() {
+        if item.parts_len() > self.machine.nprocs() {
             return Err(SclError::MachineTooSmall {
-                needed: val.parts(),
+                needed: item.parts_len(),
                 procs: self.machine.nprocs(),
             });
         }
+        let scl = Scl::new(self.machine.clone());
+        let val = item.erase();
         let seq = self.next_seq;
         self.next_seq += 1;
         Ok(Envelope {

@@ -390,6 +390,95 @@ fn throughput_and_gauges_track_the_run() {
 }
 
 #[test]
+fn external_width_cap_clamps_farms_and_composes_with_policy() {
+    let mut s = StreamExec::new(
+        mixed_plan(),
+        StreamPolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Threads(4))
+            .with_adaptive(false),
+    );
+    assert_eq!(s.width_cap(), usize::MAX);
+    for st in s.stage_stats().iter().filter(|st| st.farm) {
+        assert_eq!((st.width, st.max_width), (4, 4));
+    }
+
+    // a shard scheduler narrows this graph's share to 2 threads
+    s.set_width_cap(2);
+    assert_eq!(s.width_cap(), 2);
+    for st in s.stage_stats().iter().filter(|st| st.farm) {
+        assert_eq!((st.width, st.max_width), (2, 2), "{st:?}");
+    }
+    // the capped graph still serves correctly
+    for k in 0..20 {
+        s.push(arr(k)).unwrap();
+    }
+    let got: Vec<Vec<i64>> = s.drain().iter().map(|a| a.to_vec()).collect();
+    assert_eq!(got, eager_outputs(20));
+
+    // widening past the policy ceiling restores it, never exceeds it
+    s.set_width_cap(16);
+    for st in s.stage_stats().iter().filter(|st| st.farm) {
+        assert_eq!(st.max_width, 4, "{st:?}");
+    }
+    // a zero cap clamps to one replica instead of wedging the graph
+    s.set_width_cap(0);
+    for st in s.stage_stats().iter().filter(|st| st.farm) {
+        assert_eq!(st.max_width, 1, "{st:?}");
+    }
+}
+
+#[test]
+fn width_cap_respects_adaptive_control() {
+    // adaptive farms start at width 1; an external cap must not force
+    // replicas active, only bound the controller's headroom
+    let mut s = StreamExec::new(
+        mixed_plan(),
+        StreamPolicy::new(unit_machine(4)).with_exec(ExecPolicy::Threads(4)),
+    );
+    s.set_width_cap(3);
+    for st in s.stage_stats().iter().filter(|st| st.farm) {
+        assert_eq!((st.width, st.max_width), (1, 3), "{st:?}");
+    }
+}
+
+#[test]
+fn fused_charging_matches_run_fused_reports() {
+    // two fused compute stages around a barrier: under fused charging the
+    // per-item reports must equal solo `run_fused` calls (one summed
+    // "fused" event per part per segment), not solo eager runs
+    let plan = || {
+        Skel::map_costed(|x: &i64| (x + 1, Work::flops(2)))
+            .then(Skel::imap_costed(|i, x: &i64| {
+                (x * 3, Work::cmps(i as u64 + 1))
+            }))
+            .then(Skel::rotate(1))
+            .then(Skel::map_costed(|x: &i64| (x - 5, Work::moves(1))))
+    };
+    for exec in [ExecPolicy::Sequential, ExecPolicy::Threads(3)] {
+        let mut s = StreamExec::new(
+            plan(),
+            StreamPolicy::new(unit_machine(4))
+                .with_exec(exec)
+                .with_fused_charging(true),
+        );
+        for k in 0..12 {
+            s.push(arr(k)).unwrap();
+        }
+        let streamed = s.drain_with_reports();
+        assert_eq!(streamed.len(), 12);
+
+        let solo = plan();
+        let mut scl = Scl::new(unit_machine(4));
+        for (k, (out, report)) in streamed.into_iter().enumerate() {
+            scl.reset();
+            let expect = scl.run_fused(&solo, arr(k as i64)).unwrap();
+            assert_eq!(out, expect, "item {k} ({exec:?})");
+            assert_eq!(report, scl.machine.report(), "item {k} ({exec:?})");
+        }
+    }
+}
+
+#[test]
 fn stateful_barriers_see_items_in_stream_order() {
     // a barrier that folds a running count into each item: only correct
     // if the pump feeds it in stream order

@@ -18,17 +18,25 @@
 //! * [`stream`] (`scl-stream`) — the streaming runtime: compile a plan
 //!   into a persistent pipeline/farm operator graph and serve unbounded
 //!   input through it with backpressure and autonomic farm widths.
+//! * [`serve`] (`scl-serve`) — the multi-tenant plan service: a
+//!   fingerprint-keyed plan cache over compiled stream graphs, a shard
+//!   scheduler splitting one host thread budget into weighted fair
+//!   tenant shares, and request batching — shared infrastructure with
+//!   per-request machine accounting.
 //! * [`apps`] (`scl-apps`) — Gauss–Jordan, hyperquicksort (nested and
 //!   flattened), PSRS, Cannon, Jacobi, histogram (batch and streaming).
 //!
 //! See `examples/quickstart.rs` for a guided tour, `examples/streaming.rs`
-//! for the streaming runtime, and the `scl-bench` crate for the binaries
-//! regenerating the paper's Table 1 and Figure 3.
+//! for the streaming runtime, `examples/serving.rs` for the multi-tenant
+//! service, and the `scl-bench` crate for the binaries regenerating the
+//! paper's Table 1 and Figure 3. `docs/ARCHITECTURE.md` maps the paper's
+//! sections onto this crate graph, with the life of a request end to end.
 
 pub use scl_apps as apps;
 pub use scl_core as core;
 pub use scl_exec as exec;
 pub use scl_machine as machine;
+pub use scl_serve as serve;
 pub use scl_stream as stream;
 pub use scl_transform as transform;
 
@@ -36,6 +44,7 @@ pub use scl_transform as transform;
 pub mod prelude {
     pub use scl_core::prelude::*;
     pub use scl_core::Skel;
+    pub use scl_serve::{Serve, ServePolicy};
     pub use scl_stream::{StreamExec, StreamPolicy};
     pub use scl_transform::prelude::{
         estimate, eval, optimize, optimize_costed, CostParams, Expr, FnRef, IdxRef, Registry, Value,
