@@ -1,0 +1,225 @@
+//! Closed-loop SLA benchmark for the TCP front door, emitted as
+//! `BENCH_sla.json`.
+//!
+//! ```text
+//! cargo run --release -p scl-bench --bin sla [duration_ms] [flood_threads]
+//! ```
+//!
+//! Two tenants share one `scl-net` server over loopback:
+//!
+//! * **gold** — a paying tenant with a `p99 < 50ms` latency contract,
+//!   driven by 2 closed-loop clients at a measured pace.
+//! * **flood** — a best-effort tenant with no contract, driven by N
+//!   closed-loop clients as fast as the socket allows, deliberately
+//!   overloading a capacity-4 admission queue under shed-oldest.
+//!
+//! The question the bench answers: does load shedding plus the autonomic
+//! manager (weight boost, batch-window shrink) keep the *admitted*
+//! gold requests inside their contract while the flood is shed — and is
+//! the shedding reported honestly? Latency quantiles are computed
+//! client-side over every completed request (not a sliding window), and
+//! the JSON records shed/rejected counts next to the quantiles so a
+//! flattering p99 can never hide a brutal shed rate.
+
+use scl_net::{Mode, NetClient, NetConfig, NetServer, ShedPolicy, SloContract, TenantSpec};
+use std::time::{Duration, Instant};
+
+const GOLD: u32 = 0;
+const FLOOD: u32 = 1;
+const SLO_MS: f64 = 50.0;
+
+/// One closed-loop client's tally.
+#[derive(Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    shed: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+fn drive(addr: std::net::SocketAddr, tenant: u32, source: &str, deadline: Instant) -> Tally {
+    let mut c = NetClient::connect(addr).expect("connect");
+    let payload: Vec<i64> = (0..8).collect();
+    let mut t = Tally::default();
+    while Instant::now() < deadline {
+        let t0 = Instant::now();
+        match c.submit_source(tenant, Mode::Plain, source, "", &payload) {
+            Ok(_) => t.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+            Err(scl_net::ClientError::Server { code, .. }) => match code {
+                scl_net::ErrorCode::Shed => t.shed += 1,
+                scl_net::ErrorCode::QueueFull | scl_net::ErrorCode::Draining => t.rejected += 1,
+                _ => t.errors += 1,
+            },
+            Err(_) => {
+                t.errors += 1;
+                break; // transport gone; this client is done
+            }
+        }
+    }
+    t
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct TenantRow {
+    name: &'static str,
+    completed: u64,
+    shed: u64,
+    rejected: u64,
+    errors: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput_rps: f64,
+}
+
+fn merge(name: &'static str, tallies: Vec<Tally>, secs: f64) -> TenantRow {
+    let mut lats: Vec<f64> = Vec::new();
+    let (mut shed, mut rejected, mut errors) = (0, 0, 0);
+    for t in tallies {
+        lats.extend(t.latencies_ms);
+        shed += t.shed;
+        rejected += t.rejected;
+        errors += t.errors;
+    }
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    TenantRow {
+        name,
+        completed: lats.len() as u64,
+        shed,
+        rejected,
+        errors,
+        p50_ms: quantile(&lats, 0.50),
+        p99_ms: quantile(&lats, 0.99),
+        throughput_rps: lats.len() as f64 / secs,
+    }
+}
+
+fn main() {
+    let duration_ms: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+    let flood_threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let gold_threads = 2usize;
+
+    let server = NetServer::start(NetConfig {
+        procs: 8,
+        queue_capacity: 4,
+        shed: ShedPolicy::ShedOldest,
+        tenants: vec![
+            TenantSpec::new("gold")
+                .with_weight(4)
+                .with_slo(SloContract::parse(&format!("p99<{SLO_MS}ms")).unwrap()),
+            TenantSpec::new("flood"),
+        ],
+        manager_tick: Duration::from_millis(25),
+        ..NetConfig::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr();
+
+    let deadline = Instant::now() + Duration::from_millis(duration_ms);
+    let t0 = Instant::now();
+    let gold_handles: Vec<_> = (0..gold_threads)
+        .map(|_| std::thread::spawn(move || drive(addr, GOLD, "map(inc) . scan(add)", deadline)))
+        .collect();
+    // the flood runs a heavier plan so overload is about service time,
+    // not just socket churn
+    let flood_handles: Vec<_> = (0..flood_threads)
+        .map(|_| std::thread::spawn(move || drive(addr, FLOOD, "map(heavy) . rotate(1)", deadline)))
+        .collect();
+
+    let gold_tallies: Vec<Tally> = gold_handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+    let flood_tallies: Vec<Tally> = flood_handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+    let secs = t0.elapsed().as_secs_f64();
+
+    let stats = server.stats_json();
+    server.shutdown();
+
+    let gold = merge("gold", gold_tallies, secs);
+    let flood = merge("flood", flood_tallies, secs);
+    let rows = [&gold, &flood];
+
+    // action-log entries are the only bare strings at this indent in the
+    // stats JSON (tenant rows are objects)
+    let manager_actions = stats.matches("\n    \"").count();
+    let slo_met = gold.completed > 0 && gold.p99_ms <= SLO_MS;
+    let offered = |r: &TenantRow| r.completed + r.shed + r.rejected + r.errors;
+    let shed_rate = |r: &TenantRow| (r.shed + r.rejected) as f64 / (offered(r) as f64).max(1.0);
+
+    println!(
+        "SLA bench: {}ms closed loop, {} gold + {} flood clients, queue cap 4, shed-oldest",
+        duration_ms, gold_threads, flood_threads
+    );
+    println!();
+    println!(
+        "{:<8} {:>10} {:>8} {:>9} {:>8} {:>9} {:>9} {:>10}",
+        "tenant", "completed", "shed", "rejected", "errors", "p50 ms", "p99 ms", "rps"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>10} {:>8} {:>9} {:>8} {:>9.3} {:>9.3} {:>10.1}",
+            r.name, r.completed, r.shed, r.rejected, r.errors, r.p50_ms, r.p99_ms, r.throughput_rps
+        );
+    }
+    println!();
+    println!(
+        "gold contract p99 < {SLO_MS}ms over admitted requests: {} (p99 = {:.3}ms, {:.1}% of gold offers shed/rejected)",
+        if slo_met { "MET" } else { "MISSED" },
+        gold.p99_ms,
+        100.0 * shed_rate(&gold),
+    );
+    println!(
+        "flood absorbed the overload: {:.1}% of its offers shed/rejected",
+        100.0 * shed_rate(&flood)
+    );
+
+    // ---- BENCH_sla.json ---------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"sla_closed_loop\",\n");
+    json.push_str(&format!("  \"duration_ms\": {duration_ms},\n"));
+    json.push_str(&format!("  \"gold_threads\": {gold_threads},\n"));
+    json.push_str(&format!("  \"flood_threads\": {flood_threads},\n"));
+    json.push_str("  \"queue_capacity\": 4,\n");
+    json.push_str("  \"shed_policy\": \"shed_oldest\",\n");
+    json.push_str(&format!("  \"slo_p99_ms\": {SLO_MS},\n"));
+    json.push_str(&format!("  \"slo_met\": {slo_met},\n"));
+    json.push_str(&format!("  \"manager_actions\": {manager_actions},\n"));
+    json.push_str("  \"tenants\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tenant\": \"{}\", \"completed\": {}, \"shed\": {}, \"rejected\": {}, \
+             \"errors\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"throughput_rps\": {:.2}, \"shed_rate\": {:.4}}}{}\n",
+            r.name,
+            r.completed,
+            r.shed,
+            r.rejected,
+            r.errors,
+            r.p50_ms,
+            r.p99_ms,
+            r.throughput_rps,
+            shed_rate(r),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sla.json", &json).expect("write BENCH_sla.json");
+    println!();
+    println!("wrote BENCH_sla.json");
+}

@@ -142,6 +142,7 @@ pub mod partition;
 pub mod plan;
 pub mod seq;
 pub mod skeletons;
+pub mod wire;
 
 pub use array::{GridShape, ParArray};
 pub use bytes::Bytes;
@@ -156,6 +157,7 @@ pub use partition::{block_ranges, gather, gather2, owner_1d, Pattern};
 pub use plan::Skel;
 pub use seq::Matrix;
 pub use skeletons::{GlobalOp, LocalOp, PipeStageFn, SpmdStage};
+pub use wire::{FrameHeader, WireError, WireReader, WireWriter};
 
 /// Everything a skeleton program usually needs.
 pub mod prelude {

@@ -1,0 +1,454 @@
+//! Length-prefixed binary framing for skeleton payloads on a real wire.
+//!
+//! The simulated machine accounts for bytes through [`crate::bytes::Bytes`];
+//! this module is its host-side twin: when a plan service grows a TCP front
+//! door (`scl-net`), request and reply payloads must actually be encoded.
+//! Everything here is buffer-based — no sockets, no I/O — so the codec can
+//! be property-tested in isolation and reused by any transport (TCP today,
+//! the process backend on the roadmap tomorrow).
+//!
+//! Three pieces:
+//!
+//! * [`WireWriter`] / [`WireReader`] — primitive little-endian
+//!   encode/decode with typed, position-carrying errors ([`WireError`]).
+//!   Readers never panic on malformed input: every getter bounds-checks
+//!   and truncated input is an `Err`, not an out-of-bounds slice.
+//! * [`FrameHeader`] — the versioned frame header every `scl-net` message
+//!   starts with: magic, version, a kind byte, and a `u32` body length
+//!   bounded by [`MAX_FRAME_LEN`] (an oversized prefix is rejected
+//!   *before* any allocation, so a hostile length cannot balloon memory).
+//! * payload helpers — `Vec<i64>` array payloads, strings, and
+//!   [`Bytes`]-sized sanity checks shared by both
+//!   directions.
+
+use crate::bytes::Bytes;
+
+/// Frame magic: `b"SC"` — two bytes so an HTTP request or TLS hello
+/// aimed at the wrong port fails fast with [`WireError::BadMagic`].
+pub const MAGIC: [u8; 2] = *b"SC";
+
+/// Current protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+
+/// Encoded size of a [`FrameHeader`] on the wire.
+pub const HEADER_LEN: usize = 8;
+
+/// Hard ceiling on a frame body's length. A length prefix above this is a
+/// protocol error ([`WireError::Oversize`]) — the reader must not trust a
+/// 4 GiB prefix enough to allocate for it.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// A typed decode error. Carries enough context that a server can turn it
+/// into a protocol-level error reply and a test can assert on the exact
+/// failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value did: `needed` more bytes at `at`.
+    Truncated {
+        /// Byte offset the read started at.
+        at: usize,
+        /// Bytes the value still needed.
+        needed: usize,
+    },
+    /// A length prefix exceeded its bound.
+    Oversize {
+        /// The length the prefix claimed.
+        len: usize,
+        /// The maximum the decoder accepts.
+        max: usize,
+    },
+    /// The frame did not start with [`MAGIC`].
+    BadMagic,
+    /// The frame's version byte is not one this decoder speaks.
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A structurally valid but semantically impossible field.
+    Invalid(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { at, needed } => {
+                write!(f, "truncated input: needed {needed} more bytes at {at}")
+            }
+            WireError::Oversize { len, max } => {
+                write!(f, "length prefix {len} exceeds the {max}-byte bound")
+            }
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion { got } => write!(f, "unsupported frame version {got}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::Invalid(msg) => write!(f, "invalid field: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The versioned header that starts every frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version ([`VERSION`] for frames this build emits).
+    pub version: u8,
+    /// Message kind byte — meaning is the transport layer's business.
+    pub kind: u8,
+    /// Body length in bytes, at most [`MAX_FRAME_LEN`].
+    pub len: usize,
+}
+
+impl FrameHeader {
+    /// Encode into the fixed [`HEADER_LEN`] wire form:
+    /// `magic(2) | version(1) | kind(1) | len(4, LE)`.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[..2].copy_from_slice(&MAGIC);
+        out[2] = self.version;
+        out[3] = self.kind;
+        out[4..8].copy_from_slice(&(self.len as u32).to_le_bytes());
+        out
+    }
+
+    /// Decode and validate a header: magic, version, and the body-length
+    /// bound are all checked here, so a caller that sees `Ok` may safely
+    /// allocate `len` bytes for the body.
+    pub fn decode(buf: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError> {
+        if buf[..2] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = buf[2];
+        if version != VERSION {
+            return Err(WireError::BadVersion { got: version });
+        }
+        let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversize {
+                len,
+                max: MAX_FRAME_LEN,
+            });
+        }
+        Ok(FrameHeader {
+            version,
+            kind: buf[3],
+            len,
+        })
+    }
+}
+
+/// Append-only primitive encoder over a growable buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (little-endian), so a
+    /// round trip is bit-exact — the differential suites compare reports
+    /// bit-for-bit and the codec must not launder NaNs or signed zeros.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a `u32`-count-prefixed `i64` array payload — the wire form
+    /// of one `ParArray<i64>` configuration (one scalar per partition).
+    /// The encoded size is exactly `4 + values.bytes()`.
+    pub fn put_i64s(&mut self, values: &[i64]) {
+        debug_assert_eq!(values.bytes(), values.len() * 8);
+        self.put_u32(values.len() as u32);
+        for v in values {
+            self.put_i64(*v);
+        }
+    }
+}
+
+/// Bounds-checked primitive decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset (for error context).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Fail unless the whole buffer was consumed — trailing bytes after a
+    /// complete message are a protocol error, not padding.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Invalid(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                at: self.pos,
+                needed: n - self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `f64` from its bit pattern (the inverse of
+    /// [`WireWriter::put_f64`], bit-exact).
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string, bounded by `max` bytes.
+    pub fn get_str(&mut self, max: usize) -> Result<String, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > max {
+            return Err(WireError::Oversize { len, max });
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read a `u32`-count-prefixed `i64` array payload, bounded by
+    /// `max_elems` elements (the inverse of [`WireWriter::put_i64s`]).
+    /// The count is validated against both the bound and the bytes
+    /// actually present before anything is allocated.
+    pub fn get_i64s(&mut self, max_elems: usize) -> Result<Vec<i64>, WireError> {
+        let n = self.get_u32()? as usize;
+        if n > max_elems {
+            return Err(WireError::Oversize {
+                len: n,
+                max: max_elems,
+            });
+        }
+        if self.remaining() < n * 8 {
+            return Err(WireError::Truncated {
+                at: self.pos,
+                needed: n * 8 - self.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_i64()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(i64::MIN);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("héllo");
+        w.put_i64s(&[1, -2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64().unwrap(), i64::MIN);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_str(64).unwrap(), "héllo");
+        assert_eq!(r.get_i64s(8).unwrap(), vec![1, -2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = WireWriter::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert!(matches!(r.get_u64(), Err(WireError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn string_and_array_bounds_are_enforced() {
+        let mut w = WireWriter::new();
+        w.put_str("abcdef");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.get_str(3), Err(WireError::Oversize { .. })));
+
+        let mut w = WireWriter::new();
+        w.put_i64s(&[1, 2, 3, 4]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.get_i64s(2), Err(WireError::Oversize { .. })));
+
+        // a count prefix larger than the actual bytes is truncation, and
+        // must be detected before the Vec allocation
+        let mut w = WireWriter::new();
+        w.put_u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.get_i64s(usize::MAX),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_is_typed() {
+        let mut w = WireWriter::new();
+        w.put_u32(2);
+        w.put_u8(0xFF);
+        w.put_u8(0xFE);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_str(16), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn header_round_trip_and_validation() {
+        let h = FrameHeader {
+            version: VERSION,
+            kind: 0x42,
+            len: 12345,
+        };
+        assert_eq!(FrameHeader::decode(&h.encode()).unwrap(), h);
+
+        let mut bad = h.encode();
+        bad[0] = b'X';
+        assert_eq!(FrameHeader::decode(&bad), Err(WireError::BadMagic));
+
+        let mut bad = h.encode();
+        bad[2] = 99;
+        assert_eq!(
+            FrameHeader::decode(&bad),
+            Err(WireError::BadVersion { got: 99 })
+        );
+
+        let mut bad = h.encode();
+        bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            FrameHeader::decode(&bad),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let mut w = WireWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        r.get_u8().unwrap();
+        assert!(matches!(r.finish(), Err(WireError::Invalid(_))));
+    }
+}

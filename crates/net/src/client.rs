@@ -1,0 +1,172 @@
+//! A blocking client for the scl-net protocol: one in-flight request
+//! per connection (open more connections to pipeline).
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use scl_core::wire::{self, WireError};
+use scl_core::FrameHeader;
+use scl_machine::MachineReport;
+
+use crate::frame::{ErrorCode, Mode, Reply, Request};
+
+/// What a submission can fail with, client-side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or unexpected close).
+    Io(std::io::Error),
+    /// The reply frame didn't decode.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Server {
+        /// The typed code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server sent a reply kind this call didn't expect.
+    UnexpectedReply,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Wire(e) => write!(f, "bad reply frame: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::UnexpectedReply => write!(f, "unexpected reply kind"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// A successful submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetResult {
+    /// Stable plan handle — resubmit with
+    /// [`NetClient::submit_handle`] to skip shipping the source.
+    pub handle: u64,
+    /// Output, one `i64` per partition.
+    pub output: Vec<i64>,
+    /// This request's private machine accounting, bit-exact with an
+    /// in-process run.
+    pub report: MachineReport,
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct NetClient {
+    stream: TcpStream,
+}
+
+impl NetClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream })
+    }
+
+    /// Send one request frame and read one reply frame.
+    pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        self.stream.write_all(&req.encode())?;
+        self.stream.flush()?;
+        let mut header = [0u8; wire::HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let h = FrameHeader::decode(&header)?;
+        let mut body = vec![0u8; h.len];
+        self.stream.read_exact(&mut body)?;
+        Ok(Reply::decode(h.kind, &body)?)
+    }
+
+    fn expect_result(reply: Reply) -> Result<NetResult, ClientError> {
+        match reply {
+            Reply::Result {
+                handle,
+                payload,
+                report,
+            } => Ok(NetResult {
+                handle,
+                output: payload,
+                report,
+            }),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Submit plan source for server-side compilation and execution.
+    pub fn submit_source(
+        &mut self,
+        tenant: u32,
+        mode: Mode,
+        source: &str,
+        key: &str,
+        payload: &[i64],
+    ) -> Result<NetResult, ClientError> {
+        let reply = self.call(&Request::SubmitSource {
+            tenant,
+            mode,
+            source: source.to_string(),
+            key: key.to_string(),
+            payload: payload.to_vec(),
+        })?;
+        Self::expect_result(reply)
+    }
+
+    /// Submit by plan handle (from an earlier result's `handle`).
+    pub fn submit_handle(
+        &mut self,
+        tenant: u32,
+        handle: u64,
+        payload: &[i64],
+    ) -> Result<NetResult, ClientError> {
+        let reply = self.call(&Request::SubmitHandle {
+            tenant,
+            handle,
+            payload: payload.to_vec(),
+        })?;
+        Self::expect_result(reply)
+    }
+
+    /// Fetch the metrics snapshot (JSON).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Reply::Stats(json) => Ok(json),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Ask the server to begin a graceful drain.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Drain)? {
+            Reply::Draining => Ok(()),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Protocol v1 messages over the [`scl_core::wire`] frame codec.
+//!
+//! Every message on the wire is one frame: the 8-byte
+//! [`FrameHeader`] (`magic "SC" | version | kind |
+//! body length, u32 LE`) followed by `len` body bytes. Request kinds sit
+//! below `0x80`, reply kinds at or above it, so a stream of frames is
+//! self-describing in either direction.
+//!
+//! | kind | direction | body |
+//! |---|---|---|
+//! | `0x01 SUBMIT_SOURCE` | → | tenant u32, mode u8, source str, key str, payload i64s |
+//! | `0x02 SUBMIT_HANDLE` | → | tenant u32, handle u64, payload i64s |
+//! | `0x03 STATS` | → | empty |
+//! | `0x04 PING` | → | empty |
+//! | `0x05 DRAIN` | → | empty |
+//! | `0x81 RESULT` | ← | handle u64, payload i64s, machine report (16 × u64) |
+//! | `0x82 ERROR` | ← | code u16, message str |
+//! | `0x83 STATS_OK` | ← | JSON str |
+//! | `0x84 PONG` | ← | empty |
+//! | `0x85 DRAINING` | ← | empty |
+//!
+//! `str` is a u32-length-prefixed UTF-8 string, `i64s` a
+//! u32-count-prefixed run of little-endian `i64`s — the
+//! [`WireWriter`]/[`WireReader`] primitives. The machine report is encoded
+//! **bit-exactly** (`f64::to_bits` for makespan and imbalance), which is
+//! what lets the `net_vs_inproc` differential suite demand bit-for-bit
+//! equality between a reply and an in-process [`scl_serve::Serve::submit`].
+
+use scl_core::wire::{self, VERSION};
+use scl_core::{FrameHeader, WireError, WireReader, WireWriter};
+use scl_machine::{MachineReport, Metrics, Time};
+
+/// Request frame kinds (client → server).
+pub mod kind {
+    /// Submit plan **source text** for server-side compilation.
+    pub const SUBMIT_SOURCE: u8 = 0x01;
+    /// Submit by a plan **handle** returned in an earlier [`RESULT`].
+    pub const SUBMIT_HANDLE: u8 = 0x02;
+    /// Ask for the service's metrics snapshot (JSON).
+    pub const STATS: u8 = 0x03;
+    /// Liveness probe.
+    pub const PING: u8 = 0x04;
+    /// Begin a graceful drain: queued work finishes, new work is refused.
+    pub const DRAIN: u8 = 0x05;
+    /// Successful submission reply: handle, output, machine report.
+    pub const RESULT: u8 = 0x81;
+    /// Typed error reply: [`ErrorCode`](super::ErrorCode) + message.
+    pub const ERROR: u8 = 0x82;
+    /// Stats reply carrying a JSON document.
+    pub const STATS_OK: u8 = 0x83;
+    /// Ping reply.
+    pub const PONG: u8 = 0x84;
+    /// Drain acknowledged.
+    pub const DRAINING: u8 = 0x85;
+}
+
+/// Longest accepted plan source text, bytes.
+pub const MAX_SOURCE_LEN: usize = 64 * 1024;
+/// Longest accepted cache key, bytes.
+pub const MAX_KEY_LEN: usize = 1024;
+/// Largest accepted payload, `i64` elements per request.
+pub const MAX_PAYLOAD_ELEMS: usize = 1 << 20;
+
+/// Submission mode: plain compile-and-cache, or the optimize-then-execute
+/// pipeline (`Serve::submit_optimized`, the cached twin of
+/// `Scl::run_optimized`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Compile the parsed plan as written.
+    Plain,
+    /// Lower → §4 rewrite laws → raise → compile.
+    Optimized,
+}
+
+impl Mode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Mode::Plain => 0,
+            Mode::Optimized => 1,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Mode, WireError> {
+        match b {
+            0 => Ok(Mode::Plain),
+            1 => Ok(Mode::Optimized),
+            other => Err(WireError::Invalid(format!("unknown mode byte {other}"))),
+        }
+    }
+}
+
+/// Typed error codes carried in `ERROR` replies (`u16` on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame body didn't decode (truncation, trailing bytes, bad
+    /// strings). The connection stays usable: the frame was length-framed.
+    BadFrame = 1,
+    /// Frame header carried a protocol version this server doesn't speak.
+    UnsupportedVersion = 2,
+    /// Request kind byte the server doesn't recognise.
+    UnknownKind = 3,
+    /// Tenant id outside the configured tenant table.
+    UnknownTenant = 4,
+    /// `SUBMIT_HANDLE` named a handle this server never issued (or has
+    /// forgotten across a restart) — resubmit by source.
+    UnknownPlan = 5,
+    /// The plan source failed to parse (`scl_transform::parse`).
+    ParseError = 6,
+    /// The tenant's token bucket is empty — retry later.
+    RateLimited = 7,
+    /// Admission queue full under the reject-new shedding policy.
+    QueueFull = 8,
+    /// This request was admitted but then shed (oldest-first) to make
+    /// room under overload.
+    Shed = 9,
+    /// The server is draining and accepts no new work.
+    Draining = 10,
+    /// Payload spans more parts than the service machine has processors.
+    MachineTooSmall = 11,
+    /// The parsed program is outside the servable plan fragment, or the
+    /// payload was empty.
+    PlanRejected = 12,
+    /// A declared length exceeded a protocol bound.
+    Oversize = 13,
+}
+
+impl ErrorCode {
+    /// Decode the `u16` wire value.
+    pub fn from_u16(v: u16) -> Result<ErrorCode, WireError> {
+        Ok(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownKind,
+            4 => ErrorCode::UnknownTenant,
+            5 => ErrorCode::UnknownPlan,
+            6 => ErrorCode::ParseError,
+            7 => ErrorCode::RateLimited,
+            8 => ErrorCode::QueueFull,
+            9 => ErrorCode::Shed,
+            10 => ErrorCode::Draining,
+            11 => ErrorCode::MachineTooSmall,
+            12 => ErrorCode::PlanRejected,
+            13 => ErrorCode::Oversize,
+            other => return Err(WireError::Invalid(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit plan source for compilation and execution.
+    SubmitSource {
+        /// Tenant index into the server's configured tenant table.
+        tenant: u32,
+        /// Plain or optimize-then-execute.
+        mode: Mode,
+        /// Plan source in the `scl-transform` grammar.
+        source: String,
+        /// Caller cache key separating structural twins.
+        key: String,
+        /// One `i64` per partition.
+        payload: Vec<i64>,
+    },
+    /// Submit by handle (skips shipping and re-registering the source).
+    SubmitHandle {
+        /// Tenant index.
+        tenant: u32,
+        /// Handle from an earlier [`Reply::Result`].
+        handle: u64,
+        /// One `i64` per partition.
+        payload: Vec<i64>,
+    },
+    /// Metrics snapshot request.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin a graceful drain.
+    Drain,
+}
+
+/// A decoded reply frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Successful submission.
+    Result {
+        /// Stable handle for the compiled plan — resubmit with
+        /// [`Request::SubmitHandle`] to skip the source bytes.
+        handle: u64,
+        /// Output array, one `i64` per partition.
+        payload: Vec<i64>,
+        /// This request's private machine accounting, bit-exact.
+        report: MachineReport,
+    },
+    /// Typed failure.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Metrics snapshot (JSON document).
+    Stats(String),
+    /// Ping reply.
+    Pong,
+    /// Drain acknowledged.
+    Draining,
+}
+
+fn frame(kind: u8, body: Vec<u8>) -> Vec<u8> {
+    let header = FrameHeader {
+        version: VERSION,
+        kind,
+        len: body.len(),
+    }
+    .encode();
+    let mut out = Vec::with_capacity(header.len() + body.len());
+    out.extend_from_slice(&header);
+    out.extend_from_slice(&body);
+    out
+}
+
+impl Request {
+    /// Encode into a complete frame (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        let kind = match self {
+            Request::SubmitSource {
+                tenant,
+                mode,
+                source,
+                key,
+                payload,
+            } => {
+                w.put_u32(*tenant);
+                w.put_u8(mode.to_u8());
+                w.put_str(source);
+                w.put_str(key);
+                w.put_i64s(payload);
+                kind::SUBMIT_SOURCE
+            }
+            Request::SubmitHandle {
+                tenant,
+                handle,
+                payload,
+            } => {
+                w.put_u32(*tenant);
+                w.put_u64(*handle);
+                w.put_i64s(payload);
+                kind::SUBMIT_HANDLE
+            }
+            Request::Stats => kind::STATS,
+            Request::Ping => kind::PING,
+            Request::Drain => kind::DRAIN,
+        };
+        frame(kind, w.into_bytes())
+    }
+
+    /// Decode a request body for a validated header. Rejects unknown
+    /// kinds, truncated bodies, oversize declared lengths, and trailing
+    /// bytes.
+    pub fn decode(kind_byte: u8, body: &[u8]) -> Result<Request, WireError> {
+        let mut r = WireReader::new(body);
+        let req = match kind_byte {
+            kind::SUBMIT_SOURCE => {
+                let tenant = r.get_u32()?;
+                let mode = Mode::from_u8(r.get_u8()?)?;
+                let source = r.get_str(MAX_SOURCE_LEN)?;
+                let key = r.get_str(MAX_KEY_LEN)?;
+                let payload = r.get_i64s(MAX_PAYLOAD_ELEMS)?;
+                Request::SubmitSource {
+                    tenant,
+                    mode,
+                    source,
+                    key,
+                    payload,
+                }
+            }
+            kind::SUBMIT_HANDLE => {
+                let tenant = r.get_u32()?;
+                let handle = r.get_u64()?;
+                let payload = r.get_i64s(MAX_PAYLOAD_ELEMS)?;
+                Request::SubmitHandle {
+                    tenant,
+                    handle,
+                    payload,
+                }
+            }
+            kind::STATS => Request::Stats,
+            kind::PING => Request::Ping,
+            kind::DRAIN => Request::Drain,
+            other => {
+                return Err(WireError::Invalid(format!(
+                    "unknown request kind {other:#04x}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Encode into a complete frame (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        let kind = match self {
+            Reply::Result {
+                handle,
+                payload,
+                report,
+            } => {
+                w.put_u64(*handle);
+                w.put_i64s(payload);
+                put_report(&mut w, report);
+                kind::RESULT
+            }
+            Reply::Error { code, message } => {
+                w.put_u16(*code as u16);
+                w.put_str(message);
+                kind::ERROR
+            }
+            Reply::Stats(json) => {
+                w.put_str(json);
+                kind::STATS_OK
+            }
+            Reply::Pong => kind::PONG,
+            Reply::Draining => kind::DRAINING,
+        };
+        frame(kind, w.into_bytes())
+    }
+
+    /// Decode a reply body for a validated header.
+    pub fn decode(kind_byte: u8, body: &[u8]) -> Result<Reply, WireError> {
+        let mut r = WireReader::new(body);
+        let reply = match kind_byte {
+            kind::RESULT => {
+                let handle = r.get_u64()?;
+                let payload = r.get_i64s(MAX_PAYLOAD_ELEMS)?;
+                let report = get_report(&mut r)?;
+                Reply::Result {
+                    handle,
+                    payload,
+                    report,
+                }
+            }
+            kind::ERROR => {
+                let code = ErrorCode::from_u16(r.get_u16()?)?;
+                let message = r.get_str(MAX_SOURCE_LEN)?;
+                Reply::Error { code, message }
+            }
+            kind::STATS_OK => Reply::Stats(r.get_str(wire::MAX_FRAME_LEN)?),
+            kind::PONG => Reply::Pong,
+            kind::DRAINING => Reply::Draining,
+            other => {
+                return Err(WireError::Invalid(format!(
+                    "unknown reply kind {other:#04x}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
+/// Encode a [`MachineReport`] bit-exactly: procs, makespan bits,
+/// imbalance bits, then the 13 operation counters in declaration order.
+fn put_report(w: &mut WireWriter, rep: &MachineReport) {
+    w.put_u64(rep.procs as u64);
+    w.put_f64(rep.makespan.0);
+    w.put_f64(rep.imbalance);
+    let m = &rep.metrics;
+    for v in [
+        m.messages,
+        m.bytes,
+        m.barriers,
+        m.group_barriers,
+        m.broadcasts,
+        m.reductions,
+        m.scans,
+        m.gathers,
+        m.exchanges,
+        m.compute_steps,
+        m.flops,
+        m.cmps,
+        m.moves,
+    ] {
+        w.put_u64(v);
+    }
+}
+
+/// Decode the [`put_report`] encoding.
+fn get_report(r: &mut WireReader) -> Result<MachineReport, WireError> {
+    let procs = r.get_u64()? as usize;
+    let makespan = Time(r.get_f64()?);
+    let imbalance = r.get_f64()?;
+    let mut m = Metrics::new();
+    for field in [
+        &mut m.messages,
+        &mut m.bytes,
+        &mut m.barriers,
+        &mut m.group_barriers,
+        &mut m.broadcasts,
+        &mut m.reductions,
+        &mut m.scans,
+        &mut m.gathers,
+        &mut m.exchanges,
+        &mut m.compute_steps,
+        &mut m.flops,
+        &mut m.cmps,
+        &mut m.moves,
+    ] {
+        *field = r.get_u64()?;
+    }
+    Ok(MachineReport {
+        procs,
+        makespan,
+        imbalance,
+        metrics: m,
+    })
+}
+
+/// The stable handle for a compiled plan: FNV-1a over the submission mode,
+/// cache key, and source text. Deterministic across servers, so a client
+/// may precompute it; the server still refuses handles it hasn't seen
+/// ([`ErrorCode::UnknownPlan`]) because only a registered handle proves
+/// the server holds the source to rebuild from.
+pub fn plan_handle(mode: Mode, key: &str, source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    step(mode.to_u8());
+    step(0xfe);
+    for b in key.bytes() {
+        step(b);
+    }
+    step(0xff);
+    for b in source.bytes() {
+        step(b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = req.encode();
+        let mut header = [0u8; wire::HEADER_LEN];
+        header.copy_from_slice(&bytes[..wire::HEADER_LEN]);
+        let h = FrameHeader::decode(&header).unwrap();
+        assert_eq!(h.len, bytes.len() - wire::HEADER_LEN);
+        let got = Request::decode(h.kind, &bytes[wire::HEADER_LEN..]).unwrap();
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::SubmitSource {
+            tenant: 3,
+            mode: Mode::Optimized,
+            source: "map(inc) . rotate(1)".into(),
+            key: "k".into(),
+            payload: vec![i64::MIN, -1, 0, 7, i64::MAX],
+        });
+        roundtrip_request(Request::SubmitHandle {
+            tenant: 0,
+            handle: u64::MAX,
+            payload: vec![42],
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Drain);
+    }
+
+    #[test]
+    fn replies_roundtrip_reports_bit_exactly() {
+        let mut m = Metrics::new();
+        m.messages = 7;
+        m.bytes = 1024;
+        m.flops = u64::MAX;
+        let rep = Reply::Result {
+            handle: 9,
+            payload: vec![1, 2, 3],
+            report: MachineReport {
+                procs: 8,
+                makespan: Time(f64::from_bits(0x4009_21fb_5444_2d18)),
+                imbalance: 1.25,
+                metrics: m,
+            },
+        };
+        let bytes = rep.encode();
+        let got = Reply::decode(bytes[3], &bytes[wire::HEADER_LEN..]).unwrap();
+        assert_eq!(got, rep);
+
+        let err = Reply::Error {
+            code: ErrorCode::Shed,
+            message: "overload".into(),
+        };
+        let bytes = err.encode();
+        let got = Reply::decode(bytes[3], &bytes[wire::HEADER_LEN..]).unwrap();
+        assert_eq!(got, err);
+    }
+
+    #[test]
+    fn trailing_bytes_and_unknown_kinds_are_rejected() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&Request::Ping.encode()[wire::HEADER_LEN..]);
+        body.push(0);
+        assert!(Request::decode(kind::PING, &body).is_err(), "trailing byte");
+        assert!(Request::decode(0x7f, &[]).is_err(), "unknown kind");
+        assert!(Reply::decode(0xff, &[]).is_err(), "unknown reply kind");
+    }
+
+    #[test]
+    fn handles_are_stable_and_mode_salted() {
+        let a = plan_handle(Mode::Plain, "k", "map(inc)");
+        assert_eq!(a, plan_handle(Mode::Plain, "k", "map(inc)"));
+        assert_ne!(a, plan_handle(Mode::Optimized, "k", "map(inc)"));
+        assert_ne!(a, plan_handle(Mode::Plain, "k2", "map(inc)"));
+        // key/source boundary is framed, not concatenated
+        assert_ne!(
+            plan_handle(Mode::Plain, "ab", "c"),
+            plan_handle(Mode::Plain, "a", "bc")
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-tenant service metrics: latency quantiles over a sliding sample
+//! window, shed/reject/error counters, throughput, plus a mirror of the
+//! serve-side cache counters — everything the MAPE manager's *monitor*
+//! phase and the wire `STATS` request read.
+//!
+//! The struct is shared behind a mutex: connection threads record
+//! admission-edge events (sheds, rejections), the service thread records
+//! completions and mirrors `ServeStats` after each batch.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Latency samples kept per tenant (a ring: oldest overwritten first).
+pub const LATENCY_WINDOW: usize = 4096;
+/// Manager action-log lines retained.
+pub const ACTION_LOG_CAP: usize = 64;
+
+/// One tenant's counters and latency window.
+#[derive(Debug)]
+pub struct TenantMetrics {
+    /// Tenant display name (from the server config).
+    pub name: String,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests shed from the queue (shed-oldest victims).
+    pub shed: u64,
+    /// Requests refused at admission (queue full, draining).
+    pub rejected: u64,
+    /// Requests refused by the tenant's token bucket.
+    pub rate_limited: u64,
+    /// Requests answered with any other typed error.
+    pub errors: u64,
+    ring: Vec<u64>,
+    next: usize,
+    /// Completions since the last manager tick (throughput sensor).
+    window_completed: u64,
+    window_start: Instant,
+}
+
+impl TenantMetrics {
+    fn new(name: &str) -> TenantMetrics {
+        TenantMetrics {
+            name: name.to_string(),
+            completed: 0,
+            shed: 0,
+            rejected: 0,
+            rate_limited: 0,
+            errors: 0,
+            ring: Vec::with_capacity(LATENCY_WINDOW),
+            next: 0,
+            window_completed: 0,
+            window_start: Instant::now(),
+        }
+    }
+
+    fn record_latency(&mut self, us: u64) {
+        if self.ring.len() < LATENCY_WINDOW {
+            self.ring.push(us);
+        } else {
+            self.ring[self.next] = us;
+        }
+        self.next = (self.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// The `q`-quantile (0.0–1.0) of the latency window, microseconds.
+    /// `None` until a sample exists.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let mut sorted = self.ring.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Median latency, milliseconds.
+    pub fn p50_ms(&self) -> Option<f64> {
+        self.quantile_us(0.50).map(|us| us as f64 / 1000.0)
+    }
+
+    /// 99th-percentile latency, milliseconds.
+    pub fn p99_ms(&self) -> Option<f64> {
+        self.quantile_us(0.99).map(|us| us as f64 / 1000.0)
+    }
+
+    /// Completions per second since the tenant's window was last reset
+    /// (the manager resets it each tick).
+    pub fn window_throughput(&self, now: Instant) -> f64 {
+        let dt = now
+            .saturating_duration_since(self.window_start)
+            .as_secs_f64();
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.window_completed as f64 / dt
+        }
+    }
+}
+
+/// A mirror of the serve-side counters the net layer exposes over the
+/// wire (the service thread owns the real `Serve`; it copies these out
+/// after each batch so connection threads can answer `STATS` without
+/// touching it).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ServeMirror {
+    /// Submissions that reused a cached compiled graph.
+    pub cache_hits: u64,
+    /// Submissions that compiled a new graph.
+    pub cache_misses: u64,
+    /// Compiled graphs evicted (LRU cap or manager memory pressure).
+    pub evictions: u64,
+    /// Compiled graphs currently resident.
+    pub cached_plans: usize,
+    /// Service-round batches pushed.
+    pub batches: u64,
+    /// The service's current batch window (a manager actuator).
+    pub batch_window: usize,
+    /// The service's current farm-width cap (a manager actuator).
+    pub width_cap: usize,
+}
+
+/// The shared metrics registry.
+#[derive(Debug)]
+pub struct NetMetrics {
+    tenants: Vec<TenantMetrics>,
+    /// Queue depth at the last service-thread update.
+    pub queue_depth: usize,
+    /// Serve-side counter mirror.
+    pub serve: ServeMirror,
+    actions: VecDeque<String>,
+    started: Instant,
+}
+
+impl NetMetrics {
+    /// A registry with one slot per configured tenant.
+    pub fn new(tenant_names: &[String]) -> NetMetrics {
+        NetMetrics {
+            tenants: tenant_names.iter().map(|n| TenantMetrics::new(n)).collect(),
+            queue_depth: 0,
+            serve: ServeMirror::default(),
+            actions: VecDeque::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The per-tenant slots, indexed by wire tenant id.
+    pub fn tenants(&self) -> &[TenantMetrics] {
+        &self.tenants
+    }
+
+    /// Mutable access to one tenant's slot.
+    pub fn tenant_mut(&mut self, t: u32) -> &mut TenantMetrics {
+        &mut self.tenants[t as usize]
+    }
+
+    /// Record a completed request and its end-to-end latency.
+    pub fn record_completion(&mut self, t: u32, latency: Duration) {
+        let slot = &mut self.tenants[t as usize];
+        slot.completed += 1;
+        slot.window_completed += 1;
+        slot.record_latency(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Reset every tenant's throughput window (each manager tick).
+    pub fn reset_windows(&mut self, now: Instant) {
+        for t in &mut self.tenants {
+            t.window_completed = 0;
+            t.window_start = now;
+        }
+    }
+
+    /// Append a manager action line (bounded log, oldest dropped).
+    pub fn log_action(&mut self, line: String) {
+        if self.actions.len() >= ACTION_LOG_CAP {
+            self.actions.pop_front();
+        }
+        self.actions.push_back(line);
+    }
+
+    /// The retained manager action lines, oldest first.
+    pub fn actions(&self) -> impl Iterator<Item = &str> {
+        self.actions.iter().map(String::as_str)
+    }
+
+    /// Render the stats snapshot as a JSON document — the `STATS_OK`
+    /// reply body and the shape the `sla` bench archives.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"uptime_secs\": {:.3},\n  \"queue_depth\": {},\n",
+            self.started.elapsed().as_secs_f64(),
+            self.queue_depth
+        ));
+        s.push_str(&format!(
+            "  \"serve\": {{\"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \"cached_plans\": {}, \"batches\": {}, \"batch_window\": {}, \"width_cap\": {}}},\n",
+            self.serve.cache_hits,
+            self.serve.cache_misses,
+            self.serve.evictions,
+            self.serve.cached_plans,
+            self.serve.batches,
+            self.serve.batch_window,
+            self.serve.width_cap,
+        ));
+        s.push_str("  \"tenants\": [\n");
+        for (i, t) in self.tenants.iter().enumerate() {
+            let p50 = t.p50_ms().map_or("null".to_string(), |v| format!("{v:.3}"));
+            let p99 = t.p99_ms().map_or("null".to_string(), |v| format!("{v:.3}"));
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"completed\": {}, \"shed\": {}, \"rejected\": {}, \"rate_limited\": {}, \"errors\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}{}\n",
+                t.name,
+                t.completed,
+                t.shed,
+                t.rejected,
+                t.rate_limited,
+                t.errors,
+                p50,
+                p99,
+                if i + 1 < self.tenants.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n  \"manager_actions\": [\n");
+        let n = self.actions.len();
+        for (i, a) in self.actions.iter().enumerate() {
+            let escaped = a.replace('\\', "\\\\").replace('"', "\\\"");
+            s.push_str(&format!(
+                "    \"{}\"{}\n",
+                escaped,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_the_window() {
+        let mut m = NetMetrics::new(&["t".to_string()]);
+        for i in 1..=100u64 {
+            m.record_completion(0, Duration::from_micros(i * 1000));
+        }
+        let t = &m.tenants()[0];
+        assert_eq!(t.completed, 100);
+        let p50 = t.p50_ms().unwrap();
+        let p99 = t.p99_ms().unwrap();
+        assert!((49.0..=52.0).contains(&p50), "p50 {p50}");
+        assert!((98.0..=100.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_the_window() {
+        let mut m = NetMetrics::new(&["t".to_string()]);
+        for _ in 0..LATENCY_WINDOW {
+            m.record_completion(0, Duration::from_micros(1));
+        }
+        for _ in 0..LATENCY_WINDOW {
+            m.record_completion(0, Duration::from_micros(1_000_000));
+        }
+        let p50 = m.tenants()[0].p50_ms().unwrap();
+        assert!(p50 > 999.0, "old 1µs samples fully aged out, p50 {p50}");
+    }
+
+    #[test]
+    fn json_snapshot_mentions_every_tenant_and_action() {
+        let mut m = NetMetrics::new(&["gold".to_string(), "bronze".to_string()]);
+        m.record_completion(1, Duration::from_millis(5));
+        m.tenant_mut(0).shed += 1;
+        m.log_action("shrink batch window 16 -> 8".to_string());
+        let json = m.to_json();
+        assert!(json.contains("\"gold\""));
+        assert!(json.contains("\"bronze\""));
+        assert!(json.contains("shrink batch window"));
+        assert!(json.contains("\"p99_ms\": null"), "no samples yet for gold");
+    }
+
+    #[test]
+    fn action_log_is_bounded() {
+        let mut m = NetMetrics::new(&[]);
+        for i in 0..(ACTION_LOG_CAP + 10) {
+            m.log_action(format!("a{i}"));
+        }
+        assert_eq!(m.actions().count(), ACTION_LOG_CAP);
+        assert_eq!(m.actions().next(), Some("a10"));
+    }
+}

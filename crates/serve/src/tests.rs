@@ -448,3 +448,144 @@ fn unknown_tenants_are_rejected() {
     let mut srv = serve(ExecPolicy::Sequential);
     let _ = srv.submit(TenantId(3), mixed_plan(), arr(0));
 }
+
+// ---- autonomic-manager actuator hooks (driven by scl-net's MAPE loop) ----
+
+#[test]
+fn actuator_setters_clamp_and_read_back() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    srv.set_batch_window(7);
+    assert_eq!(srv.batch_window(), 7);
+    srv.set_batch_window(0);
+    assert_eq!(srv.batch_window(), 1, "window clamps to >= 1");
+    srv.set_tenant_weight(t, 9);
+    assert_eq!(srv.tenant_weight(t), 9);
+    srv.set_tenant_weight(t, 0);
+    assert_eq!(srv.tenant_weight(t), 1, "weight clamps to >= 1");
+    srv.set_width_cap(3);
+    assert_eq!(srv.width_cap(), 3);
+    srv.set_width_cap(0);
+    assert_eq!(srv.width_cap(), 1, "width cap clamps to >= 1");
+}
+
+#[test]
+fn actuator_changes_never_change_answers() {
+    // the differential guarantee scl-net relies on: every knob the MAPE
+    // loop can turn affects *when/how wide* requests run, never *what*
+    // they compute — so we can mutate all of them mid-stream
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+        ServePolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Threads(4))
+            .with_threads(4),
+    );
+    let t = srv.add_tenant("t");
+    let mut tickets = Vec::new();
+    for k in 0..12 {
+        tickets.push(srv.submit(t, mixed_plan(), arr(k)).unwrap());
+        match k % 4 {
+            0 => srv.set_batch_window(1 + (k as usize % 3)),
+            1 => srv.set_tenant_weight(t, 1 + k as u32),
+            2 => srv.set_width_cap(1 + (k as usize % 4)),
+            _ => {
+                srv.step();
+            }
+        }
+    }
+    srv.run_until_idle();
+    let solo = mixed_plan();
+    let mut scl = Scl::new(unit_machine(4));
+    for (k, ticket) in tickets.into_iter().enumerate() {
+        let (out, report) = srv.take(ticket).unwrap();
+        scl.reset();
+        let expect = solo.run(&mut scl, arr(k as i64));
+        assert_eq!(out, expect, "request {k}");
+        assert_eq!(report, scl.machine.report(), "request {k}");
+    }
+}
+
+#[test]
+fn shrinking_the_cache_cap_evicts_immediately_and_counts() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    for k in 0..4 {
+        let key = format!("plan-{k}");
+        let tk = srv
+            .submit_keyed(t, &key, Skel::map(|x: &i64| x + 1), arr(k))
+            .unwrap();
+        srv.run_until_idle();
+        assert!(srv.is_ready(tk));
+    }
+    assert_eq!(srv.cached_plans(), 4);
+    let before = srv.stats().evictions;
+    srv.set_plan_cache_cap(2);
+    assert_eq!(srv.cached_plans(), 2, "cap change takes effect immediately");
+    assert_eq!(srv.plan_cache_cap(), 2);
+    assert_eq!(
+        srv.stats().evictions,
+        before + 2,
+        "memory-pressure evictions show up in the serve stats"
+    );
+}
+
+#[test]
+fn evict_idle_skips_plans_with_queued_work() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    // one idle entry (drained), one busy entry (work still queued)
+    let done = srv
+        .submit_keyed(t, "idle", Skel::map(|x: &i64| x + 1), arr(0))
+        .unwrap();
+    srv.run_until_idle();
+    assert!(srv.is_ready(done));
+    let busy = srv
+        .submit_keyed(t, "busy", Skel::map(|x: &i64| x * 2), arr(1))
+        .unwrap();
+    assert_eq!(srv.cached_plans(), 2);
+
+    let before = srv.stats().evictions;
+    assert_eq!(srv.evict_idle(5), 1, "only the idle graph is reclaimable");
+    assert_eq!(srv.stats().evictions, before + 1);
+    assert_eq!(srv.cached_plans(), 1, "the busy entry survives");
+    assert_eq!(srv.evict_idle(5), 0, "nothing idle left to evict");
+
+    // the surviving entry still runs to completion
+    srv.run_until_idle();
+    assert_eq!(srv.take(busy).unwrap().0.to_vec(), vec![2, 4, 6, 8]);
+
+    // a re-submission of the evicted key recompiles: observable as a miss
+    let (h0, m0) = (srv.stats().cache_hits, srv.stats().cache_misses);
+    let again = srv
+        .submit_keyed(t, "idle", Skel::map(|x: &i64| x + 1), arr(0))
+        .unwrap();
+    assert_eq!(
+        srv.stats().cache_misses,
+        m0 + 1,
+        "eviction forced a rebuild"
+    );
+    assert_eq!(srv.stats().cache_hits, h0);
+    srv.run_until_idle();
+    assert_eq!(srv.take(again).unwrap().0.to_vec(), vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn width_cap_bounds_the_claimed_lease() {
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+        ServePolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Threads(4))
+            .with_threads(4),
+    );
+    let t = srv.add_tenant("t");
+    srv.set_width_cap(1);
+    let budget = Arc::clone(srv.thread_budget());
+    for k in 0..3 {
+        let _ = srv.submit(t, mixed_plan(), arr(k)).unwrap();
+    }
+    srv.run_until_idle();
+    assert_eq!(budget.in_use(), 0, "leases returned after the drain");
+    assert!(
+        budget.peak_in_use() <= 1,
+        "cap=1 service never claimed wider than one thread (peak {})",
+        budget.peak_in_use()
+    );
+}
