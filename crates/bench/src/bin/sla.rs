@@ -192,6 +192,10 @@ fn main() {
     // ---- BENCH_sla.json ---------------------------------------------------
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"sla_closed_loop\",\n");
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        scl_exec::host_threads()
+    ));
     json.push_str(&format!("  \"duration_ms\": {duration_ms},\n"));
     json.push_str(&format!("  \"gold_threads\": {gold_threads},\n"));
     json.push_str(&format!("  \"flood_threads\": {flood_threads},\n"));

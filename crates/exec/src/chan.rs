@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct State<T> {
     buf: VecDeque<T>,
@@ -147,10 +147,13 @@ impl<T> Bounded<T> {
         }
     }
 
-    /// [`Bounded::recv`] that gives up after `timeout`, returning
-    /// [`TryRecv::Empty`] — the idle loop of a stage worker that must also
-    /// periodically re-check its activation gate.
+    /// [`Bounded::recv`] that gives up at a **deadline**, returning
+    /// [`TryRecv::Empty`]: the total wait never exceeds `timeout` (plus
+    /// scheduling noise), no matter how many spurious or item-less
+    /// notified wakeups occur in between — each loop iteration re-arms
+    /// the wait with the *remaining* budget, not the full one.
     pub fn recv_timeout(&self, timeout: Duration) -> TryRecv<T> {
+        let deadline = Instant::now() + timeout;
         let mut st = self.inner.state.lock().expect("poisoned channel");
         loop {
             if let Some(x) = st.buf.pop_front() {
@@ -160,20 +163,61 @@ impl<T> Bounded<T> {
             if st.closed {
                 return TryRecv::Closed;
             }
-            let (guard, res) = self
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return TryRecv::Empty;
+            };
+            let (guard, _) = self
                 .inner
                 .not_empty
-                .wait_timeout(st, timeout)
+                .wait_timeout(st, remaining)
                 .expect("poisoned channel");
             st = guard;
-            if res.timed_out() && st.buf.is_empty() {
-                return if st.closed {
-                    TryRecv::Closed
-                } else {
-                    TryRecv::Empty
-                };
-            }
         }
+    }
+
+    /// Single-wait receive: block until an item arrives, the channel
+    /// closes, **or any wakeup at all** (a [`Bounded::wake_all`], a
+    /// spurious wake, or `timeout` as a safety net), returning
+    /// [`TryRecv::Empty`] on a wakeup that finds the buffer empty.
+    ///
+    /// This is the stage-worker idle primitive: unlike
+    /// [`Bounded::recv_timeout`], which absorbs wakeups until its
+    /// deadline, this hands control back on the *first* one so the
+    /// caller can re-check out-of-band state (its width gate) that the
+    /// waker changed.
+    pub fn recv_or_wake(&self, timeout: Duration) -> TryRecv<T> {
+        let mut st = self.inner.state.lock().expect("poisoned channel");
+        if let Some(x) = st.buf.pop_front() {
+            self.inner.not_full.notify_one();
+            return TryRecv::Item(x);
+        }
+        if st.closed {
+            return TryRecv::Closed;
+        }
+        let (mut st, _) = self
+            .inner
+            .not_empty
+            .wait_timeout(st, timeout)
+            .expect("poisoned channel");
+        match st.buf.pop_front() {
+            Some(x) => {
+                self.inner.not_full.notify_one();
+                TryRecv::Item(x)
+            }
+            None if st.closed => TryRecv::Closed,
+            None => TryRecv::Empty,
+        }
+    }
+
+    /// Wake every blocked receiver without enqueuing anything — the hook
+    /// a width gate's waker uses so workers parked in
+    /// [`Bounded::recv_or_wake`] re-check their admission promptly
+    /// instead of waiting out a park interval.
+    pub fn wake_all(&self) {
+        // taking the lock orders this notify against any receiver
+        // between its buffer check and its wait: no missed wakeups
+        let _st = self.inner.state.lock().expect("poisoned channel");
+        self.inner.not_empty.notify_all();
     }
 
     /// Dequeue without blocking.
@@ -245,6 +289,54 @@ mod tests {
         assert_eq!(ch.recv_timeout(Duration::from_millis(1)), TryRecv::Empty);
         ch.send(9).unwrap();
         assert_eq!(ch.recv_timeout(Duration::from_millis(1)), TryRecv::Item(9));
+    }
+
+    /// Regression (issue 7): `recv_timeout` used to re-arm the *full*
+    /// timeout after every item-less wakeup, so a storm of notifies kept
+    /// a 50 ms wait alive indefinitely. Deadline-based now: the total
+    /// wait stays within ~2× the request even while another thread
+    /// hammers the not-empty condvar.
+    #[test]
+    fn recv_timeout_is_deadline_bound_under_notify_storm() {
+        let ch: Bounded<u8> = Bounded::new(1);
+        let storm_ch = ch.clone();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let storm = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                storm_ch.wake_all(); // notify with nothing enqueued
+                std::thread::yield_now();
+            }
+        });
+        let t0 = std::time::Instant::now();
+        assert_eq!(ch.recv_timeout(Duration::from_millis(50)), TryRecv::Empty);
+        let waited = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        storm.join().unwrap();
+        assert!(waited >= Duration::from_millis(45), "{waited:?}");
+        assert!(
+            waited <= Duration::from_millis(100),
+            "recv_timeout overshot its deadline under a notify storm: {waited:?}"
+        );
+    }
+
+    #[test]
+    fn recv_or_wake_returns_on_first_empty_wakeup() {
+        let ch: Bounded<u8> = Bounded::new(1);
+        let waker = ch.clone();
+        let w = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            waker.wake_all();
+        });
+        let t0 = std::time::Instant::now();
+        // a 10 s budget, but the wake (no item) hands control back early
+        assert_eq!(ch.recv_or_wake(Duration::from_secs(10)), TryRecv::Empty);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        w.join().unwrap();
+        ch.send(3).unwrap();
+        assert_eq!(ch.recv_or_wake(Duration::from_secs(10)), TryRecv::Item(3));
+        ch.close();
+        assert_eq!(ch.recv_or_wake(Duration::from_secs(10)), TryRecv::Closed);
     }
 
     #[test]

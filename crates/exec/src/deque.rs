@@ -1,0 +1,190 @@
+//! Per-worker index-range deques with work stealing — the dispatch layer
+//! under [`par_pipeline`](crate::par_pipeline).
+//!
+//! Self-scheduling every item off one shared atomic counter puts a
+//! contended fetch-add on the critical path of every cheap item. The
+//! stealing alternative: split the index space into one contiguous block
+//! per worker up front (perfect locality, zero contention while balanced)
+//! and rebalance **only when a worker runs dry**, by stealing half of a
+//! victim's remaining block from the far end.
+//!
+//! A [`StealRange`] packs `(next, limit)` into one `AtomicU64` (each
+//! half-range is a `u32` — fine for index spaces; [`par_pipeline`](crate::par_pipeline) items
+//! are batch elements, not bytes), so both claim paths are a single CAS:
+//!
+//! * the **owner** takes `grain` items from the *front*
+//!   ([`StealRange::take_front`]), advancing `next`;
+//! * a **thief** takes up to half the remainder from the *back*
+//!   ([`StealRange::steal_back`]), retreating `limit`.
+//!
+//! Front and back never hand out the same index because both moves go
+//! through the same CAS'd word: any interleaving of successful updates
+//! keeps `next <= limit`, and every index in the original range is handed
+//! out exactly once.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One worker's claimable index range, `next..limit`, packed into a
+/// single CAS-able word; see the [module docs](self).
+#[derive(Debug)]
+pub struct StealRange(AtomicU64);
+
+fn pack(next: u32, limit: u32) -> u64 {
+    ((limit as u64) << 32) | next as u64
+}
+
+fn unpack(word: u64) -> (u32, u32) {
+    (word as u32, (word >> 32) as u32)
+}
+
+impl StealRange {
+    /// The range `start..end` (indices must fit in `u32`).
+    pub fn new(start: usize, end: usize) -> StealRange {
+        let start = u32::try_from(start).expect("StealRange index space exceeds u32");
+        let end = u32::try_from(end).expect("StealRange index space exceeds u32");
+        StealRange(AtomicU64::new(pack(start, end.max(start))))
+    }
+
+    /// Indices not yet claimed (racy gauge — used to pick victims).
+    pub fn remaining(&self) -> usize {
+        let (next, limit) = unpack(self.0.load(Ordering::Relaxed));
+        (limit - next) as usize
+    }
+
+    /// Owner's claim: up to `grain` indices off the front, or `None` when
+    /// the range is exhausted.
+    pub fn take_front(&self, grain: usize) -> Option<Range<usize>> {
+        let grain = grain.max(1) as u32;
+        let mut claimed = 0..0u32;
+        let res = self
+            .0
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |word| {
+                let (next, limit) = unpack(word);
+                if next >= limit {
+                    return None;
+                }
+                let take = grain.min(limit - next);
+                claimed = next..next + take;
+                Some(pack(next + take, limit))
+            });
+        res.ok()
+            .map(|_| claimed.start as usize..claimed.end as usize)
+    }
+
+    /// Owner-only refill: install `range` (typically just stolen from a
+    /// victim) as this deque's new claimable range. Only the owner may
+    /// call this, and only when its own range is exhausted; the indices
+    /// being installed were removed from exactly one other word by the
+    /// thief's CAS, so the global claim-once invariant carries over.
+    /// (No ABA hazard: a word can never repeat an earlier value of
+    /// itself, because refilled indices were — by claim-once — never in
+    /// this word before.)
+    pub fn refill(&self, range: Range<usize>) {
+        debug_assert_eq!(self.remaining(), 0, "refill would orphan unclaimed indices");
+        let start = u32::try_from(range.start).expect("StealRange index space exceeds u32");
+        let end = u32::try_from(range.end).expect("StealRange index space exceeds u32");
+        self.0.store(pack(start, end.max(start)), Ordering::Release);
+    }
+
+    /// Thief's claim: up to half the remainder (capped at `max`) off the
+    /// back, or `None` when there is nothing worth stealing.
+    pub fn steal_back(&self, max: usize) -> Option<Range<usize>> {
+        let max = max.max(1) as u32;
+        let mut claimed = 0..0u32;
+        let res = self
+            .0
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |word| {
+                let (next, limit) = unpack(word);
+                if next >= limit {
+                    return None;
+                }
+                // half the remainder, rounded up so a 1-item range is stealable
+                let take = limit
+                    .div_ceil(2)
+                    .saturating_sub(next / 2)
+                    .min(limit - next)
+                    .min(max);
+                if take == 0 {
+                    return None;
+                }
+                claimed = limit - take..limit;
+                Some(pack(next, limit - take))
+            });
+        res.ok()
+            .map(|_| claimed.start as usize..claimed.end as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_drains_front_in_order() {
+        let r = StealRange::new(0, 10);
+        assert_eq!(r.take_front(4), Some(0..4));
+        assert_eq!(r.take_front(4), Some(4..8));
+        assert_eq!(r.take_front(4), Some(8..10));
+        assert_eq!(r.take_front(4), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn thief_takes_about_half_from_the_back() {
+        let r = StealRange::new(0, 8);
+        assert_eq!(r.steal_back(usize::MAX), Some(4..8));
+        assert_eq!(r.steal_back(usize::MAX), Some(2..4));
+        assert_eq!(r.take_front(8), Some(0..2));
+        assert_eq!(r.steal_back(usize::MAX), None);
+    }
+
+    #[test]
+    fn single_item_range_is_stealable() {
+        let r = StealRange::new(5, 6);
+        assert_eq!(r.steal_back(usize::MAX), Some(5..6));
+        assert_eq!(r.take_front(1), None);
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let r = StealRange::new(3, 3);
+        assert_eq!(r.take_front(1), None);
+        assert_eq!(r.steal_back(1), None);
+    }
+
+    /// Concurrency claim-once: an owner hammering the front and thieves
+    /// hammering the back must hand out every index exactly once.
+    #[test]
+    fn concurrent_owner_and_thieves_claim_each_index_once() {
+        const N: usize = 40_000;
+        let r = Arc::new(StealRange::new(0, N));
+        let mut joins = Vec::new();
+        // owner
+        {
+            let r = Arc::clone(&r);
+            joins.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(range) = r.take_front(7) {
+                    got.extend(range);
+                }
+                got
+            }));
+        }
+        // thieves
+        for _ in 0..3 {
+            let r = Arc::clone(&r);
+            joins.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(range) = r.steal_back(64) {
+                    got.extend(range);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<usize> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>(), "lost or duplicated index");
+    }
+}

@@ -30,15 +30,29 @@
 //!   `partition` scatter) when the cost model says the payload justifies
 //!   fanning out.
 //!
-//! For *streaming* execution (the `scl-stream` crate) two further pieces
-//! live here:
+//! For *streaming* execution (the `scl-stream` crate) two queue families
+//! live here, behind one trait face:
 //!
-//! * [`Bounded`] — a bounded MPMC channel with a depth gauge and a close
-//!   protocol: the backpressured links of a persistent operator graph.
+//! * the **lock-free fast path** — a cache-padded SPSC ring
+//!   ([`ring`], [`spsc`]) and its MPMC composition into per-producer /
+//!   per-consumer lane matrices ([`ring_mpmc`], [`mpmc`]), with
+//!   spin-then-park waiting ([`Backoff`], [`backoff`]): stage-to-stage
+//!   links whose hot path takes no lock and whose idle path costs
+//!   nothing;
+//! * [`Bounded`] — the mutex+condvar MPMC fallback with a depth gauge
+//!   and a close protocol, for links whose topology or capacity split
+//!   doesn't fit the rings;
+//! * [`LinkTx`] / [`LinkRx`] ([`link`]) — the common face, so pumps and
+//!   replica loops are written once over either family;
 //! * [`spawn_stage_workers`] — long-lived pipeline-stage workers on a
 //!   [`ThreadPool`], each looping `take → work → emit` over a shared
 //!   [`Bounded`] input, gated by an atomic width so an autonomic
-//!   controller can widen/narrow a farm without spawning threads.
+//!   controller can widen/narrow a farm without spawning threads — and
+//!   [`spawn_farm_workers`], the lock-free counterpart where each
+//!   replica owns a private ring pair and admission control lives in the
+//!   pump's routing;
+//! * [`StealRange`] ([`deque`]) — the per-worker stealing deques under
+//!   [`par_pipeline`]'s dispatch.
 //!
 //! When several such runtimes share one process — a multi-tenant plan
 //! service running many graphs against one machine — [`ThreadBudget`]
@@ -57,18 +71,28 @@
 //! pin the CI matrix sets, erroring (never silently falling back) on
 //! unrecognised values.
 
+pub mod backoff;
 pub mod budget;
 pub mod chan;
+pub mod deque;
+pub mod link;
+pub mod mpmc;
 pub mod policy;
 pub mod pool;
 pub mod scope;
+pub mod spsc;
 pub mod stage;
 
+pub use backoff::Backoff;
 pub use budget::{BudgetLease, ThreadBudget};
 pub use chan::{Bounded, TryRecv};
+pub use deque::StealRange;
+pub use link::{LinkRx, LinkTx};
+pub use mpmc::{ring_mpmc, RingReceiver, RingSender};
 pub use policy::{host_threads, ExecPolicy, POLICY_ENV_VAR};
 pub use pool::{JobHandle, ThreadPool};
 pub use scope::{
     par_concat, par_for_each, par_map, par_map_indexed, par_permute, par_pipeline, par_scatter,
 };
-pub use stage::{spawn_stage_workers, StageCrew, WidthGate};
+pub use spsc::{ring, SpscReceiver, SpscSender};
+pub use stage::{spawn_farm_workers, spawn_stage_workers, StageCrew, WidthGate};

@@ -1,0 +1,194 @@
+//! A common face over the two queue families: the lock-free rings
+//! ([`spsc`](crate::spsc), [`mpmc`](crate::mpmc)) and the mutex+condvar
+//! [`Bounded`] fallback.
+//!
+//! Stage-to-stage plumbing (farm replica loops, generic pumps) is written
+//! once against [`LinkTx`]/[`LinkRx`] and works over either family; the
+//! caller picks the implementation per link — rings when the topology is
+//! known (one pump, one consumer per lane) and the capacity splits
+//! cleanly, [`Bounded`] otherwise. Semantics both
+//! families share and the traits promise:
+//!
+//! * **bounded**: `try_send` fails (item handed back) rather than grow;
+//! * **close-then-drain**: after `close`, receivers drain what was queued
+//!   and then observe [`TryRecv::Closed`] / `None`, senders fail;
+//! * **deadline-based timed receive**: `recv_timeout` never waits more
+//!   than the requested budget in total, no matter how many spurious
+//!   wakeups occur.
+
+use crate::chan::{Bounded, TryRecv};
+use crate::mpmc::{RingReceiver, RingSender};
+use crate::spsc::{SpscReceiver, SpscSender};
+use std::time::Duration;
+
+/// The sending end of a bounded stage-to-stage link.
+pub trait LinkTx<T: Send>: Send {
+    /// Enqueue without blocking. `Err(item)` when full or closed.
+    fn try_send(&self, item: T) -> Result<(), T>;
+    /// Enqueue, blocking while full. `Err(item)` once closed.
+    fn send(&self, item: T) -> Result<(), T>;
+    /// Close the link: receivers drain, then observe disconnection.
+    fn close(&self);
+    /// Items currently queued (racy gauge).
+    fn len(&self) -> usize;
+    /// True when the gauge reads zero.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The capacity the link was created with.
+    fn capacity(&self) -> usize;
+}
+
+/// The receiving end of a bounded stage-to-stage link.
+pub trait LinkRx<T: Send>: Send {
+    /// Dequeue without blocking.
+    fn try_recv(&self) -> TryRecv<T>;
+    /// Dequeue, blocking while open and empty. `None` once closed and
+    /// drained.
+    fn recv(&self) -> Option<T>;
+    /// [`LinkRx::recv`] bounded by a total-wait deadline.
+    fn recv_timeout(&self, timeout: Duration) -> TryRecv<T>;
+    /// Close the link: blocked senders fail.
+    fn close(&self);
+}
+
+impl<T: Send> LinkTx<T> for Bounded<T> {
+    fn try_send(&self, item: T) -> Result<(), T> {
+        Bounded::try_send(self, item)
+    }
+    fn send(&self, item: T) -> Result<(), T> {
+        Bounded::send(self, item)
+    }
+    fn close(&self) {
+        Bounded::close(self)
+    }
+    fn len(&self) -> usize {
+        Bounded::len(self)
+    }
+    fn capacity(&self) -> usize {
+        Bounded::capacity(self)
+    }
+}
+
+impl<T: Send> LinkRx<T> for Bounded<T> {
+    fn try_recv(&self) -> TryRecv<T> {
+        Bounded::try_recv(self)
+    }
+    fn recv(&self) -> Option<T> {
+        Bounded::recv(self)
+    }
+    fn recv_timeout(&self, timeout: Duration) -> TryRecv<T> {
+        Bounded::recv_timeout(self, timeout)
+    }
+    fn close(&self) {
+        Bounded::close(self)
+    }
+}
+
+impl<T: Send> LinkTx<T> for SpscSender<T> {
+    fn try_send(&self, item: T) -> Result<(), T> {
+        SpscSender::try_send(self, item)
+    }
+    fn send(&self, item: T) -> Result<(), T> {
+        SpscSender::send(self, item)
+    }
+    fn close(&self) {
+        SpscSender::close(self)
+    }
+    fn len(&self) -> usize {
+        SpscSender::len(self)
+    }
+    fn capacity(&self) -> usize {
+        SpscSender::capacity(self)
+    }
+}
+
+impl<T: Send> LinkRx<T> for SpscReceiver<T> {
+    fn try_recv(&self) -> TryRecv<T> {
+        SpscReceiver::try_recv(self)
+    }
+    fn recv(&self) -> Option<T> {
+        SpscReceiver::recv(self)
+    }
+    fn recv_timeout(&self, timeout: Duration) -> TryRecv<T> {
+        SpscReceiver::recv_timeout(self, timeout)
+    }
+    fn close(&self) {
+        SpscReceiver::close(self)
+    }
+}
+
+impl<T: Send> LinkTx<T> for RingSender<T> {
+    fn try_send(&self, item: T) -> Result<(), T> {
+        RingSender::try_send(self, item)
+    }
+    fn send(&self, item: T) -> Result<(), T> {
+        RingSender::send(self, item)
+    }
+    fn close(&self) {
+        RingSender::close(self)
+    }
+    fn len(&self) -> usize {
+        RingSender::len(self)
+    }
+    fn capacity(&self) -> usize {
+        RingSender::capacity(self)
+    }
+}
+
+impl<T: Send> LinkRx<T> for RingReceiver<T> {
+    fn try_recv(&self) -> TryRecv<T> {
+        RingReceiver::try_recv(self)
+    }
+    fn recv(&self) -> Option<T> {
+        RingReceiver::recv(self)
+    }
+    fn recv_timeout(&self, timeout: Duration) -> TryRecv<T> {
+        RingReceiver::recv_timeout(self, timeout)
+    }
+    fn close(&self) {
+        RingReceiver::close(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpmc::ring_mpmc;
+    use crate::spsc::ring;
+
+    /// One generic pump, three link families: the trait really is a
+    /// common face.
+    fn pump<T: Send, R: LinkRx<T>, S: LinkTx<T>>(rx: R, tx: S) -> usize {
+        let mut moved = 0;
+        while let Some(x) = rx.recv() {
+            if tx.send(x).is_err() {
+                break;
+            }
+            moved += 1;
+        }
+        tx.close();
+        moved
+    }
+
+    #[test]
+    fn generic_pump_runs_over_every_link_family() {
+        // Bounded → SPSC ring
+        let a: Bounded<u32> = Bounded::new(4);
+        let (btx, brx) = ring::<u32>(4);
+        for i in 0..4 {
+            a.send(i).unwrap();
+        }
+        a.close();
+        assert_eq!(pump(a, btx), 4);
+        // SPSC ring → MPMC matrix
+        let (mut ctxs, mut crxs) = ring_mpmc::<u32>(1, 1, 4);
+        assert_eq!(pump(brx, ctxs.remove(0)), 4);
+        let crx = crxs.remove(0);
+        let mut got = vec![];
+        while let Some(x) = crx.recv() {
+            got.push(x);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

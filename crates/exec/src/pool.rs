@@ -8,7 +8,7 @@
 //! are caught and surfaced at join time, never killing a worker.
 
 use std::any::Any;
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -35,12 +35,22 @@ impl<R> JobHandle<R> {
         })
     }
 
-    /// Non-blocking poll: `Some(result)` once the job has finished.
+    /// Non-blocking poll: `Some(result)` once the job has finished — or
+    /// once its result channel died, which yields the same "job dropped
+    /// before completion" panic payload [`JobHandle::join`] synthesizes.
+    /// (Mapping disconnection to `None`, as this used to, turns every
+    /// poll loop over a dead job into an infinite spin.)
     pub fn try_join(&self) -> Option<std::thread::Result<R>>
     where
         R: Send,
     {
-        self.rx.try_recv().ok()
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(Box::new(
+                "scl-exec: job dropped before completion",
+            ) as Box<dyn Any + Send>)),
+        }
     }
 }
 
@@ -217,6 +227,33 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(val, Some(5));
+    }
+
+    /// Regression (issue 7): a dropped result channel used to come back
+    /// as `None` from `try_join`, indistinguishable from "still running"
+    /// — a poll loop on such a job spins forever. It must surface the
+    /// same panic payload `join` synthesizes.
+    #[test]
+    fn try_join_reports_dropped_job_instead_of_none() {
+        let (tx, rx) = sync_channel::<std::thread::Result<u32>>(1);
+        drop(tx); // the job's result can never arrive
+        let h = JobHandle { rx };
+        let result = h
+            .try_join()
+            .expect("disconnection must be reported, not polled forever");
+        let payload = result.expect_err("a lost job is an error, not a value");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("scl-exec: job dropped before completion")
+        );
+        // and join agrees with try_join on the payload
+        let (tx, rx) = sync_channel::<std::thread::Result<u32>>(1);
+        drop(tx);
+        let payload = JobHandle { rx }.join().unwrap_err();
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("scl-exec: job dropped before completion")
+        );
     }
 
     #[test]

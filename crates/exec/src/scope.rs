@@ -19,6 +19,7 @@
 //! stopped), matching the behaviour of a plain sequential loop closely
 //! enough for tests to rely on it.
 
+use crate::deque::StealRange;
 use crate::policy::ExecPolicy;
 use crate::pool::ThreadPool;
 use std::ops::Range;
@@ -147,10 +148,14 @@ where
 /// fused plan execution.
 ///
 /// `step(index, item)` is the whole chain for one item (the caller composes
-/// the stages); items are claimed off a shared atomic counter in blocks of
-/// `grain` consecutive indices, so unevenly sized items still self-balance
-/// while cheap ones amortise the counter traffic. Results come back in
-/// input order. Unlike [`par_map_indexed`], which spawns scoped threads per
+/// the stages). Dispatch is by **per-worker deques with work stealing**
+/// ([`StealRange`]): the index space is pre-split into
+/// one contiguous block per worker — zero scheduling traffic and perfect
+/// locality while the load is balanced — and a worker that runs dry steals
+/// about half of the richest victim's remainder, so the `farm` skeleton's
+/// unevenly sized items still balance. The owner claims `grain` consecutive
+/// indices per dip into its own deque. Results come back in input order.
+/// Unlike [`par_map_indexed`], which spawns scoped threads per
 /// call, this submits at most `min(threads, pool.size())` jobs to workers
 /// that already exist — reusing the pool across every fused segment of a
 /// run. `threads` is the scheduler's cap for *this* batch: a pool kept
@@ -189,27 +194,49 @@ where
     struct Shared<'s, T, R, F> {
         items: Vec<Mutex<Option<T>>>,
         out: Vec<Mutex<Option<R>>>,
-        next: AtomicUsize,
+        /// One deque per worker; worker `w` owns `ranges[w]` and steals
+        /// from the others when it runs dry.
+        ranges: Vec<StealRange>,
+        next_worker: AtomicUsize,
         grain: usize,
         step: &'s F,
     }
     impl<T: Send, R: Send, F: Fn(usize, T) -> R + Sync> Shared<'_, T, R, F> {
+        fn run(&self, range: std::ops::Range<usize>) {
+            for i in range {
+                // The guard drops before `step` runs, so a panicking
+                // step never poisons a lock.
+                let x = self.items[i]
+                    .lock()
+                    .expect("scl-exec: poisoned pipeline slot")
+                    .take()
+                    .expect("scl-exec: pipeline item claimed twice");
+                let r = (self.step)(i, x);
+                *self.out[i].lock().expect("scl-exec: poisoned result slot") = Some(r);
+            }
+        }
         fn drain(&self) {
+            let me = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.ranges.len();
             loop {
-                let start = self.next.fetch_add(self.grain, Ordering::Relaxed);
-                if start >= self.items.len() {
-                    break;
+                if let Some(r) = self.ranges[me].take_front(self.grain) {
+                    self.run(r);
+                    continue;
                 }
-                for i in start..(start + self.grain).min(self.items.len()) {
-                    // The guard drops before `step` runs, so a panicking
-                    // step never poisons a lock.
-                    let x = self.items[i]
-                        .lock()
-                        .expect("scl-exec: poisoned pipeline slot")
-                        .take()
-                        .expect("scl-exec: pipeline item claimed twice");
-                    let r = (self.step)(i, x);
-                    *self.out[i].lock().expect("scl-exec: poisoned result slot") = Some(r);
+                // own deque dry: steal about half of the richest
+                // victim's remainder, then work it off our own deque so
+                // it stays stealable in turn
+                let victim = (0..self.ranges.len())
+                    .filter(|&v| v != me)
+                    .map(|v| (self.ranges[v].remaining(), v))
+                    .max();
+                match victim {
+                    Some((rem, v)) if rem > 0 => {
+                        if let Some(stolen) = self.ranges[v].steal_back(usize::MAX) {
+                            self.ranges[me].refill(stolen);
+                        }
+                        // a lost steal race just re-scans for a victim
+                    }
+                    _ => break, // every deque empty: batch fully claimed
                 }
             }
         }
@@ -218,7 +245,10 @@ where
     let shared = Shared {
         items: items.into_iter().map(|x| Mutex::new(Some(x))).collect(),
         out: (0..n).map(|_| Mutex::new(None)).collect(),
-        next: AtomicUsize::new(0),
+        ranges: (0..workers)
+            .map(|w| StealRange::new(w * n / workers, (w + 1) * n / workers))
+            .collect(),
+        next_worker: AtomicUsize::new(0),
         grain,
         step: &step,
     };
@@ -688,6 +718,19 @@ mod tests {
             par_pipeline(&pool, vec![1u32, 2], 4, 1, |_, x| x * 2),
             vec![2, 4]
         );
+    }
+
+    #[test]
+    fn pipeline_balances_skewed_items_via_stealing() {
+        let pool = ThreadPool::new(4);
+        // every heavy item lands in worker 0's initial block: the other
+        // workers run dry immediately and must steal — and stealing must
+        // still claim each index exactly once
+        let items: Vec<u64> = (0..256).map(|i| if i < 32 { 20_000 } else { 1 }).collect();
+        let spin = |n: u64| (0..n).fold(0u64, |a, i| a.wrapping_add(i));
+        let expect: Vec<u64> = items.iter().map(|&n| spin(n)).collect();
+        let out = par_pipeline(&pool, items, 4, 4, |_, n| spin(n));
+        assert_eq!(out, expect);
     }
 
     #[test]

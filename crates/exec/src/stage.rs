@@ -23,6 +23,7 @@
 //!   nothing but memory.
 
 use crate::chan::{Bounded, TryRecv};
+use crate::link::{LinkRx, LinkTx};
 use crate::pool::{JobHandle, ThreadPool};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -34,6 +35,10 @@ use std::time::Duration;
 pub struct WidthGate {
     width: Mutex<usize>,
     changed: Condvar,
+    /// Out-of-band wake hooks run after every width change — e.g. a
+    /// [`Bounded::wake_all`] so workers parked *in the channel* (not on
+    /// this condvar) also re-check their admission promptly.
+    wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl WidthGate {
@@ -42,6 +47,7 @@ impl WidthGate {
         Arc::new(WidthGate {
             width: Mutex::new(width),
             changed: Condvar::new(),
+            wakers: Mutex::new(Vec::new()),
         })
     }
 
@@ -50,10 +56,24 @@ impl WidthGate {
         *self.width.lock().expect("poisoned width gate")
     }
 
+    /// Register a hook to run after every [`WidthGate::set`] /
+    /// [`WidthGate::open_all`] — how a crew couples its input channel's
+    /// wakeups to the gate (workers idle *in the channel* learn of
+    /// narrowing without polling).
+    pub fn add_waker(&self, waker: impl Fn() + Send + Sync + 'static) {
+        self.wakers
+            .lock()
+            .expect("poisoned width gate")
+            .push(Box::new(waker));
+    }
+
     /// Set the width and wake every parked worker to re-check it.
     pub fn set(&self, width: usize) {
         *self.width.lock().expect("poisoned width gate") = width;
         self.changed.notify_all();
+        for w in self.wakers.lock().expect("poisoned width gate").iter() {
+            w();
+        }
     }
 
     /// Admit every worker — the shutdown wake-up: parked workers resume,
@@ -65,14 +85,28 @@ impl WidthGate {
     /// Park until worker `idx` is admitted or `timeout` elapses (the
     /// timeout is a defensive re-check, not the wake path — [`set`] and
     /// [`open_all`] notify). Returns whether the worker is now admitted.
+    /// The wait is deadline-based: item-less wakeups re-arm only the
+    /// *remaining* budget.
     ///
     /// [`set`]: WidthGate::set
     /// [`open_all`]: WidthGate::open_all
     pub fn wait_admitted(&self, idx: usize, timeout: Duration) -> bool {
+        self.wait_admitted_or(idx, timeout, || false)
+    }
+
+    /// [`WidthGate::wait_admitted`] with an extra way out: the wait also
+    /// ends when `exit()` turns true. Crucially `exit` is evaluated
+    /// **under the gate lock**, so a state change (close + [`open_all`])
+    /// signalled concurrently can never slip between an unlocked check
+    /// and the park — the lost-wakeup race this gate's workers used to
+    /// pay a full park interval for.
+    ///
+    /// [`open_all`]: WidthGate::open_all
+    pub fn wait_admitted_or(&self, idx: usize, timeout: Duration, exit: impl Fn() -> bool) -> bool {
         let guard = self.width.lock().expect("poisoned width gate");
         let (guard, _) = self
             .changed
-            .wait_timeout_while(guard, timeout, |w| *w <= idx)
+            .wait_timeout_while(guard, timeout, |w| *w <= idx && !exit())
             .expect("poisoned width gate");
         *guard > idx
     }
@@ -119,10 +153,15 @@ pub fn spawn_stage_workers<T: Send + 'static>(
     input: Bounded<T>,
     work: Arc<dyn Fn(usize, T) + Send + Sync>,
 ) -> StageCrew {
-    // pure safety nets: the real wake paths are gate notifications and
-    // channel closes
-    const GATE_PARK: Duration = Duration::from_millis(250);
-    const IDLE_POLL: Duration = Duration::from_millis(1);
+    // a pure safety net: every real transition (item, close, width
+    // change) wakes the relevant park explicitly
+    const SAFETY_PARK: Duration = Duration::from_millis(250);
+    // width changes must also reach workers parked *in the channel*
+    // (admitted, idle) so narrowing takes effect without polling
+    {
+        let input = input.clone();
+        gate.add_waker(move || input.wake_all());
+    }
     let handles = (0..replicas)
         .map(|r| {
             let input = input.clone();
@@ -130,17 +169,67 @@ pub fn spawn_stage_workers<T: Send + 'static>(
             let work = Arc::clone(&work);
             pool.submit(move || loop {
                 if gate.width() <= r {
-                    // gated off: park, but still notice shutdown
-                    if input.is_closed() && input.is_empty() {
+                    // gated off: park on the gate. The shutdown check
+                    // runs under the gate lock (wait_admitted_or), so a
+                    // concurrent close()+open_all() can't slip between
+                    // an unlocked check and the park and cost a whole
+                    // park interval.
+                    let exit = || input.is_closed() && input.is_empty();
+                    if !gate.wait_admitted_or(r, SAFETY_PARK, exit) && exit() {
                         break;
                     }
-                    let _ = gate.wait_admitted(r, GATE_PARK);
                     continue;
                 }
-                match input.recv_timeout(IDLE_POLL) {
+                // admitted: single-wait receive — an item, a close, or a
+                // gate-change wake_all all hand control back immediately
+                match input.recv_or_wake(SAFETY_PARK) {
                     TryRecv::Item(x) => work(r, x),
                     TryRecv::Closed => break,
                     TryRecv::Empty => {}
+                }
+            })
+        })
+        .collect();
+    StageCrew { handles }
+}
+
+/// Spawn one persistent worker per `(input, output)` link pair on
+/// `pool`, each looping `recv → work → send` until its input closes (or
+/// its output rejects a send). This is the lock-free-farm counterpart of
+/// [`spawn_stage_workers`]: each replica **owns** both ends of its
+/// private links — typically one column of an input
+/// [`ring_mpmc`](crate::mpmc::ring_mpmc) matrix and one row of an output
+/// one — so the loop body takes no lock anywhere. Admission control
+/// happens upstream (the pump routes with
+/// [`RingSender::try_send_within`](crate::mpmc::RingSender::try_send_within));
+/// a narrowed-off replica simply stops receiving new items, drains its
+/// ring, and parks in `recv` at zero cost.
+///
+/// Worker index `r` is the link's position in `links`; the worker's
+/// handles drop when it exits, which closes ring lanes (shutdown
+/// propagates downstream) — see the close semantics of the link family
+/// in use.
+pub fn spawn_farm_workers<T, U, R, S>(
+    pool: &ThreadPool,
+    links: Vec<(R, S)>,
+    work: Arc<dyn Fn(usize, T) -> U + Send + Sync>,
+) -> StageCrew
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    R: LinkRx<T> + 'static,
+    S: LinkTx<U> + 'static,
+{
+    let handles = links
+        .into_iter()
+        .enumerate()
+        .map(|(r, (rx, tx))| {
+            let work = Arc::clone(&work);
+            pool.submit(move || {
+                while let Some(x) = rx.recv() {
+                    if tx.send(work(r, x)).is_err() {
+                        break;
+                    }
                 }
             })
         })
@@ -271,6 +360,91 @@ mod tests {
             *seen.lock().unwrap(),
             std::collections::HashSet::from([0, 1])
         );
+    }
+
+    /// Regression (issue 7): a gated-off worker used to check
+    /// closed+empty *outside* the gate lock and then park up to 250 ms —
+    /// a `close()` + `open_all()` signalled in that window was lost and
+    /// `StageCrew::join` stalled a full park interval. With the check
+    /// under the lock, shutdown of parked workers is prompt. Run many
+    /// rounds: the race needs the interleaving, the fix must never lose
+    /// it.
+    #[test]
+    fn shutdown_of_gated_workers_is_prompt() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..20 {
+            let input: Bounded<u64> = Bounded::new(4);
+            let gate = WidthGate::new(0); // both workers gated off
+            let crew = spawn_stage_workers(
+                &pool,
+                2,
+                Arc::clone(&gate),
+                input.clone(),
+                Arc::new(|_, _| {}),
+            );
+            // race the shutdown pair against the workers' first park
+            input.close();
+            gate.open_all();
+            let t0 = std::time::Instant::now();
+            crew.join();
+            assert!(
+                t0.elapsed() < Duration::from_millis(200),
+                "join stalled a park interval: {:?}",
+                t0.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn narrowing_reaches_workers_idle_in_the_channel() {
+        let pool = ThreadPool::new(1);
+        let input: Bounded<u64> = Bounded::new(4);
+        let gate = WidthGate::new(1);
+        let crew = spawn_stage_workers(
+            &pool,
+            1,
+            Arc::clone(&gate),
+            input.clone(),
+            Arc::new(|_, _| {}),
+        );
+        // the admitted worker is idle-parked in recv_or_wake; narrowing
+        // must wake it (via the gate's channel waker) so it re-parks on
+        // the gate — then close+open_all must still join promptly
+        std::thread::sleep(Duration::from_millis(10));
+        gate.set(0);
+        std::thread::sleep(Duration::from_millis(10));
+        input.close();
+        gate.open_all();
+        let t0 = std::time::Instant::now();
+        crew.join();
+        assert!(t0.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn farm_workers_move_items_over_private_rings() {
+        use crate::mpmc::ring_mpmc;
+        let pool = ThreadPool::new(3);
+        let (mut in_txs, in_rxs) = ring_mpmc::<u64>(1, 3, 12);
+        let (out_txs, mut out_rxs) = ring_mpmc::<u64>(3, 1, 12);
+        let in_tx = in_txs.remove(0);
+        let out_rx = out_rxs.remove(0);
+        let links: Vec<_> = in_rxs.into_iter().zip(out_txs).collect();
+        let crew = spawn_farm_workers(&pool, links, Arc::new(|_, x: u64| x * 2));
+        assert_eq!(crew.size(), 3);
+        let feeder = std::thread::spawn(move || {
+            for i in 0..300 {
+                in_tx.send(i).unwrap();
+            }
+            // in_tx drops: workers drain, exit, drop their out rows
+        });
+        let mut got = Vec::new();
+        while let Some(x) = out_rx.recv() {
+            got.push(x);
+        }
+        feeder.join().unwrap();
+        crew.join();
+        got.sort_unstable();
+        assert_eq!(got, (0..300).map(|i| i * 2).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -13,7 +13,10 @@
 
 use crate::{Envelope, FarmStats, StageStat};
 use scl_core::{panic_message, BarrierOp, ErasedArr, PlanOp, SegmentOp};
-use scl_exec::{spawn_stage_workers, Bounded, ExecPolicy, ThreadPool, TryRecv, WidthGate};
+use scl_exec::{
+    ring_mpmc, spawn_farm_workers, spawn_stage_workers, Bounded, ExecPolicy, RingReceiver,
+    RingSender, ThreadPool, TryRecv, WidthGate,
+};
 use scl_machine::Machine;
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -68,14 +71,46 @@ impl Hop {
     }
 }
 
+/// A farm's stage-to-stage links: the lock-free ring fast path, or the
+/// mutex+condvar fallback.
+///
+/// **Rings** exploit the farm's known topology — exactly one pumping
+/// thread on each side — as two SPSC lane matrices: a 1×W input matrix
+/// (pump → replicas, the pump holds the [`RingSender`]) and a W×1 output
+/// matrix (replicas → pump). Each replica owns its private (receiver,
+/// sender) lane pair, so the whole `take → work → emit` loop is
+/// lock-free; the width gate steers the **pump's routing**
+/// ([`RingSender::try_send_within`]) instead of gating the workers — a
+/// narrowed-off replica just stops receiving new items, drains its own
+/// ring, and parks in `recv` for free.
+///
+/// **Locked** ([`Bounded`]) remains for link shapes the rings can't
+/// honour — a per-link capacity smaller than the replica count would
+/// weaken the backpressure bound (lanes must hold ≥ 1 item each) — and
+/// as the explicitly selectable fallback
+/// ([`with_locked_links`](crate::StreamPolicy::with_locked_links)).
+enum FarmLinks {
+    Rings {
+        in_tx: RingSender<Envelope>,
+        out_rx: RingReceiver<Envelope>,
+    },
+    Locked {
+        in_q: Bounded<Envelope>,
+        out_q: Bounded<Envelope>,
+    },
+}
+
 /// One farm stage: a fused compute segment replicated across gated
 /// workers, with the pump-side reorder buffer that restores stream order.
 pub(crate) struct Farm {
     label: String,
     seg: Arc<SegmentOp<'static>>,
-    in_q: Bounded<Envelope>,
-    out_q: Bounded<Envelope>,
+    links: FarmLinks,
+    /// The replicas' private lane ends (ring farms only), moved out by
+    /// [`Farm::spawn`].
+    worker_links: Vec<(RingReceiver<Envelope>, RingSender<Envelope>)>,
     /// Replicas currently allowed to claim work (the autonomic gate;
+    /// with ring links it steers the pump's routing, with locked links
     /// workers past the width park on its condvar).
     active: Arc<WidthGate>,
     /// Current ceiling for `active` (≤ `spawned`): the policy/cost-model
@@ -103,12 +138,37 @@ impl Farm {
         capacity: usize,
         width_cap: usize,
         adaptive: bool,
+        locked_links: bool,
     ) -> Farm {
+        // rings only when each of the `width_cap` lanes can hold at
+        // least one item without exceeding the configured capacity —
+        // otherwise the lane split would either starve replicas or
+        // weaken the backpressure bound — and when not explicitly
+        // overridden
+        let (links, worker_links) = if !locked_links && capacity >= width_cap {
+            let (mut in_txs, in_rxs) = ring_mpmc(1, width_cap, capacity);
+            let (out_txs, mut out_rxs) = ring_mpmc(width_cap, 1, capacity);
+            (
+                FarmLinks::Rings {
+                    in_tx: in_txs.remove(0),
+                    out_rx: out_rxs.remove(0),
+                },
+                in_rxs.into_iter().zip(out_txs).collect(),
+            )
+        } else {
+            (
+                FarmLinks::Locked {
+                    in_q: Bounded::new(capacity),
+                    out_q: Bounded::new(capacity),
+                },
+                Vec::new(),
+            )
+        };
         Farm {
             label: seg.label(),
             seg,
-            in_q: Bounded::new(capacity),
-            out_q: Bounded::new(capacity),
+            links,
+            worker_links,
             active: WidthGate::new(if adaptive { 1 } else { width_cap }),
             max_width: AtomicUsize::new(width_cap),
             policy_cap: width_cap,
@@ -121,17 +181,16 @@ impl Farm {
         }
     }
 
-    /// Spawn this farm's replicas: each claims envelopes off `in_q`, runs
-    /// the segment against the item's own machine context (charging it
-    /// eager-style), and emits to `out_q` — blocking there when full, so
-    /// backpressure reaches the replicas too. A panicking stage poisons
-    /// the envelope instead of killing the worker; the pump re-raises the
-    /// panic on the caller when the item completes.
-    fn spawn(&self, pool: &ThreadPool, summed: bool) {
+    /// Spawn this farm's replicas: each claims envelopes off its input
+    /// link, runs the segment against the item's own machine context
+    /// (charging it eager-style), and emits downstream — blocking there
+    /// when full, so backpressure reaches the replicas too. A panicking
+    /// stage poisons the envelope instead of killing the worker; the
+    /// pump re-raises the panic on the caller when the item completes.
+    fn spawn(&mut self, pool: &ThreadPool, summed: bool) {
         let seg = Arc::clone(&self.seg);
-        let out = self.out_q.clone();
         let stats = Arc::clone(&self.stats);
-        let work = Arc::new(move |_replica: usize, env: Envelope| {
+        let process = move |env: Envelope| -> Envelope {
             let t0 = Instant::now();
             let Envelope {
                 seq,
@@ -157,19 +216,61 @@ impl Farm {
                 .busy_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             stats.items.fetch_add(1, Ordering::Relaxed);
-            // a closed output means the graph is shutting down: drop
-            let _ = out.send(Envelope { seq, scl, payload });
-        });
-        // handles dropped: replicas never panic (poison instead), and the
-        // pool joins the worker threads on shutdown
-        let crew = spawn_stage_workers(
-            pool,
-            self.spawned,
-            Arc::clone(&self.active),
-            self.in_q.clone(),
-            work,
-        );
-        drop(crew);
+            Envelope { seq, scl, payload }
+        };
+        // crew handles dropped in both arms: replicas never panic
+        // (poison instead), and the pool joins the threads on shutdown
+        match &self.links {
+            FarmLinks::Rings { .. } => {
+                // each replica owns a private lane pair: its loop is
+                // lock-free end to end, and admission happens upstream
+                // in the pump's routing (no gate in the loop)
+                let links = std::mem::take(&mut self.worker_links);
+                drop(spawn_farm_workers(
+                    pool,
+                    links,
+                    Arc::new(move |_replica, env| process(env)),
+                ));
+            }
+            FarmLinks::Locked { in_q, out_q } => {
+                let out = out_q.clone();
+                drop(spawn_stage_workers(
+                    pool,
+                    self.spawned,
+                    Arc::clone(&self.active),
+                    in_q.clone(),
+                    Arc::new(move |_replica, env| {
+                        // a closed output means the graph is shutting
+                        // down: drop the result
+                        let _ = out.send(process(env));
+                    }),
+                ));
+            }
+        }
+    }
+
+    /// Items queued toward the replicas right now (racy gauge).
+    fn in_depth(&self) -> usize {
+        match &self.links {
+            FarmLinks::Rings { in_tx, .. } => in_tx.len(),
+            FarmLinks::Locked { in_q, .. } => in_q.len(),
+        }
+    }
+
+    /// Input capacity the pump can currently route into: for ring links
+    /// only the gate-admitted lanes count (each lane holds
+    /// `capacity / spawned`), for a locked link it is the whole queue.
+    /// The controller's widen threshold is relative to this, so a
+    /// narrow farm still detects backlog when its few admitted lanes
+    /// fill up.
+    fn in_routable_capacity(&self) -> usize {
+        match &self.links {
+            FarmLinks::Rings { in_tx, .. } => {
+                let lane = (in_tx.capacity() / self.spawned).max(1);
+                lane * self.active.width().min(self.spawned)
+            }
+            FarmLinks::Locked { in_q, .. } => in_q.capacity(),
+        }
     }
 }
 
@@ -212,6 +313,7 @@ impl Graph {
         exec: ExecPolicy,
         adaptive: bool,
         summed_charging: bool,
+        locked_links: bool,
     ) -> Graph {
         let exec_cap = match exec {
             ExecPolicy::Sequential => 1,
@@ -233,7 +335,7 @@ impl Graph {
                             .expect("hops start non-empty")
                             .push_op(PumpOp::Inline(seg));
                     } else {
-                        farms.push(Farm::new(seg, capacity, exec_cap, adaptive));
+                        farms.push(Farm::new(seg, capacity, exec_cap, adaptive, locked_links));
                         hops.push(Hop::new());
                     }
                 }
@@ -243,7 +345,7 @@ impl Graph {
             None
         } else {
             let pool = ThreadPool::new(farms.iter().map(|f| f.spawned).sum());
-            for farm in &farms {
+            for farm in &mut farms {
                 farm.spawn(&pool, summed_charging);
             }
             Some(pool)
@@ -358,8 +460,17 @@ impl Graph {
         let farm = &mut self.farms[h - 1];
         // drain whatever the replicas have finished into the reorder
         // buffer; release only the next item in stream order
-        while let TryRecv::Item(env) = farm.out_q.try_recv() {
-            farm.reorder.insert(env.seq, env);
+        match &farm.links {
+            FarmLinks::Rings { out_rx, .. } => {
+                while let TryRecv::Item(env) = out_rx.try_recv() {
+                    farm.reorder.insert(env.seq, env);
+                }
+            }
+            FarmLinks::Locked { out_q, .. } => {
+                while let TryRecv::Item(env) = out_q.try_recv() {
+                    farm.reorder.insert(env.seq, env);
+                }
+            }
         }
         match farm.reorder.remove(&farm.expect) {
             Some(env) => {
@@ -423,7 +534,30 @@ impl Graph {
     #[allow(clippy::result_large_err)] // Err hands the envelope back, by design
     fn accept(&mut self, h: usize, env: Envelope) -> Result<(), Envelope> {
         if h < self.farms.len() {
-            self.farms[h].in_q.try_send(env)
+            let farm = &self.farms[h];
+            match &farm.links {
+                // ring farms enforce the width gate here, in the pump's
+                // routing: only the first `width` replicas' lanes are
+                // eligible, so narrowed-off replicas drain dry and park
+                FarmLinks::Rings { in_tx, out_rx } => {
+                    // Occupancy window: a shared locked queue hands items
+                    // to replicas in FIFO order, so nothing falls far
+                    // behind; private lanes can park an item deep in one
+                    // busy lane while the others race ahead into the
+                    // reorder buffer — and on through it, admitting ever
+                    // more pushes. Capping admitted-minus-released at the
+                    // farm's static buffer space (in + out + one in hand
+                    // per replica) keeps the reorder buffer — and the
+                    // whole stream's in-flight gauge — bounded by
+                    // O(capacity), exactly as with locked links.
+                    let window = (in_tx.capacity() + out_rx.capacity() + farm.spawned) as u64;
+                    if env.seq - farm.expect >= window {
+                        return Err(env);
+                    }
+                    in_tx.try_send_within(env, farm.active.width())
+                }
+                FarmLinks::Locked { in_q, .. } => in_q.try_send(env),
+            }
         } else {
             self.completed.push_back(env);
             Ok(())
@@ -448,9 +582,9 @@ impl Graph {
             farm.last_tick = now;
             let active = farm.active.width();
             let cap = farm.max_width.load(Ordering::Relaxed);
-            let depth = farm.in_q.len();
+            let depth = farm.in_depth();
             let util = dbusy as f64 / (dt as f64 * active.max(1) as f64);
-            if depth * 4 >= farm.in_q.capacity() * 3 && active < cap {
+            if depth * 4 >= farm.in_routable_capacity() * 3 && active < cap {
                 farm.active.set(active + 1);
             } else if depth == 0 && util < 0.25 && active > 1 {
                 farm.active.set(active - 1);
@@ -481,7 +615,7 @@ impl Graph {
                     farm: true,
                     width: farm.active.width(),
                     max_width: farm.max_width.load(Ordering::Relaxed),
-                    queue_depth: farm.in_q.len(),
+                    queue_depth: farm.in_depth(),
                     items,
                     mean_service_secs: mean_secs(
                         farm.stats.busy_nanos.load(Ordering::Relaxed),
@@ -496,13 +630,23 @@ impl Graph {
 
 impl Drop for Graph {
     fn drop(&mut self) {
-        // Close every channel before the pool field drops: replicas
-        // blocked on a full output or an empty input wake, observe the
-        // close, and exit, letting the pool's drop join them. In-flight
+        // Close every link before the pool field drops: replicas blocked
+        // on a full output or an empty input wake, observe the close,
+        // and exit, letting the pool's drop join them. In-flight
         // envelopes are dropped with the queues.
         for farm in &self.farms {
-            farm.in_q.close();
-            farm.out_q.close();
+            match &farm.links {
+                FarmLinks::Rings { in_tx, out_rx } => {
+                    // closing the pump's row/column closes every lane of
+                    // both matrices (1×W and W×1) and wakes parked ends
+                    in_tx.close();
+                    out_rx.close();
+                }
+                FarmLinks::Locked { in_q, out_q } => {
+                    in_q.close();
+                    out_q.close();
+                }
+            }
             // wake parked (gated-off) replicas so they observe the close
             farm.active.open_all();
         }

@@ -28,10 +28,15 @@
 //!   `iter_until` loops — anything stateful or whole-configuration)
 //!   becomes a **stage boundary** executed serially, in stream order, on
 //!   the pumping thread;
-//! * stages are linked by **bounded MPMC channels**
-//!   ([`Bounded`](scl_exec::Bounded)) of `capacity` items, so backpressure
-//!   propagates all the way to [`StreamExec::push`] and in-flight memory
-//!   stays **O(capacity × stages)** regardless of stream length.
+//! * stages are linked by **bounded queues** of `capacity` items, so
+//!   backpressure propagates all the way to [`StreamExec::push`] and
+//!   in-flight memory stays **O(capacity × stages)** regardless of stream
+//!   length. The links default to **lock-free SPSC ring matrices**
+//!   ([`scl_exec::ring_mpmc`]) — each replica owns a private lane pair,
+//!   FastFlow-style, and the width gate steers the pump's routing — and
+//!   fall back to the mutex+condvar [`Bounded`](scl_exec::Bounded)
+//!   channel when `capacity` can't give every replica a lane (or when
+//!   [`StreamPolicy::with_locked_links`] forces it).
 //!
 //! Plans with a stage that has no fused form fall back to per-item eager
 //! execution (same answers, no pipeline overlap).
@@ -122,6 +127,7 @@ pub struct StreamPolicy {
     tick_items: u64,
     adaptive: bool,
     fused_charging: bool,
+    locked_links: bool,
 }
 
 impl StreamPolicy {
@@ -136,6 +142,7 @@ impl StreamPolicy {
             tick_items: 32,
             adaptive: true,
             fused_charging: false,
+            locked_links: false,
         }
     }
 
@@ -180,6 +187,17 @@ impl StreamPolicy {
     /// submissions.
     pub fn with_fused_charging(mut self, fused_charging: bool) -> StreamPolicy {
         self.fused_charging = fused_charging;
+        self
+    }
+
+    /// Force every stage-to-stage link onto the mutex+condvar
+    /// [`Bounded`](scl_exec::Bounded) channel instead of the default
+    /// lock-free SPSC ring matrices. Same semantics (bounded,
+    /// close-then-drain, identical outputs and reports) — this exists as
+    /// an escape hatch and for differential testing of the two queue
+    /// families; the rings are the fast path.
+    pub fn with_locked_links(mut self, locked_links: bool) -> StreamPolicy {
+        self.locked_links = locked_links;
         self
     }
 }
@@ -246,6 +264,11 @@ pub struct StreamExec<A: FusePort, B: FusePort> {
     peak_in_flight: u64,
     last_tick: u64,
     done: VecDeque<(B, MachineReport)>,
+    /// First still-unraised panic harvested from a poisoned item. Service
+    /// rounds park it here; the pop side re-raises it, so `push` only ever
+    /// reports backpressure and failures surface where results are
+    /// collected.
+    poisoned: Option<String>,
 }
 
 /// Pause between fruitless pump rounds while blocked in `push`/`pop`.
@@ -268,10 +291,18 @@ where
             tick_items,
             adaptive,
             fused_charging,
+            locked_links,
         } = policy;
         let mode = match plan.into_stream_ops() {
             Err(plan) => Mode::Eager(plan),
-            Ok(ops) => Mode::Graph(Graph::build(ops, capacity, exec, adaptive, fused_charging)),
+            Ok(ops) => Mode::Graph(Graph::build(
+                ops,
+                capacity,
+                exec,
+                adaptive,
+                fused_charging,
+                locked_links,
+            )),
         };
         StreamExec {
             mode,
@@ -286,6 +317,7 @@ where
             peak_in_flight: 0,
             last_tick: 0,
             done: VecDeque::new(),
+            poisoned: None,
         }
     }
 
@@ -404,11 +436,24 @@ where
 
     /// Next completed output in stream order, with the item's simulated
     /// machine report, without blocking. `None` when nothing is ready.
+    ///
+    /// A poisoned item re-raises its panic here (not in [`StreamExec::push`],
+    /// which only ever reports backpressure): once every healthy output
+    /// ahead of the failure has been handed out, the parked panic fires on
+    /// the collecting thread. A caller that catches it can keep popping —
+    /// the in-flight gauge stayed consistent, so the rest of the stream
+    /// drains normally.
     pub fn try_pop_with_report(&mut self) -> Option<(B, MachineReport)> {
         if self.done.is_empty() {
             self.service();
         }
-        self.done.pop_front()
+        if let Some(out) = self.done.pop_front() {
+            return Some(out);
+        }
+        if let Some(msg) = self.poisoned.take() {
+            panic!("{msg}");
+        }
+        None
     }
 
     /// [`StreamExec::try_pop_with_report`] discarding the report.
@@ -495,10 +540,11 @@ where
     /// One service round: pump the graph, harvest completions into
     /// `done`, run the autonomic controller when a tick has elapsed.
     ///
-    /// A poisoned item re-raises its panic here, on the caller's thread —
-    /// but only after the whole harvested batch has been accounted, so
-    /// the in-flight gauge stays consistent and a caller that catches the
-    /// panic can still drain the healthy items.
+    /// A poisoned item is fully accounted here (so the in-flight gauge
+    /// stays consistent) but its panic is only *parked*; the pop side
+    /// re-raises it. Keeping the re-raise out of the service round means
+    /// `push` can never blow up under a producer's feet just because the
+    /// ring links completed a doomed item early.
     fn service(&mut self) {
         let Mode::Graph(g) = &mut self.mode else {
             return;
@@ -508,7 +554,6 @@ where
         while let Some(env) = g.completed.pop_front() {
             finished.push(env);
         }
-        let mut poison: Option<String> = None;
         for env in finished {
             self.completed += 1;
             match env.payload {
@@ -517,8 +562,8 @@ where
                     self.done.push_back((out, env.scl.machine.report()));
                 }
                 Err(msg) => {
-                    if poison.is_none() {
-                        poison = Some(msg);
+                    if self.poisoned.is_none() {
+                        self.poisoned = Some(msg);
                     }
                 }
             }
@@ -528,9 +573,6 @@ where
             if let Mode::Graph(g) = &mut self.mode {
                 g.tick_controller();
             }
-        }
-        if let Some(msg) = poison {
-            panic!("{msg}");
         }
     }
 }

@@ -282,6 +282,29 @@ fn backpressure_bounds_in_flight_items() {
 }
 
 #[test]
+fn ring_links_match_locked_links_bit_for_bit() {
+    // the lock-free fast path is a pure transport swap: outputs AND
+    // per-item machine reports must be identical to the mutex+condvar
+    // fallback, item for item
+    let run = |locked: bool| -> Vec<(Vec<i64>, scl_machine::MachineReport)> {
+        let mut s = StreamExec::new(
+            mixed_plan(),
+            StreamPolicy::new(unit_machine(4))
+                .with_exec(ExecPolicy::Threads(3))
+                .with_locked_links(locked),
+        );
+        for k in 0..60 {
+            s.push(arr(k)).unwrap();
+        }
+        s.drain_with_reports()
+            .into_iter()
+            .map(|(a, r)| (a.to_vec(), r))
+            .collect()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
 fn autonomic_controller_widens_under_load_and_narrows_when_idle() {
     // one heavy farmable stage; small tick so the controller acts often
     let plan = Skel::map(|x: &u64| {
