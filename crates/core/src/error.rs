@@ -65,6 +65,101 @@ impl std::error::Error for SclError {}
 /// Shorthand result type.
 pub type Result<T> = std::result::Result<T, SclError>;
 
+/// Why one streamed request failed — failure as a value.
+///
+/// Poison envelopes in the streaming runtime resolve into this type, so a
+/// crashing plan fails only its own tickets: a serving layer can hand each
+/// request a typed `Result` instead of unwinding a shared service thread.
+/// The `Display` rendering is byte-for-byte the panic message the legacy
+/// (panicking) pop path re-raises, so both views of a failure agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// A fused compute stage panicked while processing one part.
+    StagePanic {
+        /// Label of the panicking stage.
+        stage: String,
+        /// Index of the part being processed when the panic fired.
+        part: usize,
+        /// The panic payload, rendered as a string.
+        message: String,
+    },
+    /// A stream barrier stage panicked.
+    BarrierPanic {
+        /// Label of the panicking barrier.
+        stage: String,
+        /// The panic payload, rendered as a string.
+        message: String,
+    },
+    /// A stream barrier returned a configuration error.
+    BarrierFailed {
+        /// Label of the failing barrier.
+        stage: String,
+        /// The configuration error the barrier raised.
+        error: SclError,
+    },
+    /// A plan panicked outside any attributable stage (eager fallback).
+    Panicked {
+        /// The panic payload, rendered as a string.
+        message: String,
+    },
+    /// The request's deadline passed before it completed; the work was
+    /// short-circuited rather than run.
+    DeadlineExceeded,
+    /// The plan is quarantined after repeated consecutive crashes and the
+    /// request was rejected without running.
+    Quarantined {
+        /// Consecutive crashed batches that triggered the quarantine.
+        crashes: u32,
+    },
+}
+
+impl RequestError {
+    /// True for failures caused by the plan itself crashing (stage or
+    /// barrier panics, barrier errors, eager panics) — the failures that
+    /// count toward supervision (graph teardown and quarantine). Deadline
+    /// expiry and quarantine rejections are not faults: they say nothing
+    /// about the plan's health.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            RequestError::StagePanic { .. }
+                | RequestError::BarrierPanic { .. }
+                | RequestError::BarrierFailed { .. }
+                | RequestError::Panicked { .. }
+        )
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::StagePanic {
+                stage,
+                part,
+                message,
+            } => {
+                write!(
+                    f,
+                    "fused stage `{stage}` panicked on part {part}: {message}"
+                )
+            }
+            RequestError::BarrierPanic { stage, message } => {
+                write!(f, "stream barrier `{stage}` panicked: {message}")
+            }
+            RequestError::BarrierFailed { stage, error } => {
+                write!(f, "stream barrier `{stage}` failed: {error}")
+            }
+            RequestError::Panicked { message } => write!(f, "plan panicked: {message}"),
+            RequestError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            RequestError::Quarantined { crashes } => {
+                write!(f, "plan quarantined after {crashes} consecutive crashes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

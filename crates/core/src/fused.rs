@@ -59,7 +59,7 @@
 
 use crate::array::ParArray;
 use crate::ctx::Scl;
-use crate::error::Result;
+use crate::error::{RequestError, Result};
 use scl_exec::{par_pipeline, ExecPolicy};
 use scl_machine::Work;
 use std::any::Any;
@@ -624,6 +624,19 @@ impl SegmentOp<'_> {
     /// Re-raises a stage panic labelled
     /// `` fused stage `X` panicked on part i ``, like fused execution.
     pub fn apply(&self, scl: &mut Scl, val: ErasedArr) -> ErasedArr {
+        self.try_apply(scl, val).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`SegmentOp::apply`], but a stage panic is caught and returned
+    /// as a typed [`RequestError::StagePanic`] carrying the stage label,
+    /// part index, and panic payload — failure as a value, for runtimes
+    /// that must not unwind. Charges already recorded for earlier stages
+    /// and parts stay on `scl` (exactly what the panicking path did too).
+    pub fn try_apply(
+        &self,
+        scl: &mut Scl,
+        val: ErasedArr,
+    ) -> std::result::Result<ErasedArr, RequestError> {
         let ErasedArr {
             arr,
             side,
@@ -642,20 +655,22 @@ impl SegmentOp<'_> {
                         }
                         v = nv;
                     }
-                    Err(payload) => panic!(
-                        "fused stage `{}` panicked on part {i}: {}",
-                        st.label,
-                        panic_message(&*payload)
-                    ),
+                    Err(payload) => {
+                        return Err(RequestError::StagePanic {
+                            stage: st.label.to_string(),
+                            part: i,
+                            message: panic_message(&*payload).to_string(),
+                        })
+                    }
                 }
             }
             out.push(v);
         }
-        ErasedArr {
+        Ok(ErasedArr {
             arr: ParArray::from_raw(out, procs, shape),
             side,
             elem_bytes,
-        }
+        })
     }
 
     /// Run the whole segment over every part of `val`, charging `scl`
@@ -677,6 +692,18 @@ impl SegmentOp<'_> {
     /// Re-raises a stage panic labelled
     /// `` fused stage `X` panicked on part i ``, like fused execution.
     pub fn apply_summed(&self, scl: &mut Scl, val: ErasedArr) -> ErasedArr {
+        self.try_apply_summed(scl, val)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`SegmentOp::apply_summed`], but a stage panic is caught and
+    /// returned as a typed [`RequestError::StagePanic`] instead of
+    /// unwinding. Parts already charged stay charged.
+    pub fn try_apply_summed(
+        &self,
+        scl: &mut Scl,
+        val: ErasedArr,
+    ) -> std::result::Result<ErasedArr, RequestError> {
         let ErasedArr {
             arr,
             side,
@@ -695,22 +722,24 @@ impl SegmentOp<'_> {
                         w += nw;
                         secs += ns;
                     }
-                    Err(payload) => panic!(
-                        "fused stage `{}` panicked on part {i}: {}",
-                        st.label,
-                        panic_message(&*payload)
-                    ),
+                    Err(payload) => {
+                        return Err(RequestError::StagePanic {
+                            stage: st.label.to_string(),
+                            part: i,
+                            message: panic_message(&*payload).to_string(),
+                        })
+                    }
                 }
             }
             let charged = w + scl.measured_work(secs);
             scl.machine.compute(procs[i], charged, "fused");
             out.push(v);
         }
-        ErasedArr {
+        Ok(ErasedArr {
             arr: ParArray::from_raw(out, procs, shape),
             side,
             elem_bytes,
-        }
+        })
     }
 }
 

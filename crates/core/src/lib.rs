@@ -148,7 +148,7 @@ pub use array::{GridShape, ParArray};
 pub use bytes::Bytes;
 pub use config::{align, align3, combine, split, try_align, unalign};
 pub use ctx::{MeasureMode, Scl, DEFAULT_BUFFER_CAP_BYTES};
-pub use error::{Result, SclError};
+pub use error::{RequestError, Result, SclError};
 pub use fused::{
     fingerprint_ops, panic_message, BarrierOp, ErasedArr, FusePort, PartVal, PlanFingerprint,
     PlanOp, SegmentOp,

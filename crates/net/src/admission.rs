@@ -65,6 +65,20 @@ pub struct Job {
     /// When the request was admitted — end-to-end service latency is
     /// measured from here.
     pub enqueued: Instant,
+    /// Absolute deadline (from the wire `deadline_ms`); expired jobs are
+    /// shed from a full queue before any live work pays.
+    pub deadline: Option<Instant>,
+}
+
+/// A request evicted by [`Admission::push`] to make room. `expired`
+/// distinguishes dead-on-arrival work (answer `DeadlineExceeded`) from
+/// live work shed under overload (answer `Shed`).
+#[derive(Debug)]
+pub struct Victim {
+    /// The evicted request; its reader thread still waits on `reply`.
+    pub job: Job,
+    /// Whether the victim was past its deadline (shed preferentially).
+    pub expired: bool,
 }
 
 /// Why a push was refused outright.
@@ -106,19 +120,32 @@ impl Admission {
     }
 
     /// Admit `job`. `Ok(None)` means queued within bounds; `Ok(Some(v))`
-    /// means the queue was full under shed-oldest — `job` is queued and
-    /// `v` is the evicted victim, which the caller must answer with a
-    /// typed `Shed` error (its connection thread is blocked on that
-    /// reply).
-    pub fn push(&self, job: Job) -> Result<Option<Job>, AdmitError> {
+    /// means the queue was full and `v` was evicted to make room — the
+    /// caller must answer it (its connection thread is blocked on that
+    /// reply). A full queue sheds already-dead work first: a queued
+    /// request past its deadline can never produce a useful reply, so it
+    /// pays before any live request does, under **either** policy.
+    pub fn push(&self, job: Job) -> Result<Option<Victim>, AdmitError> {
         let mut q = self.inner.lock().unwrap();
         if q.draining {
             return Err(AdmitError::Draining);
         }
         let victim = if q.jobs.len() >= self.capacity {
-            match self.policy {
-                ShedPolicy::RejectNew => return Err(AdmitError::QueueFull),
-                ShedPolicy::ShedOldest => q.jobs.pop_front(),
+            let now = Instant::now();
+            if let Some(i) = q
+                .jobs
+                .iter()
+                .position(|j| j.deadline.is_some_and(|d| now >= d))
+            {
+                q.jobs.remove(i).map(|job| Victim { job, expired: true })
+            } else {
+                match self.policy {
+                    ShedPolicy::RejectNew => return Err(AdmitError::QueueFull),
+                    ShedPolicy::ShedOldest => q.jobs.pop_front().map(|job| Victim {
+                        job,
+                        expired: false,
+                    }),
+                }
             }
         } else {
             None
@@ -198,6 +225,16 @@ impl TokenBucket {
             false
         }
     }
+
+    /// After a failed [`TokenBucket::try_take`]: how long until the
+    /// bucket refills enough to admit one request. [`Duration::ZERO`]
+    /// when unlimited or a token is already available.
+    pub fn retry_after(&self) -> Duration {
+        if self.rate == 0.0 || self.tokens >= 1.0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64((1.0 - self.tokens) / self.rate)
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +242,10 @@ mod tests {
     use super::*;
 
     fn job(tenant: u32) -> (Job, mpsc::Receiver<Vec<u8>>) {
+        job_deadline(tenant, None)
+    }
+
+    fn job_deadline(tenant: u32, deadline: Option<Instant>) -> (Job, mpsc::Receiver<Vec<u8>>) {
         let (tx, rx) = mpsc::channel();
         (
             Job {
@@ -215,6 +256,7 @@ mod tests {
                 },
                 reply: tx,
                 enqueued: Instant::now(),
+                deadline,
             },
             rx,
         )
@@ -241,7 +283,8 @@ mod tests {
         q.push(a).unwrap();
         q.push(b).unwrap();
         let victim = q.push(c).unwrap().expect("oldest is shed");
-        assert_eq!(victim.tenant, 0, "FIFO head pays");
+        assert_eq!(victim.job.tenant, 0, "FIFO head pays");
+        assert!(!victim.expired, "live work shed under overload");
         let batch = q.pop_batch(10, Duration::from_millis(1));
         let tenants: Vec<u32> = batch.iter().map(|j| j.tenant).collect();
         assert_eq!(tenants, vec![1, 2]);
@@ -256,6 +299,56 @@ mod tests {
         let (b, _rb) = job(1);
         assert_eq!(q.push(b).unwrap_err(), AdmitError::Draining);
         assert_eq!(q.depth(), 1, "queued work survives the drain cut");
+    }
+
+    #[test]
+    fn full_queue_sheds_expired_work_before_live_work() {
+        let past = Some(Instant::now() - Duration::from_millis(1));
+        // reject-new: normally refuses the newcomer, but dead work pays
+        // first when any queued request is past its deadline
+        let q = Admission::new(2, ShedPolicy::RejectNew);
+        let (a, _ra) = job(0);
+        let (b, _rb) = job_deadline(1, past);
+        let (c, _rc) = job(2);
+        q.push(a).unwrap();
+        q.push(b).unwrap();
+        let v = q.push(c).unwrap().expect("expired job shed, newcomer in");
+        assert_eq!(v.job.tenant, 1);
+        assert!(v.expired);
+        let tenants: Vec<u32> = q
+            .pop_batch(10, Duration::from_millis(1))
+            .iter()
+            .map(|j| j.tenant)
+            .collect();
+        assert_eq!(tenants, vec![0, 2], "live work undisturbed");
+
+        // shed-oldest: the expired job pays even when it isn't the head
+        let q = Admission::new(2, ShedPolicy::ShedOldest);
+        let (a, _ra) = job(0);
+        let (b, _rb) = job_deadline(1, past);
+        let (c, _rc) = job(2);
+        q.push(a).unwrap();
+        q.push(b).unwrap();
+        let v = q.push(c).unwrap().unwrap();
+        assert_eq!(v.job.tenant, 1, "dead mid-queue job before the live head");
+        assert!(v.expired);
+    }
+
+    #[test]
+    fn retry_after_reflects_the_refill_rate() {
+        let mut tb = TokenBucket::new(10.0, 1.0);
+        let t0 = Instant::now();
+        assert!(tb.try_take(t0));
+        assert_eq!(
+            tb.retry_after(),
+            Duration::from_millis(100),
+            "1 token at 10/s"
+        );
+        assert!(!tb.try_take(t0));
+        assert!(tb.retry_after() > Duration::ZERO);
+        // unlimited buckets never ask the client to wait
+        let open = TokenBucket::new(0.0, 0.0);
+        assert_eq!(open.retry_after(), Duration::ZERO);
     }
 
     #[test]

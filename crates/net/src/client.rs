@@ -1,8 +1,16 @@
 //! A blocking client for the scl-net protocol: one in-flight request
 //! per connection (open more connections to pipeline).
+//!
+//! Fault containment reaches the client too: [`NetClient::connect_timeout`]
+//! bounds the TCP handshake, [`NetClient::set_io_timeout`] bounds every
+//! read and write (a stalled or wedged server surfaces as
+//! [`ClientError::TimedOut`] instead of hanging the caller forever), and
+//! [`NetClient::set_deadline_ms`] stamps every submission with a relative
+//! deadline the server enforces end to end.
 
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use scl_core::wire::{self, WireError};
 use scl_core::FrameHeader;
@@ -15,12 +23,19 @@ use crate::frame::{ErrorCode, Mode, Reply, Request};
 pub enum ClientError {
     /// Transport failure (connect, read, write, or unexpected close).
     Io(std::io::Error),
+    /// A connect, read, or write exceeded the configured timeout. The
+    /// connection is no longer usable for this protocol (a late reply
+    /// would desynchronize the frame stream) — reconnect to retry.
+    TimedOut,
     /// The reply frame didn't decode.
     Wire(WireError),
     /// The server answered with a typed error.
     Server {
         /// The typed code.
         code: ErrorCode,
+        /// For [`ErrorCode::RateLimited`]: milliseconds until the token
+        /// bucket admits one request (`0` = no hint).
+        retry_after_ms: u32,
         /// The server's message.
         message: String,
     },
@@ -32,9 +47,18 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::TimedOut => write!(f, "timed out waiting for the server"),
             ClientError::Wire(e) => write!(f, "bad reply frame: {e}"),
-            ClientError::Server { code, message } => {
-                write!(f, "server error {code:?}: {message}")
+            ClientError::Server {
+                code,
+                retry_after_ms,
+                message,
+            } => {
+                write!(f, "server error {code:?}: {message}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms}ms)")?;
+                }
+                Ok(())
             }
             ClientError::UnexpectedReply => write!(f, "unexpected reply kind"),
         }
@@ -45,7 +69,10 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> ClientError {
-        ClientError::Io(e)
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ClientError::TimedOut,
+            _ => ClientError::Io(e),
+        }
     }
 }
 
@@ -71,6 +98,7 @@ pub struct NetResult {
 /// A blocking protocol client over one TCP connection.
 pub struct NetClient {
     stream: TcpStream,
+    deadline_ms: u32,
 }
 
 impl NetClient {
@@ -78,7 +106,55 @@ impl NetClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(NetClient { stream })
+        Ok(NetClient {
+            stream,
+            deadline_ms: 0,
+        })
+    }
+
+    /// Connect with a bound on the TCP handshake. When `addr` resolves
+    /// to several addresses each is tried in turn with the full timeout.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<NetClient, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut last: Option<std::io::Error> = None;
+        for a in addrs {
+            match TcpStream::connect_timeout(&a, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(NetClient {
+                        stream,
+                        deadline_ms: 0,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last
+            .unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses resolved")
+            })
+            .into())
+    }
+
+    /// Bound every subsequent read **and** write on this connection.
+    /// `None` restores blocking forever. A call that trips the timeout
+    /// returns [`ClientError::TimedOut`]; reconnect before reusing the
+    /// protocol (the unread reply would desynchronize framing).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Stamp every subsequent submission with a relative deadline,
+    /// milliseconds from server receipt (`0` = none, the default). The
+    /// server sheds the request once expired and answers
+    /// [`ErrorCode::DeadlineExceeded`].
+    pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
+        self.deadline_ms = deadline_ms;
     }
 
     /// Send one request frame and read one reply frame.
@@ -104,7 +180,15 @@ impl NetClient {
                 output: payload,
                 report,
             }),
-            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            Reply::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Server {
+                code,
+                retry_after_ms,
+                message,
+            }),
             _ => Err(ClientError::UnexpectedReply),
         }
     }
@@ -121,6 +205,7 @@ impl NetClient {
         let reply = self.call(&Request::SubmitSource {
             tenant,
             mode,
+            deadline_ms: self.deadline_ms,
             source: source.to_string(),
             key: key.to_string(),
             payload: payload.to_vec(),
@@ -138,6 +223,7 @@ impl NetClient {
         let reply = self.call(&Request::SubmitHandle {
             tenant,
             handle,
+            deadline_ms: self.deadline_ms,
             payload: payload.to_vec(),
         })?;
         Self::expect_result(reply)
@@ -147,7 +233,15 @@ impl NetClient {
     pub fn stats(&mut self) -> Result<String, ClientError> {
         match self.call(&Request::Stats)? {
             Reply::Stats(json) => Ok(json),
-            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            Reply::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Server {
+                code,
+                retry_after_ms,
+                message,
+            }),
             _ => Err(ClientError::UnexpectedReply),
         }
     }
@@ -156,7 +250,15 @@ impl NetClient {
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Ping)? {
             Reply::Pong => Ok(()),
-            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            Reply::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Server {
+                code,
+                retry_after_ms,
+                message,
+            }),
             _ => Err(ClientError::UnexpectedReply),
         }
     }
@@ -165,7 +267,15 @@ impl NetClient {
     pub fn drain(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Drain)? {
             Reply::Draining => Ok(()),
-            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            Reply::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => Err(ClientError::Server {
+                code,
+                retry_after_ms,
+                message,
+            }),
             _ => Err(ClientError::UnexpectedReply),
         }
     }

@@ -8,13 +8,13 @@
 //!
 //! | kind | direction | body |
 //! |---|---|---|
-//! | `0x01 SUBMIT_SOURCE` | → | tenant u32, mode u8, source str, key str, payload i64s |
-//! | `0x02 SUBMIT_HANDLE` | → | tenant u32, handle u64, payload i64s |
+//! | `0x01 SUBMIT_SOURCE` | → | tenant u32, mode u8, deadline_ms u32, source str, key str, payload i64s |
+//! | `0x02 SUBMIT_HANDLE` | → | tenant u32, handle u64, deadline_ms u32, payload i64s |
 //! | `0x03 STATS` | → | empty |
 //! | `0x04 PING` | → | empty |
 //! | `0x05 DRAIN` | → | empty |
 //! | `0x81 RESULT` | ← | handle u64, payload i64s, machine report (16 × u64) |
-//! | `0x82 ERROR` | ← | code u16, message str |
+//! | `0x82 ERROR` | ← | code u16, retry_after_ms u32, message str |
 //! | `0x83 STATS_OK` | ← | JSON str |
 //! | `0x84 PONG` | ← | empty |
 //! | `0x85 DRAINING` | ← | empty |
@@ -123,6 +123,13 @@ pub enum ErrorCode {
     PlanRejected = 12,
     /// A declared length exceeded a protocol bound.
     Oversize = 13,
+    /// The plan crashed while executing this request. The request failed;
+    /// the service and every other tenant are unaffected. Repeated
+    /// crashes quarantine the plan server-side.
+    PlanPanicked = 14,
+    /// The request's deadline passed before it finished; it was shed
+    /// without (or while) occupying replicas.
+    DeadlineExceeded = 15,
 }
 
 impl ErrorCode {
@@ -142,6 +149,8 @@ impl ErrorCode {
             11 => ErrorCode::MachineTooSmall,
             12 => ErrorCode::PlanRejected,
             13 => ErrorCode::Oversize,
+            14 => ErrorCode::PlanPanicked,
+            15 => ErrorCode::DeadlineExceeded,
             other => return Err(WireError::Invalid(format!("unknown error code {other}"))),
         })
     }
@@ -156,6 +165,11 @@ pub enum Request {
         tenant: u32,
         /// Plain or optimize-then-execute.
         mode: Mode,
+        /// Relative deadline in milliseconds from server receipt; `0`
+        /// means no deadline. Expired requests fail typed
+        /// ([`ErrorCode::DeadlineExceeded`]) instead of occupying
+        /// replicas.
+        deadline_ms: u32,
         /// Plan source in the `scl-transform` grammar.
         source: String,
         /// Caller cache key separating structural twins.
@@ -169,6 +183,9 @@ pub enum Request {
         tenant: u32,
         /// Handle from an earlier [`Reply::Result`].
         handle: u64,
+        /// Relative deadline in milliseconds from server receipt; `0`
+        /// means no deadline.
+        deadline_ms: u32,
         /// One `i64` per partition.
         payload: Vec<i64>,
     },
@@ -197,6 +214,10 @@ pub enum Reply {
     Error {
         /// What went wrong.
         code: ErrorCode,
+        /// For [`ErrorCode::RateLimited`]: how long until the token
+        /// bucket refills enough to admit one request, in milliseconds
+        /// (rounded up). `0` means no hint.
+        retry_after_ms: u32,
         /// Human-readable detail.
         message: String,
     },
@@ -229,12 +250,14 @@ impl Request {
             Request::SubmitSource {
                 tenant,
                 mode,
+                deadline_ms,
                 source,
                 key,
                 payload,
             } => {
                 w.put_u32(*tenant);
                 w.put_u8(mode.to_u8());
+                w.put_u32(*deadline_ms);
                 w.put_str(source);
                 w.put_str(key);
                 w.put_i64s(payload);
@@ -243,10 +266,12 @@ impl Request {
             Request::SubmitHandle {
                 tenant,
                 handle,
+                deadline_ms,
                 payload,
             } => {
                 w.put_u32(*tenant);
                 w.put_u64(*handle);
+                w.put_u32(*deadline_ms);
                 w.put_i64s(payload);
                 kind::SUBMIT_HANDLE
             }
@@ -266,12 +291,14 @@ impl Request {
             kind::SUBMIT_SOURCE => {
                 let tenant = r.get_u32()?;
                 let mode = Mode::from_u8(r.get_u8()?)?;
+                let deadline_ms = r.get_u32()?;
                 let source = r.get_str(MAX_SOURCE_LEN)?;
                 let key = r.get_str(MAX_KEY_LEN)?;
                 let payload = r.get_i64s(MAX_PAYLOAD_ELEMS)?;
                 Request::SubmitSource {
                     tenant,
                     mode,
+                    deadline_ms,
                     source,
                     key,
                     payload,
@@ -280,10 +307,12 @@ impl Request {
             kind::SUBMIT_HANDLE => {
                 let tenant = r.get_u32()?;
                 let handle = r.get_u64()?;
+                let deadline_ms = r.get_u32()?;
                 let payload = r.get_i64s(MAX_PAYLOAD_ELEMS)?;
                 Request::SubmitHandle {
                     tenant,
                     handle,
+                    deadline_ms,
                     payload,
                 }
             }
@@ -316,8 +345,13 @@ impl Reply {
                 put_report(&mut w, report);
                 kind::RESULT
             }
-            Reply::Error { code, message } => {
+            Reply::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => {
                 w.put_u16(*code as u16);
+                w.put_u32(*retry_after_ms);
                 w.put_str(message);
                 kind::ERROR
             }
@@ -347,8 +381,13 @@ impl Reply {
             }
             kind::ERROR => {
                 let code = ErrorCode::from_u16(r.get_u16()?)?;
+                let retry_after_ms = r.get_u32()?;
                 let message = r.get_str(MAX_SOURCE_LEN)?;
-                Reply::Error { code, message }
+                Reply::Error {
+                    code,
+                    retry_after_ms,
+                    message,
+                }
             }
             kind::STATS_OK => Reply::Stats(r.get_str(wire::MAX_FRAME_LEN)?),
             kind::PONG => Reply::Pong,
@@ -463,6 +502,7 @@ mod tests {
         roundtrip_request(Request::SubmitSource {
             tenant: 3,
             mode: Mode::Optimized,
+            deadline_ms: 1500,
             source: "map(inc) . rotate(1)".into(),
             key: "k".into(),
             payload: vec![i64::MIN, -1, 0, 7, i64::MAX],
@@ -470,6 +510,7 @@ mod tests {
         roundtrip_request(Request::SubmitHandle {
             tenant: 0,
             handle: u64::MAX,
+            deadline_ms: 0,
             payload: vec![42],
         });
         roundtrip_request(Request::Stats);
@@ -499,11 +540,29 @@ mod tests {
 
         let err = Reply::Error {
             code: ErrorCode::Shed,
+            retry_after_ms: 0,
             message: "overload".into(),
         };
         let bytes = err.encode();
         let got = Reply::decode(bytes[3], &bytes[wire::HEADER_LEN..]).unwrap();
         assert_eq!(got, err);
+
+        let limited = Reply::Error {
+            code: ErrorCode::RateLimited,
+            retry_after_ms: 125,
+            message: "token bucket empty; retry later".into(),
+        };
+        let bytes = limited.encode();
+        let got = Reply::decode(bytes[3], &bytes[wire::HEADER_LEN..]).unwrap();
+        assert_eq!(got, limited);
+    }
+
+    #[test]
+    fn fault_error_codes_roundtrip() {
+        for code in [ErrorCode::PlanPanicked, ErrorCode::DeadlineExceeded] {
+            assert_eq!(ErrorCode::from_u16(code as u16).unwrap(), code);
+        }
+        assert!(ErrorCode::from_u16(16).is_err());
     }
 
     #[test]

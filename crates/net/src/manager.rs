@@ -208,11 +208,24 @@ impl Manager {
             }
         }
 
-        // Weight arbitration: boost violated tenants, decay the rest.
+        // Weight arbitration: crashy tenants are de-weighted first — a
+        // plan crashing in the current window halves the tenant's share
+        // (floor 1) so a crash-looping tenant can't keep claiming rounds;
+        // contract violations boost; a clean window restores toward base.
         for (i, (&id, &base)) in ids.iter().zip(&self.base_weights).enumerate() {
             let cur = srv.tenant_weight(id);
             let violated = latency_violations.contains(&i) || tput_violations.contains(&i);
-            if violated {
+            let crashy = metrics.tenants()[i].window_panicked() > 0;
+            if crashy {
+                let next = (cur / 2).max(1);
+                if next < cur {
+                    srv.set_tenant_weight(id, next);
+                    actions.push(format!(
+                        "de-weight tenant {} weight {cur} -> {next} (plan crashes in window)",
+                        metrics.tenants()[i].name
+                    ));
+                }
+            } else if violated {
                 let ceiling = base.saturating_mul(self.cfg.max_boost);
                 let next = cur.saturating_mul(2).min(ceiling);
                 if next > cur {
@@ -227,6 +240,13 @@ impl Manager {
                 srv.set_tenant_weight(id, next);
                 actions.push(format!(
                     "decay tenant {} weight {cur} -> {next} (contract met)",
+                    metrics.tenants()[i].name
+                ));
+            } else if cur < base {
+                let next = cur.saturating_mul(2).min(base);
+                srv.set_tenant_weight(id, next);
+                actions.push(format!(
+                    "restore tenant {} weight {cur} -> {next} (clean window)",
                     metrics.tenants()[i].name
                 ));
             }
@@ -344,6 +364,57 @@ mod tests {
         );
         assert_eq!(srv.width_cap(), srv.thread_budget().total());
         assert_eq!(srv.tenant_weight(t), 1, "boost decayed to base");
+    }
+
+    #[test]
+    fn crashy_tenant_is_deweighted_then_restored_when_clean() {
+        let mut srv = serve(4);
+        let t = srv.add_tenant_weighted("chaos", 4);
+        let mut m = NetMetrics::new(&["chaos".to_string()]);
+        let mut mgr = Manager::new(
+            ManagerConfig::default(),
+            vec![SloContract::default()],
+            vec![4],
+        );
+        m.record_panic(0);
+        let actions = mgr.tick(&mut srv, &[t], &mut m, Instant::now());
+        assert_eq!(srv.tenant_weight(t), 2, "crash window halves the share");
+        assert!(actions.iter().any(|a| a.contains("de-weight")));
+
+        // keeps halving to the floor while the crashes continue
+        for _ in 0..4 {
+            m.record_panic(0);
+            mgr.tick(&mut srv, &[t], &mut m, Instant::now());
+        }
+        assert_eq!(srv.tenant_weight(t), 1, "floor holds");
+
+        // clean windows double back toward the configured base
+        mgr.tick(&mut srv, &[t], &mut m, Instant::now());
+        assert_eq!(srv.tenant_weight(t), 2);
+        mgr.tick(&mut srv, &[t], &mut m, Instant::now());
+        assert_eq!(srv.tenant_weight(t), 4, "restored to base, not beyond");
+        mgr.tick(&mut srv, &[t], &mut m, Instant::now());
+        assert_eq!(srv.tenant_weight(t), 4);
+    }
+
+    #[test]
+    fn crash_deweight_overrides_an_slo_boost() {
+        let mut srv = serve(4);
+        let t = srv.add_tenant_weighted("chaos", 2);
+        let mut m = NetMetrics::new(&["chaos".to_string()]);
+        // a violated latency contract would normally *boost* — the crash
+        // sensor must win the arbitration
+        let mut mgr = Manager::new(
+            ManagerConfig::default(),
+            vec![SloContract::parse("p99<1ms").unwrap()],
+            vec![2],
+        );
+        for _ in 0..10 {
+            m.record_completion(0, Duration::from_millis(50));
+        }
+        m.record_panic(0);
+        mgr.tick(&mut srv, &[t], &mut m, Instant::now());
+        assert_eq!(srv.tenant_weight(t), 1, "halved despite the violation");
     }
 
     #[test]

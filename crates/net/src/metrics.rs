@@ -28,12 +28,20 @@ pub struct TenantMetrics {
     pub rejected: u64,
     /// Requests refused by the tenant's token bucket.
     pub rate_limited: u64,
+    /// Requests that failed because the tenant's plan crashed
+    /// (`PlanPanicked` replies).
+    pub panicked: u64,
+    /// Requests that expired before finishing (`DeadlineExceeded`
+    /// replies, queue sheds of dead work included).
+    pub deadline_expired: u64,
     /// Requests answered with any other typed error.
     pub errors: u64,
     ring: Vec<u64>,
     next: usize,
     /// Completions since the last manager tick (throughput sensor).
     window_completed: u64,
+    /// Plan crashes since the last manager tick (the de-weight sensor).
+    window_panicked: u64,
     window_start: Instant,
 }
 
@@ -45,10 +53,13 @@ impl TenantMetrics {
             shed: 0,
             rejected: 0,
             rate_limited: 0,
+            panicked: 0,
+            deadline_expired: 0,
             errors: 0,
             ring: Vec::with_capacity(LATENCY_WINDOW),
             next: 0,
             window_completed: 0,
+            window_panicked: 0,
             window_start: Instant::now(),
         }
     }
@@ -82,6 +93,13 @@ impl TenantMetrics {
     /// 99th-percentile latency, milliseconds.
     pub fn p99_ms(&self) -> Option<f64> {
         self.quantile_us(0.99).map(|us| us as f64 / 1000.0)
+    }
+
+    /// Plan crashes since the tenant's window was last reset — the
+    /// manager's de-weight sensor: a tenant crashing in the current
+    /// window has its fair share halved instead of boosted.
+    pub fn window_panicked(&self) -> u64 {
+        self.window_panicked
     }
 
     /// Completions per second since the tenant's window was last reset
@@ -118,6 +136,16 @@ pub struct ServeMirror {
     pub batch_window: usize,
     /// The service's current farm-width cap (a manager actuator).
     pub width_cap: usize,
+    /// Requests failed by their own plan crashing.
+    pub panics: u64,
+    /// Requests that missed their deadline.
+    pub deadline_expired: u64,
+    /// Crashed graphs rebuilt from their cached plan on resubmission.
+    pub rebuilds: u64,
+    /// Plans quarantined after repeated consecutive crashes.
+    pub quarantines: u64,
+    /// Plans currently quarantined (entries refusing submissions).
+    pub quarantined_plans: usize,
 }
 
 /// The shared metrics registry.
@@ -162,10 +190,19 @@ impl NetMetrics {
         slot.record_latency(latency.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
+    /// Record a request failed by its own plan crashing (feeds both the
+    /// lifetime counter and the manager's de-weight window).
+    pub fn record_panic(&mut self, t: u32) {
+        let slot = &mut self.tenants[t as usize];
+        slot.panicked += 1;
+        slot.window_panicked += 1;
+    }
+
     /// Reset every tenant's throughput window (each manager tick).
     pub fn reset_windows(&mut self, now: Instant) {
         for t in &mut self.tenants {
             t.window_completed = 0;
+            t.window_panicked = 0;
             t.window_start = now;
         }
     }
@@ -194,7 +231,7 @@ impl NetMetrics {
             self.queue_depth
         ));
         s.push_str(&format!(
-            "  \"serve\": {{\"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \"cached_plans\": {}, \"batches\": {}, \"batch_window\": {}, \"width_cap\": {}}},\n",
+            "  \"serve\": {{\"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \"cached_plans\": {}, \"batches\": {}, \"batch_window\": {}, \"width_cap\": {}, \"panics\": {}, \"deadline_expired\": {}, \"rebuilds\": {}, \"quarantines\": {}, \"quarantined_plans\": {}}},\n",
             self.serve.cache_hits,
             self.serve.cache_misses,
             self.serve.evictions,
@@ -202,18 +239,25 @@ impl NetMetrics {
             self.serve.batches,
             self.serve.batch_window,
             self.serve.width_cap,
+            self.serve.panics,
+            self.serve.deadline_expired,
+            self.serve.rebuilds,
+            self.serve.quarantines,
+            self.serve.quarantined_plans,
         ));
         s.push_str("  \"tenants\": [\n");
         for (i, t) in self.tenants.iter().enumerate() {
             let p50 = t.p50_ms().map_or("null".to_string(), |v| format!("{v:.3}"));
             let p99 = t.p99_ms().map_or("null".to_string(), |v| format!("{v:.3}"));
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"completed\": {}, \"shed\": {}, \"rejected\": {}, \"rate_limited\": {}, \"errors\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"completed\": {}, \"shed\": {}, \"rejected\": {}, \"rate_limited\": {}, \"panicked\": {}, \"deadline_expired\": {}, \"errors\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}{}\n",
                 t.name,
                 t.completed,
                 t.shed,
                 t.rejected,
                 t.rate_limited,
+                t.panicked,
+                t.deadline_expired,
                 t.errors,
                 p50,
                 p99,

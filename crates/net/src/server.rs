@@ -43,13 +43,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use scl_core::wire::{self, WireError};
-use scl_core::{FrameHeader, ParArray, SclError, Skel};
+use scl_core::{FrameHeader, ParArray, RequestError, SclError, Skel};
 use scl_exec::ExecPolicy;
 use scl_machine::{CostModel, Machine, Topology};
 use scl_serve::{Serve, ServePolicy, TenantId, Ticket};
 use scl_transform::Registry;
 
-use crate::admission::{Admission, AdmitError, Job, JobBody, ShedPolicy, TokenBucket};
+use crate::admission::{Admission, AdmitError, Job, JobBody, ShedPolicy, TokenBucket, Victim};
 use crate::frame::{plan_handle, ErrorCode, Mode, Reply, Request};
 use crate::manager::{Manager, ManagerConfig, SloContract};
 use crate::metrics::NetMetrics;
@@ -341,6 +341,7 @@ fn connection_frames(
                     stream,
                     &Reply::Error {
                         code,
+                        retry_after_ms: 0,
                         message: e.to_string(),
                     },
                 );
@@ -369,6 +370,7 @@ fn connection_frames(
                     stream,
                     &Reply::Error {
                         code,
+                        retry_after_ms: 0,
                         message: e.to_string(),
                     },
                 )
@@ -393,6 +395,7 @@ fn connection_frames(
             Request::SubmitSource {
                 tenant,
                 mode,
+                deadline_ms,
                 source,
                 key,
                 payload,
@@ -401,6 +404,7 @@ fn connection_frames(
                 metrics,
                 buckets,
                 tenant,
+                deadline_ms,
                 JobBody::Source {
                     mode,
                     source,
@@ -411,12 +415,14 @@ fn connection_frames(
             Request::SubmitHandle {
                 tenant,
                 handle,
+                deadline_ms,
                 payload,
             } => submit_edge(
                 admission,
                 metrics,
                 buckets,
                 tenant,
+                deadline_ms,
                 JobBody::Handle { handle, payload },
             ),
         };
@@ -446,39 +452,49 @@ fn submit_edge(
     metrics: &Mutex<NetMetrics>,
     buckets: &[Mutex<TokenBucket>],
     tenant: u32,
+    deadline_ms: u32,
     body: JobBody,
 ) -> Vec<u8> {
     if tenant as usize >= buckets.len() {
         return Reply::Error {
             code: ErrorCode::UnknownTenant,
+            retry_after_ms: 0,
             message: format!("tenant {tenant} not configured ({} tenants)", buckets.len()),
         }
         .encode();
     }
-    if !buckets[tenant as usize]
-        .lock()
-        .unwrap()
-        .try_take(Instant::now())
     {
-        metrics.lock().unwrap().tenant_mut(tenant).rate_limited += 1;
-        return Reply::Error {
-            code: ErrorCode::RateLimited,
-            message: "token bucket empty; retry later".to_string(),
+        let mut bucket = buckets[tenant as usize].lock().unwrap();
+        if !bucket.try_take(Instant::now()) {
+            // tell the client exactly when the bucket refills one token,
+            // rounded up so an obedient retry never hits empty again
+            let retry_after_ms = (bucket.retry_after().as_secs_f64() * 1000.0).ceil() as u32;
+            drop(bucket);
+            metrics.lock().unwrap().tenant_mut(tenant).rate_limited += 1;
+            return Reply::Error {
+                code: ErrorCode::RateLimited,
+                retry_after_ms,
+                message: "token bucket empty; retry later".to_string(),
+            }
+            .encode();
         }
-        .encode();
     }
+    let now = Instant::now();
+    let deadline = (deadline_ms > 0).then(|| now + Duration::from_millis(u64::from(deadline_ms)));
     let (tx, rx) = mpsc::channel();
     let job = Job {
         tenant,
         body,
         reply: tx,
-        enqueued: Instant::now(),
+        enqueued: now,
+        deadline,
     };
     match admission.push(job) {
         Err(AdmitError::Draining) => {
             metrics.lock().unwrap().tenant_mut(tenant).rejected += 1;
             return Reply::Error {
                 code: ErrorCode::Draining,
+                retry_after_ms: 0,
                 message: "server is draining".to_string(),
             }
             .encode();
@@ -487,18 +503,39 @@ fn submit_edge(
             metrics.lock().unwrap().tenant_mut(tenant).rejected += 1;
             return Reply::Error {
                 code: ErrorCode::QueueFull,
+                retry_after_ms: 0,
                 message: "admission queue full".to_string(),
             }
             .encode();
         }
-        Ok(Some(victim)) => {
-            // shed-oldest: the victim's connection gets a typed error —
-            // its reader is blocked on this very channel, never hung
-            metrics.lock().unwrap().tenant_mut(victim.tenant).shed += 1;
+        Ok(Some(Victim {
+            job: victim,
+            expired,
+        })) => {
+            // the victim's connection gets a typed error — its reader is
+            // blocked on this very channel, never hung
+            let (code, message) = if expired {
+                metrics
+                    .lock()
+                    .unwrap()
+                    .tenant_mut(victim.tenant)
+                    .deadline_expired += 1;
+                (
+                    ErrorCode::DeadlineExceeded,
+                    "deadline exceeded while queued".to_string(),
+                )
+            } else {
+                metrics.lock().unwrap().tenant_mut(victim.tenant).shed += 1;
+                (
+                    ErrorCode::Shed,
+                    "shed under overload (oldest-first)".to_string(),
+                )
+            };
             let _ = victim.reply.send(
                 Reply::Error {
-                    code: ErrorCode::Shed,
-                    message: "shed under overload (oldest-first)".to_string(),
+                    code,
+                    retry_after_ms: 0,
+                    message,
                 }
                 .encode(),
             );
@@ -509,6 +546,7 @@ fn submit_edge(
         Ok(bytes) => bytes,
         Err(_) => Reply::Error {
             code: ErrorCode::Draining,
+            retry_after_ms: 0,
             message: "service stopped before reply".to_string(),
         }
         .encode(),
@@ -591,8 +629,8 @@ fn service_loop(
         let mut m = metrics.lock().unwrap();
         for (job, outcome) in pending {
             let bytes = match outcome {
-                Ok((ticket, handle)) => match srv.take(ticket) {
-                    Some((out, report)) => {
+                Ok((ticket, handle)) => match srv.outcome(ticket) {
+                    Some(Ok((out, report))) => {
                         m.record_completion(job.tenant, job.enqueued.elapsed());
                         Reply::Result {
                             handle,
@@ -601,10 +639,32 @@ fn service_loop(
                         }
                         .encode()
                     }
+                    Some(Err(e)) => {
+                        // request-level failure: this ticket's plan
+                        // crashed, expired, or is quarantined — the
+                        // service thread itself never unwinds
+                        let code = match e {
+                            RequestError::DeadlineExceeded => {
+                                m.tenant_mut(job.tenant).deadline_expired += 1;
+                                ErrorCode::DeadlineExceeded
+                            }
+                            _ => {
+                                m.record_panic(job.tenant);
+                                ErrorCode::PlanPanicked
+                            }
+                        };
+                        Reply::Error {
+                            code,
+                            retry_after_ms: 0,
+                            message: e.to_string(),
+                        }
+                        .encode()
+                    }
                     None => {
                         m.tenant_mut(job.tenant).errors += 1;
                         Reply::Error {
                             code: ErrorCode::PlanRejected,
+                            retry_after_ms: 0,
                             message: "plan execution failed".to_string(),
                         }
                         .encode()
@@ -612,7 +672,12 @@ fn service_loop(
                 },
                 Err((code, message)) => {
                     m.tenant_mut(job.tenant).errors += 1;
-                    Reply::Error { code, message }.encode()
+                    Reply::Error {
+                        code,
+                        retry_after_ms: 0,
+                        message,
+                    }
+                    .encode()
                 }
             };
             let _ = job.reply.send(bytes);
@@ -623,7 +688,12 @@ fn service_loop(
         m.serve.cache_misses = stats.cache_misses;
         m.serve.evictions = stats.evictions;
         m.serve.batches = stats.batches;
+        m.serve.panics = stats.panics;
+        m.serve.deadline_expired = stats.deadline_expired;
+        m.serve.rebuilds = stats.rebuilds;
+        m.serve.quarantines = stats.quarantines;
         m.serve.cached_plans = srv.cached_plans();
+        m.serve.quarantined_plans = srv.quarantined_plans();
         m.serve.batch_window = srv.batch_window();
         m.serve.width_cap = srv.width_cap().min(srv.thread_budget().total());
         m.queue_depth = admission.depth();
@@ -676,8 +746,10 @@ fn submit_job(
     let input = ParArray::from_parts(payload.clone());
     let tenant_id = ids[job.tenant as usize];
     let submitted = match mode {
-        Mode::Plain => srv.submit_keyed(tenant_id, &key, plan, input),
-        Mode::Optimized => srv.submit_optimized(tenant_id, &key, &plan, reg, input),
+        Mode::Plain => srv.submit_keyed_deadline(tenant_id, &key, plan, input, job.deadline),
+        Mode::Optimized => {
+            srv.submit_optimized_deadline(tenant_id, &key, &plan, reg, input, job.deadline)
+        }
     };
     let ticket = submitted.map_err(|e| match e {
         SclError::MachineTooSmall { .. } => (ErrorCode::MachineTooSmall, e.to_string()),

@@ -4,6 +4,7 @@
 
 use std::time::Duration;
 
+use scl_exec::ExecPolicy;
 use scl_net::frame::MAX_PAYLOAD_ELEMS;
 use scl_net::{
     ClientError, ErrorCode, Mode, NetClient, NetConfig, NetServer, ShedPolicy, SloContract,
@@ -21,7 +22,7 @@ fn config() -> NetConfig {
 
 fn server_error(r: Result<scl_net::NetResult, ClientError>) -> (ErrorCode, String) {
     match r {
-        Err(ClientError::Server { code, message }) => (code, message),
+        Err(ClientError::Server { code, message, .. }) => (code, message),
         other => panic!("expected a typed server error, got {other:?}"),
     }
 }
@@ -124,6 +125,114 @@ fn rate_limited_tenants_get_typed_errors_and_counters() {
         stats.contains("\"rate_limited\": 1"),
         "limit visible in stats: {stats}"
     );
+    server.shutdown();
+}
+
+#[test]
+fn crashing_plan_gets_a_typed_reply_and_the_service_survives() {
+    let server = NetServer::start(config()).unwrap();
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+
+    // `trap` panics on the sentinel value — only this request fails
+    let (code, msg) = server_error(c.submit_source(0, Mode::Plain, "map(trap)", "", &[1, 666, 3]));
+    assert_eq!(code, ErrorCode::PlanPanicked);
+    assert!(msg.contains("trap: hit sentinel 666"), "{msg}");
+
+    // the single service thread did not unwind: same connection, same
+    // tenant, the next request is served normally
+    let ok = c
+        .submit_source(0, Mode::Plain, "map(inc)", "", &[1, 2])
+        .unwrap();
+    assert_eq!(ok.output, vec![2, 3]);
+
+    // resubmitting the crashed plan with a healthy payload succeeds —
+    // the torn-down graph is rebuilt from its cached plan
+    let retry = c
+        .submit_source(0, Mode::Plain, "map(trap)", "", &[1, 2, 3])
+        .unwrap();
+    assert_eq!(retry.output, vec![1, 2, 3]);
+
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"panicked\": 1"), "{stats}");
+    assert!(stats.contains("\"rebuilds\": 1"), "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadlines_answer_typed_without_occupying_the_service() {
+    let mut cfg = config();
+    cfg.exec = ExecPolicy::Sequential;
+    cfg.tenants = vec![TenantSpec::new("t0")];
+    let server = NetServer::start(cfg).unwrap();
+    let addr = server.local_addr();
+
+    // occupy the service: 8 elements of `slow` is ~16ms of work
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let busy = std::thread::spawn(move || {
+        let mut a = NetClient::connect(addr).unwrap();
+        ready_tx.send(()).unwrap();
+        a.submit_source(
+            0,
+            Mode::Plain,
+            "map(slow) . rotate(1)",
+            "",
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+        )
+        .unwrap()
+    });
+    ready_rx.recv().unwrap();
+    std::thread::sleep(Duration::from_millis(4));
+
+    // this request's 1ms budget burns away behind the busy round; it is
+    // shed at the first boundary that notices it's dead (the plan queue,
+    // the push into the graph, or the first hop) — never run to answer
+    let mut c = NetClient::connect(addr).unwrap();
+    c.set_deadline_ms(1);
+    let (code, _) =
+        server_error(c.submit_source(0, Mode::Plain, "map(slow) . rotate(1)", "", &[1, 2, 3, 4]));
+    assert_eq!(code, ErrorCode::DeadlineExceeded);
+    let r = busy.join().unwrap();
+    assert_eq!(
+        r.output,
+        vec![2, 3, 4, 5, 6, 7, 8, 1],
+        "busy round unharmed"
+    );
+
+    // deadline 0 = none: the same plan completes
+    c.set_deadline_ms(0);
+    let ok = c
+        .submit_source(0, Mode::Plain, "map(slow) . rotate(1)", "", &[1, 2])
+        .unwrap();
+    assert_eq!(ok.output, vec![2, 1]);
+
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"deadline_expired\": 1"), "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn rate_limit_rejections_carry_a_retry_after_hint() {
+    let mut cfg = config();
+    // 2 tokens/second, burst 1: after one take the bucket needs ~500ms
+    cfg.tenants = vec![TenantSpec::new("limited").with_rate(2.0, 1.0)];
+    let server = NetServer::start(cfg).unwrap();
+    let mut c = NetClient::connect(server.local_addr()).unwrap();
+    assert!(c
+        .submit_source(0, Mode::Plain, "map(inc)", "", &[1])
+        .is_ok());
+    match c.submit_source(0, Mode::Plain, "map(inc)", "", &[1]) {
+        Err(ClientError::Server {
+            code: ErrorCode::RateLimited,
+            retry_after_ms,
+            ..
+        }) => {
+            assert!(
+                retry_after_ms > 0 && retry_after_ms <= 500,
+                "hint tracks the refill rate, got {retry_after_ms}ms"
+            );
+        }
+        other => panic!("expected a rate-limit error, got {other:?}"),
+    }
     server.shutdown();
 }
 

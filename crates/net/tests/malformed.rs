@@ -256,6 +256,7 @@ fn randomized_garbage_storm_never_kills_the_server() {
                 let mut bytes = scl_net::Request::SubmitSource {
                     tenant: 0,
                     mode: Mode::Plain,
+                    deadline_ms: 0,
                     source: "map(inc) . rotate(1)".to_string(),
                     key: String::new(),
                     payload: vec![1, 2, 3],

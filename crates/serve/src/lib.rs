@@ -96,17 +96,23 @@
 //! [`Scl::run_fused`]: scl_core::Scl::run_fused
 //! [`Scl::run_optimized`]: scl_core::Scl::run_optimized
 
-use scl_core::{FusePort, PlanFingerprint, Scl, SclError, Skel};
+use scl_core::{panic_message, FusePort, PlanFingerprint, RequestError, Scl, SclError, Skel};
 use scl_exec::{ExecPolicy, ThreadBudget};
 use scl_machine::{Machine, MachineReport};
 use scl_stream::{StreamExec, StreamPolicy};
 use scl_transform::{optimize, Registry};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 mod scheduler;
 
 pub use scheduler::fair_shares;
+
+/// What one request resolved to: its output and private machine report,
+/// or the typed reason it failed. Failure is a value here — a crashing
+/// plan fails its own tickets and nothing else.
+pub type RequestOutcome<B> = Result<(B, MachineReport), RequestError>;
 
 /// How a [`Serve`] front-end runs: the machine template every request's
 /// context is cloned from, the execution policy compiled graphs serve
@@ -120,12 +126,15 @@ pub struct ServePolicy {
     plan_cache_cap: usize,
     capacity: usize,
     adaptive: bool,
+    locked_links: bool,
+    quarantine_after: u32,
 }
 
 impl ServePolicy {
     /// Defaults: [`ExecPolicy::auto`] execution, a thread budget matching
     /// the policy, batch window 16, plan cache capacity 32, capacity-8
-    /// channels, adaptive width control on.
+    /// channels, adaptive width control on, quarantine after 3
+    /// consecutive crashed batches.
     pub fn new(machine: Machine) -> ServePolicy {
         ServePolicy {
             machine,
@@ -135,6 +144,8 @@ impl ServePolicy {
             plan_cache_cap: 32,
             capacity: 8,
             adaptive: true,
+            locked_links: false,
+            quarantine_after: 3,
         }
     }
 
@@ -189,6 +200,28 @@ impl ServePolicy {
         self
     }
 
+    /// Force every cached graph's stage-to-stage links onto the locked
+    /// [`Bounded`](scl_exec::Bounded) channel instead of the lock-free
+    /// ring matrices — see
+    /// [`StreamPolicy::with_locked_links`](scl_stream::StreamPolicy::with_locked_links).
+    /// Exists for differential testing of the two queue families at the
+    /// service layer; answers and reports are identical either way.
+    pub fn with_locked_links(mut self, locked_links: bool) -> ServePolicy {
+        self.locked_links = locked_links;
+        self
+    }
+
+    /// Set how many **consecutive** crashed batches (≥ 1) a cached plan
+    /// survives before it is quarantined: further submissions of the
+    /// plan resolve immediately to [`RequestError::Quarantined`] without
+    /// compiling or running anything. A fully successful batch resets the
+    /// count; evicting the entry (LRU or the memory actuator) pardons the
+    /// plan — the next submission recompiles from scratch.
+    pub fn with_quarantine_after(mut self, crashes: u32) -> ServePolicy {
+        self.quarantine_after = crashes.max(1);
+        self
+    }
+
     /// The effective thread budget: the explicit setting, else the
     /// execution policy's thread count.
     fn budget_threads(&self) -> usize {
@@ -202,6 +235,7 @@ impl ServePolicy {
             .with_capacity(self.capacity)
             .with_adaptive(self.adaptive)
             .with_fused_charging(fused_charging)
+            .with_locked_links(self.locked_links)
     }
 }
 
@@ -232,10 +266,23 @@ pub struct ServeStats {
     /// Uncacheable submissions served immediately through the eager /
     /// fallback path (unfusable plans, non-lowerable optimized plans).
     pub eager_runs: u64,
-    /// Requests abandoned because their plan panicked mid-batch: their
-    /// tickets never become ready, and the panic re-raised from
-    /// [`Serve::step`] once the round was settled.
+    /// Requests resolved with a typed [`RequestError`] (any kind): their
+    /// tickets are ready with an `Err` outcome, collectable through
+    /// [`Serve::outcome`]. Supersets [`ServeStats::panics`] and
+    /// [`ServeStats::deadline_expired`].
     pub failed: u64,
+    /// Requests failed because their plan crashed (stage/barrier panics,
+    /// barrier errors, eager panics) — including requests queued behind a
+    /// crashed batch for the same plan.
+    pub panics: u64,
+    /// Requests failed because their deadline passed before completion.
+    pub deadline_expired: u64,
+    /// Graphs rebuilt from a resubmitted plan after a crash tore the
+    /// previous graph down.
+    pub rebuilds: u64,
+    /// Cached plans quarantined after reaching the consecutive-crash
+    /// limit ([`ServePolicy::with_quarantine_after`]).
+    pub quarantines: u64,
 }
 
 struct Tenant {
@@ -244,21 +291,33 @@ struct Tenant {
     /// Requests accepted but not yet completed.
     pending: usize,
     served: u64,
+    /// Requests resolved with a typed error — the crash/expiry sensor an
+    /// autonomic manager reads per tenant.
+    failed: u64,
 }
 
-/// One pending request: its claim check, owner, and input.
+/// One pending request: its claim check, owner, input, and optional
+/// absolute deadline.
 struct Request<A> {
     ticket: Ticket,
     tenant: TenantId,
     input: A,
+    deadline: Option<Instant>,
 }
 
-/// A cached compiled plan: the persistent graph plus its waiting queue.
+/// A cached plan: the persistent graph (`None` after a crash tore it
+/// down, until the next submission rebuilds it), its waiting queue, and
+/// its supervision state.
 struct Entry<A: FusePort, B: FusePort> {
-    exec: StreamExec<A, B>,
+    exec: Option<StreamExec<A, B>>,
     queue: VecDeque<Request<A>>,
     /// Submission-counter stamp of the last use, for LRU eviction.
     last_used: u64,
+    /// Consecutive crashed batches; reset by a fully successful batch.
+    crashes: u32,
+    /// Once true, submissions of this plan fail fast as
+    /// [`RequestError::Quarantined`] until the entry is evicted.
+    quarantined: bool,
 }
 
 /// The multi-tenant plan service; see the [crate docs](self).
@@ -274,7 +333,7 @@ pub struct Serve<A: FusePort + Send + 'static, B: FusePort + 'static> {
     /// The plan cache. A `BTreeMap` so service rounds visit entries in a
     /// deterministic (fingerprint) order.
     cache: BTreeMap<PlanFingerprint, Entry<A, B>>,
-    done: HashMap<Ticket, (B, MachineReport)>,
+    done: HashMap<Ticket, RequestOutcome<B>>,
     next_ticket: u64,
     /// Monotone submission counter, stamping cache entries for LRU.
     clock: u64,
@@ -320,6 +379,7 @@ where
             weight: weight.max(1),
             pending: 0,
             served: 0,
+            failed: 0,
         });
         id
     }
@@ -339,14 +399,28 @@ where
         self.tenants[t.0].served
     }
 
+    /// Requests resolved with a typed error for `t` over the service's
+    /// lifetime — plan crashes, deadline expiries, quarantine rejections.
+    /// The per-tenant crash sensor an autonomic manager de-weights on.
+    pub fn tenant_failed(&self, t: TenantId) -> u64 {
+        self.tenants[t.0].failed
+    }
+
     /// The serving counters so far.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
     }
 
-    /// Compiled graphs currently resident in the plan cache.
+    /// Compiled graphs currently resident in the plan cache (live graphs
+    /// only: entries torn down by a crash hold no graph until rebuilt).
     pub fn cached_plans(&self) -> usize {
-        self.cache.len()
+        self.cache.values().filter(|e| e.exec.is_some()).count()
+    }
+
+    /// Cached plans currently quarantined (rejecting submissions until
+    /// evicted).
+    pub fn quarantined_plans(&self) -> usize {
+        self.cache.values().filter(|e| e.quarantined).count()
     }
 
     /// Requests waiting in plan queues (excludes completed ones).
@@ -492,18 +566,34 @@ where
         plan: Skel<'static, A, B>,
         input: A,
     ) -> Result<Ticket, SclError> {
+        self.submit_keyed_deadline(tenant, key, plan, input, None)
+    }
+
+    /// [`Serve::submit_keyed`] with an absolute deadline attached to the
+    /// request. Once the deadline passes, the request short-circuits to
+    /// [`RequestError::DeadlineExceeded`] wherever it happens to be —
+    /// still queued, mid-batch, or between farm stages — instead of
+    /// occupying replicas. `None` means no deadline.
+    pub fn submit_keyed_deadline(
+        &mut self,
+        tenant: TenantId,
+        key: &str,
+        plan: Skel<'static, A, B>,
+        input: A,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SclError> {
         let input = self.check_input(input)?;
         match plan.fingerprint() {
             None => {
                 // unfusable: nothing to compile, nothing to cache — serve
                 // immediately through the eager layer, exactly as the
                 // streaming runtime's eager fallback would
-                Ok(self.eager_run(tenant, input, |scl, input| plan.run(scl, input)))
+                Ok(self.eager_run(tenant, input, deadline, |scl, input| plan.run(scl, input)))
             }
             Some(fp) => {
                 let fp = salt_key(fp, "plain", key);
                 let ticket = self.mint_ticket(tenant);
-                self.enqueue(fp, ticket, tenant, input, || {
+                self.enqueue(fp, ticket, tenant, input, deadline, || {
                     (plan, /* fused_charging = */ false)
                 });
                 Ok(ticket)
@@ -534,16 +624,17 @@ where
     /// strict capacity, the same trade the scheduler's one-thread floor
     /// makes). Returns how many requests completed.
     ///
-    /// # Panics
-    ///
-    /// A plan closure that panics poisons its plan: the round is first
-    /// settled — the other graphs' results deliver, the poisoned graph
-    /// is dropped from the cache, and the failed plan's requests (the
-    /// batch **and** anything still queued behind it) are abandoned
-    /// (never [`Serve::is_ready`], counted in [`ServeStats::failed`]) —
-    /// and then the panic re-raises here. The service remains consistent
-    /// and usable afterwards.
+    /// This method **never unwinds on a plan failure**: a crashing plan
+    /// resolves its own tickets to `Err` outcomes (collect them with
+    /// [`Serve::outcome`]), the round stays consistent, and the other
+    /// plans' results deliver normally. The crashed plan's graph is torn
+    /// down — requests still queued behind the batch fail with the same
+    /// error — and the next submission of the plan rebuilds it from
+    /// scratch, until [`ServePolicy::with_quarantine_after`] consecutive
+    /// crashes quarantine it. Requests whose deadline passed while queued
+    /// are shed here first, before any batch is formed.
     pub fn step(&mut self) -> usize {
+        self.expire_queued();
         let shares: HashMap<TenantId, usize> = self.shares().into_iter().collect();
         let window = self.policy.batch_window;
         let fps: Vec<PlanFingerprint> = self
@@ -552,12 +643,6 @@ where
             .filter(|(_, e)| !e.queue.is_empty())
             .map(|(fp, _)| *fp)
             .collect();
-
-        // A panicking plan must not corrupt the round, in either phase:
-        // its batch is abandoned (tickets never become ready, accounting
-        // settled), its poisoned graph is dropped, the other graphs still
-        // serve, and the panic re-raises once the round is consistent.
-        let mut poison: Option<Box<dyn std::any::Any + Send>> = None;
 
         // phase 1: claim shares and push every plan's batch
         struct InFlight {
@@ -583,84 +668,122 @@ where
             let want = want.clamp(1, self.budget.total()).min(self.width_cap);
             let lease = self.budget.try_claim(want, 1);
             let granted = lease.as_ref().map_or(1, |l| l.granted());
-            entry.exec.set_width_cap(granted.min(self.width_cap));
+            let exec = entry
+                .exec
+                .as_mut()
+                .expect("a queued entry always has a live graph");
+            exec.set_width_cap(granted.min(self.width_cap));
 
             let tickets: Vec<(Ticket, TenantId)> =
                 batch.iter().map(|r| (r.ticket, r.tenant)).collect();
-            // inline (1-thread) graphs execute items inside push, so a
-            // plan panic can surface here as well as at drain
-            let pushed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                for r in batch {
-                    entry
-                        .exec
-                        .push(r.input)
-                        .expect("submit validated the input against this machine");
-                }
-            }));
-            match pushed {
-                Ok(()) => in_flight.push(InFlight { fp, tickets, lease }),
-                Err(payload) => {
-                    drop(lease);
-                    self.abandon_batch(fp, tickets);
-                    poison.get_or_insert(payload);
-                }
+            // push never unwinds on a plan failure: a crashing stage (or
+            // an inline graph executing inside push) poisons the item's
+            // envelope, resolved at drain as a typed error
+            for r in batch {
+                exec.push_deadline(r.input, r.deadline)
+                    .expect("submit validated the input against this machine");
             }
+            in_flight.push(InFlight { fp, tickets, lease });
         }
 
         // phase 2: drain each graph (their farm replicas have been
-        // working concurrently since the pushes) and deliver results
+        // working concurrently since the pushes) and deliver outcomes —
+        // healthy results and typed failures alike, one per ticket
         let mut completed = 0usize;
         for InFlight { fp, tickets, lease } in in_flight {
-            let drained = {
+            let outcomes = {
                 let entry = self.cache.get_mut(&fp).expect("still resident");
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    entry.exec.drain_with_reports()
-                }))
+                entry
+                    .exec
+                    .as_mut()
+                    .expect("graph stays live until this drain settles")
+                    .drain_outcomes()
             };
             drop(lease);
-            match drained {
-                Ok(outputs) => {
-                    assert_eq!(
-                        outputs.len(),
-                        tickets.len(),
-                        "service invariant: one output per pushed request"
-                    );
-                    for ((ticket, tenant), (out, report)) in tickets.into_iter().zip(outputs) {
+            assert_eq!(
+                outcomes.len(),
+                tickets.len(),
+                "service invariant: one outcome per pushed request"
+            );
+            // the first fault (not deadline expiry) in the batch decides
+            // the plan's supervision: tear down and count a crash
+            let mut fault: Option<RequestError> = None;
+            for ((ticket, tenant), outcome) in tickets.into_iter().zip(outcomes) {
+                match outcome {
+                    Ok((out, report)) => {
                         self.finish(ticket, tenant, out, report);
                         completed += 1;
                     }
-                    self.stats.batches += 1;
+                    Err(err) => {
+                        if fault.is_none() && err.is_fault() {
+                            fault = Some(err.clone());
+                        }
+                        self.fail(ticket, tenant, err);
+                    }
                 }
-                Err(payload) => {
-                    self.abandon_batch(fp, tickets);
-                    poison.get_or_insert(payload);
+            }
+            self.stats.batches += 1;
+            match fault {
+                Some(err) => self.crash_entry(fp, err),
+                None => {
+                    if let Some(entry) = self.cache.get_mut(&fp) {
+                        entry.crashes = 0;
+                    }
                 }
             }
         }
         self.evict_to_cap();
-        if let Some(payload) = poison {
-            std::panic::resume_unwind(payload);
-        }
         completed
     }
 
-    /// Settle a batch whose plan panicked: drop the poisoned graph — with
-    /// whatever completed outputs it still buffered — from the cache, and
-    /// close the accounting for the batch's tickets **and** any requests
-    /// still queued behind it for the same plan (they would otherwise
-    /// leak: never ready, never failed, pending forever). All of them
-    /// count as [`ServeStats::failed`].
-    fn abandon_batch(&mut self, fp: PlanFingerprint, tickets: Vec<(Ticket, TenantId)>) {
-        let queued: Vec<(Ticket, TenantId)> = self
-            .cache
-            .remove(&fp)
-            .map(|e| e.queue.iter().map(|r| (r.ticket, r.tenant)).collect())
-            .unwrap_or_default();
-        for (_ticket, tenant) in tickets.into_iter().chain(queued) {
-            self.tenants[tenant.0].pending -= 1;
-            self.stats.failed += 1;
+    /// Shed queued requests whose deadline already passed — before any
+    /// batch forms, so dead work never claims budget or a batch slot.
+    fn expire_queued(&mut self) {
+        let mut expired: Vec<(Ticket, TenantId)> = Vec::new();
+        let mut now = None;
+        for entry in self.cache.values_mut() {
+            if entry.queue.iter().all(|r| r.deadline.is_none()) {
+                continue; // the common (deadline-free) case: no clock read
+            }
+            let now = *now.get_or_insert_with(Instant::now);
+            let mut kept = VecDeque::with_capacity(entry.queue.len());
+            for r in entry.queue.drain(..) {
+                if r.deadline.is_some_and(|d| now >= d) {
+                    expired.push((r.ticket, r.tenant));
+                } else {
+                    kept.push_back(r);
+                }
+            }
+            entry.queue = kept;
         }
-        self.stats.batches += 1;
+        for (ticket, tenant) in expired {
+            self.fail(ticket, tenant, RequestError::DeadlineExceeded);
+        }
+    }
+
+    /// Supervise a crashed plan: tear the graph down (its farm workers
+    /// join; the next submission rebuilds from the plan), fail every
+    /// request still queued behind the crashed batch with the same typed
+    /// error, bump the consecutive-crash count, and quarantine the plan
+    /// once it reaches the limit.
+    fn crash_entry(&mut self, fp: PlanFingerprint, err: RequestError) {
+        let Some(entry) = self.cache.get_mut(&fp) else {
+            return;
+        };
+        entry.exec = None; // teardown: StreamExec drop joins its workers
+        entry.crashes += 1;
+        if !entry.quarantined && entry.crashes >= self.policy.quarantine_after {
+            entry.quarantined = true;
+            self.stats.quarantines += 1;
+        }
+        let queued: Vec<(Ticket, TenantId)> = entry
+            .queue
+            .drain(..)
+            .map(|r| (r.ticket, r.tenant))
+            .collect();
+        for (ticket, tenant) in queued {
+            self.fail(ticket, tenant, err.clone());
+        }
     }
 
     /// Run service rounds until no request is waiting. (Completed results
@@ -674,11 +797,30 @@ where
     /// Redeem a ticket: the request's output and its own machine report.
     /// `None` until the request's service round has run (drive with
     /// [`Serve::step`] / [`Serve::run_until_idle`]).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the request's failure if it resolved to a typed error —
+    /// the untyped convenience for callers that only submit healthy
+    /// plans. Collect with [`Serve::outcome`] to receive failures as
+    /// values instead.
     pub fn take(&mut self, ticket: Ticket) -> Option<(B, MachineReport)> {
+        match self.outcome(ticket)? {
+            Ok(out) => Some(out),
+            Err(e) => panic!("request failed: {e}"),
+        }
+    }
+
+    /// Redeem a ticket as a value: the request's output and report, or
+    /// the typed [`RequestError`] it failed with. `None` until the
+    /// request's service round has run. This is the collection API a
+    /// service front door uses — failure never unwinds through it.
+    pub fn outcome(&mut self, ticket: Ticket) -> Option<RequestOutcome<B>> {
         self.done.remove(&ticket)
     }
 
-    /// Whether a ticket is ready to [`Serve::take`].
+    /// Whether a ticket is resolved — to a result or a typed failure —
+    /// and ready to collect with [`Serve::outcome`] / [`Serve::take`].
     pub fn is_ready(&self, ticket: Ticket) -> bool {
         self.done.contains_key(&ticket)
     }
@@ -700,17 +842,23 @@ where
     /// Serve one request immediately through the eager layer — the
     /// fallback for plans with nothing to compile (unfusable, or
     /// non-lowerable in optimized mode). The run claims its width from
-    /// the shared budget ([`Serve::eager_budgeted`]) and completes the
-    /// ticket before returning. A panicking plan settles its accounting
-    /// first (ticket abandoned, counted [`ServeStats::failed`]) and then
-    /// re-raises — the same contract as [`Serve::step`].
+    /// the shared budget ([`Serve::eager_budgeted`]) and resolves the
+    /// ticket before returning. A panicking plan resolves its ticket to
+    /// a typed `Err` outcome instead of unwinding — the same
+    /// failure-as-a-value contract as [`Serve::step`] — and an
+    /// already-expired deadline short-circuits without running at all.
     fn eager_run(
         &mut self,
         tenant: TenantId,
         input: A,
+        deadline: Option<Instant>,
         run: impl FnOnce(&mut Scl, A) -> B,
     ) -> Ticket {
         let ticket = self.mint_ticket(tenant);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.fail(ticket, tenant, RequestError::DeadlineExceeded);
+            return ticket;
+        }
         let (exec, lease) = self.eager_budgeted();
         let mut scl = Scl::new(self.policy.machine.clone()).with_policy(exec);
         let result =
@@ -720,14 +868,15 @@ where
             Ok(out) => {
                 self.finish(ticket, tenant, out, scl.machine.report());
                 self.stats.eager_runs += 1;
-                ticket
             }
             Err(payload) => {
-                self.tenants[tenant.0].pending -= 1;
-                self.stats.failed += 1;
-                std::panic::resume_unwind(payload)
+                let err = RequestError::Panicked {
+                    message: panic_message(&*payload).to_string(),
+                };
+                self.fail(ticket, tenant, err);
             }
         }
+        ticket
     }
 
     /// The execution policy (and its budget lease) for an immediate eager
@@ -762,46 +911,93 @@ where
     }
 
     fn finish(&mut self, ticket: Ticket, tenant: TenantId, out: B, report: MachineReport) {
-        self.done.insert(ticket, (out, report));
+        self.done.insert(ticket, Ok((out, report)));
         self.stats.completed += 1;
         let t = &mut self.tenants[tenant.0];
         t.pending -= 1;
         t.served += 1;
     }
 
-    /// Queue a request under `fp`, compiling the graph on a cache miss
-    /// (`build` yields the plan and its charging mode only then).
+    /// Resolve a ticket to a typed failure: the outcome lands in the
+    /// done-pile (ready, collectable via [`Serve::outcome`]) and the
+    /// accounting settles — per-kind counters included.
+    fn fail(&mut self, ticket: Ticket, tenant: TenantId, err: RequestError) {
+        match &err {
+            RequestError::DeadlineExceeded => self.stats.deadline_expired += 1,
+            e if e.is_fault() => self.stats.panics += 1,
+            _ => {}
+        }
+        self.stats.failed += 1;
+        let t = &mut self.tenants[tenant.0];
+        t.pending -= 1;
+        t.failed += 1;
+        self.done.insert(ticket, Err(err));
+    }
+
+    /// Queue a request under `fp`, compiling the graph on a cache miss —
+    /// or recompiling it when a crash tore the cached graph down
+    /// (`build` yields the plan and its charging mode only then). A
+    /// quarantined plan fails the request immediately instead.
     fn enqueue(
         &mut self,
         fp: PlanFingerprint,
         ticket: Ticket,
         tenant: TenantId,
         input: A,
+        deadline: Option<Instant>,
         build: impl FnOnce() -> (Skel<'static, A, B>, bool),
     ) {
         self.clock += 1;
         let clock = self.clock;
-        let entry = match self.cache.entry(fp) {
-            std::collections::btree_map::Entry::Occupied(e) => {
-                self.stats.cache_hits += 1;
-                e.into_mut()
+        if let Some(entry) = self.cache.get_mut(&fp) {
+            entry.last_used = clock;
+            if entry.quarantined {
+                let crashes = entry.crashes;
+                self.fail(ticket, tenant, RequestError::Quarantined { crashes });
+                return;
             }
-            std::collections::btree_map::Entry::Vacant(v) => {
-                self.stats.cache_misses += 1;
+            self.stats.cache_hits += 1;
+            if entry.exec.is_none() {
+                // supervision's recovery half: the previous graph crashed
+                // and was torn down; rebuild it from this submission's
+                // (structurally equal) plan
                 let (plan, fused_charging) = build();
-                v.insert(Entry {
-                    exec: StreamExec::new(plan, self.policy.stream_policy(fused_charging)),
-                    queue: VecDeque::new(),
-                    last_used: clock,
-                })
+                entry.exec = Some(StreamExec::new(
+                    plan,
+                    self.policy.stream_policy(fused_charging),
+                ));
+                self.stats.rebuilds += 1;
             }
-        };
-        entry.last_used = clock;
-        entry.queue.push_back(Request {
+            entry.queue.push_back(Request {
+                ticket,
+                tenant,
+                input,
+                deadline,
+            });
+            return;
+        }
+        self.stats.cache_misses += 1;
+        let (plan, fused_charging) = build();
+        let mut queue = VecDeque::new();
+        queue.push_back(Request {
             ticket,
             tenant,
             input,
+            deadline,
         });
+        self.cache.insert(
+            fp,
+            Entry {
+                exec: Some(StreamExec::new(
+                    plan,
+                    self.policy.stream_policy(fused_charging),
+                )),
+                queue,
+                last_used: clock,
+                crashes: 0,
+                quarantined: false,
+            },
+        );
     }
 
     /// Drop least-recently-used idle entries until the cache fits its
@@ -852,11 +1048,26 @@ impl Serve<scl_core::ParArray<i64>, scl_core::ParArray<i64>> {
         reg: &'static Registry,
         input: scl_core::ParArray<i64>,
     ) -> Result<Ticket, SclError> {
+        self.submit_optimized_deadline(tenant, key, plan, reg, input, None)
+    }
+
+    /// [`Serve::submit_optimized`] with an absolute deadline attached —
+    /// the same propagation contract as
+    /// [`Serve::submit_keyed_deadline`].
+    pub fn submit_optimized_deadline(
+        &mut self,
+        tenant: TenantId,
+        key: &str,
+        plan: &Skel<'_, scl_core::ParArray<i64>, scl_core::ParArray<i64>>,
+        reg: &'static Registry,
+        input: scl_core::ParArray<i64>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SclError> {
         let input = self.check_input(input)?;
         let eager_fallback = |srv: &mut Self, input| {
             // outside the fusable/lowerable fragment: `run_optimized`
             // falls back to an eager run, and so does the service
-            srv.eager_run(tenant, input, |scl, input| plan.run(scl, input))
+            srv.eager_run(tenant, input, deadline, |scl, input| plan.run(scl, input))
         };
         let Some(fp) = plan.fingerprint() else {
             return Ok(eager_fallback(self, input));
@@ -864,18 +1075,25 @@ impl Serve<scl_core::ParArray<i64>, scl_core::ParArray<i64>> {
         let fp = salt_key(fp, "optimized", key);
         // a cache hit pays only the fingerprint: lowering (an O(plan) IR
         // clone plus symbol validation) is deferred to the miss path —
-        // the hit's structurally-equal predecessor already lowered
-        if self.cache.contains_key(&fp) {
+        // the hit's structurally-equal predecessor already lowered. An
+        // entry whose graph a crash tore down is *not* a ready hit: it
+        // needs this submission's plan to rebuild, so it takes the
+        // lowering path below (quarantined entries never build at all).
+        let hit_ready = self
+            .cache
+            .get(&fp)
+            .is_some_and(|e| e.exec.is_some() || e.quarantined);
+        if hit_ready {
             let ticket = self.mint_ticket(tenant);
-            self.enqueue(fp, ticket, tenant, input, || {
-                unreachable!("entry presence checked above; enqueue never builds on a hit")
+            self.enqueue(fp, ticket, tenant, input, deadline, || {
+                unreachable!("live or quarantined entry checked above; enqueue never builds here")
             });
             return Ok(ticket);
         }
         match plan.lower(reg) {
             Some(expr) => {
                 let ticket = self.mint_ticket(tenant);
-                self.enqueue(fp, ticket, tenant, input, move || {
+                self.enqueue(fp, ticket, tenant, input, deadline, move || {
                     let (opt, _log) = optimize(expr, reg);
                     let raised = Skel::from_expr(&opt, reg)
                         .expect("optimize preserves the array→array shape");

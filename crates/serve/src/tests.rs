@@ -317,7 +317,7 @@ fn threaded_service_matches_sequential_answers() {
 }
 
 #[test]
-fn panicking_plan_poisons_only_its_batch() {
+fn panicking_plan_fails_only_its_batch_with_a_typed_error() {
     let mut srv = serve(ExecPolicy::Sequential);
     let t = srv.add_tenant("t");
     // one healthy plan and one that panics on a specific input, in the
@@ -333,22 +333,32 @@ fn panicking_plan_poisons_only_its_batch() {
         )
         .unwrap();
 
-    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        srv.run_until_idle();
-    }))
-    .unwrap_err();
-    let msg = payload.downcast_ref::<String>().expect("labelled panic");
-    assert!(msg.contains("boom"), "{msg}");
-
-    // the round settled before re-raising: the healthy request delivered,
-    // the doomed one is abandoned, accounting is closed
+    // the round never unwinds: the crashing plan resolves its own ticket
+    // to a typed error, the healthy request delivers normally
+    srv.run_until_idle();
     assert!(srv.is_ready(healthy), "healthy batch still delivered");
-    assert!(!srv.is_ready(doomed), "poisoned batch abandoned");
+    assert!(srv.is_ready(doomed), "failed ticket resolves, not leaks");
+    match srv.outcome(doomed).unwrap() {
+        Err(RequestError::StagePanic {
+            stage,
+            part,
+            message,
+        }) => {
+            assert_eq!(stage, "map");
+            assert_eq!(part, 1, "the 42 sits in part 1");
+            assert_eq!(message, "boom");
+        }
+        other => panic!("expected a typed stage panic, got {other:?}"),
+    }
     assert_eq!(srv.stats().failed, 1);
+    assert_eq!(srv.stats().panics, 1);
+    assert_eq!(srv.tenant_failed(t), 1);
     assert_eq!(srv.tenant_pending(t), 0, "no leaked pending counts");
     assert_eq!(srv.pending_requests(), 0);
 
-    // the poisoned graph is gone and the service keeps serving
+    // the crashed graph is torn down (its entry stays, graphless) and
+    // the service keeps serving
+    assert_eq!(srv.cached_plans(), 1, "only the healthy graph stays live");
     let after = srv.submit(t, mixed_plan(), arr(5)).unwrap();
     srv.run_until_idle();
     assert!(srv.is_ready(after));
@@ -360,10 +370,10 @@ fn panicking_plan_poisons_only_its_batch() {
 }
 
 #[test]
-fn poisoned_plan_abandons_queued_requests_beyond_the_batch() {
+fn crashed_plan_fails_queued_requests_beyond_the_batch() {
     // window 1: the second request is still queued when the first one's
-    // batch panics — it must be abandoned with the plan, not leak as
-    // forever-pending
+    // batch crashes — it must fail with the plan (same typed error), not
+    // leak as forever-pending
     let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
         ServePolicy::new(unit_machine(4))
             .with_exec(ExecPolicy::Sequential)
@@ -375,37 +385,112 @@ fn poisoned_plan_abandons_queued_requests_beyond_the_batch() {
     let queued = srv.submit(t, bomb(), arr(1)).unwrap();
     assert_eq!(srv.pending_requests(), 2);
 
-    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        srv.step();
-    }))
-    .unwrap_err();
+    srv.step();
+    assert!(matches!(
+        srv.outcome(first),
+        Some(Err(RequestError::StagePanic { .. }))
+    ));
     assert!(
-        scl_core::panic_message(&*payload).contains("boom"),
-        "panic re-raised"
-    );
-    assert!(!srv.is_ready(first));
-    assert!(
-        !srv.is_ready(queued),
-        "queued request abandoned with the plan"
+        matches!(
+            srv.outcome(queued),
+            Some(Err(RequestError::StagePanic { .. }))
+        ),
+        "queued request fails with the plan"
     );
     assert_eq!(srv.stats().failed, 2);
+    assert_eq!(srv.stats().panics, 2);
     assert_eq!(srv.tenant_pending(t), 0, "no leaked pending counts");
     assert_eq!(srv.pending_requests(), 0);
-    assert_eq!(srv.cached_plans(), 0);
+    assert_eq!(srv.cached_plans(), 0, "the crashed graph is torn down");
+}
+
+#[test]
+fn crashed_plan_rebuilds_on_next_submission() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    // panics only on inputs containing 42: the resubmission (structurally
+    // equal, healthy input) must succeed through a rebuilt graph
+    let flaky = || Skel::map(|x: &i64| if *x == 42 { panic!("boom") } else { x * 2 });
+    let doomed = srv
+        .submit(t, flaky(), ParArray::from_parts(vec![41i64, 42, 43, 44]))
+        .unwrap();
+    srv.run_until_idle();
+    assert!(matches!(
+        srv.outcome(doomed),
+        Some(Err(RequestError::StagePanic { .. }))
+    ));
+    assert_eq!(srv.cached_plans(), 0, "torn down");
+
+    let retry = srv.submit(t, flaky(), arr(0)).unwrap();
+    assert_eq!(srv.stats().rebuilds, 1, "the hit rebuilt the graph");
+    assert_eq!(srv.cached_plans(), 1);
+    srv.run_until_idle();
+    let (out, _) = srv.take(retry).unwrap();
+    assert_eq!(out.to_vec(), vec![0, 2, 4, 6]);
+    assert_eq!(srv.stats().quarantines, 0, "a success resets the count");
+}
+
+#[test]
+fn repeated_crashes_quarantine_the_plan_until_eviction() {
+    let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+        ServePolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Sequential)
+            .with_quarantine_after(2),
+    );
+    let t = srv.add_tenant("t");
+    let bomb = || Skel::map(|x: &i64| if *x >= 0 { panic!("boom") } else { *x });
+
+    // two consecutive crashed batches hit the limit
+    for _ in 0..2 {
+        let tk = srv.submit(t, bomb(), arr(0)).unwrap();
+        srv.run_until_idle();
+        assert!(matches!(
+            srv.outcome(tk),
+            Some(Err(RequestError::StagePanic { .. }))
+        ));
+    }
+    assert_eq!(srv.stats().quarantines, 1);
+    assert_eq!(srv.quarantined_plans(), 1);
+
+    // further submissions fail fast without compiling or running
+    let rejected = srv.submit(t, bomb(), arr(0)).unwrap();
+    assert!(
+        matches!(
+            srv.outcome(rejected),
+            Some(Err(RequestError::Quarantined { crashes: 2 }))
+        ),
+        "quarantined plans reject at submit"
+    );
+    assert_eq!(srv.stats().rebuilds, 1, "only the pre-quarantine rebuild");
+    assert_eq!(srv.pending_requests(), 0);
+
+    // eviction pardons: the next submission recompiles from scratch
+    srv.evict_idle(usize::MAX);
+    assert_eq!(srv.quarantined_plans(), 0);
+    let pardoned = srv
+        .submit(
+            t,
+            Skel::map(|x: &i64| if *x > 100 { panic!() } else { *x }),
+            arr(0),
+        )
+        .unwrap();
+    srv.run_until_idle();
+    assert!(srv.take(pardoned).is_some());
 }
 
 #[test]
 fn panicking_eager_fallback_settles_accounting() {
     // an unfusable plan that panics must not leak a forever-pending
-    // ticket (which would dilute every future fair-share split)
+    // ticket (which would dilute every future fair-share split) — and
+    // must not unwind through submit
     let mut srv = serve(ExecPolicy::Sequential);
     let t = srv.add_tenant("t");
     let bomb = Skel::from_fn(|_: &mut Scl, _: ParArray<i64>| -> ParArray<i64> { panic!("boom") });
-    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = srv.submit(t, bomb, arr(0));
-    }))
-    .unwrap_err();
-    assert!(scl_core::panic_message(&*payload).contains("boom"));
+    let tk = srv.submit(t, bomb, arr(0)).unwrap();
+    match srv.outcome(tk).unwrap() {
+        Err(RequestError::Panicked { message }) => assert_eq!(message, "boom"),
+        other => panic!("expected a typed eager panic, got {other:?}"),
+    }
     assert_eq!(srv.tenant_pending(t), 0, "no leaked pending count");
     assert_eq!(srv.stats().failed, 1);
     assert_eq!(srv.stats().eager_runs, 0, "failed runs are not served runs");
@@ -414,6 +499,47 @@ fn panicking_eager_fallback_settles_accounting() {
     let ok = srv.submit(t, mixed_plan(), arr(1)).unwrap();
     srv.run_until_idle();
     assert!(srv.is_ready(ok));
+}
+
+#[test]
+fn expired_deadlines_shed_queued_work_and_short_circuit() {
+    let mut srv = serve(ExecPolicy::Sequential);
+    let t = srv.add_tenant("t");
+    let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+    let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+
+    // an already-expired cached-path request fails typed, without running
+    let dead = srv
+        .submit_keyed_deadline(t, "", mixed_plan(), arr(0), Some(past))
+        .unwrap();
+    // a far-future deadline behaves exactly like no deadline
+    let alive = srv
+        .submit_keyed_deadline(t, "", mixed_plan(), arr(1), Some(far))
+        .unwrap();
+    srv.run_until_idle();
+    assert!(matches!(
+        srv.outcome(dead),
+        Some(Err(RequestError::DeadlineExceeded))
+    ));
+    let mut scl = Scl::new(unit_machine(4));
+    assert_eq!(
+        srv.take(alive).unwrap().0,
+        mixed_plan().run(&mut scl, arr(1))
+    );
+    assert_eq!(srv.stats().deadline_expired, 1);
+    assert_eq!(srv.stats().panics, 0, "expiry is not a crash");
+    assert_eq!(srv.cached_plans(), 1, "no teardown on expiry");
+
+    // the eager fallback honours the same contract
+    let opaque = Skel::from_fn(|scl: &mut Scl, a: ParArray<i64>| scl.rotate(1, &a));
+    let dead_eager = srv
+        .submit_keyed_deadline(t, "", opaque, arr(0), Some(past))
+        .unwrap();
+    assert!(matches!(
+        srv.outcome(dead_eager),
+        Some(Err(RequestError::DeadlineExceeded))
+    ));
+    assert_eq!(srv.tenant_pending(t), 0);
 }
 
 #[test]

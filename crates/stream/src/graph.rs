@@ -12,7 +12,7 @@
 //! items.
 
 use crate::{Envelope, FarmStats, StageStat};
-use scl_core::{panic_message, BarrierOp, ErasedArr, PlanOp, SegmentOp};
+use scl_core::{panic_message, BarrierOp, ErasedArr, PlanOp, RequestError, SegmentOp};
 use scl_exec::{
     ring_mpmc, spawn_farm_workers, spawn_stage_workers, Bounded, ExecPolicy, RingReceiver,
     RingSender, ThreadPool, TryRecv, WidthGate,
@@ -185,8 +185,10 @@ impl Farm {
     /// link, runs the segment against the item's own machine context
     /// (charging it eager-style), and emits downstream — blocking there
     /// when full, so backpressure reaches the replicas too. A panicking
-    /// stage poisons the envelope instead of killing the worker; the
-    /// pump re-raises the panic on the caller when the item completes.
+    /// stage poisons the envelope with a typed [`RequestError`] instead of
+    /// killing the worker; an item whose deadline already passed
+    /// short-circuits as [`RequestError::DeadlineExceeded`] without
+    /// occupying the replica.
     fn spawn(&mut self, pool: &ThreadPool, summed: bool) {
         let seg = Arc::clone(&self.seg);
         let stats = Arc::clone(&self.stats);
@@ -195,19 +197,18 @@ impl Farm {
             let Envelope {
                 seq,
                 mut scl,
+                deadline,
                 payload,
             } = env;
             let payload = match payload {
+                Ok(_) if deadline.is_some_and(|d| Instant::now() >= d) => {
+                    Err(RequestError::DeadlineExceeded)
+                }
                 Ok(val) => {
-                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        if summed {
-                            seg.apply_summed(&mut scl, val)
-                        } else {
-                            seg.apply(&mut scl, val)
-                        }
-                    })) {
-                        Ok(v) => Ok(v),
-                        Err(p) => Err(panic_message(&*p).to_string()),
+                    if summed {
+                        seg.try_apply_summed(&mut scl, val)
+                    } else {
+                        seg.try_apply(&mut scl, val)
                     }
                 }
                 poisoned => poisoned,
@@ -216,7 +217,12 @@ impl Farm {
                 .busy_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             stats.items.fetch_add(1, Ordering::Relaxed);
-            Envelope { seq, scl, payload }
+            Envelope {
+                seq,
+                scl,
+                deadline,
+                payload,
+            }
         };
         // crew handles dropped in both arms: replicas never panic
         // (poison instead), and the pool joins the threads on shutdown
@@ -483,16 +489,22 @@ impl Graph {
 
     /// Run hop `h`'s operator chain on one envelope. Barriers and inline
     /// segments both charge the item's own machine context; a failing
-    /// barrier or panicking inline stage poisons the envelope (re-raised
-    /// at completion).
+    /// barrier or panicking inline stage poisons the envelope with a
+    /// typed [`RequestError`] (resolved at the collection side), and an
+    /// expired deadline short-circuits the remaining operators.
     fn apply_hop(&mut self, h: usize, mut env: Envelope) -> Envelope {
         let summed = self.summed_charging;
         let hop = &mut self.hops[h];
         for (op, stat) in &mut hop.ops {
             if env.payload.is_err() {
-                break; // poisoned: carry the message through untouched
+                break; // poisoned: carry the error through untouched
             }
-            let Ok(val) = std::mem::replace(&mut env.payload, Err(String::new())) else {
+            if env.deadline.is_some_and(|d| Instant::now() >= d) {
+                env.payload = Err(RequestError::DeadlineExceeded);
+                break;
+            }
+            let Ok(val) = std::mem::replace(&mut env.payload, Err(RequestError::DeadlineExceeded))
+            else {
                 unreachable!("checked non-err above")
             };
             let t0 = Instant::now();
@@ -501,24 +513,21 @@ impl Graph {
                     match std::panic::catch_unwind(AssertUnwindSafe(|| b.apply(&mut env.scl, val)))
                     {
                         Ok(Ok(v)) => Ok(v),
-                        Ok(Err(e)) => Err(format!("stream barrier `{}` failed: {e}", b.label())),
-                        Err(p) => Err(format!(
-                            "stream barrier `{}` panicked: {}",
-                            b.label(),
-                            panic_message(&*p)
-                        )),
+                        Ok(Err(e)) => Err(RequestError::BarrierFailed {
+                            stage: b.label().to_string(),
+                            error: e,
+                        }),
+                        Err(p) => Err(RequestError::BarrierPanic {
+                            stage: b.label().to_string(),
+                            message: panic_message(&*p).to_string(),
+                        }),
                     }
                 }
                 PumpOp::Inline(seg) => {
-                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        if summed {
-                            seg.apply_summed(&mut env.scl, val)
-                        } else {
-                            seg.apply(&mut env.scl, val)
-                        }
-                    })) {
-                        Ok(v) => Ok(v),
-                        Err(p) => Err(panic_message(&*p).to_string()),
+                    if summed {
+                        seg.try_apply_summed(&mut env.scl, val)
+                    } else {
+                        seg.try_apply(&mut env.scl, val)
                     }
                 }
             };

@@ -105,7 +105,7 @@
 //! [`SegmentOp::apply`]: scl_core::SegmentOp::apply
 //! [`SegmentOp::apply_summed`]: scl_core::SegmentOp::apply_summed
 
-use scl_core::{ErasedArr, FusePort, Scl, SclError, Skel};
+use scl_core::{panic_message, ErasedArr, FusePort, RequestError, Scl, SclError, Skel};
 use scl_exec::ExecPolicy;
 use scl_machine::{Machine, MachineReport, Throughput};
 use std::collections::VecDeque;
@@ -203,13 +203,22 @@ impl StreamPolicy {
 }
 
 /// One stream item in flight: its position in the stream, its private
-/// simulated-machine context, and its payload — or the panic message that
-/// poisoned it (re-raised on the caller when the item completes).
+/// simulated-machine context, an optional absolute deadline, and its
+/// payload — or the typed [`RequestError`] that poisoned it (resolved on
+/// the caller when the item completes).
 struct Envelope {
     seq: u64,
     scl: Scl,
-    payload: Result<ErasedArr, String>,
+    /// Absolute deadline: once passed, every remaining stage
+    /// short-circuits the item as [`RequestError::DeadlineExceeded`]
+    /// instead of occupying a replica.
+    deadline: Option<Instant>,
+    payload: Result<ErasedArr, RequestError>,
 }
+
+/// What one stream item resolved to: its output and per-item machine
+/// report, or the typed reason it failed.
+pub type StreamOutcome<B> = Result<(B, MachineReport), RequestError>;
 
 /// Per-farm counters the replicas update and the controller samples.
 #[derive(Default)]
@@ -263,12 +272,11 @@ pub struct StreamExec<A: FusePort, B: FusePort> {
     started: Option<Instant>,
     peak_in_flight: u64,
     last_tick: u64,
-    done: VecDeque<(B, MachineReport)>,
-    /// First still-unraised panic harvested from a poisoned item. Service
-    /// rounds park it here; the pop side re-raises it, so `push` only ever
-    /// reports backpressure and failures surface where results are
-    /// collected.
-    poisoned: Option<String>,
+    /// Completed items in stream order: each slot is the item's output
+    /// and report, or the typed error that poisoned it. The legacy pop
+    /// APIs re-raise errors as panics; the `*_outcome` APIs hand them out
+    /// as values.
+    done: VecDeque<StreamOutcome<B>>,
 }
 
 /// Pause between fruitless pump rounds while blocked in `push`/`pop`.
@@ -317,7 +325,6 @@ where
             peak_in_flight: 0,
             last_tick: 0,
             done: VecDeque::new(),
-            poisoned: None,
         }
     }
 
@@ -388,6 +395,16 @@ where
     /// [`SclError::MachineTooSmall`] when the item spans more parts than
     /// the machine template has processors.
     pub fn push(&mut self, item: A) -> Result<(), SclError> {
+        self.push_deadline(item, None)
+    }
+
+    /// [`StreamExec::push`] with an absolute deadline attached to the
+    /// item. Once the deadline passes, every stage the item has not yet
+    /// reached short-circuits it as [`RequestError::DeadlineExceeded`]
+    /// instead of running — the item still completes (in stream order) so
+    /// the caller gets a typed failure, but it stops occupying replicas.
+    /// `None` streams the item with no deadline, exactly like `push`.
+    pub fn push_deadline(&mut self, item: A, deadline: Option<Instant>) -> Result<(), SclError> {
         self.started.get_or_insert_with(Instant::now);
         match &mut self.mode {
             Mode::Eager(plan) => {
@@ -399,16 +416,26 @@ where
                         procs: self.machine.nprocs(),
                     });
                 }
-                let mut scl = Scl::new(self.machine.clone()).with_policy(self.exec);
-                let out = plan.run(&mut scl, item);
                 self.next_seq += 1;
-                self.done.push_back((out, scl.machine.report()));
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.done.push_back(Err(RequestError::DeadlineExceeded));
+                } else {
+                    let mut scl = Scl::new(self.machine.clone()).with_policy(self.exec);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        plan.run(&mut scl, item)
+                    }))
+                    .map(|out| (out, scl.machine.report()))
+                    .map_err(|p| RequestError::Panicked {
+                        message: panic_message(&*p).to_string(),
+                    });
+                    self.done.push_back(outcome);
+                }
                 self.completed += 1;
                 self.peak_in_flight = self.peak_in_flight.max(1);
                 Ok(())
             }
             Mode::Graph(_) => {
-                let env = self.make_env(item)?;
+                let env = self.make_env(item, deadline)?;
                 let Mode::Graph(g) = &mut self.mode else {
                     unreachable!()
                 };
@@ -434,26 +461,57 @@ where
         }
     }
 
+    /// Next completed item in stream order — output and report, or the
+    /// typed [`RequestError`] that poisoned it — without blocking. `None`
+    /// when nothing is ready. This is the non-unwinding collection API a
+    /// serving layer uses: failure arrives as a value, never a panic.
+    pub fn try_pop_outcome(&mut self) -> Option<StreamOutcome<B>> {
+        if self.done.is_empty() {
+            self.service();
+        }
+        self.done.pop_front()
+    }
+
+    /// Next completed item in stream order as a value, pumping the graph
+    /// until one is ready. `None` only when nothing is in flight.
+    pub fn pop_outcome(&mut self) -> Option<StreamOutcome<B>> {
+        loop {
+            if let Some(out) = self.try_pop_outcome() {
+                return Some(out);
+            }
+            if self.in_flight() == 0 {
+                return None;
+            }
+            std::thread::sleep(IDLE_BACKOFF);
+        }
+    }
+
+    /// Complete everything in flight and return it as values, in stream
+    /// order: one [`StreamOutcome`] per item, failures included.
+    pub fn drain_outcomes(&mut self) -> Vec<StreamOutcome<B>> {
+        let mut out = Vec::new();
+        while let Some(x) = self.pop_outcome() {
+            out.push(x);
+        }
+        out
+    }
+
     /// Next completed output in stream order, with the item's simulated
     /// machine report, without blocking. `None` when nothing is ready.
     ///
     /// A poisoned item re-raises its panic here (not in [`StreamExec::push`],
-    /// which only ever reports backpressure): once every healthy output
-    /// ahead of the failure has been handed out, the parked panic fires on
-    /// the collecting thread. A caller that catches it can keep popping —
-    /// the in-flight gauge stayed consistent, so the rest of the stream
-    /// drains normally.
+    /// which only ever reports backpressure): the panic fires on the
+    /// collecting thread when the failed item's turn in stream order
+    /// comes up, rendered from its typed [`RequestError`]. A caller that
+    /// catches it can keep popping — the in-flight gauge stayed
+    /// consistent, so the rest of the stream drains normally. Collect
+    /// with [`StreamExec::try_pop_outcome`] instead to receive the error
+    /// as a value.
     pub fn try_pop_with_report(&mut self) -> Option<(B, MachineReport)> {
-        if self.done.is_empty() {
-            self.service();
+        match self.try_pop_outcome()? {
+            Ok(out) => Some(out),
+            Err(e) => panic!("{e}"),
         }
-        if let Some(out) = self.done.pop_front() {
-            return Some(out);
-        }
-        if let Some(msg) = self.poisoned.take() {
-            panic!("{msg}");
-        }
-        None
     }
 
     /// [`StreamExec::try_pop_with_report`] discarding the report.
@@ -519,7 +577,7 @@ where
     /// Per-item contexts run host-sequential — the stream's parallelism
     /// comes from the graph's farm replicas and pipeline overlap, not
     /// from intra-item thread fan-out.
-    fn make_env(&mut self, item: A) -> Result<Envelope, SclError> {
+    fn make_env(&mut self, item: A, deadline: Option<Instant>) -> Result<Envelope, SclError> {
         if item.parts_len() > self.machine.nprocs() {
             return Err(SclError::MachineTooSmall {
                 needed: item.parts_len(),
@@ -527,13 +585,20 @@ where
             });
         }
         let scl = Scl::new(self.machine.clone());
-        let val = item.erase();
         let seq = self.next_seq;
         self.next_seq += 1;
+        // an already-expired item never touches a stage: it enters the
+        // graph pre-poisoned and flows straight through to completion
+        let payload = if deadline.is_some_and(|d| Instant::now() >= d) {
+            Err(RequestError::DeadlineExceeded)
+        } else {
+            Ok(item.erase())
+        };
         Ok(Envelope {
             seq,
             scl,
-            payload: Ok(val),
+            deadline,
+            payload,
         })
     }
 
@@ -541,10 +606,11 @@ where
     /// `done`, run the autonomic controller when a tick has elapsed.
     ///
     /// A poisoned item is fully accounted here (so the in-flight gauge
-    /// stays consistent) but its panic is only *parked*; the pop side
-    /// re-raises it. Keeping the re-raise out of the service round means
-    /// `push` can never blow up under a producer's feet just because the
-    /// ring links completed a doomed item early.
+    /// stays consistent) and its typed error takes the item's slot in the
+    /// `done` queue; the legacy pop side re-raises it, the outcome APIs
+    /// hand it out as a value. Keeping the re-raise out of the service
+    /// round means `push` can never blow up under a producer's feet just
+    /// because the ring links completed a doomed item early.
     fn service(&mut self) {
         let Mode::Graph(g) = &mut self.mode else {
             return;
@@ -556,17 +622,10 @@ where
         }
         for env in finished {
             self.completed += 1;
-            match env.payload {
-                Ok(val) => {
-                    let out = B::restore(val);
-                    self.done.push_back((out, env.scl.machine.report()));
-                }
-                Err(msg) => {
-                    if self.poisoned.is_none() {
-                        self.poisoned = Some(msg);
-                    }
-                }
-            }
+            let outcome = env
+                .payload
+                .map(|val| (B::restore(val), env.scl.machine.report()));
+            self.done.push_back(outcome);
         }
         if self.adaptive && self.completed - self.last_tick >= self.tick_items {
             self.last_tick = self.completed;

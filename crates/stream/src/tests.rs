@@ -305,6 +305,88 @@ fn ring_links_match_locked_links_bit_for_bit() {
 }
 
 #[test]
+fn ring_links_poison_stress_resolves_each_failure_exactly_once() {
+    // companion to the 200k two-thread soak in `scl-exec::spsc`: the same
+    // lock-free rings, now carrying poisoned envelopes mid-stream. Dozens
+    // of stage panics scattered through a long stream over
+    // `FarmLinks::Rings` must each resolve exactly once at the pop side
+    // as a typed error — never a lost item, never a double report, and
+    // never a stranded pump or private lane (a regression here hangs this
+    // test or miscounts the outcomes).
+    const N: i64 = 5_000;
+    let poisoned = |k: i64| (k..k + 4).any(|x| x % 499 == 13);
+    let plan = || {
+        Skel::map(|x: &i64| {
+            if *x % 499 == 13 {
+                panic!("poison {x}");
+            }
+            x * 3
+        })
+        .then(Skel::rotate(1))
+        .then(Skel::map_costed(|x: &i64| (x + 1, Work::flops(1))))
+    };
+    // full-width non-adaptive farms with capacity ≥ width: the ring
+    // transport, per the `Farm::new` selection rule
+    let mut s = StreamExec::new(
+        plan(),
+        StreamPolicy::new(unit_machine(4))
+            .with_exec(ExecPolicy::Threads(4))
+            .with_adaptive(false)
+            .with_locked_links(false),
+    );
+    for k in 0..N {
+        s.push(arr(k)).unwrap();
+    }
+    let outcomes = s.drain_outcomes();
+    assert_eq!(
+        outcomes.len() as i64,
+        N,
+        "every item accounted exactly once"
+    );
+    assert_eq!(s.in_flight(), 0);
+
+    let solo = plan();
+    let mut scl = Scl::new(unit_machine(4));
+    let mut failures = 0usize;
+    for (k, outcome) in outcomes.into_iter().enumerate() {
+        let k = k as i64;
+        match outcome {
+            Err(e) => {
+                assert!(poisoned(k), "item {k} failed but carries no poison: {e}");
+                assert!(
+                    matches!(&e, scl_core::RequestError::StagePanic { stage, .. } if stage == "map"),
+                    "item {k}: {e}"
+                );
+                assert!(e.to_string().contains("poison"), "item {k}: {e}");
+                failures += 1;
+            }
+            Ok((out, report)) => {
+                assert!(!poisoned(k), "item {k} should have failed");
+                scl.reset();
+                let expect = solo.run(&mut scl, arr(k));
+                assert_eq!(out, expect, "item {k}");
+                assert_eq!(report, scl.machine.report(), "item {k} report");
+            }
+        }
+    }
+    assert!(
+        failures >= 30,
+        "the stream actually got poisoned: {failures}"
+    );
+
+    // the graph is still serviceable: no lane or pump was stranded
+    for k in 0..20 {
+        s.push(arr(N + 600 + k)).unwrap();
+    }
+    for (i, outcome) in s.drain_outcomes().into_iter().enumerate() {
+        let k = N + 600 + i as i64;
+        let (out, _) = outcome.unwrap_or_else(|e| panic!("item {k} after the storm: {e}"));
+        scl.reset();
+        assert_eq!(out, solo.run(&mut scl, arr(k)), "item {k} after the storm");
+    }
+}
+
+#[test]
 fn autonomic_controller_widens_under_load_and_narrows_when_idle() {
     // one heavy farmable stage; small tick so the controller acts often
     let plan = Skel::map(|x: &u64| {

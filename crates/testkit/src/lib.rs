@@ -118,6 +118,116 @@ impl Rng {
     }
 }
 
+/// A deterministic fault-injection plan.
+///
+/// Chaos suites need faults that are *reproducible*: whether a fault
+/// fires must depend only on the seed and on what is being processed,
+/// never on timing, thread interleaving, or how many other tenants are
+/// active. Every decision here is a pure function of
+/// `(seed, site, value)` — a stage applied to the same element under the
+/// same seed always makes the same choice, so a co-tenant differential
+/// suite can run the victim solo and chaotic side by side and demand
+/// bit-for-bit equal outputs.
+///
+/// The four injection points mirror the ways a streamed plan can
+/// misbehave:
+///
+/// * [`FaultPlan::maybe_panic`] in a map closure — a **stage panic**
+///   (poisons one envelope in a farm worker);
+/// * [`FaultPlan::maybe_panic`] in a barrier closure — a **barrier
+///   panic** (poisons the item at a sequential hop);
+/// * [`FaultPlan::maybe_delay`] — an **artificial delay**, a short
+///   seeded sleep perturbing worker interleaving;
+/// * [`FaultPlan::maybe_stall`] — a **lane stall**, a long sleep
+///   modeling one wedged worker holding a lane while the rest of the
+///   stream flows around it.
+///
+/// The seed comes from the test (or [`FaultPlan::from_env`], which reads
+/// `SCL_FAULT_SEED` so CI can sweep a seed matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan making every decision from `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed }
+    }
+
+    /// Seed from the `SCL_FAULT_SEED` environment variable (decimal or
+    /// `0x`-prefixed hex), falling back to `default_seed` when unset or
+    /// unparsable.
+    pub fn from_env(default_seed: u64) -> FaultPlan {
+        let seed = std::env::var("SCL_FAULT_SEED")
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => s.parse().ok(),
+                }
+            })
+            .unwrap_or(default_seed);
+        FaultPlan::new(seed)
+    }
+
+    /// The seed every decision derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The raw 64-bit decision word for `(site, value)` — FNV-1a over
+    /// the site name and value bytes, salted by the seed, then
+    /// avalanched. Stable across platforms and runs.
+    pub fn decide(&self, site: &str, value: i64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for b in site.bytes().chain(value.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // SplitMix64 finalizer: FNV alone avalanches poorly in the low bits
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    /// Whether the fault at `site` fires for `value`, with odds of one
+    /// in `one_in` (`1` = always, `0` = never).
+    pub fn fires(&self, site: &str, value: i64, one_in: u64) -> bool {
+        one_in > 0 && self.decide(site, value).is_multiple_of(one_in)
+    }
+
+    /// Panic with a labelled, reproducible message when the seeded
+    /// decision for `(site, value)` fires.
+    pub fn maybe_panic(&self, site: &str, value: i64, one_in: u64) {
+        if self.fires(site, value, one_in) {
+            panic!(
+                "injected fault at `{site}` on {value} (seed {:#x})",
+                self.seed
+            );
+        }
+    }
+
+    /// Sleep a seeded duration in `[0, max_micros]` µs when the decision
+    /// fires — an artificial delay that perturbs worker interleaving
+    /// without changing any answer.
+    pub fn maybe_delay(&self, site: &str, value: i64, one_in: u64, max_micros: u64) {
+        if self.fires(site, value, one_in) && max_micros > 0 {
+            let us = self.decide(site, value.wrapping_add(1)) % (max_micros + 1);
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+
+    /// Sleep a fixed `millis` when the decision fires — a lane stall:
+    /// one worker wedges while the rest of the stream flows around it.
+    pub fn maybe_stall(&self, site: &str, value: i64, one_in: u64, millis: u64) {
+        if self.fires(site, value, one_in) {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+        }
+    }
+}
+
 /// A counting global allocator for allocation-budget benchmarks.
 ///
 /// Install it in a bench binary with
@@ -282,5 +392,41 @@ mod tests {
         let v = r.vec_of(12, |rng| rng.below(4));
         assert_eq!(v.len(), 12);
         assert!(v.iter().all(|&x| x < 4));
+    }
+
+    #[test]
+    fn fault_decisions_are_pure_functions_of_seed_site_and_value() {
+        let a = FaultPlan::new(0xfa11);
+        let b = FaultPlan::new(0xfa11);
+        for v in -50..50 {
+            assert_eq!(a.decide("stage", v), b.decide("stage", v));
+            assert_eq!(a.fires("stage", v, 8), b.fires("stage", v, 8));
+        }
+        // different seeds and different sites decorrelate
+        let c = FaultPlan::new(0xfa12);
+        assert!((-50..50).any(|v| a.fires("stage", v, 8) != c.fires("stage", v, 8)));
+        assert!((-50..50).any(|v| a.fires("stage", v, 8) != a.fires("barrier", v, 8)));
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honoured() {
+        let p = FaultPlan::new(99);
+        let hits = (0..10_000).filter(|&v| p.fires("site", v, 10)).count();
+        assert!((700..1_300).contains(&hits), "one-in-10 gave {hits}/10000");
+        assert!((0..10_000).all(|v| !p.fires("site", v, 0)), "0 = never");
+        assert!((0..10_000).all(|v| p.fires("site", v, 1)), "1 = always");
+    }
+
+    #[test]
+    fn maybe_panic_carries_the_site_and_value() {
+        let p = FaultPlan::new(7);
+        let v = (0..1_000).find(|&v| p.fires("boom", v, 2)).unwrap();
+        let err = std::panic::catch_unwind(|| p.maybe_panic("boom", v, 2)).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("injected fault at `boom`"), "{msg}");
+        assert!(msg.contains(&v.to_string()), "{msg}");
+        // a value the plan spares must pass through untouched
+        let spared = (0..1_000).find(|&v| !p.fires("boom", v, 2)).unwrap();
+        p.maybe_panic("boom", spared, 2);
     }
 }

@@ -65,6 +65,28 @@ impl Registry {
             |x| (0..32).fold(x, |a, i| a.wrapping_mul(31).wrapping_add(i)),
             Work::flops(32),
         );
+        // fault-injection helpers for the chaos suites: `trap` crashes the
+        // plan on the sentinel value 666 (any other input is identity),
+        // `slow` burns ~2ms of wall clock per element so deadline
+        // propagation is exercisable from wire-submitted source
+        r.scalar(
+            "trap",
+            |x| {
+                if x == 666 {
+                    panic!("trap: hit sentinel 666");
+                }
+                x
+            },
+            Work::flops(1),
+        );
+        r.scalar(
+            "slow",
+            |x| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                x
+            },
+            Work::flops(1),
+        );
         r.binop("add", |a, b| a.wrapping_add(b), true, Work::flops(1));
         r.binop("mul", |a, b| a.wrapping_mul(b), true, Work::flops(1));
         r.binop("max", i64::max, true, Work::cmps(1));

@@ -73,7 +73,7 @@ fn main() {
     // --- 3. typed errors leave the connection alive ---------------------
     let mut bulk = NetClient::connect(addr).expect("connect");
     match bulk.submit_source(1, Mode::Plain, "map(", "", &input) {
-        Err(scl_net::ClientError::Server { code, message }) => {
+        Err(scl_net::ClientError::Server { code, message, .. }) => {
             println!("bulk:  typed error as designed: {code:?}: {message}")
         }
         other => panic!("expected a parse error, got {other:?}"),
