@@ -12,6 +12,9 @@
 //!   flattened iterative form actually measured for Table 1 / Figure 3.
 //! * [`psrs`] — Parallel Sorting by Regular Sampling, the comparison sort
 //!   ("the best speedup available for this problem").
+//! * [`msort`] — divide-and-conquer merge sort written as a first-class
+//!   plan DAG (`Skel::dac` over `pair` branches), the recursive form the
+//!   original skeleton language could only flatten by hand.
 //! * [`cannon`] — Cannon's matrix multiply (grid distribution +
 //!   `rotate_row`/`rotate_col`).
 //! * [`jacobi`] — 1-D Jacobi relaxation (`iterUntil`, shift-based halos,
@@ -35,6 +38,7 @@ pub mod histogram;
 pub mod hyperquicksort;
 pub mod jacobi;
 pub mod kmeans;
+pub mod msort;
 pub mod nbody;
 pub mod psrs;
 pub mod seqkit;
@@ -50,6 +54,7 @@ pub use hyperquicksort::{
 };
 pub use jacobi::{jacobi_plan, jacobi_scl, jacobi_seq, JacobiResult, JacobiState};
 pub use kmeans::{kmeans_scl, kmeans_seq, KmeansResult};
+pub use msort::{msort_plan, msort_sort};
 pub use nbody::{forces_scl, forces_seq, Body};
 pub use psrs::{psrs_plan, psrs_sort};
 pub use stream_histogram::{

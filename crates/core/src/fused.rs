@@ -242,6 +242,57 @@ pub(crate) struct ComputeStage<'a> {
     f: ComputeFn<'a>,
 }
 
+/// Unpack an [`ErasedArr`] into the two independent arm inputs of a
+/// branch node — the canonical [`FusePort`] conversions of the branch's
+/// boundary types (unzip a pair, clone a fanout input).
+type SplitFn<'a> = Box<dyn Fn(ErasedArr) -> (ErasedArr, ErasedArr) + 'a>;
+/// Zip two arm outputs back into one [`ErasedArr`] at the branch's join
+/// barrier.
+type JoinFn<'a> = Box<dyn Fn(ErasedArr, ErasedArr) -> ErasedArr + 'a>;
+/// Inspect the value and pick an arm (`true` = left) without consuming it.
+type ChooseFn<'a> = Box<dyn Fn(ErasedArr) -> (ErasedArr, bool) + 'a>;
+
+/// How a branch node routes its input between its two arms.
+pub(crate) enum BranchKind<'a> {
+    /// Both arms run, each over its own half of the input: `pair` (unzip
+    /// the tuple) and `fanout` (clone the input). The arms are
+    /// independent, so the fused executor may run them concurrently; the
+    /// `join` is the zip barrier reuniting them.
+    Split {
+        split: SplitFn<'a>,
+        join: JoinFn<'a>,
+    },
+    /// Exactly one arm runs, selected per value by a predicate: `choice`.
+    Choose(ChooseFn<'a>),
+}
+
+impl BranchKind<'_> {
+    /// Discriminant byte folded into fingerprints, so a `choice` of two
+    /// arms never collides with a `fanout` of the same arms even if
+    /// labels were ever aliased.
+    fn tag_byte(&self) -> u8 {
+        match self {
+            BranchKind::Split { .. } => 0x00,
+            BranchKind::Choose(_) => 0x01,
+        }
+    }
+}
+
+/// A DAG node of a fused chain: two independent arm chains between a
+/// split and a join. Built by the arrow combinators
+/// ([`Skel::pair`](crate::plan::Skel::pair),
+/// [`Skel::fanout`](crate::plan::Skel::fanout),
+/// [`Skel::choice`](crate::plan::Skel::choice)).
+pub(crate) struct BranchNode<'a> {
+    label: &'static str,
+    /// Structural-parameter hash of the branch itself (the arms carry
+    /// their own).
+    param: u64,
+    kind: BranchKind<'a>,
+    left: Vec<FusedNode<'a>>,
+    right: Vec<FusedNode<'a>>,
+}
+
 /// One stage of a fused chain.
 pub(crate) enum FusedNode<'a> {
     /// Part-local: output part `i` depends only on input part `i`. Runs of
@@ -259,6 +310,11 @@ pub(crate) enum FusedNode<'a> {
         param: u64,
         f: BarrierFn<'a>,
     },
+    /// A DAG fork: two arm chains between a split and a join (or one of
+    /// two, for `choice`). Never part of a fused segment — the split and
+    /// join are barriers — but pure-compute arms of a `Split` branch run
+    /// as one concurrent dispatch on the shared pool.
+    Branch(BranchNode<'a>),
 }
 
 impl FusedNode<'_> {
@@ -267,11 +323,13 @@ impl FusedNode<'_> {
             FusedNode::Compute(ComputeStage { label, .. }) | FusedNode::Barrier { label, .. } => {
                 label
             }
+            FusedNode::Branch(b) => b.label,
         }
     }
 
     pub(crate) fn is_barrier(&self) -> bool {
-        matches!(self, FusedNode::Barrier { .. })
+        // a branch bounds fused segments on both sides, like a barrier
+        !matches!(self, FusedNode::Compute(_))
     }
 }
 
@@ -303,6 +361,9 @@ impl<A, B> FusedPlan<'_, A, B> {
             match node {
                 FusedNode::Compute(st) => st.param = p,
                 FusedNode::Barrier { param, .. } => *param = p,
+                // the arms carry their own parameter hashes; the branch
+                // itself takes the stamp
+                FusedNode::Branch(b) => b.param = p,
             }
         }
     }
@@ -383,6 +444,89 @@ where
     })])
 }
 
+/// The `pair` combinator as a fused plan: one branch node whose split
+/// unzips the canonical pair encoding and whose join re-zips the arm
+/// outputs. All four conversions are the [`FusePort`] ones, so the node
+/// composes across `.then()` exactly like any single-stage plan.
+pub(crate) fn pair_node<'a, A, B, C, D>(
+    left: FusedPlan<'a, A, B>,
+    right: FusedPlan<'a, C, D>,
+) -> FusedPlan<'a, (A, C), (B, D)>
+where
+    A: FusePort + 'a,
+    B: FusePort + 'a,
+    C: FusePort + 'a,
+    D: FusePort + 'a,
+    (A, C): FusePort + 'a,
+    (B, D): FusePort + 'a,
+{
+    FusedPlan::from_nodes(vec![FusedNode::Branch(BranchNode {
+        label: "pair",
+        param: 0,
+        kind: BranchKind::Split {
+            split: Box::new(|e| {
+                let (a, c) = <(A, C)>::restore(e);
+                (a.erase(), c.erase())
+            }),
+            join: Box::new(|l, r| (B::restore(l), D::restore(r)).erase()),
+        },
+        left: left.nodes,
+        right: right.nodes,
+    })])
+}
+
+/// The `fanout` combinator as a fused plan: the split clones the input
+/// into both arms, the join zips the arm outputs into a pair.
+pub(crate) fn fanout_node<'a, A, B, C>(
+    left: FusedPlan<'a, A, B>,
+    right: FusedPlan<'a, A, C>,
+) -> FusedPlan<'a, A, (B, C)>
+where
+    A: FusePort + Clone + 'a,
+    B: FusePort + 'a,
+    C: FusePort + 'a,
+    (B, C): FusePort + 'a,
+{
+    FusedPlan::from_nodes(vec![FusedNode::Branch(BranchNode {
+        label: "fanout",
+        param: 0,
+        kind: BranchKind::Split {
+            split: Box::new(|e| {
+                let a = A::restore(e);
+                let twin = a.clone();
+                (a.erase(), twin.erase())
+            }),
+            join: Box::new(|l, r| (B::restore(l), C::restore(r)).erase()),
+        },
+        left: left.nodes,
+        right: right.nodes,
+    })])
+}
+
+/// The `choice` combinator as a fused plan: the predicate inspects the
+/// (restored) value and exactly one arm runs.
+pub(crate) fn choice_node<'a, A, B>(
+    pred: std::sync::Arc<dyn Fn(&A) -> bool + 'a>,
+    left: FusedPlan<'a, A, B>,
+    right: FusedPlan<'a, A, B>,
+) -> FusedPlan<'a, A, B>
+where
+    A: FusePort + 'a,
+    B: FusePort + 'a,
+{
+    FusedPlan::from_nodes(vec![FusedNode::Branch(BranchNode {
+        label: "choice",
+        param: 0,
+        kind: BranchKind::Choose(Box::new(move |e| {
+            let a = A::restore(e);
+            let take_left = pred(&a);
+            (a.erase(), take_left)
+        })),
+        left: left.nodes,
+        right: right.nodes,
+    })])
+}
+
 /// A whole-configuration stage as a fused plan (a barrier).
 pub(crate) fn barrier_node<'a, A, B>(
     label: &'static str,
@@ -423,6 +567,8 @@ fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
 /// even when labels coincide.
 const TAG_COMPUTE: &[u8] = &[0x01];
 const TAG_BARRIER: &[u8] = &[0x02];
+// 0x03 / 0x04 are claimed by `fingerprint_with_repr`
+const TAG_BRANCH: &[u8] = &[0x05];
 
 /// A structural fingerprint of a plan's fused operator chain — the key of
 /// `scl-serve`'s plan cache.
@@ -503,6 +649,21 @@ fn hash_barrier(h: u64, label: &str, param: u64) -> u64 {
     fnv(h, &param.to_le_bytes())
 }
 
+/// Fold a branch's structure — tag, label, kind discriminant, parameter
+/// hash, then the two arm hashes as fixed-width values — into a running
+/// FNV hash. The arm hashes are complete sub-chain fingerprints (each
+/// restarted from the offset basis), so arm topology is unambiguous:
+/// `pair(f, g)` and `pair(g, f)` differ, as do arms of different depth,
+/// and a stage can never "leak" across an arm boundary.
+fn hash_branch(h: u64, label: &str, kind: u8, param: u64, left: u64, right: u64) -> u64 {
+    let h = fnv(h, TAG_BRANCH);
+    let h = fnv(h, label.as_bytes());
+    let h = fnv(h, &[kind]);
+    let h = fnv(h, &param.to_le_bytes());
+    let h = fnv(h, &left.to_le_bytes());
+    fnv(h, &right.to_le_bytes())
+}
+
 /// Hash a stage-parameter rendering into the value plan constructors
 /// stamp through `FusedPlan::tag_param`.
 pub(crate) fn param_hash(s: &str) -> u64 {
@@ -518,6 +679,14 @@ pub(crate) fn fingerprint_nodes(nodes: &[FusedNode<'_>]) -> u64 {
         h = match node {
             FusedNode::Compute(st) => st.hash_into(h),
             FusedNode::Barrier { label, param, .. } => hash_barrier(h, label, *param),
+            FusedNode::Branch(b) => hash_branch(
+                h,
+                b.label,
+                b.kind.tag_byte(),
+                b.param,
+                fingerprint_nodes(&b.left),
+                fingerprint_nodes(&b.right),
+            ),
         };
     }
     h
@@ -531,7 +700,13 @@ pub(crate) fn fingerprint_nodes(nodes: &[FusedNode<'_>]) -> u64 {
 /// folds in the plan's IR representation (or its absence), so the two
 /// values are related but not equal.
 pub fn fingerprint_ops(ops: &[PlanOp<'_>]) -> PlanFingerprint {
-    let mut h = FNV_OFFSET;
+    PlanFingerprint(hash_ops(FNV_OFFSET, ops))
+}
+
+/// The recursive body of [`fingerprint_ops`] — hashes stage by stage, so
+/// it agrees with [`fingerprint_nodes`] over the ungrouped chain of the
+/// same plan (branch arms included).
+fn hash_ops(mut h: u64, ops: &[PlanOp<'_>]) -> u64 {
     for op in ops {
         match op {
             PlanOp::Segment(seg) => {
@@ -540,9 +715,19 @@ pub fn fingerprint_ops(ops: &[PlanOp<'_>]) -> PlanFingerprint {
                 }
             }
             PlanOp::Barrier(b) => h = hash_barrier(h, b.label, b.param),
+            PlanOp::Branch(b) => {
+                h = hash_branch(
+                    h,
+                    b.label,
+                    b.kind.tag_byte(),
+                    b.param,
+                    hash_ops(FNV_OFFSET, &b.left),
+                    hash_ops(FNV_OFFSET, &b.right),
+                )
+            }
         }
     }
-    PlanFingerprint(h)
+    h
 }
 
 /// Combine a node-chain hash with a plan's optional IR representation into
@@ -569,15 +754,23 @@ pub enum PlanOp<'a> {
     Segment(SegmentOp<'a>),
     /// A fusion barrier.
     Barrier(BarrierOp<'a>),
+    /// A DAG fork: two independent arm op chains between a split and a
+    /// join (or one of two, for `choice`). A streaming runtime either
+    /// decomposes it into sibling farm stages
+    /// ([`BranchOp::into_pipelined`]) or runs it whole on the pump thread
+    /// ([`BranchOp::try_apply`]).
+    Branch(BranchOp<'a>),
 }
 
 impl PlanOp<'_> {
-    /// Display label: the barrier's stage name, or the segment's stage
-    /// names joined with `+`.
+    /// Display label: the barrier's stage name, the segment's stage
+    /// names joined with `+`, or the branch's label with its arm labels
+    /// in brackets.
     pub fn label(&self) -> String {
         match self {
             PlanOp::Segment(seg) => seg.label(),
             PlanOp::Barrier(b) => b.label().to_string(),
+            PlanOp::Branch(b) => b.display_label(),
         }
     }
 }
@@ -768,6 +961,202 @@ impl BarrierOp<'_> {
     }
 }
 
+/// A DAG fork extracted from a fused plan: two arm op chains between a
+/// split and a join (the `Split` kind — `pair` / `fanout`) or a
+/// predicate-selected arm (the `Choose` kind — `choice`).
+///
+/// A streaming runtime has two ways to run one:
+///
+/// * [`BranchOp::into_pipelined`] decomposes a `Split` branch whose arms
+///   are each a single pure segment into five linear ops — split barrier,
+///   left segment, swap barrier, right segment, join barrier — so the arm
+///   segments become *sibling farm stages* and independent arms of
+///   consecutive items overlap on the shared pool;
+/// * [`BranchOp::try_apply`] runs the whole branch on the calling (pump)
+///   thread, for branches whose arms contain barriers or nested branches.
+pub struct BranchOp<'a> {
+    label: &'static str,
+    param: u64,
+    kind: BranchKind<'a>,
+    left: Vec<PlanOp<'a>>,
+    right: Vec<PlanOp<'a>>,
+}
+
+/// The pipelined decomposition of a `Split` branch whose arms are single
+/// pure segments — see [`BranchOp::into_pipelined`]. While the active
+/// half flows through one arm's farm, the other half rides along inside
+/// the value's *side* slot (which segments never touch), so a linear hop
+/// topology carries a forked value without any cross-stage coordination.
+pub struct PipelinedBranch<'a> {
+    /// Split the input and park the right half in the side slot.
+    pub enter: BarrierOp<'a>,
+    /// The left arm's compute segment — a farm stage.
+    pub left: SegmentOp<'a>,
+    /// Swap halves: park the processed left, surface the right.
+    pub swap: BarrierOp<'a>,
+    /// The right arm's compute segment — a sibling farm stage.
+    pub right: SegmentOp<'a>,
+    /// Unpark the processed left and zip the halves back together.
+    pub exit: BarrierOp<'a>,
+}
+
+/// Park `inner` in `host`'s side slot (asserting it was free — branch
+/// boundaries in plans over arrays always are).
+fn park(mut host: ErasedArr, inner: ErasedArr) -> ErasedArr {
+    assert!(
+        host.side.is_none() && inner.side.is_none(),
+        "pipelined branch halves must not carry side payloads"
+    );
+    host.side = Some(Box::new(inner));
+    host
+}
+
+/// Take the parked half back out of `host`'s side slot.
+fn unpark(host: &mut ErasedArr) -> ErasedArr {
+    *host
+        .side
+        .take()
+        .expect("pipelined branch lost its parked half")
+        .downcast::<ErasedArr>()
+        .expect("pipelined branch side slot held a foreign payload")
+}
+
+impl<'a> BranchOp<'a> {
+    /// The branch's own label (`"pair"`, `"fanout"`, `"choice"`).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Display label with arm structure: `pair[map+imap | rotate]`.
+    pub fn display_label(&self) -> String {
+        let arm = |ops: &[PlanOp<'_>]| {
+            ops.iter()
+                .map(|op| op.label())
+                .collect::<Vec<_>>()
+                .join(" . ")
+        };
+        format!("{}[{} | {}]", self.label, arm(&self.left), arm(&self.right))
+    }
+
+    /// Run the whole branch on the calling thread, charging `scl` per
+    /// stage (`summed = false`, eager-equivalent charging) or per segment
+    /// (`summed = true`, fused-equivalent) — the same flag a streaming
+    /// runtime passes to [`SegmentOp::try_apply`] /
+    /// [`SegmentOp::try_apply_summed`]. Arm failures come back as typed
+    /// [`RequestError`]s: a panicking arm stage is a
+    /// [`RequestError::StagePanic`] with the part index *local to the
+    /// arm*, a failing arm barrier a [`RequestError::BarrierFailed`].
+    /// For a `Split` branch the left arm runs first, exactly like fused
+    /// execution, so per-item machine reports agree bit-for-bit.
+    pub fn try_apply(
+        &mut self,
+        scl: &mut Scl,
+        val: ErasedArr,
+        summed: bool,
+    ) -> std::result::Result<ErasedArr, RequestError> {
+        match &mut self.kind {
+            BranchKind::Choose(decide) => {
+                let (val, take_left) = decide(val);
+                let arm = if take_left {
+                    &mut self.left
+                } else {
+                    &mut self.right
+                };
+                apply_ops(arm, scl, val, summed)
+            }
+            BranchKind::Split { split, join } => {
+                let (l, r) = split(val);
+                let lo = apply_ops(&mut self.left, scl, l, summed)?;
+                let ro = apply_ops(&mut self.right, scl, r, summed)?;
+                Ok(join(lo, ro))
+            }
+        }
+    }
+
+    /// Decompose into sibling farm stages, if this is a `Split` branch
+    /// whose arms are each exactly one pure compute segment (no barriers,
+    /// no nested branches). Returns the branch unchanged otherwise.
+    ///
+    /// The decomposition is linear — five consecutive ops — so it drops
+    /// into a streaming runtime's existing hop/farm topology: the two arm
+    /// segments become independent farm stages that overlap across
+    /// *items* (item `k`'s right half runs while item `k+1`'s left half
+    /// does), and each item still charges its own context left arm first,
+    /// keeping per-item reports identical to fused execution.
+    #[allow(clippy::result_large_err)] // Err is the undecomposed branch, by design
+    pub fn into_pipelined(self) -> std::result::Result<PipelinedBranch<'a>, BranchOp<'a>> {
+        let single_segment = |ops: &[PlanOp<'_>]| matches!(ops, [PlanOp::Segment(_)]);
+        if !(single_segment(&self.left) && single_segment(&self.right)) {
+            return Err(self);
+        }
+        let BranchKind::Split { split, join } = self.kind else {
+            return Err(self);
+        };
+        let seg = |mut ops: Vec<PlanOp<'a>>| match ops.pop() {
+            Some(PlanOp::Segment(seg)) => seg,
+            _ => unreachable!("checked single-segment arms"),
+        };
+        Ok(PipelinedBranch {
+            enter: BarrierOp {
+                label: "branch-split",
+                param: self.param,
+                f: Box::new(move |_scl, val| {
+                    let (l, r) = split(val);
+                    Ok(park(l, r))
+                }),
+            },
+            left: seg(self.left),
+            swap: BarrierOp {
+                label: "branch-swap",
+                param: 0,
+                f: Box::new(|_scl, mut l_done| {
+                    let r = unpark(&mut l_done);
+                    Ok(park(r, l_done))
+                }),
+            },
+            right: seg(self.right),
+            exit: BarrierOp {
+                label: "branch-join",
+                param: 0,
+                f: Box::new(move |_scl, mut r_done| {
+                    let l_done = unpark(&mut r_done);
+                    Ok(join(l_done, r_done))
+                }),
+            },
+        })
+    }
+}
+
+/// Run an op chain on the calling thread — the recursive body of
+/// [`BranchOp::try_apply`].
+fn apply_ops<'a>(
+    ops: &mut [PlanOp<'a>],
+    scl: &mut Scl,
+    mut val: ErasedArr,
+    summed: bool,
+) -> std::result::Result<ErasedArr, RequestError> {
+    for op in ops {
+        val = match op {
+            PlanOp::Segment(seg) => {
+                if summed {
+                    seg.try_apply_summed(scl, val)?
+                } else {
+                    seg.try_apply(scl, val)?
+                }
+            }
+            PlanOp::Barrier(b) => {
+                b.apply(scl, val)
+                    .map_err(|error| RequestError::BarrierFailed {
+                        stage: b.label().to_string(),
+                        error,
+                    })?
+            }
+            PlanOp::Branch(b) => b.try_apply(scl, val, summed)?,
+        };
+    }
+    Ok(val)
+}
+
 /// Group a fused node chain into maximal segments and barriers — the
 /// operator list a streaming runtime builds its graph from.
 pub(crate) fn plan_ops(nodes: Vec<FusedNode<'_>>) -> Vec<PlanOp<'_>> {
@@ -781,6 +1170,13 @@ pub(crate) fn plan_ops(nodes: Vec<FusedNode<'_>>) -> Vec<PlanOp<'_>> {
             FusedNode::Barrier { label, param, f } => {
                 ops.push(PlanOp::Barrier(BarrierOp { label, param, f }))
             }
+            FusedNode::Branch(b) => ops.push(PlanOp::Branch(BranchOp {
+                label: b.label,
+                param: b.param,
+                kind: b.kind,
+                left: plan_ops(b.left),
+                right: plan_ops(b.right),
+            })),
         }
     }
     ops
@@ -810,27 +1206,185 @@ impl Scl {
         plan: &mut FusedPlan<'_, A, B>,
         input: A,
     ) -> Result<B> {
-        let mut val = (plan.entry)(input);
+        let val = (plan.entry)(input);
         self.try_check_fits(val.arr.len())?;
+        let out = self.exec_chain(&mut plan.nodes, val)?;
+        Ok((plan.exit)(out))
+    }
+
+    /// Walk one node chain: maximal compute runs execute as fused
+    /// segments, barriers run eagerly, branches recurse into their arms.
+    /// Also the executor for each arm of a [`FusedNode::Branch`].
+    fn exec_chain(&mut self, nodes: &mut [FusedNode<'_>], mut val: ErasedArr) -> Result<ErasedArr> {
         let mut i = 0;
-        while i < plan.nodes.len() {
-            if plan.nodes[i].is_barrier() {
-                let FusedNode::Barrier { f, .. } = &mut plan.nodes[i] else {
-                    unreachable!()
-                };
-                val = f(self, val)?;
-                self.try_check_fits(val.arr.len())?;
-                i += 1;
-            } else {
-                let mut j = i;
-                while j < plan.nodes.len() && !plan.nodes[j].is_barrier() {
-                    j += 1;
+        while i < nodes.len() {
+            match &mut nodes[i] {
+                FusedNode::Barrier { f, .. } => {
+                    val = f(self, val)?;
+                    self.try_check_fits(val.arr.len())?;
+                    i += 1;
                 }
-                val = self.exec_segment(&plan.nodes[i..j], val);
-                i = j;
+                FusedNode::Branch(_) => {
+                    let FusedNode::Branch(b) = &mut nodes[i] else {
+                        unreachable!()
+                    };
+                    val = self.exec_branch(b, val)?;
+                    self.try_check_fits(val.arr.len())?;
+                    i += 1;
+                }
+                FusedNode::Compute(_) => {
+                    let mut j = i;
+                    while j < nodes.len() && matches!(nodes[j], FusedNode::Compute(_)) {
+                        j += 1;
+                    }
+                    val = self.exec_segment(&nodes[i..j], val);
+                    i = j;
+                }
             }
         }
-        Ok((plan.exit)(val))
+        Ok(val)
+    }
+
+    /// Execute one branch node. A `Choose` branch runs exactly one arm;
+    /// a `Split` branch runs both — concurrently as **one** dispatch over
+    /// the concatenated halves when both arms are pure compute chains
+    /// (the common `pair`/`fanout` shape), sequentially left-then-right
+    /// otherwise. Machine charges are identical either way: each half's
+    /// parts are charged in order, left arm first.
+    fn exec_branch(&mut self, b: &mut BranchNode<'_>, val: ErasedArr) -> Result<ErasedArr> {
+        match &mut b.kind {
+            BranchKind::Choose(decide) => {
+                let (val, take_left) = decide(val);
+                if take_left {
+                    self.exec_chain(&mut b.left, val)
+                } else {
+                    self.exec_chain(&mut b.right, val)
+                }
+            }
+            BranchKind::Split { split, join } => {
+                let (l, r) = split(val);
+                let pure = |nodes: &[FusedNode<'_>]| {
+                    nodes.iter().all(|n| matches!(n, FusedNode::Compute(_)))
+                };
+                if pure(&b.left) && pure(&b.right) {
+                    let (lo, ro) = self.exec_split_segments(&b.left, &b.right, l, r);
+                    return Ok(join(lo, ro));
+                }
+                let lo = self.exec_chain(&mut b.left, l)?;
+                let ro = self.exec_chain(&mut b.right, r)?;
+                Ok(join(lo, ro))
+            }
+        }
+    }
+
+    /// The branch-parallel fast path: both arms are pure compute chains,
+    /// so the left half's parts and the right half's parts are mutually
+    /// independent items — run them as a single `par_pipeline` dispatch
+    /// over `left parts ++ right parts`, each item routed through its own
+    /// arm's stages. Under a multi-thread policy the two arms genuinely
+    /// overlap on distinct pool workers. Charging stays deterministic:
+    /// after the dispatch, parts are charged in arm order (left first),
+    /// exactly like sequential arm-at-a-time execution.
+    fn exec_split_segments(
+        &mut self,
+        left: &[FusedNode<'_>],
+        right: &[FusedNode<'_>],
+        l: ErasedArr,
+        r: ErasedArr,
+    ) -> (ErasedArr, ErasedArr) {
+        fn stages_of<'n, 'p>(nodes: &'n [FusedNode<'p>]) -> Vec<(&'static str, &'n ComputeFn<'p>)> {
+            nodes
+                .iter()
+                .map(|n| match n {
+                    FusedNode::Compute(ComputeStage { label, f, .. }) => (*label, f),
+                    _ => unreachable!("pure arms contain only compute nodes"),
+                })
+                .collect()
+        }
+        let lstages = stages_of(left);
+        let rstages = stages_of(right);
+
+        let ErasedArr {
+            arr: larr,
+            side: lside,
+            elem_bytes: lbytes,
+        } = l;
+        let ErasedArr {
+            arr: rarr,
+            side: rside,
+            elem_bytes: rbytes,
+        } = r;
+        let ln = larr.len();
+        let (threads, grain) = self.segment_schedule(
+            ln + rarr.len(),
+            lstages.len().max(rstages.len()),
+            lbytes.max(rbytes),
+        );
+        let (lparts, lprocs, lshape) = larr.into_raw();
+        let (rparts, rprocs, rshape) = rarr.into_raw();
+        let mut parts = lparts;
+        parts.extend(rparts);
+
+        let step = |i: usize, part: PartVal| -> (PartVal, Work, f64) {
+            let (local, stages) = if i < ln {
+                (i, &lstages)
+            } else {
+                (i - ln, &rstages)
+            };
+            let mut v = part;
+            let mut w = Work::NONE;
+            let mut secs = 0.0;
+            for (label, f) in stages {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f(local, v))) {
+                    Ok((nv, nw, ns)) => {
+                        v = nv;
+                        w += nw;
+                        secs += ns;
+                    }
+                    Err(payload) => panic!(
+                        "fused stage `{label}` panicked on part {local}: {}",
+                        panic_message(&*payload)
+                    ),
+                }
+            }
+            (v, w, secs)
+        };
+
+        let results: Vec<(PartVal, Work, f64)> = if threads <= 1 || parts.is_empty() {
+            parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| step(i, p))
+                .collect()
+        } else {
+            let pool = self.fused_pool(threads);
+            par_pipeline(pool, parts, threads, grain, step)
+        };
+
+        let mut lout = Vec::with_capacity(ln);
+        let mut rout = Vec::with_capacity(results.len() - ln);
+        for (i, (v, w, secs)) in results.into_iter().enumerate() {
+            let charged = w + self.measured_work(secs);
+            if i < ln {
+                self.machine.compute(lprocs[i], charged, "fused");
+                lout.push(v);
+            } else {
+                self.machine.compute(rprocs[i - ln], charged, "fused");
+                rout.push(v);
+            }
+        }
+        (
+            ErasedArr {
+                arr: ParArray::from_raw(lout, lprocs, lshape),
+                side: lside,
+                elem_bytes: lbytes,
+            },
+            ErasedArr {
+                arr: ParArray::from_raw(rout, rprocs, rshape),
+                side: rside,
+                elem_bytes: rbytes,
+            },
+        )
     }
 
     /// Run one fused segment — consecutive compute nodes — over every
@@ -852,9 +1406,7 @@ impl Scl {
             .iter()
             .map(|n| match n {
                 FusedNode::Compute(ComputeStage { label, f, .. }) => (*label, f),
-                FusedNode::Barrier { .. } => {
-                    unreachable!("fused segments contain only compute nodes")
-                }
+                _ => unreachable!("fused segments contain only compute nodes"),
             })
             .collect();
 

@@ -150,8 +150,8 @@ pub use config::{align, align3, combine, split, try_align, unalign};
 pub use ctx::{MeasureMode, Scl, DEFAULT_BUFFER_CAP_BYTES};
 pub use error::{RequestError, Result, SclError};
 pub use fused::{
-    fingerprint_ops, panic_message, BarrierOp, ErasedArr, FusePort, PartVal, PlanFingerprint,
-    PlanOp, SegmentOp,
+    fingerprint_ops, panic_message, BarrierOp, BranchOp, ErasedArr, FusePort, PartVal,
+    PipelinedBranch, PlanFingerprint, PlanOp, SegmentOp,
 };
 pub use partition::{block_ranges, gather, gather2, owner_1d, Pattern};
 pub use plan::Skel;

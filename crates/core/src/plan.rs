@@ -262,6 +262,137 @@ where
             }))),
         }
     }
+
+    // ---- arrow combinators: plans as DAGs -----------------------------------
+
+    /// Product composition (the arrow `***`): run `self` on the first
+    /// component and `other` on the second, independently. The plan's
+    /// input is the pair of both inputs; its output the pair of both
+    /// outputs.
+    ///
+    /// Fusability is preserved when both sides have it — the fused form is
+    /// a single **branch node** whose arms are the two stage chains, and
+    /// [`Scl::run_fused`] schedules independent pure arms as siblings of
+    /// one pool dispatch (see [`crate::fused`]). Not lowerable (the IR's
+    /// branch forms are the symbolic [`Skel::fanout_sym`] /
+    /// [`Skel::choice_sym`]).
+    ///
+    /// ```
+    /// use scl_core::prelude::*;
+    /// let plan = Skel::map(|x: &i64| x + 1).pair(Skel::map(|x: &i64| x * 2));
+    /// let mut scl = Scl::ap1000(4);
+    /// let a = ParArray::from_parts(vec![1i64, 2, 3, 4]);
+    /// let b = ParArray::from_parts(vec![10i64, 20, 30, 40]);
+    /// let (l, r) = scl.run_fused(&plan, (a, b)).unwrap();
+    /// assert_eq!(l.to_vec(), vec![2, 3, 4, 5]);
+    /// assert_eq!(r.to_vec(), vec![20, 40, 60, 80]);
+    /// ```
+    pub fn pair<C, D>(self, other: Skel<'a, C, D>) -> Skel<'a, (A, C), (B, D)>
+    where
+        C: FusePort + 'a,
+        D: FusePort + 'a,
+        (A, C): FusePort + 'a,
+        (B, D): FusePort + 'a,
+    {
+        let mut f = self.exec.into_inner();
+        let mut g = other.exec.into_inner();
+        let fused = match (self.fused, other.fused) {
+            (Some(l), Some(r)) => Some(RefCell::new(fused::pair_node(
+                l.into_inner(),
+                r.into_inner(),
+            ))),
+            _ => None,
+        };
+        Skel {
+            exec: RefCell::new(Box::new(move |scl: &mut Scl, (a, c): (A, C)| {
+                // left arm first, then right — the fused executor charges
+                // the machine in the same order, so reports agree.
+                let b = f(scl, a);
+                let d = g(scl, c);
+                (b, d)
+            })),
+            repr: None,
+            fused,
+        }
+    }
+
+    /// Fan-out composition (the arrow `&&&`): feed one input to both
+    /// `self` and `other` (the second arm receives a clone) and pair the
+    /// results. Fusability is preserved when both sides have it, exactly
+    /// as for [`Skel::pair`].
+    ///
+    /// ```
+    /// use scl_core::prelude::*;
+    /// let plan = Skel::map(|x: &i64| x + 1).fanout(Skel::map(|x: &i64| x * 2));
+    /// let mut scl = Scl::ap1000(3);
+    /// let a = ParArray::from_parts(vec![1i64, 2, 3]);
+    /// let (l, r) = scl.run_fused(&plan, a).unwrap();
+    /// assert_eq!(l.to_vec(), vec![2, 3, 4]);
+    /// assert_eq!(r.to_vec(), vec![2, 4, 6]);
+    /// ```
+    pub fn fanout<C>(self, other: Skel<'a, A, C>) -> Skel<'a, A, (B, C)>
+    where
+        A: Clone,
+        C: FusePort + 'a,
+        (B, C): FusePort + 'a,
+    {
+        let mut f = self.exec.into_inner();
+        let mut g = other.exec.into_inner();
+        let fused = match (self.fused, other.fused) {
+            (Some(l), Some(r)) => Some(RefCell::new(fused::fanout_node(
+                l.into_inner(),
+                r.into_inner(),
+            ))),
+            _ => None,
+        };
+        Skel {
+            exec: RefCell::new(Box::new(move |scl: &mut Scl, a: A| {
+                // clone-then-run order matches the fused split closure
+                let twin = a.clone();
+                let b = f(scl, a);
+                let c = g(scl, twin);
+                (b, c)
+            })),
+            repr: None,
+            fused,
+        }
+    }
+
+    /// Predicate-driven branching (Either-style choice): inspect the input
+    /// with `pred`, run `left` when it holds, `right` otherwise. Exactly
+    /// one arm executes (and is charged). Fusability is preserved when
+    /// both arms have it.
+    pub fn choice(
+        pred: impl Fn(&A) -> bool + 'a,
+        left: Skel<'a, A, B>,
+        right: Skel<'a, A, B>,
+    ) -> Skel<'a, A, B> {
+        let pred: Arc<dyn Fn(&A) -> bool + 'a> = Arc::new(pred);
+        let p = Arc::clone(&pred);
+        let mut f = left.exec.into_inner();
+        let mut g = right.exec.into_inner();
+        let fused = match (left.fused, right.fused) {
+            (Some(l), Some(r)) => Some(RefCell::new(fused::choice_node(
+                pred,
+                l.into_inner(),
+                r.into_inner(),
+            ))),
+            _ => None,
+        };
+        Skel {
+            exec: RefCell::new(Box::new(
+                move |scl: &mut Scl, a: A| {
+                    if p(&a) {
+                        f(scl, a)
+                    } else {
+                        g(scl, a)
+                    }
+                },
+            )),
+            repr: None,
+            fused,
+        }
+    }
 }
 
 impl<'a, A: 'a> Skel<'a, A, A> {
@@ -642,6 +773,49 @@ impl<'a, X: FusePort + 'a> Skel<'a, X, X> {
             scl.iter_until(&mut solvers.0, &mut solvers.1, &con, x)
         })
     }
+
+    /// First-class divide-and-conquer over [`Skel::pair`]: unfold `levels`
+    /// levels of
+    /// `divide(l) · (recurse ∥ recurse) · combine(l)`, bottoming out in
+    /// `base()` at level 0. The recursion tree is a static plan DAG — the
+    /// two recursive halves at every level are a [`Skel::pair`], so under
+    /// [`Scl::run_fused`] independent pure halves run as siblings of one
+    /// pool dispatch.
+    ///
+    /// The factories are invoked once per node of the unfolded tree
+    /// (`divide`/`combine` get the level, `1..=levels`); compare
+    /// [`Skel::dc`], the eager recursion whose structure is rediscovered
+    /// on every run.
+    pub fn dac(
+        levels: usize,
+        divide: impl Fn(usize) -> Skel<'a, X, (X, X)>,
+        base: impl Fn() -> Skel<'a, X, X>,
+        combine: impl Fn(usize) -> Skel<'a, (X, X), X>,
+    ) -> Skel<'a, X, X>
+    where
+        (X, X): FusePort + 'a,
+    {
+        // monomorphisation-safe recursion: the helper takes the factories
+        // as `&dyn Fn`, so every level shares one instantiation
+        fn build<'a, X>(
+            level: usize,
+            divide: &dyn Fn(usize) -> Skel<'a, X, (X, X)>,
+            base: &dyn Fn() -> Skel<'a, X, X>,
+            combine: &dyn Fn(usize) -> Skel<'a, (X, X), X>,
+        ) -> Skel<'a, X, X>
+        where
+            X: FusePort + 'a,
+            (X, X): FusePort + 'a,
+        {
+            if level == 0 {
+                return base();
+            }
+            let l = build(level - 1, divide, base, combine);
+            let r = build(level - 1, divide, base, combine);
+            divide(level).then(l.pair(r)).then(combine(level))
+        }
+        build(levels, &divide, &base, &combine)
+    }
 }
 
 /// A boxed task-pipeline stage, as consumed by [`Skel::task_pipeline`].
@@ -682,6 +856,18 @@ fn symbols_resolve(e: &Expr, reg: &Registry) -> bool {
         Expr::Fetch(h) | Expr::Send(h) => idx_ok(h),
         Expr::SegFetch { f, .. } | Expr::SegSend { f, .. } => idx_ok(f),
         Expr::MapGroups(b) => symbols_resolve(b, reg),
+        Expr::Choice { pred, left, right } => {
+            reg.fn_work(pred).is_ok() && symbols_resolve(left, reg) && symbols_resolve(right, reg)
+        }
+        Expr::Fanout {
+            left,
+            right,
+            combine,
+        } => {
+            reg.op_work(combine).is_ok()
+                && symbols_resolve(left, reg)
+                && symbols_resolve(right, reg)
+        }
     }
 }
 
@@ -803,6 +989,43 @@ fn exec_expr(e: &Expr, reg: &Registry, scl: &mut Scl, val: RtVal) -> Result<RtVa
             let body = Expr::Send(f.clone());
             seg(reg, scl, flat(val)?, *groups, &body)
         }
+        Expr::Choice { pred, left, right } => {
+            let a = flat(val)?;
+            // validate up front so apply_fn below cannot fail; the probe
+            // itself charges nothing (mirrors the raised Skel::choice_sym)
+            reg.fn_work(pred)?;
+            let probe = a.parts().first().copied().unwrap_or(0);
+            let arm = if reg.apply_fn(pred, probe)? != 0 {
+                left
+            } else {
+                right
+            };
+            exec_expr(arm, reg, scl, RtVal::Flat(a))
+        }
+        Expr::Fanout {
+            left,
+            right,
+            combine,
+        } => {
+            let a = flat(val)?;
+            reg.op_work(combine)?;
+            let twin = a.clone();
+            let l = match exec_expr(left, reg, scl, RtVal::Flat(a))? {
+                RtVal::Flat(arr) => arr,
+                RtVal::Nested(_) => return Err("fanout arms must stay flat".into()),
+            };
+            let r = match exec_expr(right, reg, scl, RtVal::Flat(twin))? {
+                RtVal::Flat(arr) => arr,
+                RtVal::Nested(_) => return Err("fanout arms must stay flat".into()),
+            };
+            if l.len() != r.len() {
+                return Err("fanout arms disagree on length".into());
+            }
+            // like Skel::zip_sym / Scl::zip_with, the zip charges nothing
+            Ok(RtVal::Flat(scl.zip_with(&l, &r, |x, y| {
+                reg.apply_op(combine, *x, *y).unwrap_or(0)
+            })))
+        }
         Expr::Fold(_) | Expr::FoldrMap(_, _) => Err(format!(
             "{e}: scalar-producing programs are outside the array→array plan fragment"
         )),
@@ -914,6 +1137,83 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
         plan
     }
 
+    /// Element-wise combination of two conforming `i64` arrays through an
+    /// operator registered by name — the join stage of
+    /// [`Skel::fanout_sym`]. Part-local and uncharged, like
+    /// [`Skel::zip_with`].
+    pub fn zip_sym(
+        op: &str,
+        reg: &'a Registry,
+    ) -> Skel<'a, (ParArray<i64>, ParArray<i64>), ParArray<i64>> {
+        let eager_op = op.to_string();
+        let node_op = op.to_string();
+        let plan = Skel {
+            exec: RefCell::new(Box::new(
+                move |scl: &mut Scl, (a, b): (ParArray<i64>, ParArray<i64>)| {
+                    scl.zip_with(&a, &b, |x, y| reg.apply_op(&eager_op, *x, *y).unwrap_or(0))
+                },
+            )),
+            repr: None,
+            fused: Some(RefCell::new(fused::compute_pair_node(
+                "zip_sym",
+                move |x: &i64, y: &i64| (reg.apply_op(&node_op, *x, *y).unwrap_or(0), Work::NONE),
+            ))),
+        };
+        tag_param(&plan, &format!("zip({op})"));
+        plan
+    }
+
+    /// Lowerable predicate-driven branching: [`Skel::choice`] whose
+    /// predicate is a scalar function registered by name, probed on the
+    /// array's **first element** (an empty array probes `0`); nonzero
+    /// selects `left`. Lowers to [`Expr::Choice`] when both arms lower.
+    pub fn choice_sym(pred: &str, left: Self, right: Self, reg: &'a Registry) -> Self {
+        Self::choice_ref(FnRef::named(pred), left, right, reg)
+    }
+
+    /// As [`Skel::choice_sym`] for an arbitrary (possibly composed)
+    /// [`FnRef`] predicate.
+    pub fn choice_ref(pref: FnRef, left: Self, right: Self, reg: &'a Registry) -> Self {
+        let repr = match (left.repr.clone(), right.repr.clone()) {
+            (Some(l), Some(r)) => Some(Expr::Choice {
+                pred: pref.clone(),
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            _ => None,
+        };
+        let p = pref.clone();
+        let mut plan = Skel::choice(
+            move |a: &ParArray<i64>| {
+                let probe = a.parts().first().copied().unwrap_or(0);
+                reg.apply_fn(&p, probe).unwrap_or(0) != 0
+            },
+            left,
+            right,
+        );
+        tag_param(&plan, &format!("choice({pref})"));
+        plan.repr = repr;
+        plan
+    }
+
+    /// Lowerable fan-out: run both arms on (copies of) the input, then
+    /// zip the results element-wise with an operator registered by name —
+    /// `left.fanout(right).then(zip_sym(combine))` with an
+    /// [`Expr::Fanout`] representation when both arms lower.
+    pub fn fanout_sym(left: Self, right: Self, combine: &str, reg: &'a Registry) -> Self {
+        let repr = match (left.repr.clone(), right.repr.clone()) {
+            (Some(l), Some(r)) => Some(Expr::Fanout {
+                left: Box::new(l),
+                right: Box::new(r),
+                combine: combine.to_string(),
+            }),
+            _ => None,
+        };
+        let mut plan = left.fanout(right).then(Skel::zip_sym(combine, reg));
+        plan.repr = repr;
+        plan
+    }
+
     /// Lower the plan into the `scl-transform` IR, if every stage is in
     /// the lowerable fragment **and** every referenced symbol resolves in
     /// `reg` **and** the program is array→array. Returns `None` otherwise.
@@ -992,6 +1292,39 @@ impl<'a> Skel<'a, ParArray<i64>, ParArray<i64>> {
             Expr::Scan(op) => Skel::scan_sym(&op, reg),
             Expr::Fetch(h) => Skel::fetch_ref(h, reg),
             Expr::Send(h) => Skel::send_ref(h, reg),
+            st @ (Expr::Choice { .. } | Expr::Fanout { .. }) => Self::expr_branch(st, reg),
+            other => Self::expr_barrier(other, reg),
+        }
+    }
+
+    /// A branch IR form as a plan stage: both arms are raised
+    /// **recursively** (so nested maps keep their compute-node form and
+    /// the raised plan is a real DAG, not a flattened chain), falling back
+    /// to the interpreter barrier only if an arm fails to raise — raising
+    /// is total either way.
+    fn expr_branch(st: Expr, reg: &'a Registry) -> Self {
+        match st {
+            Expr::Choice { pred, left, right } => {
+                match (Self::from_expr(&left, reg), Self::from_expr(&right, reg)) {
+                    (Ok(l), Ok(r)) => Skel::choice_ref(pred, l, r, reg),
+                    _ => Self::expr_barrier(Expr::Choice { pred, left, right }, reg),
+                }
+            }
+            Expr::Fanout {
+                left,
+                right,
+                combine,
+            } => match (Self::from_expr(&left, reg), Self::from_expr(&right, reg)) {
+                (Ok(l), Ok(r)) => Skel::fanout_sym(l, r, &combine, reg),
+                _ => Self::expr_barrier(
+                    Expr::Fanout {
+                        left,
+                        right,
+                        combine,
+                    },
+                    reg,
+                ),
+            },
             other => Self::expr_barrier(other, reg),
         }
     }

@@ -12,7 +12,7 @@
 //! items.
 
 use crate::{Envelope, FarmStats, StageStat};
-use scl_core::{panic_message, BarrierOp, ErasedArr, PlanOp, RequestError, SegmentOp};
+use scl_core::{panic_message, BarrierOp, BranchOp, ErasedArr, PlanOp, RequestError, SegmentOp};
 use scl_exec::{
     ring_mpmc, spawn_farm_workers, spawn_stage_workers, Bounded, ExecPolicy, RingReceiver,
     RingSender, ThreadPool, TryRecv, WidthGate,
@@ -32,6 +32,11 @@ enum PumpOp {
     /// A fused segment under a 1-thread policy: the whole graph degrades
     /// to synchronous inline execution with zero worker threads.
     Inline(Arc<SegmentOp<'static>>),
+    /// A plan-DAG branch whose shape resists the pipelined split
+    /// (choice arms, arms with internal barriers): the pump runs the
+    /// whole branch inline — split/decide, arm chains, join — exactly as
+    /// [`BranchOp::try_apply`] defines it.
+    Branch(Box<BranchOp<'static>>),
 }
 
 impl PumpOp {
@@ -39,6 +44,7 @@ impl PumpOp {
         match self {
             PumpOp::Barrier(b) => b.label().to_string(),
             PumpOp::Inline(seg) => seg.label(),
+            PumpOp::Branch(b) => b.display_label(),
         }
     }
 }
@@ -345,6 +351,54 @@ impl Graph {
                         hops.push(Hop::new());
                     }
                 }
+                // A branch with two pure segment arms decomposes into the
+                // pipelined form — enter (split + park right), left farm,
+                // swap (unpark right, park left's result), right farm,
+                // exit (unpark + join) — so both arms become real farm
+                // stages that overlap across stream items. Anything else
+                // (choice, arms with barriers) runs inline on the pump.
+                PlanOp::Branch(b) => match b.into_pipelined() {
+                    Ok(p) if !inline => {
+                        hops.last_mut()
+                            .expect("hops start non-empty")
+                            .push_op(PumpOp::Barrier(p.enter));
+                        farms.push(Farm::new(
+                            Arc::new(p.left),
+                            capacity,
+                            exec_cap,
+                            adaptive,
+                            locked_links,
+                        ));
+                        hops.push(Hop::new());
+                        hops.last_mut()
+                            .expect("hops grow with farms")
+                            .push_op(PumpOp::Barrier(p.swap));
+                        farms.push(Farm::new(
+                            Arc::new(p.right),
+                            capacity,
+                            exec_cap,
+                            adaptive,
+                            locked_links,
+                        ));
+                        hops.push(Hop::new());
+                        hops.last_mut()
+                            .expect("hops grow with farms")
+                            .push_op(PumpOp::Barrier(p.exit));
+                    }
+                    Ok(p) => {
+                        // 1-thread policy: same op order, all on the pump
+                        let hop = hops.last_mut().expect("hops start non-empty");
+                        hop.push_op(PumpOp::Barrier(p.enter));
+                        hop.push_op(PumpOp::Inline(Arc::new(p.left)));
+                        hop.push_op(PumpOp::Barrier(p.swap));
+                        hop.push_op(PumpOp::Inline(Arc::new(p.right)));
+                        hop.push_op(PumpOp::Barrier(p.exit));
+                    }
+                    Err(b) => hops
+                        .last_mut()
+                        .expect("hops start non-empty")
+                        .push_op(PumpOp::Branch(Box::new(b))),
+                },
             }
         }
         let pool = if farms.is_empty() {
@@ -528,6 +582,20 @@ impl Graph {
                         seg.try_apply_summed(&mut env.scl, val)
                     } else {
                         seg.try_apply(&mut env.scl, val)
+                    }
+                }
+                PumpOp::Branch(b) => {
+                    // compute stages inside the arms already resolve their
+                    // own panics to typed errors; the catch here is the
+                    // net for split/decide/join closures
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        b.try_apply(&mut env.scl, val, summed)
+                    })) {
+                        Ok(res) => res,
+                        Err(p) => Err(RequestError::BarrierPanic {
+                            stage: b.label().to_string(),
+                            message: panic_message(&*p).to_string(),
+                        }),
                     }
                 }
             };

@@ -16,6 +16,8 @@
 //! stream on every platform, so test failures and benchmark tables
 //! reproduce bit-for-bit.
 
+pub mod dag;
+
 /// A seedable xoshiro256** pseudo-random generator.
 #[derive(Debug, Clone)]
 pub struct Rng {

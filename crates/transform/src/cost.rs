@@ -179,6 +179,43 @@ fn walk(
             let _ = flat_n(layout)?;
             Ok((step_comm(net, params), layout))
         }
+        Choice { pred, left, right } => {
+            let _ = flat_n(layout)?;
+            // The predicate probes one element; whichever arm runs must
+            // preserve the flat layout. Cost is the worse of the two arms
+            // (a conservative bound — we cannot know the branch taken).
+            let probe = reg.fn_work(pred)?.cost(&params.model);
+            let (tl, ll) = walk(left, reg, params, net, layout)?;
+            let (tr, lr) = walk(right, reg, params, net, layout)?;
+            if !matches!(ll, Layout::Flat { .. }) || !matches!(lr, Layout::Flat { .. }) {
+                return Err("choice arms must preserve array layout".into());
+            }
+            if ll != lr {
+                return Err(format!("choice arms disagree on layout: {ll:?} vs {lr:?}"));
+            }
+            Ok((probe + if tl >= tr { tl } else { tr }, ll))
+        }
+        Fanout {
+            left,
+            right,
+            combine,
+        } => {
+            let n = flat_n(layout)?;
+            // Both arms run over copies of the input, then a zip with the
+            // combining operator. Arms are independent but share the same
+            // processors, so we charge them in sequence.
+            let (tl, ll) = walk(left, reg, params, net, layout)?;
+            let (tr, lr) = walk(right, reg, params, net, layout)?;
+            if !matches!(ll, Layout::Flat { .. }) || !matches!(lr, Layout::Flat { .. }) {
+                return Err("fanout arms must preserve array layout".into());
+            }
+            if ll != lr {
+                return Err(format!("fanout arms disagree on layout: {ll:?} vs {lr:?}"));
+            }
+            let zip = reg.op_work(combine)?.cost(&params.model) + barrier(params);
+            let _ = n;
+            Ok((tl + tr + zip, ll))
+        }
     }
 }
 

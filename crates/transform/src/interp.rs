@@ -209,6 +209,38 @@ pub fn eval(e: &Expr, reg: &Registry, input: Value) -> Result<Value, String> {
             }
             Ok(Value::Arr(out))
         }
+        Choice { pred, left, right } => {
+            let v = input.into_arr()?;
+            // the predicate reads the first element; an empty array reads 0
+            // — the same convention as the plan layer's `choice_sym`
+            let probe = v.first().copied().unwrap_or(0);
+            if reg.apply_fn(pred, probe)? != 0 {
+                eval(left, reg, Value::Arr(v))
+            } else {
+                eval(right, reg, Value::Arr(v))
+            }
+        }
+        Fanout {
+            left,
+            right,
+            combine,
+        } => {
+            let v = input.into_arr()?;
+            let l = eval(left, reg, Value::Arr(v.clone()))?.into_arr()?;
+            let r = eval(right, reg, Value::Arr(v))?.into_arr()?;
+            if l.len() != r.len() {
+                return Err(format!(
+                    "fanout arms disagree on length: {} vs {}",
+                    l.len(),
+                    r.len()
+                ));
+            }
+            let mut out = Vec::with_capacity(l.len());
+            for (x, y) in l.into_iter().zip(r) {
+                out.push(reg.apply_op(combine, x, y)?);
+            }
+            Ok(Value::Arr(out))
+        }
     }
 }
 

@@ -139,6 +139,31 @@ pub enum Expr {
         /// Group-local index function.
         f: IdxRef,
     },
+    /// `choice(p)[l][r]`: run `left` when the registered predicate `pred`
+    /// is nonzero on the array's first element (0 on an empty array),
+    /// `right` otherwise — the Either-style branch of the plan layer's
+    /// arrow combinators. Both arms must be array→array.
+    Choice {
+        /// Registered scalar predicate, applied to the first element.
+        pred: FnRef,
+        /// Arm taken when the predicate is nonzero.
+        left: Box<Expr>,
+        /// Arm taken when the predicate is zero.
+        right: Box<Expr>,
+    },
+    /// `fanout(⊕)[l][r]`: run both arms over (copies of) the same input
+    /// and zip their outputs element-wise with the registered operator
+    /// `combine` — the `&&&` of the plan layer's arrow combinators. Both
+    /// arms must be array→array and length-preserving (every array→array
+    /// form in this IR is).
+    Fanout {
+        /// Arm producing the zip's left operand.
+        left: Box<Expr>,
+        /// Arm producing the zip's right operand.
+        right: Box<Expr>,
+        /// Registered binary operator zipping the arm outputs.
+        combine: String,
+    },
 }
 
 impl Expr {
@@ -173,6 +198,9 @@ impl Expr {
         match self {
             Expr::Compose(es) => 1 + es.iter().map(Expr::size).sum::<usize>(),
             Expr::MapGroups(e) => 1 + e.size(),
+            Expr::Choice { left, right, .. } | Expr::Fanout { left, right, .. } => {
+                1 + left.size() + right.size()
+            }
             _ => 1,
         }
     }
@@ -183,6 +211,9 @@ impl Expr {
         here + match self {
             Expr::Compose(es) => es.iter().map(|e| e.count(pred)).sum(),
             Expr::MapGroups(e) => e.count(pred),
+            Expr::Choice { left, right, .. } | Expr::Fanout { left, right, .. } => {
+                left.count(pred) + right.count(pred)
+            }
             _ => 0,
         }
     }
@@ -256,6 +287,16 @@ pub fn shape_of(e: &Expr, inp: Shape) -> Result<Shape, String> {
             Nested(_) => Ok(Arr),
             other => Err(format!("combine needs a nested input, got {other:?}")),
         },
+        Choice { left, right, .. } | Fanout { left, right, .. } => {
+            want_arr(inp, "branch")?;
+            for (name, arm) in [("left", left), ("right", right)] {
+                let s = shape_of(arm, Arr)?;
+                if s != Arr {
+                    return Err(format!("branch {name} arm must be array→array, got {s:?}"));
+                }
+            }
+            Ok(Arr)
+        }
     }
 }
 
@@ -305,6 +346,12 @@ impl fmt::Display for Expr {
             SegRotate { groups, k } => write!(f, "segRotate(g={groups}, {k})"),
             SegFetch { groups, f: h } => write!(f, "segFetch(g={groups}, {h})"),
             SegSend { groups, f: h } => write!(f, "segSend(g={groups}, {h})"),
+            Choice { pred, left, right } => write!(f, "choice({pred})[{left}][{right}]"),
+            Fanout {
+                left,
+                right,
+                combine,
+            } => write!(f, "fanout({combine})[{left}][{right}]"),
         }
     }
 }

@@ -20,6 +20,8 @@
 //!            | "segRotate" "(" "g=" int "," int ")"
 //!            | "segFetch"  "(" "g=" int "," idxref ")"
 //!            | "segSend"   "(" "g=" int "," idxref ")"
+//!            | "choice" "(" fnref ")" "[" expr "]" "[" expr "]"
+//!            | "fanout" "(" ident ")" "[" expr "]" "[" expr "]"
 //! fnref     := ident | "(" fnref (" . " fnref)* ")"
 //! idxref    := ident | "(" idxref (" . " idxref)* ")"
 //! ```
@@ -275,11 +277,44 @@ impl Parser {
                 let (groups, f) = self.seg_header_idx()?;
                 Ok(Expr::SegSend { groups, f })
             }
+            "choice" => {
+                self.expect(Tok::LParen, "`(`")?;
+                let pred = self.fnref()?;
+                self.expect(Tok::RParen, "`)`")?;
+                let (left, right) = self.two_arms()?;
+                Ok(Expr::Choice {
+                    pred,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            "fanout" => {
+                self.expect(Tok::LParen, "`(`")?;
+                let combine = self.expect_ident("an operator name")?;
+                self.expect(Tok::RParen, "`)`")?;
+                let (left, right) = self.two_arms()?;
+                Ok(Expr::Fanout {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    combine,
+                })
+            }
             other => {
                 self.pos -= 1;
                 self.err(format!("unknown skeleton `{other}`"))
             }
         }
+    }
+
+    /// `"[" expr "]" "[" expr "]"` — the two arms of a branch form.
+    fn two_arms(&mut self) -> Result<(Expr, Expr), ParseError> {
+        self.expect(Tok::LBracket, "`[`")?;
+        let left = self.expr()?;
+        self.expect(Tok::RBracket, "`]`")?;
+        self.expect(Tok::LBracket, "`[`")?;
+        let right = self.expr()?;
+        self.expect(Tok::RBracket, "`]`")?;
+        Ok((left, right))
     }
 
     /// `"(" "g=" int "," int ")"`
@@ -485,6 +520,9 @@ mod tests {
             "fold(add) . map(square)",
             "foldr(mul . neg)",
             "segSend(g=3, half) . scan(add)",
+            "choice(pos)[map(inc)][map(dec) . rotate(1)]",
+            "fanout(add)[map(square)][rotate(-1)]",
+            "fanout(max)[choice(pos)[id][map(neg)]][map(inc)] . map(double)",
         ] {
             let e = parse(src).unwrap();
             assert_eq!(e.to_string(), src, "printer must reproduce the source");

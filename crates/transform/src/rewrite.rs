@@ -48,6 +48,20 @@ pub fn normalize(e: Expr) -> Expr {
                 Expr::MapGroups(Box::new(b))
             }
         }
+        Expr::Choice { pred, left, right } => Expr::Choice {
+            pred,
+            left: Box::new(normalize(*left)),
+            right: Box::new(normalize(*right)),
+        },
+        Expr::Fanout {
+            left,
+            right,
+            combine,
+        } => Expr::Fanout {
+            left: Box::new(normalize(*left)),
+            right: Box::new(normalize(*right)),
+            combine,
+        },
         other => other,
     }
 }
@@ -78,6 +92,38 @@ fn rewrite_once(e: &Expr, rules: &[Rule], reg: &Registry, log: &mut Vec<Applied>
         }
         Expr::MapGroups(b) => {
             rewrite_once(b, rules, reg, log).map(|nb| Expr::MapGroups(Box::new(nb)))
+        }
+        Expr::Choice { pred, left, right } => {
+            if let Some(nl) = rewrite_once(left, rules, reg, log) {
+                return Some(Expr::Choice {
+                    pred: pred.clone(),
+                    left: Box::new(nl),
+                    right: right.clone(),
+                });
+            }
+            rewrite_once(right, rules, reg, log).map(|nr| Expr::Choice {
+                pred: pred.clone(),
+                left: left.clone(),
+                right: Box::new(nr),
+            })
+        }
+        Expr::Fanout {
+            left,
+            right,
+            combine,
+        } => {
+            if let Some(nl) = rewrite_once(left, rules, reg, log) {
+                return Some(Expr::Fanout {
+                    left: Box::new(nl),
+                    right: right.clone(),
+                    combine: combine.clone(),
+                });
+            }
+            rewrite_once(right, rules, reg, log).map(|nr| Expr::Fanout {
+                left: left.clone(),
+                right: Box::new(nr),
+                combine: combine.clone(),
+            })
         }
         _ => None,
     }
@@ -138,6 +184,46 @@ fn collect_applications(e: &Expr, rule: Rule, reg: &Registry, sink: &mut dyn FnM
         Expr::MapGroups(b) => {
             let mut wrap = |rewritten: Expr| sink(Expr::MapGroups(Box::new(rewritten)));
             collect_applications(b, rule, reg, &mut wrap);
+        }
+        Expr::Choice { pred, left, right } => {
+            let mut wrap = |rewritten: Expr| {
+                sink(Expr::Choice {
+                    pred: pred.clone(),
+                    left: Box::new(rewritten),
+                    right: right.clone(),
+                })
+            };
+            collect_applications(left, rule, reg, &mut wrap);
+            let mut wrap = |rewritten: Expr| {
+                sink(Expr::Choice {
+                    pred: pred.clone(),
+                    left: left.clone(),
+                    right: Box::new(rewritten),
+                })
+            };
+            collect_applications(right, rule, reg, &mut wrap);
+        }
+        Expr::Fanout {
+            left,
+            right,
+            combine,
+        } => {
+            let mut wrap = |rewritten: Expr| {
+                sink(Expr::Fanout {
+                    left: Box::new(rewritten),
+                    right: right.clone(),
+                    combine: combine.clone(),
+                })
+            };
+            collect_applications(left, rule, reg, &mut wrap);
+            let mut wrap = |rewritten: Expr| {
+                sink(Expr::Fanout {
+                    left: left.clone(),
+                    right: Box::new(rewritten),
+                    combine: combine.clone(),
+                })
+            };
+            collect_applications(right, rule, reg, &mut wrap);
         }
         _ => {}
     }

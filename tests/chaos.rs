@@ -19,6 +19,7 @@ use scl::prelude::*;
 use scl_core::{ParArray, RequestError};
 use scl_machine::MachineReport;
 use scl_serve::{Serve, ServePolicy, Ticket};
+use scl_testkit::dag::{join_concat, split_half};
 use scl_testkit::FaultPlan;
 
 /// The policy matrix, overridable by the CI harness.
@@ -93,6 +94,18 @@ fn barrier_crashing_plan(f: FaultPlan) -> Skel<'static, ParArray<i64>, ParArray<
             a
         },
     ))
+}
+
+/// Tenant A's branch-crashing plan: the seeded `arm` site panics inside
+/// the **left** arm of a `pair` while the right arm stays healthy — the
+/// fault must resolve typed without stranding the sibling arm.
+fn arm_crashing_plan(f: FaultPlan) -> Skel<'static, ParArray<i64>, ParArray<i64>> {
+    let left = Skel::map(move |x: &i64| {
+        f.maybe_panic("arm", *x, 2);
+        x.wrapping_mul(2)
+    });
+    let right = Skel::map(|x: &i64| x.wrapping_add(9));
+    split_half().then(left.pair(right)).then(join_concat())
 }
 
 /// An input guaranteed (by seed-deterministic search) to trip `site`.
@@ -248,6 +261,66 @@ fn crashed_plans_rebuild_and_succeed_on_resubmission() {
             );
             assert_eq!(srv.stats().rebuilds, 1, "one teardown, one rebuild");
         }
+    }
+}
+
+/// A panic in one `pair` arm resolves as a typed fault; the sibling arm
+/// is not stranded (a cold input through the same keyed plan still
+/// completes, bit-for-bit with a solo run) and the co-tenant's request
+/// stays untouched.
+#[test]
+fn branch_arm_panics_resolve_typed_and_spare_sibling_and_co_tenant() {
+    let f = fault();
+    for policy in policies() {
+        let machine = unit_machine(8);
+        let mut srv: Serve<ParArray<i64>, ParArray<i64>> = Serve::new(
+            ServePolicy::new(machine.clone())
+                .with_exec(policy)
+                .with_quarantine_after(1_000_000), // the retry must run
+        );
+        let a = srv.add_tenant("chaos");
+        let b = srv.add_tenant("victim");
+
+        // the split sends the first half of the parts into the left arm,
+        // so an all-hot input is guaranteed to trip it
+        let doomed = srv
+            .submit_keyed(a, "arm", arm_crashing_plan(f), hot_input(f, "arm", 2))
+            .unwrap();
+        let safe = srv
+            .submit_keyed(b, "victim", victim_plan(), victim_input(11))
+            .unwrap();
+        let retry_input = cold_input(f, "arm", 2);
+        let retry = srv
+            .submit_keyed(a, "arm", arm_crashing_plan(f), retry_input.clone())
+            .unwrap();
+        srv.run_until_idle();
+
+        let err = srv.outcome(doomed).expect("resolved").unwrap_err();
+        assert!(
+            err.is_fault(),
+            "expected a typed fault, got {err} ({policy:?})"
+        );
+        assert!(
+            err.to_string().contains("injected fault at `arm`"),
+            "fault site lost: {err} ({policy:?})"
+        );
+
+        // sibling arm / shared graph not stranded: the cold retry of the
+        // same keyed plan completes and matches a solo run exactly
+        let (out, report): (ParArray<i64>, MachineReport) =
+            srv.outcome(retry).unwrap().expect("cold retry completes");
+        let mut scl = Scl::new(machine.clone()).with_policy(policy);
+        let expect = arm_crashing_plan(f).run(&mut scl, retry_input);
+        assert_eq!(out, expect, "retry output ({policy:?})");
+        assert_eq!(report, scl.machine.report(), "retry report ({policy:?})");
+
+        // co-tenant unharmed
+        let (out, report): (ParArray<i64>, MachineReport) =
+            srv.outcome(safe).unwrap().expect("victim unharmed");
+        scl.reset();
+        let expect = victim_plan().run(&mut scl, victim_input(11));
+        assert_eq!(out, expect, "victim output ({policy:?})");
+        assert_eq!(report, scl.machine.report(), "victim report ({policy:?})");
     }
 }
 

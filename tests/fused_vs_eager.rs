@@ -10,6 +10,7 @@
 use scl::prelude::*;
 use scl_apps::histogram::{histogram_plan, histogram_seq};
 use scl_apps::jacobi::{jacobi_plan, jacobi_seq};
+use scl_apps::msort::msort_plan;
 use scl_apps::psrs::psrs_plan;
 use scl_apps::workloads::uniform_keys;
 use scl_core::{block_ranges, ParArray, SclError};
@@ -164,6 +165,41 @@ fn psrs_plan_agrees_on_all_paths() {
             expect.sort_unstable();
             let flat: Vec<i64> = fused.parts().iter().flatten().copied().collect();
             assert_eq!(flat, expect, "psrs p={p} ({policy:?})");
+        }
+    }
+}
+
+#[test]
+fn msort_plan_agrees_on_all_paths() {
+    for policy in policies() {
+        for p in [2usize, 4, 8] {
+            let data = uniform_keys(3000, 7 + p as u64);
+
+            let mut eager_ctx = Scl::ap1000(p);
+            let da = eager_ctx.partition(Pattern::Block(p), &data);
+            let eager = msort_plan(p).run(&mut eager_ctx, da);
+
+            let mut fused_ctx = Scl::ap1000(p).with_policy(policy);
+            let da = fused_ctx.partition(Pattern::Block(p), &data);
+            let fused = fused_ctx.run_fused(&msort_plan(p), da).unwrap();
+
+            assert_eq!(eager, fused, "msort p={p} ({policy:?})");
+
+            // the dc tree charges like the eager recursion
+            let (te, tf) = (
+                eager_ctx.makespan().as_secs(),
+                fused_ctx.makespan().as_secs(),
+            );
+            assert!(
+                (te - tf).abs() <= 1e-9 * te.abs().max(1.0),
+                "msort makespan diverged: eager {te} vs fused {tf} (p={p}, {policy:?})"
+            );
+
+            // sanity against plain sort
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let flat: Vec<i64> = fused.parts().iter().flatten().copied().collect();
+            assert_eq!(flat, expect, "msort p={p} ({policy:?})");
         }
     }
 }

@@ -20,6 +20,7 @@ use scl_apps::workloads::uniform_keys;
 use scl_core::{block_ranges, ParArray};
 use scl_machine::MachineReport;
 use scl_serve::{Serve, ServePolicy, TenantId, Ticket};
+use scl_testkit::dag::{arb_dag, DagStats};
 use scl_testkit::{cases, Rng};
 use std::sync::OnceLock;
 
@@ -108,6 +109,15 @@ fn arb_sym_plan(seed: u64) -> Skel<'static, ParArray<i64>, ParArray<i64>> {
         plan = plan.then(stage(&mut rng));
     }
     plan
+}
+
+/// One random **DAG** plan (branching through `pair` / `fanout` /
+/// `choice` / `dac`), rebuilt deterministically from its seed so the
+/// solo baseline and the cache key are both reproducible.
+fn arb_dag_plan(seed: u64) -> Skel<'static, ParArray<i64>, ParArray<i64>> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut stats = DagStats::default();
+    arb_dag(&mut rng, reg(), 8, 3, &mut stats)
 }
 
 fn arb_item(rng: &mut Rng, parts: usize) -> ParArray<i64> {
@@ -275,6 +285,67 @@ fn cache_hit_path_equals_cold_path() {
         assert_eq!(ra.0, expect);
         assert_eq!(ra.1, scl.machine.report());
     }
+}
+
+/// DAG plans ride the same fingerprint-keyed compile cache as linear
+/// ones: resubmitting a branching plan compiles once, and every request
+/// matches a solo eager run — output and report.
+#[test]
+fn dag_plans_serve_with_one_compile_and_match_solo_runs() {
+    for policy in policies() {
+        cases(6, 0xDA65, |rng| {
+            let machine = unit_machine(8);
+            let mut srv: Serve<ParArray<i64>, ParArray<i64>> =
+                Serve::new(ServePolicy::new(machine.clone()).with_exec(policy));
+            let t = srv.add_tenant("t");
+            let plan_seed = rng.next_u64();
+
+            let mut ledger: Vec<(Ticket, ParArray<i64>)> = Vec::new();
+            for _ in 0..3 {
+                let input = arb_item(rng, 8);
+                let ticket = srv
+                    .submit(t, arb_dag_plan(plan_seed), input.clone())
+                    .unwrap();
+                ledger.push((ticket, input));
+            }
+            assert_eq!(
+                srv.stats().cache_misses,
+                1,
+                "one compile for a resubmitted DAG"
+            );
+            assert_eq!(srv.stats().cache_hits, 2, "rebuilt DAGs hit the cache");
+            srv.run_until_idle();
+
+            let mut scl = Scl::new(machine.clone()).with_policy(policy);
+            for (i, (ticket, input)) in ledger.into_iter().enumerate() {
+                let (out, report) = srv.take(ticket).expect("request completed");
+                scl.reset();
+                let expect = arb_dag_plan(plan_seed).run(&mut scl, input);
+                assert_eq!(out, expect, "dag request {i} output ({policy:?})");
+                assert_eq!(
+                    report,
+                    scl.machine.report(),
+                    "dag request {i} report ({policy:?})"
+                );
+            }
+        });
+    }
+}
+
+/// The cache key for a DAG is stable across rebuilds (fresh closures and
+/// all) and separates plans that differ only inside a branch arm.
+#[test]
+fn dag_plan_fingerprints_are_stable_cache_keys() {
+    let fp = |seed: u64| {
+        arb_dag_plan(seed)
+            .fingerprint()
+            .expect("generated DAGs are fusable")
+    };
+    cases(16, 0xDA66, |rng| {
+        let seed = rng.next_u64();
+        assert_eq!(fp(seed), fp(seed), "rebuild must produce the cache key");
+    });
+    assert_ne!(fp(1), fp(2), "different DAGs must not share a cache key");
 }
 
 #[test]

@@ -15,7 +15,16 @@ use scl_apps::psrs::psrs_plan;
 use scl_apps::stream_histogram::batch_histogram_plan;
 use scl_apps::workloads::uniform_keys;
 use scl_core::ParArray;
+use scl_testkit::dag::{arb_dag, DagStats};
 use scl_testkit::{cases, Rng};
+use std::sync::OnceLock;
+
+fn reg() -> &'static Registry {
+    // `Registry` is `Sync` but not `Send` (boxed index functions), so the
+    // shared static holds a leaked reference rather than the value
+    static REG: OnceLock<&'static Registry> = OnceLock::new();
+    REG.get_or_init(|| Box::leak(Box::new(Registry::standard())))
+}
 
 /// The policy matrix, overridable by the CI harness. An unparseable
 /// `SCL_EXEC_POLICY` fails the suite instead of silently testing the
@@ -96,6 +105,51 @@ fn randomized_streams_agree_with_eager_per_item() {
 
             // eager: one fresh run per item on a reset context
             let plan = arb_plan(&mut rng.clone());
+            let mut scl = Scl::ap1000(parts);
+            for (i, (got, report)) in streamed.into_iter().enumerate() {
+                scl.reset();
+                let expect = plan.run(&mut scl, items[i].clone());
+                assert_eq!(got.to_vec(), expect.to_vec(), "item {i} ({policy:?})");
+                assert_eq!(
+                    report,
+                    scl.machine.report(),
+                    "item {i} metrics/makespan ({policy:?})"
+                );
+            }
+        });
+    }
+}
+
+/// DAG plans stream too: a persistent graph whose hops include branch
+/// nodes (pipelined `pair` farms, inline `choice` / `fanout`) serves
+/// every item with output and per-item report identical to a fresh eager
+/// run — same contract the linear fragment holds above.
+#[test]
+fn dag_streams_agree_with_eager_per_item() {
+    for policy in policies() {
+        cases(12, 0xDA57, |rng| {
+            let parts = 8 * rng.range_usize(1, 3);
+            let items: Vec<ParArray<i64>> = (0..rng.range_usize(4, 12))
+                .map(|_| arb_item(rng, parts))
+                .collect();
+            // rebuilt from a cloned rng so the streamed graph and the
+            // eager baseline are the identical plan
+            let build = |rng: &mut Rng| {
+                let mut stats = DagStats::default();
+                arb_dag(rng, reg(), parts, 3, &mut stats)
+            };
+
+            let mut exec = StreamExec::new(
+                build(&mut rng.clone()),
+                StreamPolicy::new(Machine::ap1000(parts)).with_exec(policy),
+            );
+            for item in &items {
+                exec.push(item.clone()).unwrap();
+            }
+            let streamed = exec.drain_with_reports();
+            assert_eq!(streamed.len(), items.len());
+
+            let plan = build(&mut rng.clone());
             let mut scl = Scl::ap1000(parts);
             for (i, (got, report)) in streamed.into_iter().enumerate() {
                 scl.reset();
